@@ -1,0 +1,67 @@
+// Ablation: reliability-aware job placement (Section 5.1's suggestion)
+// vs random placement, across cluster load levels.
+//
+// The per-node heterogeneity mirrors Fig 3(a): most nodes near the base
+// MTBF with lognormal jitter, plus a hot tail failing 5x as often.
+// Placement can only help below saturation, and the benefit should grow
+// as more slack is available -- that is the shape this bench reports.
+#include <iostream>
+
+#include "report/table.hpp"
+#include "sim/cluster.hpp"
+
+int main() {
+  using namespace hpcfail;
+  constexpr double kDay = 86400.0;
+
+  sim::ClusterConfig cfg;
+  cfg.nodes = sim::heterogeneous_nodes(64, 20.0 * kDay, 0.3, 0.08, 5.0, 99);
+  cfg.job_width = 8;
+  cfg.job_work_seconds = 24.0 * 3600.0;
+  cfg.job_count = 150;
+
+  report::TextTable table({"concurrent jobs", "load", "waste rnd %",
+                           "waste ranked %", "interrupts rnd",
+                           "interrupts ranked", "makespan gain %"});
+  for (const std::size_t concurrent : {2u, 4u, 6u, 8u}) {
+    cfg.max_concurrent_jobs = concurrent;
+    double waste_random = 0.0;
+    double waste_ranked = 0.0;
+    double interrupts_random = 0.0;
+    double interrupts_ranked = 0.0;
+    double makespan_random = 0.0;
+    double makespan_ranked = 0.0;
+    constexpr int kReps = 3;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Rng r1(static_cast<std::uint64_t>(rep));
+      Rng r2(static_cast<std::uint64_t>(rep));
+      cfg.policy = sim::PlacementPolicy::random;
+      const sim::ClusterStats a = sim::simulate_cluster(cfg, r1);
+      cfg.policy = sim::PlacementPolicy::reliability_ranked;
+      const sim::ClusterStats b = sim::simulate_cluster(cfg, r2);
+      waste_random += a.waste_fraction();
+      waste_ranked += b.waste_fraction();
+      interrupts_random += static_cast<double>(a.interruptions);
+      interrupts_ranked += static_cast<double>(b.interruptions);
+      makespan_random += a.makespan;
+      makespan_ranked += b.makespan;
+    }
+    const double load = static_cast<double>(concurrent * 8) / 64.0;
+    table.add_row(std::to_string(concurrent),
+                  {load, 100.0 * waste_random / kReps,
+                   100.0 * waste_ranked / kReps, interrupts_random / kReps,
+                   interrupts_ranked / kReps,
+                   100.0 * (makespan_random - makespan_ranked) /
+                       makespan_random},
+                  3);
+  }
+  std::cout << "=== ablation: random vs reliability-ranked placement ===\n"
+            << "64 nodes, 8% hot nodes at 5x the failure rate, 8-node "
+               "day-long jobs\n\n";
+  table.render(std::cout);
+  std::cout << "\nreading: at low load the ranked scheduler parks work on "
+               "the reliable\nnodes and mostly dodges the hot tail; at "
+               "full saturation (load 1.0)\nevery node must be used and "
+               "the policies converge.\n";
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Extension: per-system availability implied by the failure trace -- the
+// bottom-line metric the paper's statistics feed into cluster-management
+// decisions (intro citations [5, 25]).
+#include <iostream>
+
+#include "analysis/availability.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const auto rows = analysis::availability_analysis(
+      dataset, trace::SystemCatalog::lanl());
+
+  std::cout << "=== extension: availability per system ===\n\n";
+  report::TextTable table({"system", "HW", "node-years", "failures",
+                           "downtime (h)", "node MTBF (h)",
+                           "availability %"});
+  for (const analysis::SystemAvailability& a : rows) {
+    table.add_row({a.system_id == 0 ? "site" : std::to_string(a.system_id),
+                   std::string(1, a.hw_type),
+                   format_double(a.node_hours / 8766.0, 4),
+                   std::to_string(a.failures),
+                   format_double(a.downtime_hours, 4),
+                   format_double(a.node_mtbf_hours, 4),
+                   format_double(a.availability * 100.0, 5)});
+  }
+  table.render(std::cout);
+  std::cout << "\nreading: per-node MTBFs sit in the weeks-to-months "
+               "range and repair\ntakes hours, so node availability is "
+               "high everywhere -- yet a 1024-node\njob sees the *system* "
+               "MTBF, hours not months, which is why the paper's\n"
+               "checkpointing context matters.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Extension: the correlation analysis the paper explicitly deferred
+// (Section 5.3: "we did not perform a rigorous analysis of correlations
+// between nodes"). Quantifies simultaneous-failure mass, interarrival
+// autocorrelation, and daily-count overdispersion for system 20's early
+// and late eras.
+#include <iostream>
+
+#include "analysis/correlation.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+void render(const hpcfail::trace::FailureDataset& window, const char* era) {
+  using namespace hpcfail;
+  const analysis::CorrelationReport report =
+      analysis::correlation_analysis(window, 20);
+  std::cout << "--- system 20, " << era << " ---\n";
+  report::TextTable table({"metric", "value"});
+  table.add_row({"failures", std::to_string(report.bursts.total_failures)});
+  table.add_row({"simultaneous bursts (>=2 nodes)",
+                 std::to_string(report.bursts.burst_events)});
+  table.add_row({"failures inside bursts",
+                 std::to_string(report.bursts.burst_failures)});
+  table.add_row({"burst fraction",
+                 format_double(report.bursts.burst_fraction(), 3)});
+  table.add_row({"largest burst",
+                 std::to_string(report.bursts.largest_burst)});
+  table.add_row({"daily-count dispersion (Var/Mean)",
+                 format_double(report.daily_dispersion, 4)});
+  for (std::size_t lag = 0;
+       lag < std::min<std::size_t>(3, report
+                                          .interarrival_autocorrelation
+                                          .size());
+       ++lag) {
+    table.add_row({"interarrival acf lag " + std::to_string(lag + 1),
+                   format_double(
+                       report.interarrival_autocorrelation[lag], 3)});
+  }
+  table.render(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  std::cout << "=== extension: node-failure correlation, system 20 ===\n\n";
+  render(dataset.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1)),
+         "1996-1999 (early era)");
+  render(dataset.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1)),
+         "2000-2005 (late era)");
+  std::cout << "paper's observation: >30% of early system-wide "
+               "interarrivals are zero,\nindicating tight correlation in "
+               "the cluster's initial years; late-era\nfailures are far "
+               "less correlated. A Poisson process would show daily\n"
+               "dispersion ~1 and zero autocorrelation.\n";
+  return 0;
+}

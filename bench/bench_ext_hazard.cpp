@@ -1,0 +1,80 @@
+// Extension: model-free verification of the paper's decreasing-hazard
+// claim via the Nelson-Aalen estimator with right-censoring, plus
+// bootstrap confidence intervals around the fitted Weibull shape.
+#include <iostream>
+
+#include "analysis/hazard.hpp"
+#include "analysis/interarrival.hpp"
+#include "common/strings.hpp"
+#include "dist/weibull.hpp"
+#include "report/table.hpp"
+#include "stats/bootstrap.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const trace::FailureDataset late =
+      dataset.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1));
+
+  std::cout << "=== extension: nonparametric hazard-rate analysis ===\n\n";
+  report::TextTable verdict({"system", "events", "censored",
+                             "log-log slope", "verdict"});
+  for (const int id : {7, 8, 18, 20}) {
+    const analysis::HazardReport hazard =
+        analysis::node_hazard_analysis(late, id);
+    verdict.add_row({"sys " + std::to_string(id),
+                     std::to_string(hazard.events),
+                     std::to_string(hazard.censored),
+                     format_double(hazard.log_log_slope, 3),
+                     hazard.decreasing_hazard() ? "decreasing"
+                                                : "increasing"});
+  }
+  verdict.render(std::cout);
+  std::cout << "\n(the log-log slope of the Nelson-Aalen cumulative "
+               "hazard equals the\nWeibull shape when the data is "
+               "Weibull; < 1 means decreasing hazard)\n\n";
+
+  // Bootstrap interval around the Fig 6(b) fitted shape.
+  analysis::InterarrivalQuery query;
+  query.system_id = 20;
+  query.node_id = 22;
+  query.from = to_epoch(2000, 1, 1);
+  const analysis::InterarrivalReport tbf =
+      analysis::interarrival_analysis(dataset, query);
+  Rng rng(11);
+  const stats::BootstrapResult shape_ci = stats::bootstrap(
+      tbf.gaps_seconds,
+      [](std::span<const double> s) {
+        return dist::Weibull::fit_mle(s, 1.0).shape();
+      },
+      rng, {.replicates = 400, .confidence = 0.95});
+  std::cout << "node 22 of system 20, 2000-2005: fitted Weibull shape "
+            << format_double(shape_ci.point, 3) << " (95% CI "
+            << format_double(shape_ci.lo, 3) << " .. "
+            << format_double(shape_ci.hi, 3) << ", "
+            << shape_ci.replicates << " replicates)\n";
+
+  // Censoring-aware refit: include every node's final failure-free
+  // interval (right-censored at the horizon) instead of discarding it.
+  {
+    const analysis::HazardReport hazard =
+        analysis::node_hazard_analysis(late, 20);
+    std::vector<double> events;
+    std::vector<double> censored;
+    for (const auto& obs : hazard.observations) {
+      (obs.observed ? events : censored).push_back(obs.time);
+    }
+    const dist::Weibull censored_fit =
+        dist::Weibull::fit_mle_censored(events, censored, 1.0);
+    const dist::Weibull naive_fit = dist::Weibull::fit_mle(events, 1.0);
+    std::cout << "system 20 per-node pooled TBF, censoring-aware Weibull: "
+              << censored_fit.describe() << "\n"
+              << "  (naive fit dropping censored intervals: "
+              << naive_fit.describe() << ")\n";
+  }
+  std::cout << "paper reports: shape 0.7 at this node, 0.7-0.8 across "
+               "views -- agreement\nholds iff the paper's band intersects "
+               "the interval above.\n";
+  return 0;
+}

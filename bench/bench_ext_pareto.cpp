@@ -1,0 +1,84 @@
+// Extension: re-testing footnote 1 of the paper -- "We also considered
+// the Pareto distribution, but didn't find it to be a better fit than
+// any of the four standard distributions."
+//
+// We fit a Pareto alongside the four standard families on the Fig 6 TBF
+// samples and the Fig 7 repair times and compare negative log-likelihood
+// on the same floored data.
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "analysis/interarrival.hpp"
+#include "analysis/repair.hpp"
+#include "common/strings.hpp"
+#include "dist/pareto.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+void compare(const char* title, const std::vector<double>& sample,
+             const std::vector<dist::FitResult>& standard_fits,
+             double floor_at) {
+  std::vector<double> floored = sample;
+  for (double& x : floored) {
+    if (x < floor_at) x = floor_at;
+  }
+  const dist::Pareto pareto = dist::Pareto::fit_mle(floored, floor_at);
+  const double pareto_nll = -pareto.log_likelihood(floored);
+
+  std::cout << title << " (" << sample.size() << " observations)\n";
+  report::TextTable table({"model", "negLL"});
+  for (const auto& fit : standard_fits) {
+    table.add_row(fit.model->describe(), {fit.neg_log_likelihood});
+  }
+  table.add_row(pareto.describe(), {pareto_nll});
+  table.render(std::cout);
+  const double best = standard_fits.front().neg_log_likelihood;
+  std::cout << "Pareto vs best standard family: negLL delta "
+            << format_double(pareto_nll - best, 4) << " ("
+            << (pareto_nll < best ? "Pareto fits better"
+                                  : "footnote 1 holds")
+            << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+
+  std::cout << "=== extension: is the Pareto a better fit? (footnote 1) "
+               "===\n\n";
+
+  // Fig 6(b): node 22 of system 20, late era.
+  analysis::InterarrivalQuery q;
+  q.system_id = 20;
+  q.node_id = 22;
+  q.from = to_epoch(2000, 1, 1);
+  const auto tbf = analysis::interarrival_analysis(dataset, q);
+  compare("--- time between failures, node 22 late (Fig 6b) ---",
+          tbf.gaps_seconds, tbf.fits, 1.0);
+
+  // Fig 6(d): system-wide late.
+  analysis::InterarrivalQuery qs;
+  qs.system_id = 20;
+  qs.from = to_epoch(2000, 1, 1);
+  const auto tbf_sys = analysis::interarrival_analysis(dataset, qs);
+  compare("--- time between failures, system-wide late (Fig 6d) ---",
+          tbf_sys.gaps_seconds, tbf_sys.fits, 1.0);
+
+  // Fig 7(a): repair times.
+  const auto repair = analysis::repair_analysis(
+      dataset, trace::SystemCatalog::lanl());
+  compare("--- repair times, all systems (Fig 7a) ---",
+          dataset.repair_times_minutes(), repair.fits, 1e-9);
+
+  std::cout << "paper's footnote 1: the Pareto was considered and "
+               "rejected. Its pure\npower law has no characteristic "
+               "scale, so it must trade the body against\nthe tail -- "
+               "the Weibull/lognormal keep both.\n";
+  return 0;
+}

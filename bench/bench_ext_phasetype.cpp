@@ -1,0 +1,79 @@
+// Extension: testing the paper's Section 3 remark that a phase-type
+// distribution "would likely give a better fit" but isn't worth the extra
+// degrees of freedom.
+//
+// We fit the simplest phase-type model -- a 2-phase hyperexponential via
+// EM -- to the same time-between-failure samples as Fig 6 and compare it
+// against the four standard families on negative log-likelihood and AIC
+// (which charges for the third parameter).
+#include <iostream>
+#include <optional>
+
+#include "analysis/interarrival.hpp"
+#include "common/strings.hpp"
+#include "dist/hyperexp.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+void compare(const hpcfail::trace::FailureDataset& dataset,
+             const char* title, std::optional<int> node, bool early) {
+  using namespace hpcfail;
+  analysis::InterarrivalQuery query;
+  query.system_id = 20;
+  query.node_id = node;
+  if (early) {
+    query.to = to_epoch(2000, 1, 1);
+  } else {
+    query.from = to_epoch(2000, 1, 1);
+  }
+  const analysis::InterarrivalReport report =
+      analysis::interarrival_analysis(dataset, query);
+
+  // Fit H2 on the same floored sample the standard families used.
+  std::vector<double> floored = report.gaps_seconds;
+  for (double& g : floored) {
+    if (g < 1.0) g = 1.0;
+  }
+  const dist::HyperExp h2 = dist::HyperExp::fit_em(floored, 1.0);
+  const double h2_nll = -h2.log_likelihood(floored);
+  const double h2_aic = 2.0 * 3 + 2.0 * h2_nll;  // three free parameters
+
+  std::cout << title << " (" << report.gaps_seconds.size()
+            << " intervals)\n";
+  report::TextTable table({"model", "params", "negLL", "AIC"});
+  for (const auto& fit : report.fits) {
+    table.add_row(fit.model->describe(),
+                  {static_cast<double>(dist::parameter_count(fit.family)),
+                   fit.neg_log_likelihood, fit.aic});
+  }
+  table.add_row(h2.describe(), {3.0, h2_nll, h2_aic});
+  table.render(std::cout);
+  const double best_standard = report.best().neg_log_likelihood;
+  std::cout << "H2 vs best standard family: negLL delta "
+            << format_double(h2_nll - best_standard, 4) << " ("
+            << (h2_nll < best_standard ? "H2 fits better"
+                                       : "standard family wins")
+            << ")\n\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  std::cout << "=== extension: is a phase-type (H2) fit worth a third "
+               "parameter? ===\n\n";
+  compare(dataset, "--- node 22 of system 20, 2000-2005 (Fig 6b data) ---",
+          22, false);
+  compare(dataset, "--- system-wide, system 20, 2000-2005 (Fig 6d) ---",
+          std::nullopt, false);
+  compare(dataset, "--- system-wide, system 20, 1996-1999 (Fig 6c) ---",
+          std::nullopt, true);
+  std::cout << "paper's position: simple one/two-parameter families "
+               "suffice; extra\ndegrees of freedom are not needed. The "
+               "AIC column is the test: when the\nWeibull/gamma AIC "
+               "stays below H2's, the paper's parsimony holds.\n";
+  return 0;
+}

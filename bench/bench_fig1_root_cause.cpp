@@ -1,0 +1,59 @@
+// Figure 1 reproduction: breakdown of failures (a) and downtime (b) into
+// root causes, per hardware type and across all systems.
+#include <iostream>
+
+#include "analysis/root_cause.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const analysis::RootCauseReport report = analysis::root_cause_breakdown(
+      dataset, trace::SystemCatalog::lanl());
+
+  const auto render = [](const char* title, bool downtime,
+                         const analysis::RootCauseReport& r) {
+    std::cout << title << "\n";
+    report::TextTable table({"group", "hardware", "software", "network",
+                             "environment", "human", "unknown"});
+    const auto row = [&](const analysis::CauseBreakdown& b) {
+      const auto& pct = downtime ? b.downtime_percent : b.count_percent;
+      table.add_row(b.label, {pct[0], pct[1], pct[2], pct[3], pct[4],
+                              pct[5]}, 3);
+    };
+    for (const auto& b : r.by_type) row(b);
+    row(r.all);
+    table.render(std::cout);
+    std::cout << "\n";
+  };
+
+  render("=== Fig 1(a): % of failures by root cause ===", false, report);
+  render("=== Fig 1(b): % of downtime by root cause ===", true, report);
+
+  std::cout << "paper reports (shape): hardware the largest single source "
+               "(30-60%),\nsoftware second (5-24%); type D hardware and "
+               "software nearly equal;\nunknown 20-30% of failures except "
+               "type E (<5%), yet <5% of downtime\nexcept for types D and "
+               "G.\n\n";
+
+  std::cout << "detailed causes: memory share of ALL failures per type "
+               "(paper: >10%\neverywhere, >25% for F and H; type E CPU "
+               ">50% due to a design flaw)\n";
+  report::TextTable detail({"type", "memory %", "cpu %"});
+  for (const char type : {'D', 'E', 'F', 'G', 'H'}) {
+    const auto subset = dataset.filter([type](const trace::FailureRecord& r) {
+      return trace::SystemCatalog::lanl().system(r.system_id).hw_type ==
+             type;
+    });
+    detail.add_row(std::string(1, type),
+                   {100.0 * analysis::detail_cause_fraction(
+                                subset, trace::DetailCause::memory_dimm),
+                    100.0 * analysis::detail_cause_fraction(
+                                subset, trace::DetailCause::cpu)},
+                   3);
+  }
+  detail.render(std::cout);
+  return 0;
+}

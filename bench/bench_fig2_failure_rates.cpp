@@ -1,0 +1,48 @@
+// Figure 2 reproduction: average failures per year per system (a) and the
+// same normalized by processor count (b).
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "analysis/rates.hpp"
+#include "report/ascii_chart.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const auto rates =
+      analysis::failure_rates(dataset, trace::SystemCatalog::lanl());
+
+  std::vector<std::pair<std::string, double>> raw;
+  std::vector<std::pair<std::string, double>> normalized;
+  for (const analysis::SystemRate& r : rates) {
+    const std::string label =
+        "sys " + std::to_string(r.system_id) + " (" + r.hw_type + ")";
+    raw.emplace_back(label, r.failures_per_year);
+    normalized.emplace_back(label, r.failures_per_year_per_proc);
+  }
+  std::cout << "=== Fig 2(a): failures per year per system ===\n";
+  report::bar_chart(std::cout, "", raw);
+  std::cout << "\n=== Fig 2(b): failures per year per processor ===\n";
+  report::bar_chart(std::cout, "", normalized);
+
+  double lo = 1e12;
+  double hi = 0.0;
+  double nlo = 1e12;
+  double nhi = 0.0;
+  for (const analysis::SystemRate& r : rates) {
+    lo = std::min(lo, r.failures_per_year);
+    hi = std::max(hi, r.failures_per_year);
+    nlo = std::min(nlo, r.failures_per_year_per_proc);
+    nhi = std::max(nhi, r.failures_per_year_per_proc);
+  }
+  std::cout << "\nmeasured: raw range " << format_double(lo, 3) << " .. "
+            << format_double(hi, 4) << " per year (x"
+            << format_double(hi / lo, 3) << "), normalized range "
+            << format_double(nlo, 3) << " .. " << format_double(nhi, 3)
+            << " (x" << format_double(nhi / nlo, 3) << ")\n";
+  std::cout << "paper reports: 17 .. 1159 failures/year; normalized rates "
+               "vary far less,\nespecially within a hardware type -- "
+               "failure rates grow roughly linearly\nwith system size.\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 3 reproduction: failures per node of system 20 (a), and the CDF
+// of per-node counts for compute-only nodes fitted with Poisson, normal,
+// and lognormal distributions (b).
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "analysis/rates.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const auto report = analysis::node_distribution(
+      dataset, trace::SystemCatalog::lanl(), 20);
+
+  std::cout << "=== Fig 3(a): failures per node, system 20 ===\n";
+  std::vector<std::pair<std::string, double>> bars;
+  for (const analysis::NodeCount& n : report.per_node) {
+    std::string label = "node " + std::to_string(n.node_id);
+    if (n.workload == trace::Workload::graphics) label += " *gfx*";
+    bars.emplace_back(label, static_cast<double>(n.failures));
+  }
+  report::bar_chart(std::cout, "", bars, 40);
+  std::cout << "\ngraphics nodes 21-23: "
+            << format_double(report.graphics_node_fraction * 100.0, 3)
+            << "% of nodes, "
+            << format_double(report.graphics_failure_fraction * 100.0, 3)
+            << "% of failures (paper: 6% of nodes, ~20% of failures)\n\n";
+
+  std::cout << "=== Fig 3(b): CDF of failures per compute node + fits ===\n";
+  const stats::Ecdf ecdf(report.compute_node_counts);
+  std::vector<report::CdfSeries> series;
+  report::CdfSeries empirical;
+  empirical.name = "data";
+  for (const auto& [x, p] : ecdf.step_points()) {
+    empirical.points.emplace_back(x, p);
+  }
+  series.push_back(empirical);
+  for (const auto& fit : report.count_fits) {
+    const auto& model = *fit.model;
+    series.push_back(report::sample_cdf(
+        model.describe(), [&model](double x) { return model.cdf(x); },
+        std::max(1.0, ecdf.min() * 0.8), ecdf.max() * 1.1,
+        /*log_x=*/false));
+  }
+  report::cdf_plot(std::cout, "", series, /*log_x=*/false);
+
+  std::cout << "\nfit ranking by negative log-likelihood:\n";
+  report::TextTable table({"model", "negLL", "KS"});
+  for (const auto& fit : report.count_fits) {
+    table.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+  }
+  table.render(std::cout);
+  std::cout << "paper reports: Poisson a poor fit (data overdispersed); "
+               "normal and\nlognormal much better, visually and by "
+               "negative log-likelihood.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Figure 4 reproduction: failures per month over a system's lifetime,
+// broken down by root cause -- system 5 for the burn-in shape (a) and
+// system 19 for the ramp-up shape (b).
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "analysis/lifetime.hpp"
+#include "analysis/root_cause.hpp"
+#include "report/ascii_chart.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+void render(const hpcfail::trace::FailureDataset& dataset, int system_id,
+            const char* title) {
+  using namespace hpcfail;
+  const analysis::LifetimeCurve curve = analysis::lifetime_curve(
+      dataset, trace::SystemCatalog::lanl(), system_id);
+  std::cout << title << "\n";
+  // Stacked by root cause, as in the paper's figure.
+  std::vector<std::string> labels;
+  std::vector<report::StackSeries> series;
+  for (const trace::RootCause cause : trace::kAllRootCauses) {
+    series.push_back({trace::to_string(cause), {}});
+  }
+  for (const analysis::MonthlyFailures& m : curve.months) {
+    labels.push_back("m" + std::to_string(m.month));
+    for (std::size_t c = 0; c < series.size(); ++c) {
+      series[c].values.push_back(m.by_cause[c]);
+    }
+  }
+  report::stacked_bar_chart(std::cout, "", labels, series, 45);
+  std::cout << "peak month: " << curve.peak_month
+            << ", first-quarter/rest rate ratio: "
+            << format_double(curve.early_to_late_ratio, 3) << "\n";
+
+  // The dominant cause per phase (hardware everywhere, but the unknown
+  // share shrinks as administrators learn the system).
+  double early_unknown = 0.0;
+  double early_total = 0.0;
+  double late_unknown = 0.0;
+  double late_total = 0.0;
+  const int half = static_cast<int>(curve.months.size()) / 2;
+  for (const analysis::MonthlyFailures& m : curve.months) {
+    const double unk = m.by_cause[analysis::breakdown_index(
+        trace::RootCause::unknown)];
+    if (m.month < half) {
+      early_unknown += unk;
+      early_total += m.total();
+    } else {
+      late_unknown += unk;
+      late_total += m.total();
+    }
+  }
+  if (early_total > 0.0 && late_total > 0.0) {
+    std::cout << "unknown-cause share: first half "
+              << format_double(100.0 * early_unknown / early_total, 3)
+              << "%, second half "
+              << format_double(100.0 * late_unknown / late_total, 3)
+              << "%\n";
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  render(dataset, 5,
+         "=== Fig 4(a): system 5 (type E) -- burn-in shape ===");
+  render(dataset, 19,
+         "=== Fig 4(b): system 19 (type G) -- ramp-up shape ===");
+  std::cout << "paper reports: type E/F rates start high and drop within "
+               "months\n(Fig 4a); the pioneer D/G systems instead climb "
+               "for ~20 months before\ndecaying (Fig 4b) -- neither "
+               "matches the textbook bathtub curve.\n";
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Figure 5 reproduction: failures by hour of the day and by day of the
+// week across all systems.
+#include <iostream>
+
+#include "common/strings.hpp"
+#include "analysis/periodicity.hpp"
+#include "report/ascii_chart.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const analysis::PeriodicityReport report =
+      analysis::periodicity(dataset);
+
+  std::cout << "=== Fig 5 (left): failures by hour of day ===\n";
+  std::vector<std::pair<std::string, double>> hours;
+  for (int h = 0; h < 24; ++h) {
+    char label[8];
+    std::snprintf(label, sizeof label, "%02d:00", h);
+    hours.emplace_back(label,
+                       report.by_hour[static_cast<std::size_t>(h)]);
+  }
+  report::bar_chart(std::cout, "", hours);
+
+  std::cout << "\n=== Fig 5 (right): failures by day of week ===\n";
+  static const char* kDays[] = {"Sun", "Mon", "Tue", "Wed",
+                                "Thu", "Fri", "Sat"};
+  std::vector<std::pair<std::string, double>> days;
+  for (int d = 0; d < 7; ++d) {
+    days.emplace_back(kDays[d],
+                      report.by_weekday[static_cast<std::size_t>(d)]);
+  }
+  report::bar_chart(std::cout, "", days);
+
+  std::cout << "\nmeasured: day/night ratio "
+            << format_double(report.day_night_ratio, 3)
+            << ", weekday/weekend ratio "
+            << format_double(report.weekday_weekend_ratio, 3) << "\n";
+  std::cout << "paper reports: peak-hour rate ~2x the overnight trough; "
+               "weekday rate\nnearly 2x the weekend rate -- failure rate "
+               "tracks workload intensity.\nNo Monday spike: the pattern "
+               "is not an artifact of delayed detection.\n";
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 6 reproduction: empirical CDFs of time between failures with the
+// four standard MLE fits, in the paper's four panels:
+//   (a) node 22 of system 20, early production (1996-1999)
+//   (b) node 22 of system 20, late production (2000-2005)
+//   (c) system-wide view of system 20, early
+//   (d) system-wide view of system 20, late
+#include <iostream>
+#include <optional>
+
+#include "common/strings.hpp"
+#include "analysis/interarrival.hpp"
+#include "dist/weibull.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+void render_panel(const hpcfail::trace::FailureDataset& dataset,
+                  const char* title, std::optional<int> node,
+                  bool early) {
+  using namespace hpcfail;
+  analysis::InterarrivalQuery query;
+  query.system_id = 20;
+  query.node_id = node;
+  if (early) {
+    query.to = to_epoch(2000, 1, 1);
+  } else {
+    query.from = to_epoch(2000, 1, 1);
+  }
+  const analysis::InterarrivalReport report =
+      analysis::interarrival_analysis(dataset, query);
+
+  std::cout << title << "\n";
+  std::cout << report.gaps_seconds.size() << " intervals, mean "
+            << format_double(report.summary.mean / 3600.0, 4)
+            << " h, C^2 " << format_double(report.summary.cv2, 3)
+            << ", zero-gap fraction "
+            << format_double(report.zero_fraction, 3) << "\n";
+
+  // CDF plot: empirical + the four fitted models, log-x as in the paper.
+  const stats::Ecdf ecdf(report.gaps_seconds);
+  std::vector<report::CdfSeries> series;
+  report::CdfSeries empirical;
+  empirical.name = "data";
+  for (const auto& [x, p] : ecdf.step_points()) {
+    empirical.points.emplace_back(x, p);
+  }
+  series.push_back(empirical);
+  const double x_lo = std::max(1.0, ecdf.quantile(0.02));
+  const double x_hi = ecdf.max();
+  for (const auto& fit : report.fits) {
+    const auto& model = *fit.model;
+    series.push_back(report::sample_cdf(
+        model.name(), [&model](double x) { return model.cdf(x); }, x_lo,
+        x_hi));
+  }
+  report::cdf_plot(std::cout, "", series);
+
+  report::TextTable table({"model (best first)", "negLL", "KS"});
+  for (const auto& fit : report.fits) {
+    table.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+  }
+  table.render(std::cout);
+  for (const auto& fit : report.fits) {
+    if (fit.family == hpcfail::dist::Family::weibull) {
+      const auto* w =
+          dynamic_cast<const hpcfail::dist::Weibull*>(fit.model.get());
+      std::cout << "fitted Weibull shape "
+                << format_double(w->shape(), 3) << " => "
+                << (w->decreasing_hazard() ? "decreasing" : "increasing")
+                << " hazard rate\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  render_panel(dataset, "=== Fig 6(a): node 22, 1996-1999 ===", 22, true);
+  render_panel(dataset, "=== Fig 6(b): node 22, 2000-2005 ===", 22, false);
+  render_panel(dataset, "=== Fig 6(c): system-wide, 1996-1999 ===",
+               std::nullopt, true);
+  render_panel(dataset, "=== Fig 6(d): system-wide, 2000-2005 ===",
+               std::nullopt, false);
+  std::cout
+      << "paper reports: late-era TBF well modeled by Weibull/gamma with\n"
+         "decreasing hazard (Weibull shape 0.7-0.8) and exponential "
+         "clearly worse\n(data C^2 1.9 vs the exponential's 1); early-era "
+         "per-node TBF is more\nvariable (C^2 3.9) and lognormal-like; "
+         "the early system-wide view has\n>30% exactly-zero gaps "
+         "(correlated simultaneous failures) and no\nstandard "
+         "distribution captures it.\n";
+  return 0;
+}

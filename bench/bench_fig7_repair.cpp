@@ -1,0 +1,68 @@
+// Figure 7 reproduction: the empirical CDF of repair times with the four
+// standard MLE fits (a), and the mean (b) and median (c) repair time per
+// system.
+#include <iostream>
+
+#include "analysis/repair.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/qq.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const analysis::RepairReport report = analysis::repair_analysis(
+      dataset, trace::SystemCatalog::lanl());
+
+  std::cout << "=== Fig 7(a): CDF of repair times (minutes) + fits ===\n";
+  const stats::Ecdf ecdf(dataset.repair_times_minutes());
+  std::vector<report::CdfSeries> series;
+  report::CdfSeries empirical;
+  empirical.name = "data";
+  for (const auto& [x, p] : ecdf.step_points()) {
+    empirical.points.emplace_back(x, p);
+  }
+  series.push_back(empirical);
+  for (const auto& fit : report.fits) {
+    const auto& model = *fit.model;
+    series.push_back(report::sample_cdf(
+        model.name(), [&model](double x) { return model.cdf(x); },
+        std::max(0.5, ecdf.quantile(0.02)), ecdf.max()));
+  }
+  report::cdf_plot(std::cout, "", series);
+
+  report::TextTable fits(
+      {"model (best first)", "negLL", "KS", "max QQ dev (5-95%)"});
+  const auto repair_minutes = dataset.repair_times_minutes();
+  for (const auto& fit : report.fits) {
+    const auto& model = *fit.model;
+    const double qq_dev = stats::qq_max_relative_deviation(
+        repair_minutes, [&model](double p) { return model.quantile(p); });
+    fits.add_row(fit.model->describe(),
+                 {fit.neg_log_likelihood, fit.ks, qq_dev});
+  }
+  fits.render(std::cout);
+
+  std::cout << "\n=== Fig 7(b): mean repair time per system (min) ===\n";
+  std::vector<std::pair<std::string, double>> means;
+  std::vector<std::pair<std::string, double>> medians;
+  for (const analysis::RepairBySystem& s : report.by_system) {
+    const std::string label =
+        "sys " + std::to_string(s.system_id) + " (" + s.hw_type + ")";
+    means.emplace_back(label, s.mean_minutes);
+    medians.emplace_back(label, s.median_minutes);
+  }
+  report::bar_chart(std::cout, "", means);
+  std::cout << "\n=== Fig 7(c): median repair time per system (min) ===\n";
+  report::bar_chart(std::cout, "", medians);
+
+  std::cout << "\npaper reports: lognormal is the best repair-time model, "
+               "exponential by\nfar the worst; mean repair ranges from "
+               "under an hour to more than a day\nacross systems, "
+               "clusters by hardware type, and is insensitive to system\n"
+               "size (the largest type E systems are among the fastest to "
+               "repair).\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Library quality-of-implementation microbenchmarks: MLE fitting
+// throughput per distribution family and sample size (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/fit.hpp"
+#include "dist/weibull.hpp"
+
+namespace {
+
+std::vector<double> weibull_sample(std::size_t n) {
+  const hpcfail::dist::Weibull truth(0.75, 86400.0);
+  hpcfail::Rng rng(7);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(truth.sample(rng));
+  return xs;
+}
+
+void BM_FitFamily(benchmark::State& state, hpcfail::dist::Family family) {
+  const auto xs = weibull_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hpcfail::dist::fit(family, xs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+void BM_FitAllStandard(benchmark::State& state) {
+  const auto xs = weibull_sample(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hpcfail::dist::fit_all(xs, hpcfail::dist::standard_families()));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(xs.size()));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_FitFamily, exponential,
+                  hpcfail::dist::Family::exponential)
+    ->Arg(1000)->Arg(10000);
+BENCHMARK_CAPTURE(BM_FitFamily, weibull, hpcfail::dist::Family::weibull)
+    ->Arg(1000)->Arg(10000);
+BENCHMARK_CAPTURE(BM_FitFamily, gamma, hpcfail::dist::Family::gamma)
+    ->Arg(1000)->Arg(10000);
+BENCHMARK_CAPTURE(BM_FitFamily, lognormal,
+                  hpcfail::dist::Family::lognormal)
+    ->Arg(1000)->Arg(10000);
+BENCHMARK(BM_FitAllStandard)->Arg(1000)->Arg(10000);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Library quality-of-implementation microbenchmarks: synthetic trace
+// generation throughput (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "synth/generator.hpp"
+
+namespace {
+
+void BM_GenerateSystem(benchmark::State& state) {
+  const int system_id = static_cast<int>(state.range(0));
+  const hpcfail::synth::TraceGenerator generator(
+      hpcfail::trace::SystemCatalog::lanl(),
+      hpcfail::synth::lanl_scenario(42));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto recs = generator.generate_system(system_id);
+    records += recs.size();
+    benchmark::DoNotOptimize(recs);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+
+void BM_GenerateFullTrace(benchmark::State& state) {
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto dataset = hpcfail::synth::generate_lanl_trace(42);
+    records += dataset.size();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+
+}  // namespace
+
+// System 2 (tiny), 20 (big NUMA, 8.9 years), 7 (1024 nodes).
+BENCHMARK(BM_GenerateSystem)->Arg(2)->Arg(20)->Arg(7);
+BENCHMARK(BM_GenerateFullTrace);
+
+BENCHMARK_MAIN();

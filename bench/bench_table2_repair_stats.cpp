@@ -1,0 +1,57 @@
+// Table 2 reproduction: statistical properties of time to repair as a
+// function of the failure's root cause, with the paper's values printed
+// alongside for comparison.
+#include <iostream>
+
+#include "analysis/repair.hpp"
+#include "common/error.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+int main() {
+  using namespace hpcfail;
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+  const analysis::RepairReport report = analysis::repair_analysis(
+      dataset, trace::SystemCatalog::lanl());
+
+  std::cout << "=== Table 2: time to repair by root cause (minutes) ===\n\n";
+  report::TextTable table(
+      {"statistic", "unknown", "human", "environment", "network",
+       "software", "hardware", "all"});
+
+  const auto find = [&](trace::RootCause cause) -> const stats::Summary& {
+    for (const auto& c : report.by_cause) {
+      if (c.cause == cause) return c.stats;
+    }
+    throw Error("cause missing from the dataset");
+  };
+  const stats::Summary& unknown = find(trace::RootCause::unknown);
+  const stats::Summary& human = find(trace::RootCause::human);
+  const stats::Summary& env = find(trace::RootCause::environment);
+  const stats::Summary& net = find(trace::RootCause::network);
+  const stats::Summary& sw = find(trace::RootCause::software);
+  const stats::Summary& hw = find(trace::RootCause::hardware);
+
+  const auto row = [&](const char* label, double (stats::Summary::*field)) {
+    table.add_row(label,
+                  {unknown.*field, human.*field, env.*field, net.*field,
+                   sw.*field, hw.*field, report.all.*field},
+                  4);
+  };
+  row("mean (min)", &stats::Summary::mean);
+  row("median (min)", &stats::Summary::median);
+  row("std dev (min)", &stats::Summary::stddev);
+  row("C^2", &stats::Summary::cv2);
+  table.render(std::cout);
+
+  std::cout << "\npaper reports (mean/median/stddev/C^2):\n"
+               "  unknown 398/32/6099/234   human 163/44/418/6\n"
+               "  environment 572/269/808/2 network 247/70/720/8\n"
+               "  software 369/33/6316/293  hardware 342/64/4202/151\n"
+               "  all 355/54/4854/187\n"
+               "shape to hold: environment repairs are the longest but "
+               "least variable;\nhuman the shortest; software/hardware "
+               "medians are ~4-10x below their\nmeans; everything except "
+               "environment is extremely variable.\n";
+  return 0;
+}

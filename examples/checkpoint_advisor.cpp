@@ -1,0 +1,85 @@
+// Checkpoint advisor: what the paper's statistics mean for a practitioner.
+//
+// Fits the time-between-failure distribution of one system from the trace,
+// then compares checkpoint intervals chosen three ways:
+//   1. Young/Daly under the classical exponential (memoryless) assumption,
+//   2. a simulation sweep against the *fitted* (Weibull, decreasing-hazard)
+//      failure process,
+//   3. the naive "checkpoint every hour" rule,
+// reporting the wall-clock each policy actually yields on the fitted
+// process.
+//
+//   ./checkpoint_advisor [system_id] [checkpoint_cost_seconds]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "analysis/interarrival.hpp"
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "report/table.hpp"
+#include "sim/checkpoint.hpp"
+#include "synth/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  const int system_id = argc > 1 ? std::atoi(argv[1]) : 20;
+  const double ckpt_cost = argc > 2 ? std::atof(argv[2]) : 600.0;
+
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
+
+  // System-wide failure process, late era (stable regime).
+  analysis::InterarrivalQuery query;
+  query.system_id = system_id;
+  query.from = to_epoch(2000, 1, 1);
+  analysis::InterarrivalReport tbf;
+  try {
+    tbf = analysis::interarrival_analysis(dataset, query);
+  } catch (const Error&) {
+    query.from.reset();  // short-lived system: use its whole life
+    tbf = analysis::interarrival_analysis(dataset, query);
+  }
+  const double mtbf = tbf.summary.mean;
+  std::cout << "System " << system_id << ": MTBF "
+            << mtbf / 3600.0 << " h, fitted model "
+            << tbf.best().model->describe() << " (C^2 "
+            << tbf.summary.cv2 << ")\n\n";
+
+  sim::CheckpointConfig cfg;
+  cfg.work_seconds = 30.0 * 86400.0;  // a month-long simulation campaign
+  cfg.checkpoint_cost = ckpt_cost;
+  cfg.restart_cost = 300.0;
+
+  const double daly = sim::daly_interval(mtbf, ckpt_cost);
+  std::vector<double> candidates;
+  for (double f = 0.25; f <= 4.01; f *= std::sqrt(2.0)) {
+    candidates.push_back(daly * f);
+  }
+  Rng rng(7);
+  const double swept = sim::best_interval_by_simulation(
+      *tbf.best().model, nullptr, cfg, candidates, rng, 48);
+
+  report::TextTable table(
+      {"policy", "interval (h)", "wall-clock (d)", "lost work (d)",
+       "failures"});
+  const auto evaluate = [&](const std::string& name, double interval) {
+    cfg.interval = interval;
+    Rng eval_rng(99);
+    const sim::CheckpointStats s = sim::simulate_checkpoint_mean(
+        *tbf.best().model, nullptr, cfg, eval_rng, 64);
+    table.add_row(name, {interval / 3600.0, s.wall_clock / 86400.0,
+                         s.lost_work / 86400.0,
+                         static_cast<double>(s.failures)});
+  };
+  evaluate("Young (exp. assumption)", sim::young_interval(mtbf, ckpt_cost));
+  evaluate("Daly (exp. assumption)", daly);
+  evaluate("simulated sweep (fitted model)", swept);
+  evaluate("hourly checkpoints", 3600.0);
+  table.render(std::cout);
+
+  std::cout << "\nNote: with the fitted decreasing-hazard Weibull the "
+               "simulation sweep can\nafford intervals the memoryless "
+               "formulas would call too risky.\n";
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Data-quality pipeline: what ingesting a real operator-entered trace
+// looks like. We damage a clean trace the way field data is damaged
+// (lost records, misdiagnosed causes, stuck tickets, typo'd node ids),
+// run the validator, and show how the analysis results degrade before
+// and recover after cleaning.
+//
+//   ./data_quality [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/repair.hpp"
+#include "common/strings.hpp"
+#include "report/table.hpp"
+#include "synth/corruption.hpp"
+#include "synth/generator.hpp"
+#include "trace/validate.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  const trace::FailureDataset clean = synth::generate_lanl_trace(seed);
+  synth::CorruptionConfig damage;
+  damage.seed = seed + 1;
+  damage.drop_probability = 0.05;
+  damage.relabel_unknown_probability = 0.10;
+  damage.stretch_repair_probability = 0.01;
+  damage.corrupt_node_probability = 0.005;
+  const trace::FailureDataset dirty = synth::corrupt(clean, damage);
+  std::cout << "clean trace: " << clean.size() << " records; damaged: "
+            << dirty.size() << " records survive the drop step\n\n";
+
+  const trace::ValidationReport report =
+      trace::validate(dirty, trace::SystemCatalog::lanl());
+  report::TextTable issues({"issue kind", "count"});
+  for (const auto kind : {trace::ValidationIssueKind::unknown_system,
+                          trace::ValidationIssueKind::node_out_of_range,
+                          trace::ValidationIssueKind::outside_production,
+                          trace::ValidationIssueKind::overlapping_repair,
+                          trace::ValidationIssueKind::implausible_duration,
+                          trace::ValidationIssueKind::workload_mismatch}) {
+    issues.add_row({trace::to_string(kind),
+                    std::to_string(report.count(kind))});
+  }
+  std::cout << "validation of the damaged trace ("
+            << report.issues.size() << " issues):\n";
+  issues.render(std::cout);
+
+  const trace::FailureDataset cleaned =
+      trace::drop_flagged(dirty, report);
+  std::cout << "\nafter dropping flagged records: " << cleaned.size()
+            << " records\n\n";
+
+  // Show the repair-time statistics before/after: the stretched tickets
+  // inflate the mean dramatically, and cleaning restores it.
+  const auto& catalog = trace::SystemCatalog::lanl();
+  const auto stat = [&catalog](const trace::FailureDataset& ds) {
+    return analysis::repair_analysis(ds, catalog).all;
+  };
+  const auto original = stat(clean);
+  const auto damaged = stat(dirty);
+  const auto recovered = stat(cleaned);
+  report::TextTable effect(
+      {"trace", "mean repair (min)", "median (min)", "C^2"});
+  effect.add_row("clean", {original.mean, original.median, original.cv2},
+                 4);
+  effect.add_row("damaged", {damaged.mean, damaged.median, damaged.cv2},
+                 4);
+  effect.add_row("cleaned", {recovered.mean, recovered.median,
+                             recovered.cv2},
+                 4);
+  effect.render(std::cout);
+  std::cout << "\nnote: cleaning cannot restore silently dropped records "
+               "or relabeled\ncauses -- exactly the data-quality limits "
+               "Section 2.3 of the paper\ndiscusses for operator-entered "
+               "failure data.\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: generate a synthetic LANL-like failure trace, look at its
+// headline statistics, and fit the paper's four standard distributions to
+// time-between-failures and repair times.
+//
+//   ./quickstart [seed]
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "analysis/interarrival.hpp"
+#include "analysis/repair.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  const std::uint64_t seed =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
+
+  std::cout << "Generating the 22-system LANL scenario (seed " << seed
+            << ") ...\n";
+  const trace::FailureDataset dataset = synth::generate_lanl_trace(seed);
+  std::cout << "  " << dataset.size() << " failure records, "
+            << format_timestamp(dataset.first_start()) << " .. "
+            << format_timestamp(dataset.last_end()) << "\n\n";
+
+  // Time between failures, system-wide view of the big NUMA cluster
+  // (system 20), late in production -- the paper's Fig 6(d) setting.
+  analysis::InterarrivalQuery query;
+  query.system_id = 20;
+  query.from = to_epoch(2000, 1, 1);
+  const analysis::InterarrivalReport tbf =
+      analysis::interarrival_analysis(dataset, query);
+
+  std::cout << "Time between failures, system 20, 2000-2005 ("
+            << tbf.gaps_seconds.size() << " intervals):\n";
+  std::cout << "  mean " << tbf.summary.mean / 3600.0 << " h, median "
+            << tbf.summary.median / 3600.0 << " h, C^2 " << tbf.summary.cv2
+            << "\n";
+  report::TextTable table({"model", "neg log-likelihood", "AIC", "KS"});
+  for (const auto& fit : tbf.fits) {
+    table.add_row(fit.model->describe(),
+                  {fit.neg_log_likelihood, fit.aic, fit.ks});
+  }
+  table.render(std::cout);
+  std::cout << "  best model: " << tbf.best().model->describe() << "\n\n";
+
+  // Repair times across the whole site -- the paper's Fig 7(a) setting.
+  const analysis::RepairReport repair =
+      analysis::repair_analysis(dataset, trace::SystemCatalog::lanl());
+  std::cout << "Repair times, all systems (" << repair.all.n
+            << " repairs):\n";
+  std::cout << "  mean " << repair.all.mean << " min, median "
+            << repair.all.median << " min, C^2 " << repair.all.cv2 << "\n";
+  report::TextTable rtable({"model", "neg log-likelihood", "KS"});
+  for (const auto& fit : repair.fits) {
+    rtable.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+  }
+  rtable.render(std::cout);
+  std::cout << "  best model: " << repair.fits.front().model->describe()
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Full paper-style report over any failure trace in the release CSV
+// schema -- the tool you would point at the real LANL data.
+//
+//   ./trace_report <trace.csv>        analyze an existing trace
+//   ./trace_report --synth [out.csv]  generate the synthetic trace first
+//                                     (and optionally save it)
+#include <iostream>
+#include <string>
+
+#include "analysis/availability.hpp"
+#include "analysis/periodicity.hpp"
+#include "common/error.hpp"
+#include "analysis/rates.hpp"
+#include "analysis/repair.hpp"
+#include "analysis/root_cause.hpp"
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "synth/generator.hpp"
+#include "trace/io.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hpcfail;
+  trace::FailureDataset dataset;
+  try {
+    if (argc >= 2 && std::string(argv[1]) != "--synth") {
+      dataset = trace::read_csv_file(argv[1]);
+    } else {
+      dataset = synth::generate_lanl_trace(42);
+      if (argc >= 3) {
+        trace::write_csv_file(argv[2], dataset);
+        std::cout << "(saved synthetic trace to " << argv[2] << ")\n";
+      }
+    }
+  } catch (const Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  const trace::SystemCatalog& catalog = trace::SystemCatalog::lanl();
+
+  std::cout << "=== trace overview ===\n"
+            << dataset.size() << " failures across "
+            << dataset.system_ids().size() << " systems, "
+            << format_timestamp(dataset.first_start()) << " .. "
+            << format_timestamp(dataset.last_end()) << "\n\n";
+
+  // Root causes (Fig 1).
+  const auto causes = analysis::root_cause_breakdown(dataset, catalog);
+  report::TextTable cause_table({"group", "HW%", "SW%", "Net%", "Env%",
+                                 "Human%", "Unk%", "failures"});
+  const auto add_breakdown = [&](const analysis::CauseBreakdown& b) {
+    cause_table.add_row(
+        b.label,
+        {b.count_percent[0], b.count_percent[1], b.count_percent[2],
+         b.count_percent[3], b.count_percent[4], b.count_percent[5],
+         static_cast<double>(b.failures)},
+        3);
+  };
+  for (const auto& b : causes.by_type) add_breakdown(b);
+  add_breakdown(causes.all);
+  std::cout << "=== root causes by hardware type (Fig 1a) ===\n";
+  cause_table.render(std::cout);
+
+  // Failure rates (Fig 2).
+  std::cout << "\n=== failures per year per system (Fig 2a) ===\n";
+  std::vector<std::pair<std::string, double>> rate_bars;
+  for (const auto& r : analysis::failure_rates(dataset, catalog)) {
+    rate_bars.emplace_back("sys " + std::to_string(r.system_id) + " (" +
+                               r.hw_type + std::string(")"),
+                           r.failures_per_year);
+  }
+  report::bar_chart(std::cout, "", rate_bars);
+
+  // Periodicity (Fig 5).
+  const auto period = analysis::periodicity(dataset);
+  std::cout << "\n=== periodicity (Fig 5) ===\n"
+            << "day/night ratio: " << period.day_night_ratio
+            << ", weekday/weekend ratio: " << period.weekday_weekend_ratio
+            << "\n";
+
+  // Repair times (Table 2 + Fig 7).
+  const auto repair = analysis::repair_analysis(dataset, catalog);
+  std::cout << "\n=== repair times by root cause, minutes (Table 2) ===\n";
+  report::TextTable repair_table(
+      {"cause", "mean", "median", "stddev", "C^2"});
+  for (const auto& c : repair.by_cause) {
+    repair_table.add_row(trace::to_string(c.cause),
+                         {c.stats.mean, c.stats.median, c.stats.stddev,
+                          c.stats.cv2},
+                         3);
+  }
+  repair_table.add_row("all", {repair.all.mean, repair.all.median,
+                               repair.all.stddev, repair.all.cv2},
+                       3);
+  repair_table.render(std::cout);
+  std::cout << "\nbest repair-time model: "
+            << repair.fits.front().model->describe() << "\n";
+
+  // Availability (derived; see bench_ext_availability for the full view).
+  const auto availability = analysis::availability_analysis(dataset,
+                                                            catalog);
+  for (const auto& a : availability) {
+    if (a.system_id == 0) {
+      std::cout << "\nsite-wide availability: "
+                << a.availability * 100.0 << "% ("
+                << a.downtime_hours << " node-hours of downtime)\n";
+    }
+  }
+  return 0;
+}

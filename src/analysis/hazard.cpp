@@ -1,0 +1,47 @@
+#include "analysis/hazard.hpp"
+
+#include <map>
+
+#include "common/error.hpp"
+
+namespace hpcfail::analysis {
+
+HazardReport node_hazard_analysis(const trace::FailureDataset& dataset,
+                                  int system_id,
+                                  std::optional<Seconds> censor_at,
+                                  std::size_t min_events) {
+  const trace::FailureDataset scoped = dataset.for_system(system_id);
+  HPCFAIL_EXPECTS(!scoped.empty(), "system has no failures in the dataset");
+  const Seconds horizon = censor_at.value_or(scoped.records().back().start);
+
+  HazardReport report;
+  std::map<int, Seconds> last_failure;
+  for (const trace::FailureRecord& r : scoped.records()) {
+    const auto it = last_failure.find(r.node_id);
+    if (it != last_failure.end() && r.start >= it->second) {
+      report.observations.push_back(
+          {static_cast<double>(r.start - it->second), true});
+      ++report.events;
+    }
+    last_failure[r.node_id] = r.start;
+  }
+  // One right-censored interval per node: from its last failure to the
+  // observation horizon.
+  for (const auto& [node, last] : last_failure) {
+    if (horizon > last) {
+      report.observations.push_back(
+          {static_cast<double>(horizon - last), false});
+      ++report.censored;
+    }
+  }
+  HPCFAIL_EXPECTS(report.events >= min_events,
+                  "too few interarrival events for hazard analysis");
+
+  report.cumulative_hazard =
+      hpcfail::stats::nelson_aalen(report.observations);
+  report.log_log_slope =
+      hpcfail::stats::log_log_hazard_slope(report.observations, min_events);
+  return report;
+}
+
+}  // namespace hpcfail::analysis

@@ -1,0 +1,44 @@
+#include "analysis/interarrival.hpp"
+
+#include "common/error.hpp"
+
+namespace hpcfail::analysis {
+
+InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
+                                         const InterarrivalQuery& query,
+                                         std::size_t min_gaps) {
+  trace::FailureDataset scoped = dataset.for_system(query.system_id);
+  if (query.from || query.to) {
+    const Seconds from = query.from.value_or(
+        scoped.empty() ? 0 : scoped.first_start());
+    const Seconds to = query.to.value_or(
+        scoped.empty() ? 0 : scoped.last_end() + 1);
+    scoped = scoped.between(from, to);
+  }
+
+  InterarrivalReport report;
+  report.query = query;
+  report.gaps_seconds =
+      query.node_id ? scoped.node_interarrivals(query.system_id,
+                                                *query.node_id)
+                    : scoped.system_interarrivals(query.system_id);
+  HPCFAIL_EXPECTS(report.gaps_seconds.size() >= min_gaps,
+                  "too few interarrival times for distribution fitting");
+
+  report.summary = hpcfail::stats::summarize(report.gaps_seconds);
+  std::size_t zeros = 0;
+  for (const double g : report.gaps_seconds) {
+    if (g == 0.0) ++zeros;
+  }
+  report.zero_fraction = static_cast<double>(zeros) /
+                         static_cast<double>(report.gaps_seconds.size());
+
+  // Records have 1-second resolution; exact-zero gaps (simultaneous
+  // failures) are floored at one second for fitting, as any MLE must.
+  report.fits = hpcfail::dist::fit_all(report.gaps_seconds,
+                                       hpcfail::dist::standard_families(),
+                                       /*floor_at=*/1.0);
+  return report;
+}
+
+}  // namespace hpcfail::analysis

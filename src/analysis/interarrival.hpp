@@ -1,0 +1,49 @@
+// Section 5.3 / Figure 6: the time between failures as a stochastic
+// process, in the paper's two views (a single node; the whole system),
+// optionally restricted to a time window (early vs late production), with
+// the four standard distributions fitted by MLE and ranked by negative
+// log-likelihood.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dist/fit.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// Which failures the interarrival sample is drawn from.
+struct InterarrivalQuery {
+  int system_id = 0;
+  /// Node view (Section 5.3 view i) when set; system-wide view (ii)
+  /// otherwise.
+  std::optional<int> node_id;
+  /// Optional absolute time window [from, to); whole dataset otherwise.
+  std::optional<Seconds> from;
+  std::optional<Seconds> to;
+};
+
+struct InterarrivalReport {
+  InterarrivalQuery query;
+  std::vector<double> gaps_seconds;     ///< the empirical sample
+  hpcfail::stats::Summary summary;      ///< mean / median / C^2 ...
+  double zero_fraction = 0.0;           ///< share of exactly-zero gaps
+                                        ///< (simultaneous failures, Fig 6c)
+  /// MLE fits of the four standard families, best (lowest negative
+  /// log-likelihood) first.
+  std::vector<hpcfail::dist::FitResult> fits;
+
+  const hpcfail::dist::FitResult& best() const { return fits.front(); }
+};
+
+/// Extracts the interarrival sample for `query` and fits the standard
+/// families. Throws InvalidArgument when fewer than `min_gaps` (default
+/// 8) interarrival times exist — too few to fit two-parameter models
+/// meaningfully.
+InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
+                                         const InterarrivalQuery& query,
+                                         std::size_t min_gaps = 8);
+
+}  // namespace hpcfail::analysis

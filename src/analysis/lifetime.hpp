@@ -1,0 +1,43 @@
+// Section 5.2 / Figure 4: failure rate over a system's lifetime, bucketed
+// by month in production and stacked by root cause. Also classifies which
+// of the paper's two shapes (burn-in decay vs ramp-up) a curve follows.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// Failures during one month of production, split by root cause.
+struct MonthlyFailures {
+  int month = 0;                          ///< months since production start
+  std::array<double, 6> by_cause{};       ///< breakdown_index order
+  double total() const noexcept {
+    double t = 0.0;
+    for (const double c : by_cause) t += c;
+    return t;
+  }
+};
+
+struct LifetimeCurve {
+  int system_id = 0;
+  std::vector<MonthlyFailures> months;  ///< one entry per production month
+  /// Month with the highest failure count.
+  int peak_month = 0;
+  /// Mean failures/month over the first quarter vs the rest: > 1 means
+  /// infant mortality (Fig 4a); a late peak with low start means the
+  /// ramp-up shape (Fig 4b).
+  double early_to_late_ratio = 0.0;
+};
+
+/// Computes Fig 4 for one system. Months beyond the system's production
+/// window (repairs running past the end) are clamped into the final
+/// month. Throws InvalidArgument when the system has no failures.
+LifetimeCurve lifetime_curve(const trace::FailureDataset& dataset,
+                             const trace::SystemCatalog& catalog,
+                             int system_id);
+
+}  // namespace hpcfail::analysis

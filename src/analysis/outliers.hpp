@@ -1,0 +1,47 @@
+// Statistical hot-node detection.
+//
+// Section 5.1 shows failures are not evenly spread over a system's nodes
+// (graphics nodes 21-23 of system 20 hold 20% of its failures) and Fig
+// 3(b) shows the per-node counts are inconsistent with a common-rate
+// Poisson. This analyzer turns that observation into a test: under the
+// null hypothesis that every node fails as a Poisson process with a
+// common rate (scaled by each node's time in production), which nodes
+// have significantly more failures than their exposure predicts?
+// Bonferroni-corrected, so a flagged node is a defensible scheduling or
+// maintenance decision, not a multiple-testing artifact.
+#pragma once
+
+#include <vector>
+
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+struct NodeOutlier {
+  int node_id = 0;
+  trace::Workload workload = trace::Workload::compute;
+  std::size_t failures = 0;
+  double expected = 0.0;  ///< under the equal-rate null, given exposure
+  /// One-sided p-value P(X >= failures) under Poisson(expected).
+  double p_value = 1.0;
+  /// p_value < alpha / node_count (Bonferroni).
+  bool significant = false;
+};
+
+struct OutlierReport {
+  int system_id = 0;
+  double alpha = 0.0;
+  std::vector<NodeOutlier> nodes;  ///< ascending p-value
+  std::size_t significant_count = 0;
+};
+
+/// Tests every node of `system_id` against the equal-rate Poisson null.
+/// Exposure is each node's production time from the catalog. Throws
+/// InvalidArgument when the system has no failures or alpha is outside
+/// (0, 1).
+OutlierReport node_outlier_analysis(const trace::FailureDataset& dataset,
+                                    const trace::SystemCatalog& catalog,
+                                    int system_id, double alpha = 0.01);
+
+}  // namespace hpcfail::analysis

@@ -1,0 +1,30 @@
+// Section 5.2 / Figure 5: failure counts by hour of the day and day of
+// the week, plus the peak-to-trough ratios the paper reads off them
+// (daytime ~2x night, weekday ~2x weekend).
+#pragma once
+
+#include <array>
+
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+struct PeriodicityReport {
+  std::array<double, 24> by_hour{};   ///< Fig 5 left
+  std::array<double, 7> by_weekday{}; ///< Fig 5 right, 0 = Sunday
+
+  /// max/min over smoothed hourly counts (the paper: "during peak hours
+  /// of the day the failure rate is two times higher than at its lowest
+  /// during the night").
+  double day_night_ratio = 0.0;
+
+  /// mean weekday count / mean weekend count (the paper: "nearly two
+  /// times as high").
+  double weekday_weekend_ratio = 0.0;
+};
+
+/// Computes Fig 5 over all records in the dataset. Throws
+/// InvalidArgument on an empty dataset.
+PeriodicityReport periodicity(const trace::FailureDataset& dataset);
+
+}  // namespace hpcfail::analysis

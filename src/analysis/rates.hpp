@@ -1,0 +1,64 @@
+// Section 5.1 / Figures 2 and 3: failure rates across systems and across
+// the nodes of one system.
+//
+// Fig 2(a): average failures per year per system over its production time;
+// Fig 2(b): the same normalized by processor count, showing rates are
+// roughly proportional to size. Fig 3(a): failures per node of system 20;
+// Fig 3(b): the CDF of per-node counts for compute-only nodes, fitted with
+// Poisson / normal / lognormal — Poisson loses because node rates are
+// heterogeneous.
+#pragma once
+
+#include <vector>
+
+#include "dist/fit.hpp"
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// One row of Fig 2.
+struct SystemRate {
+  int system_id = 0;
+  char hw_type = '?';
+  std::size_t failures = 0;
+  double production_years = 0.0;
+  double failures_per_year = 0.0;        ///< Fig 2(a)
+  double failures_per_year_per_proc = 0.0;  ///< Fig 2(b)
+};
+
+/// Fig 2 for every system present in the dataset (ascending id). Systems
+/// in the catalog with no failures get a zero-count row only when they
+/// appear in `dataset`; callers wanting all 22 rows pass the full trace.
+std::vector<SystemRate> failure_rates(const trace::FailureDataset& dataset,
+                                      const trace::SystemCatalog& catalog);
+
+/// One bar of Fig 3(a).
+struct NodeCount {
+  int node_id = 0;
+  trace::Workload workload = trace::Workload::compute;
+  std::size_t failures = 0;
+};
+
+/// Fig 3 for one system.
+struct NodeDistributionReport {
+  int system_id = 0;
+  std::vector<NodeCount> per_node;  ///< every node, including zero-failure
+  /// Share of failures held by the graphics nodes (system 20's nodes
+  /// 21-23 hold ~20% with ~6% of the nodes).
+  double graphics_node_fraction = 0.0;
+  double graphics_failure_fraction = 0.0;
+  /// Count-distribution fits over compute-only nodes (Fig 3b), best
+  /// first: Poisson vs normal vs lognormal.
+  std::vector<hpcfail::dist::FitResult> count_fits;
+  /// The compute-only per-node counts the fits were computed on.
+  std::vector<double> compute_node_counts;
+};
+
+/// Computes Fig 3 for `system_id`. Throws InvalidArgument when the system
+/// has no failures in the dataset.
+NodeDistributionReport node_distribution(
+    const trace::FailureDataset& dataset,
+    const trace::SystemCatalog& catalog, int system_id);
+
+}  // namespace hpcfail::analysis

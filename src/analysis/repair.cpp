@@ -1,0 +1,49 @@
+#include "analysis/repair.hpp"
+
+#include "common/error.hpp"
+
+namespace hpcfail::analysis {
+
+RepairReport repair_analysis(const trace::FailureDataset& dataset,
+                             const trace::SystemCatalog& catalog) {
+  HPCFAIL_EXPECTS(!dataset.empty(), "repair analysis of empty dataset");
+  RepairReport report;
+
+  // Table 2: per root cause.
+  for (const trace::RootCause cause : trace::kAllRootCauses) {
+    std::vector<double> minutes;
+    for (const trace::FailureRecord& r : dataset.records()) {
+      if (r.cause == cause) minutes.push_back(r.downtime_minutes());
+    }
+    if (minutes.empty()) continue;
+    RepairByCause entry;
+    entry.cause = cause;
+    entry.stats = hpcfail::stats::summarize(minutes);
+    report.by_cause.push_back(entry);
+  }
+
+  const std::vector<double> all_minutes = dataset.repair_times_minutes();
+  report.all = hpcfail::stats::summarize(all_minutes);
+
+  // Fig 7(a): distribution fits over all repair times.
+  report.fits = hpcfail::dist::fit_all(all_minutes,
+                                       hpcfail::dist::standard_families());
+
+  // Fig 7(b)/(c): per system.
+  for (const int id : dataset.system_ids()) {
+    const std::vector<double> minutes =
+        dataset.for_system(id).repair_times_minutes();
+    if (minutes.empty()) continue;
+    RepairBySystem entry;
+    entry.system_id = id;
+    entry.hw_type = catalog.system(id).hw_type;
+    entry.failures = minutes.size();
+    const auto s = hpcfail::stats::summarize(minutes);
+    entry.mean_minutes = s.mean;
+    entry.median_minutes = s.median;
+    report.by_system.push_back(entry);
+  }
+  return report;
+}
+
+}  // namespace hpcfail::analysis

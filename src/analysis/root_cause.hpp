@@ -1,0 +1,43 @@
+// Section 4 / Figure 1: breakdown of failures (a) and downtime (b) into
+// the six high-level root-cause categories, per hardware type and across
+// all systems.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// One bar of Fig 1: the breakdown for one group of systems.
+struct CauseBreakdown {
+  std::string label;               ///< hardware type ("D".."H") or "All"
+  std::array<double, 6> count_percent{};     ///< Fig 1(a), sums to 100
+  std::array<double, 6> downtime_percent{};  ///< Fig 1(b), sums to 100
+  std::size_t failures = 0;
+  double downtime_minutes = 0.0;
+};
+
+/// Index into the percent arrays for a cause (same order as
+/// trace::kAllRootCauses).
+std::size_t breakdown_index(trace::RootCause cause) noexcept;
+
+struct RootCauseReport {
+  std::vector<CauseBreakdown> by_type;  ///< one per hardware type present
+  CauseBreakdown all;                   ///< aggregate over every record
+};
+
+/// Computes Fig 1 from a dataset. Groups with zero failures are omitted
+/// from by_type. Throws InvalidArgument on an empty dataset.
+RootCauseReport root_cause_breakdown(const trace::FailureDataset& dataset,
+                                     const trace::SystemCatalog& catalog);
+
+/// Section 4's detailed-cause question: the fraction of *all* failures in
+/// `dataset` attributed to one detailed cause (e.g. memory_dimm).
+double detail_cause_fraction(const trace::FailureDataset& dataset,
+                             trace::DetailCause detail);
+
+}  // namespace hpcfail::analysis

@@ -1,0 +1,45 @@
+// Windowed reliability trends over a system's lifetime.
+//
+// Fig 4 shows failure *counts* per month; operators actually steer by the
+// derived quantities -- node-MTBF and repair time over a sliding window
+// ("is the system getting more reliable? are we fixing it faster?").
+// This analyzer produces those series and a summary verdict comparing the
+// first and last windows, the quantitative form of Section 5.2's
+// "administrators gain experience" narrative.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// One sliding-window sample of a system's reliability state.
+struct TrendPoint {
+  int month = 0;           ///< window *end*, months since production start
+  std::size_t failures = 0;  ///< failures inside the window
+  double node_mtbf_hours = 0.0;   ///< node-hours in window / failures
+  double mean_repair_minutes = 0.0;  ///< 0 when the window has no failures
+};
+
+struct TrendReport {
+  int system_id = 0;
+  int window_months = 0;
+  std::vector<TrendPoint> points;  ///< one per month from window end on
+
+  /// last-window node-MTBF divided by first-window node-MTBF: > 1 means
+  /// the system got more reliable over its life.
+  double mtbf_growth = 0.0;
+};
+
+/// Sliding-window trend for one system. Windows are
+/// [month - window_months, month), stepped monthly. Throws
+/// InvalidArgument when the system has no failures, or its production
+/// time is shorter than two windows.
+TrendReport reliability_trend(const trace::FailureDataset& dataset,
+                              const trace::SystemCatalog& catalog,
+                              int system_id, int window_months = 6);
+
+}  // namespace hpcfail::analysis

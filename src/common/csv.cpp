@@ -1,0 +1,101 @@
+#include "common/csv.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpcfail {
+
+CsvReader::CsvReader(std::istream& source, char separator)
+    : in_(source), sep_(separator) {}
+
+bool CsvReader::next_row(std::vector<std::string>& fields) {
+  fields.clear();
+  int ch = in_.get();
+  if (ch == std::istream::traits_type::eof()) return false;
+  ++line_;
+  row_start_line_ = line_;
+
+  std::string field;
+  bool quoted = false;
+  for (;; ch = in_.get()) {
+    if (ch == std::istream::traits_type::eof()) {
+      if (quoted) {
+        throw ParseError("unterminated quoted CSV field starting at line " +
+                         std::to_string(row_start_line_));
+      }
+      fields.push_back(std::move(field));
+      return true;
+    }
+    const char c = static_cast<char>(ch);
+    if (quoted) {
+      if (c == '"') {
+        if (in_.peek() == '"') {
+          in_.get();
+          field.push_back('"');
+        } else {
+          quoted = false;
+        }
+      } else {
+        if (c == '\n') ++line_;
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == sep_) {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else if (c == '\n') {
+      if (!field.empty() && field.back() == '\r') field.pop_back();
+      fields.push_back(std::move(field));
+      return true;
+    } else {
+      field.push_back(c);
+    }
+  }
+}
+
+CsvWriter::CsvWriter(std::ostream& sink, char separator)
+    : out_(sink), sep_(separator) {}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out_ << sep_;
+    out_ << csv_escape(fields[i], sep_);
+  }
+  out_ << '\n';
+}
+
+std::string csv_escape(std::string_view field, char separator) {
+  const bool needs_quotes =
+      field.find(separator) != std::string_view::npos ||
+      field.find('"') != std::string_view::npos ||
+      field.find('\n') != std::string_view::npos ||
+      field.find('\r') != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (const char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::vector<std::vector<std::string>> parse_csv(std::string_view text,
+                                                char separator) {
+  std::istringstream in{std::string(text)};
+  CsvReader reader(in, separator);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  while (reader.next_row(row)) rows.push_back(row);
+  return rows;
+}
+
+}  // namespace hpcfail

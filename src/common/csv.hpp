@@ -1,0 +1,59 @@
+// RFC-4180-style CSV reading and writing.
+//
+// The public LANL failure-data release is distributed as CSV; this module
+// provides the lossless round-trip layer used by hpcfail::trace. Fields
+// containing the separator, quotes, or newlines are quoted; embedded quotes
+// are doubled. The reader is streaming (row at a time) and reports the line
+// number of any malformed row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcfail {
+
+/// Streaming CSV reader over any std::istream.
+class CsvReader {
+ public:
+  /// `source` must outlive the reader.
+  explicit CsvReader(std::istream& source, char separator = ',');
+
+  /// Reads the next row into `fields` (cleared first). Returns false at
+  /// end of input. Throws ParseError on an unterminated quoted field.
+  bool next_row(std::vector<std::string>& fields);
+
+  /// 1-based line number of the most recently returned row.
+  std::size_t line_number() const noexcept { return row_start_line_; }
+
+ private:
+  std::istream& in_;
+  char sep_;
+  std::size_t line_ = 0;
+  std::size_t row_start_line_ = 0;
+};
+
+/// Streaming CSV writer over any std::ostream.
+class CsvWriter {
+ public:
+  /// `sink` must outlive the writer.
+  explicit CsvWriter(std::ostream& sink, char separator = ',');
+
+  /// Writes one row, quoting fields as needed, terminated by '\n'.
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream& out_;
+  char sep_;
+};
+
+/// Quotes a single field if it contains the separator, a quote, or a
+/// newline; otherwise returns it unchanged.
+std::string csv_escape(std::string_view field, char separator = ',');
+
+/// Parses a full document in memory. Convenience for tests and small files.
+std::vector<std::vector<std::string>> parse_csv(std::string_view text,
+                                                char separator = ',');
+
+}  // namespace hpcfail

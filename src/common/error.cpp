@@ -1,0 +1,22 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace hpcfail::detail {
+
+void throw_expects_failure(const char* cond, const char* file, int line,
+                           const std::string& msg) {
+  std::ostringstream os;
+  os << "precondition violated: " << msg << " [" << cond << " at " << file
+     << ':' << line << ']';
+  throw InvalidArgument(os.str());
+}
+
+void throw_assert_failure(const char* cond, const char* file, int line) {
+  std::ostringstream os;
+  os << "internal invariant violated: " << cond << " at " << file << ':'
+     << line;
+  throw LogicError(os.str());
+}
+
+}  // namespace hpcfail::detail

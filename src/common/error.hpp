@@ -1,0 +1,68 @@
+// Error taxonomy and contract-checking macros for hpcfail.
+//
+// All library errors derive from hpcfail::Error so callers can catch the
+// whole family with one handler. Precondition violations throw
+// InvalidArgument via HPCFAIL_EXPECTS; internal invariant violations throw
+// LogicError via HPCFAIL_ASSERT.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hpcfail {
+
+/// Base class of every exception thrown by the library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Malformed input data (CSV rows, timestamps, enum spellings, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A numerical routine failed to converge or left its domain.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// An internal invariant did not hold; indicates a library bug.
+class LogicError : public Error {
+ public:
+  explicit LogicError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_expects_failure(const char* cond, const char* file,
+                                        int line, const std::string& msg);
+[[noreturn]] void throw_assert_failure(const char* cond, const char* file,
+                                       int line);
+}  // namespace detail
+
+}  // namespace hpcfail
+
+/// Precondition check: throws hpcfail::InvalidArgument when `cond` is false.
+#define HPCFAIL_EXPECTS(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::hpcfail::detail::throw_expects_failure(#cond, __FILE__, __LINE__,  \
+                                               (msg));                     \
+    }                                                                      \
+  } while (false)
+
+/// Internal invariant check: throws hpcfail::LogicError when `cond` is false.
+#define HPCFAIL_ASSERT(cond)                                               \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::hpcfail::detail::throw_assert_failure(#cond, __FILE__, __LINE__);  \
+    }                                                                      \
+  } while (false)

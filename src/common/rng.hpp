@@ -1,0 +1,66 @@
+// Deterministic pseudo-random number generation.
+//
+// The synthetic trace must regenerate bit-identically across runs and
+// platforms, so we hand-roll xoshiro256++ (seeded through splitmix64)
+// instead of relying on implementation-defined std:: distributions.
+// Rng satisfies UniformRandomBitGenerator, but all samplers used by the
+// library live in hpcfail::dist and use only next_u64()/uniform().
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace hpcfail {
+
+/// splitmix64 step; used for seed expansion and cheap hashing of stream ids.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Mixes several integers into one well-distributed 64-bit seed. Used to
+/// derive independent per-(system, node) generator streams from one
+/// scenario seed.
+std::uint64_t mix_seed(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                       std::uint64_t c = 0xbf58476d1ce4e5b9ULL) noexcept;
+
+/// xoshiro256++ generator. Copyable value type; 256-bit state.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via splitmix64 so any 64-bit seed works.
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Next 64 uniformly random bits.
+  std::uint64_t next_u64() noexcept;
+
+  result_type operator()() noexcept { return next_u64(); }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept;
+
+  /// Uniform double in (0, 1]; safe as input to -log(u).
+  double uniform_pos() noexcept;
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0. Unbiased (bitmask
+  /// rejection).
+  std::uint64_t uniform_index(std::uint64_t n) noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Forks an independent generator stream; deterministic given this
+  /// generator's state and the stream id.
+  Rng fork(std::uint64_t stream) const noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace hpcfail

@@ -1,0 +1,33 @@
+// Small string utilities shared across the library (trimming, splitting,
+// checked numeric parsing). All parsers throw ParseError with the offending
+// text so trace-ingestion errors are actionable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hpcfail {
+
+/// Copy of `s` with ASCII whitespace removed from both ends.
+std::string trim(std::string_view s);
+
+/// Lower-cased ASCII copy of `s`.
+std::string to_lower(std::string_view s);
+
+/// Splits on `sep`; keeps empty fields ("a,,b" -> {"a", "", "b"}).
+std::vector<std::string> split(std::string_view s, char sep);
+
+/// Parses a signed 64-bit integer; the whole string must be consumed.
+/// Throws ParseError otherwise.
+std::int64_t parse_i64(std::string_view s);
+
+/// Parses a finite double; the whole string must be consumed.
+/// Throws ParseError otherwise.
+double parse_double(std::string_view s);
+
+/// Formats a double with `prec` significant digits, trimming zeros.
+std::string format_double(double value, int prec = 6);
+
+}  // namespace hpcfail

@@ -1,0 +1,146 @@
+#include "common/time.hpp"
+
+#include <array>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace hpcfail {
+
+std::int64_t days_from_civil(int y, int m, int d) noexcept {
+  // Howard Hinnant, "chrono-Compatible Low-Level Date Algorithms".
+  y -= m <= 2;
+  const std::int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);           // [0,399]
+  const unsigned doy =
+      (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2u) / 5u +
+      static_cast<unsigned>(d) - 1u;                                   // [0,365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;          // [0,146096]
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+void civil_from_days(std::int64_t z, int& year, int& month,
+                     int& day) noexcept {
+  z += 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);        // [0,146096]
+  const unsigned yoe =
+      (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;           // [0,399]
+  const std::int64_t y = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);        // [0,365]
+  const unsigned mp = (5 * doy + 2) / 153;                             // [0,11]
+  day = static_cast<int>(doy - (153 * mp + 2) / 5 + 1);
+  month = static_cast<int>(mp + (mp < 10 ? 3 : -9));
+  year = static_cast<int>(y + (month <= 2));
+}
+
+int days_in_month(int year, int month) noexcept {
+  static constexpr std::array<int, 12> kDays = {31, 28, 31, 30, 31, 30,
+                                                31, 31, 30, 31, 30, 31};
+  if (month < 1 || month > 12) return 0;
+  const bool leap =
+      (year % 4 == 0 && year % 100 != 0) || (year % 400 == 0);
+  return kDays[static_cast<std::size_t>(month - 1)] +
+         (month == 2 && leap ? 1 : 0);
+}
+
+bool is_valid_date(int year, int month, int day) noexcept {
+  return month >= 1 && month <= 12 && day >= 1 &&
+         day <= days_in_month(year, month);
+}
+
+Seconds to_epoch(const CivilDateTime& cdt) {
+  HPCFAIL_EXPECTS(is_valid_date(cdt.year, cdt.month, cdt.day),
+                  "invalid calendar date");
+  HPCFAIL_EXPECTS(cdt.hour >= 0 && cdt.hour <= 23, "hour out of range");
+  HPCFAIL_EXPECTS(cdt.minute >= 0 && cdt.minute <= 59, "minute out of range");
+  HPCFAIL_EXPECTS(cdt.second >= 0 && cdt.second <= 59, "second out of range");
+  return days_from_civil(cdt.year, cdt.month, cdt.day) * kSecondsPerDay +
+         cdt.hour * kSecondsPerHour + cdt.minute * kSecondsPerMinute +
+         cdt.second;
+}
+
+Seconds to_epoch(int year, int month, int day) {
+  return to_epoch(CivilDateTime{year, month, day, 0, 0, 0});
+}
+
+CivilDateTime from_epoch(Seconds t) noexcept {
+  std::int64_t days = t / kSecondsPerDay;
+  std::int64_t rem = t % kSecondsPerDay;
+  if (rem < 0) {
+    rem += kSecondsPerDay;
+    --days;
+  }
+  CivilDateTime cdt;
+  civil_from_days(days, cdt.year, cdt.month, cdt.day);
+  cdt.hour = static_cast<int>(rem / kSecondsPerHour);
+  cdt.minute = static_cast<int>((rem / kSecondsPerMinute) % 60);
+  cdt.second = static_cast<int>(rem % 60);
+  return cdt;
+}
+
+int hour_of_day(Seconds t) noexcept { return from_epoch(t).hour; }
+
+int day_of_week(Seconds t) noexcept {
+  std::int64_t days = t / kSecondsPerDay;
+  if (t % kSecondsPerDay < 0) --days;
+  // 1970-01-01 was a Thursday (= 4 with Sunday = 0).
+  std::int64_t dow = (days + 4) % 7;
+  if (dow < 0) dow += 7;
+  return static_cast<int>(dow);
+}
+
+bool is_weekend(Seconds t) noexcept {
+  const int dow = day_of_week(t);
+  return dow == 0 || dow == 6;
+}
+
+int months_between(Seconds start, Seconds t) {
+  HPCFAIL_EXPECTS(t >= start, "months_between requires t >= start");
+  const CivilDateTime a = from_epoch(start);
+  const CivilDateTime b = from_epoch(t);
+  int months = (b.year - a.year) * 12 + (b.month - a.month);
+  // Not yet a full month if the day-of-month (then time-of-day) is earlier.
+  const auto time_of = [](const CivilDateTime& c) {
+    return ((c.day * 24 + c.hour) * 60 + c.minute) * 60 + c.second;
+  };
+  if (time_of(b) < time_of(a)) --months;
+  return months < 0 ? 0 : months;
+}
+
+double years_between(Seconds start, Seconds end) noexcept {
+  return static_cast<double>(end - start) / kSecondsPerYear;
+}
+
+std::string format_timestamp(Seconds t) {
+  const CivilDateTime c = from_epoch(t);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d %02d:%02d:%02d", c.year,
+                c.month, c.day, c.hour, c.minute, c.second);
+  return buf;
+}
+
+Seconds parse_timestamp(const std::string& text) {
+  CivilDateTime c;
+  int n = 0;
+  const int fields =
+      std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%n", &c.year, &c.month,
+                  &c.day, &c.hour, &c.minute, &c.second, &n);
+  if (fields == 3) {
+    // Date-only form: re-scan to find the consumed length.
+    c.hour = c.minute = c.second = 0;
+    std::sscanf(text.c_str(), "%d-%d-%d%n", &c.year, &c.month, &c.day, &n);
+  } else if (fields != 6) {
+    throw ParseError("unparseable timestamp: '" + text + "'");
+  }
+  if (static_cast<std::size_t>(n) != text.size()) {
+    throw ParseError("trailing characters in timestamp: '" + text + "'");
+  }
+  try {
+    return to_epoch(c);
+  } catch (const InvalidArgument&) {
+    throw ParseError("timestamp field out of range: '" + text + "'");
+  }
+}
+
+}  // namespace hpcfail

@@ -1,0 +1,30 @@
+#include "dist/distribution.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hpcfail::dist {
+
+double Distribution::pdf(double x) const {
+  const double lp = log_pdf(x);
+  return std::isfinite(lp) ? std::exp(lp) : 0.0;
+}
+
+double Distribution::hazard(double x) const {
+  const double survival = 1.0 - cdf(x);
+  if (survival <= 0.0) return std::numeric_limits<double>::infinity();
+  return pdf(x) / survival;
+}
+
+double Distribution::log_likelihood(std::span<const double> xs) const {
+  double sum = 0.0;
+  for (const double x : xs) sum += log_pdf(x);
+  return sum;
+}
+
+double Distribution::cv_squared() const {
+  const double m = mean();
+  return variance() / (m * m);
+}
+
+}  // namespace hpcfail::dist

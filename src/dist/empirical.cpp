@@ -1,0 +1,64 @@
+#include "dist/empirical.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcfail::dist {
+
+namespace {
+constexpr double kDensityFloor = 1e-300;
+}
+
+Empirical::Empirical(std::span<const double> sample,
+                     std::size_t density_bins)
+    : ecdf_(sample) {
+  HPCFAIL_EXPECTS(density_bins >= 1, "need at least one density bin");
+  mean_ = hpcfail::stats::mean(sample);
+  variance_ = hpcfail::stats::variance(sample);
+
+  bin_lo_ = ecdf_.min();
+  const double span = ecdf_.max() - ecdf_.min();
+  // A constant sample gets one degenerate bin; density stays floored.
+  bin_width_ = span > 0.0 ? span / static_cast<double>(density_bins) : 1.0;
+  density_.assign(density_bins, 0.0);
+  const double weight =
+      1.0 / (static_cast<double>(sample.size()) * bin_width_);
+  for (const double x : sample) {
+    auto idx = static_cast<std::size_t>((x - bin_lo_) / bin_width_);
+    if (idx >= density_.size()) idx = density_.size() - 1;
+    density_[idx] += weight;
+  }
+}
+
+double Empirical::log_pdf(double x) const {
+  if (x < bin_lo_ ||
+      x > bin_lo_ + bin_width_ * static_cast<double>(density_.size())) {
+    return std::log(kDensityFloor);
+  }
+  auto idx = static_cast<std::size_t>((x - bin_lo_) / bin_width_);
+  if (idx >= density_.size()) idx = density_.size() - 1;
+  return std::log(std::max(density_[idx], kDensityFloor));
+}
+
+double Empirical::cdf(double x) const { return ecdf_(x); }
+
+double Empirical::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  return ecdf_.quantile(p);
+}
+
+double Empirical::sample(hpcfail::Rng& rng) const {
+  return ecdf_.sorted_sample()[rng.uniform_index(ecdf_.size())];
+}
+
+std::string Empirical::describe() const {
+  return "empirical(n=" + std::to_string(ecdf_.size()) + ")";
+}
+
+std::unique_ptr<Distribution> Empirical::clone() const {
+  return std::make_unique<Empirical>(*this);
+}
+
+}  // namespace hpcfail::dist

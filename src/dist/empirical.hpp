@@ -1,0 +1,54 @@
+// Empirical (resampling) distribution on the common Distribution
+// interface.
+//
+// Lets the simulators run directly against observed data -- e.g. feed a
+// system's measured interarrival times straight into the checkpoint
+// simulator -- with no parametric assumption at all, which is the natural
+// baseline against which the paper's fitted models should be judged.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dist/distribution.hpp"
+#include "stats/ecdf.hpp"
+
+namespace hpcfail::dist {
+
+class Empirical final : public Distribution {
+ public:
+  /// Copies the sample. Throws InvalidArgument when it is empty.
+  /// `density_bins` controls the binned density estimate behind
+  /// log_pdf(); cdf/quantile/sample are exact regardless.
+  explicit Empirical(std::span<const double> sample,
+                     std::size_t density_bins = 50);
+
+  /// Binned density estimate (equal-width bins over the sample range,
+  /// floored at a tiny value outside/empty bins so log-likelihoods stay
+  /// finite). Coarse by construction -- for model comparison prefer the
+  /// parametric families.
+  double log_pdf(double x) const override;
+  /// Exact empirical CDF (right-continuous step function).
+  double cdf(double x) const override;
+  /// Exact empirical quantile.
+  double quantile(double p) const override;
+  double mean() const override { return mean_; }
+  double variance() const override { return variance_; }
+  /// Resamples one observed value uniformly (the bootstrap draw).
+  double sample(hpcfail::Rng& rng) const override;
+  std::string name() const override { return "empirical"; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+  std::size_t size() const noexcept { return ecdf_.size(); }
+
+ private:
+  hpcfail::stats::Ecdf ecdf_;
+  double mean_ = 0.0;
+  double variance_ = 0.0;
+  double bin_lo_ = 0.0;
+  double bin_width_ = 0.0;
+  std::vector<double> density_;  // per-bin density estimate
+};
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,159 @@
+#include "dist/fit.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/gamma.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/normal.hpp"
+#include "dist/poisson.hpp"
+#include "dist/weibull.hpp"
+#include "stats/ks.hpp"
+
+namespace hpcfail::dist {
+
+namespace {
+std::vector<double> floored(std::span<const double> xs, double floor_at) {
+  std::vector<double> out(xs.begin(), xs.end());
+  for (double& x : out) {
+    if (x < floor_at) x = floor_at;
+  }
+  return out;
+}
+
+bool positive_support(Family family) noexcept {
+  return family != Family::normal;
+}
+}  // namespace
+
+std::string to_string(Family family) {
+  switch (family) {
+    case Family::exponential: return "exponential";
+    case Family::weibull: return "weibull";
+    case Family::gamma: return "gamma";
+    case Family::lognormal: return "lognormal";
+    case Family::normal: return "normal";
+    case Family::poisson: return "poisson";
+  }
+  throw InvalidArgument("unknown distribution family");
+}
+
+FitResult::FitResult(const FitResult& other)
+    : family(other.family),
+      model(other.model ? other.model->clone() : nullptr),
+      neg_log_likelihood(other.neg_log_likelihood),
+      aic(other.aic),
+      ks(other.ks),
+      ks_pvalue(other.ks_pvalue) {}
+
+FitResult& FitResult::operator=(const FitResult& other) {
+  if (this != &other) {
+    family = other.family;
+    model = other.model ? other.model->clone() : nullptr;
+    neg_log_likelihood = other.neg_log_likelihood;
+    aic = other.aic;
+    ks = other.ks;
+    ks_pvalue = other.ks_pvalue;
+  }
+  return *this;
+}
+
+int parameter_count(Family family) noexcept {
+  switch (family) {
+    case Family::exponential:
+    case Family::poisson:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+FitResult fit(Family family, std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(!xs.empty(), "fit on empty sample");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "fit floor must be positive");
+  FitResult result;
+  result.family = family;
+  switch (family) {
+    case Family::exponential:
+      result.model = std::make_unique<Exponential>(Exponential::fit_mle(xs));
+      break;
+    case Family::weibull:
+      result.model =
+          std::make_unique<Weibull>(Weibull::fit_mle(xs, floor_at));
+      break;
+    case Family::gamma:
+      result.model =
+          std::make_unique<GammaDist>(GammaDist::fit_mle(xs, floor_at));
+      break;
+    case Family::lognormal:
+      result.model =
+          std::make_unique<LogNormal>(LogNormal::fit_mle(xs, floor_at));
+      break;
+    case Family::normal:
+      result.model = std::make_unique<Normal>(Normal::fit_mle(xs));
+      break;
+    case Family::poisson:
+      result.model = std::make_unique<Poisson>(Poisson::fit_mle(xs));
+      break;
+  }
+
+  // Evaluate all families on the same (floored where relevant) data so
+  // their likelihoods are comparable.
+  const std::vector<double> eval =
+      positive_support(family) ? floored(xs, floor_at)
+                               : std::vector<double>(xs.begin(), xs.end());
+  result.neg_log_likelihood = -result.model->log_likelihood(eval);
+  result.aic =
+      2.0 * parameter_count(family) + 2.0 * result.neg_log_likelihood;
+  const Distribution& model = *result.model;
+  result.ks = hpcfail::stats::ks_statistic(
+      eval, [&model](double x) { return model.cdf(x); });
+  result.ks_pvalue = hpcfail::stats::ks_pvalue(result.ks, eval.size());
+  return result;
+}
+
+std::span<const Family> standard_families() noexcept {
+  static constexpr std::array<Family, 4> kFamilies = {
+      Family::weibull, Family::lognormal, Family::gamma, Family::exponential};
+  return kFamilies;
+}
+
+std::span<const Family> count_families() noexcept {
+  static constexpr std::array<Family, 3> kFamilies = {
+      Family::poisson, Family::normal, Family::lognormal};
+  return kFamilies;
+}
+
+std::vector<FitResult> fit_all(std::span<const double> xs,
+                               std::span<const Family> families,
+                               double floor_at) {
+  std::vector<FitResult> results;
+  results.reserve(families.size());
+  for (const Family family : families) {
+    try {
+      results.push_back(fit(family, xs, floor_at));
+    } catch (const Error&) {
+      // A family can legitimately fail (e.g. constant sample); the
+      // comparison proceeds with the rest.
+    }
+  }
+  if (results.empty()) {
+    throw NumericError("no distribution family could be fitted");
+  }
+  std::sort(results.begin(), results.end(),
+            [](const FitResult& a, const FitResult& b) {
+              return a.neg_log_likelihood < b.neg_log_likelihood;
+            });
+  return results;
+}
+
+FitResult best_standard_fit(std::span<const double> xs) {
+  auto results = fit_all(xs, standard_families());
+  return std::move(results.front());
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,78 @@
+// MLE fitting and model comparison, reproducing the paper's methodology:
+// "We use maximum likelihood estimation to parameterize the distributions
+//  and evaluate the goodness of fit by visual inspection and the negative
+//  log-likelihood test."
+//
+// fit_all() parameterizes every requested family on the same sample and
+// ranks them by negative log-likelihood; AIC and the KS distance are
+// reported alongside as modern cross-checks.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dist/distribution.hpp"
+
+namespace hpcfail::dist {
+
+/// The model families the paper fits.
+enum class Family {
+  exponential,
+  weibull,
+  gamma,
+  lognormal,
+  normal,
+  poisson,
+};
+
+std::string to_string(Family family);
+
+/// Outcome of fitting one family to one sample.
+struct FitResult {
+  Family family;
+  std::unique_ptr<Distribution> model;  ///< never null
+  double neg_log_likelihood = 0.0;
+  double aic = 0.0;      ///< 2k + 2 * negLL
+  double ks = 0.0;       ///< Kolmogorov-Smirnov distance
+  double ks_pvalue = 0.0;
+
+  FitResult() = default;
+  FitResult(FitResult&&) = default;
+  FitResult& operator=(FitResult&&) = default;
+  FitResult(const FitResult& other);
+  FitResult& operator=(const FitResult& other);
+};
+
+/// Number of free parameters of a family (for AIC).
+int parameter_count(Family family) noexcept;
+
+/// Fits one family by MLE and computes all goodness-of-fit measures.
+/// Observations below `floor_at` are floored inside the positive-support
+/// fitters; the likelihood is evaluated on the same floored data so
+/// families compete on an equal footing. Callers choose the floor from the
+/// data's resolution (e.g. 1.0 for second-resolution interarrival times
+/// with exact-zero simultaneous failures). Throws InvalidArgument on
+/// unusable samples (see each family's fit_mle).
+FitResult fit(Family family, std::span<const double> xs,
+              double floor_at = 1e-9);
+
+/// The paper's four standard reliability distributions (Fig 6, Fig 7a).
+std::span<const Family> standard_families() noexcept;
+
+/// The three count-model families of Fig 3(b).
+std::span<const Family> count_families() noexcept;
+
+/// Fits every family in `families`, sorted best-first by negative
+/// log-likelihood. Families whose fit throws (e.g. degenerate sample for
+/// that family) are skipped; throws NumericError if none succeed.
+std::vector<FitResult> fit_all(std::span<const double> xs,
+                               std::span<const Family> families,
+                               double floor_at = 1e-9);
+
+/// Convenience: best (lowest negative log-likelihood) among the paper's
+/// four standard families.
+FitResult best_standard_fit(std::span<const double> xs);
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,131 @@
+#include "dist/gamma.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/solver.hpp"
+#include "stats/special.hpp"
+
+namespace hpcfail::dist {
+
+GammaDist::GammaDist(double shape, double scale)
+    : shape_(shape), scale_(scale) {
+  HPCFAIL_EXPECTS(shape > 0.0 && std::isfinite(shape),
+                  "gamma shape must be positive and finite");
+  HPCFAIL_EXPECTS(scale > 0.0 && std::isfinite(scale),
+                  "gamma scale must be positive and finite");
+}
+
+GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(xs.size() >= 2, "gamma fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "gamma fit floor must be positive");
+  double sum = 0.0;
+  double sum_log = 0.0;
+  bool varies = false;
+  double first = -1.0;
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "gamma fit requires non-negative data");
+    const double v = x < floor_at ? floor_at : x;
+    if (first < 0.0) {
+      first = v;
+    } else if (v != first) {
+      varies = true;
+    }
+    sum += v;
+    sum_log += std::log(v);
+  }
+  HPCFAIL_EXPECTS(varies, "gamma fit is degenerate on a constant sample");
+  const auto n = static_cast<double>(xs.size());
+  const double mean = sum / n;
+  // s = ln(mean) - mean(ln x) >= 0 by Jensen, = 0 only for constant data.
+  const double s = std::log(mean) - sum_log / n;
+  HPCFAIL_ASSERT(s > 0.0);
+
+  // Minka's starting point, then bracketed Newton on ln k - psi(k) = s.
+  double k = (3.0 - s + std::sqrt((s - 3.0) * (s - 3.0) + 24.0 * s)) /
+             (12.0 * s);
+  const auto f = [s](double kk) {
+    return std::log(kk) - hpcfail::stats::digamma(kk) - s;
+  };
+  const auto df = [](double kk) {
+    return 1.0 / kk - hpcfail::stats::trigamma(kk);
+  };
+  double lo = k / 8.0;
+  double hi = k * 8.0;
+  if (lo <= 0.0) lo = 1e-8;
+  hpcfail::stats::expand_bracket(f, lo, hi, /*positive_only=*/true);
+  k = hpcfail::stats::newton_bracketed(f, df, lo, hi);
+  return GammaDist(k, mean / k);
+}
+
+double GammaDist::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  return (shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
+         shape_ * std::log(scale_);
+}
+
+double GammaDist::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return hpcfail::stats::reg_gamma_lower(shape_, x / scale_);
+}
+
+double GammaDist::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  // Wilson-Hilferty starting point, then bracketed Newton on the CDF.
+  const double z = hpcfail::stats::normal_quantile(p);
+  const double c = 1.0 - 1.0 / (9.0 * shape_) + z / (3.0 * std::sqrt(shape_));
+  double x0 = shape_ * scale_ * c * c * c;
+  if (!(x0 > 0.0) || !std::isfinite(x0)) x0 = shape_ * scale_;
+  const auto f = [this, p](double x) { return cdf(x) - p; };
+  double lo = x0 / 2.0;
+  double hi = x0 * 2.0;
+  if (lo <= 0.0) lo = 1e-300;
+  hpcfail::stats::expand_bracket(f, lo, hi, /*positive_only=*/true);
+  return hpcfail::stats::brent(f, lo, hi);
+}
+
+double GammaDist::sample(hpcfail::Rng& rng) const {
+  // Marsaglia & Tsang squeeze method; shape < 1 via the boost
+  // Gamma(k) = Gamma(k+1) * U^{1/k}.
+  double k = shape_;
+  double boost = 1.0;
+  if (k < 1.0) {
+    boost = std::pow(rng.uniform_pos(), 1.0 / k);
+    k += 1.0;
+  }
+  const double d = k - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    // Standard normal via Marsaglia polar.
+    double u1;
+    double u2;
+    double s;
+    do {
+      u1 = rng.uniform(-1.0, 1.0);
+      u2 = rng.uniform(-1.0, 1.0);
+      s = u1 * u1 + u2 * u2;
+    } while (s >= 1.0 || s == 0.0);
+    const double z = u1 * std::sqrt(-2.0 * std::log(s) / s);
+    const double v = 1.0 + c * z;
+    if (v <= 0.0) continue;
+    const double v3 = v * v * v;
+    const double u = rng.uniform_pos();
+    if (u < 1.0 - 0.0331 * z * z * z * z ||
+        std::log(u) < 0.5 * z * z + d * (1.0 - v3 + std::log(v3))) {
+      return boost * d * v3 * scale_;
+    }
+  }
+}
+
+std::string GammaDist::describe() const {
+  return "gamma(shape=" + hpcfail::format_double(shape_) +
+         ", scale=" + hpcfail::format_double(scale_) + ")";
+}
+
+std::unique_ptr<Distribution> GammaDist::clone() const {
+  return std::make_unique<GammaDist>(*this);
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,100 @@
+#include "dist/lognormal.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/special.hpp"
+
+namespace hpcfail::dist {
+
+LogNormal::LogNormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  HPCFAIL_EXPECTS(std::isfinite(mu), "lognormal mu must be finite");
+  HPCFAIL_EXPECTS(sigma > 0.0 && std::isfinite(sigma),
+                  "lognormal sigma must be positive and finite");
+}
+
+LogNormal LogNormal::from_mean_median(double mean, double median) {
+  HPCFAIL_EXPECTS(median > 0.0, "lognormal median must be positive");
+  HPCFAIL_EXPECTS(mean > median,
+                  "lognormal requires mean > median (right skew)");
+  const double mu = std::log(median);
+  const double sigma = std::sqrt(2.0 * std::log(mean / median));
+  return LogNormal(mu, sigma);
+}
+
+LogNormal LogNormal::fit_mle(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(xs.size() >= 2,
+                  "lognormal fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "lognormal fit floor must be positive");
+  double sum = 0.0;
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "lognormal fit requires non-negative data");
+    sum += std::log(x < floor_at ? floor_at : x);
+  }
+  const auto n = static_cast<double>(xs.size());
+  const double mu = sum / n;
+  double ss = 0.0;
+  for (const double x : xs) {
+    const double d = std::log(x < floor_at ? floor_at : x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / n);
+  HPCFAIL_EXPECTS(sigma > 0.0,
+                  "lognormal fit is degenerate on a constant sample");
+  return LogNormal(mu, sigma);
+}
+
+double LogNormal::median() const noexcept { return std::exp(mu_); }
+
+double LogNormal::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = (std::log(x) - mu_) / sigma_;
+  return -0.5 * z * z - std::log(x * sigma_) -
+         0.5 * std::log(2.0 * 3.14159265358979323846);
+}
+
+double LogNormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return hpcfail::stats::normal_cdf((std::log(x) - mu_) / sigma_);
+}
+
+double LogNormal::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  return std::exp(mu_ + sigma_ * hpcfail::stats::normal_quantile(p));
+}
+
+double LogNormal::mean() const {
+  return std::exp(mu_ + 0.5 * sigma_ * sigma_);
+}
+
+double LogNormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return (std::exp(s2) - 1.0) * std::exp(2.0 * mu_ + s2);
+}
+
+double LogNormal::sample(hpcfail::Rng& rng) const {
+  // Marsaglia polar for the underlying normal.
+  double u1;
+  double u2;
+  double s;
+  do {
+    u1 = rng.uniform(-1.0, 1.0);
+    u2 = rng.uniform(-1.0, 1.0);
+    s = u1 * u1 + u2 * u2;
+  } while (s >= 1.0 || s == 0.0);
+  const double z = u1 * std::sqrt(-2.0 * std::log(s) / s);
+  return std::exp(mu_ + sigma_ * z);
+}
+
+std::string LogNormal::describe() const {
+  return "lognormal(mu=" + hpcfail::format_double(mu_) +
+         ", sigma=" + hpcfail::format_double(sigma_) + ")";
+}
+
+std::unique_ptr<Distribution> LogNormal::clone() const {
+  return std::make_unique<LogNormal>(*this);
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,38 @@
+// Normal distribution — used in Fig 3(b) to model the number of failures
+// per node, where it (and the lognormal) beats the Poisson.
+#pragma once
+
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace hpcfail::dist {
+
+class Normal final : public Distribution {
+ public:
+  /// sigma > 0 and both parameters finite, otherwise InvalidArgument.
+  Normal(double mu, double sigma);
+
+  /// Closed-form MLE (population variance). Requires >= 2 observations
+  /// and a non-constant sample.
+  static Normal fit_mle(std::span<const double> xs);
+
+  double mu() const noexcept { return mu_; }
+  double sigma() const noexcept { return sigma_; }
+
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  double mean() const override { return mu_; }
+  double variance() const override { return sigma_ * sigma_; }
+  double sample(hpcfail::Rng& rng) const override;
+  std::string name() const override { return "normal"; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double mu_;
+  double sigma_;
+};
+
+}  // namespace hpcfail::dist

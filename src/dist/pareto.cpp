@@ -1,0 +1,82 @@
+#include "dist/pareto.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpcfail::dist {
+
+Pareto::Pareto(double alpha, double x_min) : alpha_(alpha), x_min_(x_min) {
+  HPCFAIL_EXPECTS(alpha > 0.0 && std::isfinite(alpha),
+                  "pareto alpha must be positive and finite");
+  HPCFAIL_EXPECTS(x_min > 0.0 && std::isfinite(x_min),
+                  "pareto x_min must be positive and finite");
+}
+
+Pareto Pareto::fit_mle(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(xs.size() >= 2, "pareto fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "pareto fit floor must be positive");
+  double x_min = std::numeric_limits<double>::infinity();
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "pareto fit requires non-negative data");
+    x_min = std::min(x_min, x < floor_at ? floor_at : x);
+  }
+  double sum_log_ratio = 0.0;
+  for (const double x : xs) {
+    const double v = x < floor_at ? floor_at : x;
+    sum_log_ratio += std::log(v / x_min);
+  }
+  HPCFAIL_EXPECTS(sum_log_ratio > 0.0,
+                  "pareto fit is degenerate on a constant sample");
+  const double alpha = static_cast<double>(xs.size()) / sum_log_ratio;
+  return Pareto(alpha, x_min);
+}
+
+double Pareto::log_pdf(double x) const {
+  if (x < x_min_) return -std::numeric_limits<double>::infinity();
+  return std::log(alpha_) + alpha_ * std::log(x_min_) -
+         (alpha_ + 1.0) * std::log(x);
+}
+
+double Pareto::cdf(double x) const {
+  if (x <= x_min_) return 0.0;
+  return 1.0 - std::pow(x_min_ / x, alpha_);
+}
+
+double Pareto::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  return x_min_ * std::pow(1.0 - p, -1.0 / alpha_);
+}
+
+double Pareto::mean() const {
+  if (alpha_ <= 1.0) return std::numeric_limits<double>::infinity();
+  return alpha_ * x_min_ / (alpha_ - 1.0);
+}
+
+double Pareto::variance() const {
+  if (alpha_ <= 2.0) return std::numeric_limits<double>::infinity();
+  const double a = alpha_;
+  return x_min_ * x_min_ * a / ((a - 1.0) * (a - 1.0) * (a - 2.0));
+}
+
+double Pareto::sample(hpcfail::Rng& rng) const {
+  return x_min_ * std::pow(rng.uniform_pos(), -1.0 / alpha_);
+}
+
+double Pareto::hazard(double x) const {
+  if (x < x_min_) return 0.0;
+  return alpha_ / x;
+}
+
+std::string Pareto::describe() const {
+  return "pareto(alpha=" + hpcfail::format_double(alpha_) +
+         ", x_min=" + hpcfail::format_double(x_min_) + ")";
+}
+
+std::unique_ptr<Distribution> Pareto::clone() const {
+  return std::make_unique<Pareto>(*this);
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,50 @@
+// Pareto (power-law tail) distribution.
+//
+// Footnote 1 of the paper: "We also considered the Pareto
+// distribution [22, 15], but didn't find it to be a better fit than any
+// of the four standard distributions." Implemented so that claim can be
+// re-tested (bench_ext_pareto) -- heavy-tail advocates proposed Pareto
+// interarrivals for machine availability (Nurmi et al.) and self-similar
+// traffic (Willinger et al.), the works the footnote cites.
+#pragma once
+
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace hpcfail::dist {
+
+class Pareto final : public Distribution {
+ public:
+  /// F(x) = 1 - (x_min / x)^alpha for x >= x_min; both parameters
+  /// positive and finite, otherwise InvalidArgument.
+  Pareto(double alpha, double x_min);
+
+  /// MLE with known support start min(xs): alpha = n / sum ln(x/x_min).
+  /// Values below `floor_at` are floored first (so x_min > 0). Requires
+  /// >= 2 observations and a non-constant sample.
+  static Pareto fit_mle(std::span<const double> xs, double floor_at = 1e-9);
+
+  double alpha() const noexcept { return alpha_; }
+  double x_min() const noexcept { return x_min_; }
+
+  double log_pdf(double x) const override;
+  double cdf(double x) const override;
+  double quantile(double p) const override;
+  /// Infinite for alpha <= 1.
+  double mean() const override;
+  /// Infinite for alpha <= 2.
+  double variance() const override;
+  double sample(hpcfail::Rng& rng) const override;
+  /// h(x) = alpha / x on the support: always decreasing.
+  double hazard(double x) const override;
+  std::string name() const override { return "pareto"; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double alpha_;
+  double x_min_;
+};
+
+}  // namespace hpcfail::dist

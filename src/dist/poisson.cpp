@@ -1,0 +1,86 @@
+#include "dist/poisson.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace hpcfail::dist {
+
+Poisson::Poisson(double mean) : lambda_(mean) {
+  HPCFAIL_EXPECTS(mean > 0.0 && std::isfinite(mean),
+                  "poisson mean must be positive and finite");
+}
+
+Poisson Poisson::fit_mle(std::span<const double> xs) {
+  HPCFAIL_EXPECTS(!xs.empty(), "poisson fit on empty sample");
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "poisson fit requires non-negative data");
+  }
+  const double m = hpcfail::stats::mean(xs);
+  HPCFAIL_EXPECTS(m > 0.0, "poisson fit requires positive sample mean");
+  return Poisson(m);
+}
+
+double Poisson::log_pmf(long long k) const {
+  if (k < 0) return -std::numeric_limits<double>::infinity();
+  const auto kd = static_cast<double>(k);
+  return kd * std::log(lambda_) - lambda_ - std::lgamma(kd + 1.0);
+}
+
+double Poisson::pmf(long long k) const { return std::exp(log_pmf(k)); }
+
+double Poisson::log_pdf(double x) const {
+  if (x < 0.0) return -std::numeric_limits<double>::infinity();
+  return log_pmf(static_cast<long long>(std::floor(x)));
+}
+
+double Poisson::cdf(double x) const {
+  if (x < 0.0) return 0.0;
+  const auto k = std::floor(x);
+  // P(X <= k) = Q(k + 1, lambda).
+  return hpcfail::stats::reg_gamma_upper(k + 1.0, lambda_);
+}
+
+double Poisson::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  // Start near the normal approximation, then correct by stepping.
+  double k = std::max(
+      0.0, std::floor(lambda_ + std::sqrt(lambda_) *
+                                    hpcfail::stats::normal_quantile(p)));
+  while (k > 0.0 && cdf(k - 1.0) >= p) k -= 1.0;
+  while (cdf(k) < p) k += 1.0;
+  return k;
+}
+
+double Poisson::sample(hpcfail::Rng& rng) const {
+  double remaining = lambda_;
+  double total = 0.0;
+  // Halve until Knuth's product of uniforms cannot underflow.
+  while (remaining > 30.0) {
+    const Poisson half(remaining / 2.0);
+    total += half.sample(rng);
+    remaining /= 2.0;
+  }
+  const double limit = std::exp(-remaining);
+  double product = rng.uniform_pos();
+  double count = 0.0;
+  while (product > limit) {
+    product *= rng.uniform_pos();
+    count += 1.0;
+  }
+  return total + count;
+}
+
+std::string Poisson::describe() const {
+  return "poisson(mean=" + hpcfail::format_double(lambda_) + ")";
+}
+
+std::unique_ptr<Distribution> Poisson::clone() const {
+  return std::make_unique<Poisson>(*this);
+}
+
+}  // namespace hpcfail::dist

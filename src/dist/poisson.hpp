@@ -1,0 +1,50 @@
+// Poisson distribution — what per-node failure counts *would* follow if
+// every node failed as an independent Poisson process with a common mean,
+// the assumption behind much checkpointing work. Fig 3(b) shows it is a
+// poor fit. Implemented on the common Distribution interface (the CDF is a
+// step function on the reals; log_pdf evaluates the pmf at floor(x)) so the
+// Fig 3 analysis can compare it directly with normal/lognormal fits.
+#pragma once
+
+#include <span>
+
+#include "dist/distribution.hpp"
+
+namespace hpcfail::dist {
+
+class Poisson final : public Distribution {
+ public:
+  /// mean > 0 and finite, otherwise InvalidArgument.
+  explicit Poisson(double mean);
+
+  /// Closed-form MLE: lambda = sample mean. Requires non-negative data
+  /// with positive mean.
+  static Poisson fit_mle(std::span<const double> xs);
+
+  double lambda() const noexcept { return lambda_; }
+
+  /// pmf at the integer k (0 for k < 0).
+  double pmf(long long k) const;
+  double log_pmf(long long k) const;
+
+  /// log pmf at floor(x); -inf for x < 0.
+  double log_pdf(double x) const override;
+  /// P(X <= floor(x)) via the regularized incomplete gamma identity.
+  double cdf(double x) const override;
+  /// Smallest integer k with P(X <= k) >= p.
+  double quantile(double p) const override;
+  double mean() const override { return lambda_; }
+  double variance() const override { return lambda_; }
+  /// Exact sampling: Knuth's product method, halving the mean recursively
+  /// (Poisson(m) = Poisson(m/2) + Poisson(m/2)) to stay numerically safe
+  /// for large means.
+  double sample(hpcfail::Rng& rng) const override;
+  std::string name() const override { return "poisson"; }
+  std::string describe() const override;
+  std::unique_ptr<Distribution> clone() const override;
+
+ private:
+  double lambda_;
+};
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,204 @@
+#include "dist/weibull.hpp"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "stats/solver.hpp"
+
+namespace hpcfail::dist {
+
+Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
+  HPCFAIL_EXPECTS(shape > 0.0 && std::isfinite(shape),
+                  "weibull shape must be positive and finite");
+  HPCFAIL_EXPECTS(scale > 0.0 && std::isfinite(scale),
+                  "weibull scale must be positive and finite");
+}
+
+Weibull Weibull::fit_mle(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(xs.size() >= 2, "weibull fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "weibull fit floor must be positive");
+  std::vector<double> data;
+  data.reserve(xs.size());
+  double mean_log = 0.0;
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "weibull fit requires non-negative data");
+    const double v = x < floor_at ? floor_at : x;
+    data.push_back(v);
+    mean_log += std::log(v);
+  }
+  mean_log /= static_cast<double>(data.size());
+
+  bool all_equal = true;
+  for (const double v : data) {
+    if (v != data.front()) {
+      all_equal = false;
+      break;
+    }
+  }
+  HPCFAIL_EXPECTS(!all_equal,
+                  "weibull fit is degenerate on a constant sample");
+
+  // Profile-likelihood score in the shape k. Work with x scaled by its
+  // geometric mean (subtract mean_log in the exponent) for stability on
+  // second-scale data spanning 7 orders of magnitude.
+  const auto score_and_slope = [&](double k, double& slope) {
+    double sw = 0.0;       // sum x^k (scaled)
+    double swl = 0.0;      // sum x^k ln x
+    double swl2 = 0.0;     // sum x^k (ln x)^2
+    for (const double v : data) {
+      const double lx = std::log(v);
+      const double w = std::exp(k * (lx - mean_log));
+      sw += w;
+      swl += w * lx;
+      swl2 += w * lx * lx;
+    }
+    const double ratio = swl / sw;
+    slope = (swl2 / sw - ratio * ratio) + 1.0 / (k * k);
+    return ratio - 1.0 / k - mean_log;
+  };
+  const auto score = [&](double k) {
+    double unused;
+    return score_and_slope(k, unused);
+  };
+  const auto slope_fn = [&](double k) {
+    double slope;
+    score_and_slope(k, slope);
+    return slope;
+  };
+
+  double lo = 1e-3;
+  double hi = 10.0;
+  hpcfail::stats::expand_bracket(score, lo, hi, /*positive_only=*/true);
+  const double k = hpcfail::stats::newton_bracketed(score, slope_fn, lo, hi);
+
+  double sw = 0.0;
+  for (const double v : data) sw += std::exp(k * (std::log(v) - mean_log));
+  const double scale =
+      std::exp(mean_log +
+               std::log(sw / static_cast<double>(data.size())) / k);
+  return Weibull(k, scale);
+}
+
+Weibull Weibull::fit_mle_censored(std::span<const double> events,
+                                  std::span<const double> censored,
+                                  double floor_at) {
+  HPCFAIL_EXPECTS(events.size() >= 2,
+                  "censored weibull fit needs at least 2 events");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "weibull fit floor must be positive");
+  // Pool events and censored times; keep the event count separate. The
+  // score has the same form as the uncensored one, with the weighted
+  // sums over the pooled data and the log-mean over events only:
+  //   g(k) = sum_all x^k ln x / sum_all x^k - 1/k
+  //          - (1/n_events) sum_events ln x.
+  std::vector<double> all;
+  all.reserve(events.size() + censored.size());
+  double mean_event_log = 0.0;
+  for (const double x : events) {
+    HPCFAIL_EXPECTS(x >= 0.0, "weibull fit requires non-negative data");
+    const double v = x < floor_at ? floor_at : x;
+    all.push_back(v);
+    mean_event_log += std::log(v);
+  }
+  mean_event_log /= static_cast<double>(events.size());
+  for (const double x : censored) {
+    HPCFAIL_EXPECTS(x >= 0.0, "weibull fit requires non-negative data");
+    all.push_back(x < floor_at ? floor_at : x);
+  }
+
+  double pooled_log = 0.0;
+  bool varies = false;
+  for (const double v : all) {
+    pooled_log += std::log(v);
+    varies = varies || v != all.front();
+  }
+  HPCFAIL_EXPECTS(varies,
+                  "censored weibull fit is degenerate on a constant sample");
+  const double center = pooled_log / static_cast<double>(all.size());
+
+  const auto score_and_slope = [&](double k, double& slope) {
+    double sw = 0.0;
+    double swl = 0.0;
+    double swl2 = 0.0;
+    for (const double v : all) {
+      const double lx = std::log(v);
+      const double w = std::exp(k * (lx - center));
+      sw += w;
+      swl += w * lx;
+      swl2 += w * lx * lx;
+    }
+    const double ratio = swl / sw;
+    slope = (swl2 / sw - ratio * ratio) + 1.0 / (k * k);
+    return ratio - 1.0 / k - mean_event_log;
+  };
+  const auto score = [&](double k) {
+    double unused;
+    return score_and_slope(k, unused);
+  };
+  const auto slope_fn = [&](double k) {
+    double slope;
+    score_and_slope(k, slope);
+    return slope;
+  };
+
+  double lo = 1e-3;
+  double hi = 10.0;
+  hpcfail::stats::expand_bracket(score, lo, hi, /*positive_only=*/true);
+  const double k = hpcfail::stats::newton_bracketed(score, slope_fn, lo, hi);
+
+  double sw = 0.0;
+  for (const double v : all) sw += std::exp(k * (std::log(v) - center));
+  const double scale =
+      std::exp(center +
+               std::log(sw / static_cast<double>(events.size())) / k);
+  return Weibull(k, scale);
+}
+
+double Weibull::log_pdf(double x) const {
+  if (x <= 0.0) return -std::numeric_limits<double>::infinity();
+  const double z = x / scale_;
+  return std::log(shape_ / scale_) + (shape_ - 1.0) * std::log(z) -
+         std::pow(z, shape_);
+}
+
+double Weibull::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  return -std::expm1(-std::pow(x / scale_, shape_));
+}
+
+double Weibull::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p < 1.0, "quantile requires p in (0,1)");
+  return scale_ * std::pow(-std::log1p(-p), 1.0 / shape_);
+}
+
+double Weibull::mean() const {
+  return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+}
+
+double Weibull::variance() const {
+  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+  return scale_ * scale_ * (g2 - g1 * g1);
+}
+
+double Weibull::hazard(double x) const {
+  if (x <= 0.0) return 0.0;
+  return shape_ / scale_ * std::pow(x / scale_, shape_ - 1.0);
+}
+
+double Weibull::sample(hpcfail::Rng& rng) const {
+  return scale_ * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape_);
+}
+
+std::string Weibull::describe() const {
+  return "weibull(shape=" + hpcfail::format_double(shape_) +
+         ", scale=" + hpcfail::format_double(scale_) + ")";
+}
+
+std::unique_ptr<Distribution> Weibull::clone() const {
+  return std::make_unique<Weibull>(*this);
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,179 @@
+#include "report/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpcfail::report {
+
+void bar_chart(std::ostream& out, const std::string& title,
+               const std::vector<std::pair<std::string, double>>& bars,
+               std::size_t width) {
+  HPCFAIL_EXPECTS(!bars.empty(), "bar chart with no bars");
+  out << title << '\n';
+  double max_value = 0.0;
+  std::size_t label_width = 0;
+  for (const auto& [label, value] : bars) {
+    max_value = std::max(max_value, value);
+    label_width = std::max(label_width, label.size());
+  }
+  for (const auto& [label, value] : bars) {
+    const auto len =
+        max_value > 0.0
+            ? static_cast<std::size_t>(std::lround(
+                  value / max_value * static_cast<double>(width)))
+            : 0;
+    out << "  " << label << std::string(label_width - label.size(), ' ')
+        << " |" << std::string(len, '#')
+        << std::string(width - len, ' ') << ' '
+        << hpcfail::format_double(value, 4) << '\n';
+  }
+}
+
+void stacked_bar_chart(std::ostream& out, const std::string& title,
+                       const std::vector<std::string>& labels,
+                       const std::vector<StackSeries>& series,
+                       std::size_t width) {
+  HPCFAIL_EXPECTS(!labels.empty(), "stacked chart with no rows");
+  HPCFAIL_EXPECTS(!series.empty(), "stacked chart with no series");
+  for (const StackSeries& s : series) {
+    HPCFAIL_EXPECTS(s.values.size() == labels.size(),
+                    "series length differs from label count");
+  }
+  static constexpr char kGlyphs[] = {'#', '+', 'o', '~', '=', '.'};
+
+  double max_total = 0.0;
+  std::size_t label_width = 0;
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    double total = 0.0;
+    for (const StackSeries& s : series) total += s.values[row];
+    max_total = std::max(max_total, total);
+    label_width = std::max(label_width, labels[row].size());
+  }
+
+  out << title << '\n';
+  for (std::size_t row = 0; row < labels.size(); ++row) {
+    out << "  " << labels[row]
+        << std::string(label_width - labels[row].size(), ' ') << " |";
+    double total = 0.0;
+    std::size_t drawn = 0;
+    for (std::size_t si = 0; si < series.size(); ++si) {
+      total += series[si].values[row];
+      // Cumulative rounding keeps each row's length proportional to its
+      // total even when individual layers round to zero characters.
+      const auto end = max_total > 0.0
+                           ? static_cast<std::size_t>(std::lround(
+                                 total / max_total *
+                                 static_cast<double>(width)))
+                           : 0;
+      if (end > drawn) {
+        out << std::string(end - drawn,
+                           kGlyphs[si % sizeof kGlyphs]);
+        drawn = end;
+      }
+    }
+    out << std::string(width - drawn, ' ') << ' '
+        << hpcfail::format_double(total, 4) << '\n';
+  }
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "      '" << kGlyphs[si % sizeof kGlyphs] << "' "
+        << series[si].name << '\n';
+  }
+}
+
+void cdf_plot(std::ostream& out, const std::string& title,
+              const std::vector<CdfSeries>& series, bool log_x,
+              std::size_t width, std::size_t height) {
+  HPCFAIL_EXPECTS(!series.empty(), "cdf plot with no series");
+  double x_lo = 0.0;
+  double x_hi = 0.0;
+  bool have_range = false;
+  for (const CdfSeries& s : series) {
+    for (const auto& [x, p] : s.points) {
+      if (log_x && x <= 0.0) continue;
+      if (!have_range) {
+        x_lo = x_hi = x;
+        have_range = true;
+      } else {
+        x_lo = std::min(x_lo, x);
+        x_hi = std::max(x_hi, x);
+      }
+      (void)p;
+    }
+  }
+  HPCFAIL_EXPECTS(have_range, "cdf plot with no plottable points");
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  const auto to_col = [&](double x) -> std::size_t {
+    double t;
+    if (log_x) {
+      t = (std::log10(x) - std::log10(x_lo)) /
+          (std::log10(x_hi) - std::log10(x_lo));
+    } else {
+      t = (x - x_lo) / (x_hi - x_lo);
+    }
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<std::size_t>(t * static_cast<double>(width - 1));
+  };
+  const auto to_row = [&](double p) -> std::size_t {
+    const double t = std::clamp(p, 0.0, 1.0);
+    return static_cast<std::size_t>((1.0 - t) *
+                                    static_cast<double>(height - 1));
+  };
+
+  static constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '.', '~'};
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof kGlyphs];
+    for (const auto& [x, p] : series[si].points) {
+      if (log_x && x <= 0.0) continue;
+      grid[to_row(p)][to_col(x)] = glyph;
+    }
+  }
+
+  out << title << '\n';
+  for (std::size_t r = 0; r < height; ++r) {
+    const double p =
+        1.0 - static_cast<double>(r) / static_cast<double>(height - 1);
+    char ylab[8];
+    std::snprintf(ylab, sizeof ylab, "%4.2f", p);
+    out << ylab << " |" << grid[r] << '\n';
+  }
+  out << "     +" << std::string(width, '-') << '\n';
+  out << "      x: " << hpcfail::format_double(x_lo, 3) << " .. "
+      << hpcfail::format_double(x_hi, 3) << (log_x ? " (log scale)" : "")
+      << '\n';
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    out << "      '" << kGlyphs[si % sizeof kGlyphs] << "' "
+        << series[si].name << '\n';
+  }
+}
+
+CdfSeries sample_cdf(const std::string& name,
+                     const std::function<double(double)>& cdf, double x_min,
+                     double x_max, bool log_x, std::size_t n) {
+  HPCFAIL_EXPECTS(n >= 2, "sample_cdf needs at least 2 points");
+  HPCFAIL_EXPECTS(x_max > x_min, "sample_cdf needs x_max > x_min");
+  if (log_x) {
+    HPCFAIL_EXPECTS(x_min > 0.0, "log-x sampling needs x_min > 0");
+  }
+  CdfSeries series;
+  series.name = name;
+  series.points.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t =
+        static_cast<double>(i) / static_cast<double>(n - 1);
+    const double x =
+        log_x ? std::pow(10.0, std::log10(x_min) +
+                                   t * (std::log10(x_max) -
+                                        std::log10(x_min)))
+              : x_min + t * (x_max - x_min);
+    series.points.emplace_back(x, cdf(x));
+  }
+  return series;
+}
+
+}  // namespace hpcfail::report

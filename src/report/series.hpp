@@ -1,0 +1,26 @@
+// CSV export of figure data series (gnuplot/matplotlib-ready), so every
+// reproduced figure can also be re-plotted outside the terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcfail::report {
+
+/// A named numeric column.
+struct Column {
+  std::string name;
+  std::vector<double> values;
+};
+
+/// Writes columns side by side as CSV (header = column names). Columns
+/// may have different lengths; missing cells are left empty. Throws
+/// InvalidArgument when no columns are given.
+void write_series_csv(std::ostream& out, const std::vector<Column>& columns);
+
+/// Writes to a file; throws Error when the file cannot be opened.
+void write_series_csv_file(const std::string& path,
+                           const std::vector<Column>& columns);
+
+}  // namespace hpcfail::report

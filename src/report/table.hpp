@@ -1,0 +1,40 @@
+// Aligned text tables for the bench harness's reproduction of the paper's
+// tables (Table 1, Table 2) and figure-backing data.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hpcfail::report {
+
+/// A simple column-aligned table. Numeric cells are formatted by the
+/// caller (keeps formatting decisions, e.g. significant digits, at the
+/// call site where the paper's precision is known).
+class TextTable {
+ public:
+  /// Sets the header row; resets alignment to right for every column.
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Appends a row. Throws InvalidArgument when the width differs from
+  /// the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 4);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Renders with a separator line under the header.
+  void render(std::ostream& out) const;
+
+  /// Rendered string (for tests).
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hpcfail::report

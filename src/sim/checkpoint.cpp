@@ -1,0 +1,206 @@
+#include "sim/checkpoint.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpcfail::sim {
+
+CheckpointStats simulate_checkpoint(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair,
+    const CheckpointConfig& config, hpcfail::Rng& rng) {
+  HPCFAIL_EXPECTS(config.work_seconds > 0.0, "work must be positive");
+  HPCFAIL_EXPECTS(config.interval > 0.0, "interval must be positive");
+  HPCFAIL_EXPECTS(config.checkpoint_cost >= 0.0,
+                  "checkpoint cost must be non-negative");
+  HPCFAIL_EXPECTS(config.restart_cost >= 0.0,
+                  "restart cost must be non-negative");
+
+  CheckpointStats stats;
+  double saved = 0.0;  // work persisted by the last completed checkpoint
+  double ttf = failure_process.sample(rng);  // operational time to failure
+
+  while (saved < config.work_seconds) {
+    // One attempt: a work segment, then (unless the job completes) a
+    // checkpoint write. A failure mid-attempt loses the segment and any
+    // partial checkpoint.
+    const double segment =
+        std::min(config.interval, config.work_seconds - saved);
+    const bool final_segment = saved + segment >= config.work_seconds;
+    const double attempt =
+        segment + (final_segment ? 0.0 : config.checkpoint_cost);
+
+    if (ttf > attempt) {
+      ttf -= attempt;
+      stats.wall_clock += attempt;
+      stats.useful_work += segment;
+      stats.checkpoint_overhead += attempt - segment;
+      saved += segment;
+      continue;
+    }
+
+    // Failure during the attempt.
+    stats.wall_clock += ttf;
+    const double work_done = std::min(ttf, segment);
+    stats.lost_work += work_done;
+    stats.checkpoint_overhead += std::max(0.0, ttf - segment);
+    ++stats.failures;
+
+    if (repair != nullptr) {
+      const double down = repair->sample(rng);
+      stats.wall_clock += down;
+      stats.downtime += down;
+    }
+    stats.wall_clock += config.restart_cost;
+    stats.restart_overhead += config.restart_cost;
+    ttf = failure_process.sample(rng);
+  }
+  return stats;
+}
+
+CheckpointStats simulate_checkpoint_mean(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair,
+    const CheckpointConfig& config, hpcfail::Rng& rng, std::size_t runs) {
+  HPCFAIL_EXPECTS(runs > 0, "need at least one run");
+  CheckpointStats total;
+  for (std::size_t i = 0; i < runs; ++i) {
+    const CheckpointStats s =
+        simulate_checkpoint(failure_process, repair, config, rng);
+    total.wall_clock += s.wall_clock;
+    total.useful_work += s.useful_work;
+    total.checkpoint_overhead += s.checkpoint_overhead;
+    total.lost_work += s.lost_work;
+    total.restart_overhead += s.restart_overhead;
+    total.downtime += s.downtime;
+    total.failures += s.failures;
+  }
+  const auto n = static_cast<double>(runs);
+  total.wall_clock /= n;
+  total.useful_work /= n;
+  total.checkpoint_overhead /= n;
+  total.lost_work /= n;
+  total.restart_overhead /= n;
+  total.downtime /= n;
+  total.failures = static_cast<std::size_t>(
+      std::llround(static_cast<double>(total.failures) / n));
+  return total;
+}
+
+double young_interval(double mtbf_seconds, double checkpoint_cost) {
+  HPCFAIL_EXPECTS(mtbf_seconds > 0.0, "MTBF must be positive");
+  HPCFAIL_EXPECTS(checkpoint_cost > 0.0, "checkpoint cost must be positive");
+  return std::sqrt(2.0 * checkpoint_cost * mtbf_seconds);
+}
+
+double daly_interval(double mtbf_seconds, double checkpoint_cost) {
+  HPCFAIL_EXPECTS(mtbf_seconds > 0.0, "MTBF must be positive");
+  HPCFAIL_EXPECTS(checkpoint_cost > 0.0, "checkpoint cost must be positive");
+  if (checkpoint_cost >= 2.0 * mtbf_seconds) return mtbf_seconds;
+  const double ratio = checkpoint_cost / (2.0 * mtbf_seconds);
+  return std::sqrt(2.0 * checkpoint_cost * mtbf_seconds) *
+             (1.0 + std::sqrt(ratio) / 3.0 + ratio / 9.0) -
+         checkpoint_cost;
+}
+
+CheckpointStats simulate_checkpoint_schedule(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair,
+    const CheckpointConfig& config, const IntervalSchedule& schedule,
+    hpcfail::Rng& rng) {
+  HPCFAIL_EXPECTS(config.work_seconds > 0.0, "work must be positive");
+  HPCFAIL_EXPECTS(config.checkpoint_cost >= 0.0,
+                  "checkpoint cost must be non-negative");
+  HPCFAIL_EXPECTS(config.restart_cost >= 0.0,
+                  "restart cost must be non-negative");
+
+  CheckpointStats stats;
+  double saved = 0.0;
+  double ttf = failure_process.sample(rng);
+  double since_failure = 0.0;  // operational time since the last failure
+
+  while (saved < config.work_seconds) {
+    const double interval = schedule(since_failure);
+    HPCFAIL_EXPECTS(interval > 0.0, "schedule returned a non-positive "
+                                    "interval");
+    const double segment =
+        std::min(interval, config.work_seconds - saved);
+    const bool final_segment = saved + segment >= config.work_seconds;
+    const double attempt =
+        segment + (final_segment ? 0.0 : config.checkpoint_cost);
+
+    if (ttf > attempt) {
+      ttf -= attempt;
+      since_failure += attempt;
+      stats.wall_clock += attempt;
+      stats.useful_work += segment;
+      stats.checkpoint_overhead += attempt - segment;
+      saved += segment;
+      continue;
+    }
+
+    stats.wall_clock += ttf;
+    const double work_done = std::min(ttf, segment);
+    stats.lost_work += work_done;
+    stats.checkpoint_overhead += std::max(0.0, ttf - segment);
+    ++stats.failures;
+
+    if (repair != nullptr) {
+      const double down = repair->sample(rng);
+      stats.wall_clock += down;
+      stats.downtime += down;
+    }
+    stats.wall_clock += config.restart_cost;
+    stats.restart_overhead += config.restart_cost;
+    ttf = failure_process.sample(rng);
+    since_failure = 0.0;
+  }
+  return stats;
+}
+
+IntervalSchedule hazard_aware_schedule(
+    const hpcfail::dist::Distribution& process, double checkpoint_cost,
+    double min_interval, double max_interval) {
+  HPCFAIL_EXPECTS(checkpoint_cost > 0.0,
+                  "checkpoint cost must be positive");
+  HPCFAIL_EXPECTS(min_interval > 0.0 && max_interval >= min_interval,
+                  "need 0 < min_interval <= max_interval");
+  return [&process, checkpoint_cost, min_interval,
+          max_interval](double since_failure) {
+    // Young's tau = sqrt(2 C / lambda) with the process's instantaneous
+    // hazard standing in for the rate. Evaluate slightly after zero so
+    // Weibull shapes < 1 (infinite hazard at 0) stay finite.
+    const double t = std::max(since_failure, 1.0);
+    const double h = process.hazard(t);
+    if (!(h > 0.0) || !std::isfinite(h)) return max_interval;
+    const double tau = std::sqrt(2.0 * checkpoint_cost / h);
+    return std::clamp(tau, min_interval, max_interval);
+  };
+}
+
+double best_interval_by_simulation(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair, CheckpointConfig config,
+    std::span<const double> intervals, hpcfail::Rng& rng,
+    std::size_t runs_per_interval) {
+  HPCFAIL_EXPECTS(!intervals.empty(), "no candidate intervals");
+  double best = intervals.front();
+  double best_wall = 0.0;
+  bool first = true;
+  for (const double interval : intervals) {
+    HPCFAIL_EXPECTS(interval > 0.0, "intervals must be positive");
+    config.interval = interval;
+    const CheckpointStats s = simulate_checkpoint_mean(
+        failure_process, repair, config, rng, runs_per_interval);
+    if (first || s.wall_clock < best_wall) {
+      best = interval;
+      best_wall = s.wall_clock;
+      first = false;
+    }
+  }
+  return best;
+}
+
+}  // namespace hpcfail::sim

@@ -1,0 +1,100 @@
+// Checkpoint/restart simulation -- the application the paper's statistics
+// exist to serve ("The design and analysis of checkpoint strategies relies
+// on certain statistical properties of failures").
+//
+// A long-running job checkpoints every `interval` seconds of useful work;
+// node failures arrive as a renewal process drawn from any Distribution
+// (exponential for the classical assumption, the fitted Weibull for the
+// paper's reality); each failure costs the work since the last checkpoint,
+// a repair downtime, and a restart. The simulator accounts every second,
+// so "work conservation" is a testable invariant.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <span>
+
+#include "common/rng.hpp"
+#include "dist/distribution.hpp"
+
+namespace hpcfail::sim {
+
+struct CheckpointConfig {
+  double work_seconds = 0.0;      ///< useful work the job must complete
+  double checkpoint_cost = 0.0;   ///< seconds per checkpoint write
+  double restart_cost = 0.0;      ///< seconds to restore after repair
+  double interval = 0.0;          ///< useful-work seconds between checkpoints
+};
+
+struct CheckpointStats {
+  double wall_clock = 0.0;        ///< total elapsed time
+  double useful_work = 0.0;       ///< == config.work_seconds on success
+  double checkpoint_overhead = 0.0;
+  double lost_work = 0.0;         ///< work redone after failures
+  double restart_overhead = 0.0;
+  double downtime = 0.0;          ///< time spent waiting for repair
+  std::size_t failures = 0;
+
+  /// Wall-clock divided by useful work (1.0 = failure-free, no overhead).
+  double slowdown() const noexcept {
+    return useful_work > 0.0 ? wall_clock / useful_work : 0.0;
+  }
+};
+
+/// Simulates one job execution. `failure_process` supplies i.i.d. times
+/// from one failure to the next (a renewal assumption; the fitted Weibull
+/// makes them non-exponential); `repair` supplies repair durations, or
+/// pass nullptr for instant repair. Throws InvalidArgument on
+/// non-positive work/interval or negative costs.
+CheckpointStats simulate_checkpoint(const hpcfail::dist::Distribution& failure_process,
+                                    const hpcfail::dist::Distribution* repair,
+                                    const CheckpointConfig& config,
+                                    hpcfail::Rng& rng);
+
+/// Averages `runs` independent simulations of the same configuration.
+CheckpointStats simulate_checkpoint_mean(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair,
+    const CheckpointConfig& config, hpcfail::Rng& rng, std::size_t runs);
+
+/// Young's first-order optimal checkpoint interval sqrt(2 * C * MTBF).
+/// Throws InvalidArgument unless both arguments are positive.
+double young_interval(double mtbf_seconds, double checkpoint_cost);
+
+/// Daly's higher-order refinement of Young's interval (valid for
+/// C < 2 * MTBF; falls back to MTBF otherwise, per Daly 2006).
+double daly_interval(double mtbf_seconds, double checkpoint_cost);
+
+/// Sweeps candidate intervals by simulation and returns the one with the
+/// lowest mean wall-clock. `intervals` must be non-empty.
+double best_interval_by_simulation(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair, CheckpointConfig config,
+    std::span<const double> intervals, hpcfail::Rng& rng,
+    std::size_t runs_per_interval = 32);
+
+/// A checkpoint-interval schedule: the useful-work length of the next
+/// segment, as a function of operational time since the last failure
+/// (or since the job started). Must return positive values.
+using IntervalSchedule = std::function<double(double time_since_failure)>;
+
+/// Like simulate_checkpoint() but with a per-segment interval chosen by
+/// `schedule` -- the knob a decreasing-hazard failure process rewards:
+/// checkpoint densely right after a failure (hazard is at its peak) and
+/// stretch the interval as the hazard decays. config.interval is ignored.
+CheckpointStats simulate_checkpoint_schedule(
+    const hpcfail::dist::Distribution& failure_process,
+    const hpcfail::dist::Distribution* repair,
+    const CheckpointConfig& config, const IntervalSchedule& schedule,
+    hpcfail::Rng& rng);
+
+/// The locally-optimal hazard-aware schedule: Young's formula evaluated
+/// at the *current* hazard rate, tau(t) = sqrt(2 C / h(t)), clamped to
+/// [min_interval, max_interval]. For a Weibull with shape < 1 this
+/// starts short and grows -- the strategy the paper's decreasing-hazard
+/// finding suggests. `process` must outlive the returned schedule.
+IntervalSchedule hazard_aware_schedule(
+    const hpcfail::dist::Distribution& process, double checkpoint_cost,
+    double min_interval = 60.0, double max_interval = 86400.0);
+
+}  // namespace hpcfail::sim

@@ -1,0 +1,280 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/error.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/weibull.hpp"
+
+namespace hpcfail::sim {
+
+namespace {
+
+enum class EventKind { node_failure, node_repair, job_completion };
+
+struct Event {
+  double time = 0.0;
+  EventKind kind = EventKind::node_failure;
+  int node = -1;        // failure/repair events
+  std::size_t job = 0;  // completion events
+  std::uint64_t stamp = 0;  // attempt id; stale completions are dropped
+  std::uint64_t seq = 0;    // tie-break for determinism
+
+  bool operator>(const Event& other) const noexcept {
+    if (time != other.time) return time > other.time;
+    return seq > other.seq;
+  }
+};
+
+struct NodeState {
+  bool up = true;
+  int running_job = -1;  // -1 = idle
+  double mtbf = 0.0;
+};
+
+struct JobState {
+  double remaining = 0.0;      // work left (from scratch on each restart)
+  double started_at = -1.0;    // current attempt start, -1 if queued
+  std::vector<int> nodes;
+  bool done = false;
+  std::uint64_t completion_seq = 0;  // invalidates stale completions
+};
+
+}  // namespace
+
+std::vector<ClusterNodeConfig> heterogeneous_nodes(
+    std::size_t node_count, double base_mtbf_seconds, double jitter_sigma,
+    double hot_fraction, double hot_factor, std::uint64_t seed) {
+  HPCFAIL_EXPECTS(node_count > 0, "need at least one node");
+  HPCFAIL_EXPECTS(base_mtbf_seconds > 0.0, "MTBF must be positive");
+  HPCFAIL_EXPECTS(hot_fraction >= 0.0 && hot_fraction <= 1.0,
+                  "hot fraction must be in [0,1]");
+  HPCFAIL_EXPECTS(hot_factor >= 1.0, "hot factor must be >= 1");
+  hpcfail::Rng rng(seed);
+  std::vector<ClusterNodeConfig> nodes;
+  nodes.reserve(node_count);
+  const auto hot_count =
+      static_cast<std::size_t>(std::lround(hot_fraction *
+                                           static_cast<double>(node_count)));
+  for (std::size_t i = 0; i < node_count; ++i) {
+    double u1;
+    double u2;
+    double s;
+    do {
+      u1 = rng.uniform(-1.0, 1.0);
+      u2 = rng.uniform(-1.0, 1.0);
+      s = u1 * u1 + u2 * u2;
+    } while (s >= 1.0 || s == 0.0);
+    const double z = u1 * std::sqrt(-2.0 * std::log(s) / s);
+    double mtbf = base_mtbf_seconds * std::exp(jitter_sigma * z);
+    if (i < hot_count) mtbf /= hot_factor;
+    ClusterNodeConfig n;
+    n.mtbf_seconds = mtbf;
+    n.repair_mean_seconds = 6.0 * 3600.0;   // Table 2: mean ~6 hours
+    n.repair_median_seconds = 1.0 * 3600.0; // median ~1 hour
+    nodes.push_back(n);
+  }
+  return nodes;
+}
+
+ClusterStats simulate_cluster(const ClusterConfig& config,
+                              hpcfail::Rng& rng) {
+  HPCFAIL_EXPECTS(!config.nodes.empty(), "cluster has no nodes");
+  HPCFAIL_EXPECTS(config.job_width >= 1 &&
+                      static_cast<std::size_t>(config.job_width) <=
+                          config.nodes.size(),
+                  "job width must fit the cluster");
+  HPCFAIL_EXPECTS(config.job_work_seconds > 0.0, "job work must be positive");
+  HPCFAIL_EXPECTS(config.job_count > 0, "need at least one job");
+  HPCFAIL_EXPECTS(config.failure_weibull_shape > 0.0,
+                  "failure shape must be positive");
+  HPCFAIL_EXPECTS(config.checkpoint_interval >= 0.0,
+                  "checkpoint interval must be non-negative");
+  for (const ClusterNodeConfig& n : config.nodes) {
+    HPCFAIL_EXPECTS(n.mtbf_seconds > 0.0, "node MTBF must be positive");
+    HPCFAIL_EXPECTS(n.repair_mean_seconds > n.repair_median_seconds &&
+                        n.repair_median_seconds > 0.0,
+                    "repair needs mean > median > 0");
+  }
+
+  const double k = config.failure_weibull_shape;
+
+  std::vector<NodeState> nodes(config.nodes.size());
+  std::vector<JobState> jobs(config.job_count);
+  for (JobState& j : jobs) j.remaining = config.job_work_seconds;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events;
+  std::uint64_t seq = 0;
+
+  const auto sample_ttf = [&](int node) {
+    // Weibull with the requested shape, scaled to the node's MTBF.
+    const double mtbf = config.nodes[static_cast<std::size_t>(node)]
+                            .mtbf_seconds;
+    const double scale = mtbf / std::exp(std::lgamma(1.0 + 1.0 / k));
+    return scale * std::pow(-std::log(rng.uniform_pos()), 1.0 / k);
+  };
+  const auto sample_repair = [&](int node) {
+    const ClusterNodeConfig& n = config.nodes[static_cast<std::size_t>(node)];
+    return hpcfail::dist::LogNormal::from_mean_median(
+               n.repair_mean_seconds, n.repair_median_seconds)
+        .sample(rng);
+  };
+
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    nodes[i].mtbf = config.nodes[i].mtbf_seconds;
+    events.push(Event{sample_ttf(static_cast<int>(i)),
+                      EventKind::node_failure, static_cast<int>(i), 0, 0,
+                      seq++});
+  }
+
+  std::size_t next_job = 0;       // next job never yet started
+  std::vector<std::size_t> queue; // requeued jobs, FIFO
+  std::size_t completed = 0;
+  std::size_t running = 0;
+  ClusterStats stats;
+  double now = 0.0;
+
+  const auto try_dispatch = [&]() {
+    for (;;) {
+      if (config.max_concurrent_jobs != 0 &&
+          running >= config.max_concurrent_jobs) {
+        return;
+      }
+      // Pick the next job to run (requeued first, then fresh).
+      std::size_t job_id;
+      if (!queue.empty()) {
+        job_id = queue.front();
+      } else if (next_job < jobs.size()) {
+        job_id = next_job;
+      } else {
+        return;
+      }
+
+      std::vector<int> available;
+      for (std::size_t i = 0; i < nodes.size(); ++i) {
+        if (nodes[i].up && nodes[i].running_job < 0) {
+          available.push_back(static_cast<int>(i));
+        }
+      }
+      if (available.size() < static_cast<std::size_t>(config.job_width)) {
+        return;
+      }
+
+      std::vector<int> chosen;
+      if (config.policy == PlacementPolicy::reliability_ranked) {
+        std::sort(available.begin(), available.end(),
+                  [&nodes](int a, int b) {
+                    const double ma = nodes[static_cast<std::size_t>(a)].mtbf;
+                    const double mb = nodes[static_cast<std::size_t>(b)].mtbf;
+                    if (ma != mb) return ma > mb;
+                    return a < b;
+                  });
+        chosen.assign(available.begin(),
+                      available.begin() + config.job_width);
+      } else {
+        for (int w = 0; w < config.job_width; ++w) {
+          const auto pick = rng.uniform_index(available.size());
+          chosen.push_back(available[pick]);
+          available[pick] = available.back();
+          available.pop_back();
+        }
+      }
+
+      JobState& job = jobs[job_id];
+      job.nodes = chosen;
+      job.started_at = now;
+      ++job.completion_seq;
+      for (const int n : chosen) {
+        nodes[static_cast<std::size_t>(n)].running_job =
+            static_cast<int>(job_id);
+      }
+      events.push(Event{now + job.remaining, EventKind::job_completion, -1,
+                        job_id, job.completion_seq, seq++});
+      ++running;
+      // Record the dequeue only after a successful dispatch.
+      if (!queue.empty() && queue.front() == job_id) {
+        queue.erase(queue.begin());
+      } else {
+        ++next_job;
+      }
+    }
+  };
+
+  try_dispatch();
+  while (completed < jobs.size()) {
+    HPCFAIL_ASSERT(!events.empty());
+    const Event ev = events.top();
+    events.pop();
+    now = ev.time;
+
+    switch (ev.kind) {
+      case EventKind::job_completion: {
+        JobState& job = jobs[ev.job];
+        // Stale completion from an attempt killed by a failure?
+        if (job.done || ev.stamp != job.completion_seq) break;
+        job.done = true;
+        --running;
+        // All of the job's work was eventually useful, wherever the
+        // attempts ran (checkpointed progress counts once).
+        stats.useful_work += config.job_work_seconds *
+                             static_cast<double>(config.job_width);
+        for (const int n : job.nodes) {
+          nodes[static_cast<std::size_t>(n)].running_job = -1;
+        }
+        job.nodes.clear();
+        ++completed;
+        try_dispatch();
+        break;
+      }
+      case EventKind::node_failure: {
+        NodeState& node = nodes[static_cast<std::size_t>(ev.node)];
+        if (!node.up) break;  // stale (already down)
+        node.up = false;
+        ++stats.node_failures;
+        if (node.running_job >= 0) {
+          const auto job_id = static_cast<std::size_t>(node.running_job);
+          JobState& job = jobs[job_id];
+          ++stats.interruptions;
+          // With checkpointing, progress up to the last completed
+          // checkpoint survives the kill (write cost is not modeled at
+          // this level; sim/checkpoint carries the per-job cost model).
+          const double elapsed = now - job.started_at;
+          double saved = 0.0;
+          if (config.checkpoint_interval > 0.0) {
+            saved = std::floor(elapsed / config.checkpoint_interval) *
+                    config.checkpoint_interval;
+            saved = std::min(saved, job.remaining);
+          }
+          job.remaining -= saved;
+          stats.wasted_work += (elapsed - saved) *
+                               static_cast<double>(config.job_width);
+          for (const int n : job.nodes) {
+            nodes[static_cast<std::size_t>(n)].running_job = -1;
+          }
+          job.nodes.clear();
+          job.started_at = -1.0;
+          ++job.completion_seq;  // invalidate the pending completion
+          --running;
+          queue.push_back(job_id);
+        }
+        events.push(Event{now + sample_repair(ev.node),
+                          EventKind::node_repair, ev.node, 0, 0, seq++});
+        break;
+      }
+      case EventKind::node_repair: {
+        NodeState& node = nodes[static_cast<std::size_t>(ev.node)];
+        node.up = true;
+        events.push(Event{now + sample_ttf(ev.node),
+                          EventKind::node_failure, ev.node, 0, 0, seq++});
+        try_dispatch();
+        break;
+      }
+    }
+  }
+  stats.makespan = now;
+  return stats;
+}
+
+}  // namespace hpcfail::sim

@@ -1,0 +1,52 @@
+#include "stats/bootstrap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcfail::stats {
+
+BootstrapResult bootstrap(std::span<const double> sample,
+                          const Statistic& statistic, hpcfail::Rng& rng,
+                          BootstrapOptions options) {
+  HPCFAIL_EXPECTS(!sample.empty(), "bootstrap of empty sample");
+  HPCFAIL_EXPECTS(options.replicates >= 10,
+                  "bootstrap needs at least 10 replicates");
+  HPCFAIL_EXPECTS(options.confidence > 0.0 && options.confidence < 1.0,
+                  "confidence must be in (0,1)");
+
+  BootstrapResult result;
+  result.point = statistic(sample);
+
+  std::vector<double> resample(sample.size());
+  std::vector<double> values;
+  values.reserve(options.replicates);
+  for (std::size_t rep = 0; rep < options.replicates; ++rep) {
+    for (double& x : resample) {
+      x = sample[rng.uniform_index(sample.size())];
+    }
+    try {
+      const double v = statistic(resample);
+      if (std::isfinite(v)) values.push_back(v);
+    } catch (const Error&) {
+      // Degenerate resample for this statistic; skip it.
+    }
+  }
+  if (values.size() < options.replicates / 10) {
+    throw NumericError("bootstrap: statistic failed on most replicates");
+  }
+
+  std::sort(values.begin(), values.end());
+  const double alpha = (1.0 - options.confidence) / 2.0;
+  result.lo = quantile_sorted(values, alpha);
+  result.hi = quantile_sorted(values, 1.0 - alpha);
+  result.replicates = values.size();
+  if (values.size() >= 2) {
+    result.std_error = std::sqrt(variance(values));
+  }
+  return result;
+}
+
+}  // namespace hpcfail::stats

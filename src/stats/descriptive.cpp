@@ -1,0 +1,83 @@
+#include "stats/descriptive.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpcfail::stats {
+
+double mean(std::span<const double> xs) {
+  HPCFAIL_EXPECTS(!xs.empty(), "mean of empty sample");
+  double sum = 0.0;
+  for (const double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  HPCFAIL_EXPECTS(!xs.empty(), "variance of empty sample");
+  if (xs.size() == 1) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (const double x : xs) {
+    const double d = x - m;
+    ss += d * d;
+  }
+  return ss / static_cast<double>(xs.size() - 1);
+}
+
+double cv_squared(std::span<const double> xs) {
+  const double m = mean(xs);
+  HPCFAIL_EXPECTS(m != 0.0, "C^2 undefined for zero-mean sample");
+  return variance(xs) / (m * m);
+}
+
+double quantile_sorted(std::span<const double> sorted, double p) {
+  HPCFAIL_EXPECTS(!sorted.empty(), "quantile of empty sample");
+  HPCFAIL_EXPECTS(p >= 0.0 && p <= 1.0, "quantile p must be in [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) {
+  auto sorted = sorted_copy(xs);
+  return quantile_sorted(sorted, 0.5);
+}
+
+Summary summarize(std::span<const double> xs) {
+  HPCFAIL_EXPECTS(!xs.empty(), "summarize of empty sample");
+  auto sorted = sorted_copy(xs);
+  Summary s;
+  s.n = xs.size();
+  s.mean = mean(xs);
+  s.variance = variance(xs);
+  s.stddev = std::sqrt(s.variance);
+  s.cv2 = (s.mean != 0.0) ? s.variance / (s.mean * s.mean) : 0.0;
+  s.median = quantile_sorted(sorted, 0.5);
+  s.q25 = quantile_sorted(sorted, 0.25);
+  s.q75 = quantile_sorted(sorted, 0.75);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  if (s.n >= 3 && s.stddev > 0.0) {
+    double cubed = 0.0;
+    for (const double x : xs) {
+      const double z = (x - s.mean) / s.stddev;
+      cubed += z * z * z;
+    }
+    const auto n = static_cast<double>(s.n);
+    s.skewness = cubed * n / ((n - 1.0) * (n - 2.0));
+  }
+  return s;
+}
+
+std::vector<double> sorted_copy(std::span<const double> xs) {
+  std::vector<double> out(xs.begin(), xs.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,48 @@
+#include "stats/ecdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcfail::stats {
+
+Ecdf::Ecdf(std::span<const double> sample) : sorted_(sorted_copy(sample)) {
+  HPCFAIL_EXPECTS(!sorted_.empty(), "Ecdf of empty sample");
+}
+
+double Ecdf::operator()(double x) const noexcept {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double Ecdf::quantile(double p) const {
+  HPCFAIL_EXPECTS(p > 0.0 && p <= 1.0, "Ecdf quantile requires p in (0,1]");
+  const auto n = static_cast<double>(sorted_.size());
+  // Smallest k with k/n >= p, i.e. k = ceil(p * n); 1-based.
+  auto k = static_cast<std::size_t>(std::ceil(p * n - 1e-9));
+  if (k == 0) k = 1;
+  if (k > sorted_.size()) k = sorted_.size();
+  return sorted_[k - 1];
+}
+
+std::vector<std::pair<double, double>> Ecdf::step_points() const {
+  std::vector<std::pair<double, double>> pts;
+  const auto n = static_cast<double>(sorted_.size());
+  for (std::size_t i = 0; i < sorted_.size(); ++i) {
+    // Emit only the last point of a run of ties.
+    if (i + 1 < sorted_.size() && sorted_[i + 1] == sorted_[i]) continue;
+    pts.emplace_back(sorted_[i], static_cast<double>(i + 1) / n);
+  }
+  return pts;
+}
+
+double Ecdf::mass_at(double x) const noexcept {
+  const auto lo = std::lower_bound(sorted_.begin(), sorted_.end(), x);
+  const auto hi = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(hi - lo) / static_cast<double>(sorted_.size());
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,45 @@
+// Empirical cumulative distribution functions.
+//
+// Every "Cumulative probability" plot in the paper (Figs 3b, 6a-d, 7a) is
+// an empirical CDF overlaid with fitted parametric CDFs; Ecdf is the
+// library's representation of the empirical side.
+#pragma once
+
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hpcfail::stats {
+
+/// Immutable empirical CDF of a sample. Ties are handled exactly: F(x) is
+/// the fraction of observations <= x.
+class Ecdf {
+ public:
+  /// Copies and sorts the sample. Throws InvalidArgument on empty input.
+  explicit Ecdf(std::span<const double> sample);
+
+  /// F(x): fraction of the sample <= x. Right-continuous step function.
+  double operator()(double x) const noexcept;
+
+  /// Empirical quantile (inverse CDF): smallest sample value v with
+  /// F(v) >= p. Throws InvalidArgument for p outside (0, 1].
+  double quantile(double p) const;
+
+  std::size_t size() const noexcept { return sorted_.size(); }
+  double min() const noexcept { return sorted_.front(); }
+  double max() const noexcept { return sorted_.back(); }
+  std::span<const double> sorted_sample() const noexcept { return sorted_; }
+
+  /// Step points (x_i, F(x_i)) with duplicates collapsed, suitable for
+  /// plotting or export.
+  std::vector<std::pair<double, double>> step_points() const;
+
+  /// Fraction of observations exactly equal to `x` (used for the
+  /// simultaneous-failure analysis, where >30% of interarrival times are 0).
+  double mass_at(double x) const noexcept;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,71 @@
+#include "stats/histogram.hpp"
+
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hpcfail::stats {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  HPCFAIL_EXPECTS(lo < hi, "Histogram requires lo < hi");
+  HPCFAIL_EXPECTS(bins >= 1, "Histogram requires at least one bin");
+}
+
+void Histogram::add(double x, double weight) noexcept {
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>(
+      (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size()));
+  counts_[idx < counts_.size() ? idx : counts_.size() - 1] += weight;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_width() const noexcept {
+  return (hi_ - lo_) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  HPCFAIL_EXPECTS(i < counts_.size(), "histogram bin out of range");
+  return lo_ + static_cast<double>(i) * bin_width();
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + bin_width(); }
+
+double Histogram::bin_center(std::size_t i) const {
+  return bin_lo(i) + 0.5 * bin_width();
+}
+
+double Histogram::count(std::size_t i) const {
+  HPCFAIL_EXPECTS(i < counts_.size(), "histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0) + underflow_ +
+         overflow_;
+}
+
+void CategoryCounts::add(std::size_t category, double weight) {
+  if (category >= counts_.size()) counts_.resize(category + 1, 0.0);
+  counts_[category] += weight;
+}
+
+double CategoryCounts::count(std::size_t category) const noexcept {
+  return category < counts_.size() ? counts_[category] : 0.0;
+}
+
+double CategoryCounts::total() const noexcept {
+  return std::accumulate(counts_.begin(), counts_.end(), 0.0);
+}
+
+}  // namespace hpcfail::stats

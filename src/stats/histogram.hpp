@@ -1,0 +1,57 @@
+// Fixed-bin histograms used by the rate analyses (failures per month,
+// per hour-of-day, per day-of-week) and by the report layer's bar charts.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hpcfail::stats {
+
+/// Histogram over [lo, hi) with `bins` equal-width bins. Out-of-range
+/// values are counted in underflow/overflow, never silently dropped.
+class Histogram {
+ public:
+  /// Throws InvalidArgument unless lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_width() const noexcept;
+  /// Inclusive lower edge of bin i.
+  double bin_lo(std::size_t i) const;
+  /// Exclusive upper edge of bin i.
+  double bin_hi(std::size_t i) const;
+  /// Bin center, convenient for plotting.
+  double bin_center(std::size_t i) const;
+  double count(std::size_t i) const;
+  double underflow() const noexcept { return underflow_; }
+  double overflow() const noexcept { return overflow_; }
+  double total() const noexcept;
+  std::span<const double> counts() const noexcept { return counts_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+};
+
+/// Counter over small integer categories (hours 0-23, weekdays 0-6,
+/// months-in-production, node ids). Grows on demand.
+class CategoryCounts {
+ public:
+  void add(std::size_t category, double weight = 1.0);
+  double count(std::size_t category) const noexcept;
+  std::size_t size() const noexcept { return counts_.size(); }
+  double total() const noexcept;
+  std::span<const double> counts() const noexcept { return counts_; }
+
+ private:
+  std::vector<double> counts_;
+};
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,36 @@
+#include "stats/ks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/special.hpp"
+
+namespace hpcfail::stats {
+
+double ks_statistic(std::span<const double> sample,
+                    const std::function<double(double)>& model_cdf) {
+  HPCFAIL_EXPECTS(!sample.empty(), "ks_statistic of empty sample");
+  const auto sorted = sorted_copy(sample);
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double fx = model_cdf(sorted[i]);
+    // Compare against the ECDF from above and below the step at x_i.
+    const double above = static_cast<double>(i + 1) / n - fx;
+    const double below = fx - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+double ks_pvalue(double d, std::size_t n) {
+  HPCFAIL_EXPECTS(n > 0, "ks_pvalue requires n > 0");
+  HPCFAIL_EXPECTS(d >= 0.0, "ks_pvalue requires d >= 0");
+  const double sqrt_n = std::sqrt(static_cast<double>(n));
+  const double lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+  return kolmogorov_q(lambda);
+}
+
+}  // namespace hpcfail::stats

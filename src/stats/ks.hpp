@@ -1,0 +1,23 @@
+// Kolmogorov-Smirnov goodness-of-fit statistic.
+//
+// The paper judges fits by negative log-likelihood and visual inspection;
+// we additionally report the KS distance D_n = sup_x |F_n(x) - F(x)| and
+// its asymptotic p-value as a second, scale-free goodness-of-fit measure.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace hpcfail::stats {
+
+/// KS distance between a sample and a model CDF. The sample is copied and
+/// sorted internally. Throws InvalidArgument on an empty sample.
+double ks_statistic(std::span<const double> sample,
+                    const std::function<double(double)>& model_cdf);
+
+/// Asymptotic two-sided p-value for KS distance `d` on `n` observations,
+/// using the Kolmogorov distribution with the usual small-sample
+/// correction sqrt(n) -> sqrt(n) + 0.12 + 0.11/sqrt(n).
+double ks_pvalue(double d, std::size_t n);
+
+}  // namespace hpcfail::stats

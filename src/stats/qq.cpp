@@ -1,0 +1,47 @@
+#include "stats/qq.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcfail::stats {
+
+std::vector<std::pair<double, double>> qq_points(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_quantile,
+    std::size_t points) {
+  HPCFAIL_EXPECTS(!sample.empty(), "qq_points of empty sample");
+  HPCFAIL_EXPECTS(points >= 2, "qq_points needs at least 2 points");
+  const auto sorted = sorted_copy(sample);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(points);
+    out.emplace_back(model_quantile(p), quantile_sorted(sorted, p));
+  }
+  return out;
+}
+
+double qq_max_relative_deviation(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_quantile,
+    double band_lo, double band_hi, std::size_t points) {
+  HPCFAIL_EXPECTS(band_lo > 0.0 && band_hi < 1.0 && band_lo < band_hi,
+                  "need 0 < band_lo < band_hi < 1");
+  const auto pairs = qq_points(sample, model_quantile, points);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    const double p = (static_cast<double>(i) + 0.5) /
+                     static_cast<double>(points);
+    if (p < band_lo || p > band_hi) continue;
+    const auto& [model, empirical] = pairs[i];
+    if (model > 0.0) {
+      worst = std::max(worst, std::fabs(empirical - model) / model);
+    }
+  }
+  return worst;
+}
+
+}  // namespace hpcfail::stats

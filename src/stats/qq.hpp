@@ -1,0 +1,32 @@
+// Quantile-quantile comparison: the standard visual companion to the
+// paper's CDF-overlay fit assessment. For a perfect fit the points lie
+// on the diagonal; systematic bowing exposes tail mismatch (exactly how
+// the exponential fails on repair times).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace hpcfail::stats {
+
+/// (model quantile, empirical quantile) pairs at `points` evenly spaced
+/// probability levels in (0, 1). Throws InvalidArgument on an empty
+/// sample or points < 2.
+std::vector<std::pair<double, double>> qq_points(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_quantile,
+    std::size_t points = 50);
+
+/// Worst relative quantile deviation max |empirical - model| / model over
+/// the central probability band [band_lo, band_hi] (tails excluded: the
+/// extreme empirical quantiles of a finite sample are noise). A compact
+/// scalar summary of the QQ plot.
+double qq_max_relative_deviation(
+    std::span<const double> sample,
+    const std::function<double(double)>& model_quantile,
+    double band_lo = 0.05, double band_hi = 0.95,
+    std::size_t points = 50);
+
+}  // namespace hpcfail::stats

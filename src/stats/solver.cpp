@@ -1,0 +1,150 @@
+#include "stats/solver.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpcfail::stats {
+
+namespace {
+bool bracketed(double flo, double fhi) noexcept {
+  return (flo <= 0.0 && fhi >= 0.0) || (flo >= 0.0 && fhi <= 0.0);
+}
+}  // namespace
+
+void expand_bracket(const Fn& f, double& lo, double& hi, bool positive_only,
+                    int max_expansions) {
+  HPCFAIL_EXPECTS(lo < hi, "expand_bracket requires lo < hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  for (int i = 0; i < max_expansions; ++i) {
+    if (bracketed(flo, fhi)) return;
+    // Grow in the direction of the smaller |f|, geometrically.
+    if (std::fabs(flo) < std::fabs(fhi)) {
+      lo -= (hi - lo);
+      if (positive_only && lo <= 0.0) lo = (hi - lo > 1.0 ? 1e-12 : lo / 2.0);
+      if (positive_only && lo <= 0.0) lo = 1e-12;
+      flo = f(lo);
+    } else {
+      hi += (hi - lo);
+      fhi = f(hi);
+    }
+  }
+  throw NumericError("expand_bracket: no sign change found");
+}
+
+double bisect(const Fn& f, double lo, double hi, SolverOptions opts) {
+  HPCFAIL_EXPECTS(lo <= hi, "bisect requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  HPCFAIL_EXPECTS(bracketed(flo, fhi), "bisect requires a sign change");
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double fmid = f(mid);
+    if (std::fabs(fmid) < opts.f_tol || hi - lo < opts.x_tol) return mid;
+    if ((flo < 0.0) == (fmid < 0.0)) {
+      lo = mid;
+      flo = fmid;
+    } else {
+      hi = mid;
+    }
+  }
+  throw NumericError("bisect: did not converge");
+}
+
+double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
+                        SolverOptions opts) {
+  HPCFAIL_EXPECTS(lo <= hi, "newton_bracketed requires lo <= hi");
+  double flo = f(lo);
+  double fhi = f(hi);
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  HPCFAIL_EXPECTS(bracketed(flo, fhi),
+                  "newton_bracketed requires a sign change");
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    const double fx = f(x);
+    if (std::fabs(fx) < opts.f_tol) return x;
+    // Maintain the bracket.
+    if ((flo < 0.0) == (fx < 0.0)) {
+      lo = x;
+      flo = fx;
+    } else {
+      hi = x;
+    }
+    const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < opts.x_tol) return next;
+    x = next;
+  }
+  throw NumericError("newton_bracketed: did not converge");
+}
+
+double brent(const Fn& f, double lo, double hi, SolverOptions opts) {
+  double a = lo;
+  double b = hi;
+  double fa = f(a);
+  double fb = f(b);
+  if (fa == 0.0) return a;
+  if (fb == 0.0) return b;
+  HPCFAIL_EXPECTS(bracketed(fa, fb), "brent requires a sign change");
+  double c = a;
+  double fc = fa;
+  double d = b - a;
+  double e = d;
+  for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    if (std::fabs(fc) < std::fabs(fb)) {
+      a = b; b = c; c = a;
+      fa = fb; fb = fc; fc = fa;
+    }
+    const double tol1 = 2.0 * 2.2204460492503131e-16 * std::fabs(b) +
+                        0.5 * opts.x_tol;
+    const double xm = 0.5 * (c - b);
+    if (std::fabs(xm) <= tol1 || fb == 0.0 || std::fabs(fb) < opts.f_tol) {
+      return b;
+    }
+    if (std::fabs(e) >= tol1 && std::fabs(fa) > std::fabs(fb)) {
+      const double s = fb / fa;
+      double p;
+      double q;
+      if (a == c) {
+        p = 2.0 * xm * s;
+        q = 1.0 - s;
+      } else {
+        const double qq = fa / fc;
+        const double r = fb / fc;
+        p = s * (2.0 * xm * qq * (qq - r) - (b - a) * (r - 1.0));
+        q = (qq - 1.0) * (r - 1.0) * (s - 1.0);
+      }
+      if (p > 0.0) q = -q;
+      p = std::fabs(p);
+      if (2.0 * p < std::fmin(3.0 * xm * q - std::fabs(tol1 * q),
+                              std::fabs(e * q))) {
+        e = d;
+        d = p / q;
+      } else {
+        d = xm;
+        e = d;
+      }
+    } else {
+      d = xm;
+      e = d;
+    }
+    a = b;
+    fa = fb;
+    b += (std::fabs(d) > tol1) ? d : (xm > 0.0 ? tol1 : -tol1);
+    fb = f(b);
+    if ((fb < 0.0) == (fc < 0.0)) {
+      c = a;
+      fc = fa;
+      e = b - a;
+      d = e;
+    }
+  }
+  throw NumericError("brent: did not converge");
+}
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,41 @@
+// One-dimensional root finding used by the MLE fitters.
+//
+// The Weibull shape and gamma shape likelihood equations have no closed
+// form; both are solved with safeguarded Newton iteration that falls back
+// to bisection whenever a Newton step would leave the current bracket.
+#pragma once
+
+#include <functional>
+
+namespace hpcfail::stats {
+
+/// Scalar function of one variable.
+using Fn = std::function<double(double)>;
+
+struct SolverOptions {
+  double x_tol = 1e-12;      ///< absolute tolerance on the root position
+  double f_tol = 1e-13;      ///< absolute tolerance on |f(root)|
+  int max_iterations = 200;  ///< throw NumericError beyond this
+};
+
+/// Expands [lo, hi] geometrically (keeping lo > `floor` when positive_only)
+/// until f(lo) and f(hi) have opposite signs. Throws NumericError when no
+/// sign change is found within max_expansions doublings.
+void expand_bracket(const Fn& f, double& lo, double& hi,
+                    bool positive_only = true, int max_expansions = 80);
+
+/// Bisection on a bracketing interval [lo, hi] (f(lo)*f(hi) <= 0 required;
+/// throws InvalidArgument otherwise).
+double bisect(const Fn& f, double lo, double hi, SolverOptions opts = {});
+
+/// Safeguarded Newton: uses derivative steps but keeps the iterate inside
+/// a maintained bracket [lo, hi], bisecting whenever Newton misbehaves.
+/// Requires a bracket like bisect().
+double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
+                        SolverOptions opts = {});
+
+/// Brent's method (inverse quadratic interpolation + secant + bisection).
+/// Requires a bracket like bisect().
+double brent(const Fn& f, double lo, double hi, SolverOptions opts = {});
+
+}  // namespace hpcfail::stats

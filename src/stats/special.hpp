@@ -1,0 +1,47 @@
+// Hand-rolled special functions needed for MLE fitting and CDF evaluation.
+//
+// The paper fits exponential / Weibull / gamma / lognormal distributions by
+// maximum likelihood; gamma fitting needs digamma and trigamma, the gamma
+// CDF needs the regularized incomplete gamma function, and normal/lognormal
+// quantiles need an inverse normal CDF. None of these are in the C++
+// standard library, so they are implemented here with well-known
+// series/continued-fraction expansions accurate to ~1e-12.
+#pragma once
+
+namespace hpcfail::stats {
+
+/// Digamma function psi(x) = d/dx ln Gamma(x). Defined for x > 0; throws
+/// InvalidArgument otherwise. Accuracy ~1e-12 via upward recurrence into the
+/// asymptotic regime.
+double digamma(double x);
+
+/// Trigamma function psi'(x). Defined for x > 0; throws InvalidArgument
+/// otherwise.
+double trigamma(double x);
+
+/// Regularized lower incomplete gamma P(a, x) = gamma(a, x) / Gamma(a),
+/// for a > 0, x >= 0. Series expansion for x < a + 1, Lentz continued
+/// fraction otherwise. Throws InvalidArgument outside the domain and
+/// NumericError on (unreachable in practice) non-convergence.
+double reg_gamma_lower(double a, double x);
+
+/// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
+double reg_gamma_upper(double a, double x);
+
+/// Standard normal CDF Phi(z), accurate over the full double range.
+double normal_cdf(double z) noexcept;
+
+/// Standard normal quantile Phi^{-1}(p) for p in (0, 1); Acklam's rational
+/// approximation refined by one Halley step (~1e-15 relative error).
+/// Throws InvalidArgument for p outside (0, 1).
+double normal_quantile(double p);
+
+/// ln Gamma(x) for x > 0 (wraps std::lgamma; throws on the poles).
+double log_gamma(double x);
+
+/// Asymptotic Kolmogorov distribution complement
+/// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2);
+/// used to turn a KS statistic into an approximate p-value.
+double kolmogorov_q(double lambda) noexcept;
+
+}  // namespace hpcfail::stats

@@ -1,0 +1,37 @@
+#include "synth/corruption.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::synth {
+
+trace::FailureDataset corrupt(const trace::FailureDataset& dataset,
+                              const CorruptionConfig& config) {
+  for (const double p :
+       {config.drop_probability, config.relabel_unknown_probability,
+        config.stretch_repair_probability,
+        config.corrupt_node_probability}) {
+    HPCFAIL_EXPECTS(p >= 0.0 && p <= 1.0,
+                    "corruption probabilities must be in [0,1]");
+  }
+  hpcfail::Rng rng(config.seed);
+  std::vector<trace::FailureRecord> out;
+  out.reserve(dataset.size());
+  for (trace::FailureRecord r : dataset.records()) {
+    if (rng.bernoulli(config.drop_probability)) continue;
+    if (rng.bernoulli(config.relabel_unknown_probability)) {
+      r.cause = trace::RootCause::unknown;
+      r.detail = trace::DetailCause::undetermined;
+    }
+    if (rng.bernoulli(config.stretch_repair_probability)) {
+      r.end = r.start + r.downtime_seconds() * 50;
+    }
+    if (rng.bernoulli(config.corrupt_node_probability)) {
+      r.node_id += 100000;  // clearly out of any system's range
+    }
+    out.push_back(r);
+  }
+  return trace::FailureDataset(std::move(out));
+}
+
+}  // namespace hpcfail::synth

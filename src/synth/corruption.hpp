@@ -1,0 +1,32 @@
+// Data-quality corruption injector for robustness testing.
+//
+// Section 2.3 discusses the limits of operator-entered data (under-
+// reporting, misdiagnosis). This module deliberately damages a clean
+// synthetic trace in controlled ways so the validation and ingest layers
+// can be tested against realistic dirt -- records dropped, repairs
+// stretched into overlaps, causes relabeled as unknown, ids corrupted.
+#pragma once
+
+#include <cstdint>
+
+#include "trace/dataset.hpp"
+
+namespace hpcfail::synth {
+
+struct CorruptionConfig {
+  std::uint64_t seed = 1;
+  double drop_probability = 0.0;         ///< silently lose records
+  double relabel_unknown_probability = 0.0;  ///< cause -> unknown
+  double stretch_repair_probability = 0.0;   ///< multiply a repair by 50x
+  double corrupt_node_probability = 0.0;     ///< node id pushed out of range
+};
+
+/// Returns a damaged copy of `dataset`. Corruptions are independent per
+/// record and deterministic given the seed. The result intentionally may
+/// violate catalog invariants (that is the point) but every record still
+/// satisfies FailureRecord::is_consistent(), so it survives dataset
+/// construction and must be caught by trace::validate instead.
+trace::FailureDataset corrupt(const trace::FailureDataset& dataset,
+                              const CorruptionConfig& config);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,381 @@
+#include "synth/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/lognormal.hpp"
+
+namespace hpcfail::synth {
+
+using trace::DetailCause;
+using trace::FailureRecord;
+using trace::NodeCategory;
+using trace::RootCause;
+using trace::SystemInfo;
+using trace::Workload;
+
+namespace {
+
+// Hourly cumulative modulated intensity over one system's production
+// window. C[i] is the integral of lifecycle x diurnal x weekly over the
+// first i hours, in "modulated hours"; index 0 is the production start.
+struct IntensityGrid {
+  Seconds start = 0;
+  std::vector<double> cumulative;  // size = hours + 1
+
+  Seconds end() const noexcept {
+    return start +
+           static_cast<Seconds>(cumulative.size() - 1) * kSecondsPerHour;
+  }
+
+  /// Cumulative modulated hours from grid start to absolute time t
+  /// (clamped to the grid).
+  double at(Seconds t) const {
+    if (t <= start) return 0.0;
+    const auto max_idx = static_cast<Seconds>(cumulative.size()) - 1;
+    Seconds hours = (t - start) / kSecondsPerHour;
+    if (hours >= max_idx) return cumulative.back();
+    const auto i = static_cast<std::size_t>(hours);
+    const double frac =
+        static_cast<double>((t - start) % kSecondsPerHour) /
+        static_cast<double>(kSecondsPerHour);
+    return cumulative[i] + frac * (cumulative[i + 1] - cumulative[i]);
+  }
+
+  /// Inverse of at(): the absolute time where the cumulative intensity
+  /// reaches c. Requires 0 <= c <= cumulative.back().
+  Seconds invert(double c) const {
+    const auto it =
+        std::upper_bound(cumulative.begin(), cumulative.end(), c);
+    if (it == cumulative.begin()) return start;
+    if (it == cumulative.end()) return end();
+    const auto i = static_cast<std::size_t>(it - cumulative.begin()) - 1;
+    const double span = cumulative[i + 1] - cumulative[i];
+    const double frac = span > 0.0 ? (c - cumulative[i]) / span : 0.0;
+    return start + static_cast<Seconds>(i) * kSecondsPerHour +
+           static_cast<Seconds>(frac * static_cast<double>(kSecondsPerHour));
+  }
+};
+
+IntensityGrid build_grid(const SystemInfo& sys, const Lifecycle& lifecycle) {
+  IntensityGrid grid;
+  grid.start = sys.production_start();
+  const Seconds end = sys.production_end();
+  const auto hours =
+      static_cast<std::size_t>((end - grid.start) / kSecondsPerHour) + 1;
+  grid.cumulative.resize(hours + 1);
+  grid.cumulative[0] = 0.0;
+  for (std::size_t i = 0; i < hours; ++i) {
+    const Seconds t = grid.start + static_cast<Seconds>(i) * kSecondsPerHour;
+    const double months =
+        static_cast<double>(t - grid.start) / kSecondsPerMonth;
+    const double rate = lifecycle_factor(lifecycle, months) *
+                        diurnal_factor(hour_of_day(t)) *
+                        weekly_factor(day_of_week(t));
+    grid.cumulative[i + 1] = grid.cumulative[i] + rate;
+  }
+  return grid;
+}
+
+// Mean-1 renewal gap samplers for the two eras.
+double weibull_gap(hpcfail::Rng& rng, double shape) {
+  const double scale = std::exp(-std::lgamma(1.0 + 1.0 / shape));
+  return scale * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape);
+}
+
+double lognormal_gap(hpcfail::Rng& rng, double sigma) {
+  // mu = -sigma^2/2 makes the mean exactly 1.
+  double u1;
+  double u2;
+  double s;
+  do {
+    u1 = rng.uniform(-1.0, 1.0);
+    u2 = rng.uniform(-1.0, 1.0);
+    s = u1 * u1 + u2 * u2;
+  } while (s >= 1.0 || s == 0.0);
+  const double z = u1 * std::sqrt(-2.0 * std::log(s) / s);
+  return std::exp(-0.5 * sigma * sigma + sigma * z);
+}
+
+// Standard normal draw for the per-node jitter.
+double normal_draw(hpcfail::Rng& rng) {
+  double u1;
+  double u2;
+  double s;
+  do {
+    u1 = rng.uniform(-1.0, 1.0);
+    u2 = rng.uniform(-1.0, 1.0);
+    s = u1 * u1 + u2 * u2;
+  } while (s >= 1.0 || s == 0.0);
+  return u1 * std::sqrt(-2.0 * std::log(s) / s);
+}
+
+RootCause sample_cause(hpcfail::Rng& rng, const HardwareProfile& profile) {
+  double total = 0.0;
+  for (const double w : profile.cause_mix) total += w;
+  double r = rng.uniform() * total;
+  for (std::size_t i = 0; i < profile.cause_mix.size(); ++i) {
+    r -= profile.cause_mix[i];
+    if (r <= 0.0) return trace::kAllRootCauses[i];
+  }
+  return RootCause::unknown;
+}
+
+DetailCause sample_detail(hpcfail::Rng& rng, const HardwareProfile& profile,
+                          RootCause cause) {
+  const DetailMix& mix = profile.detail_mix[cause_index(cause)];
+  HPCFAIL_ASSERT(!mix.empty());
+  double total = 0.0;
+  for (const auto& [detail, w] : mix) total += w;
+  double r = rng.uniform() * total;
+  for (const auto& [detail, w] : mix) {
+    r -= w;
+    if (r <= 0.0) return detail;
+  }
+  return mix.back().first;
+}
+
+Seconds sample_repair_seconds(hpcfail::Rng& rng,
+                              const HardwareProfile& profile,
+                              RootCause cause) {
+  const RepairMoments& m = profile.repair[cause_index(cause)];
+  const auto ln =
+      hpcfail::dist::LogNormal::from_mean_median(m.mean_minutes,
+                                                 m.median_minutes);
+  const double minutes = ln.sample(rng);
+  // Records have minute-scale resolution; repairs take at least a minute.
+  // The lognormal tail is capped at 45 days: open tickets were eventually
+  // closed, and the public release contains no multi-month repairs.
+  constexpr double kMaxMinutes = 45.0 * 24.0 * 60.0;
+  return std::max<Seconds>(
+      60, static_cast<Seconds>(std::min(minutes, kMaxMinutes) * 60.0));
+}
+
+// Nodes of `sys` in production at time t, excluding `exclude`.
+std::vector<int> nodes_in_production(const SystemInfo& sys, Seconds t,
+                                     int exclude) {
+  std::vector<int> out;
+  for (const NodeCategory& c : sys.categories) {
+    if (t < c.production_start || t >= c.production_end) continue;
+    for (int n = c.first_node; n < c.first_node + c.node_count; ++n) {
+      if (n != exclude) out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceGenerator::TraceGenerator(const trace::SystemCatalog& catalog,
+                               ScenarioConfig config)
+    : catalog_(catalog), config_(std::move(config)) {
+  HPCFAIL_EXPECTS(!config_.systems.empty(),
+                  "scenario must configure at least one system");
+  for (const SystemScenario& s : config_.systems) {
+    HPCFAIL_EXPECTS(catalog_.contains(s.system_id),
+                    "scenario references a system missing from the catalog");
+    HPCFAIL_EXPECTS(s.failures_per_year > 0.0,
+                    "failures_per_year must be positive");
+    HPCFAIL_EXPECTS(s.interarrival_weibull_shape > 0.0,
+                    "interarrival Weibull shape must be positive");
+    HPCFAIL_EXPECTS(s.early_lognormal_sigma > 0.0,
+                    "early lognormal sigma must be positive");
+    HPCFAIL_EXPECTS(
+        s.early_burst_probability >= 0.0 && s.early_burst_probability < 1.0,
+        "burst probability must be in [0,1)");
+    HPCFAIL_EXPECTS(
+        s.late_burst_probability >= 0.0 && s.late_burst_probability < 1.0,
+        "burst probability must be in [0,1)");
+    HPCFAIL_EXPECTS(
+        s.early_unknown_boost >= 0.0 && s.early_unknown_boost <= 1.0,
+        "unknown boost must be in [0,1]");
+    HPCFAIL_EXPECTS(s.unknown_decay_months > 0.0,
+                    "unknown decay window must be positive");
+  }
+}
+
+std::vector<FailureRecord> TraceGenerator::generate_system(
+    int system_id) const {
+  const SystemScenario* scen = nullptr;
+  for (const SystemScenario& s : config_.systems) {
+    if (s.system_id == system_id) {
+      scen = &s;
+      break;
+    }
+  }
+  HPCFAIL_EXPECTS(scen != nullptr, "system not present in the scenario");
+
+  const SystemInfo& sys = catalog_.system(system_id);
+  const HardwareProfile& profile = profile_for(sys.hw_type);
+  const IntensityGrid grid = build_grid(sys, scen->lifecycle);
+
+  // Per-node rate weights: workload factor x lognormal jitter.
+  std::vector<double> weight(static_cast<std::size_t>(sys.nodes), 0.0);
+  for (int node = 0; node < sys.nodes; ++node) {
+    hpcfail::Rng wrng(hpcfail::mix_seed(config_.seed,
+                                        static_cast<std::uint64_t>(system_id),
+                                        0xA110C000ULL +
+                                            static_cast<std::uint64_t>(node)));
+    double w = 1.0;
+    switch (sys.workload_of(node)) {
+      case Workload::graphics: w = scen->graphics_factor; break;
+      case Workload::frontend: w = scen->frontend_factor; break;
+      case Workload::compute: break;
+    }
+    w *= std::exp(scen->node_jitter_sigma * normal_draw(wrng));
+    weight[static_cast<std::size_t>(node)] = w;
+  }
+
+  // Calibrate the base rate so the expected total (including correlated
+  // burst followers) matches failures_per_year * production_years.
+  double ops_total = 0.0;
+  double ops_early = 0.0;
+  for (int node = 0; node < sys.nodes; ++node) {
+    const NodeCategory& c = sys.category_for_node(node);
+    const double lo = grid.at(c.production_start);
+    const double hi = grid.at(c.production_end);
+    const double w = weight[static_cast<std::size_t>(node)];
+    ops_total += w * (hi - lo);
+    if (scen->early_era_end > c.production_start) {
+      const double mid = grid.at(std::min(scen->early_era_end,
+                                          c.production_end));
+      ops_early += w * (mid - lo);
+    }
+  }
+  HPCFAIL_ASSERT(ops_total > 0.0);
+  const double early_fraction = ops_early / ops_total;
+  const double mean_followers = 2.5;  // uniform 1..4 extra nodes
+  const double inflation =
+      1.0 + mean_followers * (early_fraction * scen->early_burst_probability +
+                              (1.0 - early_fraction) *
+                                  scen->late_burst_probability);
+  const double target_total =
+      scen->failures_per_year * sys.production_years();
+  // Renewal-process excess: for a renewal process with mean-1 gaps and
+  // squared CV C^2, E[N(tau)] ~ tau + (C^2 - 1)/2 for tau >> 1. With
+  // overdispersed gaps (C^2 > 1) every node contributes that constant
+  // extra, which is material for many-node systems; deduct it from the
+  // calibration target (clamped so small targets stay positive).
+  const auto weibull_cv2 = [](double k) {
+    const double g1 = std::exp(std::lgamma(1.0 + 1.0 / k));
+    const double g2 = std::exp(std::lgamma(1.0 + 2.0 / k));
+    return g2 / (g1 * g1) - 1.0;
+  };
+  const double cv2_late = weibull_cv2(scen->interarrival_weibull_shape);
+  const double cv2_early =
+      std::expm1(scen->early_lognormal_sigma * scen->early_lognormal_sigma);
+  // The asymptotic constant overstates the excess for nodes with few
+  // events and for very heavy-tailed early-era gaps; cap it.
+  const double excess_per_node =
+      std::min(2.0, 0.5 * (early_fraction * (cv2_early - 1.0) +
+                           (1.0 - early_fraction) * (cv2_late - 1.0)));
+  const double corrected_total =
+      std::max(0.5 * target_total,
+               target_total - static_cast<double>(sys.nodes) *
+                                  std::max(0.0, excess_per_node));
+  const double base = corrected_total / (ops_total * inflation);
+
+  std::vector<FailureRecord> records;
+  records.reserve(static_cast<std::size_t>(target_total * 1.2) + 16);
+
+  for (int node = 0; node < sys.nodes; ++node) {
+    const NodeCategory& cat = sys.category_for_node(node);
+    const double rate = base * weight[static_cast<std::size_t>(node)];
+    const double tau_lo = grid.at(cat.production_start);
+    const double tau_end = rate * (grid.at(cat.production_end) - tau_lo);
+    if (tau_end <= 0.0) continue;
+
+    hpcfail::Rng rng(hpcfail::mix_seed(config_.seed,
+                                       static_cast<std::uint64_t>(system_id),
+                                       static_cast<std::uint64_t>(node)));
+    double tau = 0.0;
+    Seconds now = cat.production_start;
+    for (;;) {
+      const bool early = now < scen->early_era_end;
+      const double gap =
+          early ? lognormal_gap(rng, scen->early_lognormal_sigma)
+                : weibull_gap(rng, scen->interarrival_weibull_shape);
+      tau += gap;
+      if (tau >= tau_end) break;
+      now = grid.invert(tau_lo + tau / rate);
+
+      // Section 4: pioneer systems initially recorded most causes as
+      // unknown; the boost decays as administrators learn the platform.
+      const double months_in =
+          static_cast<double>(now - grid.start) / kSecondsPerMonth;
+      const double unknown_boost =
+          scen->early_unknown_boost *
+          std::max(0.0, 1.0 - months_in / scen->unknown_decay_months);
+
+      FailureRecord primary;
+      primary.system_id = system_id;
+      primary.node_id = node;
+      primary.start = now;
+      primary.workload = sys.workload_of(node);
+      if (rng.bernoulli(unknown_boost)) {
+        primary.cause = RootCause::unknown;
+        primary.detail = DetailCause::undetermined;
+      } else {
+        primary.cause = sample_cause(rng, profile);
+        primary.detail = sample_detail(rng, profile, primary.cause);
+      }
+      primary.end = now + sample_repair_seconds(rng, profile, primary.cause);
+      records.push_back(primary);
+
+      // Correlated multi-node events: a site-level incident (power,
+      // interconnect fabric) takes down additional nodes at the same
+      // instant.
+      const double burst_p = early ? scen->early_burst_probability
+                                   : scen->late_burst_probability;
+      if (burst_p > 0.0 && rng.bernoulli(burst_p)) {
+        const auto followers = 1 + rng.uniform_index(4);  // 1..4 nodes
+        std::vector<int> candidates = nodes_in_production(sys, now, node);
+        for (std::uint64_t k = 0;
+             k < followers && !candidates.empty(); ++k) {
+          const auto pick = rng.uniform_index(candidates.size());
+          const int other = candidates[pick];
+          candidates[pick] = candidates.back();
+          candidates.pop_back();
+
+          FailureRecord follower;
+          follower.system_id = system_id;
+          follower.node_id = other;
+          follower.start = now;
+          follower.workload = sys.workload_of(other);
+          if (rng.bernoulli(unknown_boost)) {
+            follower.cause = RootCause::unknown;
+            follower.detail = DetailCause::undetermined;
+          } else {
+            follower.cause = rng.bernoulli(0.5) ? RootCause::environment
+                                                : RootCause::network;
+            follower.detail = sample_detail(rng, profile, follower.cause);
+          }
+          follower.end =
+              now + sample_repair_seconds(rng, profile, follower.cause);
+          records.push_back(follower);
+        }
+      }
+    }
+  }
+  return records;
+}
+
+trace::FailureDataset TraceGenerator::generate() const {
+  std::vector<FailureRecord> all;
+  for (const SystemScenario& s : config_.systems) {
+    auto recs = generate_system(s.system_id);
+    all.insert(all.end(), recs.begin(), recs.end());
+  }
+  return trace::FailureDataset(std::move(all));
+}
+
+trace::FailureDataset generate_lanl_trace(std::uint64_t seed) {
+  const TraceGenerator generator(trace::SystemCatalog::lanl(),
+                                 lanl_scenario(seed));
+  return generator.generate();
+}
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,44 @@
+#include "synth/modulation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hpcfail::synth {
+
+double diurnal_factor(int hour) {
+  HPCFAIL_EXPECTS(hour >= 0 && hour <= 23, "hour must be in 0..23");
+  constexpr double kAmplitude = 0.34;  // peak/trough = 1.34/0.66 ~ 2
+  constexpr double kPeakHour = 14.0;
+  return 1.0 + kAmplitude *
+                   std::cos(2.0 * 3.14159265358979323846 *
+                            (static_cast<double>(hour) - kPeakHour) / 24.0);
+}
+
+double weekly_factor(int day_of_week) {
+  HPCFAIL_EXPECTS(day_of_week >= 0 && day_of_week <= 6,
+                  "day_of_week must be in 0..6");
+  // (5 * 1.14 + 2 * 0.65) / 7 = 1.0: mean-1 with weekday/weekend ~ 1.75.
+  return (day_of_week == 0 || day_of_week == 6) ? 0.65 : 1.14;
+}
+
+double workload_modulation(Seconds t) {
+  return diurnal_factor(hour_of_day(t)) * weekly_factor(day_of_week(t));
+}
+
+double lifecycle_factor(const Lifecycle& lifecycle, double months) {
+  if (months < 0.0) months = 0.0;
+  switch (lifecycle.shape) {
+    case LifecycleShape::burn_in:
+      return 1.0 + lifecycle.amplitude * std::exp(-months /
+                                                  lifecycle.tau_months);
+    case LifecycleShape::ramp_up: {
+      const double x = months / lifecycle.peak_month;
+      return lifecycle.low + (lifecycle.peak - lifecycle.low) * x * x *
+                                 std::exp(2.0 * (1.0 - x));
+    }
+  }
+  throw InvalidArgument("invalid LifecycleShape");
+}
+
+}  // namespace hpcfail::synth

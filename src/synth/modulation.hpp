@@ -1,0 +1,52 @@
+// Failure-intensity modulation in time, encoding three findings of
+// Section 5.2:
+//   * failure rates correlate with workload intensity: ~2x higher during
+//     peak daytime hours than at night, and nearly 2x higher on weekdays
+//     than weekends (Fig 5);
+//   * over a system's lifetime the rate follows one of two shapes (Fig 4):
+//     an infant-mortality "burn-in" decay (types E/F), or a slow ramp to a
+//     peak near month 20 followed by decay (types D/G, the site's first
+//     clusters of their kind).
+// All factors are dimensionless multipliers with mean approximately 1, so
+// the generator's base-rate calibration stays interpretable.
+#pragma once
+
+#include "common/time.hpp"
+
+namespace hpcfail::synth {
+
+/// Daytime/night workload factor; peaks at 14:00 with peak/trough ratio
+/// ~2 (Fig 5 left). `hour` in 0..23; throws InvalidArgument otherwise.
+double diurnal_factor(int hour);
+
+/// Weekday/weekend workload factor, ratio ~1.8 (Fig 5 right).
+/// `day_of_week` with 0 = Sunday; throws InvalidArgument outside 0..6.
+double weekly_factor(int day_of_week);
+
+/// Combined workload modulation at an absolute instant.
+double workload_modulation(Seconds t);
+
+/// The two lifetime shapes of Fig 4.
+enum class LifecycleShape {
+  burn_in,  ///< high infant mortality decaying within months (Fig 4a)
+  ramp_up,  ///< slow rise to a peak near month ~20, then decay (Fig 4b)
+};
+
+/// Parameters of a lifecycle intensity curve.
+struct Lifecycle {
+  LifecycleShape shape = LifecycleShape::burn_in;
+  // burn_in: factor(m) = 1 + amplitude * exp(-m / tau_months)
+  double amplitude = 3.0;
+  double tau_months = 3.0;
+  // ramp_up: factor(m) = low + (peak - low) * (m/peak_month)^2
+  //                        * exp(2 * (1 - m/peak_month))
+  double low = 0.35;
+  double peak = 2.6;
+  double peak_month = 20.0;
+};
+
+/// Lifecycle factor at `months` since production start (fractional months
+/// allowed; months < 0 is clamped to 0).
+double lifecycle_factor(const Lifecycle& lifecycle, double months);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,49 @@
+// Per-hardware-type failure profiles: the root-cause mixtures of Fig 1,
+// the detailed-cause findings of Section 4 (memory dominant everywhere,
+// the type-E CPU design flaw, per-type top software causes), and
+// repair-time moments per cause anchored to Table 2 with the per-type
+// scaling of Fig 7(b)/(c).
+#pragma once
+
+#include <array>
+#include <utility>
+#include <vector>
+
+#include "trace/types.hpp"
+
+namespace hpcfail::synth {
+
+/// Lognormal repair-time moments in minutes (Table 2's units). The
+/// generator converts these to a LogNormal via mean/median matching.
+struct RepairMoments {
+  double mean_minutes = 0.0;
+  double median_minutes = 0.0;
+};
+
+/// Discrete mixture over detailed causes, conditional on one high-level
+/// cause. Weights need not be normalized.
+using DetailMix = std::vector<std::pair<trace::DetailCause, double>>;
+
+struct HardwareProfile {
+  char hw_type = '?';
+
+  /// Probability of each high-level root cause, indexed in the order of
+  /// trace::kAllRootCauses (hardware, software, network, environment,
+  /// human, unknown). Sums to 1.
+  std::array<double, 6> cause_mix{};
+
+  /// Detailed-cause mixtures per high-level cause (same index order).
+  std::array<DetailMix, 6> detail_mix{};
+
+  /// Repair moments per high-level cause (same index order).
+  std::array<RepairMoments, 6> repair{};
+};
+
+/// Index of a cause in the profile arrays (= trace::cause_index).
+using trace::cause_index;
+
+/// The profile for hardware type 'A'..'H'. Throws InvalidArgument for an
+/// unknown type. Returned reference is to an immutable singleton.
+const HardwareProfile& profile_for(char hw_type);
+
+}  // namespace hpcfail::synth

@@ -1,0 +1,128 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hpcfail::trace {
+
+namespace {
+bool record_order(const FailureRecord& a, const FailureRecord& b) noexcept {
+  if (a.start != b.start) return a.start < b.start;
+  if (a.system_id != b.system_id) return a.system_id < b.system_id;
+  return a.node_id < b.node_id;
+}
+}  // namespace
+
+FailureDataset::FailureDataset(std::vector<FailureRecord> records)
+    : records_(std::move(records)) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    if (!records_[i].is_consistent()) {
+      throw InvalidArgument("inconsistent failure record at index " +
+                            std::to_string(i) +
+                            " (end < start, bad ids, or cause/detail "
+                            "mismatch)");
+    }
+  }
+  std::sort(records_.begin(), records_.end(), record_order);
+}
+
+Seconds FailureDataset::first_start() const {
+  HPCFAIL_EXPECTS(!records_.empty(), "first_start of empty dataset");
+  return records_.front().start;
+}
+
+Seconds FailureDataset::last_end() const {
+  HPCFAIL_EXPECTS(!records_.empty(), "last_end of empty dataset");
+  Seconds latest = records_.front().end;
+  for (const FailureRecord& r : records_) latest = std::max(latest, r.end);
+  return latest;
+}
+
+FailureDataset FailureDataset::filter(
+    const std::function<bool(const FailureRecord&)>& keep) const {
+  std::vector<FailureRecord> kept;
+  for (const FailureRecord& r : records_) {
+    if (keep(r)) kept.push_back(r);
+  }
+  FailureDataset out;
+  out.records_ = std::move(kept);  // already sorted and validated
+  return out;
+}
+
+FailureDataset FailureDataset::for_system(int system_id) const {
+  return filter([system_id](const FailureRecord& r) {
+    return r.system_id == system_id;
+  });
+}
+
+FailureDataset FailureDataset::between(Seconds from, Seconds to) const {
+  return filter([from, to](const FailureRecord& r) {
+    return r.start >= from && r.start < to;
+  });
+}
+
+std::vector<double> FailureDataset::node_interarrivals(int system_id,
+                                                       int node_id) const {
+  std::vector<double> gaps;
+  Seconds prev = 0;
+  bool have_prev = false;
+  for (const FailureRecord& r : records_) {
+    if (r.system_id != system_id || r.node_id != node_id) continue;
+    if (have_prev) {
+      gaps.push_back(static_cast<double>(r.start - prev));
+    }
+    prev = r.start;
+    have_prev = true;
+  }
+  return gaps;
+}
+
+std::vector<double> FailureDataset::system_interarrivals(
+    int system_id) const {
+  std::vector<double> gaps;
+  Seconds prev = 0;
+  bool have_prev = false;
+  for (const FailureRecord& r : records_) {
+    if (r.system_id != system_id) continue;
+    if (have_prev) {
+      gaps.push_back(static_cast<double>(r.start - prev));
+    }
+    prev = r.start;
+    have_prev = true;
+  }
+  return gaps;
+}
+
+std::vector<double> FailureDataset::repair_times_minutes() const {
+  std::vector<double> times;
+  times.reserve(records_.size());
+  for (const FailureRecord& r : records_) {
+    times.push_back(r.downtime_minutes());
+  }
+  return times;
+}
+
+std::map<int, std::size_t> FailureDataset::failures_per_node(
+    int system_id) const {
+  std::map<int, std::size_t> counts;
+  for (const FailureRecord& r : records_) {
+    if (r.system_id == system_id) ++counts[r.node_id];
+  }
+  return counts;
+}
+
+std::vector<int> FailureDataset::system_ids() const {
+  std::set<int> ids;
+  for (const FailureRecord& r : records_) ids.insert(r.system_id);
+  return {ids.begin(), ids.end()};
+}
+
+double FailureDataset::total_downtime_minutes() const noexcept {
+  double total = 0.0;
+  for (const FailureRecord& r : records_) total += r.downtime_minutes();
+  return total;
+}
+
+}  // namespace hpcfail::trace

@@ -1,0 +1,71 @@
+// FailureDataset: an immutable, start-time-sorted collection of failure
+// records with the extraction views every analysis needs — per-node and
+// system-wide interarrival times (Section 5.3's two views of the failure
+// process), repair-time samples, and per-node counts.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "trace/record.hpp"
+
+namespace hpcfail::trace {
+
+class FailureDataset {
+ public:
+  /// Takes ownership of the records and sorts them by (start, system,
+  /// node). Throws InvalidArgument if any record has end < start or a
+  /// cause/detail mismatch; the offending index is reported.
+  explicit FailureDataset(std::vector<FailureRecord> records);
+
+  /// The empty dataset.
+  FailureDataset() = default;
+
+  std::span<const FailureRecord> records() const noexcept { return records_; }
+  std::size_t size() const noexcept { return records_.size(); }
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Earliest start / latest end across all records. Throws on empty.
+  Seconds first_start() const;
+  Seconds last_end() const;
+
+  /// New dataset with the records satisfying `keep` (records are copied;
+  /// order is preserved, so the result is already sorted).
+  FailureDataset filter(
+      const std::function<bool(const FailureRecord&)>& keep) const;
+
+  /// Records of one system.
+  FailureDataset for_system(int system_id) const;
+
+  /// Records inside [from, to).
+  FailureDataset between(Seconds from, Seconds to) const;
+
+  /// Time between consecutive failures *of one node*, in seconds
+  /// (Section 5.3 view (i)). Empty when the node has fewer than 2 records.
+  std::vector<double> node_interarrivals(int system_id, int node_id) const;
+
+  /// Time between consecutive failures anywhere in one system, in seconds
+  /// (Section 5.3 view (ii)). Simultaneous failures yield exact zeros.
+  std::vector<double> system_interarrivals(int system_id) const;
+
+  /// Repair times (end - start) in minutes, the unit of Table 2/Fig 7,
+  /// over all records in the dataset.
+  std::vector<double> repair_times_minutes() const;
+
+  /// Number of failures per node of one system (nodes with zero failures
+  /// are absent; callers that need zeros consult the catalog).
+  std::map<int, std::size_t> failures_per_node(int system_id) const;
+
+  /// Distinct system ids present, ascending.
+  std::vector<int> system_ids() const;
+
+  /// Sum of downtime over all records, in minutes.
+  double total_downtime_minutes() const noexcept;
+
+ private:
+  std::vector<FailureRecord> records_;  // sorted by (start, system, node)
+};
+
+}  // namespace hpcfail::trace

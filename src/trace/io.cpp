@@ -1,0 +1,89 @@
+#include "trace/io.hpp"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpcfail::trace {
+
+const char* const kCsvHeader = "system,node,start,end,workload,cause,detail";
+
+void write_csv(std::ostream& out, const FailureDataset& dataset) {
+  out << kCsvHeader << '\n';
+  CsvWriter writer(out);
+  for (const FailureRecord& r : dataset.records()) {
+    writer.write_row({
+        std::to_string(r.system_id),
+        std::to_string(r.node_id),
+        format_timestamp(r.start),
+        format_timestamp(r.end),
+        to_string(r.workload),
+        to_string(r.cause),
+        to_string(r.detail),
+    });
+  }
+}
+
+void write_csv_file(const std::string& path, const FailureDataset& dataset) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  write_csv(out, dataset);
+  if (!out) throw Error("write failed for '" + path + "'");
+}
+
+FailureDataset read_csv(std::istream& in) {
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  if (!reader.next_row(row)) {
+    throw ParseError("empty trace file (missing header)");
+  }
+  {
+    std::string joined;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) joined += ',';
+      joined += trim(row[i]);
+    }
+    if (joined != kCsvHeader) {
+      throw ParseError("unexpected trace header: '" + joined + "'");
+    }
+  }
+
+  std::vector<FailureRecord> records;
+  while (reader.next_row(row)) {
+    const std::size_t line = reader.line_number();
+    if (row.size() == 1 && trim(row[0]).empty()) continue;  // blank line
+    if (row.size() != 7) {
+      throw ParseError("line " + std::to_string(line) + ": expected 7 " +
+                       "fields, got " + std::to_string(row.size()));
+    }
+    try {
+      FailureRecord r;
+      r.system_id = static_cast<int>(parse_i64(trim(row[0])));
+      r.node_id = static_cast<int>(parse_i64(trim(row[1])));
+      r.start = parse_timestamp(trim(row[2]));
+      r.end = parse_timestamp(trim(row[3]));
+      r.workload = workload_from_string(row[4]);
+      r.cause = root_cause_from_string(row[5]);
+      r.detail = detail_cause_from_string(row[6]);
+      if (!r.is_consistent()) {
+        throw ParseError("inconsistent record (end < start, bad ids, or "
+                         "cause/detail mismatch)");
+      }
+      records.push_back(r);
+    } catch (const ParseError& e) {
+      throw ParseError("line " + std::to_string(line) + ": " + e.what());
+    }
+  }
+  return FailureDataset(std::move(records));
+}
+
+FailureDataset read_csv_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  return read_csv(in);
+}
+
+}  // namespace hpcfail::trace

@@ -1,0 +1,34 @@
+// CSV ingest/export of failure datasets in a schema mirroring the public
+// LANL release: one row per failure with system, node, start/end
+// timestamps, workload, and root cause at both levels.
+//
+// Header: system,node,start,end,workload,cause,detail
+// Timestamps are "YYYY-MM-DD HH:MM:SS" UTC. The reader validates every
+// field and reports the line number of the first malformed row.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/dataset.hpp"
+
+namespace hpcfail::trace {
+
+/// The canonical header row.
+extern const char* const kCsvHeader;
+
+/// Writes the dataset (header + one row per record).
+void write_csv(std::ostream& out, const FailureDataset& dataset);
+
+/// Writes to a file; throws Error when the file cannot be opened.
+void write_csv_file(const std::string& path, const FailureDataset& dataset);
+
+/// Reads a dataset. Requires the canonical header. Throws ParseError with
+/// line numbers on malformed rows and InvalidArgument on semantically
+/// invalid records (via FailureDataset's constructor).
+FailureDataset read_csv(std::istream& in);
+
+/// Reads from a file; throws Error when the file cannot be opened.
+FailureDataset read_csv_file(const std::string& path);
+
+}  // namespace hpcfail::trace

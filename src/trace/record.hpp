@@ -1,0 +1,38 @@
+// One failure record, exactly the fields of the public LANL release that
+// the paper's analyses consume: when the failure started and was resolved,
+// which system and node it hit, the workload on that node, and the
+// (high-level + detailed) root cause.
+#pragma once
+
+#include "common/time.hpp"
+#include "trace/types.hpp"
+
+namespace hpcfail::trace {
+
+struct FailureRecord {
+  int system_id = 0;        ///< 1..22, see SystemCatalog
+  int node_id = 0;          ///< 0-based within the system
+  Seconds start = 0;        ///< failure detected / node down
+  Seconds end = 0;          ///< node returned to the job mix; end >= start
+  Workload workload = Workload::compute;
+  RootCause cause = RootCause::unknown;
+  DetailCause detail = DetailCause::undetermined;
+
+  /// Repair duration in seconds (the paper's "time to repair").
+  Seconds downtime_seconds() const noexcept { return end - start; }
+
+  /// Repair duration in minutes, the unit of Table 2 and Fig 7.
+  double downtime_minutes() const noexcept {
+    return static_cast<double>(end - start) / 60.0;
+  }
+
+  /// Record-level sanity: end >= start, plausible ids, cause/detail agree.
+  bool is_consistent() const noexcept {
+    return end >= start && system_id >= 1 && node_id >= 0 &&
+           category_of(detail) == cause;
+  }
+
+  friend bool operator==(const FailureRecord&, const FailureRecord&) = default;
+};
+
+}  // namespace hpcfail::trace

@@ -1,0 +1,127 @@
+#include "trace/types.hpp"
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+
+namespace hpcfail::trace {
+
+RootCause category_of(DetailCause detail) noexcept {
+  switch (detail) {
+    case DetailCause::memory_dimm:
+    case DetailCause::cpu:
+    case DetailCause::node_interconnect:
+    case DetailCause::power_supply:
+    case DetailCause::disk:
+    case DetailCause::other_hardware:
+      return RootCause::hardware;
+    case DetailCause::operating_system:
+    case DetailCause::parallel_fs:
+    case DetailCause::scheduler:
+    case DetailCause::other_software:
+      return RootCause::software;
+    case DetailCause::network_switch:
+    case DetailCause::nic:
+      return RootCause::network;
+    case DetailCause::power_outage:
+    case DetailCause::ac_failure:
+      return RootCause::environment;
+    case DetailCause::operator_error:
+      return RootCause::human;
+    case DetailCause::undetermined:
+      return RootCause::unknown;
+  }
+  return RootCause::unknown;
+}
+
+std::size_t cause_index(RootCause cause) noexcept {
+  switch (cause) {
+    case RootCause::hardware: return 0;
+    case RootCause::software: return 1;
+    case RootCause::network: return 2;
+    case RootCause::environment: return 3;
+    case RootCause::human: return 4;
+    case RootCause::unknown: return 5;
+  }
+  return 5;
+}
+
+std::string to_string(RootCause cause) {
+  switch (cause) {
+    case RootCause::hardware: return "hardware";
+    case RootCause::software: return "software";
+    case RootCause::network: return "network";
+    case RootCause::environment: return "environment";
+    case RootCause::human: return "human";
+    case RootCause::unknown: return "unknown";
+  }
+  throw InvalidArgument("invalid RootCause value");
+}
+
+std::string to_string(DetailCause detail) {
+  switch (detail) {
+    case DetailCause::memory_dimm: return "memory_dimm";
+    case DetailCause::cpu: return "cpu";
+    case DetailCause::node_interconnect: return "node_interconnect";
+    case DetailCause::power_supply: return "power_supply";
+    case DetailCause::disk: return "disk";
+    case DetailCause::other_hardware: return "other_hardware";
+    case DetailCause::operating_system: return "operating_system";
+    case DetailCause::parallel_fs: return "parallel_fs";
+    case DetailCause::scheduler: return "scheduler";
+    case DetailCause::other_software: return "other_software";
+    case DetailCause::network_switch: return "network_switch";
+    case DetailCause::nic: return "nic";
+    case DetailCause::power_outage: return "power_outage";
+    case DetailCause::ac_failure: return "ac_failure";
+    case DetailCause::operator_error: return "operator_error";
+    case DetailCause::undetermined: return "undetermined";
+  }
+  throw InvalidArgument("invalid DetailCause value");
+}
+
+std::string to_string(Workload workload) {
+  switch (workload) {
+    case Workload::compute: return "compute";
+    case Workload::graphics: return "graphics";
+    case Workload::frontend: return "fe";
+  }
+  throw InvalidArgument("invalid Workload value");
+}
+
+RootCause root_cause_from_string(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  for (const RootCause cause : kAllRootCauses) {
+    if (t == to_string(cause)) return cause;
+  }
+  throw ParseError("unknown root cause: '" + std::string(text) + "'");
+}
+
+DetailCause detail_cause_from_string(std::string_view text) {
+  static constexpr std::array<DetailCause, 16> kAll = {
+      DetailCause::memory_dimm,      DetailCause::cpu,
+      DetailCause::node_interconnect, DetailCause::power_supply,
+      DetailCause::disk,             DetailCause::other_hardware,
+      DetailCause::operating_system, DetailCause::parallel_fs,
+      DetailCause::scheduler,        DetailCause::other_software,
+      DetailCause::network_switch,   DetailCause::nic,
+      DetailCause::power_outage,     DetailCause::ac_failure,
+      DetailCause::operator_error,   DetailCause::undetermined,
+  };
+  const std::string t = to_lower(trim(text));
+  for (const DetailCause detail : kAll) {
+    if (t == to_string(detail)) return detail;
+  }
+  throw ParseError("unknown detail cause: '" + std::string(text) + "'");
+}
+
+Workload workload_from_string(std::string_view text) {
+  const std::string t = to_lower(trim(text));
+  if (t == "compute") return Workload::compute;
+  if (t == "graphics") return Workload::graphics;
+  if (t == "fe" || t == "frontend" || t == "front-end") {
+    return Workload::frontend;
+  }
+  throw ParseError("unknown workload: '" + std::string(text) + "'");
+}
+
+}  // namespace hpcfail::trace

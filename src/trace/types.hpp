@@ -1,0 +1,81 @@
+// Failure-record vocabulary, mirroring the public LANL release.
+//
+// Root causes fall into the six high-level categories of Section 2.3
+// (human, environment, network, software, hardware, unknown). The release
+// also carries detailed root-cause strings (99 distinct hardware categories
+// alone); we model the detailed level with the specific causes the paper
+// discusses plus catch-alls, which is the granularity every analysis needs.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace hpcfail::trace {
+
+/// High-level root-cause categories (Section 2.3).
+enum class RootCause {
+  hardware,
+  software,
+  network,
+  environment,
+  human,
+  unknown,
+};
+
+inline constexpr std::array<RootCause, 6> kAllRootCauses = {
+    RootCause::hardware, RootCause::software,    RootCause::network,
+    RootCause::environment, RootCause::human,    RootCause::unknown,
+};
+
+/// Detailed root causes the paper's Section 4 discusses explicitly.
+enum class DetailCause {
+  // hardware
+  memory_dimm,        ///< the most common low-level cause in every system
+  cpu,                ///< dominant in type E (design flaw, >50% of failures)
+  node_interconnect,
+  power_supply,
+  disk,
+  other_hardware,
+  // software
+  operating_system,   ///< top software cause for system E
+  parallel_fs,        ///< top software cause for system F
+  scheduler,          ///< top software cause for system H
+  other_software,     ///< unspecified software (common for D and G)
+  // network
+  network_switch,
+  nic,
+  // environment (the release has exactly two)
+  power_outage,
+  ac_failure,
+  // human
+  operator_error,
+  // unknown
+  undetermined,
+};
+
+/// Workload running on the failed node (Section 2.3).
+enum class Workload {
+  compute,
+  graphics,
+  frontend,
+};
+
+/// The high-level category a detailed cause belongs to.
+RootCause category_of(DetailCause detail) noexcept;
+
+/// Stable index of a cause in kAllRootCauses order (hardware=0 ...
+/// unknown=5); used wherever per-cause arrays appear.
+std::size_t cause_index(RootCause cause) noexcept;
+
+std::string to_string(RootCause cause);
+std::string to_string(DetailCause detail);
+std::string to_string(Workload workload);
+
+/// Inverse of to_string (case-insensitive). Throws ParseError on unknown
+/// spellings.
+RootCause root_cause_from_string(std::string_view text);
+DetailCause detail_cause_from_string(std::string_view text);
+Workload workload_from_string(std::string_view text);
+
+}  // namespace hpcfail::trace

@@ -1,0 +1,114 @@
+#include "trace/validate.hpp"
+
+#include <map>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace hpcfail::trace {
+
+std::string to_string(ValidationIssueKind kind) {
+  switch (kind) {
+    case ValidationIssueKind::unknown_system: return "unknown_system";
+    case ValidationIssueKind::node_out_of_range: return "node_out_of_range";
+    case ValidationIssueKind::outside_production:
+      return "outside_production";
+    case ValidationIssueKind::overlapping_repair:
+      return "overlapping_repair";
+    case ValidationIssueKind::implausible_duration:
+      return "implausible_duration";
+    case ValidationIssueKind::workload_mismatch:
+      return "workload_mismatch";
+  }
+  throw InvalidArgument("invalid ValidationIssueKind");
+}
+
+std::size_t ValidationReport::count(ValidationIssueKind kind) const noexcept {
+  std::size_t total = 0;
+  for (const ValidationIssue& issue : issues) {
+    if (issue.kind == kind) ++total;
+  }
+  return total;
+}
+
+ValidationReport validate(const FailureDataset& dataset,
+                          const SystemCatalog& catalog,
+                          ValidationOptions options) {
+  ValidationReport report;
+  report.records_checked = dataset.size();
+  const auto max_repair_seconds =
+      static_cast<Seconds>(options.max_repair_days * kSecondsPerDay);
+
+  // Latest repair end seen so far per (system, node); records are sorted
+  // by start, so an overlap is simply start < previous end.
+  std::map<std::pair<int, int>, Seconds> down_until;
+
+  const auto records = dataset.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const FailureRecord& r = records[i];
+    const auto flag = [&](ValidationIssueKind kind, std::string message) {
+      report.issues.push_back({kind, i, std::move(message)});
+    };
+
+    if (!catalog.contains(r.system_id)) {
+      flag(ValidationIssueKind::unknown_system,
+           "system " + std::to_string(r.system_id) +
+               " is not in the catalog");
+      continue;  // nothing else is checkable
+    }
+    const SystemInfo& sys = catalog.system(r.system_id);
+    if (r.node_id >= sys.nodes) {
+      flag(ValidationIssueKind::node_out_of_range,
+           "node " + std::to_string(r.node_id) + " of system " +
+               std::to_string(r.system_id) + " (has " +
+               std::to_string(sys.nodes) + " nodes)");
+      continue;
+    }
+    const NodeCategory& category = sys.category_for_node(r.node_id);
+    if (r.start < category.production_start ||
+        r.start >= category.production_end) {
+      flag(ValidationIssueKind::outside_production,
+           "failure at " + format_timestamp(r.start) +
+               " outside the node's production window");
+    }
+    if (r.downtime_seconds() > max_repair_seconds) {
+      flag(ValidationIssueKind::implausible_duration,
+           "repair of " + std::to_string(r.downtime_seconds() /
+                                         kSecondsPerDay) +
+               " days exceeds the plausibility cap");
+    }
+    if (options.check_workloads &&
+        r.workload != sys.workload_of(r.node_id)) {
+      flag(ValidationIssueKind::workload_mismatch,
+           "record says " + to_string(r.workload) + ", catalog says " +
+               to_string(sys.workload_of(r.node_id)));
+    }
+    const auto key = std::make_pair(r.system_id, r.node_id);
+    const auto it = down_until.find(key);
+    if (it != down_until.end() && r.start < it->second) {
+      flag(ValidationIssueKind::overlapping_repair,
+           "failure starts while the node is still under repair until " +
+               format_timestamp(it->second));
+    }
+    Seconds& until = down_until[key];
+    until = std::max(until, r.end);
+  }
+  return report;
+}
+
+FailureDataset drop_flagged(const FailureDataset& dataset,
+                            const ValidationReport& report) {
+  std::set<std::size_t> drop;
+  for (const ValidationIssue& issue : report.issues) {
+    drop.insert(issue.record_index);
+  }
+  std::vector<FailureRecord> kept;
+  const auto records = dataset.records();
+  kept.reserve(records.size() - drop.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (drop.find(i) == drop.end()) kept.push_back(records[i]);
+  }
+  return FailureDataset(std::move(kept));
+}
+
+}  // namespace hpcfail::trace

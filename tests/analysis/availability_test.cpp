@@ -1,0 +1,117 @@
+#include "analysis/availability.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+using trace::SystemCatalog;
+
+FailureRecord rec(int system, int node, Seconds start, Seconds duration) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::cpu;
+  return r;
+}
+
+const SystemAvailability& find(
+    const std::vector<SystemAvailability>& rows, int id) {
+  for (const SystemAvailability& a : rows) {
+    if (a.system_id == id) return a;
+  }
+  throw std::runtime_error("row missing");
+}
+
+TEST(Availability, HandComputedSingleSystem) {
+  // System 22: 1 node, production 2004-11-01 .. 2005-11-30.
+  // One failure with 24h downtime.
+  const FailureDataset ds(
+      {rec(22, 0, to_epoch(2005, 1, 1), 24 * kSecondsPerHour)});
+  const auto rows = availability_analysis(ds, SystemCatalog::lanl());
+  const SystemAvailability& a = find(rows, 22);
+  const double expected_hours =
+      static_cast<double>(to_epoch(2005, 11, 30) - to_epoch(2004, 11, 1)) /
+      3600.0;
+  EXPECT_NEAR(a.node_hours, expected_hours, 1.0);
+  EXPECT_NEAR(a.downtime_hours, 24.0, 1e-9);
+  EXPECT_NEAR(a.availability, 1.0 - 24.0 / expected_hours, 1e-9);
+  EXPECT_EQ(a.failures, 1u);
+  EXPECT_NEAR(a.node_mtbf_hours, expected_hours, 1.0);
+}
+
+TEST(Availability, SystemsWithoutFailuresAreFullyAvailable) {
+  const FailureDataset ds(
+      {rec(22, 0, to_epoch(2005, 1, 1), 3600)});
+  const auto rows = availability_analysis(ds, SystemCatalog::lanl());
+  EXPECT_EQ(rows.size(), 23u);  // 22 systems + site aggregate
+  const SystemAvailability& idle = find(rows, 7);
+  EXPECT_DOUBLE_EQ(idle.availability, 1.0);
+  EXPECT_EQ(idle.failures, 0u);
+}
+
+TEST(Availability, RepairPastProductionEndIsClipped) {
+  // Failure one hour before system 19's retirement with a 10-hour repair:
+  // only one hour counts.
+  const Seconds end = to_epoch(2002, 9, 1);
+  const FailureDataset ds(
+      {rec(19, 2, end - kSecondsPerHour, 10 * kSecondsPerHour)});
+  const auto rows = availability_analysis(ds, SystemCatalog::lanl());
+  EXPECT_NEAR(find(rows, 19).downtime_hours, 1.0, 1e-9);
+}
+
+TEST(Availability, SiteAggregateIsWeightedSum) {
+  const FailureDataset ds({
+      rec(22, 0, to_epoch(2005, 1, 1), 7200),
+      rec(13, 5, to_epoch(2004, 1, 1), 3600),
+  });
+  const auto rows = availability_analysis(ds, SystemCatalog::lanl());
+  const SystemAvailability& site = find(rows, 0);
+  EXPECT_EQ(site.hw_type, '*');
+  EXPECT_NEAR(site.downtime_hours, 3.0, 1e-9);
+  double node_hours = 0.0;
+  for (const SystemAvailability& a : rows) {
+    if (a.system_id != 0) node_hours += a.node_hours;
+  }
+  EXPECT_NEAR(site.node_hours, node_hours, 1e-6);
+  EXPECT_EQ(site.failures, 2u);
+}
+
+TEST(Availability, SyntheticTraceIsHighlyAvailable) {
+  // ~26k failures with ~6h mean repair over ~15M node-hours: the site
+  // sits in the 98+% range. The worst individual system is the
+  // single-node type H machine (frequent failures, NUMA-slow repairs).
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  const auto rows = availability_analysis(ds, SystemCatalog::lanl());
+  for (const SystemAvailability& a : rows) {
+    EXPECT_GT(a.availability, 0.85) << "system " << a.system_id;
+    EXPECT_LE(a.availability, 1.0);
+  }
+  EXPECT_GT(find(rows, 0).availability, 0.98);
+  EXPECT_LT(find(rows, 0).availability, 1.0);
+}
+
+TEST(Availability, RejectsRecordsOutsideTheCatalog) {
+  const FailureDataset unknown_system(
+      {rec(99, 0, to_epoch(2005, 1, 1), 600)});
+  EXPECT_THROW(
+      availability_analysis(unknown_system, SystemCatalog::lanl()),
+      InvalidArgument);
+  const FailureDataset bad_node(
+      {rec(22, 5, to_epoch(2005, 1, 1), 600)});
+  EXPECT_THROW(availability_analysis(bad_node, SystemCatalog::lanl()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

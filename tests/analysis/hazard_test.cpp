@@ -1,0 +1,116 @@
+#include "analysis/hazard.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/weibull.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+
+FailureDataset weibull_node_dataset(int system, int nodes, double shape,
+                                    double scale, int failures_per_node,
+                                    std::uint64_t seed) {
+  const hpcfail::dist::Weibull w(shape, scale);
+  hpcfail::Rng rng(seed);
+  std::vector<FailureRecord> records;
+  for (int node = 0; node < nodes; ++node) {
+    Seconds t = to_epoch(2000, 1, 1);
+    for (int i = 0; i < failures_per_node; ++i) {
+      t += static_cast<Seconds>(w.sample(rng)) + 1;
+      FailureRecord r;
+      r.system_id = system;
+      r.node_id = node;
+      r.start = t;
+      r.end = t + 600;
+      r.cause = RootCause::hardware;
+      r.detail = DetailCause::cpu;
+      records.push_back(r);
+    }
+  }
+  return FailureDataset(std::move(records));
+}
+
+TEST(HazardAnalysis, RecoversWeibullShapeAsSlope) {
+  const FailureDataset ds =
+      weibull_node_dataset(7, 20, 0.7, 100000.0, 200, 41);
+  const HazardReport report = node_hazard_analysis(ds, 7);
+  EXPECT_EQ(report.events, 20u * 199u);
+  // One censored interval per node, except the node whose last failure
+  // coincides with the default horizon (the trace's last failure).
+  EXPECT_GE(report.censored, 19u);
+  EXPECT_LE(report.censored, 20u);
+  EXPECT_NEAR(report.log_log_slope, 0.7, 0.1);
+  EXPECT_TRUE(report.decreasing_hazard());
+}
+
+TEST(HazardAnalysis, FlatHazardForExponentialLikeData) {
+  const FailureDataset ds =
+      weibull_node_dataset(7, 20, 1.0, 100000.0, 200, 43);
+  const HazardReport report = node_hazard_analysis(ds, 7);
+  EXPECT_NEAR(report.log_log_slope, 1.0, 0.1);
+}
+
+TEST(HazardAnalysis, CumulativeHazardIsMonotone) {
+  const FailureDataset ds =
+      weibull_node_dataset(3, 5, 0.8, 50000.0, 50, 47);
+  const HazardReport report = node_hazard_analysis(ds, 3);
+  double prev = 0.0;
+  for (const auto& p : report.cumulative_hazard) {
+    EXPECT_GE(p.value, prev);
+    prev = p.value;
+  }
+}
+
+TEST(HazardAnalysis, SyntheticLanlSystem20HasDecreasingHazard) {
+  // The paper's headline hazard claim, checked model-free on the full
+  // synthetic trace (late era to avoid the early-burst regime).
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  const FailureDataset late =
+      ds.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1));
+  const HazardReport report = node_hazard_analysis(late, 20);
+  EXPECT_TRUE(report.decreasing_hazard());
+  EXPECT_GT(report.log_log_slope, 0.4);
+  EXPECT_LT(report.log_log_slope, 1.0);
+}
+
+TEST(HazardAnalysis, ExplicitCensorHorizonIsRespected) {
+  const FailureDataset ds =
+      weibull_node_dataset(3, 4, 0.9, 50000.0, 30, 53);
+  const Seconds horizon = ds.records().back().start + 100 * kSecondsPerDay;
+  const HazardReport with_horizon =
+      node_hazard_analysis(ds, 3, horizon);
+  const HazardReport default_horizon = node_hazard_analysis(ds, 3);
+  // A horizon past the last failure censors every node; the default one
+  // censors every node except the holder of the last failure.
+  EXPECT_EQ(with_horizon.censored, 4u);
+  EXPECT_EQ(default_horizon.censored, 3u);
+  double longest_with = 0.0;
+  double longest_default = 0.0;
+  for (const auto& o : with_horizon.observations) {
+    if (!o.observed) longest_with = std::max(longest_with, o.time);
+  }
+  for (const auto& o : default_horizon.observations) {
+    if (!o.observed) longest_default = std::max(longest_default, o.time);
+  }
+  EXPECT_GT(longest_with, longest_default);
+}
+
+TEST(HazardAnalysis, ThrowsOnMissingOrTinySystems) {
+  const FailureDataset ds =
+      weibull_node_dataset(3, 1, 0.9, 50000.0, 5, 59);
+  EXPECT_THROW(node_hazard_analysis(ds, 4), InvalidArgument);
+  EXPECT_THROW(node_hazard_analysis(ds, 3, {}, 16), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

@@ -1,0 +1,351 @@
+// End-to-end reproduction checks: generate the full synthetic LANL trace
+// and assert every qualitative finding of the paper's evaluation, table
+// by table and figure by figure. These are the "shape" assertions
+// EXPERIMENTS.md reports on.
+#include <gtest/gtest.h>
+
+#include "analysis/interarrival.hpp"
+#include "analysis/lifetime.hpp"
+#include "analysis/periodicity.hpp"
+#include "analysis/rates.hpp"
+#include "analysis/repair.hpp"
+#include "analysis/root_cause.hpp"
+#include "dist/weibull.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::RootCause;
+using trace::SystemCatalog;
+
+class LanlTraceTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    trace_ = new trace::FailureDataset(synth::generate_lanl_trace(42));
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static const trace::FailureDataset& trace() { return *trace_; }
+
+ private:
+  static trace::FailureDataset* trace_;
+};
+
+trace::FailureDataset* LanlTraceTest::trace_ = nullptr;
+
+// ---- Fig 1(a)/(b): root-cause breakdown ----
+
+TEST_F(LanlTraceTest, Fig1aHardwareLargestSoftwareSecond) {
+  const RootCauseReport report =
+      root_cause_breakdown(trace(), SystemCatalog::lanl());
+  const std::size_t hw = breakdown_index(RootCause::hardware);
+  const std::size_t sw = breakdown_index(RootCause::software);
+  for (const CauseBreakdown& b : report.by_type) {
+    EXPECT_GE(b.count_percent[hw], 30.0) << "type " << b.label;
+    EXPECT_LE(b.count_percent[hw], 70.0) << "type " << b.label;
+    EXPECT_GE(b.count_percent[sw], 4.0) << "type " << b.label;
+  }
+  EXPECT_GE(report.all.count_percent[hw], 40.0);
+  EXPECT_GT(report.all.count_percent[hw], report.all.count_percent[sw]);
+}
+
+TEST_F(LanlTraceTest, Fig1aUnknownHighExceptTypeE) {
+  const RootCauseReport report =
+      root_cause_breakdown(trace(), SystemCatalog::lanl());
+  const std::size_t unk = breakdown_index(RootCause::unknown);
+  for (const CauseBreakdown& b : report.by_type) {
+    if (b.label == "E") {
+      EXPECT_LT(b.count_percent[unk], 5.0);
+    } else if (b.label == "D" || b.label == "G" || b.label == "F" ||
+               b.label == "H") {
+      EXPECT_GE(b.count_percent[unk], 15.0) << "type " << b.label;
+      EXPECT_LE(b.count_percent[unk], 35.0) << "type " << b.label;
+    }
+  }
+}
+
+TEST_F(LanlTraceTest, Fig1bUnknownDowntimeSmallExceptPioneers) {
+  const RootCauseReport report =
+      root_cause_breakdown(trace(), SystemCatalog::lanl());
+  const std::size_t unk = breakdown_index(RootCause::unknown);
+  for (const CauseBreakdown& b : report.by_type) {
+    if (b.label == "D" || b.label == "G") {
+      EXPECT_GT(b.downtime_percent[unk], 5.0) << "type " << b.label;
+    } else if (b.label == "E" || b.label == "F" || b.label == "H") {
+      EXPECT_LT(b.downtime_percent[unk], 6.0) << "type " << b.label;
+    }
+  }
+}
+
+// ---- Section 4: detailed causes ----
+
+TEST_F(LanlTraceTest, MemoryExceedsTenPercentEverywhereItMatters) {
+  for (const char type : {'D', 'F', 'G', 'H'}) {
+    double memory = 0.0;
+    double total = 0.0;
+    for (const auto& r : trace().records()) {
+      if (SystemCatalog::lanl().system(r.system_id).hw_type != type) {
+        continue;
+      }
+      total += 1.0;
+      if (r.detail == trace::DetailCause::memory_dimm) memory += 1.0;
+    }
+    ASSERT_GT(total, 0.0);
+    EXPECT_GT(memory / total, 0.09) << "type " << type;
+  }
+}
+
+TEST_F(LanlTraceTest, TypeECpuShareExceedsHalf) {
+  double cpu = 0.0;
+  double total = 0.0;
+  for (const auto& r : trace().records()) {
+    if (SystemCatalog::lanl().system(r.system_id).hw_type != 'E') continue;
+    total += 1.0;
+    if (r.detail == trace::DetailCause::cpu) cpu += 1.0;
+  }
+  EXPECT_GT(cpu / total, 0.45);
+}
+
+// ---- Fig 2: failure rates across systems ----
+
+TEST_F(LanlTraceTest, Fig2aRatesSpanPaperRange) {
+  const auto rates = failure_rates(trace(), SystemCatalog::lanl());
+  ASSERT_EQ(rates.size(), 22u);
+  double lo = 1e12;
+  double hi = 0.0;
+  for (const SystemRate& r : rates) {
+    lo = std::min(lo, r.failures_per_year);
+    hi = std::max(hi, r.failures_per_year);
+  }
+  // Paper: 17 to 1159 failures per year.
+  EXPECT_LT(lo, 40.0);
+  EXPECT_GT(hi, 800.0);
+  EXPECT_GT(hi / lo, 20.0);
+}
+
+TEST_F(LanlTraceTest, Fig2bNormalizedRatesClusterWithinType) {
+  const auto rates = failure_rates(trace(), SystemCatalog::lanl());
+  // Type E systems 7-11 (excluding the burn-in pioneers 5-6 and tiny 12)
+  // should have similar per-processor rates despite 4x size differences.
+  std::vector<double> type_e;
+  for (const SystemRate& r : rates) {
+    if (r.system_id >= 7 && r.system_id <= 11) {
+      type_e.push_back(r.failures_per_year_per_proc);
+    }
+  }
+  ASSERT_EQ(type_e.size(), 5u);
+  const double lo = *std::min_element(type_e.begin(), type_e.end());
+  const double hi = *std::max_element(type_e.begin(), type_e.end());
+  EXPECT_LT(hi / lo, 2.0);
+  // And normalized variability across all systems is much smaller than
+  // raw variability.
+  double raw_hi = 0.0;
+  double raw_lo = 1e12;
+  double norm_hi = 0.0;
+  double norm_lo = 1e12;
+  for (const SystemRate& r : rates) {
+    raw_hi = std::max(raw_hi, r.failures_per_year);
+    raw_lo = std::min(raw_lo, r.failures_per_year);
+    norm_hi = std::max(norm_hi, r.failures_per_year_per_proc);
+    norm_lo = std::min(norm_lo, r.failures_per_year_per_proc);
+  }
+  EXPECT_LT(norm_hi / norm_lo, raw_hi / raw_lo);
+}
+
+// ---- Fig 3: distribution across nodes ----
+
+TEST_F(LanlTraceTest, Fig3aGraphicsNodesHoldTwentyPercent) {
+  const auto report =
+      node_distribution(trace(), SystemCatalog::lanl(), 20);
+  EXPECT_NEAR(report.graphics_node_fraction, 0.06, 0.01);
+  EXPECT_GT(report.graphics_failure_fraction, 0.12);
+  EXPECT_LT(report.graphics_failure_fraction, 0.30);
+}
+
+TEST_F(LanlTraceTest, Fig3bPoissonLosesToNormalAndLognormal) {
+  const auto report =
+      node_distribution(trace(), SystemCatalog::lanl(), 20);
+  ASSERT_EQ(report.count_fits.size(), 3u);
+  EXPECT_NE(report.count_fits.front().family,
+            hpcfail::dist::Family::poisson);
+  EXPECT_EQ(report.count_fits.back().family,
+            hpcfail::dist::Family::poisson);
+}
+
+// ---- Fig 4: lifetime curves ----
+
+TEST_F(LanlTraceTest, Fig4aTypeESystemsBurnIn) {
+  const LifetimeCurve curve =
+      lifetime_curve(trace(), SystemCatalog::lanl(), 5);
+  EXPECT_LT(curve.peak_month, 8);
+  EXPECT_GT(curve.early_to_late_ratio, 1.5);
+}
+
+TEST_F(LanlTraceTest, Fig4bTypeGSystemsRampUp) {
+  const LifetimeCurve curve =
+      lifetime_curve(trace(), SystemCatalog::lanl(), 19);
+  // The rate climbs for well over a year before peaking (Fig 4b) ...
+  EXPECT_GT(curve.peak_month, 10);
+  EXPECT_LT(curve.peak_month, 35);
+  // ... so the first months are far below the peak months, unlike the
+  // burn-in shape where month 0 is the maximum.
+  double first_quarter_mean = 0.0;
+  for (int m = 0; m < 3; ++m) {
+    first_quarter_mean += curve.months[static_cast<std::size_t>(m)].total();
+  }
+  first_quarter_mean /= 3.0;
+  const double peak = curve.months[static_cast<std::size_t>(
+                                       curve.peak_month)]
+                          .total();
+  EXPECT_LT(first_quarter_mean, 0.6 * peak);
+}
+
+TEST_F(LanlTraceTest, Fig4System21BehavesLikeBurnInDespiteTypeG) {
+  // Section 5.2: system 21 was introduced two years later and follows
+  // the conventional pattern.
+  const LifetimeCurve curve =
+      lifetime_curve(trace(), SystemCatalog::lanl(), 21);
+  EXPECT_LT(curve.peak_month, 10);
+}
+
+// ---- Fig 5: periodicity ----
+
+TEST_F(LanlTraceTest, Fig5DayNightAndWeekdayWeekendRatios) {
+  const PeriodicityReport report = periodicity(trace());
+  EXPECT_GT(report.day_night_ratio, 1.6);
+  EXPECT_LT(report.day_night_ratio, 2.6);
+  EXPECT_GT(report.weekday_weekend_ratio, 1.4);
+  EXPECT_LT(report.weekday_weekend_ratio, 2.2);
+}
+
+// ---- Fig 6: time between failures ----
+
+TEST_F(LanlTraceTest, Fig6bNode22LateFitsWeibullWithDecreasingHazard) {
+  InterarrivalQuery q;
+  q.system_id = 20;
+  q.node_id = 22;
+  q.from = to_epoch(2000, 1, 1);
+  const InterarrivalReport report = interarrival_analysis(trace(), q);
+  // Weibull or gamma best ("both equally good" in the paper);
+  // exponential clearly behind (bottom two, behind both of them).
+  EXPECT_TRUE(report.best().family == hpcfail::dist::Family::weibull ||
+              report.best().family == hpcfail::dist::Family::gamma);
+  EXPECT_TRUE(report.fits[2].family == hpcfail::dist::Family::exponential ||
+              report.fits[3].family == hpcfail::dist::Family::exponential);
+  // C^2 well above the exponential's 1 (paper: 1.9).
+  EXPECT_GT(report.summary.cv2, 1.3);
+  // The fitted Weibull shape lands in the paper's 0.7-0.8 band (widened
+  // for sampling noise).
+  for (const auto& f : report.fits) {
+    if (f.family == hpcfail::dist::Family::weibull) {
+      const auto* w =
+          dynamic_cast<const hpcfail::dist::Weibull*>(f.model.get());
+      ASSERT_NE(w, nullptr);
+      EXPECT_GT(w->shape(), 0.55);
+      EXPECT_LT(w->shape(), 1.0);
+      EXPECT_TRUE(w->decreasing_hazard());
+    }
+  }
+}
+
+TEST_F(LanlTraceTest, Fig6aNode22EarlyIsMoreVariableAndLognormalLike) {
+  InterarrivalQuery early;
+  early.system_id = 20;
+  early.node_id = 22;
+  early.to = to_epoch(2000, 1, 1);
+  const InterarrivalReport report_early =
+      interarrival_analysis(trace(), early);
+  InterarrivalQuery late = early;
+  late.from = to_epoch(2000, 1, 1);
+  late.to.reset();
+  const InterarrivalReport report_late =
+      interarrival_analysis(trace(), late);
+  // Early era more variable than late (paper: C^2 3.9 vs 1.9).
+  EXPECT_GT(report_early.summary.cv2, report_late.summary.cv2);
+  // Lognormal is the best early fit in the paper; accept it ranking in
+  // the top two here (gamma/weibull trail, exponential last).
+  const auto& fits = report_early.fits;
+  const bool lognormal_top2 =
+      fits[0].family == hpcfail::dist::Family::lognormal ||
+      fits[1].family == hpcfail::dist::Family::lognormal;
+  EXPECT_TRUE(lognormal_top2);
+  EXPECT_EQ(fits.back().family, hpcfail::dist::Family::exponential);
+}
+
+TEST_F(LanlTraceTest, Fig6cSystemWideEarlyHasZeroGapMass) {
+  InterarrivalQuery q;
+  q.system_id = 20;
+  q.to = to_epoch(2000, 1, 1);
+  const InterarrivalReport report = interarrival_analysis(trace(), q);
+  EXPECT_GT(report.zero_fraction, 0.30);  // paper: "> 30%"
+}
+
+TEST_F(LanlTraceTest, Fig6dSystemWideLateExponentialStillWorst) {
+  InterarrivalQuery q;
+  q.system_id = 20;
+  q.from = to_epoch(2000, 1, 1);
+  const InterarrivalReport report = interarrival_analysis(trace(), q);
+  EXPECT_TRUE(report.fits[2].family == hpcfail::dist::Family::exponential ||
+              report.fits[3].family == hpcfail::dist::Family::exponential);
+  EXPECT_GT(report.summary.cv2, 1.0);
+}
+
+// ---- Table 2 and Fig 7: repair times ----
+
+TEST_F(LanlTraceTest, Table2RepairMomentsTrackThePaper) {
+  const RepairReport report =
+      repair_analysis(trace(), SystemCatalog::lanl());
+  // Aggregate: mean ~6 hours (355 min), median ~1 hour (54 min); accept
+  // a generous band since the synthetic mixture only anchors the parts.
+  EXPECT_GT(report.all.mean, 150.0);
+  EXPECT_LT(report.all.mean, 700.0);
+  EXPECT_GT(report.all.median, 15.0);
+  EXPECT_LT(report.all.median, 120.0);
+  // Extremely variable overall.
+  EXPECT_GT(report.all.cv2, 10.0);
+
+  for (const RepairByCause& c : report.by_cause) {
+    if (c.cause == RootCause::environment) {
+      // Longest repairs, and the *least* variable category.
+      EXPECT_GT(c.stats.median, 150.0);
+      EXPECT_LT(c.stats.cv2, 30.0);
+    }
+    if (c.cause == RootCause::software || c.cause == RootCause::hardware) {
+      // Median an order of magnitude below the mean.
+      EXPECT_GT(c.stats.mean / c.stats.median, 3.0);
+    }
+  }
+}
+
+TEST_F(LanlTraceTest, Fig7aLognormalBestExponentialWorst) {
+  const RepairReport report =
+      repair_analysis(trace(), SystemCatalog::lanl());
+  EXPECT_EQ(report.fits.front().family,
+            hpcfail::dist::Family::lognormal);
+  EXPECT_EQ(report.fits.back().family,
+            hpcfail::dist::Family::exponential);
+}
+
+TEST_F(LanlTraceTest, Fig7bcRepairTimesClusterByTypeNotSize) {
+  const RepairReport report =
+      repair_analysis(trace(), SystemCatalog::lanl());
+  // Type E spans 128-1024 nodes; medians must stay within a tight band.
+  std::vector<double> type_e;
+  double type_g_median = 0.0;
+  for (const RepairBySystem& s : report.by_system) {
+    if (s.hw_type == 'E') type_e.push_back(s.median_minutes);
+    if (s.system_id == 20) type_g_median = s.median_minutes;
+  }
+  ASSERT_GE(type_e.size(), 6u);
+  const double lo = *std::min_element(type_e.begin(), type_e.end());
+  const double hi = *std::max_element(type_e.begin(), type_e.end());
+  EXPECT_LT(hi / lo, 2.5);
+  // The NUMA type repairs much slower than type E.
+  EXPECT_GT(type_g_median, hi);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

@@ -1,0 +1,72 @@
+// Seed-robustness: the headline paper-shape claims must hold for any
+// generator seed, not just the default 42 the benches use. This guards
+// the reproduction against "seed luck" in the calibration.
+#include <gtest/gtest.h>
+
+#include "analysis/interarrival.hpp"
+#include "analysis/periodicity.hpp"
+#include "analysis/repair.hpp"
+#include "dist/weibull.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+class MultiSeedShape : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MultiSeedShape, HeadlineFindingsHold) {
+  const trace::FailureDataset ds =
+      synth::generate_lanl_trace(GetParam());
+
+  // Paper scale.
+  EXPECT_GT(ds.size(), 18000u);
+  EXPECT_LT(ds.size(), 32000u);
+
+  // Fig 6(d): system-wide late TBF -- Weibull/gamma best, decreasing
+  // hazard, exponential's C^2=1 clearly wrong.
+  InterarrivalQuery q;
+  q.system_id = 20;
+  q.from = to_epoch(2000, 1, 1);
+  const InterarrivalReport tbf = interarrival_analysis(ds, q);
+  EXPECT_TRUE(tbf.best().family == hpcfail::dist::Family::weibull ||
+              tbf.best().family == hpcfail::dist::Family::gamma);
+  EXPECT_GT(tbf.summary.cv2, 1.2);
+  for (const auto& fit : tbf.fits) {
+    if (fit.family == hpcfail::dist::Family::weibull) {
+      const auto* w =
+          dynamic_cast<const hpcfail::dist::Weibull*>(fit.model.get());
+      EXPECT_GT(w->shape(), 0.5);
+      EXPECT_LT(w->shape(), 1.0);
+    }
+  }
+
+  // Fig 6(c): early system-wide zero-gap mass.
+  InterarrivalQuery early;
+  early.system_id = 20;
+  early.to = to_epoch(2000, 1, 1);
+  EXPECT_GT(interarrival_analysis(ds, early).zero_fraction, 0.30);
+
+  // Fig 7(a): lognormal best, exponential worst on repair times.
+  const RepairReport repair =
+      repair_analysis(ds, trace::SystemCatalog::lanl());
+  EXPECT_EQ(repair.fits.front().family,
+            hpcfail::dist::Family::lognormal);
+  EXPECT_EQ(repair.fits.back().family,
+            hpcfail::dist::Family::exponential);
+  EXPECT_GT(repair.all.cv2, 5.0);
+
+  // Fig 5: workload periodicity.
+  const PeriodicityReport period = periodicity(ds);
+  EXPECT_GT(period.day_night_ratio, 1.5);
+  EXPECT_GT(period.weekday_weekend_ratio, 1.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiSeedShape,
+                         ::testing::Values(1ULL, 7ULL, 2026ULL),
+                         [](const ::testing::TestParamInfo<std::uint64_t>&
+                                info) {
+                           return "seed_" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace hpcfail::analysis

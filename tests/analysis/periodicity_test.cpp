@@ -1,0 +1,87 @@
+#include "analysis/periodicity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+
+FailureRecord at(Seconds start) {
+  FailureRecord r;
+  r.system_id = 1;
+  r.node_id = 0;
+  r.start = start;
+  r.end = start + 60;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::cpu;
+  return r;
+}
+
+TEST(Periodicity, BucketsByHourAndWeekday) {
+  // 2005-11-28 is a Monday.
+  const Seconds monday = to_epoch(2005, 11, 28);
+  const FailureDataset ds({
+      at(monday + 14 * kSecondsPerHour),
+      at(monday + 14 * kSecondsPerHour + 100),
+      at(monday + 2 * kSecondsPerHour),
+      at(monday - kSecondsPerDay + 10),  // Sunday 00:00:10
+  });
+  const PeriodicityReport report = periodicity(ds);
+  EXPECT_DOUBLE_EQ(report.by_hour[14], 2.0);
+  EXPECT_DOUBLE_EQ(report.by_hour[2], 1.0);
+  EXPECT_DOUBLE_EQ(report.by_hour[0], 1.0);
+  EXPECT_DOUBLE_EQ(report.by_weekday[1], 3.0);  // Monday
+  EXPECT_DOUBLE_EQ(report.by_weekday[0], 1.0);  // Sunday
+}
+
+TEST(Periodicity, RatiosReflectDayNightAndWeekPattern) {
+  // Build a synthetic week: 20 failures at 14:00 each weekday, 10 at
+  // 02:00 each weekday, half as many on the weekend.
+  std::vector<FailureRecord> records;
+  const Seconds sunday = to_epoch(2005, 11, 27);
+  for (int day = 0; day < 7; ++day) {
+    const bool weekend = day == 0 || day == 6;
+    const int day_count = weekend ? 10 : 20;
+    const int night_count = weekend ? 5 : 10;
+    for (int i = 0; i < day_count; ++i) {
+      records.push_back(
+          at(sunday + day * kSecondsPerDay + 14 * kSecondsPerHour + i));
+    }
+    for (int i = 0; i < night_count; ++i) {
+      records.push_back(
+          at(sunday + day * kSecondsPerDay + 2 * kSecondsPerHour + i));
+    }
+  }
+  const PeriodicityReport report =
+      periodicity(FailureDataset(std::move(records)));
+  EXPECT_GT(report.day_night_ratio, 1.5);
+  EXPECT_NEAR(report.weekday_weekend_ratio, 2.0, 0.01);
+}
+
+TEST(Periodicity, RejectsEmptyDataset) {
+  EXPECT_THROW(periodicity(FailureDataset{}), InvalidArgument);
+}
+
+TEST(Periodicity, TotalsAreConserved) {
+  std::vector<FailureRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(at(to_epoch(2004, 3, 1) + i * 7919));
+  }
+  const PeriodicityReport report =
+      periodicity(FailureDataset(std::move(records)));
+  double hour_total = 0.0;
+  double day_total = 0.0;
+  for (const double c : report.by_hour) hour_total += c;
+  for (const double c : report.by_weekday) day_total += c;
+  EXPECT_DOUBLE_EQ(hour_total, 100.0);
+  EXPECT_DOUBLE_EQ(day_total, 100.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

@@ -1,0 +1,135 @@
+#include "analysis/rates.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+using trace::SystemCatalog;
+
+FailureRecord rec(int system, int node, Seconds start) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + 600;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::memory_dimm;
+  return r;
+}
+
+TEST(FailureRates, NormalizesByProductionTimeAndProcs) {
+  // System 22 (type H, 256 procs) ran 2004-11 .. 2005-11: ~1.05 years.
+  std::vector<FailureRecord> records;
+  const Seconds start = to_epoch(2004, 12, 1);
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(rec(22, 0, start + i * 3600));
+  }
+  const auto rates = failure_rates(FailureDataset(std::move(records)),
+                                   SystemCatalog::lanl());
+  ASSERT_EQ(rates.size(), 1u);
+  const SystemRate& r = rates[0];
+  EXPECT_EQ(r.system_id, 22);
+  EXPECT_EQ(r.hw_type, 'H');
+  EXPECT_EQ(r.failures, 100u);
+  EXPECT_NEAR(r.production_years, 1.05, 0.05);
+  EXPECT_NEAR(r.failures_per_year, 100.0 / r.production_years, 1e-9);
+  EXPECT_NEAR(r.failures_per_year_per_proc, r.failures_per_year / 256.0,
+              1e-12);
+}
+
+TEST(FailureRates, OneRowPerSystemAscending) {
+  std::vector<FailureRecord> records;
+  const Seconds start = to_epoch(2004, 1, 1);
+  records.push_back(rec(20, 5, start));
+  records.push_back(rec(4, 3, start));
+  records.push_back(rec(13, 1, start));
+  const auto rates =
+      failure_rates(FailureDataset(std::move(records)),
+                    SystemCatalog::lanl());
+  ASSERT_EQ(rates.size(), 3u);
+  EXPECT_EQ(rates[0].system_id, 4);
+  EXPECT_EQ(rates[1].system_id, 13);
+  EXPECT_EQ(rates[2].system_id, 20);
+}
+
+TEST(FailureRates, RejectsEmptyDataset) {
+  EXPECT_THROW(failure_rates(FailureDataset{}, SystemCatalog::lanl()),
+               InvalidArgument);
+}
+
+TEST(NodeDistribution, CountsEveryNodeIncludingZeros) {
+  std::vector<FailureRecord> records;
+  const Seconds start = to_epoch(2004, 1, 1);
+  // System 12 has 32 nodes; hit only nodes 3 (twice) and 7 (once).
+  records.push_back(rec(12, 3, start));
+  records.push_back(rec(12, 3, start + 3600));
+  records.push_back(rec(12, 7, start + 7200));
+  const auto report = node_distribution(
+      FailureDataset(std::move(records)), SystemCatalog::lanl(), 12);
+  ASSERT_EQ(report.per_node.size(), 32u);
+  EXPECT_EQ(report.per_node[3].failures, 2u);
+  EXPECT_EQ(report.per_node[7].failures, 1u);
+  EXPECT_EQ(report.per_node[0].failures, 0u);
+  EXPECT_EQ(report.per_node[0].workload, trace::Workload::frontend);
+}
+
+TEST(NodeDistribution, GraphicsShareOnSystem20) {
+  std::vector<FailureRecord> records;
+  const Seconds start = to_epoch(2004, 1, 1);
+  // 8 failures on graphics node 22, 2 on compute node 5.
+  for (int i = 0; i < 8; ++i) records.push_back(rec(20, 22, start + i * 60));
+  records.push_back(rec(20, 5, start + 1000));
+  records.push_back(rec(20, 6, start + 2000));
+  const auto report = node_distribution(
+      FailureDataset(std::move(records)), SystemCatalog::lanl(), 20);
+  EXPECT_NEAR(report.graphics_node_fraction, 3.0 / 49.0, 1e-12);
+  EXPECT_NEAR(report.graphics_failure_fraction, 0.8, 1e-12);
+  // Compute-only counts exclude the graphics nodes.
+  for (const double c : report.compute_node_counts) {
+    EXPECT_LE(c, 2.0);
+  }
+}
+
+TEST(NodeDistribution, FitsCountModelsOnComputeNodes) {
+  // Overdispersed counts: Poisson must rank below normal/lognormal,
+  // Fig 3(b)'s finding.
+  hpcfail::Rng rng(71);
+  std::vector<FailureRecord> records;
+  const Seconds start = to_epoch(2004, 1, 1);
+  // System 18 (type F): 512 nodes, node 0 front-end. Draw per-node counts
+  // from a mixture of two rates (heterogeneity).
+  for (int node = 1; node < 512; ++node) {
+    const int count = 20 + static_cast<int>(rng.uniform_index(3) * 40);
+    for (int i = 0; i < count; ++i) {
+      records.push_back(rec(18, node, start + node * 5000 + i * 60));
+    }
+  }
+  const auto report = node_distribution(
+      FailureDataset(std::move(records)), SystemCatalog::lanl(), 18);
+  ASSERT_FALSE(report.count_fits.empty());
+  // Poisson is present but not the winner.
+  EXPECT_NE(report.count_fits.front().family,
+            hpcfail::dist::Family::poisson);
+  bool poisson_present = false;
+  for (const auto& f : report.count_fits) {
+    if (f.family == hpcfail::dist::Family::poisson) poisson_present = true;
+  }
+  EXPECT_TRUE(poisson_present);
+}
+
+TEST(NodeDistribution, RejectsSystemWithNoFailures) {
+  const FailureDataset ds({rec(5, 0, to_epoch(2004, 1, 1))});
+  EXPECT_THROW(node_distribution(ds, SystemCatalog::lanl(), 20),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

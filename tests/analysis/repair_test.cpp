@@ -1,0 +1,96 @@
+#include "analysis/repair.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/lognormal.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+using trace::SystemCatalog;
+
+FailureRecord rec(int system, Seconds start, double minutes,
+                  RootCause cause, DetailCause detail) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = 0;
+  r.start = start;
+  r.end = start + static_cast<Seconds>(minutes * 60.0);
+  r.cause = cause;
+  r.detail = detail;
+  return r;
+}
+
+const Seconds t0 = to_epoch(2004, 1, 1);
+
+TEST(RepairAnalysis, PerCauseStatsMatchHandComputation) {
+  const FailureDataset ds({
+      rec(22, t0, 10.0, RootCause::hardware, DetailCause::cpu),
+      rec(22, t0 + 3600, 30.0, RootCause::hardware,
+          DetailCause::memory_dimm),
+      rec(22, t0 + 7200, 100.0, RootCause::software,
+          DetailCause::scheduler),
+  });
+  const RepairReport report = repair_analysis(ds, SystemCatalog::lanl());
+  ASSERT_EQ(report.by_cause.size(), 2u);
+  EXPECT_EQ(report.by_cause[0].cause, RootCause::hardware);
+  EXPECT_DOUBLE_EQ(report.by_cause[0].stats.mean, 20.0);
+  EXPECT_DOUBLE_EQ(report.by_cause[0].stats.median, 20.0);
+  EXPECT_EQ(report.by_cause[1].cause, RootCause::software);
+  EXPECT_DOUBLE_EQ(report.by_cause[1].stats.mean, 100.0);
+  EXPECT_DOUBLE_EQ(report.all.mean, 140.0 / 3.0);
+}
+
+TEST(RepairAnalysis, LognormalBeatsExponentialOnSkewedRepairs) {
+  // Fig 7(a)'s finding, on data drawn from the Table 2 software profile.
+  const auto truth =
+      hpcfail::dist::LogNormal::from_mean_median(369.0, 33.0);
+  hpcfail::Rng rng(307);
+  std::vector<FailureRecord> records;
+  for (int i = 0; i < 5000; ++i) {
+    records.push_back(rec(13, t0 + i * 3600, truth.sample(rng),
+                          RootCause::software,
+                          DetailCause::parallel_fs));
+  }
+  const RepairReport report = repair_analysis(
+      FailureDataset(std::move(records)), SystemCatalog::lanl());
+  EXPECT_EQ(report.fits.front().family,
+            hpcfail::dist::Family::lognormal);
+  EXPECT_EQ(report.fits.back().family,
+            hpcfail::dist::Family::exponential);
+  // The paper's "extremely variable" observation: C^2 >> 1.
+  EXPECT_GT(report.all.cv2, 10.0);
+  EXPECT_GT(report.all.mean, report.all.median);
+}
+
+TEST(RepairAnalysis, PerSystemRows) {
+  const FailureDataset ds({
+      rec(5, t0, 10.0, RootCause::hardware, DetailCause::cpu),
+      rec(5, t0 + 60, 20.0, RootCause::hardware, DetailCause::cpu),
+      rec(20, t0 + 120, 500.0, RootCause::unknown,
+          DetailCause::undetermined),
+  });
+  const RepairReport report = repair_analysis(ds, SystemCatalog::lanl());
+  ASSERT_EQ(report.by_system.size(), 2u);
+  EXPECT_EQ(report.by_system[0].system_id, 5);
+  EXPECT_EQ(report.by_system[0].hw_type, 'E');
+  EXPECT_DOUBLE_EQ(report.by_system[0].mean_minutes, 15.0);
+  EXPECT_EQ(report.by_system[0].failures, 2u);
+  EXPECT_EQ(report.by_system[1].system_id, 20);
+  EXPECT_EQ(report.by_system[1].hw_type, 'G');
+  EXPECT_DOUBLE_EQ(report.by_system[1].median_minutes, 500.0);
+}
+
+TEST(RepairAnalysis, RejectsEmptyDataset) {
+  EXPECT_THROW(repair_analysis(FailureDataset{}, SystemCatalog::lanl()),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

@@ -1,0 +1,117 @@
+#include "analysis/root_cause.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+using trace::SystemCatalog;
+
+FailureRecord rec(int system, Seconds start, Seconds minutes,
+                  RootCause cause, DetailCause detail) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = 0;
+  r.start = start;
+  r.end = start + minutes * 60;
+  r.cause = cause;
+  r.detail = detail;
+  return r;
+}
+
+const Seconds t0 = to_epoch(2003, 1, 1);
+
+TEST(RootCauseBreakdown, CountsAndDowntimePercentages) {
+  // System 1 is type A, system 22 type H in the LANL catalog.
+  const FailureDataset ds({
+      rec(1, t0 + 100, 10, RootCause::hardware, DetailCause::cpu),
+      rec(1, t0 + 200, 10, RootCause::hardware, DetailCause::memory_dimm),
+      rec(1, t0 + 300, 40, RootCause::software,
+          DetailCause::operating_system),
+      rec(22, t0 + 400, 60, RootCause::unknown, DetailCause::undetermined),
+  });
+  const RootCauseReport report =
+      root_cause_breakdown(ds, SystemCatalog::lanl());
+
+  ASSERT_EQ(report.by_type.size(), 2u);
+  EXPECT_EQ(report.by_type[0].label, "A");
+  EXPECT_EQ(report.by_type[1].label, "H");
+
+  const CauseBreakdown& a = report.by_type[0];
+  EXPECT_EQ(a.failures, 3u);
+  EXPECT_NEAR(a.count_percent[breakdown_index(RootCause::hardware)],
+              200.0 / 3.0, 1e-9);
+  EXPECT_NEAR(a.count_percent[breakdown_index(RootCause::software)],
+              100.0 / 3.0, 1e-9);
+  // Downtime: hardware 20 min of 60 -> 33%, software 40 of 60 -> 67%.
+  EXPECT_NEAR(a.downtime_percent[breakdown_index(RootCause::hardware)],
+              100.0 / 3.0, 1e-9);
+  EXPECT_NEAR(a.downtime_percent[breakdown_index(RootCause::software)],
+              200.0 / 3.0, 1e-9);
+
+  EXPECT_EQ(report.all.failures, 4u);
+  EXPECT_NEAR(report.all.count_percent[breakdown_index(RootCause::unknown)],
+              25.0, 1e-9);
+  EXPECT_DOUBLE_EQ(report.all.downtime_minutes, 120.0);
+}
+
+TEST(RootCauseBreakdown, PercentagesSumToHundred) {
+  const FailureDataset ds({
+      rec(5, t0, 5, RootCause::network, DetailCause::nic),
+      rec(5, t0 + 60, 15, RootCause::human, DetailCause::operator_error),
+      rec(5, t0 + 120, 25, RootCause::environment,
+          DetailCause::power_outage),
+  });
+  const RootCauseReport report =
+      root_cause_breakdown(ds, SystemCatalog::lanl());
+  double count_sum = 0.0;
+  double downtime_sum = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    count_sum += report.all.count_percent[i];
+    downtime_sum += report.all.downtime_percent[i];
+  }
+  EXPECT_NEAR(count_sum, 100.0, 1e-9);
+  EXPECT_NEAR(downtime_sum, 100.0, 1e-9);
+}
+
+TEST(RootCauseBreakdown, OmitsTypesWithNoFailures) {
+  const FailureDataset ds({
+      rec(13, t0 + 3600 * 24 * 365, 5, RootCause::hardware,
+          DetailCause::disk),
+  });
+  const RootCauseReport report =
+      root_cause_breakdown(ds, SystemCatalog::lanl());
+  ASSERT_EQ(report.by_type.size(), 1u);
+  EXPECT_EQ(report.by_type[0].label, "F");
+}
+
+TEST(RootCauseBreakdown, RejectsEmptyDataset) {
+  EXPECT_THROW(root_cause_breakdown(FailureDataset{}, SystemCatalog::lanl()),
+               InvalidArgument);
+}
+
+TEST(DetailCauseFraction, CountsMatchingRecords) {
+  const FailureDataset ds({
+      rec(1, t0, 5, RootCause::hardware, DetailCause::memory_dimm),
+      rec(1, t0 + 60, 5, RootCause::hardware, DetailCause::memory_dimm),
+      rec(1, t0 + 120, 5, RootCause::hardware, DetailCause::cpu),
+      rec(1, t0 + 180, 5, RootCause::software, DetailCause::scheduler),
+  });
+  EXPECT_DOUBLE_EQ(detail_cause_fraction(ds, DetailCause::memory_dimm),
+                   0.5);
+  EXPECT_DOUBLE_EQ(detail_cause_fraction(ds, DetailCause::cpu), 0.25);
+  EXPECT_DOUBLE_EQ(detail_cause_fraction(ds, DetailCause::parallel_fs),
+                   0.0);
+  EXPECT_THROW(detail_cause_fraction(FailureDataset{},
+                                     DetailCause::memory_dimm),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

@@ -1,0 +1,102 @@
+#include "analysis/trend.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::analysis {
+namespace {
+
+using trace::DetailCause;
+using trace::FailureDataset;
+using trace::FailureRecord;
+using trace::RootCause;
+using trace::SystemCatalog;
+
+FailureRecord rec(int system, Seconds start, double repair_minutes) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = 0;
+  r.start = start;
+  r.end = start + static_cast<Seconds>(repair_minutes * 60.0);
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::cpu;
+  return r;
+}
+
+TEST(ReliabilityTrend, WindowCountsAndRepairMeans) {
+  // System 2 (one node, 7.5 years). Two failures in its first window,
+  // none later.
+  const Seconds start =
+      SystemCatalog::lanl().system(2).production_start();
+  const FailureDataset ds({
+      rec(2, start + 10 * kSecondsPerDay, 30.0),
+      rec(2, start + 20 * kSecondsPerDay, 90.0),
+  });
+  const TrendReport report =
+      reliability_trend(ds, SystemCatalog::lanl(), 2, 3);
+  ASSERT_FALSE(report.points.empty());
+  EXPECT_EQ(report.points.front().month, 3);
+  EXPECT_EQ(report.points.front().failures, 2u);
+  EXPECT_DOUBLE_EQ(report.points.front().mean_repair_minutes, 60.0);
+  // Far later windows are failure-free with MTBF = full window exposure.
+  const TrendPoint& last = report.points.back();
+  EXPECT_EQ(last.failures, 0u);
+  EXPECT_NEAR(last.node_mtbf_hours, 3.0 * 730.5, 15.0);
+  EXPECT_DOUBLE_EQ(last.mean_repair_minutes, 0.0);
+  // Reliability "grew" since all failures were early.
+  EXPECT_GT(report.mtbf_growth, 1.0);
+}
+
+TEST(ReliabilityTrend, BurnInSystemShowsMtbfGrowth) {
+  // System 5's burn-in (Fig 4a) means its early windows have much lower
+  // node-MTBF than its late ones.
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  const TrendReport report =
+      reliability_trend(ds, SystemCatalog::lanl(), 5);
+  EXPECT_GT(report.mtbf_growth, 1.5);
+  // Monotone-ish shape: the minimum node-MTBF is in the first year.
+  int min_month = 0;
+  double min_mtbf = 1e300;
+  for (const TrendPoint& p : report.points) {
+    if (p.node_mtbf_hours < min_mtbf) {
+      min_mtbf = p.node_mtbf_hours;
+      min_month = p.month;
+    }
+  }
+  EXPECT_LE(min_month, 12);
+}
+
+TEST(ReliabilityTrend, RampSystemDipsInTheMiddle) {
+  // System 19 (Fig 4b): worst reliability near the month-20 peak, not at
+  // the start.
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  const TrendReport report =
+      reliability_trend(ds, SystemCatalog::lanl(), 19);
+  int min_month = 0;
+  double min_mtbf = 1e300;
+  for (const TrendPoint& p : report.points) {
+    if (p.node_mtbf_hours < min_mtbf) {
+      min_mtbf = p.node_mtbf_hours;
+      min_month = p.month;
+    }
+  }
+  EXPECT_GT(min_month, 10);
+  EXPECT_LT(min_month, 40);
+}
+
+TEST(ReliabilityTrend, ValidatesArguments) {
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  EXPECT_THROW(reliability_trend(ds, SystemCatalog::lanl(), 5, 0),
+               InvalidArgument);
+  // System 22 lived ~13 months: a 12-month window doesn't fit twice.
+  EXPECT_THROW(reliability_trend(ds, SystemCatalog::lanl(), 22, 12),
+               InvalidArgument);
+  const FailureDataset empty;
+  EXPECT_THROW(reliability_trend(empty, SystemCatalog::lanl(), 5),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::analysis

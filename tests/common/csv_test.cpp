@@ -1,0 +1,112 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpcfail {
+namespace {
+
+TEST(CsvEscape, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("hello"), "hello");
+  EXPECT_EQ(csv_escape(""), "");
+}
+
+TEST(CsvEscape, QuotesSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(ParseCsv, SimpleRows) {
+  const auto rows = parse_csv("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(ParseCsv, QuotedFieldWithSeparator) {
+  const auto rows = parse_csv("\"a,b\",c\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a,b", "c"}));
+}
+
+TEST(ParseCsv, EscapedQuotes) {
+  const auto rows = parse_csv("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(ParseCsv, EmbeddedNewlineInQuotes) {
+  const auto rows = parse_csv("\"two\nlines\",x\nnext,row\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+  EXPECT_EQ(rows[1][0], "next");
+}
+
+TEST(ParseCsv, CrLfLineEndings) {
+  const auto rows = parse_csv("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "b");
+  EXPECT_EQ(rows[1][1], "d");
+}
+
+TEST(ParseCsv, MissingFinalNewline) {
+  const auto rows = parse_csv("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, EmptyFields) {
+  const auto rows = parse_csv(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReader, UnterminatedQuoteThrows) {
+  std::istringstream in("\"unterminated\n");
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  EXPECT_THROW(reader.next_row(row), ParseError);
+}
+
+TEST(CsvReader, TracksLineNumbersAcrossMultilineFields) {
+  std::istringstream in("first,row\n\"multi\nline\",x\nlast,row\n");
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  ASSERT_TRUE(reader.next_row(row));
+  EXPECT_EQ(reader.line_number(), 1u);
+  ASSERT_TRUE(reader.next_row(row));
+  EXPECT_EQ(reader.line_number(), 2u);
+  ASSERT_TRUE(reader.next_row(row));
+  EXPECT_EQ(reader.line_number(), 4u);  // multiline field consumed line 3
+  EXPECT_FALSE(reader.next_row(row));
+}
+
+TEST(CsvWriter, RoundTripsThroughReader) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "with,comma", "with \"quote\""},
+      {"", "second\nline", "x"},
+  };
+  std::ostringstream out;
+  CsvWriter writer(out);
+  for (const auto& row : rows) writer.write_row(row);
+
+  const auto parsed = parse_csv(out.str());
+  EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvWriter, CustomSeparator) {
+  std::ostringstream out;
+  CsvWriter writer(out, ';');
+  writer.write_row({"a;b", "c"});
+  EXPECT_EQ(out.str(), "\"a;b\";c\n");
+  const auto parsed = parse_csv(out.str(), ';');
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][0], "a;b");
+}
+
+}  // namespace
+}  // namespace hpcfail

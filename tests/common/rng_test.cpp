@@ -1,0 +1,139 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace hpcfail {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(123);
+  Rng b(124);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() != b.next_u64()) ++differing;
+  }
+  EXPECT_GT(differing, 95);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(Rng, UniformPosNeverZero) {
+  Rng rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    ASSERT_GT(rng.uniform_pos(), 0.0);
+    ASSERT_LE(rng.uniform_pos(), 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform(-3.0, 5.0);
+    ASSERT_GE(x, -3.0);
+    ASSERT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIndexCoversRangeUniformly) {
+  Rng rng(13);
+  std::vector<int> counts(10, 0);
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_index(10)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 10.0, 500.0);
+  }
+}
+
+TEST(Rng, UniformIndexNonPowerOfTwoIsUnbiased) {
+  Rng rng(17);
+  std::vector<int> counts(3, 0);
+  constexpr int kDraws = 90000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[rng.uniform_index(3)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), kDraws / 3.0, 600.0);
+  }
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng rng(19);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, ForkProducesIndependentStreams) {
+  const Rng parent(23);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+  // Same stream id gives the same fork.
+  Rng c = parent.fork(1);
+  Rng d = parent.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(c.next_u64(), d.next_u64());
+  }
+}
+
+TEST(MixSeed, DistinguishesComponents) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t a = 0; a < 20; ++a) {
+    for (std::uint64_t b = 0; b < 20; ++b) {
+      seeds.insert(mix_seed(a, b));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 400u);  // no collisions on a small grid
+  EXPECT_NE(mix_seed(1, 2), mix_seed(2, 1));
+}
+
+TEST(Splitmix64, AdvancesState) {
+  std::uint64_t s = 0;
+  const std::uint64_t first = splitmix64(s);
+  const std::uint64_t second = splitmix64(s);
+  EXPECT_NE(first, second);
+  EXPECT_NE(s, 0u);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Rng::min() == 0);
+  static_assert(Rng::max() == ~0ULL);
+  Rng rng(3);
+  EXPECT_NE(rng(), rng());
+}
+
+}  // namespace
+}  // namespace hpcfail

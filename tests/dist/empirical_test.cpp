@@ -1,0 +1,99 @@
+#include "dist/empirical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/lognormal.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Empirical, MomentsMatchSample) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Empirical d(xs);
+  EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+  EXPECT_NEAR(d.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(d.size(), 8u);
+}
+
+TEST(Empirical, CdfIsExactEcdf) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Empirical d(xs);
+  EXPECT_DOUBLE_EQ(d.cdf(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(d.cdf(4.0), 1.0);
+}
+
+TEST(Empirical, QuantileMatchesEcdf) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  const Empirical d(xs);
+  EXPECT_DOUBLE_EQ(d.quantile(0.25), 10.0);
+  EXPECT_DOUBLE_EQ(d.quantile(0.26), 20.0);
+  EXPECT_THROW(d.quantile(0.0), hpcfail::InvalidArgument);
+}
+
+TEST(Empirical, SampleOnlyProducesObservedValues) {
+  const std::vector<double> xs = {1.0, 5.0, 9.0};
+  const Empirical d(xs);
+  hpcfail::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = d.sample(rng);
+    EXPECT_TRUE(x == 1.0 || x == 5.0 || x == 9.0);
+  }
+}
+
+TEST(Empirical, ResamplingReproducesMean) {
+  const dist::LogNormal truth(2.0, 1.0);
+  hpcfail::Rng data_rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(truth.sample(data_rng));
+  const Empirical d(xs);
+  hpcfail::Rng rng(7);
+  double sum = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kDraws / d.mean(), 1.0, 0.03);
+}
+
+TEST(Empirical, LogPdfIsFiniteAndDensityIntegratesToOne) {
+  const std::vector<double> xs = {1.0, 2.0, 2.5, 3.0, 4.0, 4.2, 5.0};
+  const Empirical d(xs, /*density_bins=*/4);
+  // Density over the 4 bins integrates to 1.
+  const double width = (5.0 - 1.0) / 4.0;
+  double integral = 0.0;
+  for (int b = 0; b < 4; ++b) {
+    integral += d.pdf(1.0 + (b + 0.5) * width) * width;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+  // Outside the range the density floors but stays finite in log space.
+  EXPECT_TRUE(std::isfinite(d.log_pdf(100.0)));
+}
+
+TEST(Empirical, HandlesConstantSample) {
+  const std::vector<double> xs = {7.0, 7.0, 7.0};
+  const Empirical d(xs);
+  EXPECT_DOUBLE_EQ(d.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+  hpcfail::Rng rng(1);
+  EXPECT_DOUBLE_EQ(d.sample(rng), 7.0);
+}
+
+TEST(Empirical, RejectsEmptySample) {
+  EXPECT_THROW(Empirical(std::vector<double>{}), hpcfail::InvalidArgument);
+}
+
+TEST(Empirical, CloneAndDescribe) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const Empirical d(xs);
+  EXPECT_EQ(d.name(), "empirical");
+  EXPECT_EQ(d.describe(), "empirical(n=2)");
+  const auto copy = d.clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), d.mean());
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

@@ -1,0 +1,83 @@
+#include "dist/exponential.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Exponential, Moments) {
+  const Exponential d(0.5);
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(d.cv_squared(), 1.0);  // the paper's key objection
+}
+
+TEST(Exponential, FromMean) {
+  EXPECT_DOUBLE_EQ(Exponential::from_mean(4.0).rate(), 0.25);
+}
+
+TEST(Exponential, PdfAndCdfKnownValues) {
+  const Exponential d(1.0);
+  EXPECT_NEAR(d.pdf(0.0), 1.0, 1e-12);
+  EXPECT_NEAR(d.pdf(1.0), std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_NEAR(d.cdf(1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+}
+
+TEST(Exponential, MemorylessHazardIsConstant) {
+  const Exponential d(0.7);
+  EXPECT_NEAR(d.hazard(0.1), 0.7, 1e-10);
+  EXPECT_NEAR(d.hazard(10.0), 0.7, 1e-9);
+  EXPECT_NEAR(d.hazard(100.0), 0.7, 1e-6);
+}
+
+TEST(Exponential, QuantileInvertsCdf) {
+  const Exponential d(2.5);
+  for (const double p : {0.01, 0.5, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+  EXPECT_THROW(d.quantile(0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(d.quantile(1.0), hpcfail::InvalidArgument);
+}
+
+TEST(Exponential, FitRecoversRate) {
+  const Exponential truth(1.0 / 3600.0);
+  hpcfail::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const Exponential fit = Exponential::fit_mle(xs);
+  EXPECT_NEAR(fit.rate() / truth.rate(), 1.0, 0.03);
+}
+
+TEST(Exponential, FitRejectsBadSamples) {
+  EXPECT_THROW(Exponential::fit_mle(std::vector<double>{}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Exponential::fit_mle(std::vector<double>{1.0, -2.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Exponential::fit_mle(std::vector<double>{0.0, 0.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Exponential, RejectsBadParameters) {
+  EXPECT_THROW(Exponential(0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Exponential(-1.0), hpcfail::InvalidArgument);
+}
+
+TEST(Exponential, DescribeAndClone) {
+  const Exponential d(2.0);
+  EXPECT_EQ(d.name(), "exponential");
+  EXPECT_NE(d.describe().find("rate=2"), std::string::npos);
+  const auto copy = d.clone();
+  EXPECT_DOUBLE_EQ(copy->mean(), d.mean());
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

@@ -1,0 +1,101 @@
+#include "dist/gamma.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(GammaDist, Moments) {
+  const GammaDist d(3.0, 2.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 12.0);
+  EXPECT_NEAR(d.cv_squared(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(GammaDist, ReducesToExponentialAtShapeOne) {
+  const GammaDist g(1.0, 4.0);
+  EXPECT_NEAR(g.cdf(4.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(g.pdf(0.5), std::exp(-0.125) / 4.0, 1e-12);
+}
+
+TEST(GammaDist, ErlangCdfKnownValue) {
+  // Erlang(2, 1): F(x) = 1 - e^{-x}(1 + x).
+  const GammaDist g(2.0, 1.0);
+  for (const double x : {0.5, 1.0, 3.0}) {
+    EXPECT_NEAR(g.cdf(x), 1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+  }
+}
+
+TEST(GammaDist, QuantileInvertsCdf) {
+  const GammaDist g(0.8, 1800.0);
+  for (const double p : {0.01, 0.3, 0.5, 0.7, 0.99}) {
+    EXPECT_NEAR(g.cdf(g.quantile(p)), p, 1e-10) << "p = " << p;
+  }
+}
+
+TEST(GammaDist, SampleMomentsMatch) {
+  hpcfail::Rng rng(3);
+  for (const double shape : {0.5, 1.0, 4.0}) {
+    const GammaDist g(shape, 2.0);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kDraws = 100000;
+    for (int i = 0; i < kDraws; ++i) {
+      const double x = g.sample(rng);
+      sum += x;
+      sum_sq += x * x;
+    }
+    const double mean = sum / kDraws;
+    const double var = sum_sq / kDraws - mean * mean;
+    EXPECT_NEAR(mean / g.mean(), 1.0, 0.03) << "shape = " << shape;
+    EXPECT_NEAR(var / g.variance(), 1.0, 0.08) << "shape = " << shape;
+  }
+}
+
+TEST(GammaDist, FitRecoversParameters) {
+  const GammaDist truth(0.65, 5000.0);
+  hpcfail::Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const GammaDist fit = GammaDist::fit_mle(xs);
+  EXPECT_NEAR(fit.shape(), truth.shape(), 0.03);
+  EXPECT_NEAR(fit.mean() / truth.mean(), 1.0, 0.05);
+}
+
+TEST(GammaDist, FitRecoversLargeShape) {
+  const GammaDist truth(20.0, 1.0);
+  hpcfail::Rng rng(31);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const GammaDist fit = GammaDist::fit_mle(xs);
+  EXPECT_NEAR(fit.shape() / truth.shape(), 1.0, 0.06);
+}
+
+TEST(GammaDist, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{1.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{3.0, 3.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{1.0, -0.5}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(GammaDist, RejectsBadParameters) {
+  EXPECT_THROW(GammaDist(0.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(GammaDist(1.0, -2.0), hpcfail::InvalidArgument);
+}
+
+TEST(GammaDist, HazardDecreasesForShapeBelowOne) {
+  const GammaDist g(0.7, 1000.0);
+  EXPECT_GT(g.hazard(10.0), g.hazard(100.0));
+  EXPECT_GT(g.hazard(100.0), g.hazard(1000.0));
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

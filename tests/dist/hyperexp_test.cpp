@@ -1,0 +1,115 @@
+#include "dist/hyperexp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/exponential.hpp"
+#include "dist/fit.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(HyperExp, MomentFormulas) {
+  const HyperExp d(0.5, 2.0, 0.5);
+  EXPECT_NEAR(d.mean(), 0.5 / 2.0 + 0.5 / 0.5, 1e-12);
+  // Second moment 2(p/r1^2 + q/r2^2) = 2(0.125 + 2) = 4.25.
+  EXPECT_NEAR(d.variance(), 4.25 - d.mean() * d.mean(), 1e-12);
+  // H2 is always at least as variable as an exponential.
+  EXPECT_GE(d.cv_squared(), 1.0 - 1e-12);
+}
+
+TEST(HyperExp, ReducesToExponentialWhenRatesEqual) {
+  const HyperExp h(0.3, 1.5, 1.5);
+  const Exponential e(1.5);
+  for (const double x : {0.1, 1.0, 3.0}) {
+    EXPECT_NEAR(h.cdf(x), e.cdf(x), 1e-12);
+    EXPECT_NEAR(h.pdf(x), e.pdf(x), 1e-12);
+  }
+}
+
+TEST(HyperExp, CdfQuantileRoundTrip) {
+  const HyperExp d(0.7, 5.0, 0.1);
+  for (const double p : {0.01, 0.3, 0.5, 0.9, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9) << "p = " << p;
+  }
+}
+
+TEST(HyperExp, SampleMomentsMatch) {
+  const HyperExp d(0.6, 3.0, 0.2);
+  hpcfail::Rng rng(17);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kDraws / d.mean(), 1.0, 0.02);
+}
+
+TEST(HyperExp, EmRecoversParameters) {
+  const HyperExp truth(0.65, 1.0 / 600.0, 1.0 / 86400.0);
+  hpcfail::Rng rng(19);
+  std::vector<double> xs;
+  for (int i = 0; i < 30000; ++i) xs.push_back(truth.sample(rng));
+  const HyperExp fit = HyperExp::fit_em(xs);
+  EXPECT_NEAR(fit.weight(), 0.65, 0.05);
+  EXPECT_NEAR(fit.rate1() / truth.rate1(), 1.0, 0.1);
+  EXPECT_NEAR(fit.rate2() / truth.rate2(), 1.0, 0.1);
+  EXPECT_NEAR(fit.mean() / truth.mean(), 1.0, 0.05);
+}
+
+TEST(HyperExp, EmImprovesOnSingleExponentialForBimodalData) {
+  const HyperExp truth(0.5, 10.0, 0.1);
+  hpcfail::Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(truth.sample(rng));
+  const HyperExp h2 = HyperExp::fit_em(xs);
+  const Exponential e1 = Exponential::fit_mle(xs);
+  EXPECT_GT(h2.log_likelihood(xs), e1.log_likelihood(xs) + 100.0);
+}
+
+TEST(HyperExp, EmNeverBeatsItselfAfterRefit) {
+  // Fitting data drawn from the fit must not lose likelihood vs truth.
+  const HyperExp truth(0.4, 2.0, 0.05);
+  hpcfail::Rng rng(29);
+  std::vector<double> xs;
+  for (int i = 0; i < 10000; ++i) xs.push_back(truth.sample(rng));
+  const HyperExp fit = HyperExp::fit_em(xs);
+  EXPECT_GE(fit.log_likelihood(xs), truth.log_likelihood(xs) - 5.0);
+}
+
+TEST(HyperExp, CanonicalPhaseOrder) {
+  hpcfail::Rng rng(31);
+  const HyperExp truth(0.5, 0.01, 5.0);  // phases given slow-first
+  std::vector<double> xs;
+  for (int i = 0; i < 5000; ++i) xs.push_back(truth.sample(rng));
+  const HyperExp fit = HyperExp::fit_em(xs);
+  EXPECT_GE(fit.rate1(), fit.rate2());  // fast phase first after fitting
+}
+
+TEST(HyperExp, EmRejectsBadSamples) {
+  EXPECT_THROW(HyperExp::fit_em(std::vector<double>{1.0, 2.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(HyperExp::fit_em(std::vector<double>{3.0, 3.0, 3.0, 3.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(
+      HyperExp::fit_em(std::vector<double>{1.0, 2.0, -1.0, 4.0}),
+      hpcfail::InvalidArgument);
+}
+
+TEST(HyperExp, RejectsBadParameters) {
+  EXPECT_THROW(HyperExp(-0.1, 1.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(HyperExp(1.1, 1.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(HyperExp(0.5, 0.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(HyperExp(0.5, 1.0, -1.0), hpcfail::InvalidArgument);
+}
+
+TEST(HyperExp, SupportIsNonNegative) {
+  const HyperExp d(0.5, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(d.cdf(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(-1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

@@ -1,0 +1,93 @@
+#include "dist/lognormal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(LogNormal, MomentFormulas) {
+  const LogNormal d(1.0, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(1.125), 1e-12);
+  EXPECT_NEAR(d.median(), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(d.variance(),
+              (std::exp(0.25) - 1.0) * std::exp(2.25), 1e-10);
+}
+
+TEST(LogNormal, FromMeanMedianRoundTrips) {
+  // Table 2's software row: mean 369, median 33 minutes.
+  const LogNormal d = LogNormal::from_mean_median(369.0, 33.0);
+  EXPECT_NEAR(d.mean(), 369.0, 1e-9);
+  EXPECT_NEAR(d.median(), 33.0, 1e-9);
+  // Highly variable, as the paper stresses (C^2 >> 1).
+  EXPECT_GT(d.cv_squared(), 50.0);
+}
+
+TEST(LogNormal, FromMeanMedianRejectsBadMoments) {
+  EXPECT_THROW(LogNormal::from_mean_median(10.0, 10.0),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(LogNormal::from_mean_median(5.0, 10.0),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(LogNormal::from_mean_median(10.0, 0.0),
+               hpcfail::InvalidArgument);
+}
+
+TEST(LogNormal, CdfAtMedianIsHalf) {
+  const LogNormal d(2.3, 1.7);
+  EXPECT_NEAR(d.cdf(d.median()), 0.5, 1e-12);
+}
+
+TEST(LogNormal, QuantileInvertsCdf) {
+  const LogNormal d(0.0, 1.0);
+  for (const double p : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-10);
+  }
+}
+
+TEST(LogNormal, SampleMomentsMatch) {
+  const LogNormal d(3.0, 0.8);
+  hpcfail::Rng rng(41);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += d.sample(rng);
+  EXPECT_NEAR(sum / kDraws / d.mean(), 1.0, 0.02);
+}
+
+TEST(LogNormal, FitRecoversParameters) {
+  const LogNormal truth(4.0, 2.2);  // repair-like: heavy tail
+  hpcfail::Rng rng(43);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const LogNormal fit = LogNormal::fit_mle(xs);
+  EXPECT_NEAR(fit.mu(), truth.mu(), 0.05);
+  EXPECT_NEAR(fit.sigma(), truth.sigma(), 0.05);
+}
+
+TEST(LogNormal, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{1.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{2.0, 2.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{1.0, -1.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(LogNormal, RejectsBadParameters) {
+  EXPECT_THROW(LogNormal(0.0, 0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(LogNormal(0.0, -1.0), hpcfail::InvalidArgument);
+}
+
+TEST(LogNormal, SupportIsPositive) {
+  const LogNormal d(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.cdf(-5.0), 0.0);
+  EXPECT_DOUBLE_EQ(d.pdf(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

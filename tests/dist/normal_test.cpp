@@ -1,0 +1,81 @@
+#include "dist/normal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Normal, Moments) {
+  const Normal d(10.0, 3.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 9.0);
+}
+
+TEST(Normal, StandardCdfValues) {
+  const Normal d(0.0, 1.0);
+  EXPECT_NEAR(d.cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(d.cdf(1.96), 0.9750021048517795, 1e-10);
+  EXPECT_NEAR(d.cdf(-3.0), 0.0013498980316300933, 1e-12);
+}
+
+TEST(Normal, LocationScaleShift) {
+  const Normal d(100.0, 15.0);
+  const Normal std_normal(0.0, 1.0);
+  EXPECT_NEAR(d.cdf(115.0), std_normal.cdf(1.0), 1e-14);
+  EXPECT_NEAR(d.quantile(0.25), 100.0 + 15.0 * std_normal.quantile(0.25),
+              1e-10);
+}
+
+TEST(Normal, QuantileInvertsCdf) {
+  const Normal d(-5.0, 2.0);
+  for (const double p : {0.001, 0.5, 0.999}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Normal, SampleMomentsMatch) {
+  const Normal d(42.0, 7.0);
+  hpcfail::Rng rng(47);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = d.sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 42.0, 0.1);
+  EXPECT_NEAR(sum_sq / kDraws - mean * mean, 49.0, 1.0);
+}
+
+TEST(Normal, FitRecoversParameters) {
+  const Normal truth(121.0, 35.0);  // failures-per-node-like counts
+  hpcfail::Rng rng(53);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const Normal fit = Normal::fit_mle(xs);
+  EXPECT_NEAR(fit.mu(), truth.mu(), 1.0);
+  EXPECT_NEAR(fit.sigma(), truth.sigma(), 1.0);
+}
+
+TEST(Normal, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(Normal::fit_mle(std::vector<double>{1.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Normal::fit_mle(std::vector<double>{2.0, 2.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Normal, RejectsBadParameters) {
+  EXPECT_THROW(Normal(0.0, 0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Normal(0.0, -1.0), hpcfail::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

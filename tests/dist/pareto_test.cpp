@@ -1,0 +1,81 @@
+#include "dist/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Pareto, CdfAndPdfKnownValues) {
+  const Pareto d(2.0, 1.0);
+  EXPECT_DOUBLE_EQ(d.cdf(1.0), 0.0);
+  EXPECT_NEAR(d.cdf(2.0), 1.0 - 0.25, 1e-12);
+  EXPECT_NEAR(d.pdf(2.0), 2.0 / 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(d.pdf(0.5), 0.0);
+}
+
+TEST(Pareto, MomentsAndInfiniteRegimes) {
+  const Pareto d(3.0, 2.0);
+  EXPECT_NEAR(d.mean(), 3.0, 1e-12);
+  EXPECT_NEAR(d.variance(), 4.0 * 3.0 / (4.0 * 1.0), 1e-12);
+  EXPECT_TRUE(std::isinf(Pareto(1.0, 1.0).mean()));
+  EXPECT_TRUE(std::isinf(Pareto(2.0, 1.0).variance()));
+}
+
+TEST(Pareto, QuantileInvertsCdf) {
+  const Pareto d(1.5, 60.0);
+  for (const double p : {0.01, 0.5, 0.99}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-12);
+  }
+}
+
+TEST(Pareto, HazardAlwaysDecreasing) {
+  const Pareto d(0.9, 10.0);
+  EXPECT_GT(d.hazard(10.0), d.hazard(100.0));
+  EXPECT_NEAR(d.hazard(50.0), 0.9 / 50.0, 1e-12);
+}
+
+TEST(Pareto, SampleStaysOnSupportWithMatchingMean) {
+  const Pareto d(3.5, 5.0);
+  hpcfail::Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = d.sample(rng);
+    ASSERT_GE(x, 5.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / kDraws / d.mean(), 1.0, 0.02);
+}
+
+TEST(Pareto, FitRecoversAlpha) {
+  const Pareto truth(1.3, 30.0);
+  hpcfail::Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const Pareto fit = Pareto::fit_mle(xs);
+  EXPECT_NEAR(fit.alpha(), 1.3, 0.05);
+  EXPECT_NEAR(fit.x_min(), 30.0, 0.5);
+}
+
+TEST(Pareto, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(Pareto::fit_mle(std::vector<double>{5.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Pareto::fit_mle(std::vector<double>{5.0, 5.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Pareto::fit_mle(std::vector<double>{1.0, -1.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Pareto, RejectsBadParameters) {
+  EXPECT_THROW(Pareto(0.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Pareto(1.0, 0.0), hpcfail::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

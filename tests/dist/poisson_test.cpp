@@ -1,0 +1,111 @@
+#include "dist/poisson.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Poisson, PmfKnownValues) {
+  const Poisson d(2.0);
+  EXPECT_NEAR(d.pmf(0), std::exp(-2.0), 1e-12);
+  EXPECT_NEAR(d.pmf(2), 2.0 * std::exp(-2.0), 1e-12);
+  EXPECT_DOUBLE_EQ(d.pmf(-1), 0.0);
+}
+
+TEST(Poisson, PmfSumsToOne) {
+  const Poisson d(7.5);
+  double total = 0.0;
+  for (long long k = 0; k <= 100; ++k) total += d.pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Poisson, CdfMatchesPartialSums) {
+  const Poisson d(4.2);
+  double partial = 0.0;
+  for (long long k = 0; k <= 15; ++k) {
+    partial += d.pmf(k);
+    EXPECT_NEAR(d.cdf(static_cast<double>(k)), partial, 1e-10) << "k=" << k;
+    // Step function: flat between integers.
+    EXPECT_NEAR(d.cdf(static_cast<double>(k) + 0.5), partial, 1e-10);
+  }
+  EXPECT_DOUBLE_EQ(d.cdf(-0.5), 0.0);
+}
+
+TEST(Poisson, QuantileIsSmallestKReachingP) {
+  const Poisson d(3.0);
+  for (const double p : {0.05, 0.3, 0.5, 0.9, 0.999}) {
+    const double k = d.quantile(p);
+    EXPECT_GE(d.cdf(k), p);
+    if (k > 0.0) {
+      EXPECT_LT(d.cdf(k - 1.0), p);
+    }
+  }
+}
+
+TEST(Poisson, MeanEqualsVariance) {
+  const Poisson d(6.0);
+  EXPECT_DOUBLE_EQ(d.mean(), 6.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 6.0);
+  EXPECT_NEAR(d.cv_squared(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Poisson, SampleMomentsMatchSmallMean) {
+  const Poisson d(3.5);
+  hpcfail::Rng rng(59);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = d.sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 3.5, 0.05);
+  EXPECT_NEAR(sum_sq / kDraws - mean * mean, 3.5, 0.1);
+}
+
+TEST(Poisson, SampleMomentsMatchLargeMean) {
+  // Exercises the halving recursion (mean > 30).
+  const Poisson d(120.0);
+  hpcfail::Rng rng(61);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kDraws = 50000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = d.sample(rng);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / kDraws;
+  EXPECT_NEAR(mean, 120.0, 0.5);
+  EXPECT_NEAR(sum_sq / kDraws - mean * mean, 120.0, 3.0);
+}
+
+TEST(Poisson, FitIsSampleMean) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(Poisson::fit_mle(xs).lambda(), 3.0);
+}
+
+TEST(Poisson, FitRejectsBadSamples) {
+  EXPECT_THROW(Poisson::fit_mle(std::vector<double>{}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Poisson::fit_mle(std::vector<double>{0.0, 0.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Poisson::fit_mle(std::vector<double>{1.0, -1.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Poisson, RejectsBadParameters) {
+  EXPECT_THROW(Poisson(0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Poisson(-3.0), hpcfail::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

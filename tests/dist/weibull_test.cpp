@@ -1,0 +1,103 @@
+#include "dist/weibull.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+TEST(Weibull, ReducesToExponentialAtShapeOne) {
+  const Weibull w(1.0, 2.0);
+  EXPECT_NEAR(w.cdf(3.0), 1.0 - std::exp(-1.5), 1e-12);
+  EXPECT_NEAR(w.mean(), 2.0, 1e-12);
+  EXPECT_NEAR(w.variance(), 4.0, 1e-12);
+}
+
+TEST(Weibull, DecreasingHazardBelowShapeOne) {
+  // The paper's central hazard-rate finding: shape 0.7-0.8 means a long
+  // failure-free interval makes the next failure *less* likely soon.
+  const Weibull w(0.7, 1000.0);
+  EXPECT_TRUE(w.decreasing_hazard());
+  EXPECT_GT(w.hazard(10.0), w.hazard(100.0));
+  EXPECT_GT(w.hazard(100.0), w.hazard(1000.0));
+}
+
+TEST(Weibull, IncreasingHazardAboveShapeOne) {
+  const Weibull w(2.0, 1000.0);
+  EXPECT_FALSE(w.decreasing_hazard());
+  EXPECT_LT(w.hazard(10.0), w.hazard(100.0));
+}
+
+TEST(Weibull, QuantileInvertsCdf) {
+  const Weibull w(0.78, 3600.0);
+  for (const double p : {0.001, 0.25, 0.5, 0.75, 0.999}) {
+    EXPECT_NEAR(w.cdf(w.quantile(p)), p, 1e-12) << "p = " << p;
+  }
+}
+
+TEST(Weibull, MedianFormula) {
+  const Weibull w(0.7, 100.0);
+  EXPECT_NEAR(w.quantile(0.5),
+              100.0 * std::pow(std::log(2.0), 1.0 / 0.7), 1e-9);
+}
+
+TEST(Weibull, SampleMomentsMatch) {
+  const Weibull w(0.75, 500.0);
+  hpcfail::Rng rng(11);
+  double sum = 0.0;
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += w.sample(rng);
+  EXPECT_NEAR(sum / kDraws / w.mean(), 1.0, 0.02);
+}
+
+TEST(Weibull, FitRecoversPaperShape) {
+  // The regime the paper reports: shape 0.7-0.8 on second-scale data.
+  const Weibull truth(0.7, 86400.0);
+  hpcfail::Rng rng(13);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const Weibull fit = Weibull::fit_mle(xs);
+  EXPECT_NEAR(fit.shape(), 0.7, 0.02);
+  EXPECT_NEAR(fit.scale() / truth.scale(), 1.0, 0.05);
+}
+
+TEST(Weibull, FitToleratesZeros) {
+  // Simultaneous failures produce exact-zero interarrivals; the fitter
+  // floors them instead of failing on log(0).
+  const Weibull truth(0.9, 100.0);
+  hpcfail::Rng rng(17);
+  std::vector<double> xs = {0.0, 0.0, 0.0};
+  for (int i = 0; i < 5000; ++i) xs.push_back(truth.sample(rng));
+  const Weibull fit = Weibull::fit_mle(xs, /*floor_at=*/1.0);
+  EXPECT_NEAR(fit.shape(), 0.9, 0.15);
+}
+
+TEST(Weibull, FitRejectsDegenerateSamples) {
+  EXPECT_THROW(Weibull::fit_mle(std::vector<double>{1.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Weibull::fit_mle(std::vector<double>{2.0, 2.0, 2.0}),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(Weibull::fit_mle(std::vector<double>{1.0, -1.0}),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Weibull, RejectsBadParameters) {
+  EXPECT_THROW(Weibull(0.0, 1.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Weibull(1.0, 0.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(Weibull(-1.0, 1.0), hpcfail::InvalidArgument);
+}
+
+TEST(Weibull, LogPdfOutsideSupport) {
+  const Weibull w(0.7, 1.0);
+  EXPECT_TRUE(std::isinf(w.log_pdf(0.0)));
+  EXPECT_TRUE(std::isinf(w.log_pdf(-1.0)));
+  EXPECT_DOUBLE_EQ(w.pdf(-1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

@@ -1,0 +1,145 @@
+#include "report/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hpcfail::report {
+namespace {
+
+TEST(BarChart, RendersBarsProportionally) {
+  std::ostringstream out;
+  bar_chart(out, "failures per year",
+            {{"sys7", 100.0}, {"sys2", 50.0}, {"sys3", 0.0}}, 40);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("failures per year"), std::string::npos);
+  // sys7 gets the full 40 hashes, sys2 half.
+  EXPECT_NE(text.find(std::string(40, '#')), std::string::npos);
+  EXPECT_NE(text.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(text.find("sys3"), std::string::npos);
+}
+
+TEST(BarChart, RejectsEmpty) {
+  std::ostringstream out;
+  EXPECT_THROW(bar_chart(out, "t", {}), InvalidArgument);
+}
+
+TEST(StackedBarChart, LayersAndTotals) {
+  std::ostringstream out;
+  stacked_bar_chart(out, "failures by month",
+                    {"m0", "m1"},
+                    {{"hardware", {30.0, 10.0}},
+                     {"software", {10.0, 10.0}}},
+                    40);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("failures by month"), std::string::npos);
+  // Row m0 totals 40 (the max): 30 hashes then 10 plusses.
+  EXPECT_NE(text.find(std::string(30, '#') + std::string(10, '+')),
+            std::string::npos);
+  // Totals printed.
+  EXPECT_NE(text.find("40"), std::string::npos);
+  EXPECT_NE(text.find("20"), std::string::npos);
+  // Legend lines.
+  EXPECT_NE(text.find("'#' hardware"), std::string::npos);
+  EXPECT_NE(text.find("'+' software"), std::string::npos);
+}
+
+TEST(StackedBarChart, RowLengthProportionalToTotalDespiteTinyLayers) {
+  std::ostringstream out;
+  // Six layers of 1/6 each: naive per-layer rounding would drop rows to
+  // zero characters; cumulative rounding must keep the full width.
+  std::vector<StackSeries> series;
+  for (int i = 0; i < 6; ++i) {
+    series.push_back({"s" + std::to_string(i), {1.0}});
+  }
+  stacked_bar_chart(out, "t", {"row"}, series, 42);
+  // 42 glyph characters in the bar (between '|' and the trailing total).
+  const std::string text = out.str();
+  const auto bar_start = text.find('|');
+  ASSERT_NE(bar_start, std::string::npos);
+  const auto bar = text.substr(bar_start + 1, 42);
+  EXPECT_EQ(bar.find(' '), std::string::npos);
+}
+
+TEST(StackedBarChart, ValidatesShape) {
+  std::ostringstream out;
+  EXPECT_THROW(stacked_bar_chart(out, "t", {}, {{"a", {}}}),
+               InvalidArgument);
+  EXPECT_THROW(stacked_bar_chart(out, "t", {"x"}, {}), InvalidArgument);
+  EXPECT_THROW(
+      stacked_bar_chart(out, "t", {"x", "y"}, {{"a", {1.0}}}),
+      InvalidArgument);
+}
+
+TEST(CdfPlot, RendersSeriesWithLegend) {
+  CdfSeries data;
+  data.name = "empirical";
+  for (int i = 1; i <= 50; ++i) {
+    data.points.emplace_back(i * 100.0, i / 50.0);
+  }
+  CdfSeries model = sample_cdf(
+      "model", [](double x) { return x / 5000.0; }, 100.0, 5000.0);
+  std::ostringstream out;
+  cdf_plot(out, "tbf cdf", {data, model});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("tbf cdf"), std::string::npos);
+  EXPECT_NE(text.find("'*' empirical"), std::string::npos);
+  EXPECT_NE(text.find("'o' model"), std::string::npos);
+  EXPECT_NE(text.find("log scale"), std::string::npos);
+  EXPECT_NE(text.find('*'), std::string::npos);
+}
+
+TEST(CdfPlot, LinearAxisMode) {
+  CdfSeries s;
+  s.name = "lin";
+  s.points = {{0.0, 0.1}, {5.0, 0.5}, {10.0, 1.0}};
+  std::ostringstream out;
+  cdf_plot(out, "linear", {s}, /*log_x=*/false);
+  EXPECT_EQ(out.str().find("log scale"), std::string::npos);
+}
+
+TEST(CdfPlot, LogModeDropsNonPositiveButPlotsRest) {
+  CdfSeries s;
+  s.name = "zeros";
+  s.points = {{0.0, 0.3}, {10.0, 0.6}, {100.0, 1.0}};
+  std::ostringstream out;
+  EXPECT_NO_THROW(cdf_plot(out, "t", {s}, /*log_x=*/true));
+  EXPECT_NE(out.str().find('*'), std::string::npos);
+}
+
+TEST(CdfPlot, RejectsUnplottableInput) {
+  std::ostringstream out;
+  EXPECT_THROW(cdf_plot(out, "t", {}), InvalidArgument);
+  CdfSeries s;
+  s.name = "only-zeros";
+  s.points = {{0.0, 0.5}};
+  EXPECT_THROW(cdf_plot(out, "t", {s}, /*log_x=*/true), InvalidArgument);
+}
+
+TEST(SampleCdf, SpacingModes) {
+  int calls = 0;
+  const auto cdf = [&calls](double) {
+    ++calls;
+    return 0.5;
+  };
+  const CdfSeries log_series = sample_cdf("l", cdf, 1.0, 1000.0, true, 4);
+  ASSERT_EQ(log_series.points.size(), 4u);
+  EXPECT_NEAR(log_series.points[1].first, 10.0, 1e-9);
+  const CdfSeries lin_series =
+      sample_cdf("l", cdf, 0.0, 30.0, false, 4);
+  EXPECT_NEAR(lin_series.points[1].first, 10.0, 1e-9);
+  EXPECT_EQ(calls, 8);
+}
+
+TEST(SampleCdf, ValidatesArguments) {
+  const auto cdf = [](double) { return 0.5; };
+  EXPECT_THROW(sample_cdf("x", cdf, 1.0, 10.0, true, 1), InvalidArgument);
+  EXPECT_THROW(sample_cdf("x", cdf, 10.0, 1.0, true, 8), InvalidArgument);
+  EXPECT_THROW(sample_cdf("x", cdf, 0.0, 10.0, true, 8), InvalidArgument);
+  EXPECT_NO_THROW(sample_cdf("x", cdf, 0.0, 10.0, false, 8));
+}
+
+}  // namespace
+}  // namespace hpcfail::report

@@ -1,0 +1,66 @@
+#include "report/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::report {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t({"System", "Failures"});
+  t.add_row({"7", "4096"});
+  t.add_row({"22", "90"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("System"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  EXPECT_NE(out.find("4096"), std::string::npos);
+  // Three content lines plus separator.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"ID", "Value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-label", "12345"});
+  const std::string out = t.to_string();
+  // Every line has the same length (aligned grid).
+  std::size_t expected = std::string::npos;
+  std::size_t pos = 0;
+  while (pos < out.size()) {
+    const std::size_t eol = out.find('\n', pos);
+    const std::size_t len = eol - pos;
+    if (expected == std::string::npos) {
+      expected = len;
+    } else {
+      EXPECT_EQ(len, expected);
+    }
+    pos = eol + 1;
+  }
+}
+
+TEST(TextTable, NumericRowFormatsDoubles) {
+  TextTable t({"cause", "mean", "median"});
+  t.add_row("hardware", {342.0, 64.0});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("342"), std::string::npos);
+  EXPECT_NE(out.find("64"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), InvalidArgument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), InvalidArgument);
+  EXPECT_THROW(TextTable({}), InvalidArgument);
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace hpcfail::report

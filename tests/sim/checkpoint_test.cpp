@@ -1,0 +1,171 @@
+#include "sim/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/weibull.hpp"
+
+namespace hpcfail::sim {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+TEST(Checkpoint, FailureFreeRunHasOnlyCheckpointOverhead) {
+  // MTBF enormously larger than the job: effectively failure-free.
+  const hpcfail::dist::Exponential rare(1e-12);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 10000.0;
+  cfg.checkpoint_cost = 100.0;
+  cfg.restart_cost = 50.0;
+  cfg.interval = 1000.0;
+  hpcfail::Rng rng(1);
+  const CheckpointStats s = simulate_checkpoint(rare, nullptr, cfg, rng);
+  EXPECT_EQ(s.failures, 0u);
+  EXPECT_DOUBLE_EQ(s.useful_work, 10000.0);
+  EXPECT_DOUBLE_EQ(s.lost_work, 0.0);
+  // 10 segments, checkpoint after each but the last: 9 * 100.
+  EXPECT_DOUBLE_EQ(s.checkpoint_overhead, 900.0);
+  EXPECT_DOUBLE_EQ(s.wall_clock, 10900.0);
+}
+
+TEST(Checkpoint, WorkConservationHoldsExactly) {
+  const hpcfail::dist::Weibull failures(0.7, 2.0 * kDay);
+  const auto repair =
+      hpcfail::dist::LogNormal::from_mean_median(6.0 * 3600.0, 3600.0);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 30.0 * kDay;
+  cfg.checkpoint_cost = 600.0;
+  cfg.restart_cost = 300.0;
+  cfg.interval = 3.0 * 3600.0;
+  hpcfail::Rng rng(2);
+  for (int run = 0; run < 20; ++run) {
+    const CheckpointStats s =
+        simulate_checkpoint(failures, &repair, cfg, rng);
+    EXPECT_NEAR(s.wall_clock,
+                s.useful_work + s.checkpoint_overhead + s.lost_work +
+                    s.restart_overhead + s.downtime,
+                1e-6 * s.wall_clock);
+    EXPECT_DOUBLE_EQ(s.useful_work, cfg.work_seconds);
+    EXPECT_GE(s.slowdown(), 1.0);
+  }
+}
+
+TEST(Checkpoint, MoreFailuresMeanMoreLostWork) {
+  CheckpointConfig cfg;
+  cfg.work_seconds = 30.0 * kDay;
+  cfg.checkpoint_cost = 600.0;
+  cfg.restart_cost = 300.0;
+  cfg.interval = 6.0 * 3600.0;
+  const hpcfail::dist::Exponential frequent(1.0 / kDay);
+  const hpcfail::dist::Exponential rare(1.0 / (20.0 * kDay));
+  hpcfail::Rng rng(3);
+  const CheckpointStats busy =
+      simulate_checkpoint_mean(frequent, nullptr, cfg, rng, 40);
+  const CheckpointStats calm =
+      simulate_checkpoint_mean(rare, nullptr, cfg, rng, 40);
+  EXPECT_GT(busy.failures, calm.failures * 5);
+  EXPECT_GT(busy.lost_work, calm.lost_work);
+  EXPECT_GT(busy.wall_clock, calm.wall_clock);
+}
+
+TEST(Checkpoint, YoungIntervalFormula) {
+  EXPECT_DOUBLE_EQ(young_interval(86400.0, 600.0),
+                   std::sqrt(2.0 * 600.0 * 86400.0));
+  EXPECT_THROW(young_interval(0.0, 600.0), hpcfail::InvalidArgument);
+  EXPECT_THROW(young_interval(86400.0, 0.0), hpcfail::InvalidArgument);
+}
+
+TEST(Checkpoint, DalyRefinesYoung) {
+  const double mtbf = 86400.0;
+  const double cost = 600.0;
+  const double young = young_interval(mtbf, cost);
+  const double daly = daly_interval(mtbf, cost);
+  // Daly's correction is small but positive for C << MTBF minus C.
+  EXPECT_NEAR(daly, young, 0.1 * young);
+  EXPECT_NE(daly, young);
+  // Degenerate regime falls back to MTBF.
+  EXPECT_DOUBLE_EQ(daly_interval(100.0, 300.0), 100.0);
+}
+
+TEST(Checkpoint, SimulatedOptimumNearDalyUnderExponentialFailures) {
+  // Under the classical exponential assumption the simulated best
+  // interval should bracket the analytic one.
+  const double mtbf = 1.0 * kDay;
+  const double cost = 600.0;
+  const hpcfail::dist::Exponential failures(1.0 / mtbf);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 20.0 * kDay;
+  cfg.checkpoint_cost = cost;
+  cfg.restart_cost = 60.0;
+  const double daly = daly_interval(mtbf, cost);
+  std::vector<double> candidates;
+  for (double f = 0.125; f <= 8.0; f *= 2.0) candidates.push_back(daly * f);
+  hpcfail::Rng rng(5);
+  const double best = best_interval_by_simulation(
+      failures, nullptr, cfg, candidates, rng, 64);
+  EXPECT_GE(best, daly * 0.25);
+  EXPECT_LE(best, daly * 4.0);
+}
+
+TEST(Checkpoint, IntervalLargerThanWorkStillCompletes) {
+  const hpcfail::dist::Exponential rare(1e-9);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 100.0;
+  cfg.checkpoint_cost = 10.0;
+  cfg.restart_cost = 5.0;
+  cfg.interval = 1e6;
+  hpcfail::Rng rng(7);
+  const CheckpointStats s = simulate_checkpoint(rare, nullptr, cfg, rng);
+  EXPECT_DOUBLE_EQ(s.useful_work, 100.0);
+  EXPECT_DOUBLE_EQ(s.checkpoint_overhead, 0.0);  // single final segment
+}
+
+TEST(Checkpoint, RejectsBadConfig) {
+  const hpcfail::dist::Exponential f(1.0);
+  hpcfail::Rng rng(9);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 0.0;
+  cfg.interval = 1.0;
+  EXPECT_THROW(simulate_checkpoint(f, nullptr, cfg, rng),
+               hpcfail::InvalidArgument);
+  cfg.work_seconds = 10.0;
+  cfg.interval = 0.0;
+  EXPECT_THROW(simulate_checkpoint(f, nullptr, cfg, rng),
+               hpcfail::InvalidArgument);
+  cfg.interval = 1.0;
+  cfg.checkpoint_cost = -1.0;
+  EXPECT_THROW(simulate_checkpoint(f, nullptr, cfg, rng),
+               hpcfail::InvalidArgument);
+  cfg.checkpoint_cost = 1.0;
+  EXPECT_THROW(simulate_checkpoint_mean(f, nullptr, cfg, rng, 0),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(best_interval_by_simulation(f, nullptr, cfg, {}, rng),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Checkpoint, RepairDowntimeIsAccounted) {
+  const hpcfail::dist::Exponential failures(1.0 / (0.5 * kDay));
+  const auto repair =
+      hpcfail::dist::LogNormal::from_mean_median(7200.0, 1800.0);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 10.0 * kDay;
+  cfg.checkpoint_cost = 300.0;
+  cfg.restart_cost = 120.0;
+  cfg.interval = 2.0 * 3600.0;
+  hpcfail::Rng rng(11);
+  const CheckpointStats s =
+      simulate_checkpoint_mean(failures, &repair, cfg, rng, 20);
+  EXPECT_GT(s.failures, 0u);
+  EXPECT_GT(s.downtime, 0.0);
+  // Mean downtime per failure should be near the repair mean.
+  EXPECT_NEAR(s.downtime / static_cast<double>(s.failures) / 20.0 * 20.0,
+              7200.0, 3600.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::sim

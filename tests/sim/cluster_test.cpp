@@ -1,0 +1,191 @@
+#include "sim/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::sim {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+ClusterNodeConfig reliable_node(double mtbf_days) {
+  ClusterNodeConfig n;
+  n.mtbf_seconds = mtbf_days * kDay;
+  n.repair_mean_seconds = 6.0 * 3600.0;
+  n.repair_median_seconds = 3600.0;
+  return n;
+}
+
+TEST(Cluster, CompletesAllJobsWithoutFailures) {
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(8, reliable_node(1e9));
+  cfg.job_width = 2;
+  cfg.job_work_seconds = 3600.0;
+  cfg.job_count = 16;
+  hpcfail::Rng rng(1);
+  const ClusterStats s = simulate_cluster(cfg, rng);
+  EXPECT_EQ(s.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(s.wasted_work, 0.0);
+  EXPECT_DOUBLE_EQ(s.useful_work, 16.0 * 2.0 * 3600.0);
+  // 4 concurrent slots, 16 jobs of an hour: 4 waves.
+  EXPECT_NEAR(s.makespan, 4.0 * 3600.0, 1.0);
+}
+
+TEST(Cluster, MaxConcurrentJobsLimitsParallelism) {
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(8, reliable_node(1e9));
+  cfg.job_width = 2;
+  cfg.job_work_seconds = 3600.0;
+  cfg.job_count = 16;
+  cfg.max_concurrent_jobs = 2;
+  hpcfail::Rng rng(1);
+  const ClusterStats s = simulate_cluster(cfg, rng);
+  EXPECT_NEAR(s.makespan, 8.0 * 3600.0, 1.0);
+}
+
+TEST(Cluster, FailuresCauseWasteAndInterruptions) {
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(8, reliable_node(0.5));
+  cfg.job_width = 4;
+  cfg.job_work_seconds = 12.0 * 3600.0;
+  cfg.job_count = 20;
+  hpcfail::Rng rng(3);
+  const ClusterStats s = simulate_cluster(cfg, rng);
+  EXPECT_GT(s.interruptions, 0u);
+  EXPECT_GT(s.wasted_work, 0.0);
+  EXPECT_GT(s.node_failures, 0u);
+  EXPECT_DOUBLE_EQ(s.useful_work, 20.0 * 4.0 * 12.0 * 3600.0);
+}
+
+TEST(Cluster, ReliabilityRankedBeatsRandomUnderPartialLoad) {
+  // Heterogeneous nodes with a hot tail, half-loaded cluster: preferring
+  // long-MTBF nodes must reduce waste (Section 5.1's motivation).
+  ClusterConfig cfg;
+  cfg.nodes = heterogeneous_nodes(64, 20.0 * kDay, 0.3, 0.08, 5.0, 99);
+  cfg.job_width = 8;
+  cfg.job_work_seconds = 24.0 * 3600.0;
+  cfg.job_count = 150;
+  cfg.max_concurrent_jobs = 4;
+  double random_waste = 0.0;
+  double ranked_waste = 0.0;
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    hpcfail::Rng r1(seed);
+    hpcfail::Rng r2(seed);
+    cfg.policy = PlacementPolicy::random;
+    random_waste += simulate_cluster(cfg, r1).waste_fraction();
+    cfg.policy = PlacementPolicy::reliability_ranked;
+    ranked_waste += simulate_cluster(cfg, r2).waste_fraction();
+  }
+  EXPECT_LT(ranked_waste, random_waste);
+}
+
+TEST(Cluster, HeterogeneousNodesRespectHotFactor) {
+  const auto nodes = heterogeneous_nodes(100, 10.0 * kDay, 0.0, 0.1, 4.0,
+                                         7);
+  ASSERT_EQ(nodes.size(), 100u);
+  // First 10 nodes are "hot": MTBF divided by 4 (no jitter here).
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(nodes[i].mtbf_seconds, 10.0 * kDay / 4.0, 1.0);
+  }
+  for (std::size_t i = 10; i < 100; ++i) {
+    EXPECT_NEAR(nodes[i].mtbf_seconds, 10.0 * kDay, 1.0);
+  }
+}
+
+TEST(Cluster, HeterogeneousNodesValidateArguments) {
+  EXPECT_THROW(heterogeneous_nodes(0, kDay, 0.3, 0.1, 4.0, 1),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(heterogeneous_nodes(10, -1.0, 0.3, 0.1, 4.0, 1),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(heterogeneous_nodes(10, kDay, 0.3, 1.5, 4.0, 1),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(heterogeneous_nodes(10, kDay, 0.3, 0.1, 0.5, 1),
+               hpcfail::InvalidArgument);
+}
+
+TEST(Cluster, RejectsImpossibleConfigs) {
+  hpcfail::Rng rng(1);
+  ClusterConfig cfg;
+  EXPECT_THROW(simulate_cluster(cfg, rng), hpcfail::InvalidArgument);
+
+  cfg.nodes = std::vector<ClusterNodeConfig>(2, reliable_node(1.0));
+  cfg.job_width = 4;  // wider than the cluster
+  cfg.job_work_seconds = 10.0;
+  cfg.job_count = 1;
+  EXPECT_THROW(simulate_cluster(cfg, rng), hpcfail::InvalidArgument);
+
+  cfg.job_width = 1;
+  cfg.job_work_seconds = 0.0;
+  EXPECT_THROW(simulate_cluster(cfg, rng), hpcfail::InvalidArgument);
+
+  cfg.job_work_seconds = 10.0;
+  cfg.nodes[0].repair_median_seconds = cfg.nodes[0].repair_mean_seconds;
+  EXPECT_THROW(simulate_cluster(cfg, rng), hpcfail::InvalidArgument);
+}
+
+TEST(Cluster, CheckpointingReducesWasteAndMakespan) {
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(16, reliable_node(1.0));
+  cfg.job_width = 4;
+  cfg.job_work_seconds = 2.0 * kDay;  // long jobs on flaky nodes
+  cfg.job_count = 30;
+  hpcfail::Rng r1(21);
+  hpcfail::Rng r2(21);
+  cfg.checkpoint_interval = 0.0;  // restart from scratch
+  const ClusterStats scratch = simulate_cluster(cfg, r1);
+  cfg.checkpoint_interval = 2.0 * 3600.0;  // save every 2 hours
+  const ClusterStats checkpointed = simulate_cluster(cfg, r2);
+  EXPECT_GT(scratch.interruptions, 0u);
+  EXPECT_LT(checkpointed.wasted_work, scratch.wasted_work);
+  EXPECT_LT(checkpointed.makespan, scratch.makespan);
+  // Useful work is the full workload either way.
+  EXPECT_DOUBLE_EQ(checkpointed.useful_work,
+                   30.0 * 4.0 * 2.0 * kDay);
+  EXPECT_DOUBLE_EQ(scratch.useful_work, checkpointed.useful_work);
+}
+
+TEST(Cluster, CheckpointProgressIsQuantized) {
+  // One node, one job, a failure mid-run: the job resumes from the last
+  // whole checkpoint, so total elapsed work time exceeds the work by the
+  // replayed remainder.
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(1, reliable_node(1e9));
+  cfg.job_width = 1;
+  cfg.job_work_seconds = 10.0 * 3600.0;
+  cfg.job_count = 1;
+  cfg.checkpoint_interval = 3600.0;
+  hpcfail::Rng rng(5);
+  const ClusterStats s = simulate_cluster(cfg, rng);
+  EXPECT_EQ(s.interruptions, 0u);
+  EXPECT_DOUBLE_EQ(s.useful_work, 10.0 * 3600.0);
+}
+
+TEST(Cluster, RejectsNegativeCheckpointInterval) {
+  ClusterConfig cfg;
+  cfg.nodes = std::vector<ClusterNodeConfig>(2, reliable_node(1.0));
+  cfg.job_width = 1;
+  cfg.job_work_seconds = 10.0;
+  cfg.job_count = 1;
+  cfg.checkpoint_interval = -1.0;
+  hpcfail::Rng rng(1);
+  EXPECT_THROW(simulate_cluster(cfg, rng), hpcfail::InvalidArgument);
+}
+
+TEST(Cluster, DeterministicGivenSeed) {
+  ClusterConfig cfg;
+  cfg.nodes = heterogeneous_nodes(16, 5.0 * kDay, 0.2, 0.1, 3.0, 5);
+  cfg.job_width = 4;
+  cfg.job_work_seconds = 6.0 * 3600.0;
+  cfg.job_count = 30;
+  hpcfail::Rng r1(77);
+  hpcfail::Rng r2(77);
+  const ClusterStats a = simulate_cluster(cfg, r1);
+  const ClusterStats b = simulate_cluster(cfg, r2);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.interruptions, b.interruptions);
+  EXPECT_DOUBLE_EQ(a.wasted_work, b.wasted_work);
+}
+
+}  // namespace
+}  // namespace hpcfail::sim

@@ -1,0 +1,101 @@
+// Tests for scheduled (adaptive-interval) checkpointing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dist/exponential.hpp"
+#include "dist/weibull.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace hpcfail::sim {
+namespace {
+
+constexpr double kDay = 86400.0;
+
+TEST(CheckpointSchedule, ConstantScheduleMatchesFixedInterval) {
+  const hpcfail::dist::Weibull failures(0.7, 2.0 * kDay);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 10.0 * kDay;
+  cfg.checkpoint_cost = 600.0;
+  cfg.restart_cost = 120.0;
+  cfg.interval = 4.0 * 3600.0;
+  hpcfail::Rng r1(5);
+  hpcfail::Rng r2(5);
+  const CheckpointStats fixed =
+      simulate_checkpoint(failures, nullptr, cfg, r1);
+  const CheckpointStats scheduled = simulate_checkpoint_schedule(
+      failures, nullptr, cfg, [](double) { return 4.0 * 3600.0; }, r2);
+  EXPECT_DOUBLE_EQ(fixed.wall_clock, scheduled.wall_clock);
+  EXPECT_EQ(fixed.failures, scheduled.failures);
+  EXPECT_DOUBLE_EQ(fixed.lost_work, scheduled.lost_work);
+}
+
+TEST(CheckpointSchedule, WorkConservationHolds) {
+  const hpcfail::dist::Weibull failures(0.7, 1.0 * kDay);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 20.0 * kDay;
+  cfg.checkpoint_cost = 300.0;
+  cfg.restart_cost = 60.0;
+  hpcfail::Rng rng(7);
+  const auto schedule = hazard_aware_schedule(failures, 300.0);
+  for (int run = 0; run < 10; ++run) {
+    const CheckpointStats s = simulate_checkpoint_schedule(
+        failures, nullptr, cfg, schedule, rng);
+    EXPECT_NEAR(s.wall_clock,
+                s.useful_work + s.checkpoint_overhead + s.lost_work +
+                    s.restart_overhead + s.downtime,
+                1e-6 * s.wall_clock);
+    EXPECT_DOUBLE_EQ(s.useful_work, cfg.work_seconds);
+  }
+}
+
+TEST(CheckpointSchedule, RejectsNonPositiveIntervals) {
+  const hpcfail::dist::Exponential failures(1.0 / kDay);
+  CheckpointConfig cfg;
+  cfg.work_seconds = 1000.0;
+  cfg.checkpoint_cost = 10.0;
+  hpcfail::Rng rng(9);
+  EXPECT_THROW(simulate_checkpoint_schedule(
+                   failures, nullptr, cfg, [](double) { return 0.0; },
+                   rng),
+               hpcfail::InvalidArgument);
+}
+
+TEST(HazardAwareSchedule, GrowsAfterFailureForDecreasingHazard) {
+  const hpcfail::dist::Weibull failures(0.6, 6.0 * 3600.0);
+  const auto schedule = hazard_aware_schedule(failures, 600.0, 60.0,
+                                              kDay);
+  const double right_after = schedule(10.0);
+  const double much_later = schedule(2.0 * kDay);
+  EXPECT_LT(right_after, much_later);
+}
+
+TEST(HazardAwareSchedule, ConstantForExponential) {
+  const hpcfail::dist::Exponential failures(1.0 / kDay);
+  const auto schedule = hazard_aware_schedule(failures, 600.0, 60.0,
+                                              7.0 * kDay);
+  // Memoryless: the schedule equals Young's interval everywhere.
+  const double young = young_interval(kDay, 600.0);
+  EXPECT_NEAR(schedule(10.0), young, 1.0);
+  EXPECT_NEAR(schedule(5.0 * kDay), young, 1.0);
+}
+
+TEST(HazardAwareSchedule, RespectsClamps) {
+  const hpcfail::dist::Weibull failures(0.4, 3600.0);
+  const auto schedule =
+      hazard_aware_schedule(failures, 600.0, 1800.0, 7200.0);
+  EXPECT_GE(schedule(0.0), 1800.0);
+  EXPECT_LE(schedule(365.0 * kDay), 7200.0);
+}
+
+TEST(HazardAwareSchedule, ValidatesArguments) {
+  const hpcfail::dist::Exponential failures(1.0);
+  EXPECT_THROW(hazard_aware_schedule(failures, 0.0),
+               hpcfail::InvalidArgument);
+  EXPECT_THROW(hazard_aware_schedule(failures, 10.0, 100.0, 50.0),
+               hpcfail::InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::sim

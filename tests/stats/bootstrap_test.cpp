@@ -1,0 +1,136 @@
+#include "stats/bootstrap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "dist/normal.hpp"
+#include "dist/weibull.hpp"
+#include "stats/descriptive.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Bootstrap, PointEstimateIsStatisticOfOriginal) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  hpcfail::Rng rng(1);
+  const BootstrapResult r = bootstrap(xs, [](std::span<const double> s) {
+    return mean(s);
+  }, rng);
+  EXPECT_DOUBLE_EQ(r.point, 3.0);
+  EXPECT_LE(r.lo, r.point);
+  EXPECT_GE(r.hi, r.point);
+}
+
+TEST(Bootstrap, IntervalCoversTrueMeanAtNominalRate) {
+  // 40 independent experiments; the 95% interval should cover the true
+  // mean in the vast majority of them.
+  const hpcfail::dist::Normal truth(10.0, 2.0);
+  hpcfail::Rng data_rng(2);
+  int covered = 0;
+  for (int rep = 0; rep < 40; ++rep) {
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i) xs.push_back(truth.sample(data_rng));
+    hpcfail::Rng rng(static_cast<std::uint64_t>(rep));
+    const BootstrapResult r = bootstrap(
+        xs, [](std::span<const double> s) { return mean(s); }, rng,
+        {.replicates = 400, .confidence = 0.95});
+    if (r.lo <= 10.0 && 10.0 <= r.hi) ++covered;
+  }
+  EXPECT_GE(covered, 33);  // ~95% nominal, wide slack for 40 trials
+}
+
+TEST(Bootstrap, IntervalWidthShrinksWithSampleSize) {
+  const hpcfail::dist::Normal truth(0.0, 1.0);
+  hpcfail::Rng data_rng(3);
+  std::vector<double> small;
+  std::vector<double> large;
+  for (int i = 0; i < 2000; ++i) {
+    const double x = truth.sample(data_rng);
+    if (i < 50) small.push_back(x);
+    large.push_back(x);
+  }
+  hpcfail::Rng r1(4);
+  hpcfail::Rng r2(4);
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  const BootstrapResult a = bootstrap(small, stat, r1);
+  const BootstrapResult b = bootstrap(large, stat, r2);
+  EXPECT_LT(b.hi - b.lo, a.hi - a.lo);
+  EXPECT_LT(b.std_error, a.std_error);
+}
+
+TEST(Bootstrap, WorksForFittedWeibullShape) {
+  // The use case EXPERIMENTS.md needs: an interval around the fitted
+  // shape parameter that contains the truth.
+  const hpcfail::dist::Weibull truth(0.75, 3600.0);
+  hpcfail::Rng data_rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 1500; ++i) xs.push_back(truth.sample(data_rng));
+  hpcfail::Rng rng(6);
+  const BootstrapResult r = bootstrap(
+      xs,
+      [](std::span<const double> s) {
+        return hpcfail::dist::Weibull::fit_mle(s).shape();
+      },
+      rng, {.replicates = 200, .confidence = 0.95});
+  EXPECT_LE(r.lo, 0.75);
+  EXPECT_GE(r.hi, 0.75);
+  EXPECT_GT(r.lo, 0.5);
+  EXPECT_LT(r.hi, 1.0);
+}
+
+TEST(Bootstrap, SkipsFailingReplicatesButTracksCount) {
+  // A statistic that throws for ~half the resamples (when the resample
+  // happens to contain only the value 1.0).
+  const std::vector<double> xs = {1.0, 2.0};
+  hpcfail::Rng rng(7);
+  const BootstrapResult r = bootstrap(
+      xs,
+      [](std::span<const double> s) {
+        double v = variance(s);
+        if (v == 0.0) throw NumericError("degenerate");
+        return v;
+      },
+      rng, {.replicates = 200, .confidence = 0.9});
+  EXPECT_GT(r.replicates, 50u);
+  EXPECT_LT(r.replicates, 200u);
+}
+
+TEST(Bootstrap, ThrowsWhenStatisticAlwaysFails) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  hpcfail::Rng rng(8);
+  EXPECT_THROW(bootstrap(xs,
+                         [](std::span<const double>) -> double {
+                           throw NumericError("never works");
+                         },
+                         rng),
+               NumericError);
+}
+
+TEST(Bootstrap, ValidatesArguments) {
+  hpcfail::Rng rng(9);
+  const auto stat = [](std::span<const double> s) { return mean(s); };
+  EXPECT_THROW(bootstrap(std::vector<double>{}, stat, rng),
+               InvalidArgument);
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_THROW(bootstrap(xs, stat, rng, {.replicates = 5}),
+               InvalidArgument);
+  EXPECT_THROW(
+      bootstrap(xs, stat, rng, {.replicates = 100, .confidence = 1.5}),
+      InvalidArgument);
+}
+
+TEST(Bootstrap, DeterministicGivenRngState) {
+  const std::vector<double> xs = {5.0, 1.0, 4.0, 2.0, 8.0};
+  hpcfail::Rng r1(10);
+  hpcfail::Rng r2(10);
+  const auto stat = [](std::span<const double> s) { return median(s); };
+  const BootstrapResult a = bootstrap(xs, stat, r1);
+  const BootstrapResult b = bootstrap(xs, stat, r2);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

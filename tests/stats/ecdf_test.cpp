@@ -1,0 +1,90 @@
+#include "stats/ecdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Ecdf, StepFunctionValues) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.25);  // right-continuous: includes x
+  EXPECT_DOUBLE_EQ(f(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(f(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(f(100.0), 1.0);
+}
+
+TEST(Ecdf, HandlesTies) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0, 5.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(f(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(f.mass_at(1.0), 0.75);
+  EXPECT_DOUBLE_EQ(f.mass_at(5.0), 0.25);
+  EXPECT_DOUBLE_EQ(f.mass_at(2.0), 0.0);
+}
+
+TEST(Ecdf, MassAtZeroDetectsSimultaneousFailures) {
+  // Fig 6(c): >30% of system-wide interarrival times are exactly zero.
+  const std::vector<double> gaps = {0.0, 0.0, 0.0, 10.0, 20.0, 30.0,
+                                    40.0, 50.0, 60.0};
+  const Ecdf f(gaps);
+  EXPECT_NEAR(f.mass_at(0.0), 3.0 / 9.0, 1e-12);
+}
+
+TEST(Ecdf, QuantileIsInverse) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0, 50.0};
+  const Ecdf f(xs);
+  EXPECT_DOUBLE_EQ(f.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.21), 20.0);
+  EXPECT_DOUBLE_EQ(f.quantile(1.0), 50.0);
+  EXPECT_DOUBLE_EQ(f.quantile(0.0001), 10.0);
+}
+
+TEST(Ecdf, QuantileRejectsOutOfRange) {
+  const Ecdf f(std::vector<double>{1.0});
+  EXPECT_THROW(f.quantile(0.0), InvalidArgument);
+  EXPECT_THROW(f.quantile(1.5), InvalidArgument);
+}
+
+TEST(Ecdf, StepPointsCollapseDuplicates) {
+  const std::vector<double> xs = {1.0, 1.0, 2.0};
+  const Ecdf f(xs);
+  const auto pts = f.step_points();
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 1.0);
+  EXPECT_NEAR(pts[0].second, 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pts[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 1.0);
+}
+
+TEST(Ecdf, MinMaxAndSize) {
+  const std::vector<double> xs = {5.0, -1.0, 3.0};
+  const Ecdf f(xs);
+  EXPECT_EQ(f.size(), 3u);
+  EXPECT_DOUBLE_EQ(f.min(), -1.0);
+  EXPECT_DOUBLE_EQ(f.max(), 5.0);
+}
+
+TEST(Ecdf, RejectsEmptySample) {
+  EXPECT_THROW(Ecdf(std::vector<double>{}), InvalidArgument);
+}
+
+TEST(Ecdf, MonotoneNonDecreasing) {
+  const std::vector<double> xs = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  const Ecdf f(xs);
+  double prev = -0.1;
+  for (double x = 0.0; x <= 10.0; x += 0.25) {
+    const double v = f(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,84 @@
+#include "stats/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(Histogram, BinsValuesCorrectly) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);
+  h.add(1.9);
+  h.add(2.0);
+  h.add(9.99);
+  EXPECT_DOUBLE_EQ(h.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(4), 1.0);
+  EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, TracksUnderOverflow) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge is exclusive: overflow
+  h.add(2.0);
+  EXPECT_DOUBLE_EQ(h.underflow(), 1.0);
+  EXPECT_DOUBLE_EQ(h.overflow(), 2.0);
+  EXPECT_DOUBLE_EQ(h.total(), 3.0);
+}
+
+TEST(Histogram, WeightsAccumulate) {
+  Histogram h(0.0, 1.0, 1);
+  h.add(0.5, 2.5);
+  h.add(0.5, 0.5);
+  EXPECT_DOUBLE_EQ(h.count(0), 3.0);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_width(), 2.5);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(3), 20.0);
+  EXPECT_DOUBLE_EQ(h.bin_center(1), 13.75);
+}
+
+TEST(Histogram, AddAllSpan) {
+  Histogram h(0.0, 4.0, 4);
+  const std::vector<double> xs = {0.5, 1.5, 1.6, 3.9};
+  h.add_all(xs);
+  EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(Histogram, RejectsBinIndexOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW(h.count(2), InvalidArgument);
+  EXPECT_THROW(h.bin_lo(5), InvalidArgument);
+}
+
+TEST(CategoryCounts, GrowsOnDemand) {
+  CategoryCounts c;
+  c.add(3);
+  c.add(3, 2.0);
+  c.add(0);
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_DOUBLE_EQ(c.count(3), 3.0);
+  EXPECT_DOUBLE_EQ(c.count(0), 1.0);
+  EXPECT_DOUBLE_EQ(c.count(2), 0.0);
+  EXPECT_DOUBLE_EQ(c.count(99), 0.0);  // out of range reads as zero
+  EXPECT_DOUBLE_EQ(c.total(), 4.0);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,74 @@
+#include "stats/ks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/special.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(KsStatistic, ZeroWhenSampleIsExactQuantiles) {
+  // Sample at the (i - 0.5)/n quantiles of U(0,1): D = 0.5/n.
+  const std::size_t n = 100;
+  std::vector<double> xs;
+  for (std::size_t i = 1; i <= n; ++i) {
+    xs.push_back((static_cast<double>(i) - 0.5) / static_cast<double>(n));
+  }
+  const double d = ks_statistic(xs, [](double x) { return x; });
+  EXPECT_NEAR(d, 0.5 / static_cast<double>(n), 1e-12);
+}
+
+TEST(KsStatistic, DetectsGrossMismatch) {
+  // Uniform sample vs a CDF concentrated near zero.
+  std::vector<double> xs;
+  for (int i = 1; i <= 50; ++i) xs.push_back(i / 51.0);
+  const double d =
+      ks_statistic(xs, [](double x) { return 1.0 - std::exp(-50.0 * x); });
+  EXPECT_GT(d, 0.5);
+}
+
+TEST(KsStatistic, InvariantToInputOrder) {
+  const std::vector<double> a = {0.1, 0.9, 0.4, 0.6};
+  const std::vector<double> b = {0.9, 0.1, 0.6, 0.4};
+  const auto cdf = [](double x) { return x; };
+  EXPECT_DOUBLE_EQ(ks_statistic(a, cdf), ks_statistic(b, cdf));
+}
+
+TEST(KsStatistic, RejectsEmptySample) {
+  EXPECT_THROW(ks_statistic(std::vector<double>{},
+                            [](double x) { return x; }),
+               InvalidArgument);
+}
+
+TEST(KsPvalue, HighForGoodFitLowForBadFit) {
+  hpcfail::Rng rng(31);
+  std::vector<double> uniform;
+  for (int i = 0; i < 2000; ++i) uniform.push_back(rng.uniform());
+  const double d_good = ks_statistic(uniform, [](double x) {
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x);
+  });
+  const double d_bad = ks_statistic(uniform, [](double x) {
+    return x < 0.0 ? 0.0 : (x > 1.0 ? 1.0 : x * x);
+  });
+  EXPECT_GT(ks_pvalue(d_good, uniform.size()), 0.05);
+  EXPECT_LT(ks_pvalue(d_bad, uniform.size()), 1e-6);
+}
+
+TEST(KsPvalue, BoundsAndMonotonicity) {
+  EXPECT_NEAR(ks_pvalue(0.0, 100), 1.0, 1e-12);
+  EXPECT_NEAR(ks_pvalue(1.0, 10000), 0.0, 1e-10);
+  EXPECT_GT(ks_pvalue(0.01, 100), ks_pvalue(0.2, 100));
+}
+
+TEST(KsPvalue, RejectsBadArguments) {
+  EXPECT_THROW(ks_pvalue(0.1, 0), InvalidArgument);
+  EXPECT_THROW(ks_pvalue(-0.1, 10), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

@@ -1,0 +1,72 @@
+#include "stats/qq.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "dist/exponential.hpp"
+#include "dist/lognormal.hpp"
+
+namespace hpcfail::stats {
+namespace {
+
+TEST(QqPoints, DiagonalForMatchingDistribution) {
+  const hpcfail::dist::Exponential truth(0.5);
+  hpcfail::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(truth.sample(rng));
+  const auto pairs = qq_points(
+      xs, [&truth](double p) { return truth.quantile(p); }, 20);
+  ASSERT_EQ(pairs.size(), 20u);
+  for (const auto& [model, empirical] : pairs) {
+    EXPECT_NEAR(empirical / model, 1.0, 0.06);
+  }
+}
+
+TEST(QqPoints, ProbabilityLevelsAreCentered) {
+  // With 2 points, levels are 0.25 and 0.75.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  int calls = 0;
+  double seen[2] = {0.0, 0.0};
+  qq_points(xs,
+            [&](double p) {
+              seen[calls++] = p;
+              return p;
+            },
+            2);
+  EXPECT_DOUBLE_EQ(seen[0], 0.25);
+  EXPECT_DOUBLE_EQ(seen[1], 0.75);
+}
+
+TEST(QqMaxRelativeDeviation, SmallForTrueModelLargeForWrongModel) {
+  const hpcfail::dist::LogNormal truth(3.0, 1.5);
+  hpcfail::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(truth.sample(rng));
+  const double good = qq_max_relative_deviation(
+      xs, [&truth](double p) { return truth.quantile(p); });
+  const hpcfail::dist::Exponential wrong(1.0 / truth.mean());
+  const double bad = qq_max_relative_deviation(
+      xs, [&wrong](double p) { return wrong.quantile(p); });
+  EXPECT_LT(good, 0.15);
+  // Even inside the central band the exponential misses the lognormal's
+  // quantiles by ~50%+ (the >95% tail is worse still).
+  EXPECT_GT(bad, 0.4);
+  EXPECT_GT(bad, 3.0 * good);
+}
+
+TEST(QqPoints, ValidatesArguments) {
+  const auto id = [](double p) { return p; };
+  EXPECT_THROW(qq_points(std::vector<double>{}, id), InvalidArgument);
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(qq_points(xs, id, 1), InvalidArgument);
+  EXPECT_THROW(qq_max_relative_deviation(xs, id, 0.5, 0.4),
+               InvalidArgument);
+  EXPECT_THROW(qq_max_relative_deviation(xs, id, 0.0, 0.9),
+               InvalidArgument);
+}
+
+}  // namespace
+}  // namespace hpcfail::stats

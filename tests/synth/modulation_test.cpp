@@ -1,0 +1,100 @@
+#include "synth/modulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::synth {
+namespace {
+
+TEST(DiurnalFactor, PeakToTroughRatioNearTwo) {
+  // Fig 5: daytime peak failure rate is ~2x the overnight trough.
+  double lo = 1e9;
+  double hi = 0.0;
+  for (int h = 0; h < 24; ++h) {
+    const double f = diurnal_factor(h);
+    lo = std::min(lo, f);
+    hi = std::max(hi, f);
+  }
+  EXPECT_NEAR(hi / lo, 2.0, 0.15);
+  EXPECT_GT(diurnal_factor(14), diurnal_factor(2));  // peak mid-afternoon
+}
+
+TEST(DiurnalFactor, MeanIsApproximatelyOne) {
+  double sum = 0.0;
+  for (int h = 0; h < 24; ++h) sum += diurnal_factor(h);
+  EXPECT_NEAR(sum / 24.0, 1.0, 0.01);
+}
+
+TEST(DiurnalFactor, RejectsOutOfRange) {
+  EXPECT_THROW(diurnal_factor(-1), hpcfail::InvalidArgument);
+  EXPECT_THROW(diurnal_factor(24), hpcfail::InvalidArgument);
+}
+
+TEST(WeeklyFactor, WeekdayToWeekendRatioNearTwo) {
+  EXPECT_NEAR(weekly_factor(1) / weekly_factor(0), 1.75, 0.1);
+  EXPECT_EQ(weekly_factor(0), weekly_factor(6));  // both weekend days
+  for (int d = 1; d <= 5; ++d) {
+    EXPECT_EQ(weekly_factor(d), weekly_factor(1));
+  }
+}
+
+TEST(WeeklyFactor, MeanIsOne) {
+  double sum = 0.0;
+  for (int d = 0; d < 7; ++d) sum += weekly_factor(d);
+  EXPECT_NEAR(sum / 7.0, 1.0, 1e-12);
+}
+
+TEST(WeeklyFactor, RejectsOutOfRange) {
+  EXPECT_THROW(weekly_factor(-1), hpcfail::InvalidArgument);
+  EXPECT_THROW(weekly_factor(7), hpcfail::InvalidArgument);
+}
+
+TEST(WorkloadModulation, CombinesBothFactors) {
+  // Tuesday 1997-01-07 at 14:00 vs Sunday 02:00 differ by ~3.5x.
+  const Seconds weekday_peak =
+      to_epoch(1997, 1, 7) + 14 * kSecondsPerHour;
+  const Seconds weekend_trough =
+      to_epoch(1997, 1, 5) + 2 * kSecondsPerHour;
+  EXPECT_GT(workload_modulation(weekday_peak) /
+                workload_modulation(weekend_trough),
+            3.0);
+}
+
+TEST(LifecycleFactor, BurnInDecaysMonotonically) {
+  Lifecycle lc;
+  lc.shape = LifecycleShape::burn_in;
+  lc.amplitude = 3.0;
+  lc.tau_months = 3.0;
+  EXPECT_NEAR(lifecycle_factor(lc, 0.0), 4.0, 1e-12);
+  double prev = lifecycle_factor(lc, 0.0);
+  for (double m = 1.0; m <= 48.0; m += 1.0) {
+    const double f = lifecycle_factor(lc, m);
+    EXPECT_LT(f, prev);
+    prev = f;
+  }
+  EXPECT_NEAR(lifecycle_factor(lc, 60.0), 1.0, 0.01);  // settles to base
+}
+
+TEST(LifecycleFactor, RampUpPeaksNearPeakMonth) {
+  Lifecycle lc;
+  lc.shape = LifecycleShape::ramp_up;
+  lc.low = 0.35;
+  lc.peak = 2.6;
+  lc.peak_month = 20.0;
+  EXPECT_NEAR(lifecycle_factor(lc, 0.0), 0.35, 1e-12);
+  EXPECT_NEAR(lifecycle_factor(lc, 20.0), 2.6, 1e-12);
+  // Rising before the peak, falling after (Fig 4b).
+  EXPECT_LT(lifecycle_factor(lc, 5.0), lifecycle_factor(lc, 15.0));
+  EXPECT_GT(lifecycle_factor(lc, 20.0), lifecycle_factor(lc, 40.0));
+  // Back near the floor by month 60, as Fig 4(b) shows.
+  EXPECT_LT(lifecycle_factor(lc, 60.0), 0.5 * lc.peak);
+}
+
+TEST(LifecycleFactor, ClampsNegativeMonths) {
+  Lifecycle lc;
+  EXPECT_DOUBLE_EQ(lifecycle_factor(lc, -5.0), lifecycle_factor(lc, 0.0));
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

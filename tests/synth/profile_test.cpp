@@ -1,0 +1,177 @@
+#include "synth/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::synth {
+namespace {
+
+using trace::DetailCause;
+using trace::RootCause;
+
+double detail_weight(const DetailMix& mix, DetailCause detail) {
+  double total = 0.0;
+  double hit = 0.0;
+  for (const auto& [d, w] : mix) {
+    total += w;
+    if (d == detail) hit = w;
+  }
+  return total > 0.0 ? hit / total : 0.0;
+}
+
+TEST(Profiles, AllTypesExistAndMixesSumToOne) {
+  for (const char t : {'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    EXPECT_EQ(p.hw_type, t);
+    double sum = 0.0;
+    for (const double w : p.cause_mix) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-9) << "type " << t;
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_FALSE(p.detail_mix[i].empty()) << "type " << t << " cause " << i;
+      // Every detail in the mix must belong to the cause it is listed
+      // under, or records would fail their consistency check.
+      for (const auto& [detail, weight] : p.detail_mix[i]) {
+        EXPECT_EQ(trace::cause_index(category_of(detail)), i)
+            << "type " << t;
+        EXPECT_GT(weight, 0.0);
+      }
+    }
+  }
+  EXPECT_THROW(profile_for('Z'), hpcfail::InvalidArgument);
+}
+
+TEST(Profiles, HardwareIsLargestCauseEverywhere) {
+  // Fig 1(a): hardware is the single largest component, 30-60+%.
+  for (const char t : {'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    const double hw = p.cause_mix[cause_index(RootCause::hardware)];
+    EXPECT_GE(hw, 0.30) << "type " << t;
+    for (std::size_t i = 1; i < 6; ++i) {
+      EXPECT_GE(hw, p.cause_mix[i]) << "type " << t;
+    }
+  }
+}
+
+TEST(Profiles, SoftwareIsSecondLargest) {
+  // Fig 1(a): software 5-24%, second after hardware (unknown aside).
+  for (const char t : {'D', 'E', 'F', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    const double sw = p.cause_mix[cause_index(RootCause::software)];
+    EXPECT_GE(sw, 0.05) << "type " << t;
+    EXPECT_LE(sw, 0.30) << "type " << t;
+  }
+}
+
+TEST(Profiles, TypeDHasNearlyEqualHardwareAndSoftware) {
+  const HardwareProfile& p = profile_for('D');
+  const double hw = p.cause_mix[cause_index(RootCause::hardware)];
+  const double sw = p.cause_mix[cause_index(RootCause::software)];
+  EXPECT_LT(hw / sw, 1.5);  // "almost equally frequent"
+}
+
+TEST(Profiles, TypeEHasFewUnknowns) {
+  // Fig 1(a): type E < 5% unknown; most others 20-30%.
+  EXPECT_LT(profile_for('E').cause_mix[cause_index(RootCause::unknown)],
+            0.05);
+  EXPECT_GE(profile_for('G').cause_mix[cause_index(RootCause::unknown)],
+            0.20);
+  EXPECT_GE(profile_for('D').cause_mix[cause_index(RootCause::unknown)],
+            0.20);
+}
+
+TEST(Profiles, MemoryIsOverTenPercentOfAllFailures) {
+  // Section 4: "For all systems, more than 10% of all failures ... were
+  // due to memory", except type E where CPU dominates hardware.
+  for (const char t : {'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    const std::size_t hw = cause_index(RootCause::hardware);
+    const double memory_share =
+        p.cause_mix[hw] * detail_weight(p.detail_mix[hw],
+                                        DetailCause::memory_dimm);
+    EXPECT_GE(memory_share, 0.095) << "type " << t;
+  }
+  // F and H: memory over 25% of all failures.
+  for (const char t : {'F', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    const std::size_t hw = cause_index(RootCause::hardware);
+    EXPECT_GE(p.cause_mix[hw] * detail_weight(p.detail_mix[hw],
+                                              DetailCause::memory_dimm),
+              0.25)
+        << "type " << t;
+  }
+}
+
+TEST(Profiles, TypeECpuDesignFlaw) {
+  // Section 4: type E saw >50% of all failures from CPU.
+  const HardwareProfile& p = profile_for('E');
+  const std::size_t hw = cause_index(RootCause::hardware);
+  EXPECT_GE(p.cause_mix[hw] * detail_weight(p.detail_mix[hw],
+                                            DetailCause::cpu),
+            0.50);
+}
+
+TEST(Profiles, TopSoftwareCausePerType) {
+  // Section 4: OS tops E, parallel FS tops F, scheduler tops H,
+  // unspecified software tops D and G.
+  const auto top = [](const DetailMix& mix) {
+    DetailCause best = mix.front().first;
+    double w = mix.front().second;
+    for (const auto& [d, weight] : mix) {
+      if (weight > w) {
+        best = d;
+        w = weight;
+      }
+    }
+    return best;
+  };
+  const std::size_t sw = cause_index(RootCause::software);
+  EXPECT_EQ(top(profile_for('E').detail_mix[sw]),
+            DetailCause::operating_system);
+  EXPECT_EQ(top(profile_for('F').detail_mix[sw]), DetailCause::parallel_fs);
+  EXPECT_EQ(top(profile_for('H').detail_mix[sw]), DetailCause::scheduler);
+  EXPECT_EQ(top(profile_for('D').detail_mix[sw]),
+            DetailCause::other_software);
+  EXPECT_EQ(top(profile_for('G').detail_mix[sw]),
+            DetailCause::other_software);
+}
+
+TEST(Profiles, RepairMomentsAreLognormalCompatible) {
+  // Every (type, cause) pair must satisfy mean > median > 0 so
+  // LogNormal::from_mean_median accepts it.
+  for (const char t : {'A', 'B', 'C', 'D', 'E', 'F', 'G', 'H'}) {
+    const HardwareProfile& p = profile_for(t);
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_GT(p.repair[i].median_minutes, 0.0) << "type " << t;
+      EXPECT_GT(p.repair[i].mean_minutes, p.repair[i].median_minutes)
+          << "type " << t << " cause " << i;
+    }
+  }
+}
+
+TEST(Profiles, NumaTypesRepairSlower) {
+  // Fig 7(b)/(c): repair time depends on hardware type; the NUMA types
+  // (G, H) are the slow end, the small early systems the fast end.
+  const std::size_t hw = cause_index(RootCause::hardware);
+  EXPECT_GT(profile_for('G').repair[hw].mean_minutes,
+            profile_for('E').repair[hw].mean_minutes);
+  EXPECT_GT(profile_for('H').repair[hw].mean_minutes,
+            profile_for('A').repair[hw].mean_minutes);
+}
+
+TEST(Profiles, UnknownRepairsLongOnlyForPioneerTypes) {
+  // Fig 1(b): unknown causes are <5% of downtime for most systems but
+  // >5% for D and G.
+  const std::size_t unknown = cause_index(RootCause::unknown);
+  for (const char t : {'D', 'G'}) {
+    EXPECT_GE(profile_for(t).repair[unknown].mean_minutes, 200.0)
+        << "type " << t;
+  }
+  for (const char t : {'A', 'E', 'F', 'H'}) {
+    EXPECT_LE(profile_for(t).repair[unknown].mean_minutes, 100.0)
+        << "type " << t;
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::synth

@@ -1,0 +1,147 @@
+#include "trace/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace hpcfail::trace {
+namespace {
+
+FailureRecord rec(int system, int node, Seconds start, Seconds duration,
+                  RootCause cause = RootCause::hardware,
+                  DetailCause detail = DetailCause::memory_dimm) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.cause = cause;
+  r.detail = detail;
+  return r;
+}
+
+const Seconds t0 = to_epoch(2000, 1, 1);
+
+FailureDataset small_dataset() {
+  // Deliberately out of order; the constructor must sort.
+  return FailureDataset({
+      rec(1, 0, t0 + 5000, 600),
+      rec(1, 0, t0 + 1000, 300),
+      rec(1, 1, t0 + 3000, 1200),
+      rec(2, 0, t0 + 2000, 60),
+      rec(1, 0, t0 + 9000, 300),
+  });
+}
+
+TEST(FailureDataset, SortsByStartTime) {
+  const FailureDataset ds = small_dataset();
+  Seconds prev = 0;
+  for (const FailureRecord& r : ds.records()) {
+    EXPECT_GE(r.start, prev);
+    prev = r.start;
+  }
+  EXPECT_EQ(ds.first_start(), t0 + 1000);
+  EXPECT_EQ(ds.last_end(), t0 + 9300);
+}
+
+TEST(FailureDataset, RejectsInconsistentRecordWithIndex) {
+  FailureRecord bad = rec(1, 0, t0, 100);
+  bad.end = bad.start - 1;
+  try {
+    FailureDataset({rec(1, 0, t0, 10), bad});
+    FAIL() << "should have thrown";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("index 1"), std::string::npos);
+  }
+}
+
+TEST(FailureDataset, RejectsCauseDetailMismatch) {
+  FailureRecord bad = rec(1, 0, t0, 100, RootCause::software,
+                          DetailCause::memory_dimm);
+  EXPECT_THROW(FailureDataset({bad}), InvalidArgument);
+}
+
+TEST(FailureDataset, EmptyDatasetBehaviour) {
+  const FailureDataset ds;
+  EXPECT_TRUE(ds.empty());
+  EXPECT_EQ(ds.size(), 0u);
+  EXPECT_THROW(ds.first_start(), InvalidArgument);
+  EXPECT_THROW(ds.last_end(), InvalidArgument);
+  EXPECT_TRUE(ds.system_ids().empty());
+  EXPECT_TRUE(ds.system_interarrivals(1).empty());
+}
+
+TEST(FailureDataset, FilterAndForSystem) {
+  const FailureDataset ds = small_dataset();
+  EXPECT_EQ(ds.for_system(1).size(), 4u);
+  EXPECT_EQ(ds.for_system(2).size(), 1u);
+  EXPECT_EQ(ds.for_system(3).size(), 0u);
+  const auto long_repairs = ds.filter(
+      [](const FailureRecord& r) { return r.downtime_seconds() >= 600; });
+  EXPECT_EQ(long_repairs.size(), 2u);
+}
+
+TEST(FailureDataset, BetweenIsHalfOpen) {
+  const FailureDataset ds = small_dataset();
+  const auto window = ds.between(t0 + 1000, t0 + 5000);
+  EXPECT_EQ(window.size(), 3u);  // 1000, 2000, 3000; excludes 5000
+}
+
+TEST(FailureDataset, NodeInterarrivals) {
+  const FailureDataset ds = small_dataset();
+  const auto gaps = ds.node_interarrivals(1, 0);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 4000.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 4000.0);
+  EXPECT_TRUE(ds.node_interarrivals(1, 99).empty());
+  EXPECT_TRUE(ds.node_interarrivals(2, 0).empty());  // single record
+}
+
+TEST(FailureDataset, SystemInterarrivalsIncludeAllNodes) {
+  const FailureDataset ds = small_dataset();
+  const auto gaps = ds.system_interarrivals(1);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 2000.0);  // 1000 -> 3000 (node 1)
+  EXPECT_DOUBLE_EQ(gaps[1], 2000.0);  // 3000 -> 5000
+  EXPECT_DOUBLE_EQ(gaps[2], 4000.0);  // 5000 -> 9000
+}
+
+TEST(FailureDataset, SimultaneousFailuresYieldZeroGaps) {
+  const FailureDataset ds({
+      rec(1, 0, t0, 60),
+      rec(1, 1, t0, 60),  // same instant, different node
+      rec(1, 2, t0 + 100, 60),
+  });
+  const auto gaps = ds.system_interarrivals(1);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 0.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 100.0);
+}
+
+TEST(FailureDataset, RepairTimesMinutes) {
+  const FailureDataset ds = small_dataset();
+  const auto times = ds.repair_times_minutes();
+  ASSERT_EQ(times.size(), 5u);
+  // Sorted by start: 300s, 60s, 1200s, 600s, 300s.
+  EXPECT_DOUBLE_EQ(times[0], 5.0);
+  EXPECT_DOUBLE_EQ(times[1], 1.0);
+  EXPECT_DOUBLE_EQ(times[2], 20.0);
+  EXPECT_DOUBLE_EQ(ds.total_downtime_minutes(), 5.0 + 1.0 + 20.0 + 10.0 + 5.0);
+}
+
+TEST(FailureDataset, FailuresPerNode) {
+  const FailureDataset ds = small_dataset();
+  const auto counts = ds.failures_per_node(1);
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at(0), 3u);
+  EXPECT_EQ(counts.at(1), 1u);
+  EXPECT_TRUE(ds.failures_per_node(9).empty());
+}
+
+TEST(FailureDataset, SystemIdsSortedUnique) {
+  const FailureDataset ds = small_dataset();
+  EXPECT_EQ(ds.system_ids(), (std::vector<int>{1, 2}));
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

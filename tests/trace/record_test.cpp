@@ -1,0 +1,62 @@
+#include "trace/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hpcfail::trace {
+namespace {
+
+FailureRecord valid_record() {
+  FailureRecord r;
+  r.system_id = 20;
+  r.node_id = 22;
+  r.start = to_epoch(2001, 5, 4) + 3600;
+  r.end = r.start + 7200;
+  r.workload = Workload::compute;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::memory_dimm;
+  return r;
+}
+
+TEST(FailureRecord, DowntimeInSecondsAndMinutes) {
+  const FailureRecord r = valid_record();
+  EXPECT_EQ(r.downtime_seconds(), 7200);
+  EXPECT_DOUBLE_EQ(r.downtime_minutes(), 120.0);
+}
+
+TEST(FailureRecord, ZeroDowntimeAllowed) {
+  FailureRecord r = valid_record();
+  r.end = r.start;
+  EXPECT_TRUE(r.is_consistent());
+  EXPECT_EQ(r.downtime_seconds(), 0);
+}
+
+TEST(FailureRecord, ConsistencyChecks) {
+  EXPECT_TRUE(valid_record().is_consistent());
+
+  FailureRecord reversed = valid_record();
+  reversed.end = reversed.start - 1;
+  EXPECT_FALSE(reversed.is_consistent());
+
+  FailureRecord bad_system = valid_record();
+  bad_system.system_id = 0;
+  EXPECT_FALSE(bad_system.is_consistent());
+
+  FailureRecord bad_node = valid_record();
+  bad_node.node_id = -1;
+  EXPECT_FALSE(bad_node.is_consistent());
+
+  FailureRecord mismatched = valid_record();
+  mismatched.cause = RootCause::software;  // detail stays memory_dimm
+  EXPECT_FALSE(mismatched.is_consistent());
+}
+
+TEST(FailureRecord, EqualityIsFieldwise) {
+  const FailureRecord a = valid_record();
+  FailureRecord b = a;
+  EXPECT_EQ(a, b);
+  b.node_id = 23;
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

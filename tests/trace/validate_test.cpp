@@ -1,0 +1,187 @@
+#include "trace/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "synth/corruption.hpp"
+#include "synth/generator.hpp"
+
+namespace hpcfail::trace {
+namespace {
+
+FailureRecord rec(int system, int node, Seconds start, Seconds duration,
+                  Workload wl = Workload::compute) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.workload = wl;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::memory_dimm;
+  return r;
+}
+
+TEST(Validate, CleanSyntheticTraceValidates) {
+  const FailureDataset dataset = synth::generate_lanl_trace(42);
+  const ValidationReport report =
+      validate(dataset, SystemCatalog::lanl());
+  EXPECT_EQ(report.records_checked, dataset.size());
+  // The generator never emits unknown ids, out-of-window or mislabeled
+  // records; overlapping repairs can occur legitimately (a node can be
+  // reported failed again while a long repair ticket is open), so only
+  // the structural kinds must be absent.
+  EXPECT_EQ(report.count(ValidationIssueKind::unknown_system), 0u);
+  EXPECT_EQ(report.count(ValidationIssueKind::node_out_of_range), 0u);
+  EXPECT_EQ(report.count(ValidationIssueKind::outside_production), 0u);
+  EXPECT_EQ(report.count(ValidationIssueKind::workload_mismatch), 0u);
+  EXPECT_EQ(report.count(ValidationIssueKind::implausible_duration), 0u);
+}
+
+TEST(Validate, FlagsUnknownSystem) {
+  const FailureDataset ds({rec(99, 0, to_epoch(2003, 1, 1), 600)});
+  const ValidationReport report = validate(ds, SystemCatalog::lanl());
+  ASSERT_EQ(report.issues.size(), 1u);
+  EXPECT_EQ(report.issues[0].kind, ValidationIssueKind::unknown_system);
+  EXPECT_EQ(report.issues[0].record_index, 0u);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(Validate, FlagsNodeOutOfRange) {
+  const FailureDataset ds({rec(12, 32, to_epoch(2004, 1, 1), 600)});
+  const ValidationReport report = validate(ds, SystemCatalog::lanl());
+  EXPECT_EQ(report.count(ValidationIssueKind::node_out_of_range), 1u);
+}
+
+TEST(Validate, FlagsOutsideProduction) {
+  // System 19 retired 09/2002.
+  const FailureDataset ds({rec(19, 3, to_epoch(2004, 1, 1), 600)});
+  const ValidationReport report = validate(ds, SystemCatalog::lanl());
+  EXPECT_EQ(report.count(ValidationIssueKind::outside_production), 1u);
+}
+
+TEST(Validate, FlagsOverlappingRepair) {
+  const Seconds t0 = to_epoch(2005, 1, 1);  // inside system 22's window
+  const FailureDataset ds({
+      rec(22, 0, t0, 7200),          // down for two hours
+      rec(22, 0, t0 + 3600, 600),    // reported again mid-repair
+      rec(22, 0, t0 + 9000, 600),    // fine
+  });
+  const ValidationReport report = validate(ds, SystemCatalog::lanl());
+  EXPECT_EQ(report.count(ValidationIssueKind::overlapping_repair), 1u);
+  EXPECT_EQ(report.issues[0].record_index, 1u);
+}
+
+TEST(Validate, FlagsImplausibleDuration) {
+  const FailureDataset ds(
+      {rec(22, 0, to_epoch(2004, 12, 1), 90 * kSecondsPerDay)});
+  ValidationOptions options;
+  options.max_repair_days = 60.0;
+  const ValidationReport report =
+      validate(ds, SystemCatalog::lanl(), options);
+  EXPECT_EQ(report.count(ValidationIssueKind::implausible_duration), 1u);
+}
+
+TEST(Validate, FlagsWorkloadMismatchOnlyWhenAsked) {
+  // Node 22 of system 20 is a graphics node; label it compute.
+  const FailureDataset ds(
+      {rec(20, 22, to_epoch(2004, 1, 1), 600, Workload::compute)});
+  ValidationReport report = validate(ds, SystemCatalog::lanl());
+  EXPECT_EQ(report.count(ValidationIssueKind::workload_mismatch), 1u);
+  ValidationOptions lax;
+  lax.check_workloads = false;
+  report = validate(ds, SystemCatalog::lanl(), lax);
+  EXPECT_EQ(report.count(ValidationIssueKind::workload_mismatch), 0u);
+}
+
+TEST(Validate, EmptyDatasetIsClean) {
+  const ValidationReport report =
+      validate(FailureDataset{}, SystemCatalog::lanl());
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records_checked, 0u);
+}
+
+TEST(DropFlagged, RemovesExactlyTheFlaggedRecords) {
+  const Seconds t0 = to_epoch(2005, 1, 1);  // inside system 22's window
+  const FailureDataset ds({
+      rec(22, 0, t0, 600),
+      rec(99, 0, t0 + 1000, 600),  // unknown system
+      rec(22, 0, t0 + 2000, 600),
+  });
+  const ValidationReport report = validate(ds, SystemCatalog::lanl());
+  const FailureDataset cleaned = drop_flagged(ds, report);
+  EXPECT_EQ(cleaned.size(), 2u);
+  EXPECT_TRUE(validate(cleaned, SystemCatalog::lanl()).clean());
+}
+
+TEST(Validate, CatchesInjectedCorruption) {
+  // End-to-end failure injection: corrupt the clean trace and verify the
+  // validator finds every class of damage.
+  const FailureDataset clean = synth::generate_lanl_trace(7);
+  synth::CorruptionConfig cfg;
+  cfg.seed = 3;
+  cfg.corrupt_node_probability = 0.01;
+  cfg.stretch_repair_probability = 0.005;
+  const FailureDataset dirty = synth::corrupt(clean, cfg);
+
+  const ValidationReport report = validate(dirty, SystemCatalog::lanl());
+  EXPECT_GT(report.count(ValidationIssueKind::node_out_of_range),
+            dirty.size() / 500);
+  EXPECT_GT(report.count(ValidationIssueKind::implausible_duration), 0u);
+
+  // Dropping the flagged records yields a structurally clean dataset.
+  const FailureDataset cleaned = drop_flagged(dirty, report);
+  const ValidationReport recheck =
+      validate(cleaned, SystemCatalog::lanl());
+  EXPECT_EQ(recheck.count(ValidationIssueKind::node_out_of_range), 0u);
+  EXPECT_EQ(recheck.count(ValidationIssueKind::implausible_duration), 0u);
+}
+
+TEST(Corrupt, DropAndRelabelRates) {
+  const FailureDataset clean = synth::generate_lanl_trace(7);
+  synth::CorruptionConfig cfg;
+  cfg.seed = 11;
+  cfg.drop_probability = 0.10;
+  cfg.relabel_unknown_probability = 0.20;
+  const FailureDataset dirty = synth::corrupt(clean, cfg);
+  const double kept = static_cast<double>(dirty.size()) /
+                      static_cast<double>(clean.size());
+  EXPECT_NEAR(kept, 0.90, 0.02);
+
+  std::size_t unknown_clean = 0;
+  std::size_t unknown_dirty = 0;
+  for (const FailureRecord& r : clean.records()) {
+    if (r.cause == RootCause::unknown) ++unknown_clean;
+  }
+  for (const FailureRecord& r : dirty.records()) {
+    if (r.cause == RootCause::unknown) ++unknown_dirty;
+  }
+  EXPECT_GT(static_cast<double>(unknown_dirty) /
+                static_cast<double>(dirty.size()),
+            static_cast<double>(unknown_clean) /
+                static_cast<double>(clean.size()) +
+                0.1);
+}
+
+TEST(Corrupt, ValidatesProbabilities) {
+  const FailureDataset clean({rec(22, 0, to_epoch(2005, 1, 1), 60)});
+  synth::CorruptionConfig cfg;
+  cfg.drop_probability = 1.5;
+  EXPECT_THROW(synth::corrupt(clean, cfg), InvalidArgument);
+}
+
+TEST(Corrupt, DeterministicGivenSeed) {
+  const FailureDataset clean = synth::generate_lanl_trace(7);
+  synth::CorruptionConfig cfg;
+  cfg.seed = 5;
+  cfg.drop_probability = 0.05;
+  const FailureDataset a = synth::corrupt(clean, cfg);
+  const FailureDataset b = synth::corrupt(clean, cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i], b.records()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

@@ -1,0 +1,224 @@
+// hpcfail command-line tool: trace generation, validation, analysis, and
+// fitting without writing C++.
+//
+//   hpcfail generate  --out FILE [--seed N]
+//   hpcfail catalog
+//   hpcfail validate  --trace FILE [--drop-out FILE]
+//   hpcfail fit       (--trace FILE | --seed N) --system N [--node M]
+//                     [--from YYYY-MM-DD] [--to YYYY-MM-DD]
+//   hpcfail repair    (--trace FILE | --seed N)
+//   hpcfail availability (--trace FILE | --seed N)
+//
+// Every subcommand exits 0 on success and 1 on error with a message on
+// stderr; `validate` exits 2 when issues were found (grep-able reports on
+// stdout), matching the usual lint-tool convention.
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hpcfail.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+struct Options {
+  std::map<std::string, std::string> values;
+
+  bool has(const std::string& key) const {
+    return values.find(key) != values.end();
+  }
+  std::string get(const std::string& key) const {
+    const auto it = values.find(key);
+    if (it == values.end()) {
+      throw Error("missing required option --" + key);
+    }
+    return it->second;
+  }
+  std::string get_or(const std::string& key,
+                     const std::string& fallback) const {
+    const auto it = values.find(key);
+    return it != values.end() ? it->second : fallback;
+  }
+};
+
+Options parse_options(int argc, char** argv, int first) {
+  Options opts;
+  for (int i = first; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw Error("unexpected argument '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    if (i + 1 >= argc) {
+      throw Error("option --" + arg + " needs a value");
+    }
+    opts.values[arg] = argv[++i];
+  }
+  return opts;
+}
+
+trace::FailureDataset load_dataset(const Options& opts) {
+  if (opts.has("trace")) {
+    return trace::read_csv_file(opts.get("trace"));
+  }
+  const std::uint64_t seed =
+      std::stoull(opts.get_or("seed", "42"));
+  return synth::generate_lanl_trace(seed);
+}
+
+int cmd_generate(const Options& opts) {
+  const std::uint64_t seed = std::stoull(opts.get_or("seed", "42"));
+  const trace::FailureDataset ds = synth::generate_lanl_trace(seed);
+  trace::write_csv_file(opts.get("out"), ds);
+  std::cout << "wrote " << ds.size() << " records (seed " << seed
+            << ") to " << opts.get("out") << "\n";
+  return 0;
+}
+
+int cmd_catalog(const Options&) {
+  const trace::SystemCatalog& catalog = trace::SystemCatalog::lanl();
+  report::TextTable table({"ID", "HW", "arch", "nodes", "procs",
+                           "production"});
+  for (const trace::SystemInfo& sys : catalog.systems()) {
+    table.add_row({std::to_string(sys.id), std::string(1, sys.hw_type),
+                   std::string(sys.numa ? "NUMA" : "SMP"),
+                   std::to_string(sys.nodes), std::to_string(sys.procs),
+                   format_timestamp(sys.production_start()).substr(0, 7) +
+                       " .. " +
+                       format_timestamp(sys.production_end()).substr(0,
+                                                                     7)});
+  }
+  table.render(std::cout);
+  std::cout << "total: " << catalog.total_nodes() << " nodes, "
+            << catalog.total_procs() << " processors\n";
+  return 0;
+}
+
+int cmd_validate(const Options& opts) {
+  const trace::FailureDataset ds =
+      trace::read_csv_file(opts.get("trace"));
+  const trace::ValidationReport report =
+      trace::validate(ds, trace::SystemCatalog::lanl());
+  std::cout << report.records_checked << " records checked, "
+            << report.issues.size() << " issues\n";
+  for (const trace::ValidationIssue& issue : report.issues) {
+    std::cout << "record " << issue.record_index << ": "
+              << trace::to_string(issue.kind) << ": " << issue.message
+              << "\n";
+  }
+  if (opts.has("drop-out")) {
+    const trace::FailureDataset cleaned = trace::drop_flagged(ds, report);
+    trace::write_csv_file(opts.get("drop-out"), cleaned);
+    std::cout << "wrote " << cleaned.size() << " clean records to "
+              << opts.get("drop-out") << "\n";
+  }
+  return report.clean() ? 0 : 2;
+}
+
+int cmd_fit(const Options& opts) {
+  const trace::FailureDataset ds = load_dataset(opts);
+  analysis::InterarrivalQuery query;
+  query.system_id = std::stoi(opts.get("system"));
+  if (opts.has("node")) query.node_id = std::stoi(opts.get("node"));
+  if (opts.has("from")) {
+    query.from = parse_timestamp(opts.get("from"));
+  }
+  if (opts.has("to")) query.to = parse_timestamp(opts.get("to"));
+  const analysis::InterarrivalReport report =
+      analysis::interarrival_analysis(ds, query);
+  std::cout << report.gaps_seconds.size()
+            << " interarrival times; mean "
+            << format_double(report.summary.mean / 3600.0, 4)
+            << " h, median "
+            << format_double(report.summary.median / 3600.0, 4)
+            << " h, C^2 " << format_double(report.summary.cv2, 4)
+            << ", zero fraction "
+            << format_double(report.zero_fraction, 3) << "\n";
+  report::TextTable table({"model (best first)", "negLL", "AIC", "KS"});
+  for (const auto& fit : report.fits) {
+    table.add_row(fit.model->describe(),
+                  {fit.neg_log_likelihood, fit.aic, fit.ks});
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+int cmd_repair(const Options& opts) {
+  const trace::FailureDataset ds = load_dataset(opts);
+  const analysis::RepairReport report =
+      analysis::repair_analysis(ds, trace::SystemCatalog::lanl());
+  report::TextTable table({"cause", "mean (min)", "median", "C^2", "n"});
+  for (const auto& c : report.by_cause) {
+    table.add_row(trace::to_string(c.cause),
+                  {c.stats.mean, c.stats.median, c.stats.cv2,
+                   static_cast<double>(c.stats.n)},
+                  4);
+  }
+  table.add_row("all", {report.all.mean, report.all.median,
+                        report.all.cv2,
+                        static_cast<double>(report.all.n)},
+                4);
+  table.render(std::cout);
+  std::cout << "best model: " << report.fits.front().model->describe()
+            << "\n";
+  return 0;
+}
+
+int cmd_availability(const Options& opts) {
+  const trace::FailureDataset ds = load_dataset(opts);
+  const auto rows = analysis::availability_analysis(
+      ds, trace::SystemCatalog::lanl());
+  report::TextTable table({"system", "failures", "downtime (h)",
+                           "availability %"});
+  for (const auto& a : rows) {
+    table.add_row(a.system_id == 0 ? "site" : std::to_string(a.system_id),
+                  {static_cast<double>(a.failures), a.downtime_hours,
+                   a.availability * 100.0},
+                  5);
+  }
+  table.render(std::cout);
+  return 0;
+}
+
+void usage(std::ostream& out) {
+  out << "usage: hpcfail <command> [options]\n"
+         "  generate     --out FILE [--seed N]\n"
+         "  catalog\n"
+         "  validate     --trace FILE [--drop-out FILE]\n"
+         "  fit          (--trace FILE | --seed N) --system N [--node M]\n"
+         "               [--from YYYY-MM-DD] [--to YYYY-MM-DD]\n"
+         "  repair       (--trace FILE | --seed N)\n"
+         "  availability (--trace FILE | --seed N)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(std::cerr);
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const Options opts = parse_options(argc, argv, 2);
+    if (command == "generate") return cmd_generate(opts);
+    if (command == "catalog") return cmd_catalog(opts);
+    if (command == "validate") return cmd_validate(opts);
+    if (command == "fit") return cmd_fit(opts);
+    if (command == "repair") return cmd_repair(opts);
+    if (command == "availability") return cmd_availability(opts);
+    if (command == "help" || command == "--help") {
+      usage(std::cout);
+      return 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n";
+    usage(std::cerr);
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

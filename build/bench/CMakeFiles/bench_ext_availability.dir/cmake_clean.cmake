@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_availability.dir/bench_ext_availability.cpp.o"
+  "CMakeFiles/bench_ext_availability.dir/bench_ext_availability.cpp.o.d"
+  "bench_ext_availability"
+  "bench_ext_availability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

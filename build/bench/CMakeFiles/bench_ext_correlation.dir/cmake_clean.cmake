@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_correlation.dir/bench_ext_correlation.cpp.o"
+  "CMakeFiles/bench_ext_correlation.dir/bench_ext_correlation.cpp.o.d"
+  "bench_ext_correlation"
+  "bench_ext_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

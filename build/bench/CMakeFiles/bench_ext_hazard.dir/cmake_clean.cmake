@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_hazard.dir/bench_ext_hazard.cpp.o"
+  "CMakeFiles/bench_ext_hazard.dir/bench_ext_hazard.cpp.o.d"
+  "bench_ext_hazard"
+  "bench_ext_hazard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_hazard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

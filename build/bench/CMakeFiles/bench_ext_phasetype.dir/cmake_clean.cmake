@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_phasetype.dir/bench_ext_phasetype.cpp.o"
+  "CMakeFiles/bench_ext_phasetype.dir/bench_ext_phasetype.cpp.o.d"
+  "bench_ext_phasetype"
+  "bench_ext_phasetype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_phasetype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

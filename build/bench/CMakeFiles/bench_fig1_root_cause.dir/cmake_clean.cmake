@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_root_cause.dir/bench_fig1_root_cause.cpp.o"
+  "CMakeFiles/bench_fig1_root_cause.dir/bench_fig1_root_cause.cpp.o.d"
+  "bench_fig1_root_cause"
+  "bench_fig1_root_cause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_root_cause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_periodicity.dir/bench_fig5_periodicity.cpp.o"
+  "CMakeFiles/bench_fig5_periodicity.dir/bench_fig5_periodicity.cpp.o.d"
+  "bench_fig5_periodicity"
+  "bench_fig5_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

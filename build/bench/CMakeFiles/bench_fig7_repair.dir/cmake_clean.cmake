@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_repair.dir/bench_fig7_repair.cpp.o"
+  "CMakeFiles/bench_fig7_repair.dir/bench_fig7_repair.cpp.o.d"
+  "bench_fig7_repair"
+  "bench_fig7_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

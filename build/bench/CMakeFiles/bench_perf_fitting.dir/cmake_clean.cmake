@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_fitting.dir/bench_perf_fitting.cpp.o"
+  "CMakeFiles/bench_perf_fitting.dir/bench_perf_fitting.cpp.o.d"
+  "bench_perf_fitting"
+  "bench_perf_fitting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

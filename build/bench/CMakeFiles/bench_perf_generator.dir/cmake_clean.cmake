@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_generator.dir/bench_perf_generator.cpp.o"
+  "CMakeFiles/bench_perf_generator.dir/bench_perf_generator.cpp.o.d"
+  "bench_perf_generator"
+  "bench_perf_generator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_generator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

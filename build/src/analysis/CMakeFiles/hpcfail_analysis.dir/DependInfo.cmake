@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/availability.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/availability.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/availability.cpp.o.d"
+  "/root/repo/src/analysis/correlation.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/correlation.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/correlation.cpp.o.d"
+  "/root/repo/src/analysis/hazard.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/hazard.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/hazard.cpp.o.d"
+  "/root/repo/src/analysis/interarrival.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/interarrival.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/interarrival.cpp.o.d"
+  "/root/repo/src/analysis/lifetime.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/lifetime.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/lifetime.cpp.o.d"
+  "/root/repo/src/analysis/outliers.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/outliers.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/outliers.cpp.o.d"
+  "/root/repo/src/analysis/periodicity.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/periodicity.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/periodicity.cpp.o.d"
+  "/root/repo/src/analysis/rates.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/rates.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/rates.cpp.o.d"
+  "/root/repo/src/analysis/repair.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/repair.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/repair.cpp.o.d"
+  "/root/repo/src/analysis/root_cause.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/root_cause.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/root_cause.cpp.o.d"
+  "/root/repo/src/analysis/trend.cpp" "src/analysis/CMakeFiles/hpcfail_analysis.dir/trend.cpp.o" "gcc" "src/analysis/CMakeFiles/hpcfail_analysis.dir/trend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_analysis.dir/availability.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/availability.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/correlation.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/correlation.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/hazard.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/hazard.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/interarrival.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/interarrival.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/lifetime.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/lifetime.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/outliers.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/outliers.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/periodicity.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/periodicity.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/rates.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/rates.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/repair.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/repair.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/root_cause.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/root_cause.cpp.o.d"
+  "CMakeFiles/hpcfail_analysis.dir/trend.cpp.o"
+  "CMakeFiles/hpcfail_analysis.dir/trend.cpp.o.d"
+  "libhpcfail_analysis.a"
+  "libhpcfail_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_common.dir/csv.cpp.o"
+  "CMakeFiles/hpcfail_common.dir/csv.cpp.o.d"
+  "CMakeFiles/hpcfail_common.dir/error.cpp.o"
+  "CMakeFiles/hpcfail_common.dir/error.cpp.o.d"
+  "CMakeFiles/hpcfail_common.dir/rng.cpp.o"
+  "CMakeFiles/hpcfail_common.dir/rng.cpp.o.d"
+  "CMakeFiles/hpcfail_common.dir/strings.cpp.o"
+  "CMakeFiles/hpcfail_common.dir/strings.cpp.o.d"
+  "CMakeFiles/hpcfail_common.dir/time.cpp.o"
+  "CMakeFiles/hpcfail_common.dir/time.cpp.o.d"
+  "libhpcfail_common.a"
+  "libhpcfail_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/distribution.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/distribution.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/distribution.cpp.o.d"
+  "/root/repo/src/dist/empirical.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/empirical.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/empirical.cpp.o.d"
+  "/root/repo/src/dist/exponential.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/exponential.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/exponential.cpp.o.d"
+  "/root/repo/src/dist/fit.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/fit.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/fit.cpp.o.d"
+  "/root/repo/src/dist/gamma.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/gamma.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/gamma.cpp.o.d"
+  "/root/repo/src/dist/hyperexp.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/hyperexp.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/hyperexp.cpp.o.d"
+  "/root/repo/src/dist/lognormal.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/lognormal.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/lognormal.cpp.o.d"
+  "/root/repo/src/dist/normal.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/normal.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/normal.cpp.o.d"
+  "/root/repo/src/dist/pareto.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/pareto.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/pareto.cpp.o.d"
+  "/root/repo/src/dist/poisson.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/poisson.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/poisson.cpp.o.d"
+  "/root/repo/src/dist/weibull.cpp" "src/dist/CMakeFiles/hpcfail_dist.dir/weibull.cpp.o" "gcc" "src/dist/CMakeFiles/hpcfail_dist.dir/weibull.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

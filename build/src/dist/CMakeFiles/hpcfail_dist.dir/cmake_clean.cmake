@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_dist.dir/distribution.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/distribution.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/empirical.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/empirical.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/exponential.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/exponential.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/fit.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/fit.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/gamma.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/gamma.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/hyperexp.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/hyperexp.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/lognormal.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/lognormal.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/normal.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/normal.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/pareto.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/pareto.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/poisson.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/poisson.cpp.o.d"
+  "CMakeFiles/hpcfail_dist.dir/weibull.cpp.o"
+  "CMakeFiles/hpcfail_dist.dir/weibull.cpp.o.d"
+  "libhpcfail_dist.a"
+  "libhpcfail_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

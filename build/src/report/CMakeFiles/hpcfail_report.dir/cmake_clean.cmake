@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_report.dir/ascii_chart.cpp.o"
+  "CMakeFiles/hpcfail_report.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/hpcfail_report.dir/series.cpp.o"
+  "CMakeFiles/hpcfail_report.dir/series.cpp.o.d"
+  "CMakeFiles/hpcfail_report.dir/table.cpp.o"
+  "CMakeFiles/hpcfail_report.dir/table.cpp.o.d"
+  "libhpcfail_report.a"
+  "libhpcfail_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

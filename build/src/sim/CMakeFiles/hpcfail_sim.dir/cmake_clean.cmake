@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_sim.dir/checkpoint.cpp.o"
+  "CMakeFiles/hpcfail_sim.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/hpcfail_sim.dir/cluster.cpp.o"
+  "CMakeFiles/hpcfail_sim.dir/cluster.cpp.o.d"
+  "libhpcfail_sim.a"
+  "libhpcfail_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

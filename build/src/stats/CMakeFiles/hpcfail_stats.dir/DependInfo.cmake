@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/bootstrap.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/ks.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/ks.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/ks.cpp.o.d"
+  "/root/repo/src/stats/qq.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/qq.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/qq.cpp.o.d"
+  "/root/repo/src/stats/solver.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/solver.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/solver.cpp.o.d"
+  "/root/repo/src/stats/special.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/special.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/special.cpp.o.d"
+  "/root/repo/src/stats/survival.cpp" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o" "gcc" "src/stats/CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/bootstrap.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/histogram.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/ks.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/ks.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/qq.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/qq.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/solver.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/solver.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/special.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/special.cpp.o.d"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o"
+  "CMakeFiles/hpcfail_stats.dir/survival.cpp.o.d"
+  "libhpcfail_stats.a"
+  "libhpcfail_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/corruption.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/corruption.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/corruption.cpp.o.d"
+  "/root/repo/src/synth/generator.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/generator.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/generator.cpp.o.d"
+  "/root/repo/src/synth/modulation.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/modulation.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/modulation.cpp.o.d"
+  "/root/repo/src/synth/profile.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/profile.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/profile.cpp.o.d"
+  "/root/repo/src/synth/scenario.cpp" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario.cpp.o" "gcc" "src/synth/CMakeFiles/hpcfail_synth.dir/scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_synth.dir/corruption.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/corruption.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/generator.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/generator.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/modulation.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/modulation.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/profile.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/profile.cpp.o.d"
+  "CMakeFiles/hpcfail_synth.dir/scenario.cpp.o"
+  "CMakeFiles/hpcfail_synth.dir/scenario.cpp.o.d"
+  "libhpcfail_synth.a"
+  "libhpcfail_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/catalog.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/catalog.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/catalog.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/io.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/io.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/io.cpp.o.d"
+  "/root/repo/src/trace/types.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/types.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/types.cpp.o.d"
+  "/root/repo/src/trace/validate.cpp" "src/trace/CMakeFiles/hpcfail_trace.dir/validate.cpp.o" "gcc" "src/trace/CMakeFiles/hpcfail_trace.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail_trace.dir/catalog.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/catalog.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/dataset.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/io.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/io.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/types.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/types.cpp.o.d"
+  "CMakeFiles/hpcfail_trace.dir/validate.cpp.o"
+  "CMakeFiles/hpcfail_trace.dir/validate.cpp.o.d"
+  "libhpcfail_trace.a"
+  "libhpcfail_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/availability_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/availability_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/availability_test.cpp.o.d"
+  "/root/repo/tests/analysis/correlation_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/correlation_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/correlation_test.cpp.o.d"
+  "/root/repo/tests/analysis/hazard_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/hazard_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/hazard_test.cpp.o.d"
+  "/root/repo/tests/analysis/integration_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/integration_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/integration_test.cpp.o.d"
+  "/root/repo/tests/analysis/interarrival_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/interarrival_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/interarrival_test.cpp.o.d"
+  "/root/repo/tests/analysis/lifetime_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/lifetime_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/lifetime_test.cpp.o.d"
+  "/root/repo/tests/analysis/multiseed_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/multiseed_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/multiseed_test.cpp.o.d"
+  "/root/repo/tests/analysis/outliers_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/outliers_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/outliers_test.cpp.o.d"
+  "/root/repo/tests/analysis/periodicity_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/periodicity_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/periodicity_test.cpp.o.d"
+  "/root/repo/tests/analysis/rates_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/rates_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/rates_test.cpp.o.d"
+  "/root/repo/tests/analysis/repair_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/repair_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/repair_test.cpp.o.d"
+  "/root/repo/tests/analysis/root_cause_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/root_cause_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/root_cause_test.cpp.o.d"
+  "/root/repo/tests/analysis/trend_test.cpp" "tests/CMakeFiles/analysis_test.dir/analysis/trend_test.cpp.o" "gcc" "tests/CMakeFiles/analysis_test.dir/analysis/trend_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hpcfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hpcfail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hpcfail_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_test.dir/analysis/availability_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/availability_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/correlation_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/correlation_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/hazard_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/hazard_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/integration_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/integration_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/interarrival_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/interarrival_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/lifetime_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/lifetime_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/multiseed_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/multiseed_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/outliers_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/outliers_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/periodicity_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/periodicity_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/rates_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/rates_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/repair_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/repair_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/root_cause_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/root_cause_test.cpp.o.d"
+  "CMakeFiles/analysis_test.dir/analysis/trend_test.cpp.o"
+  "CMakeFiles/analysis_test.dir/analysis/trend_test.cpp.o.d"
+  "analysis_test"
+  "analysis_test.pdb"
+  "analysis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

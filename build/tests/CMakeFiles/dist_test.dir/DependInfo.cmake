@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dist/empirical_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/empirical_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/empirical_test.cpp.o.d"
+  "/root/repo/tests/dist/exponential_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/exponential_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/exponential_test.cpp.o.d"
+  "/root/repo/tests/dist/fit_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/fit_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/fit_test.cpp.o.d"
+  "/root/repo/tests/dist/gamma_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/gamma_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/gamma_test.cpp.o.d"
+  "/root/repo/tests/dist/hyperexp_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/hyperexp_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/hyperexp_test.cpp.o.d"
+  "/root/repo/tests/dist/lognormal_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/lognormal_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/lognormal_test.cpp.o.d"
+  "/root/repo/tests/dist/normal_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/normal_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/normal_test.cpp.o.d"
+  "/root/repo/tests/dist/pareto_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/pareto_test.cpp.o.d"
+  "/root/repo/tests/dist/poisson_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/poisson_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/poisson_test.cpp.o.d"
+  "/root/repo/tests/dist/property_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/property_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/property_test.cpp.o.d"
+  "/root/repo/tests/dist/weibull_censored_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/weibull_censored_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/weibull_censored_test.cpp.o.d"
+  "/root/repo/tests/dist/weibull_test.cpp" "tests/CMakeFiles/dist_test.dir/dist/weibull_test.cpp.o" "gcc" "tests/CMakeFiles/dist_test.dir/dist/weibull_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hpcfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hpcfail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hpcfail_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_test.dir/dist/empirical_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/empirical_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/exponential_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/exponential_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/fit_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/fit_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/gamma_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/gamma_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/hyperexp_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/hyperexp_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/lognormal_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/lognormal_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/normal_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/normal_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/pareto_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/pareto_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/poisson_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/poisson_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/property_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/property_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/weibull_censored_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/weibull_censored_test.cpp.o.d"
+  "CMakeFiles/dist_test.dir/dist/weibull_test.cpp.o"
+  "CMakeFiles/dist_test.dir/dist/weibull_test.cpp.o.d"
+  "dist_test"
+  "dist_test.pdb"
+  "dist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/checkpoint_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/checkpoint_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/checkpoint_test.cpp.o.d"
+  "/root/repo/tests/sim/cluster_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/cluster_test.cpp.o.d"
+  "/root/repo/tests/sim/schedule_test.cpp" "tests/CMakeFiles/sim_test.dir/sim/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim/schedule_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hpcfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hpcfail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hpcfail_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

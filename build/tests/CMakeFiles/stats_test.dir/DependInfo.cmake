@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/stats/bootstrap_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/bootstrap_test.cpp.o.d"
+  "/root/repo/tests/stats/descriptive_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats/ecdf_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/ecdf_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/ecdf_test.cpp.o.d"
+  "/root/repo/tests/stats/histogram_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/histogram_test.cpp.o.d"
+  "/root/repo/tests/stats/ks_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/ks_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/ks_test.cpp.o.d"
+  "/root/repo/tests/stats/qq_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/qq_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/qq_test.cpp.o.d"
+  "/root/repo/tests/stats/solver_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/solver_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/solver_test.cpp.o.d"
+  "/root/repo/tests/stats/special_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/special_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/special_test.cpp.o.d"
+  "/root/repo/tests/stats/survival_test.cpp" "tests/CMakeFiles/stats_test.dir/stats/survival_test.cpp.o" "gcc" "tests/CMakeFiles/stats_test.dir/stats/survival_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/hpcfail_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/hpcfail_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hpcfail_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/hpcfail_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/hpcfail_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dist/CMakeFiles/hpcfail_dist.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/hpcfail_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hpcfail_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/catalog_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/catalog_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/dataset_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/dataset_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/io_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/io_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/record_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/record_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/roundtrip_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/roundtrip_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/types_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/types_test.cpp.o.d"
+  "CMakeFiles/trace_test.dir/trace/validate_test.cpp.o"
+  "CMakeFiles/trace_test.dir/trace/validate_test.cpp.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

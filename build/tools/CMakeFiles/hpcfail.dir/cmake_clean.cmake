@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hpcfail.dir/hpcfail_cli.cpp.o"
+  "CMakeFiles/hpcfail.dir/hpcfail_cli.cpp.o.d"
+  "hpcfail"
+  "hpcfail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hpcfail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

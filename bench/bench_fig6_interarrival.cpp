@@ -87,6 +87,27 @@ int main() {
                std::nullopt, true);
   render_panel(dataset, "=== Fig 6(d): system-wide, 2000-2005 ===",
                std::nullopt, false);
+
+  // Beyond the paper's single node 22: view (i) swept over every node of
+  // system 20, batched across the worker pool.
+  std::cout << "=== per-node sweep of system 20 (view i, all nodes) ===\n";
+  const auto node_fits =
+      analysis::per_node_interarrival_fits(dataset, /*system_id=*/20);
+  std::size_t weibull_best = 0;
+  std::size_t decreasing = 0;
+  for (const auto& entry : node_fits) {
+    if (entry.fits.empty()) continue;
+    if (entry.fits.front().family == dist::Family::weibull) ++weibull_best;
+    for (const auto& fit : entry.fits) {
+      if (fit.family != dist::Family::weibull) continue;
+      const auto* w = dynamic_cast<const dist::Weibull*>(fit.model.get());
+      if (w != nullptr && w->decreasing_hazard()) ++decreasing;
+    }
+  }
+  std::cout << node_fits.size() << " nodes with enough data; Weibull is "
+            << "the best model on " << weibull_best
+            << " and its fitted shape implies a decreasing hazard on "
+            << decreasing << "\n\n";
   std::cout
       << "paper reports: late-era TBF well modeled by Weibull/gamma with\n"
          "decreasing hazard (Weibull shape 0.7-0.8) and exponential "

@@ -1,7 +1,11 @@
 // Library quality-of-implementation microbenchmarks: synthetic trace
-// generation throughput (google-benchmark).
+// generation throughput (google-benchmark). BM_GenerateFullTrace runs at
+// the default worker-pool size (hardware concurrency);
+// BM_GenerateFullTraceSequential pins the pool to one thread as the
+// speedup baseline. bench_perf_parallel sweeps the thread count.
 #include <benchmark/benchmark.h>
 
+#include "common/thread_pool.hpp"
 #include "synth/generator.hpp"
 
 namespace {
@@ -30,10 +34,23 @@ void BM_GenerateFullTrace(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(records));
 }
 
+void BM_GenerateFullTraceSequential(benchmark::State& state) {
+  hpcfail::set_parallelism(1);
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto dataset = hpcfail::synth::generate_lanl_trace(42);
+    records += dataset.size();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  hpcfail::set_parallelism(0);
+}
+
 }  // namespace
 
 // System 2 (tiny), 20 (big NUMA, 8.9 years), 7 (1024 nodes).
 BENCHMARK(BM_GenerateSystem)->Arg(2)->Arg(20)->Arg(7);
-BENCHMARK(BM_GenerateFullTrace);
+BENCHMARK(BM_GenerateFullTrace)->UseRealTime();
+BENCHMARK(BM_GenerateFullTraceSequential)->UseRealTime();
 
 BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Parallel-execution microbenchmarks: full-trace generation and batched
+// MLE fitting at 1/2/4/8 worker threads (google-benchmark), plus an
+// up-front determinism check that the 1-thread and multi-thread
+// generators produce record-for-record identical datasets.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "analysis/interarrival.hpp"
+#include "common/thread_pool.hpp"
+#include "synth/generator.hpp"
+
+namespace {
+
+const hpcfail::trace::FailureDataset& shared_dataset() {
+  static const hpcfail::trace::FailureDataset dataset =
+      hpcfail::synth::generate_lanl_trace(42);
+  return dataset;
+}
+
+void BM_GenerateFullTraceThreads(benchmark::State& state) {
+  hpcfail::set_parallelism(static_cast<unsigned>(state.range(0)));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto dataset = hpcfail::synth::generate_lanl_trace(42);
+    records += dataset.size();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  hpcfail::set_parallelism(0);
+}
+
+void BM_PerNodeFitsThreads(benchmark::State& state) {
+  // The trace is built once outside the timed region; only the batched
+  // per-node interarrival fits of the big NUMA system are measured.
+  const hpcfail::trace::FailureDataset& dataset = shared_dataset();
+  hpcfail::set_parallelism(static_cast<unsigned>(state.range(0)));
+  std::size_t fitted = 0;
+  for (auto _ : state) {
+    auto fits =
+        hpcfail::analysis::per_node_interarrival_fits(dataset,
+                                                      /*system_id=*/20);
+    fitted += fits.size();
+    benchmark::DoNotOptimize(fits);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fitted));
+  hpcfail::set_parallelism(0);
+}
+
+// Generation must be bit-identical at any thread count; refuse to publish
+// speedup numbers for a parallelization that changed the output.
+void verify_determinism() {
+  hpcfail::set_parallelism(1);
+  const auto sequential = hpcfail::synth::generate_lanl_trace(42);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    hpcfail::set_parallelism(threads);
+    const auto parallel = hpcfail::synth::generate_lanl_trace(42);
+    if (!(parallel.size() == sequential.size() &&
+          std::equal(parallel.records().begin(), parallel.records().end(),
+                     sequential.records().begin()))) {
+      std::fprintf(stderr,
+                   "FATAL: %u-thread trace differs from 1-thread trace\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+  hpcfail::set_parallelism(0);
+  std::printf("determinism: 1 == 2 == 4 == 8 threads (%zu records)\n",
+              sequential.size());
+}
+
+}  // namespace
+
+BENCHMARK(BM_GenerateFullTraceThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PerNodeFitsThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  verify_determinism();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -41,4 +41,36 @@ InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
   return report;
 }
 
+std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
+    const trace::FailureDataset& dataset, int system_id,
+    std::size_t min_gaps) {
+  const trace::FailureDataset scoped = dataset.for_system(system_id);
+
+  std::vector<int> nodes;
+  std::vector<std::vector<double>> samples;
+  for (const auto& [node, count] : scoped.failures_per_node(system_id)) {
+    if (count < min_gaps + 1) continue;  // n records -> n-1 gaps
+    std::vector<double> gaps = scoped.node_interarrivals(system_id, node);
+    if (gaps.size() < min_gaps) continue;
+    nodes.push_back(node);
+    samples.push_back(std::move(gaps));
+  }
+
+  // Same 1-second floor as interarrival_analysis: records have 1-second
+  // resolution and simultaneous failures yield exact zeros.
+  auto fit_lists = hpcfail::dist::fit_many(
+      samples, hpcfail::dist::standard_families(), /*floor_at=*/1.0);
+
+  std::vector<NodeInterarrivalFits> out;
+  out.reserve(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    NodeInterarrivalFits entry;
+    entry.node_id = nodes[i];
+    entry.gap_count = samples[i].size();
+    entry.fits = std::move(fit_lists[i]);
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
 }  // namespace hpcfail::analysis

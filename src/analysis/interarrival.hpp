@@ -46,4 +46,22 @@ InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
                                          const InterarrivalQuery& query,
                                          std::size_t min_gaps = 8);
 
+/// Fig 6 view (i) swept over a whole system: the per-node interarrival
+/// fits of every node with at least `min_gaps` gaps.
+struct NodeInterarrivalFits {
+  int node_id = 0;
+  std::size_t gap_count = 0;
+  /// Standard-family fits, best first; empty when no family converged on
+  /// this node's sample.
+  std::vector<hpcfail::dist::FitResult> fits;
+};
+
+/// Batched per-node fits for one system, fanned out across the shared
+/// pool via dist::fit_many. Nodes with fewer than `min_gaps` interarrival
+/// times are omitted; result is ordered by node id and independent of the
+/// thread count.
+std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
+    const trace::FailureDataset& dataset, int system_id,
+    std::size_t min_gaps = 8);
+
 }  // namespace hpcfail::analysis

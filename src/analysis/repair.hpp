@@ -26,6 +26,10 @@ struct RepairBySystem {
   double mean_minutes = 0.0;
   double median_minutes = 0.0;
   std::size_t failures = 0;
+  /// Standard-family fits of this system's repair times, best first
+  /// (batched across systems via dist::fit_many); empty when no family
+  /// converged.
+  std::vector<hpcfail::dist::FitResult> fits;
 };
 
 struct RepairReport {

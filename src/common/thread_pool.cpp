@@ -1,0 +1,91 @@
+#include "common/thread_pool.hpp"
+
+#include <utility>
+
+namespace hpcfail {
+
+namespace {
+
+thread_local bool t_inside_worker = false;
+
+// Shared-pool state. Guarded by g_pool_mutex; the pool itself is
+// internally synchronized once created.
+std::mutex g_pool_mutex;
+unsigned g_target = 0;  // 0 = hardware default
+std::unique_ptr<ThreadPool> g_pool;
+
+unsigned resolved_target() noexcept {
+  return g_target != 0 ? g_target : hardware_parallelism();
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) {
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::inside_worker() noexcept { return t_inside_worker; }
+
+void ThreadPool::enqueue(std::function<void()> job) {
+  if (workers_.empty()) {
+    job();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(job));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      job = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    job();  // packaged_task: exceptions land in the future
+  }
+}
+
+unsigned hardware_parallelism() noexcept {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n != 0 ? n : 1;
+}
+
+void set_parallelism(unsigned n) {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (n == g_target && g_pool) return;
+  g_target = n;
+  g_pool.reset();  // rebuilt lazily at the new size
+}
+
+unsigned parallelism() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  return resolved_target();
+}
+
+ThreadPool& global_pool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (!g_pool) g_pool = std::make_unique<ThreadPool>(resolved_target());
+  return *g_pool;
+}
+
+}  // namespace hpcfail

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
+#include <optional>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "dist/exponential.hpp"
 #include "dist/gamma.hpp"
 #include "dist/lognormal.hpp"
@@ -131,15 +133,24 @@ std::span<const Family> count_families() noexcept {
 std::vector<FitResult> fit_all(std::span<const double> xs,
                                std::span<const Family> families,
                                double floor_at) {
+  // The families are independent MLE problems on a shared read-only
+  // sample; fit them concurrently. Failed fits become nullopt so one
+  // family's legitimate failure (e.g. constant sample) does not abort
+  // the comparison; collecting in family order before the sort keeps the
+  // result independent of the thread count.
+  auto fitted = hpcfail::parallel_map(
+      families.size(),
+      [&families, xs, floor_at](std::size_t i) -> std::optional<FitResult> {
+        try {
+          return fit(families[i], xs, floor_at);
+        } catch (const Error&) {
+          return std::nullopt;
+        }
+      });
   std::vector<FitResult> results;
   results.reserve(families.size());
-  for (const Family family : families) {
-    try {
-      results.push_back(fit(family, xs, floor_at));
-    } catch (const Error&) {
-      // A family can legitimately fail (e.g. constant sample); the
-      // comparison proceeds with the rest.
-    }
+  for (auto& f : fitted) {
+    if (f) results.push_back(std::move(*f));
   }
   if (results.empty()) {
     throw NumericError("no distribution family could be fitted");
@@ -149,6 +160,24 @@ std::vector<FitResult> fit_all(std::span<const double> xs,
               return a.neg_log_likelihood < b.neg_log_likelihood;
             });
   return results;
+}
+
+std::vector<std::vector<FitResult>> fit_many(
+    std::span<const std::vector<double>> samples,
+    std::span<const Family> families, double floor_at) {
+  // One task per sample; the nested fit_all runs sequentially on the
+  // worker (nested parallelism degrades inline), so batched fits scale
+  // with the number of samples without oversubscribing the pool.
+  return hpcfail::parallel_map(
+      samples.size(),
+      [samples, families, floor_at](std::size_t i) -> std::vector<FitResult> {
+        if (samples[i].empty()) return {};
+        try {
+          return fit_all(samples[i], families, floor_at);
+        } catch (const Error&) {
+          return {};
+        }
+      });
 }
 
 FitResult best_standard_fit(std::span<const double> xs) {

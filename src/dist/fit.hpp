@@ -67,9 +67,21 @@ std::span<const Family> count_families() noexcept;
 /// Fits every family in `families`, sorted best-first by negative
 /// log-likelihood. Families whose fit throws (e.g. degenerate sample for
 /// that family) are skipped; throws NumericError if none succeed.
+/// Families are fitted concurrently on the shared pool (see
+/// common/thread_pool.hpp); results are independent of the thread count.
 std::vector<FitResult> fit_all(std::span<const double> xs,
                                std::span<const Family> families,
                                double floor_at = 1e-9);
+
+/// Batched fit_all over many independent samples (the paper's per-node
+/// interarrival fits of Fig 6 and per-system repair fits of Fig 7),
+/// fanned out across the shared pool. Returns one fit_all result per
+/// sample, in sample order; a sample on which every family fails (or
+/// which is empty) yields an empty vector instead of throwing, so one
+/// degenerate node cannot abort a whole sweep.
+std::vector<std::vector<FitResult>> fit_many(
+    std::span<const std::vector<double>> samples,
+    std::span<const Family> families, double floor_at = 1e-9);
 
 /// Convenience: best (lowest negative log-likelihood) among the paper's
 /// four standard families.

@@ -62,7 +62,7 @@ GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
 
 double GammaDist::log_pdf(double x) const {
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
-  return (shape_ - 1.0) * std::log(x) - x / scale_ - std::lgamma(shape_) -
+  return (shape_ - 1.0) * std::log(x) - x / scale_ - hpcfail::stats::log_gamma_unchecked(shape_) -
          shape_ * std::log(scale_);
 }
 

@@ -28,7 +28,7 @@ Poisson Poisson::fit_mle(std::span<const double> xs) {
 double Poisson::log_pmf(long long k) const {
   if (k < 0) return -std::numeric_limits<double>::infinity();
   const auto kd = static_cast<double>(k);
-  return kd * std::log(lambda_) - lambda_ - std::lgamma(kd + 1.0);
+  return kd * std::log(lambda_) - lambda_ - hpcfail::stats::log_gamma_unchecked(kd + 1.0);
 }
 
 double Poisson::pmf(long long k) const { return std::exp(log_pmf(k)); }

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "stats/solver.hpp"
+#include "stats/special.hpp"
 
 namespace hpcfail::dist {
 
@@ -174,12 +175,12 @@ double Weibull::quantile(double p) const {
 }
 
 double Weibull::mean() const {
-  return scale_ * std::exp(std::lgamma(1.0 + 1.0 / shape_));
+  return scale_ * std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
 }
 
 double Weibull::variance() const {
-  const double g1 = std::exp(std::lgamma(1.0 + 1.0 / shape_));
-  const double g2 = std::exp(std::lgamma(1.0 + 2.0 / shape_));
+  const double g1 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
+  const double g2 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / shape_));
   return scale_ * scale_ * (g2 - g1 * g1);
 }
 

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "dist/lognormal.hpp"
 #include "dist/weibull.hpp"
+#include "stats/special.hpp"
 
 namespace hpcfail::sim {
 
@@ -112,7 +113,7 @@ ClusterStats simulate_cluster(const ClusterConfig& config,
     // Weibull with the requested shape, scaled to the node's MTBF.
     const double mtbf = config.nodes[static_cast<std::size_t>(node)]
                             .mtbf_seconds;
-    const double scale = mtbf / std::exp(std::lgamma(1.0 + 1.0 / k));
+    const double scale = mtbf / std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / k));
     return scale * std::pow(-std::log(rng.uniform_pos()), 1.0 / k);
   };
   const auto sample_repair = [&](int node) {

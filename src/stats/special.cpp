@@ -57,7 +57,7 @@ double gamma_p_series(double a, double x) {
     term *= x / ap;
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * 1e-16) {
-      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return sum * std::exp(-x + a * std::log(x) - log_gamma_unchecked(a));
     }
   }
   throw hpcfail::NumericError("incomplete gamma series did not converge");
@@ -82,7 +82,7 @@ double gamma_q_cont_fraction(double a, double x) {
     const double delta = d * c;
     h *= delta;
     if (std::fabs(delta - 1.0) < 1e-16) {
-      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return h * std::exp(-x + a * std::log(x) - log_gamma_unchecked(a));
     }
   }
   throw hpcfail::NumericError(
@@ -152,7 +152,27 @@ double normal_quantile(double p) {
 
 double log_gamma(double x) {
   HPCFAIL_EXPECTS(x > 0.0, "log_gamma requires x > 0");
+  return log_gamma_unchecked(x);
+}
+
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__)
+// Strict -std=c++20 hides the POSIX declaration; the symbol is always in
+// libm on these platforms.
+extern "C" double lgamma_r(double, int*);
+#endif
+
+double log_gamma_unchecked(double x) noexcept {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(__FreeBSD__)
+  // std::lgamma writes the process-global `signgam`, which is a data
+  // race when MLE fits and trace generation run on the worker pool.
+  // lgamma_r is the same implementation with the sign returned through
+  // an out-parameter, so values are identical and the call is
+  // thread-safe.
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
   return std::lgamma(x);
+#endif
 }
 
 double kolmogorov_q(double lambda) noexcept {

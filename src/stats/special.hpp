@@ -36,8 +36,14 @@ double normal_cdf(double z) noexcept;
 /// Throws InvalidArgument for p outside (0, 1).
 double normal_quantile(double p);
 
-/// ln Gamma(x) for x > 0 (wraps std::lgamma; throws on the poles).
+/// ln Gamma(x) for x > 0 (throws on the poles). Thread-safe: unlike a
+/// bare std::lgamma call it never touches the global `signgam`, so it is
+/// safe from worker-pool tasks (parallel fitting / generation).
 double log_gamma(double x);
+
+/// log_gamma without the domain check, for call sites that already
+/// guarantee x > 0 (hot loops, internal series). Same thread-safety.
+double log_gamma_unchecked(double x) noexcept;
 
 /// Asymptotic Kolmogorov distribution complement
 /// Q_KS(lambda) = 2 * sum_{j>=1} (-1)^{j-1} exp(-2 j^2 lambda^2);

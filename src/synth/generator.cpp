@@ -6,7 +6,9 @@
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "dist/lognormal.hpp"
+#include "stats/special.hpp"
 
 namespace hpcfail::synth {
 
@@ -80,9 +82,10 @@ IntensityGrid build_grid(const SystemInfo& sys, const Lifecycle& lifecycle) {
   return grid;
 }
 
-// Mean-1 renewal gap samplers for the two eras.
-double weibull_gap(hpcfail::Rng& rng, double shape) {
-  const double scale = std::exp(-std::lgamma(1.0 + 1.0 / shape));
+// Mean-1 renewal gap samplers for the two eras. The Weibull scale
+// (1 / Gamma(1 + 1/shape)) is a pure function of the scenario shape, so
+// it is computed once per SystemPlan instead of per draw.
+double weibull_gap(hpcfail::Rng& rng, double shape, double scale) {
   return scale * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape);
 }
 
@@ -167,6 +170,239 @@ std::vector<int> nodes_in_production(const SystemInfo& sys, Seconds t,
   return out;
 }
 
+// Everything node generation needs about one system, computed once and
+// then shared read-only across worker threads.
+struct SystemPlan {
+  const SystemScenario* scen = nullptr;
+  const SystemInfo* sys = nullptr;
+  const HardwareProfile* profile = nullptr;
+  IntensityGrid grid;
+  std::vector<double> weight;  // per-node rate weights
+  double base = 0.0;           // calibrated base intensity
+  double target_total = 0.0;   // expected record count (for reserve)
+  double weibull_scale = 1.0;  // mean-1 scale for the late-era gaps
+};
+
+SystemPlan build_plan(std::uint64_t seed, const SystemInfo& sys,
+                      const SystemScenario& scen) {
+  SystemPlan plan;
+  plan.scen = &scen;
+  plan.sys = &sys;
+  plan.profile = &profile_for(sys.hw_type);
+  plan.grid = build_grid(sys, scen.lifecycle);
+  const IntensityGrid& grid = plan.grid;
+
+  // Per-node rate weights: workload factor x lognormal jitter.
+  plan.weight.assign(static_cast<std::size_t>(sys.nodes), 0.0);
+  for (int node = 0; node < sys.nodes; ++node) {
+    hpcfail::Rng wrng(hpcfail::mix_seed(seed,
+                                        static_cast<std::uint64_t>(sys.id),
+                                        0xA110C000ULL +
+                                            static_cast<std::uint64_t>(node)));
+    double w = 1.0;
+    switch (sys.workload_of(node)) {
+      case Workload::graphics: w = scen.graphics_factor; break;
+      case Workload::frontend: w = scen.frontend_factor; break;
+      case Workload::compute: break;
+    }
+    w *= std::exp(scen.node_jitter_sigma * normal_draw(wrng));
+    plan.weight[static_cast<std::size_t>(node)] = w;
+  }
+
+  // Calibrate the base rate so the expected total (including correlated
+  // burst followers) matches failures_per_year * production_years.
+  double ops_total = 0.0;
+  double ops_early = 0.0;
+  for (int node = 0; node < sys.nodes; ++node) {
+    const NodeCategory& c = sys.category_for_node(node);
+    const double lo = grid.at(c.production_start);
+    const double hi = grid.at(c.production_end);
+    const double w = plan.weight[static_cast<std::size_t>(node)];
+    ops_total += w * (hi - lo);
+    if (scen.early_era_end > c.production_start) {
+      const double mid = grid.at(std::min(scen.early_era_end,
+                                          c.production_end));
+      ops_early += w * (mid - lo);
+    }
+  }
+  HPCFAIL_ASSERT(ops_total > 0.0);
+  const double early_fraction = ops_early / ops_total;
+  const double mean_followers = 2.5;  // uniform 1..4 extra nodes
+  const double inflation =
+      1.0 + mean_followers * (early_fraction * scen.early_burst_probability +
+                              (1.0 - early_fraction) *
+                                  scen.late_burst_probability);
+  const double target_total =
+      scen.failures_per_year * sys.production_years();
+  // Renewal-process excess: for a renewal process with mean-1 gaps and
+  // squared CV C^2, E[N(tau)] ~ tau + (C^2 - 1)/2 for tau >> 1. With
+  // overdispersed gaps (C^2 > 1) every node contributes that constant
+  // extra, which is material for many-node systems; deduct it from the
+  // calibration target (clamped so small targets stay positive).
+  const auto weibull_cv2 = [](double k) {
+    const double g1 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / k));
+    const double g2 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / k));
+    return g2 / (g1 * g1) - 1.0;
+  };
+  const double cv2_late = weibull_cv2(scen.interarrival_weibull_shape);
+  const double cv2_early =
+      std::expm1(scen.early_lognormal_sigma * scen.early_lognormal_sigma);
+  // The asymptotic constant overstates the excess for nodes with few
+  // events and for very heavy-tailed early-era gaps; cap it.
+  const double excess_per_node =
+      std::min(2.0, 0.5 * (early_fraction * (cv2_early - 1.0) +
+                           (1.0 - early_fraction) * (cv2_late - 1.0)));
+  const double corrected_total =
+      std::max(0.5 * target_total,
+               target_total - static_cast<double>(sys.nodes) *
+                                  std::max(0.0, excess_per_node));
+  plan.base = corrected_total / (ops_total * inflation);
+  plan.target_total = target_total;
+  plan.weibull_scale = std::exp(-hpcfail::stats::log_gamma_unchecked(
+      1.0 + 1.0 / scen.interarrival_weibull_shape));
+  return plan;
+}
+
+// Generates the records of nodes [node_begin, node_end) of one system —
+// exactly the records the sequential per-node loop would produce for that
+// range, because every node draws from its own (seed, system, node) PRNG
+// stream.
+std::vector<FailureRecord> generate_node_range(const SystemPlan& plan,
+                                               std::uint64_t seed,
+                                               int node_begin, int node_end) {
+  const SystemScenario& scen = *plan.scen;
+  const SystemInfo& sys = *plan.sys;
+  const HardwareProfile& profile = *plan.profile;
+  const IntensityGrid& grid = plan.grid;
+
+  std::vector<FailureRecord> records;
+  const double share =
+      static_cast<double>(node_end - node_begin) /
+      static_cast<double>(std::max(1, sys.nodes));
+  records.reserve(
+      static_cast<std::size_t>(plan.target_total * share * 1.2) + 16);
+
+  for (int node = node_begin; node < node_end; ++node) {
+    const NodeCategory& cat = sys.category_for_node(node);
+    const double rate = plan.base * plan.weight[static_cast<std::size_t>(node)];
+    const double tau_lo = grid.at(cat.production_start);
+    const double tau_end = rate * (grid.at(cat.production_end) - tau_lo);
+    if (tau_end <= 0.0) continue;
+
+    hpcfail::Rng rng(hpcfail::mix_seed(seed,
+                                       static_cast<std::uint64_t>(sys.id),
+                                       static_cast<std::uint64_t>(node)));
+    double tau = 0.0;
+    Seconds now = cat.production_start;
+    for (;;) {
+      const bool early = now < scen.early_era_end;
+      const double gap =
+          early ? lognormal_gap(rng, scen.early_lognormal_sigma)
+                : weibull_gap(rng, scen.interarrival_weibull_shape,
+                              plan.weibull_scale);
+      tau += gap;
+      if (tau >= tau_end) break;
+      now = grid.invert(tau_lo + tau / rate);
+
+      // Section 4: pioneer systems initially recorded most causes as
+      // unknown; the boost decays as administrators learn the platform.
+      const double months_in =
+          static_cast<double>(now - grid.start) / kSecondsPerMonth;
+      const double unknown_boost =
+          scen.early_unknown_boost *
+          std::max(0.0, 1.0 - months_in / scen.unknown_decay_months);
+
+      FailureRecord primary;
+      primary.system_id = sys.id;
+      primary.node_id = node;
+      primary.start = now;
+      primary.workload = sys.workload_of(node);
+      if (rng.bernoulli(unknown_boost)) {
+        primary.cause = RootCause::unknown;
+        primary.detail = DetailCause::undetermined;
+      } else {
+        primary.cause = sample_cause(rng, profile);
+        primary.detail = sample_detail(rng, profile, primary.cause);
+      }
+      primary.end = now + sample_repair_seconds(rng, profile, primary.cause);
+      records.push_back(primary);
+
+      // Correlated multi-node events: a site-level incident (power,
+      // interconnect fabric) takes down additional nodes at the same
+      // instant.
+      const double burst_p = early ? scen.early_burst_probability
+                                   : scen.late_burst_probability;
+      if (burst_p > 0.0 && rng.bernoulli(burst_p)) {
+        const auto followers = 1 + rng.uniform_index(4);  // 1..4 nodes
+        std::vector<int> candidates = nodes_in_production(sys, now, node);
+        for (std::uint64_t k = 0;
+             k < followers && !candidates.empty(); ++k) {
+          const auto pick = rng.uniform_index(candidates.size());
+          const int other = candidates[pick];
+          candidates[pick] = candidates.back();
+          candidates.pop_back();
+
+          FailureRecord follower;
+          follower.system_id = sys.id;
+          follower.node_id = other;
+          follower.start = now;
+          follower.workload = sys.workload_of(other);
+          if (rng.bernoulli(unknown_boost)) {
+            follower.cause = RootCause::unknown;
+            follower.detail = DetailCause::undetermined;
+          } else {
+            follower.cause = rng.bernoulli(0.5) ? RootCause::environment
+                                                : RootCause::network;
+            follower.detail = sample_detail(rng, profile, follower.cause);
+          }
+          follower.end =
+              now + sample_repair_seconds(rng, profile, follower.cause);
+          records.push_back(follower);
+        }
+      }
+    }
+  }
+  return records;
+}
+
+// Shard size for splitting one system's nodes across workers. Small
+// enough that a 1024-node system yields many shards to balance, large
+// enough that per-shard overhead stays negligible.
+constexpr int kShardNodes = 64;
+
+struct NodeShard {
+  const SystemPlan* plan = nullptr;
+  int node_begin = 0;
+  int node_end = 0;
+};
+
+void append_shards(const SystemPlan& plan, std::vector<NodeShard>& shards) {
+  for (int b = 0; b < plan.sys->nodes; b += kShardNodes) {
+    shards.push_back(
+        {&plan, b, std::min(b + kShardNodes, plan.sys->nodes)});
+  }
+}
+
+// Runs the shards on the shared pool and concatenates their records in
+// shard order — the exact vector a sequential (system-order, node-order)
+// loop builds, so the result is identical at any thread count.
+std::vector<FailureRecord> run_shards(const std::vector<NodeShard>& shards,
+                                      std::uint64_t seed) {
+  auto parts = hpcfail::parallel_map(
+      shards.size(), [&shards, seed](std::size_t k) {
+        const NodeShard& s = shards[k];
+        return generate_node_range(*s.plan, seed, s.node_begin, s.node_end);
+      });
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  std::vector<FailureRecord> all;
+  all.reserve(total);
+  for (auto& part : parts) {
+    all.insert(all.end(), part.begin(), part.end());
+  }
+  return all;
+}
+
 }  // namespace
 
 TraceGenerator::TraceGenerator(const trace::SystemCatalog& catalog,
@@ -208,168 +444,28 @@ std::vector<FailureRecord> TraceGenerator::generate_system(
   }
   HPCFAIL_EXPECTS(scen != nullptr, "system not present in the scenario");
 
-  const SystemInfo& sys = catalog_.system(system_id);
-  const HardwareProfile& profile = profile_for(sys.hw_type);
-  const IntensityGrid grid = build_grid(sys, scen->lifecycle);
-
-  // Per-node rate weights: workload factor x lognormal jitter.
-  std::vector<double> weight(static_cast<std::size_t>(sys.nodes), 0.0);
-  for (int node = 0; node < sys.nodes; ++node) {
-    hpcfail::Rng wrng(hpcfail::mix_seed(config_.seed,
-                                        static_cast<std::uint64_t>(system_id),
-                                        0xA110C000ULL +
-                                            static_cast<std::uint64_t>(node)));
-    double w = 1.0;
-    switch (sys.workload_of(node)) {
-      case Workload::graphics: w = scen->graphics_factor; break;
-      case Workload::frontend: w = scen->frontend_factor; break;
-      case Workload::compute: break;
-    }
-    w *= std::exp(scen->node_jitter_sigma * normal_draw(wrng));
-    weight[static_cast<std::size_t>(node)] = w;
-  }
-
-  // Calibrate the base rate so the expected total (including correlated
-  // burst followers) matches failures_per_year * production_years.
-  double ops_total = 0.0;
-  double ops_early = 0.0;
-  for (int node = 0; node < sys.nodes; ++node) {
-    const NodeCategory& c = sys.category_for_node(node);
-    const double lo = grid.at(c.production_start);
-    const double hi = grid.at(c.production_end);
-    const double w = weight[static_cast<std::size_t>(node)];
-    ops_total += w * (hi - lo);
-    if (scen->early_era_end > c.production_start) {
-      const double mid = grid.at(std::min(scen->early_era_end,
-                                          c.production_end));
-      ops_early += w * (mid - lo);
-    }
-  }
-  HPCFAIL_ASSERT(ops_total > 0.0);
-  const double early_fraction = ops_early / ops_total;
-  const double mean_followers = 2.5;  // uniform 1..4 extra nodes
-  const double inflation =
-      1.0 + mean_followers * (early_fraction * scen->early_burst_probability +
-                              (1.0 - early_fraction) *
-                                  scen->late_burst_probability);
-  const double target_total =
-      scen->failures_per_year * sys.production_years();
-  // Renewal-process excess: for a renewal process with mean-1 gaps and
-  // squared CV C^2, E[N(tau)] ~ tau + (C^2 - 1)/2 for tau >> 1. With
-  // overdispersed gaps (C^2 > 1) every node contributes that constant
-  // extra, which is material for many-node systems; deduct it from the
-  // calibration target (clamped so small targets stay positive).
-  const auto weibull_cv2 = [](double k) {
-    const double g1 = std::exp(std::lgamma(1.0 + 1.0 / k));
-    const double g2 = std::exp(std::lgamma(1.0 + 2.0 / k));
-    return g2 / (g1 * g1) - 1.0;
-  };
-  const double cv2_late = weibull_cv2(scen->interarrival_weibull_shape);
-  const double cv2_early =
-      std::expm1(scen->early_lognormal_sigma * scen->early_lognormal_sigma);
-  // The asymptotic constant overstates the excess for nodes with few
-  // events and for very heavy-tailed early-era gaps; cap it.
-  const double excess_per_node =
-      std::min(2.0, 0.5 * (early_fraction * (cv2_early - 1.0) +
-                           (1.0 - early_fraction) * (cv2_late - 1.0)));
-  const double corrected_total =
-      std::max(0.5 * target_total,
-               target_total - static_cast<double>(sys.nodes) *
-                                  std::max(0.0, excess_per_node));
-  const double base = corrected_total / (ops_total * inflation);
-
-  std::vector<FailureRecord> records;
-  records.reserve(static_cast<std::size_t>(target_total * 1.2) + 16);
-
-  for (int node = 0; node < sys.nodes; ++node) {
-    const NodeCategory& cat = sys.category_for_node(node);
-    const double rate = base * weight[static_cast<std::size_t>(node)];
-    const double tau_lo = grid.at(cat.production_start);
-    const double tau_end = rate * (grid.at(cat.production_end) - tau_lo);
-    if (tau_end <= 0.0) continue;
-
-    hpcfail::Rng rng(hpcfail::mix_seed(config_.seed,
-                                       static_cast<std::uint64_t>(system_id),
-                                       static_cast<std::uint64_t>(node)));
-    double tau = 0.0;
-    Seconds now = cat.production_start;
-    for (;;) {
-      const bool early = now < scen->early_era_end;
-      const double gap =
-          early ? lognormal_gap(rng, scen->early_lognormal_sigma)
-                : weibull_gap(rng, scen->interarrival_weibull_shape);
-      tau += gap;
-      if (tau >= tau_end) break;
-      now = grid.invert(tau_lo + tau / rate);
-
-      // Section 4: pioneer systems initially recorded most causes as
-      // unknown; the boost decays as administrators learn the platform.
-      const double months_in =
-          static_cast<double>(now - grid.start) / kSecondsPerMonth;
-      const double unknown_boost =
-          scen->early_unknown_boost *
-          std::max(0.0, 1.0 - months_in / scen->unknown_decay_months);
-
-      FailureRecord primary;
-      primary.system_id = system_id;
-      primary.node_id = node;
-      primary.start = now;
-      primary.workload = sys.workload_of(node);
-      if (rng.bernoulli(unknown_boost)) {
-        primary.cause = RootCause::unknown;
-        primary.detail = DetailCause::undetermined;
-      } else {
-        primary.cause = sample_cause(rng, profile);
-        primary.detail = sample_detail(rng, profile, primary.cause);
-      }
-      primary.end = now + sample_repair_seconds(rng, profile, primary.cause);
-      records.push_back(primary);
-
-      // Correlated multi-node events: a site-level incident (power,
-      // interconnect fabric) takes down additional nodes at the same
-      // instant.
-      const double burst_p = early ? scen->early_burst_probability
-                                   : scen->late_burst_probability;
-      if (burst_p > 0.0 && rng.bernoulli(burst_p)) {
-        const auto followers = 1 + rng.uniform_index(4);  // 1..4 nodes
-        std::vector<int> candidates = nodes_in_production(sys, now, node);
-        for (std::uint64_t k = 0;
-             k < followers && !candidates.empty(); ++k) {
-          const auto pick = rng.uniform_index(candidates.size());
-          const int other = candidates[pick];
-          candidates[pick] = candidates.back();
-          candidates.pop_back();
-
-          FailureRecord follower;
-          follower.system_id = system_id;
-          follower.node_id = other;
-          follower.start = now;
-          follower.workload = sys.workload_of(other);
-          if (rng.bernoulli(unknown_boost)) {
-            follower.cause = RootCause::unknown;
-            follower.detail = DetailCause::undetermined;
-          } else {
-            follower.cause = rng.bernoulli(0.5) ? RootCause::environment
-                                                : RootCause::network;
-            follower.detail = sample_detail(rng, profile, follower.cause);
-          }
-          follower.end =
-              now + sample_repair_seconds(rng, profile, follower.cause);
-          records.push_back(follower);
-        }
-      }
-    }
-  }
-  return records;
+  const SystemPlan plan =
+      build_plan(config_.seed, catalog_.system(system_id), *scen);
+  std::vector<NodeShard> shards;
+  append_shards(plan, shards);
+  return run_shards(shards, config_.seed);
 }
 
 trace::FailureDataset TraceGenerator::generate() const {
-  std::vector<FailureRecord> all;
+  // Plans (hourly intensity grid, per-node weights, calibration) are
+  // cheap; build them up front so the expensive event generation can fan
+  // out per (system, node-range) shard across the shared pool. run_shards
+  // concatenates in (scenario order, node order) — the same vector the
+  // sequential path builds — so output is bit-identical at any thread
+  // count.
+  std::vector<SystemPlan> plans;
+  plans.reserve(config_.systems.size());
   for (const SystemScenario& s : config_.systems) {
-    auto recs = generate_system(s.system_id);
-    all.insert(all.end(), recs.begin(), recs.end());
+    plans.push_back(build_plan(config_.seed, catalog_.system(s.system_id), s));
   }
-  return trace::FailureDataset(std::move(all));
+  std::vector<NodeShard> shards;
+  for (const SystemPlan& plan : plans) append_shards(plan, shards);
+  return trace::FailureDataset(run_shards(shards, config_.seed));
 }
 
 trace::FailureDataset generate_lanl_trace(std::uint64_t seed) {

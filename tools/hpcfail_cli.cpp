@@ -9,6 +9,9 @@
 //   hpcfail repair    (--trace FILE | --seed N)
 //   hpcfail availability (--trace FILE | --seed N)
 //
+// Every subcommand accepts --threads N to bound the worker pool used for
+// parallel generation and fitting (default: hardware concurrency).
+//
 // Every subcommand exits 0 on success and 1 on error with a message on
 // stderr; `validate` exits 2 when issues were found (grep-able reports on
 // stdout), matching the usual lint-tool convention.
@@ -191,7 +194,11 @@ void usage(std::ostream& out) {
          "  fit          (--trace FILE | --seed N) --system N [--node M]\n"
          "               [--from YYYY-MM-DD] [--to YYYY-MM-DD]\n"
          "  repair       (--trace FILE | --seed N)\n"
-         "  availability (--trace FILE | --seed N)\n";
+         "  availability (--trace FILE | --seed N)\n"
+         "global options:\n"
+         "  --threads N  worker threads for generation/fitting\n"
+         "               (default: hardware concurrency; output is\n"
+         "               identical at any thread count)\n";
 }
 
 }  // namespace
@@ -204,6 +211,11 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   try {
     const Options opts = parse_options(argc, argv, 2);
+    if (opts.has("threads")) {
+      const int threads = std::stoi(opts.get("threads"));
+      if (threads < 1) throw Error("--threads must be >= 1");
+      set_parallelism(static_cast<unsigned>(threads));
+    }
     if (command == "generate") return cmd_generate(opts);
     if (command == "catalog") return cmd_catalog(opts);
     if (command == "validate") return cmd_validate(opts);

@@ -21,7 +21,7 @@ namespace {
 using namespace hpcfail;
 
 void compare(const char* title, const std::vector<double>& sample,
-             const std::vector<dist::FitResult>& standard_fits,
+             const dist::FitReport& standard_fits,
              double floor_at) {
   std::vector<double> floored = sample;
   for (double& x : floored) {
@@ -33,11 +33,11 @@ void compare(const char* title, const std::vector<double>& sample,
   std::cout << title << " (" << sample.size() << " observations)\n";
   report::TextTable table({"model", "negLL"});
   for (const auto& fit : standard_fits) {
-    table.add_row(fit.model->describe(), {fit.neg_log_likelihood});
+    table.add_row(fit.model->describe(), {fit.nll});
   }
   table.add_row(pareto.describe(), {pareto_nll});
   table.render(std::cout);
-  const double best = standard_fits.front().neg_log_likelihood;
+  const double best = standard_fits.front().nll;
   std::cout << "Pareto vs best standard family: negLL delta "
             << format_double(pareto_nll - best, 4) << " ("
             << (pareto_nll < best ? "Pareto fits better"

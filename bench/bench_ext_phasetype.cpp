@@ -46,11 +46,11 @@ void compare(const hpcfail::trace::FailureDataset& dataset,
   for (const auto& fit : report.fits) {
     table.add_row(fit.model->describe(),
                   {static_cast<double>(dist::parameter_count(fit.family)),
-                   fit.neg_log_likelihood, fit.aic});
+                   fit.nll, fit.aic});
   }
   table.add_row(h2.describe(), {3.0, h2_nll, h2_aic});
   table.render(std::cout);
-  const double best_standard = report.best().neg_log_likelihood;
+  const double best_standard = report.best().nll;
   std::cout << "H2 vs best standard family: negLL delta "
             << format_double(h2_nll - best_standard, 4) << " ("
             << (h2_nll < best_standard ? "H2 fits better"

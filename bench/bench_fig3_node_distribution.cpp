@@ -51,7 +51,7 @@ int main() {
   std::cout << "\nfit ranking by negative log-likelihood:\n";
   report::TextTable table({"model", "negLL", "KS"});
   for (const auto& fit : report.count_fits) {
-    table.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+    table.add_row(fit.model->describe(), {fit.nll, fit.ks});
   }
   table.render(std::cout);
   std::cout << "paper reports: Poisson a poor fit (data overdispersed); "

@@ -60,7 +60,7 @@ void render_panel(const hpcfail::trace::FailureDataset& dataset,
 
   report::TextTable table({"model (best first)", "negLL", "KS"});
   for (const auto& fit : report.fits) {
-    table.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+    table.add_row(fit.model->describe(), {fit.nll, fit.ks});
   }
   table.render(std::cout);
   for (const auto& fit : report.fits) {

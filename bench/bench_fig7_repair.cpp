@@ -41,7 +41,7 @@ int main() {
     const double qq_dev = stats::qq_max_relative_deviation(
         repair_minutes, [&model](double p) { return model.quantile(p); });
     fits.add_row(fit.model->describe(),
-                 {fit.neg_log_likelihood, fit.ks, qq_dev});
+                 {fit.nll, fit.ks, qq_dev});
   }
   fits.render(std::cout);
 
@@ -58,7 +58,7 @@ int main() {
   std::cout << "\n=== Fig 7(c): median repair time per system (min) ===\n";
   report::bar_chart(std::cout, "", medians);
 
-  // Per-system fits (batched via dist::fit_many): the paper's lognormal
+  // Per-system fits (batched via dist::fit_report_many): the paper's lognormal
   // finding should hold system by system, not only in aggregate.
   std::cout << "\n=== best repair-time model per system ===\n";
   report::TextTable per_system({"system", "n", "best model"});

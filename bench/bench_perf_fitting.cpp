@@ -32,7 +32,7 @@ void BM_FitAllStandard(benchmark::State& state) {
   const auto xs = weibull_sample(static_cast<std::size_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(
-        hpcfail::dist::fit_all(xs, hpcfail::dist::standard_families()));
+        hpcfail::dist::fit_report(xs, hpcfail::dist::standard_families()));
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(xs.size()));

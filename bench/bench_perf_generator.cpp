@@ -3,9 +3,14 @@
 // the default worker-pool size (hardware concurrency);
 // BM_GenerateFullTraceSequential pins the pool to one thread as the
 // speedup baseline. bench_perf_parallel sweeps the thread count.
+//
+// BM_GenerateFullTrace vs BM_GenerateFullTraceObsOff is the
+// observability overhead budget: the instrumented generator must stay
+// within 2% of its obs::disable()d self.
 #include <benchmark/benchmark.h>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "synth/generator.hpp"
 
 namespace {
@@ -46,11 +51,24 @@ void BM_GenerateFullTraceSequential(benchmark::State& state) {
   hpcfail::set_parallelism(0);
 }
 
+void BM_GenerateFullTraceObsOff(benchmark::State& state) {
+  hpcfail::obs::disable();
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto dataset = hpcfail::synth::generate_lanl_trace(42);
+    records += dataset.size();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+  hpcfail::obs::enable();
+}
+
 }  // namespace
 
 // System 2 (tiny), 20 (big NUMA, 8.9 years), 7 (1024 nodes).
 BENCHMARK(BM_GenerateSystem)->Arg(2)->Arg(20)->Arg(7);
 BENCHMARK(BM_GenerateFullTrace)->UseRealTime();
 BENCHMARK(BM_GenerateFullTraceSequential)->UseRealTime();
+BENCHMARK(BM_GenerateFullTraceObsOff)->UseRealTime();
 
 BENCHMARK_MAIN();

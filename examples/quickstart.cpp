@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   report::TextTable table({"model", "neg log-likelihood", "AIC", "KS"});
   for (const auto& fit : tbf.fits) {
     table.add_row(fit.model->describe(),
-                  {fit.neg_log_likelihood, fit.aic, fit.ks});
+                  {fit.nll, fit.aic, fit.ks});
   }
   table.render(std::cout);
   std::cout << "  best model: " << tbf.best().model->describe() << "\n\n";
@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
             << repair.all.median << " min, C^2 " << repair.all.cv2 << "\n";
   report::TextTable rtable({"model", "neg log-likelihood", "KS"});
   for (const auto& fit : repair.fits) {
-    rtable.add_row(fit.model->describe(), {fit.neg_log_likelihood, fit.ks});
+    rtable.add_row(fit.model->describe(), {fit.nll, fit.ks});
   }
   rtable.render(std::cout);
   std::cout << "  best model: " << repair.fits.front().model->describe()

@@ -4,12 +4,14 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 std::vector<SystemAvailability> availability_analysis(
     const trace::FailureDataset& dataset,
     const trace::SystemCatalog& catalog) {
+  hpcfail::obs::ScopedTimer timer("analysis.availability");
   std::map<int, SystemAvailability> by_system;
   for (const trace::SystemInfo& sys : catalog.systems()) {
     SystemAvailability a;

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 #include "stats/descriptive.hpp"
 
 namespace hpcfail::analysis {
@@ -32,6 +33,7 @@ std::vector<double> autocorrelation(std::span<const double> sequence,
 
 CorrelationReport correlation_analysis(const trace::FailureDataset& dataset,
                                        int system_id, std::size_t max_lag) {
+  hpcfail::obs::ScopedTimer timer("analysis.correlation");
   const trace::FailureDataset scoped = dataset.for_system(system_id);
   HPCFAIL_EXPECTS(scoped.size() >= 32,
                   "too few failures for correlation analysis");

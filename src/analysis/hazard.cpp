@@ -3,6 +3,7 @@
 #include <map>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
@@ -10,6 +11,7 @@ HazardReport node_hazard_analysis(const trace::FailureDataset& dataset,
                                   int system_id,
                                   std::optional<Seconds> censor_at,
                                   std::size_t min_events) {
+  hpcfail::obs::ScopedTimer timer("analysis.hazard");
   const trace::FailureDataset scoped = dataset.for_system(system_id);
   HPCFAIL_EXPECTS(!scoped.empty(), "system has no failures in the dataset");
   const Seconds horizon = censor_at.value_or(scoped.records().back().start);

@@ -1,12 +1,14 @@
 #include "analysis/interarrival.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
                                          const InterarrivalQuery& query,
                                          std::size_t min_gaps) {
+  hpcfail::obs::ScopedTimer timer("analysis.interarrival");
   trace::FailureDataset scoped = dataset.for_system(query.system_id);
   if (query.from || query.to) {
     const Seconds from = query.from.value_or(
@@ -35,15 +37,16 @@ InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
 
   // Records have 1-second resolution; exact-zero gaps (simultaneous
   // failures) are floored at one second for fitting, as any MLE must.
-  report.fits = hpcfail::dist::fit_all(report.gaps_seconds,
-                                       hpcfail::dist::standard_families(),
-                                       /*floor_at=*/1.0);
+  report.fits = hpcfail::dist::fit_report(report.gaps_seconds,
+                                          hpcfail::dist::standard_families(),
+                                          /*floor_at=*/1.0);
   return report;
 }
 
 std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
     const trace::FailureDataset& dataset, int system_id,
     std::size_t min_gaps) {
+  hpcfail::obs::ScopedTimer timer("analysis.per_node_interarrival");
   const trace::FailureDataset scoped = dataset.for_system(system_id);
 
   std::vector<int> nodes;
@@ -58,7 +61,7 @@ std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
 
   // Same 1-second floor as interarrival_analysis: records have 1-second
   // resolution and simultaneous failures yield exact zeros.
-  auto fit_lists = hpcfail::dist::fit_many(
+  auto fit_reports = hpcfail::dist::fit_report_many(
       samples, hpcfail::dist::standard_families(), /*floor_at=*/1.0);
 
   std::vector<NodeInterarrivalFits> out;
@@ -67,7 +70,7 @@ std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
     NodeInterarrivalFits entry;
     entry.node_id = nodes[i];
     entry.gap_count = samples[i].size();
-    entry.fits = std::move(fit_lists[i]);
+    entry.fits = std::move(fit_reports[i]);
     out.push_back(std::move(entry));
   }
   return out;

@@ -31,11 +31,11 @@ struct InterarrivalReport {
   hpcfail::stats::Summary summary;      ///< mean / median / C^2 ...
   double zero_fraction = 0.0;           ///< share of exactly-zero gaps
                                         ///< (simultaneous failures, Fig 6c)
-  /// MLE fits of the four standard families, best (lowest negative
-  /// log-likelihood) first.
-  std::vector<hpcfail::dist::FitResult> fits;
+  /// MLE fits of the four standard families, ranked best (lowest nll)
+  /// first, with fitting-cost metadata.
+  hpcfail::dist::FitReport fits;
 
-  const hpcfail::dist::FitResult& best() const { return fits.front(); }
+  const hpcfail::dist::FitResult& best() const { return fits.best(); }
 };
 
 /// Extracts the interarrival sample for `query` and fits the standard
@@ -53,11 +53,11 @@ struct NodeInterarrivalFits {
   std::size_t gap_count = 0;
   /// Standard-family fits, best first; empty when no family converged on
   /// this node's sample.
-  std::vector<hpcfail::dist::FitResult> fits;
+  hpcfail::dist::FitReport fits;
 };
 
 /// Batched per-node fits for one system, fanned out across the shared
-/// pool via dist::fit_many. Nodes with fewer than `min_gaps` interarrival
+/// pool via dist::fit_report_many. Nodes with fewer than `min_gaps` interarrival
 /// times are omitted; result is ordered by node id and independent of the
 /// thread count.
 std::vector<NodeInterarrivalFits> per_node_interarrival_fits(

@@ -4,12 +4,14 @@
 
 #include "analysis/root_cause.hpp"
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 LifetimeCurve lifetime_curve(const trace::FailureDataset& dataset,
                              const trace::SystemCatalog& catalog,
                              int system_id) {
+  hpcfail::obs::ScopedTimer timer("analysis.lifetime");
   const trace::SystemInfo& sys = catalog.system(system_id);
   const trace::FailureDataset records = dataset.for_system(system_id);
   HPCFAIL_EXPECTS(!records.empty(), "system has no failures in the dataset");

@@ -4,12 +4,14 @@
 
 #include "common/error.hpp"
 #include "dist/poisson.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 OutlierReport node_outlier_analysis(const trace::FailureDataset& dataset,
                                     const trace::SystemCatalog& catalog,
                                     int system_id, double alpha) {
+  hpcfail::obs::ScopedTimer timer("analysis.outliers");
   HPCFAIL_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
   const trace::SystemInfo& sys = catalog.system(system_id);
   const auto counts = dataset.failures_per_node(system_id);

@@ -3,10 +3,12 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 PeriodicityReport periodicity(const trace::FailureDataset& dataset) {
+  hpcfail::obs::ScopedTimer timer("analysis.periodicity");
   HPCFAIL_EXPECTS(!dataset.empty(), "periodicity of empty dataset");
   PeriodicityReport report;
   for (const trace::FailureRecord& r : dataset.records()) {

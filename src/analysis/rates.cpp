@@ -1,11 +1,13 @@
 #include "analysis/rates.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 std::vector<SystemRate> failure_rates(const trace::FailureDataset& dataset,
                                       const trace::SystemCatalog& catalog) {
+  hpcfail::obs::ScopedTimer timer("analysis.failure_rates");
   HPCFAIL_EXPECTS(!dataset.empty(), "failure rates of empty dataset");
   std::vector<SystemRate> rates;
   for (const int id : dataset.system_ids()) {
@@ -28,6 +30,7 @@ std::vector<SystemRate> failure_rates(const trace::FailureDataset& dataset,
 NodeDistributionReport node_distribution(
     const trace::FailureDataset& dataset,
     const trace::SystemCatalog& catalog, int system_id) {
+  hpcfail::obs::ScopedTimer timer("analysis.node_distribution");
   const trace::SystemInfo& sys = catalog.system(system_id);
   const auto counts = dataset.failures_per_node(system_id);
   HPCFAIL_EXPECTS(!counts.empty(),
@@ -63,7 +66,7 @@ NodeDistributionReport node_distribution(
                 : 0.0;
 
   if (report.compute_node_counts.size() >= 2) {
-    report.count_fits = hpcfail::dist::fit_all(
+    report.count_fits = hpcfail::dist::fit_report(
         report.compute_node_counts, hpcfail::dist::count_families());
   }
   return report;

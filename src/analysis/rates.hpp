@@ -50,7 +50,7 @@ struct NodeDistributionReport {
   double graphics_failure_fraction = 0.0;
   /// Count-distribution fits over compute-only nodes (Fig 3b), best
   /// first: Poisson vs normal vs lognormal.
-  std::vector<hpcfail::dist::FitResult> count_fits;
+  hpcfail::dist::FitReport count_fits;
   /// The compute-only per-node counts the fits were computed on.
   std::vector<double> compute_node_counts;
 };

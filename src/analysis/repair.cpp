@@ -1,11 +1,13 @@
 #include "analysis/repair.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
 RepairReport repair_analysis(const trace::FailureDataset& dataset,
                              const trace::SystemCatalog& catalog) {
+  hpcfail::obs::ScopedTimer timer("analysis.repair");
   HPCFAIL_EXPECTS(!dataset.empty(), "repair analysis of empty dataset");
   RepairReport report;
 
@@ -26,8 +28,8 @@ RepairReport repair_analysis(const trace::FailureDataset& dataset,
   report.all = hpcfail::stats::summarize(all_minutes);
 
   // Fig 7(a): distribution fits over all repair times.
-  report.fits = hpcfail::dist::fit_all(all_minutes,
-                                       hpcfail::dist::standard_families());
+  report.fits = hpcfail::dist::fit_report(
+      all_minutes, hpcfail::dist::standard_families());
 
   // Fig 7(b)/(c): per system, with the per-system distribution fits
   // batched across the shared pool.
@@ -40,8 +42,8 @@ RepairReport repair_analysis(const trace::FailureDataset& dataset,
     ids.push_back(id);
     samples.push_back(std::move(minutes));
   }
-  auto fit_lists =
-      hpcfail::dist::fit_many(samples, hpcfail::dist::standard_families());
+  auto fit_reports = hpcfail::dist::fit_report_many(
+      samples, hpcfail::dist::standard_families());
   for (std::size_t i = 0; i < ids.size(); ++i) {
     RepairBySystem entry;
     entry.system_id = ids[i];
@@ -50,7 +52,7 @@ RepairReport repair_analysis(const trace::FailureDataset& dataset,
     const auto s = hpcfail::stats::summarize(samples[i]);
     entry.mean_minutes = s.mean;
     entry.median_minutes = s.median;
-    entry.fits = std::move(fit_lists[i]);
+    entry.fits = std::move(fit_reports[i]);
     report.by_system.push_back(std::move(entry));
   }
   return report;

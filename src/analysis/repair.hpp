@@ -27,9 +27,9 @@ struct RepairBySystem {
   double median_minutes = 0.0;
   std::size_t failures = 0;
   /// Standard-family fits of this system's repair times, best first
-  /// (batched across systems via dist::fit_many); empty when no family
-  /// converged.
-  std::vector<hpcfail::dist::FitResult> fits;
+  /// (batched across systems via dist::fit_report_many); empty when no
+  /// family converged.
+  hpcfail::dist::FitReport fits;
 };
 
 struct RepairReport {
@@ -40,7 +40,7 @@ struct RepairReport {
 
   /// Fig 7(a): fits of the four standard families over all repair times,
   /// best first (the paper finds lognormal best, exponential worst).
-  std::vector<hpcfail::dist::FitResult> fits;
+  hpcfail::dist::FitReport fits;
 
   /// Fig 7(b)/(c), ascending system id.
   std::vector<RepairBySystem> by_system;

@@ -1,6 +1,7 @@
 #include "analysis/root_cause.hpp"
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
@@ -32,6 +33,7 @@ void finalize(CauseBreakdown& b, const std::array<double, 6>& counts,
 
 RootCauseReport root_cause_breakdown(const trace::FailureDataset& dataset,
                                      const trace::SystemCatalog& catalog) {
+  hpcfail::obs::ScopedTimer timer("analysis.root_cause");
   HPCFAIL_EXPECTS(!dataset.empty(), "root-cause breakdown of empty dataset");
 
   // Accumulate per hardware type and overall.

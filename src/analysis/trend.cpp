@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/span.hpp"
 
 namespace hpcfail::analysis {
 
@@ -29,6 +30,7 @@ double node_hours_in_window(const trace::SystemInfo& sys, Seconds from,
 TrendReport reliability_trend(const trace::FailureDataset& dataset,
                               const trace::SystemCatalog& catalog,
                               int system_id, int window_months) {
+  hpcfail::obs::ScopedTimer timer("analysis.trend");
   HPCFAIL_EXPECTS(window_months >= 1, "window must be at least one month");
   const trace::SystemInfo& sys = catalog.system(system_id);
   const trace::FailureDataset records = dataset.for_system(system_id);

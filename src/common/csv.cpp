@@ -5,16 +5,22 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 
 namespace hpcfail {
 
 CsvReader::CsvReader(std::istream& source, char separator)
-    : in_(source), sep_(separator) {}
+    : in_(source), sep_(separator) {
+  if (obs::enabled()) {
+    rows_counter_ = &obs::registry().counter("csv.rows_read");
+  }
+}
 
 bool CsvReader::next_row(std::vector<std::string>& fields) {
   fields.clear();
   int ch = in_.get();
   if (ch == std::istream::traits_type::eof()) return false;
+  if (rows_counter_ != nullptr) rows_counter_->add(1);
   ++line_;
   row_start_line_ = line_;
 
@@ -60,9 +66,14 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
 }
 
 CsvWriter::CsvWriter(std::ostream& sink, char separator)
-    : out_(sink), sep_(separator) {}
+    : out_(sink), sep_(separator) {
+  if (obs::enabled()) {
+    rows_counter_ = &obs::registry().counter("csv.rows_written");
+  }
+}
 
 void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  if (rows_counter_ != nullptr) rows_counter_->add(1);
   for (std::size_t i = 0; i < fields.size(); ++i) {
     if (i != 0) out_ << sep_;
     out_ << csv_escape(fields[i], sep_);

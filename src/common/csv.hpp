@@ -12,9 +12,17 @@
 #include <string_view>
 #include <vector>
 
+namespace hpcfail::obs {
+class Counter;
+}  // namespace hpcfail::obs
+
 namespace hpcfail {
 
 /// Streaming CSV reader over any std::istream.
+///
+/// Rows delivered are counted into the obs counter "csv.rows_read" (the
+/// handle is resolved once per reader, so the per-row cost is one relaxed
+/// atomic increment; zero when obs is disabled at construction).
 class CsvReader {
  public:
   /// `source` must outlive the reader.
@@ -32,9 +40,11 @@ class CsvReader {
   char sep_;
   std::size_t line_ = 0;
   std::size_t row_start_line_ = 0;
+  obs::Counter* rows_counter_ = nullptr;  ///< null when obs is disabled
 };
 
-/// Streaming CSV writer over any std::ostream.
+/// Streaming CSV writer over any std::ostream. Rows written are counted
+/// into the obs counter "csv.rows_written" (same scheme as CsvReader).
 class CsvWriter {
  public:
   /// `sink` must outlive the writer.
@@ -46,6 +56,7 @@ class CsvWriter {
  private:
   std::ostream& out_;
   char sep_;
+  obs::Counter* rows_counter_ = nullptr;  ///< null when obs is disabled
 };
 
 /// Quotes a single field if it contains the separator, a quote, or a

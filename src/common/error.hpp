@@ -29,10 +29,31 @@ class ParseError : public Error {
   explicit ParseError(const std::string& what) : Error(what) {}
 };
 
+/// Well-formed input that fails semantic validation (unknown system id,
+/// out-of-range option value, unsupported format name, ...).
+class ValidationError : public Error {
+ public:
+  explicit ValidationError(const std::string& what) : Error(what) {}
+};
+
 /// A numerical routine failed to converge or left its domain.
 class NumericError : public Error {
  public:
   explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Distribution fitting failed: no family converged on the sample, or an
+/// MLE left its domain. Derives from NumericError so existing numeric
+/// handlers keep working.
+class FitError : public NumericError {
+ public:
+  explicit FitError(const std::string& what) : NumericError(what) {}
+};
+
+/// The operating system refused a file operation (open, read, write).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
 };
 
 /// An internal invariant did not hold; indicates a library bug.

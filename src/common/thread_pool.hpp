@@ -28,6 +28,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/span.hpp"
+
 namespace hpcfail {
 
 /// Fixed-size worker pool with a FIFO task queue. Tasks are arbitrary
@@ -59,13 +61,22 @@ class ThreadPool {
   /// thrown by `fn` are captured into the future. Do not block on the
   /// returned future from another task of the same pool; use the
   /// parallel_* helpers, which handle nesting.
+  ///
+  /// The submitting thread's current obs span id is captured here and
+  /// restored around the task's execution, so spans opened inside the
+  /// task are parented to the span that submitted it — span nesting
+  /// survives the thread hop (see obs/span.hpp).
   template <typename Fn>
   auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn&>> {
     using R = std::invoke_result_t<Fn&>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
     std::future<R> future = task->get_future();
-    enqueue([task] { (*task)(); });
+    const std::uint64_t parent_span = obs::current_span_id();
+    enqueue([task, parent_span] {
+      obs::SpanContext span_context(parent_span);
+      (*task)();
+    });
     return future;
   }
 

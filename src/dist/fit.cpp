@@ -14,7 +14,9 @@
 #include "dist/normal.hpp"
 #include "dist/poisson.hpp"
 #include "dist/weibull.hpp"
+#include "obs/metrics.hpp"
 #include "stats/ks.hpp"
+#include "stats/solver.hpp"
 
 namespace hpcfail::dist {
 
@@ -47,19 +49,21 @@ std::string to_string(Family family) {
 FitResult::FitResult(const FitResult& other)
     : family(other.family),
       model(other.model ? other.model->clone() : nullptr),
-      neg_log_likelihood(other.neg_log_likelihood),
+      nll(other.nll),
       aic(other.aic),
       ks(other.ks),
-      ks_pvalue(other.ks_pvalue) {}
+      ks_pvalue(other.ks_pvalue),
+      iterations(other.iterations) {}
 
 FitResult& FitResult::operator=(const FitResult& other) {
   if (this != &other) {
     family = other.family;
     model = other.model ? other.model->clone() : nullptr;
-    neg_log_likelihood = other.neg_log_likelihood;
+    nll = other.nll;
     aic = other.aic;
     ks = other.ks;
     ks_pvalue = other.ks_pvalue;
+    iterations = other.iterations;
   }
   return *this;
 }
@@ -77,6 +81,9 @@ int parameter_count(Family family) noexcept {
 FitResult fit(Family family, std::span<const double> xs, double floor_at) {
   HPCFAIL_EXPECTS(!xs.empty(), "fit on empty sample");
   HPCFAIL_EXPECTS(floor_at > 0.0, "fit floor must be positive");
+  // solver_steps() is thread-local and the family MLE runs on this
+  // thread, so the difference is exactly this fit's iteration count.
+  const std::uint64_t steps_before = hpcfail::stats::solver_steps();
   FitResult result;
   result.family = family;
   switch (family) {
@@ -102,19 +109,28 @@ FitResult fit(Family family, std::span<const double> xs, double floor_at) {
       result.model = std::make_unique<Poisson>(Poisson::fit_mle(xs));
       break;
   }
+  result.iterations = hpcfail::stats::solver_steps() - steps_before;
 
   // Evaluate all families on the same (floored where relevant) data so
   // their likelihoods are comparable.
   const std::vector<double> eval =
       positive_support(family) ? floored(xs, floor_at)
                                : std::vector<double>(xs.begin(), xs.end());
-  result.neg_log_likelihood = -result.model->log_likelihood(eval);
-  result.aic =
-      2.0 * parameter_count(family) + 2.0 * result.neg_log_likelihood;
+  result.nll = -result.model->log_likelihood(eval);
+  result.aic = 2.0 * parameter_count(family) + 2.0 * result.nll;
   const Distribution& model = *result.model;
   result.ks = hpcfail::stats::ks_statistic(
       eval, [&model](double x) { return model.cdf(x); });
   result.ks_pvalue = hpcfail::stats::ks_pvalue(result.ks, eval.size());
+
+  if (hpcfail::obs::enabled()) {
+    hpcfail::obs::Registry& reg = hpcfail::obs::registry();
+    const std::string label = "{family=" + to_string(family) + "}";
+    reg.counter("dist.fit.total" + label).add(1);
+    reg.counter("dist.fit.solver_steps" + label).add(result.iterations);
+    reg.histogram("dist.fit.sample_size" + label)
+        .record(static_cast<double>(xs.size()));
+  }
   return result;
 }
 
@@ -130,9 +146,8 @@ std::span<const Family> count_families() noexcept {
   return kFamilies;
 }
 
-std::vector<FitResult> fit_all(std::span<const double> xs,
-                               std::span<const Family> families,
-                               double floor_at) {
+FitReport fit_report(std::span<const double> xs,
+                     std::span<const Family> families, double floor_at) {
   // The families are independent MLE problems on a shared read-only
   // sample; fit them concurrently. Failed fits become nullopt so one
   // family's legitimate failure (e.g. constant sample) does not abort
@@ -144,45 +159,78 @@ std::vector<FitResult> fit_all(std::span<const double> xs,
         try {
           return fit(families[i], xs, floor_at);
         } catch (const Error&) {
+          if (hpcfail::obs::enabled()) {
+            hpcfail::obs::registry()
+                .counter("dist.fit.failures{family=" +
+                         to_string(families[i]) + "}")
+                .add(1);
+          }
           return std::nullopt;
         }
       });
-  std::vector<FitResult> results;
-  results.reserve(families.size());
+  FitReport report;
+  report.sample_size = xs.size();
+  report.floor_at = floor_at;
+  report.ranked.reserve(families.size());
   for (auto& f : fitted) {
-    if (f) results.push_back(std::move(*f));
+    if (f) {
+      report.total_iterations += f->iterations;
+      report.ranked.push_back(std::move(*f));
+    } else {
+      ++report.failed_families;
+    }
   }
-  if (results.empty()) {
-    throw NumericError("no distribution family could be fitted");
+  if (report.ranked.empty()) {
+    throw FitError("no distribution family could be fitted");
   }
-  std::sort(results.begin(), results.end(),
+  std::sort(report.ranked.begin(), report.ranked.end(),
             [](const FitResult& a, const FitResult& b) {
-              return a.neg_log_likelihood < b.neg_log_likelihood;
+              return a.nll < b.nll;
             });
-  return results;
+  return report;
+}
+
+std::vector<FitReport> fit_report_many(
+    std::span<const std::vector<double>> samples,
+    std::span<const Family> families, double floor_at) {
+  // One task per sample; the nested fit_report runs sequentially on the
+  // worker (nested parallelism degrades inline), so batched fits scale
+  // with the number of samples without oversubscribing the pool.
+  return hpcfail::parallel_map(
+      samples.size(),
+      [samples, families, floor_at](std::size_t i) -> FitReport {
+        if (samples[i].empty()) return {};
+        try {
+          return fit_report(samples[i], families, floor_at);
+        } catch (const Error&) {
+          FitReport failed;
+          failed.sample_size = samples[i].size();
+          failed.floor_at = floor_at;
+          failed.failed_families = families.size();
+          return failed;
+        }
+      });
+}
+
+std::vector<FitResult> fit_all(std::span<const double> xs,
+                               std::span<const Family> families,
+                               double floor_at) {
+  return std::move(fit_report(xs, families, floor_at).ranked);
 }
 
 std::vector<std::vector<FitResult>> fit_many(
     std::span<const std::vector<double>> samples,
     std::span<const Family> families, double floor_at) {
-  // One task per sample; the nested fit_all runs sequentially on the
-  // worker (nested parallelism degrades inline), so batched fits scale
-  // with the number of samples without oversubscribing the pool.
-  return hpcfail::parallel_map(
-      samples.size(),
-      [samples, families, floor_at](std::size_t i) -> std::vector<FitResult> {
-        if (samples[i].empty()) return {};
-        try {
-          return fit_all(samples[i], families, floor_at);
-        } catch (const Error&) {
-          return {};
-        }
-      });
+  auto reports = fit_report_many(samples, families, floor_at);
+  std::vector<std::vector<FitResult>> out;
+  out.reserve(reports.size());
+  for (FitReport& report : reports) out.push_back(std::move(report.ranked));
+  return out;
 }
 
 FitResult best_standard_fit(std::span<const double> xs) {
-  auto results = fit_all(xs, standard_families());
-  return std::move(results.front());
+  auto report = fit_report(xs, standard_families());
+  return std::move(report.ranked.front());
 }
 
 }  // namespace hpcfail::dist

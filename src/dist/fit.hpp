@@ -3,11 +3,18 @@
 //  and evaluate the goodness of fit by visual inspection and the negative
 //  log-likelihood test."
 //
-// fit_all() parameterizes every requested family on the same sample and
-// ranks them by negative log-likelihood; AIC and the KS distance are
-// reported alongside as modern cross-checks.
+// fit_report() parameterizes every requested family on the same sample
+// and returns a FitReport: the per-family FitResults ranked best-first by
+// negative log-likelihood (`nll`), plus how many families failed and how
+// many solver iterations the MLEs took (surfaced through obs as well).
+// fit_report_many() is the batched form used for the paper's per-node
+// (Fig 6) and per-system (Fig 7) sweeps.
+//
+// The pre-FitReport entry points fit_all()/fit_many() remain as
+// [[deprecated]] shims returning the bare ranked vectors.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <string>
@@ -33,16 +40,43 @@ std::string to_string(Family family);
 struct FitResult {
   Family family;
   std::unique_ptr<Distribution> model;  ///< never null
-  double neg_log_likelihood = 0.0;
-  double aic = 0.0;      ///< 2k + 2 * negLL
+  double nll = 0.0;      ///< negative log-likelihood
+  double aic = 0.0;      ///< 2k + 2 * nll
   double ks = 0.0;       ///< Kolmogorov-Smirnov distance
   double ks_pvalue = 0.0;
+  /// Solver iterations the MLE needed (0 for closed-form families).
+  std::uint64_t iterations = 0;
+
+  /// Pre-rename spelling of `nll`; migrate to the field.
+  [[deprecated("use the nll field")]] double neg_log_likelihood() const {
+    return nll;
+  }
 
   FitResult() = default;
   FitResult(FitResult&&) = default;
   FitResult& operator=(FitResult&&) = default;
   FitResult(const FitResult& other);
   FitResult& operator=(const FitResult& other);
+};
+
+/// The outcome of fitting a set of families to one sample: the successful
+/// fits ranked best-first by nll, plus what it cost. Iterates like the
+/// ranked vector so result consumers can treat it as the ranking.
+struct FitReport {
+  std::vector<FitResult> ranked;     ///< successful fits, best first
+  std::size_t sample_size = 0;       ///< observations fitted
+  double floor_at = 0.0;             ///< resolution floor applied
+  std::size_t failed_families = 0;   ///< families whose fit threw
+  std::uint64_t total_iterations = 0;  ///< solver steps across families
+
+  const FitResult& best() const { return ranked.front(); }
+  bool empty() const noexcept { return ranked.empty(); }
+  std::size_t size() const noexcept { return ranked.size(); }
+  const FitResult& operator[](std::size_t i) const { return ranked[i]; }
+  const FitResult& front() const { return ranked.front(); }
+  const FitResult& back() const { return ranked.back(); }
+  auto begin() const noexcept { return ranked.begin(); }
+  auto end() const noexcept { return ranked.end(); }
 };
 
 /// Number of free parameters of a family (for AIC).
@@ -64,27 +98,38 @@ std::span<const Family> standard_families() noexcept;
 /// The three count-model families of Fig 3(b).
 std::span<const Family> count_families() noexcept;
 
-/// Fits every family in `families`, sorted best-first by negative
-/// log-likelihood. Families whose fit throws (e.g. degenerate sample for
-/// that family) are skipped; throws NumericError if none succeed.
-/// Families are fitted concurrently on the shared pool (see
-/// common/thread_pool.hpp); results are independent of the thread count.
-std::vector<FitResult> fit_all(std::span<const double> xs,
-                               std::span<const Family> families,
-                               double floor_at = 1e-9);
+/// Fits every family in `families` and ranks the successes best-first by
+/// nll. Families whose fit throws (e.g. degenerate sample for that
+/// family) are counted in `failed_families` and skipped; throws FitError
+/// if none succeed. Families are fitted concurrently on the shared pool
+/// (see common/thread_pool.hpp); results are independent of the thread
+/// count.
+FitReport fit_report(std::span<const double> xs,
+                     std::span<const Family> families,
+                     double floor_at = 1e-9);
 
-/// Batched fit_all over many independent samples (the paper's per-node
+/// Batched fit_report over many independent samples (the paper's per-node
 /// interarrival fits of Fig 6 and per-system repair fits of Fig 7),
-/// fanned out across the shared pool. Returns one fit_all result per
-/// sample, in sample order; a sample on which every family fails (or
-/// which is empty) yields an empty vector instead of throwing, so one
-/// degenerate node cannot abort a whole sweep.
-std::vector<std::vector<FitResult>> fit_many(
+/// fanned out across the shared pool. Returns one report per sample, in
+/// sample order; a sample on which every family fails (or which is
+/// empty) yields an empty report instead of throwing, so one degenerate
+/// node cannot abort a whole sweep.
+std::vector<FitReport> fit_report_many(
     std::span<const std::vector<double>> samples,
     std::span<const Family> families, double floor_at = 1e-9);
 
-/// Convenience: best (lowest negative log-likelihood) among the paper's
-/// four standard families.
+/// Deprecated pre-FitReport form of fit_report(): just the ranked vector.
+[[deprecated("use fit_report()")]] std::vector<FitResult> fit_all(
+    std::span<const double> xs, std::span<const Family> families,
+    double floor_at = 1e-9);
+
+/// Deprecated pre-FitReport form of fit_report_many().
+[[deprecated("use fit_report_many()")]] std::vector<std::vector<FitResult>>
+fit_many(std::span<const std::vector<double>> samples,
+         std::span<const Family> families, double floor_at = 1e-9);
+
+/// Convenience: best (lowest nll) among the paper's four standard
+/// families.
 FitResult best_standard_fit(std::span<const double> xs);
 
 }  // namespace hpcfail::dist

@@ -1,0 +1,117 @@
+#include "obs/span.hpp"
+
+#include <ctime>
+
+namespace hpcfail::obs {
+
+namespace {
+
+thread_local std::uint64_t tl_current_span = 0;
+std::atomic<std::uint64_t> g_next_span_id{1};
+
+std::chrono::steady_clock::time_point process_anchor() noexcept {
+  static const auto anchor = std::chrono::steady_clock::now();
+  return anchor;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point from) noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       from)
+      .count();
+}
+
+}  // namespace
+
+std::uint64_t current_span_id() noexcept { return tl_current_span; }
+
+double process_uptime_seconds() noexcept {
+  return seconds_since(process_anchor());
+}
+
+double process_cpu_seconds() noexcept {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return static_cast<double>(std::clock()) / CLOCKS_PER_SEC;
+}
+
+SpanContext::SpanContext(std::uint64_t span_id) noexcept
+    : previous_(tl_current_span) {
+  tl_current_span = span_id;
+}
+
+SpanContext::~SpanContext() { tl_current_span = previous_; }
+
+Span::Span(std::string name, Registry& reg)
+    : registry_(&reg), name_(std::move(name)) {
+  if (!enabled()) return;
+  active_ = true;
+  id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  parent_ = tl_current_span;
+  tl_current_span = id_;
+  start_seconds_ = process_uptime_seconds();
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  tl_current_span = parent_;
+  const double duration = seconds_since(start_);
+  registry_->histogram("span." + name_ + ".seconds").record(duration);
+  FinishedSpan finished;
+  finished.id = id_;
+  finished.parent_id = parent_;
+  finished.name = std::move(name_);
+  finished.start_seconds = start_seconds_;
+  finished.duration_seconds = duration;
+  registry_->add_span(std::move(finished));
+}
+
+ScopedTimer::ScopedTimer(std::string_view name, Registry& reg) {
+  if (!enabled()) return;
+  histogram_ = &reg.histogram(std::string(name) + ".seconds");
+  start_ = std::chrono::steady_clock::now();
+}
+
+void ScopedTimer::stop() noexcept {
+  if (histogram_ == nullptr) return;
+  stopped_elapsed_ = seconds_since(start_);
+  histogram_->record(stopped_elapsed_);
+  histogram_ = nullptr;
+}
+
+double ScopedTimer::elapsed_seconds() const noexcept {
+  if (stopped_elapsed_ >= 0.0) return stopped_elapsed_;
+  return histogram_ != nullptr ? seconds_since(start_) : 0.0;
+}
+
+StageTimer::StageTimer(std::string name, Registry& reg)
+    : registry_(&reg), name_(std::move(name)) {
+  wall_start_ = std::chrono::steady_clock::now();
+  cpu_start_ = process_cpu_seconds();
+}
+
+void StageTimer::stop() noexcept {
+  if (stopped_wall_ >= 0.0) return;
+  stopped_wall_ = seconds_since(wall_start_);
+  stopped_cpu_ = process_cpu_seconds() - cpu_start_;
+  if (!enabled()) return;
+  registry_->gauge("stage." + name_ + ".wall_seconds").add(stopped_wall_);
+  registry_->gauge("stage." + name_ + ".cpu_seconds").add(stopped_cpu_);
+  registry_->counter("stage." + name_ + ".runs").add(1);
+}
+
+double StageTimer::wall_seconds() const noexcept {
+  return stopped_wall_ >= 0.0 ? stopped_wall_ : seconds_since(wall_start_);
+}
+
+double StageTimer::cpu_seconds() const noexcept {
+  return stopped_cpu_ >= 0.0 ? stopped_cpu_
+                             : process_cpu_seconds() - cpu_start_;
+}
+
+}  // namespace hpcfail::obs

@@ -1,0 +1,124 @@
+// RAII timing primitives on top of the metrics registry.
+//
+//   Span        -- named interval with a unique id and a parent id, logged
+//                  to the registry's span list. Nesting is tracked through
+//                  a thread-local "current span"; ThreadPool::submit
+//                  captures it at submit time and restores it inside the
+//                  worker (via SpanContext), so spans nest correctly
+//                  across task boundaries: work fanned out by
+//                  parallel_for is parented to the span that submitted
+//                  it, not to whatever the worker ran last.
+//   ScopedTimer -- records its lifetime into a latency histogram
+//                  ("<name>.seconds"); the cheap building block for
+//                  per-shard / per-fit timings.
+//   StageTimer  -- wall + process-CPU time of one pipeline stage,
+//                  accumulated into "stage.<name>.wall_seconds" /
+//                  ".cpu_seconds" gauges and a ".runs" counter; the unit
+//                  the `hpcfail profile` breakdown table is built from.
+//
+// All three are no-ops (beyond reading two clocks) while obs is disabled.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace hpcfail::obs {
+
+/// Id of the innermost live Span on this thread; 0 when none.
+std::uint64_t current_span_id() noexcept;
+
+/// Seconds since the process-wide steady-clock anchor (first use).
+double process_uptime_seconds() noexcept;
+
+/// Restores a captured span id as this thread's current span for the
+/// lifetime of the guard. Used by ThreadPool to propagate the submitting
+/// thread's span into the worker; rarely needed directly.
+class SpanContext {
+ public:
+  explicit SpanContext(std::uint64_t span_id) noexcept;
+  ~SpanContext();
+  SpanContext(const SpanContext&) = delete;
+  SpanContext& operator=(const SpanContext&) = delete;
+
+ private:
+  std::uint64_t previous_;
+};
+
+/// Named interval. On destruction the finished span (id, parent, name,
+/// start, duration) is appended to the registry's span log and its
+/// duration recorded into histogram "span.<name>.seconds".
+class Span {
+ public:
+  explicit Span(std::string name, Registry& reg = registry());
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  std::uint64_t id() const noexcept { return id_; }
+  std::uint64_t parent_id() const noexcept { return parent_; }
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_seconds_ = 0.0;
+  std::chrono::steady_clock::time_point start_{};
+  bool active_ = false;
+};
+
+/// Records its lifetime (seconds) into histogram "<name>.seconds".
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name, Registry& reg = registry());
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Records now instead of at destruction; later stops are no-ops.
+  void stop() noexcept;
+
+  /// Seconds since construction (or until stop() when stopped).
+  double elapsed_seconds() const noexcept;
+
+ private:
+  Histogram* histogram_ = nullptr;  ///< null when obs is disabled
+  std::chrono::steady_clock::time_point start_;
+  double stopped_elapsed_ = -1.0;
+};
+
+/// Wall + process-CPU time of one named pipeline stage. stop() (or the
+/// destructor) accumulates into gauges "stage.<name>.wall_seconds" and
+/// "stage.<name>.cpu_seconds" and counter "stage.<name>.runs", so
+/// repeated stages sum; the readers (profile subcommand, exporters) see
+/// stage totals.
+class StageTimer {
+ public:
+  explicit StageTimer(std::string name, Registry& reg = registry());
+  ~StageTimer() { stop(); }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  void stop() noexcept;
+
+  double wall_seconds() const noexcept;
+  double cpu_seconds() const noexcept;
+
+ private:
+  Registry* registry_;
+  std::string name_;
+  std::chrono::steady_clock::time_point wall_start_;
+  double cpu_start_ = 0.0;
+  double stopped_wall_ = -1.0;
+  double stopped_cpu_ = -1.0;
+};
+
+/// CLOCK_PROCESS_CPUTIME_ID (all threads) in seconds; falls back to
+/// std::clock where unavailable.
+double process_cpu_seconds() noexcept;
+
+}  // namespace hpcfail::obs

@@ -34,9 +34,9 @@ void write_series_csv(std::ostream& out,
 void write_series_csv_file(const std::string& path,
                            const std::vector<Column>& columns) {
   std::ofstream out(path);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
   write_series_csv(out, columns);
-  if (!out) throw Error("write failed for '" + path + "'");
+  if (!out) throw IoError("write failed for '" + path + "'");
 }
 
 }  // namespace hpcfail::report

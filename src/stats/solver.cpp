@@ -10,7 +10,11 @@ namespace {
 bool bracketed(double flo, double fhi) noexcept {
   return (flo <= 0.0 && fhi >= 0.0) || (flo >= 0.0 && fhi <= 0.0);
 }
+
+thread_local std::uint64_t tl_solver_steps = 0;
 }  // namespace
+
+std::uint64_t solver_steps() noexcept { return tl_solver_steps; }
 
 void expand_bracket(const Fn& f, double& lo, double& hi, bool positive_only,
                     int max_expansions) {
@@ -19,6 +23,7 @@ void expand_bracket(const Fn& f, double& lo, double& hi, bool positive_only,
   double fhi = f(hi);
   for (int i = 0; i < max_expansions; ++i) {
     if (bracketed(flo, fhi)) return;
+    ++tl_solver_steps;
     // Grow in the direction of the smaller |f|, geometrically.
     if (std::fabs(flo) < std::fabs(fhi)) {
       lo -= (hi - lo);
@@ -41,6 +46,7 @@ double bisect(const Fn& f, double lo, double hi, SolverOptions opts) {
   if (fhi == 0.0) return hi;
   HPCFAIL_EXPECTS(bracketed(flo, fhi), "bisect requires a sign change");
   for (int i = 0; i < opts.max_iterations; ++i) {
+    ++tl_solver_steps;
     const double mid = 0.5 * (lo + hi);
     const double fmid = f(mid);
     if (std::fabs(fmid) < opts.f_tol || hi - lo < opts.x_tol) return mid;
@@ -65,6 +71,7 @@ double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
                   "newton_bracketed requires a sign change");
   double x = 0.5 * (lo + hi);
   for (int i = 0; i < opts.max_iterations; ++i) {
+    ++tl_solver_steps;
     const double fx = f(x);
     if (std::fabs(fx) < opts.f_tol) return x;
     // Maintain the bracket.
@@ -96,6 +103,7 @@ double brent(const Fn& f, double lo, double hi, SolverOptions opts) {
   double d = b - a;
   double e = d;
   for (int iter = 0; iter < opts.max_iterations; ++iter) {
+    ++tl_solver_steps;
     if (std::fabs(fc) < std::fabs(fb)) {
       a = b; b = c; c = a;
       fa = fb; fb = fc; fc = fa;

@@ -5,6 +5,7 @@
 // to bisection whenever a Newton step would leave the current bracket.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 namespace hpcfail::stats {
@@ -37,5 +38,12 @@ double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
 /// Brent's method (inverse quadratic interpolation + secant + bisection).
 /// Requires a bracket like bisect().
 double brent(const Fn& f, double lo, double hi, SolverOptions opts = {});
+
+/// Iterations performed by the solvers above *on the calling thread*
+/// since thread start (every bisection/Newton/Brent step and bracket
+/// expansion counts one). Thread-local, so a caller can meter one fit by
+/// differencing around it regardless of what other threads solve
+/// concurrently — dist::fit uses this to fill FitResult::iterations.
+std::uint64_t solver_steps() noexcept;
 
 }  // namespace hpcfail::stats

@@ -4,10 +4,14 @@
 #include <cmath>
 #include <vector>
 
+#include <chrono>
+#include <string>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "dist/lognormal.hpp"
+#include "obs/span.hpp"
 #include "stats/special.hpp"
 
 namespace hpcfail::synth {
@@ -386,15 +390,41 @@ void append_shards(const SystemPlan& plan, std::vector<NodeShard>& shards) {
 // Runs the shards on the shared pool and concatenates their records in
 // shard order — the exact vector a sequential (system-order, node-order)
 // loop builds, so the result is identical at any thread count.
+//
+// Each shard's wall time and record count go to the per-system obs
+// histograms ("synth.shard_seconds{system=N}" / "synth.shard_records{...}");
+// timing is measured around the deterministic generation, never fed back
+// into it, so the output is bit-identical with obs on or off.
 std::vector<FailureRecord> run_shards(const std::vector<NodeShard>& shards,
                                       std::uint64_t seed) {
+  const bool observed = hpcfail::obs::enabled();
   auto parts = hpcfail::parallel_map(
-      shards.size(), [&shards, seed](std::size_t k) {
+      shards.size(), [&shards, seed, observed](std::size_t k) {
         const NodeShard& s = shards[k];
-        return generate_node_range(*s.plan, seed, s.node_begin, s.node_end);
+        if (!observed) {
+          return generate_node_range(*s.plan, seed, s.node_begin,
+                                     s.node_end);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto records =
+            generate_node_range(*s.plan, seed, s.node_begin, s.node_end);
+        const double elapsed =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          t0)
+                .count();
+        const std::string label =
+            "{system=" + std::to_string(s.plan->sys->id) + "}";
+        hpcfail::obs::Registry& reg = hpcfail::obs::registry();
+        reg.histogram("synth.shard_seconds" + label).record(elapsed);
+        reg.histogram("synth.shard_records" + label)
+            .record(static_cast<double>(records.size()));
+        return records;
       });
   std::size_t total = 0;
   for (const auto& part : parts) total += part.size();
+  if (observed) {
+    hpcfail::obs::registry().counter("synth.records_total").add(total);
+  }
   std::vector<FailureRecord> all;
   all.reserve(total);
   for (auto& part : parts) {
@@ -444,6 +474,7 @@ std::vector<FailureRecord> TraceGenerator::generate_system(
   }
   HPCFAIL_EXPECTS(scen != nullptr, "system not present in the scenario");
 
+  obs::Span span("synth.generate_system");
   const SystemPlan plan =
       build_plan(config_.seed, catalog_.system(system_id), *scen);
   std::vector<NodeShard> shards;
@@ -458,6 +489,8 @@ trace::FailureDataset TraceGenerator::generate() const {
   // concatenates in (scenario order, node order) — the same vector the
   // sequential path builds — so output is bit-identical at any thread
   // count.
+  obs::Span span("synth.generate");
+  obs::StageTimer stage("synth.generate");
   std::vector<SystemPlan> plans;
   plans.reserve(config_.systems.size());
   for (const SystemScenario& s : config_.systems) {
@@ -465,7 +498,14 @@ trace::FailureDataset TraceGenerator::generate() const {
   }
   std::vector<NodeShard> shards;
   for (const SystemPlan& plan : plans) append_shards(plan, shards);
-  return trace::FailureDataset(run_shards(shards, config_.seed));
+  trace::FailureDataset dataset(run_shards(shards, config_.seed));
+  stage.stop();
+  if (obs::enabled() && stage.wall_seconds() > 0.0) {
+    obs::registry()
+        .gauge("synth.generate.records_per_sec")
+        .set(static_cast<double>(dataset.size()) / stage.wall_seconds());
+  }
+  return dataset;
 }
 
 trace::FailureDataset generate_lanl_trace(std::uint64_t seed) {

@@ -29,9 +29,9 @@ void write_csv(std::ostream& out, const FailureDataset& dataset) {
 
 void write_csv_file(const std::string& path, const FailureDataset& dataset) {
   std::ofstream out(path);
-  if (!out) throw Error("cannot open '" + path + "' for writing");
+  if (!out) throw IoError("cannot open '" + path + "' for writing");
   write_csv(out, dataset);
-  if (!out) throw Error("write failed for '" + path + "'");
+  if (!out) throw IoError("write failed for '" + path + "'");
 }
 
 FailureDataset read_csv(std::istream& in) {
@@ -82,7 +82,7 @@ FailureDataset read_csv(std::istream& in) {
 
 FailureDataset read_csv_file(const std::string& path) {
   std::ifstream in(path);
-  if (!in) throw Error("cannot open '" + path + "' for reading");
+  if (!in) throw IoError("cannot open '" + path + "' for reading");
   return read_csv(in);
 }
 

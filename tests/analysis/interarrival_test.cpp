@@ -58,10 +58,10 @@ TEST(Interarrival, NodeViewFitsWeibullWithPaperShape) {
   double exp_nll = 0.0;
   for (const auto& f : report.fits) {
     if (f.family == hpcfail::dist::Family::exponential) {
-      exp_nll = f.neg_log_likelihood;
+      exp_nll = f.nll;
     }
   }
-  EXPECT_GT(exp_nll - report.best().neg_log_likelihood,
+  EXPECT_GT(exp_nll - report.best().nll,
             0.01 * static_cast<double>(report.gaps_seconds.size()));
 }
 

@@ -1,4 +1,4 @@
-// Model-comparison tests: fit_all must rank the true family first (or
+// Model-comparison tests: fit_report must rank the true family first (or
 // tied) on synthetic data, reproducing the paper's methodology of MLE +
 // negative log-likelihood selection.
 #include "dist/fit.hpp"
@@ -25,63 +25,63 @@ std::vector<double> draw(const Distribution& d, std::size_t n,
   return xs;
 }
 
-TEST(FitAll, SelectsWeibullForWeibullData) {
+TEST(FitReport, SelectsWeibullForWeibullData) {
   // The paper's TBF regime: shape 0.7 on second-scale gaps.
   const Weibull truth(0.7, 90000.0);
   const auto xs = draw(truth, 10000, 101);
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   EXPECT_EQ(results.front().family, Family::weibull);
   // Exponential must be clearly worse (the paper's headline negative).
   const auto& worst = results.back();
   EXPECT_EQ(worst.family, Family::exponential);
 }
 
-TEST(FitAll, SelectsLognormalForLognormalData) {
+TEST(FitReport, SelectsLognormalForLognormalData) {
   const LogNormal truth(4.0, 2.0);  // repair-time regime
   const auto xs = draw(truth, 10000, 103);
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   EXPECT_EQ(results.front().family, Family::lognormal);
 }
 
-TEST(FitAll, ExponentialDataIsNotMisrankedBadly) {
+TEST(FitReport, ExponentialDataIsNotMisrankedBadly) {
   // On truly exponential data the exponential should be within a
   // whisker of the best (Weibull/gamma nest it, so exact ordering can
   // tie); assert the negLL gap is negligible per observation.
   const Exponential truth(1.0 / 3600.0);
   const auto xs = draw(truth, 10000, 107);
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   double exp_nll = 0.0;
   for (const auto& r : results) {
-    if (r.family == Family::exponential) exp_nll = r.neg_log_likelihood;
+    if (r.family == Family::exponential) exp_nll = r.nll;
   }
-  const double best_nll = results.front().neg_log_likelihood;
+  const double best_nll = results.front().nll;
   EXPECT_LT((exp_nll - best_nll) / static_cast<double>(xs.size()), 1e-3);
 }
 
-TEST(FitAll, ResultsAreSortedByNegLogLikelihood) {
+TEST(FitReport, ResultsAreSortedByNegLogLikelihood) {
   const Weibull truth(0.9, 100.0);
   const auto xs = draw(truth, 2000, 109);
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   for (std::size_t i = 1; i < results.size(); ++i) {
-    EXPECT_LE(results[i - 1].neg_log_likelihood,
-              results[i].neg_log_likelihood);
+    EXPECT_LE(results[i - 1].nll,
+              results[i].nll);
   }
 }
 
-TEST(FitAll, AicPenalizesParameterCount) {
+TEST(FitReport, AicPenalizesParameterCount) {
   const Exponential truth(0.5);
   const auto xs = draw(truth, 500, 113);
-  for (const auto& r : fit_all(xs, standard_families())) {
+  for (const auto& r : fit_report(xs, standard_families())) {
     EXPECT_NEAR(r.aic,
-                2.0 * parameter_count(r.family) + 2.0 * r.neg_log_likelihood,
+                2.0 * parameter_count(r.family) + 2.0 * r.nll,
                 1e-9);
   }
 }
 
-TEST(FitAll, KsFieldsPopulated) {
+TEST(FitReport, KsFieldsPopulated) {
   const Weibull truth(0.8, 50.0);
   const auto xs = draw(truth, 3000, 127);
-  for (const auto& r : fit_all(xs, standard_families())) {
+  for (const auto& r : fit_report(xs, standard_families())) {
     EXPECT_GT(r.ks, 0.0);
     EXPECT_LE(r.ks, 1.0);
     EXPECT_GE(r.ks_pvalue, 0.0);
@@ -89,32 +89,86 @@ TEST(FitAll, KsFieldsPopulated) {
   }
 }
 
-TEST(FitAll, BestFitHasHighestKsPvalueAmongContenders) {
+TEST(FitReport, BestFitHasHighestKsPvalueAmongContenders) {
   const LogNormal truth(2.0, 1.5);
   const auto xs = draw(truth, 5000, 131);
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   const auto& best = results.front();
   const auto& worst = results.back();
   EXPECT_GT(best.ks_pvalue, worst.ks_pvalue);
 }
 
-TEST(FitAll, SkipsFamiliesThatCannotFit) {
+TEST(FitReport, SkipsFamiliesThatCannotFit) {
   // A constant positive sample: exponential and poisson-free families
   // with closed forms still fit, two-parameter families throw and are
   // skipped.
   const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
-  const auto results = fit_all(xs, standard_families());
+  const auto results = fit_report(xs, standard_families());
   ASSERT_EQ(results.size(), 1u);
   EXPECT_EQ(results.front().family, Family::exponential);
 }
 
-TEST(FitAll, ThrowsWhenNothingFits) {
+TEST(FitReport, ThrowsWhenNothingFits) {
   const std::vector<double> zeros = {0.0, 0.0, 0.0};
   // Every positive-support family floors to a constant sample and
   // throws; normal throws on zero variance.
   const Family families[] = {Family::weibull, Family::gamma,
                              Family::lognormal, Family::normal};
-  EXPECT_THROW(fit_all(zeros, families), NumericError);
+  // FitError derives from NumericError, so both handlers work.
+  EXPECT_THROW(fit_report(zeros, families), FitError);
+  EXPECT_THROW(fit_report(zeros, families), NumericError);
+}
+
+TEST(FitReport, RecordsSampleAndFailureMetadata) {
+  const std::vector<double> xs = {5.0, 5.0, 5.0, 5.0};
+  const FitReport report = fit_report(xs, standard_families());
+  EXPECT_EQ(report.sample_size, xs.size());
+  // Exponential is closed-form; weibull/gamma/lognormal throw on the
+  // constant sample.
+  EXPECT_EQ(report.failed_families, 3u);
+  EXPECT_EQ(report.size(), 1u);
+  EXPECT_FALSE(report.empty());
+  EXPECT_EQ(&report.best(), &report.front());
+  EXPECT_EQ(&report[0], &report.front());
+}
+
+TEST(FitReport, CountsSolverIterationsForIterativeFamilies) {
+  const Weibull truth(0.7, 90000.0);
+  const auto xs = draw(truth, 2000, 211);
+  const FitReport report = fit_report(xs, standard_families());
+  // The Weibull shape MLE is a 1-d root find: it must have iterated.
+  std::uint64_t weibull_iters = 0;
+  std::uint64_t exponential_iters = 1;
+  for (const auto& r : report) {
+    if (r.family == Family::weibull) weibull_iters = r.iterations;
+    if (r.family == Family::exponential) exponential_iters = r.iterations;
+  }
+  EXPECT_GT(weibull_iters, 0u);
+  EXPECT_EQ(exponential_iters, 0u);  // closed form, no solver
+  EXPECT_GE(report.total_iterations, weibull_iters);
+}
+
+TEST(FitReportMany, EmptyAndDegenerateSamplesYieldEmptyReports) {
+  const Weibull truth(0.8, 100.0);
+  const std::vector<std::vector<double>> samples = {
+      draw(truth, 500, 223), {}, {0.0, 0.0, 0.0}};
+  const Family families[] = {Family::weibull, Family::gamma};
+  const auto reports = fit_report_many(samples, families, 1e-9);
+  ASSERT_EQ(reports.size(), 3u);
+  EXPECT_FALSE(reports[0].empty());
+  EXPECT_TRUE(reports[1].empty());
+  EXPECT_TRUE(reports[2].empty());
+  EXPECT_EQ(reports[2].failed_families, 2u);
+}
+
+TEST(FitResult, DeprecatedNegLogLikelihoodShimStillWorks) {
+  const Exponential truth(0.25);
+  const auto xs = draw(truth, 200, 227);
+  const FitResult r = fit(Family::exponential, xs);
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_DOUBLE_EQ(r.neg_log_likelihood(), r.nll);
+#pragma GCC diagnostic pop
 }
 
 TEST(Fit, RejectsEmptySample) {
@@ -137,7 +191,7 @@ TEST(FitResult, CopyIsDeep) {
   FitResult b = a;  // copy
   EXPECT_NE(a.model.get(), b.model.get());
   EXPECT_EQ(a.model->describe(), b.model->describe());
-  EXPECT_DOUBLE_EQ(a.neg_log_likelihood, b.neg_log_likelihood);
+  EXPECT_DOUBLE_EQ(a.nll, b.nll);
 }
 
 TEST(FamilyNames, RoundTrip) {

@@ -1,0 +1,163 @@
+// Span nesting semantics, including the contract that matters for the
+// parallel pipeline: a span opened inside a pool task is parented to the
+// span that was current when the task was *submitted*.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+
+namespace hpcfail::obs {
+namespace {
+
+// Spans always record into the global registry via the default argument
+// in production code; tests pass their own registry for isolation.
+
+TEST(Span, NestsOnOneThread) {
+  Registry reg;
+  std::uint64_t outer_id = 0;
+  std::uint64_t inner_parent = 0;
+  {
+    Span outer("outer", reg);
+    outer_id = outer.id();
+    EXPECT_EQ(current_span_id(), outer.id());
+    {
+      Span inner("inner", reg);
+      inner_parent = inner.parent_id();
+      EXPECT_EQ(current_span_id(), inner.id());
+    }
+    EXPECT_EQ(current_span_id(), outer.id());
+  }
+  EXPECT_EQ(current_span_id(), 0u);
+  EXPECT_EQ(inner_parent, outer_id);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.spans.size(), 2u);  // inner finishes first
+  EXPECT_EQ(snap.spans[0].name, "inner");
+  EXPECT_EQ(snap.spans[1].name, "outer");
+  EXPECT_EQ(snap.spans[0].parent_id, snap.spans[1].id);
+  EXPECT_EQ(snap.spans[1].parent_id, 0u);
+  EXPECT_GE(snap.spans[1].duration_seconds,
+            snap.spans[0].duration_seconds);
+}
+
+TEST(Span, ParentPropagatesAcrossParallelFor) {
+  Registry reg;
+  std::uint64_t outer_id = 0;
+  hpcfail::set_parallelism(4);
+  {
+    Span outer("fanout", reg);
+    outer_id = outer.id();
+    hpcfail::parallel_for(16, [&reg](std::size_t i) {
+      Span task("task" + std::to_string(i), reg);
+      (void)task;
+    });
+  }
+  hpcfail::set_parallelism(0);
+
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.spans.size(), 17u);
+  std::size_t children = 0;
+  for (const FinishedSpan& s : snap.spans) {
+    if (s.name == "fanout") continue;
+    // Every task span must be parented to the submitting span, no matter
+    // which worker ran it or what that worker ran before.
+    EXPECT_EQ(s.parent_id, outer_id) << s.name;
+    ++children;
+  }
+  EXPECT_EQ(children, 16u);
+}
+
+TEST(SpanContext, RestoresPreviousSpan) {
+  Registry reg;
+  Span outer("outer", reg);
+  {
+    SpanContext ctx(12345);
+    EXPECT_EQ(current_span_id(), 12345u);
+  }
+  EXPECT_EQ(current_span_id(), outer.id());
+}
+
+TEST(ScopedTimer, RecordsIntoLatencyHistogram) {
+  Registry reg;
+  {
+    ScopedTimer timer("fit", reg);
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].name, "fit.seconds");
+  EXPECT_EQ(snap.histograms[0].count, 1u);
+}
+
+TEST(ScopedTimer, StopIsIdempotent) {
+  Registry reg;
+  ScopedTimer timer("once", reg);
+  timer.stop();
+  const double elapsed = timer.elapsed_seconds();
+  timer.stop();  // second stop: no second record, elapsed frozen
+  EXPECT_DOUBLE_EQ(timer.elapsed_seconds(), elapsed);
+  EXPECT_EQ(reg.histogram("once.seconds").count(), 1u);
+}
+
+TEST(StageTimer, AccumulatesWallCpuAndRuns) {
+  Registry reg;
+  {
+    StageTimer stage("demo", reg);
+    // Busy loop long enough to register nonzero wall time.
+    volatile double sink = 0.0;
+    for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+    stage.stop();
+    EXPECT_GE(stage.wall_seconds(), 0.0);
+    EXPECT_GE(stage.cpu_seconds(), 0.0);
+  }
+  {
+    StageTimer stage("demo", reg);
+  }
+  const MetricsSnapshot snap = reg.snapshot();
+  if (enabled()) {
+    EXPECT_EQ(reg.counter("stage.demo.runs").value(), 2u);
+    bool found_wall = false;
+    for (const auto& [name, value] : snap.gauges) {
+      if (name == "stage.demo.wall_seconds") {
+        found_wall = true;
+        EXPECT_GE(value, 0.0);
+      }
+    }
+    EXPECT_TRUE(found_wall);
+  }
+}
+
+TEST(Span, DisabledRecordsNothing) {
+#ifndef HPCFAIL_OBS_DISABLE
+  Registry reg;
+  disable();
+  {
+    Span span("quiet", reg);
+    ScopedTimer timer("quiet", reg);
+    StageTimer stage("quiet", reg);
+  }
+  enable();
+  const MetricsSnapshot snap = reg.snapshot();
+  EXPECT_TRUE(snap.spans.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  EXPECT_TRUE(snap.counters.empty());
+#endif
+}
+
+TEST(Clocks, UptimeAndCpuAdvanceMonotonically) {
+  const double u0 = process_uptime_seconds();
+  const double c0 = process_cpu_seconds();
+  volatile double sink = 0.0;
+  for (int i = 0; i < 200000; ++i) sink = sink + 1e-9;
+  EXPECT_GE(process_uptime_seconds(), u0);
+  EXPECT_GE(process_cpu_seconds(), c0);
+}
+
+}  // namespace
+}  // namespace hpcfail::obs

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Validates an hpcfail metrics JSON dump against schema version 1.
+
+Usage: check_metrics_schema.py FILE [--require-stage STAGE ...]
+
+Checks the layout emitted by obs::to_json (schema "hpcfail.metrics",
+schema_version 1): top-level keys and types, per-entry shapes, histogram
+bucket ordering, and optionally that stage gauges exist for the named
+pipeline stages. Exits non-zero with a message on the first violation.
+Stdlib only, so CI can run it anywhere python3 exists.
+"""
+import json
+import sys
+
+
+def fail(message):
+    print(f"metrics schema violation: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_named_values(entries, key, value_type):
+    if not isinstance(entries, list):
+        fail(f"'{key}' must be an array")
+    for entry in entries:
+        if not isinstance(entry, dict):
+            fail(f"'{key}' entries must be objects")
+        if not isinstance(entry.get("name"), str) or not entry["name"]:
+            fail(f"'{key}' entry missing a non-empty string 'name'")
+        if not isinstance(entry.get("value"), value_type):
+            fail(f"'{key}' entry '{entry['name']}' has a non-numeric value")
+
+
+def check_histograms(histograms):
+    if not isinstance(histograms, list):
+        fail("'histograms' must be an array")
+    for h in histograms:
+        name = h.get("name")
+        if not isinstance(name, str) or not name:
+            fail("histogram missing a non-empty string 'name'")
+        for field in ("count", "sum", "min", "max"):
+            if not isinstance(h.get(field), (int, float)):
+                fail(f"histogram '{name}' missing numeric '{field}'")
+        buckets = h.get("buckets")
+        if not isinstance(buckets, list):
+            fail(f"histogram '{name}' missing 'buckets' array")
+        total = 0
+        previous_bound = float("-inf")
+        for bucket in buckets:
+            le = bucket.get("le")
+            count = bucket.get("count")
+            if not isinstance(le, (int, float)) or not isinstance(count, int):
+                fail(f"histogram '{name}' has a malformed bucket")
+            if le <= previous_bound:
+                fail(f"histogram '{name}' bucket bounds not ascending")
+            previous_bound = le
+            total += count
+        if total != h["count"]:
+            fail(f"histogram '{name}' bucket counts {total} != count "
+                 f"{h['count']}")
+
+
+def check_spans(spans):
+    if not isinstance(spans, list):
+        fail("'spans' must be an array")
+    ids = set()
+    for s in spans:
+        for field, kind in (("id", int), ("parent_id", int),
+                            ("start_seconds", (int, float)),
+                            ("duration_seconds", (int, float))):
+            if not isinstance(s.get(field), kind):
+                fail(f"span missing {field}")
+        if not isinstance(s.get("name"), str) or not s["name"]:
+            fail("span missing a non-empty string 'name'")
+        if s["id"] == 0 or s["id"] in ids:
+            fail(f"span id {s['id']} is zero or duplicated")
+        ids.add(s["id"])
+    for s in spans:
+        if s["parent_id"] != 0 and s["parent_id"] not in ids:
+            # Parents can legitimately be missing only when the log was
+            # truncated at the kMaxSpans cap.
+            return False
+    return True
+
+
+def main():
+    args = sys.argv[1:]
+    if not args:
+        fail("usage: check_metrics_schema.py FILE [--require-stage STAGE ...]")
+    path = args[0]
+    required_stages = []
+    i = 1
+    while i < len(args):
+        if args[i] == "--require-stage" and i + 1 < len(args):
+            required_stages.append(args[i + 1])
+            i += 2
+        else:
+            fail(f"unknown argument '{args[i]}'")
+
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {path}: {e}")
+
+    if doc.get("schema") != "hpcfail.metrics":
+        fail(f"schema is {doc.get('schema')!r}, expected 'hpcfail.metrics'")
+    if doc.get("schema_version") != 1:
+        fail(f"schema_version is {doc.get('schema_version')!r}, expected 1")
+    for key in ("counters", "gauges", "histograms", "spans",
+                "spans_dropped"):
+        if key not in doc:
+            fail(f"missing top-level key '{key}'")
+
+    check_named_values(doc["counters"], "counters", int)
+    check_named_values(doc["gauges"], "gauges", (int, float))
+    check_histograms(doc["histograms"])
+    all_parents = check_spans(doc["spans"])
+    if not isinstance(doc["spans_dropped"], int):
+        fail("'spans_dropped' must be an integer")
+    if doc["spans_dropped"] == 0 and not all_parents:
+        fail("span parent_id references a span that was never logged")
+
+    gauge_names = {g["name"] for g in doc["gauges"]}
+    for stage in required_stages:
+        wanted = f"stage.{stage}.wall_seconds"
+        if wanted not in gauge_names:
+            fail(f"required stage gauge '{wanted}' not present")
+
+    print(f"{path}: schema v{doc['schema_version']} OK "
+          f"({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "
+          f"{len(doc['histograms'])} histograms, {len(doc['spans'])} spans)")
+
+
+if __name__ == "__main__":
+    main()

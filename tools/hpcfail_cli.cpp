@@ -1,20 +1,26 @@
-// hpcfail command-line tool: trace generation, validation, analysis, and
-// fitting without writing C++.
+// hpcfail command-line tool: trace generation, validation, analysis,
+// fitting, and profiling without writing C++.
 //
-//   hpcfail generate  --out FILE [--seed N]
-//   hpcfail catalog
-//   hpcfail validate  --trace FILE [--drop-out FILE]
-//   hpcfail fit       (--trace FILE | --seed N) --system N [--node M]
-//                     [--from YYYY-MM-DD] [--to YYYY-MM-DD]
-//   hpcfail repair    (--trace FILE | --seed N)
-//   hpcfail availability (--trace FILE | --seed N)
+// Subcommands are declared in a table of ArgSpecs (name, type, default,
+// required, help); parsing, typed access, per-subcommand `--help`, and the
+// unknown-option diagnostics are all generated from that table, so adding
+// an option is one line.  Every subcommand also accepts the global
+// options:
 //
-// Every subcommand accepts --threads N to bound the worker pool used for
-// parallel generation and fitting (default: hardware concurrency).
+//   --threads N            worker threads (default: hardware concurrency)
+//   --metrics-out FILE     write an obs metrics dump after the command
+//   --metrics-format FMT   json (default) | csv | prom
+//   --help                 subcommand usage
+//   --version              print the library version
 //
-// Every subcommand exits 0 on success and 1 on error with a message on
-// stderr; `validate` exits 2 when issues were found (grep-able reports on
-// stdout), matching the usual lint-tool convention.
+// Exit codes: 0 success, 1 runtime failure (typed message on stderr),
+// 2 usage error (bad/unknown/missing option) or `validate` finding
+// issues — the usual lint-tool convention. Library errors map to
+// distinct stderr prefixes by type: "parse error:", "validation
+// error:", "fit error:", "io error:", "invalid argument:", and
+// "error:" for everything else.
+#include <charconv>
+#include <cstdint>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -23,65 +29,266 @@
 
 #include "hpcfail.hpp"
 
+#ifndef HPCFAIL_VERSION
+#define HPCFAIL_VERSION "0.0.0-dev"
+#endif
+
 namespace {
 
 using namespace hpcfail;
 
-struct Options {
-  std::map<std::string, std::string> values;
+// ---------------------------------------------------------------------------
+// Declarative option table
 
-  bool has(const std::string& key) const {
-    return values.find(key) != values.end();
+enum class ArgType { string, integer, uint64, timestamp };
+
+const char* type_label(ArgType type) {
+  switch (type) {
+    case ArgType::string: return "STR";
+    case ArgType::integer: return "N";
+    case ArgType::uint64: return "N";
+    case ArgType::timestamp: return "YYYY-MM-DD";
   }
-  std::string get(const std::string& key) const {
-    const auto it = values.find(key);
-    if (it == values.end()) {
-      throw Error("missing required option --" + key);
-    }
-    return it->second;
-  }
-  std::string get_or(const std::string& key,
-                     const std::string& fallback) const {
-    const auto it = values.find(key);
-    return it != values.end() ? it->second : fallback;
-  }
+  return "?";
+}
+
+struct ArgSpec {
+  std::string name;           ///< option name without the leading "--"
+  ArgType type = ArgType::string;
+  std::string default_value;  ///< empty: no default
+  bool required = false;
+  std::string help;
 };
 
-Options parse_options(int argc, char** argv, int first) {
-  Options opts;
+/// Options every subcommand accepts, appended to each subcommand's table.
+const std::vector<ArgSpec>& global_specs() {
+  static const std::vector<ArgSpec> kGlobals = {
+      {"threads", ArgType::integer, "", false,
+       "worker threads for generation/fitting (default: hardware "
+       "concurrency; output is identical at any thread count)"},
+      {"metrics-out", ArgType::string, "", false,
+       "write collected metrics to FILE after the command"},
+      {"metrics-format", ArgType::string, "json", false,
+       "metrics dump format: json | csv | prom"},
+  };
+  return kGlobals;
+}
+
+/// Parsed option values with table-driven typed access.
+class Args {
+ public:
+  Args(const std::vector<ArgSpec>* specs, std::string subcommand)
+      : specs_(specs), subcommand_(std::move(subcommand)) {}
+
+  void set(const std::string& name, std::string value) {
+    values_[name] = std::move(value);
+  }
+
+  bool has(const std::string& name) const {
+    return values_.count(name) != 0 || !spec(name).default_value.empty();
+  }
+  /// True only when the user passed the option explicitly.
+  bool given(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  std::string get_string(const std::string& name) const {
+    return raw(name);
+  }
+  int get_int(const std::string& name) const {
+    return static_cast<int>(parse_integer(name, raw(name)));
+  }
+  std::uint64_t get_u64(const std::string& name) const {
+    const long long v = parse_integer(name, raw(name));
+    if (v < 0) {
+      throw ParseError("option --" + name + " must be non-negative");
+    }
+    return static_cast<std::uint64_t>(v);
+  }
+  Seconds get_timestamp(const std::string& name) const {
+    return parse_timestamp(raw(name));
+  }
+
+  const std::string& subcommand() const { return subcommand_; }
+
+ private:
+  const ArgSpec& spec(const std::string& name) const {
+    for (const ArgSpec& s : *specs_) {
+      if (s.name == name) return s;
+    }
+    for (const ArgSpec& s : global_specs()) {
+      if (s.name == name) return s;
+    }
+    throw LogicError("option --" + name + " not declared for '" +
+                     subcommand_ + "'");
+  }
+
+  std::string raw(const std::string& name) const {
+    const ArgSpec& s = spec(name);
+    const auto it = values_.find(name);
+    if (it != values_.end()) return it->second;
+    if (!s.default_value.empty()) return s.default_value;
+    throw ParseError("subcommand '" + subcommand_ +
+                     "' requires option --" + name);
+  }
+
+  long long parse_integer(const std::string& name,
+                          const std::string& text) const {
+    long long value = 0;
+    const char* end = text.data() + text.size();
+    const auto [ptr, ec] = std::from_chars(text.data(), end, value);
+    if (ec != std::errc{} || ptr != end) {
+      throw ParseError("option --" + name + " expects an integer, got '" +
+                       text + "'");
+    }
+    return value;
+  }
+
+  const std::vector<ArgSpec>* specs_;
+  std::string subcommand_;
+  std::map<std::string, std::string> values_;
+};
+
+struct Subcommand {
+  std::string name;
+  std::string summary;
+  std::vector<ArgSpec> args;
+  int (*run)(const Args&);
+};
+
+const std::vector<Subcommand>& subcommands();
+
+const Subcommand* find_subcommand(const std::string& name) {
+  for (const Subcommand& sc : subcommands()) {
+    if (sc.name == name) return &sc;
+  }
+  return nullptr;
+}
+
+void print_specs(std::ostream& out, const std::vector<ArgSpec>& specs) {
+  for (const ArgSpec& s : specs) {
+    std::string left = "  --" + s.name + " " + type_label(s.type);
+    if (left.size() < 26) left.resize(26, ' ');
+    out << left << s.help;
+    if (!s.default_value.empty()) out << " [default: " << s.default_value
+                                      << "]";
+    if (s.required) out << " (required)";
+    out << "\n";
+  }
+}
+
+void subcommand_usage(std::ostream& out, const Subcommand& sc) {
+  out << "usage: hpcfail " << sc.name << " [options]\n\n"
+      << sc.summary << "\n";
+  if (!sc.args.empty()) {
+    out << "\noptions:\n";
+    print_specs(out, sc.args);
+  }
+  out << "\nglobal options:\n";
+  print_specs(out, global_specs());
+  out << "  --help                  show this message\n"
+         "  --version               print the library version\n";
+}
+
+void usage(std::ostream& out) {
+  out << "usage: hpcfail <command> [options]\n\ncommands:\n";
+  for (const Subcommand& sc : subcommands()) {
+    std::string left = "  " + sc.name;
+    if (left.size() < 16) left.resize(16, ' ');
+    out << left << sc.summary << "\n";
+  }
+  out << "\n'hpcfail <command> --help' lists each command's options;\n"
+         "'hpcfail --version' prints the library version.\n";
+}
+
+/// Parses argv[first..] against the subcommand's table. Returns nullopt
+/// when --help/--version was handled (caller exits 0).
+std::optional<Args> parse_args(const Subcommand& sc, int argc, char** argv,
+                               int first) {
+  Args args(&sc.args, sc.name);
   for (int i = first; i < argc; ++i) {
     std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      subcommand_usage(std::cout, sc);
+      return std::nullopt;
+    }
+    if (arg == "--version") {
+      std::cout << "hpcfail " << HPCFAIL_VERSION << "\n";
+      return std::nullopt;
+    }
     if (arg.rfind("--", 0) != 0) {
-      throw Error("unexpected argument '" + arg + "'");
+      throw ParseError("unexpected argument '" + arg +
+                       "' for subcommand '" + sc.name + "'");
     }
     arg = arg.substr(2);
-    if (i + 1 >= argc) {
-      throw Error("option --" + arg + " needs a value");
+    const ArgSpec* spec = nullptr;
+    for (const ArgSpec& s : sc.args) {
+      if (s.name == arg) spec = &s;
     }
-    opts.values[arg] = argv[++i];
+    for (const ArgSpec& s : global_specs()) {
+      if (s.name == arg) spec = &s;
+    }
+    if (spec == nullptr) {
+      throw ParseError("unknown option --" + arg + " for subcommand '" +
+                       sc.name + "' (see 'hpcfail " + sc.name +
+                       " --help')");
+    }
+    if (i + 1 >= argc) {
+      throw ParseError("option --" + arg + " needs a value");
+    }
+    args.set(arg, argv[++i]);
   }
-  return opts;
+  for (const ArgSpec& s : sc.args) {
+    if (s.required && !args.given(s.name)) {
+      throw ParseError("subcommand '" + sc.name +
+                       "' requires option --" + s.name);
+    }
+  }
+  return args;
 }
 
-trace::FailureDataset load_dataset(const Options& opts) {
-  if (opts.has("trace")) {
-    return trace::read_csv_file(opts.get("trace"));
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+trace::FailureDataset load_dataset(const Args& args) {
+  if (args.given("trace")) {
+    return trace::read_csv_file(args.get_string("trace"));
   }
-  const std::uint64_t seed =
-      std::stoull(opts.get_or("seed", "42"));
-  return synth::generate_lanl_trace(seed);
+  return synth::generate_lanl_trace(args.get_u64("seed"));
 }
 
-int cmd_generate(const Options& opts) {
-  const std::uint64_t seed = std::stoull(opts.get_or("seed", "42"));
+void apply_global_options(const Args& args) {
+  if (args.given("threads")) {
+    const int threads = args.get_int("threads");
+    if (threads < 1) throw ValidationError("--threads must be >= 1");
+    set_parallelism(static_cast<unsigned>(threads));
+  }
+  // Validate the format eagerly so a typo fails before minutes of work.
+  obs::export_format_from_string(args.get_string("metrics-format"));
+}
+
+void maybe_write_metrics(const Args& args) {
+  if (!args.given("metrics-out")) return;
+  const obs::ExportFormat format =
+      obs::export_format_from_string(args.get_string("metrics-format"));
+  obs::write_metrics_file(args.get_string("metrics-out"), format);
+  std::cerr << "metrics written to " << args.get_string("metrics-out")
+            << " (" << obs::to_string(format) << ")\n";
+}
+
+// ---------------------------------------------------------------------------
+// Subcommand handlers
+
+int cmd_generate(const Args& args) {
+  const std::uint64_t seed = args.get_u64("seed");
   const trace::FailureDataset ds = synth::generate_lanl_trace(seed);
-  trace::write_csv_file(opts.get("out"), ds);
+  trace::write_csv_file(args.get_string("out"), ds);
   std::cout << "wrote " << ds.size() << " records (seed " << seed
-            << ") to " << opts.get("out") << "\n";
+            << ") to " << args.get_string("out") << "\n";
   return 0;
 }
 
-int cmd_catalog(const Options&) {
+int cmd_catalog(const Args&) {
   const trace::SystemCatalog& catalog = trace::SystemCatalog::lanl();
   report::TextTable table({"ID", "HW", "arch", "nodes", "procs",
                            "production"});
@@ -100,9 +307,9 @@ int cmd_catalog(const Options&) {
   return 0;
 }
 
-int cmd_validate(const Options& opts) {
+int cmd_validate(const Args& args) {
   const trace::FailureDataset ds =
-      trace::read_csv_file(opts.get("trace"));
+      trace::read_csv_file(args.get_string("trace"));
   const trace::ValidationReport report =
       trace::validate(ds, trace::SystemCatalog::lanl());
   std::cout << report.records_checked << " records checked, "
@@ -112,24 +319,22 @@ int cmd_validate(const Options& opts) {
               << trace::to_string(issue.kind) << ": " << issue.message
               << "\n";
   }
-  if (opts.has("drop-out")) {
+  if (args.given("drop-out")) {
     const trace::FailureDataset cleaned = trace::drop_flagged(ds, report);
-    trace::write_csv_file(opts.get("drop-out"), cleaned);
+    trace::write_csv_file(args.get_string("drop-out"), cleaned);
     std::cout << "wrote " << cleaned.size() << " clean records to "
-              << opts.get("drop-out") << "\n";
+              << args.get_string("drop-out") << "\n";
   }
   return report.clean() ? 0 : 2;
 }
 
-int cmd_fit(const Options& opts) {
-  const trace::FailureDataset ds = load_dataset(opts);
+int cmd_fit(const Args& args) {
+  const trace::FailureDataset ds = load_dataset(args);
   analysis::InterarrivalQuery query;
-  query.system_id = std::stoi(opts.get("system"));
-  if (opts.has("node")) query.node_id = std::stoi(opts.get("node"));
-  if (opts.has("from")) {
-    query.from = parse_timestamp(opts.get("from"));
-  }
-  if (opts.has("to")) query.to = parse_timestamp(opts.get("to"));
+  query.system_id = args.get_int("system");
+  if (args.given("node")) query.node_id = args.get_int("node");
+  if (args.given("from")) query.from = args.get_timestamp("from");
+  if (args.given("to")) query.to = args.get_timestamp("to");
   const analysis::InterarrivalReport report =
       analysis::interarrival_analysis(ds, query);
   std::cout << report.gaps_seconds.size()
@@ -140,17 +345,23 @@ int cmd_fit(const Options& opts) {
             << " h, C^2 " << format_double(report.summary.cv2, 4)
             << ", zero fraction "
             << format_double(report.zero_fraction, 3) << "\n";
-  report::TextTable table({"model (best first)", "negLL", "AIC", "KS"});
+  report::TextTable table({"model (best first)", "negLL", "AIC", "KS",
+                           "iters"});
   for (const auto& fit : report.fits) {
     table.add_row(fit.model->describe(),
-                  {fit.neg_log_likelihood, fit.aic, fit.ks});
+                  {fit.nll, fit.aic, fit.ks,
+                   static_cast<double>(fit.iterations)});
   }
   table.render(std::cout);
+  if (report.fits.failed_families > 0) {
+    std::cout << report.fits.failed_families
+              << " family(ies) failed to converge\n";
+  }
   return 0;
 }
 
-int cmd_repair(const Options& opts) {
-  const trace::FailureDataset ds = load_dataset(opts);
+int cmd_repair(const Args& args) {
+  const trace::FailureDataset ds = load_dataset(args);
   const analysis::RepairReport report =
       analysis::repair_analysis(ds, trace::SystemCatalog::lanl());
   report::TextTable table({"cause", "mean (min)", "median", "C^2", "n"});
@@ -165,13 +376,13 @@ int cmd_repair(const Options& opts) {
                         static_cast<double>(report.all.n)},
                 4);
   table.render(std::cout);
-  std::cout << "best model: " << report.fits.front().model->describe()
+  std::cout << "best model: " << report.fits.best().model->describe()
             << "\n";
   return 0;
 }
 
-int cmd_availability(const Options& opts) {
-  const trace::FailureDataset ds = load_dataset(opts);
+int cmd_availability(const Args& args) {
+  const trace::FailureDataset ds = load_dataset(args);
   const auto rows = analysis::availability_analysis(
       ds, trace::SystemCatalog::lanl());
   report::TextTable table({"system", "failures", "downtime (h)",
@@ -186,19 +397,127 @@ int cmd_availability(const Options& opts) {
   return 0;
 }
 
-void usage(std::ostream& out) {
-  out << "usage: hpcfail <command> [options]\n"
-         "  generate     --out FILE [--seed N]\n"
-         "  catalog\n"
-         "  validate     --trace FILE [--drop-out FILE]\n"
-         "  fit          (--trace FILE | --seed N) --system N [--node M]\n"
-         "               [--from YYYY-MM-DD] [--to YYYY-MM-DD]\n"
-         "  repair       (--trace FILE | --seed N)\n"
-         "  availability (--trace FILE | --seed N)\n"
-         "global options:\n"
-         "  --threads N  worker threads for generation/fitting\n"
-         "               (default: hardware concurrency; output is\n"
-         "               identical at any thread count)\n";
+int cmd_profile(const Args& args) {
+  struct StageRow {
+    std::string name;
+    double wall = 0.0;
+    double cpu = 0.0;
+  };
+  std::vector<StageRow> rows;
+  // Each stage runs under its own StageTimer so the table is read off the
+  // timers directly (and the same numbers land in the obs registry as
+  // stage.profile.* gauges for --metrics-out).
+  const auto timed = [&rows](const std::string& name, auto&& fn) {
+    obs::StageTimer stage("profile." + name);
+    fn();
+    stage.stop();
+    rows.push_back({name, stage.wall_seconds(), stage.cpu_seconds()});
+  };
+
+  const std::uint64_t seed = args.get_u64("seed");
+  const int system_id = args.get_int("system");
+
+  trace::FailureDataset ds;
+  if (args.given("trace")) {
+    timed("load", [&] { ds = trace::read_csv_file(args.get_string("trace")); });
+  } else {
+    timed("generate", [&] { ds = synth::generate_lanl_trace(seed); });
+  }
+  const trace::SystemCatalog& catalog = trace::SystemCatalog::lanl();
+
+  timed("validate", [&] { (void)trace::validate(ds, catalog); });
+  timed("failure_rates", [&] { (void)analysis::failure_rates(ds, catalog); });
+  timed("interarrival", [&] {
+    analysis::InterarrivalQuery query;
+    query.system_id = system_id;
+    (void)analysis::interarrival_analysis(ds, query);
+  });
+  timed("per_node_fits", [&] {
+    (void)analysis::per_node_interarrival_fits(ds, system_id);
+  });
+  timed("repair", [&] { (void)analysis::repair_analysis(ds, catalog); });
+  timed("availability", [&] {
+    (void)analysis::availability_analysis(ds, catalog);
+  });
+
+  std::cout << ds.size() << " records, " << parallelism() << " threads\n";
+  report::TextTable table({"stage", "wall (s)", "cpu (s)", "cpu/wall"});
+  double total_wall = 0.0;
+  double total_cpu = 0.0;
+  for (const StageRow& r : rows) {
+    table.add_row(r.name,
+                  {r.wall, r.cpu, r.wall > 0.0 ? r.cpu / r.wall : 0.0}, 4);
+    total_wall += r.wall;
+    total_cpu += r.cpu;
+  }
+  table.add_row("total",
+                {total_wall, total_cpu,
+                 total_wall > 0.0 ? total_cpu / total_wall : 0.0},
+                4);
+  table.render(std::cout);
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// The subcommand table
+
+const std::vector<Subcommand>& subcommands() {
+  static const std::vector<Subcommand> kTable = {
+      {"generate", "synthesize a LANL-shaped failure trace",
+       {
+           {"out", ArgType::string, "", true, "output CSV path"},
+           {"seed", ArgType::uint64, "42", false, "generator seed"},
+       },
+       &cmd_generate},
+      {"catalog", "print the LANL system catalog", {}, &cmd_catalog},
+      {"validate", "check a trace for consistency issues (exit 2 if any)",
+       {
+           {"trace", ArgType::string, "", true, "trace CSV to validate"},
+           {"drop-out", ArgType::string, "", false,
+            "write the trace minus flagged records to FILE"},
+       },
+       &cmd_validate},
+      {"fit", "fit interarrival-time distributions (Fig 6)",
+       {
+           {"trace", ArgType::string, "", false,
+            "trace CSV (default: generate with --seed)"},
+           {"seed", ArgType::uint64, "42", false,
+            "generator seed when no --trace"},
+           {"system", ArgType::integer, "", true, "system id to analyze"},
+           {"node", ArgType::integer, "", false,
+            "restrict to one node (view i)"},
+           {"from", ArgType::timestamp, "", false, "window start"},
+           {"to", ArgType::timestamp, "", false, "window end"},
+       },
+       &cmd_fit},
+      {"repair", "repair-time statistics and fits (Table 2, Fig 7)",
+       {
+           {"trace", ArgType::string, "", false,
+            "trace CSV (default: generate with --seed)"},
+           {"seed", ArgType::uint64, "42", false,
+            "generator seed when no --trace"},
+       },
+       &cmd_repair},
+      {"availability", "per-system availability summary",
+       {
+           {"trace", ArgType::string, "", false,
+            "trace CSV (default: generate with --seed)"},
+           {"seed", ArgType::uint64, "42", false,
+            "generator seed when no --trace"},
+       },
+       &cmd_availability},
+      {"profile", "run the full pipeline, print a stage wall/cpu table",
+       {
+           {"trace", ArgType::string, "", false,
+            "trace CSV (default: generate with --seed)"},
+           {"seed", ArgType::uint64, "42", false,
+            "generator seed when no --trace"},
+           {"system", ArgType::integer, "20", false,
+            "system id for the interarrival stages"},
+       },
+       &cmd_profile},
+  };
+  return kTable;
 }
 
 }  // namespace
@@ -206,28 +525,46 @@ void usage(std::ostream& out) {
 int main(int argc, char** argv) {
   if (argc < 2) {
     usage(std::cerr);
-    return 1;
+    return 2;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage(std::cout);
+    return 0;
+  }
+  if (command == "--version") {
+    std::cout << "hpcfail " << HPCFAIL_VERSION << "\n";
+    return 0;
+  }
   try {
-    const Options opts = parse_options(argc, argv, 2);
-    if (opts.has("threads")) {
-      const int threads = std::stoi(opts.get("threads"));
-      if (threads < 1) throw Error("--threads must be >= 1");
-      set_parallelism(static_cast<unsigned>(threads));
+    const Subcommand* sc = find_subcommand(command);
+    if (sc == nullptr) {
+      std::cerr << "unknown command '" << command << "'\n";
+      usage(std::cerr);
+      return 2;
     }
-    if (command == "generate") return cmd_generate(opts);
-    if (command == "catalog") return cmd_catalog(opts);
-    if (command == "validate") return cmd_validate(opts);
-    if (command == "fit") return cmd_fit(opts);
-    if (command == "repair") return cmd_repair(opts);
-    if (command == "availability") return cmd_availability(opts);
-    if (command == "help" || command == "--help") {
-      usage(std::cout);
-      return 0;
-    }
-    std::cerr << "unknown command '" << command << "'\n";
-    usage(std::cerr);
+    const std::optional<Args> args = parse_args(*sc, argc, argv, 2);
+    if (!args) return 0;  // --help / --version handled
+    apply_global_options(*args);
+    const int rc = sc->run(*args);
+    maybe_write_metrics(*args);
+    return rc;
+  } catch (const ParseError& e) {
+    // Usage errors (bad/unknown/missing options) exit 2; runtime
+    // failures below exit 1.
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 2;
+  } catch (const ValidationError& e) {
+    std::cerr << "validation error: " << e.what() << "\n";
+    return 1;
+  } catch (const FitError& e) {
+    std::cerr << "fit error: " << e.what() << "\n";
+    return 1;
+  } catch (const IoError& e) {
+    std::cerr << "io error: " << e.what() << "\n";
+    return 1;
+  } catch (const InvalidArgument& e) {
+    std::cerr << "invalid argument: " << e.what() << "\n";
     return 1;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -7,6 +7,7 @@
 
 #include "analysis/correlation.hpp"
 #include "common/strings.hpp"
+#include "trace/index.hpp"
 #include "report/table.hpp"
 #include "synth/generator.hpp"
 
@@ -48,9 +49,12 @@ int main() {
   using namespace hpcfail;
   const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
   std::cout << "=== extension: node-failure correlation, system 20 ===\n\n";
-  render(dataset.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1)),
+  const trace::DatasetView view = dataset.view();
+  render(view.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1))
+             .materialize(),
          "1996-1999 (early era)");
-  render(dataset.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1)),
+  render(view.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
+             .materialize(),
          "2000-2005 (late era)");
   std::cout << "paper's observation: >30% of early system-wide "
                "interarrivals are zero,\nindicating tight correlation in "

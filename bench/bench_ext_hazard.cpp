@@ -10,12 +10,15 @@
 #include "report/table.hpp"
 #include "stats/bootstrap.hpp"
 #include "synth/generator.hpp"
+#include "trace/index.hpp"
 
 int main() {
   using namespace hpcfail;
   const trace::FailureDataset dataset = synth::generate_lanl_trace(42);
   const trace::FailureDataset late =
-      dataset.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1));
+      dataset.view()
+          .between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
+          .materialize();
 
   std::cout << "=== extension: nonparametric hazard-rate analysis ===\n\n";
   report::TextTable verdict({"system", "events", "censored",

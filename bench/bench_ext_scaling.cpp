@@ -15,6 +15,7 @@
 #include "report/table.hpp"
 #include "sim/checkpoint.hpp"
 #include "synth/generator.hpp"
+#include "trace/index.hpp"
 
 namespace {
 
@@ -64,7 +65,7 @@ int main() {
   std::vector<double> log_nodes;
   std::vector<double> log_rate;
   for (std::size_t i = 0; i < std::size(sizes); ++i) {
-    const auto sys_data = dataset.for_system(static_cast<int>(i) + 1);
+    const auto sys_data = dataset.view().for_system(static_cast<int>(i) + 1);
     const double years =
         catalog.system(static_cast<int>(i) + 1).production_years();
     const double rate = static_cast<double>(sys_data.size()) / years;

@@ -1,0 +1,209 @@
+// Indexed vs legacy dataset extraction at growing trace sizes.
+//
+// The DatasetIndex exists for one reason: the copying accessors rescan
+// the whole trace per query, and the per-node Fig 6 sweep rescanned it
+// once *per node* (O(records x nodes)). This bench times both paths on
+// synthetic traces of 10k, 100k, and 1M records and reports the
+// speedups, as JSON to the output path given as argv[1] (stdout when
+// omitted). The legacy path is reimplemented inline because the
+// deprecated FailureDataset accessors are now shims over the index.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "trace/dataset.hpp"
+#include "trace/index.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+constexpr int kSystems = 4;
+constexpr int kNodesPerSystem = 256;
+constexpr int kTargetSystem = 2;
+
+trace::FailureDataset synthetic_dataset(std::size_t records) {
+  // Uniform spread over systems/nodes/time; the index cares about sizes
+  // and cardinalities, not realism.
+  Rng rng(2024);
+  std::vector<trace::FailureRecord> out;
+  out.reserve(records);
+  const Seconds t0 = to_epoch(1996, 1, 1);
+  for (std::size_t i = 0; i < records; ++i) {
+    trace::FailureRecord r;
+    r.system_id = 1 + static_cast<int>(rng.uniform_index(kSystems));
+    r.node_id = static_cast<int>(rng.uniform_index(kNodesPerSystem));
+    r.start = t0 + static_cast<Seconds>(rng.uniform_index(9ULL * 365 * 86400));
+    r.end = r.start + 60 + static_cast<Seconds>(rng.uniform_index(86400));
+    r.workload = trace::Workload::compute;
+    r.detail = trace::DetailCause::memory_dimm;
+    r.cause = trace::RootCause::hardware;
+    out.push_back(r);
+  }
+  return trace::FailureDataset(std::move(out));
+}
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+// The pre-index implementations, verbatim in spirit: every query is a
+// full scan of records().
+
+std::vector<trace::FailureRecord> legacy_for_system(
+    const trace::FailureDataset& ds, int system_id) {
+  std::vector<trace::FailureRecord> out;
+  for (const trace::FailureRecord& r : ds.records()) {
+    if (r.system_id == system_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> legacy_node_interarrivals(const trace::FailureDataset& ds,
+                                              int system_id, int node_id) {
+  std::vector<double> gaps;
+  Seconds prev = 0;
+  bool first = true;
+  for (const trace::FailureRecord& r : ds.records()) {
+    if (r.system_id != system_id || r.node_id != node_id) continue;
+    if (!first) gaps.push_back(static_cast<double>(r.start - prev));
+    prev = r.start;
+    first = false;
+  }
+  return gaps;
+}
+
+std::map<int, std::size_t> legacy_failures_per_node(
+    const trace::FailureDataset& ds, int system_id) {
+  std::map<int, std::size_t> counts;
+  for (const trace::FailureRecord& r : ds.records()) {
+    if (r.system_id == system_id) ++counts[r.node_id];
+  }
+  return counts;
+}
+
+struct Row {
+  std::size_t records = 0;
+  double index_build_ms = 0.0;
+  double legacy_per_node_ms = 0.0;
+  double indexed_per_node_ms = 0.0;
+  double legacy_for_system_ms = 0.0;
+  double indexed_for_system_ms = 0.0;
+  double per_node_speedup = 0.0;
+  double for_system_speedup = 0.0;
+};
+
+Row run_size(std::size_t records) {
+  Row row;
+  row.records = records;
+  const trace::FailureDataset ds = synthetic_dataset(records);
+
+  auto t = std::chrono::steady_clock::now();
+  (void)ds.index();  // one-time build, timed separately
+  row.index_build_ms = ms_since(t);
+
+  // Fig 6 per-node sweep, legacy: one full scan per node.
+  t = std::chrono::steady_clock::now();
+  std::size_t legacy_gaps = 0;
+  for (const auto& [node, count] :
+       legacy_failures_per_node(ds, kTargetSystem)) {
+    legacy_gaps += legacy_node_interarrivals(ds, kTargetSystem, node).size();
+  }
+  row.legacy_per_node_ms = ms_since(t);
+
+  // Same sweep through the grouped extractor.
+  t = std::chrono::steady_clock::now();
+  std::size_t indexed_gaps = 0;
+  for (const trace::NodeInterarrivalGroup& g :
+       ds.view().for_system(kTargetSystem).node_interarrival_groups()) {
+    indexed_gaps += g.gaps_seconds.size();
+  }
+  row.indexed_per_node_ms = ms_since(t);
+  if (legacy_gaps != indexed_gaps) {
+    throw LogicError("extraction mismatch: legacy " +
+                     std::to_string(legacy_gaps) + " vs indexed " +
+                     std::to_string(indexed_gaps));
+  }
+
+  // Per-system scoping, 64 queries each way.
+  constexpr int kQueries = 64;
+  t = std::chrono::steady_clock::now();
+  std::size_t legacy_total = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    legacy_total +=
+        legacy_for_system(ds, 1 + q % kSystems).size();
+  }
+  row.legacy_for_system_ms = ms_since(t);
+
+  t = std::chrono::steady_clock::now();
+  std::size_t indexed_total = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    indexed_total += ds.view().for_system(1 + q % kSystems).size();
+  }
+  row.indexed_for_system_ms = ms_since(t);
+  if (legacy_total != indexed_total) {
+    throw LogicError("for_system mismatch");
+  }
+
+  row.per_node_speedup =
+      row.indexed_per_node_ms > 0.0
+          ? row.legacy_per_node_ms / row.indexed_per_node_ms
+          : 0.0;
+  row.for_system_speedup =
+      row.indexed_for_system_ms > 0.0
+          ? row.legacy_for_system_ms / row.indexed_for_system_ms
+          : 0.0;
+  return row;
+}
+
+void write_json(std::ostream& out, const std::vector<Row>& rows) {
+  out << "{\n  \"benchmark\": \"dataset_index_vs_legacy\",\n"
+      << "  \"target_system_nodes\": " << kNodesPerSystem << ",\n"
+      << "  \"sizes\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"records\": " << r.records
+        << ", \"index_build_ms\": " << r.index_build_ms
+        << ", \"per_node_legacy_ms\": " << r.legacy_per_node_ms
+        << ", \"per_node_indexed_ms\": " << r.indexed_per_node_ms
+        << ", \"per_node_speedup\": " << r.per_node_speedup
+        << ", \"for_system_legacy_ms\": " << r.legacy_for_system_ms
+        << ", \"for_system_indexed_ms\": " << r.indexed_for_system_ms
+        << ", \"for_system_speedup\": " << r.for_system_speedup << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<Row> rows;
+  for (const std::size_t size : {10'000ULL, 100'000ULL, 1'000'000ULL}) {
+    rows.push_back(run_size(size));
+    std::cerr << size << " records: per-node sweep "
+              << rows.back().legacy_per_node_ms << " ms legacy vs "
+              << rows.back().indexed_per_node_ms << " ms indexed ("
+              << rows.back().per_node_speedup << "x)\n";
+  }
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    if (!out) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 1;
+    }
+    write_json(out, rows);
+  } else {
+    write_json(std::cout, rows);
+  }
+  return 0;
+}

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "obs/span.hpp"
 #include "stats/descriptive.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -34,7 +35,7 @@ std::vector<double> autocorrelation(std::span<const double> sequence,
 CorrelationReport correlation_analysis(const trace::FailureDataset& dataset,
                                        int system_id, std::size_t max_lag) {
   hpcfail::obs::ScopedTimer timer("analysis.correlation");
-  const trace::FailureDataset scoped = dataset.for_system(system_id);
+  const trace::DatasetView scoped = dataset.view().for_system(system_id);
   HPCFAIL_EXPECTS(scoped.size() >= 32,
                   "too few failures for correlation analysis");
 
@@ -63,7 +64,7 @@ CorrelationReport correlation_analysis(const trace::FailureDataset& dataset,
   close_run(run);
 
   report.interarrival_autocorrelation =
-      autocorrelation(scoped.system_interarrivals(system_id), max_lag);
+      autocorrelation(scoped.system_interarrivals(), max_lag);
 
   // Daily counts across the system's observed span.
   std::map<std::int64_t, double> daily;

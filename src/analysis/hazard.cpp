@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -12,7 +13,7 @@ HazardReport node_hazard_analysis(const trace::FailureDataset& dataset,
                                   std::optional<Seconds> censor_at,
                                   std::size_t min_events) {
   hpcfail::obs::ScopedTimer timer("analysis.hazard");
-  const trace::FailureDataset scoped = dataset.for_system(system_id);
+  const trace::DatasetView scoped = dataset.view().for_system(system_id);
   HPCFAIL_EXPECTS(!scoped.empty(), "system has no failures in the dataset");
   const Seconds horizon = censor_at.value_or(scoped.records().back().start);
 

@@ -1,7 +1,9 @@
 #include "analysis/interarrival.hpp"
 
 #include "common/error.hpp"
+#include "common/time.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -9,21 +11,31 @@ InterarrivalReport interarrival_analysis(const trace::FailureDataset& dataset,
                                          const InterarrivalQuery& query,
                                          std::size_t min_gaps) {
   hpcfail::obs::ScopedTimer timer("analysis.interarrival");
-  trace::FailureDataset scoped = dataset.for_system(query.system_id);
+  trace::DatasetView scoped = dataset.view().for_system(query.system_id);
   if (query.from || query.to) {
-    const Seconds from = query.from.value_or(
-        scoped.empty() ? 0 : scoped.first_start());
-    const Seconds to = query.to.value_or(
-        scoped.empty() ? 0 : scoped.last_end() + 1);
+    // Windowing an empty system used to default the open bound to 0 and
+    // silently query the inverted range [from, 0); fail loudly instead.
+    if (scoped.empty()) {
+      throw ValidationError("interarrival query: system " +
+                            std::to_string(query.system_id) +
+                            " has no records to window");
+    }
+    const Seconds from = query.from.value_or(scoped.first_start());
+    const Seconds to = query.to.value_or(scoped.last_end() + 1);
+    if (from >= to) {
+      throw ValidationError("interarrival query: empty or inverted window [" +
+                            format_timestamp(from) + ", " +
+                            format_timestamp(to) + ") for system " +
+                            std::to_string(query.system_id));
+    }
     scoped = scoped.between(from, to);
   }
 
   InterarrivalReport report;
   report.query = query;
-  report.gaps_seconds =
-      query.node_id ? scoped.node_interarrivals(query.system_id,
-                                                *query.node_id)
-                    : scoped.system_interarrivals(query.system_id);
+  report.gaps_seconds = query.node_id
+                            ? scoped.node_interarrivals(*query.node_id)
+                            : scoped.system_interarrivals();
   HPCFAIL_EXPECTS(report.gaps_seconds.size() >= min_gaps,
                   "too few interarrival times for distribution fitting");
 
@@ -47,16 +59,15 @@ std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
     const trace::FailureDataset& dataset, int system_id,
     std::size_t min_gaps) {
   hpcfail::obs::ScopedTimer timer("analysis.per_node_interarrival");
-  const trace::FailureDataset scoped = dataset.for_system(system_id);
+  // Single sweep over the per-(system, node) posting lists, replacing the
+  // old per-node rescan of the whole system (O(records x nodes)).
+  std::vector<trace::NodeInterarrivalGroup> groups =
+      dataset.view().for_system(system_id).node_interarrival_groups(min_gaps);
 
-  std::vector<int> nodes;
   std::vector<std::vector<double>> samples;
-  for (const auto& [node, count] : scoped.failures_per_node(system_id)) {
-    if (count < min_gaps + 1) continue;  // n records -> n-1 gaps
-    std::vector<double> gaps = scoped.node_interarrivals(system_id, node);
-    if (gaps.size() < min_gaps) continue;
-    nodes.push_back(node);
-    samples.push_back(std::move(gaps));
+  samples.reserve(groups.size());
+  for (trace::NodeInterarrivalGroup& g : groups) {
+    samples.push_back(std::move(g.gaps_seconds));
   }
 
   // Same 1-second floor as interarrival_analysis: records have 1-second
@@ -65,10 +76,10 @@ std::vector<NodeInterarrivalFits> per_node_interarrival_fits(
       samples, hpcfail::dist::standard_families(), /*floor_at=*/1.0);
 
   std::vector<NodeInterarrivalFits> out;
-  out.reserve(nodes.size());
-  for (std::size_t i = 0; i < nodes.size(); ++i) {
+  out.reserve(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) {
     NodeInterarrivalFits entry;
-    entry.node_id = nodes[i];
+    entry.node_id = groups[i].node_id;
     entry.gap_count = samples[i].size();
     entry.fits = std::move(fit_reports[i]);
     out.push_back(std::move(entry));

@@ -5,6 +5,7 @@
 #include "analysis/root_cause.hpp"
 #include "common/error.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -13,7 +14,7 @@ LifetimeCurve lifetime_curve(const trace::FailureDataset& dataset,
                              int system_id) {
   hpcfail::obs::ScopedTimer timer("analysis.lifetime");
   const trace::SystemInfo& sys = catalog.system(system_id);
-  const trace::FailureDataset records = dataset.for_system(system_id);
+  const trace::DatasetView records = dataset.view().for_system(system_id);
   HPCFAIL_EXPECTS(!records.empty(), "system has no failures in the dataset");
 
   const Seconds start = sys.production_start();

@@ -5,6 +5,7 @@
 #include "common/error.hpp"
 #include "dist/poisson.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -14,7 +15,7 @@ OutlierReport node_outlier_analysis(const trace::FailureDataset& dataset,
   hpcfail::obs::ScopedTimer timer("analysis.outliers");
   HPCFAIL_EXPECTS(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
   const trace::SystemInfo& sys = catalog.system(system_id);
-  const auto counts = dataset.failures_per_node(system_id);
+  const auto counts = dataset.view().for_system(system_id).failures_per_node();
   HPCFAIL_EXPECTS(!counts.empty(), "system has no failures in the dataset");
 
   std::size_t total = 0;

@@ -15,11 +15,13 @@ struct PeriodicityReport {
 
   /// max/min over smoothed hourly counts (the paper: "during peak hours
   /// of the day the failure rate is two times higher than at its lowest
-  /// during the night").
+  /// during the night"). +infinity when the smoothed trough is zero (all
+  /// failures concentrated in part of the day) — the ratio diverges and
+  /// is never silently replaced by a raw count.
   double day_night_ratio = 0.0;
 
   /// mean weekday count / mean weekend count (the paper: "nearly two
-  /// times as high").
+  /// times as high"). +infinity when no failure fell on a weekend.
   double weekday_weekend_ratio = 0.0;
 };
 

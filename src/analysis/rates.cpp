@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -9,13 +10,14 @@ std::vector<SystemRate> failure_rates(const trace::FailureDataset& dataset,
                                       const trace::SystemCatalog& catalog) {
   hpcfail::obs::ScopedTimer timer("analysis.failure_rates");
   HPCFAIL_EXPECTS(!dataset.empty(), "failure rates of empty dataset");
+  const trace::DatasetView view = dataset.view();
   std::vector<SystemRate> rates;
-  for (const int id : dataset.system_ids()) {
+  for (const int id : dataset.index().system_ids()) {
     const trace::SystemInfo& sys = catalog.system(id);
     SystemRate r;
     r.system_id = id;
     r.hw_type = sys.hw_type;
-    r.failures = dataset.for_system(id).size();
+    r.failures = view.for_system(id).size();
     r.production_years = sys.production_years();
     HPCFAIL_ASSERT(r.production_years > 0.0);
     r.failures_per_year =
@@ -32,7 +34,7 @@ NodeDistributionReport node_distribution(
     const trace::SystemCatalog& catalog, int system_id) {
   hpcfail::obs::ScopedTimer timer("analysis.node_distribution");
   const trace::SystemInfo& sys = catalog.system(system_id);
-  const auto counts = dataset.failures_per_node(system_id);
+  const auto counts = dataset.view().for_system(system_id).failures_per_node();
   HPCFAIL_EXPECTS(!counts.empty(),
                   "system has no failures in the dataset");
 

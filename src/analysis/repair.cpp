@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -33,11 +34,12 @@ RepairReport repair_analysis(const trace::FailureDataset& dataset,
 
   // Fig 7(b)/(c): per system, with the per-system distribution fits
   // batched across the shared pool.
+  const trace::DatasetView view = dataset.view();
   std::vector<int> ids;
   std::vector<std::vector<double>> samples;
-  for (const int id : dataset.system_ids()) {
+  for (const int id : dataset.index().system_ids()) {
     std::vector<double> minutes =
-        dataset.for_system(id).repair_times_minutes();
+        view.for_system(id).repair_times_minutes();
     if (minutes.empty()) continue;
     ids.push_back(id);
     samples.push_back(std::move(minutes));

@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "obs/span.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 
@@ -33,7 +34,7 @@ TrendReport reliability_trend(const trace::FailureDataset& dataset,
   hpcfail::obs::ScopedTimer timer("analysis.trend");
   HPCFAIL_EXPECTS(window_months >= 1, "window must be at least one month");
   const trace::SystemInfo& sys = catalog.system(system_id);
-  const trace::FailureDataset records = dataset.for_system(system_id);
+  const trace::DatasetView records = dataset.view().for_system(system_id);
   HPCFAIL_EXPECTS(!records.empty(), "system has no failures in the dataset");
 
   const Seconds start = sys.production_start();
@@ -56,12 +57,11 @@ TrendReport reliability_trend(const trace::FailureDataset& dataset,
     TrendPoint point;
     point.month = month;
     double downtime_minutes = 0.0;
-    for (const trace::FailureRecord& r : records.records()) {
-      if (r.start >= from && r.start < to) {
-        ++point.failures;
-        downtime_minutes += r.downtime_minutes();
-      }
-    }
+    // Each sliding window is a binary-searched slice, not a rescan of the
+    // system's whole history.
+    const trace::DatasetView window = records.between(from, to);
+    point.failures = window.size();
+    downtime_minutes = window.total_downtime_minutes();
     const double hours = node_hours_in_window(sys, from, to);
     point.node_mtbf_hours =
         point.failures > 0 ? hours / static_cast<double>(point.failures)

@@ -26,12 +26,23 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
 
   std::string field;
   bool quoted = false;
+  // A trailing '\r' is a CRLF line ending only when it arrived outside
+  // quotes; a quoted '\r' (written by csv_escape) is field data.
+  bool field_was_quoted = false;
+  const auto strip_cr = [&field, &field_was_quoted] {
+    if (!field_was_quoted && !field.empty() && field.back() == '\r') {
+      field.pop_back();
+    }
+  };
   for (;; ch = in_.get()) {
     if (ch == std::istream::traits_type::eof()) {
       if (quoted) {
         throw ParseError("unterminated quoted CSV field starting at line " +
                          std::to_string(row_start_line_));
       }
+      // A CRLF file whose last line lacks the final newline still ends
+      // the field with '\r'; strip it exactly as the '\n' path does.
+      strip_cr();
       fields.push_back(std::move(field));
       return true;
     }
@@ -52,11 +63,13 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
     }
     if (c == '"' && field.empty()) {
       quoted = true;
+      field_was_quoted = true;
     } else if (c == sep_) {
       fields.push_back(std::move(field));
       field.clear();
+      field_was_quoted = false;
     } else if (c == '\n') {
-      if (!field.empty() && field.back() == '\r') field.pop_back();
+      strip_cr();
       fields.push_back(std::move(field));
       return true;
     } else {

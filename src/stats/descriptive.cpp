@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -28,7 +29,7 @@ double variance(std::span<const double> xs) {
 
 double cv_squared(std::span<const double> xs) {
   const double m = mean(xs);
-  HPCFAIL_EXPECTS(m != 0.0, "C^2 undefined for zero-mean sample");
+  if (m == 0.0) return std::numeric_limits<double>::quiet_NaN();
   return variance(xs) / (m * m);
 }
 
@@ -56,7 +57,8 @@ Summary summarize(std::span<const double> xs) {
   s.mean = mean(xs);
   s.variance = variance(xs);
   s.stddev = std::sqrt(s.variance);
-  s.cv2 = (s.mean != 0.0) ? s.variance / (s.mean * s.mean) : 0.0;
+  s.cv2 = (s.mean != 0.0) ? s.variance / (s.mean * s.mean)
+                          : std::numeric_limits<double>::quiet_NaN();
   s.median = quantile_sorted(sorted, 0.5);
   s.q25 = quantile_sorted(sorted, 0.25);
   s.q75 = quantile_sorted(sorted, 0.75);

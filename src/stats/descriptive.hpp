@@ -18,7 +18,7 @@ struct Summary {
   double median = 0.0;
   double variance = 0.0;   ///< unbiased (n-1) sample variance
   double stddev = 0.0;
-  double cv2 = 0.0;        ///< squared coefficient of variation, var/mean^2
+  double cv2 = 0.0;        ///< var/mean^2; NaN for a zero-mean sample
   double min = 0.0;
   double max = 0.0;
   double q25 = 0.0;        ///< lower quartile
@@ -32,8 +32,9 @@ double mean(std::span<const double> xs);
 /// Unbiased sample variance; 0 for n == 1. Throws on empty.
 double variance(std::span<const double> xs);
 
-/// Squared coefficient of variation var/mean^2. Throws on empty sample or
-/// zero mean.
+/// Squared coefficient of variation var/mean^2. Throws on an empty
+/// sample; returns quiet NaN for a zero-mean sample, where C^2 is
+/// undefined (same contract as Summary::cv2).
 double cv_squared(std::span<const double> xs);
 
 /// Linear-interpolation quantile of a sorted sample, p in [0, 1].

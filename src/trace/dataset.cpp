@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/error.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::trace {
 
@@ -28,6 +29,51 @@ FailureDataset::FailureDataset(std::vector<FailureRecord> records)
   std::sort(records_.begin(), records_.end(), record_order);
 }
 
+FailureDataset::FailureDataset() = default;
+FailureDataset::~FailureDataset() = default;
+
+FailureDataset::FailureDataset(const FailureDataset& other)
+    : records_(other.records_) {}
+
+FailureDataset& FailureDataset::operator=(const FailureDataset& other) {
+  if (this != &other) {
+    records_ = other.records_;
+    std::lock_guard<std::mutex> lock(index_mutex_);
+    index_.reset();
+  }
+  return *this;
+}
+
+FailureDataset::FailureDataset(FailureDataset&& other) noexcept
+    : records_(std::move(other.records_)) {
+  // The source's index holds spans into the buffer we just took; drop it.
+  other.index_.reset();
+}
+
+FailureDataset& FailureDataset::operator=(FailureDataset&& other) noexcept {
+  if (this != &other) {
+    records_ = std::move(other.records_);
+    index_.reset();
+    other.index_.reset();
+  }
+  return *this;
+}
+
+const DatasetIndex& FailureDataset::index() const {
+  std::lock_guard<std::mutex> lock(index_mutex_);
+  if (!index_) index_ = std::make_unique<DatasetIndex>(records_);
+  return *index_;
+}
+
+DatasetView FailureDataset::view() const { return index().all(); }
+
+FailureDataset FailureDataset::from_sorted(
+    std::vector<FailureRecord> records) {
+  FailureDataset out;
+  out.records_ = std::move(records);
+  return out;
+}
+
 Seconds FailureDataset::first_start() const {
   HPCFAIL_EXPECTS(!records_.empty(), "first_start of empty dataset");
   return records_.front().start;
@@ -46,54 +92,38 @@ FailureDataset FailureDataset::filter(
   for (const FailureRecord& r : records_) {
     if (keep(r)) kept.push_back(r);
   }
-  FailureDataset out;
-  out.records_ = std::move(kept);  // already sorted and validated
-  return out;
+  return from_sorted(std::move(kept));  // already sorted and validated
 }
 
+// ---------------------------------------------------------------------------
+// Deprecated copying API, now thin shims over the view layer. Kept so
+// downstream code can migrate incrementally; each does one deep copy of
+// the indexed, span-backed result.
+
 FailureDataset FailureDataset::for_system(int system_id) const {
-  return filter([system_id](const FailureRecord& r) {
-    return r.system_id == system_id;
-  });
+  return view().for_system(system_id).materialize();
 }
 
 FailureDataset FailureDataset::between(Seconds from, Seconds to) const {
-  return filter([from, to](const FailureRecord& r) {
-    return r.start >= from && r.start < to;
-  });
+  return view().between(from, to).materialize();
 }
 
 std::vector<double> FailureDataset::node_interarrivals(int system_id,
                                                        int node_id) const {
-  std::vector<double> gaps;
-  Seconds prev = 0;
-  bool have_prev = false;
-  for (const FailureRecord& r : records_) {
-    if (r.system_id != system_id || r.node_id != node_id) continue;
-    if (have_prev) {
-      gaps.push_back(static_cast<double>(r.start - prev));
-    }
-    prev = r.start;
-    have_prev = true;
-  }
-  return gaps;
+  return view().for_system(system_id).node_interarrivals(node_id);
 }
 
 std::vector<double> FailureDataset::system_interarrivals(
     int system_id) const {
-  std::vector<double> gaps;
-  Seconds prev = 0;
-  bool have_prev = false;
-  for (const FailureRecord& r : records_) {
-    if (r.system_id != system_id) continue;
-    if (have_prev) {
-      gaps.push_back(static_cast<double>(r.start - prev));
-    }
-    prev = r.start;
-    have_prev = true;
-  }
-  return gaps;
+  return view().for_system(system_id).system_interarrivals();
 }
+
+std::map<int, std::size_t> FailureDataset::failures_per_node(
+    int system_id) const {
+  return view().for_system(system_id).failures_per_node();
+}
+
+// ---------------------------------------------------------------------------
 
 std::vector<double> FailureDataset::repair_times_minutes() const {
   std::vector<double> times;
@@ -102,15 +132,6 @@ std::vector<double> FailureDataset::repair_times_minutes() const {
     times.push_back(r.downtime_minutes());
   }
   return times;
-}
-
-std::map<int, std::size_t> FailureDataset::failures_per_node(
-    int system_id) const {
-  std::map<int, std::size_t> counts;
-  for (const FailureRecord& r : records_) {
-    if (r.system_id == system_id) ++counts[r.node_id];
-  }
-  return counts;
 }
 
 std::vector<int> FailureDataset::system_ids() const {

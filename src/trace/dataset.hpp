@@ -2,16 +2,26 @@
 // records with the extraction views every analysis needs — per-node and
 // system-wide interarrival times (Section 5.3's two views of the failure
 // process), repair-time samples, and per-node counts.
+//
+// Querying goes through the zero-copy view layer (trace/index.hpp):
+// view() exposes span-backed slices and indexed extractors over a
+// DatasetIndex that is built lazily, once per dataset. The original
+// copying query methods remain as deprecated shims over that layer.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "trace/record.hpp"
 
 namespace hpcfail::trace {
+
+class DatasetIndex;
+class DatasetView;
 
 class FailureDataset {
  public:
@@ -21,11 +31,29 @@ class FailureDataset {
   explicit FailureDataset(std::vector<FailureRecord> records);
 
   /// The empty dataset.
-  FailureDataset() = default;
+  FailureDataset();
+  ~FailureDataset();
+
+  /// Copies records only; the copy builds its own index on first use.
+  FailureDataset(const FailureDataset& other);
+  FailureDataset& operator=(const FailureDataset& other);
+  /// Moving invalidates the source's index and any views borrowed from
+  /// either object.
+  FailureDataset(FailureDataset&& other) noexcept;
+  FailureDataset& operator=(FailureDataset&& other) noexcept;
 
   std::span<const FailureRecord> records() const noexcept { return records_; }
   std::size_t size() const noexcept { return records_.size(); }
   bool empty() const noexcept { return records_.empty(); }
+
+  /// The dataset's acceleration index, built on first use (thread-safe)
+  /// and reused by every subsequent query.
+  const DatasetIndex& index() const;
+
+  /// Zero-copy root view over all records; the preferred query surface.
+  /// Views borrow this dataset and must not outlive it (or survive a
+  /// move/assignment of it).
+  DatasetView view() const;
 
   /// Earliest start / latest end across all records. Throws on empty.
   Seconds first_start() const;
@@ -36,18 +64,22 @@ class FailureDataset {
   FailureDataset filter(
       const std::function<bool(const FailureRecord&)>& keep) const;
 
-  /// Records of one system.
+  /// Records of one system, deep-copied.
+  [[deprecated("use view().for_system() for a zero-copy view")]]
   FailureDataset for_system(int system_id) const;
 
-  /// Records inside [from, to).
+  /// Records inside [from, to), deep-copied.
+  [[deprecated("use view().between() for a zero-copy view")]]
   FailureDataset between(Seconds from, Seconds to) const;
 
   /// Time between consecutive failures *of one node*, in seconds
   /// (Section 5.3 view (i)). Empty when the node has fewer than 2 records.
+  [[deprecated("use view().for_system().node_interarrivals()")]]
   std::vector<double> node_interarrivals(int system_id, int node_id) const;
 
   /// Time between consecutive failures anywhere in one system, in seconds
   /// (Section 5.3 view (ii)). Simultaneous failures yield exact zeros.
+  [[deprecated("use view().for_system().system_interarrivals()")]]
   std::vector<double> system_interarrivals(int system_id) const;
 
   /// Repair times (end - start) in minutes, the unit of Table 2/Fig 7,
@@ -56,6 +88,7 @@ class FailureDataset {
 
   /// Number of failures per node of one system (nodes with zero failures
   /// are absent; callers that need zeros consult the catalog).
+  [[deprecated("use view().for_system().failures_per_node()")]]
   std::map<int, std::size_t> failures_per_node(int system_id) const;
 
   /// Distinct system ids present, ascending.
@@ -65,7 +98,15 @@ class FailureDataset {
   double total_downtime_minutes() const noexcept;
 
  private:
+  friend class DatasetView;  // materialize() rebuilds without revalidating
+
+  /// Adopts records that are already (start, system, node)-sorted and
+  /// validated — the internal fast path behind filter()/materialize().
+  static FailureDataset from_sorted(std::vector<FailureRecord> records);
+
   std::vector<FailureRecord> records_;  // sorted by (start, system, node)
+  mutable std::mutex index_mutex_;      // guards lazy index_ creation
+  mutable std::unique_ptr<DatasetIndex> index_;
 };
 
 }  // namespace hpcfail::trace

@@ -1,0 +1,314 @@
+#include "trace/index.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace hpcfail::trace {
+
+namespace {
+
+/// Start-projected binary search: the subrange of the start-sorted `span`
+/// whose starts lie in [from, to).
+std::span<const FailureRecord> window_of(std::span<const FailureRecord> span,
+                                         Seconds from, Seconds to) {
+  if (from >= to) return span.subspan(0, 0);
+  const auto by_start = [](const FailureRecord& r, Seconds t) {
+    return r.start < t;
+  };
+  const auto lo = std::lower_bound(span.begin(), span.end(), from, by_start);
+  const auto hi = std::lower_bound(lo, span.end(), to, by_start);
+  return span.subspan(static_cast<std::size_t>(lo - span.begin()),
+                      static_cast<std::size_t>(hi - lo));
+}
+
+/// Same search over a posting list of start times.
+std::span<const Seconds> window_of(std::span<const Seconds> starts,
+                                   Seconds from, Seconds to) {
+  if (from >= to) return starts.subspan(0, 0);
+  const auto lo = std::lower_bound(starts.begin(), starts.end(), from);
+  const auto hi = std::lower_bound(lo, starts.end(), to);
+  return starts.subspan(static_cast<std::size_t>(lo - starts.begin()),
+                        static_cast<std::size_t>(hi - lo));
+}
+
+std::vector<double> gaps_of(std::span<const Seconds> starts) {
+  std::vector<double> gaps;
+  if (starts.size() >= 2) {
+    gaps.reserve(starts.size() - 1);
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      gaps.push_back(static_cast<double>(starts[i] - starts[i - 1]));
+    }
+  }
+  return gaps;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DatasetIndex
+
+DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
+    : base_(records) {
+  const auto build_start = std::chrono::steady_clock::now();
+  hpcfail::obs::ScopedTimer timer("trace.index_build");
+
+  // Pass 1 (sequential, O(n)): per-system counts, then contiguous slices
+  // in ascending system-id order.
+  std::map<int, std::size_t> counts;
+  for (const FailureRecord& r : base_) ++counts[r.system_id];
+  systems_.reserve(counts.size());
+  std::size_t offset = 0;
+  for (const auto& [system_id, count] : counts) {
+    SystemSlice slice;
+    slice.system_id = system_id;
+    slice.begin = offset;
+    slice.end = offset + count;
+    systems_.push_back(slice);
+    offset += count;
+  }
+
+  // Pass 2 (sequential, O(n)): stable scatter into the partition. The
+  // base span is (start, system, node)-sorted, so each system's slice
+  // comes out (start, node)-sorted.
+  by_system_.resize(base_.size());
+  {
+    std::map<int, std::size_t> cursor;
+    for (const SystemSlice& s : systems_) cursor[s.system_id] = s.begin;
+    for (const FailureRecord& r : base_) {
+      by_system_[cursor[r.system_id]++] = r;
+    }
+  }
+
+  // Pass 3 (parallel over systems, deterministic): per-(system, node)
+  // posting lists. Each system's lists land in its own slice of
+  // node_starts_ (same offsets as the partition), so workers never share
+  // output and the result is identical at any thread count.
+  node_starts_.resize(base_.size());
+  std::vector<std::vector<NodeSlice>> per_system_nodes(systems_.size());
+  parallel_for(systems_.size(), [this, &per_system_nodes](std::size_t si) {
+    const SystemSlice& s = systems_[si];
+    std::map<int, std::vector<Seconds>> by_node;
+    for (std::size_t i = s.begin; i < s.end; ++i) {
+      by_node[by_system_[i].node_id].push_back(by_system_[i].start);
+    }
+    std::size_t off = s.begin;
+    per_system_nodes[si].reserve(by_node.size());
+    for (auto& [node_id, starts] : by_node) {
+      NodeSlice slice;
+      slice.node_id = node_id;
+      slice.begin = off;
+      slice.end = off + starts.size();
+      per_system_nodes[si].push_back(slice);
+      std::copy(starts.begin(), starts.end(),
+                node_starts_.begin() + static_cast<std::ptrdiff_t>(off));
+      off += starts.size();
+    }
+  });
+  std::size_t total_nodes = 0;
+  for (const auto& nodes : per_system_nodes) total_nodes += nodes.size();
+  node_slices_.reserve(total_nodes);
+  for (std::size_t si = 0; si < systems_.size(); ++si) {
+    systems_[si].nodes_begin = node_slices_.size();
+    node_slices_.insert(node_slices_.end(), per_system_nodes[si].begin(),
+                        per_system_nodes[si].end());
+    systems_[si].nodes_end = node_slices_.size();
+  }
+
+  if (obs::enabled()) {
+    const auto elapsed =
+        std::chrono::steady_clock::now() - build_start;
+    obs::registry().gauge("dataset.index_build_ms")
+        .set(std::chrono::duration<double, std::milli>(elapsed).count());
+    obs::registry().gauge("dataset.index_records")
+        .set(static_cast<double>(base_.size()));
+    view_hits_ = &obs::registry().counter("dataset.view_hits");
+  }
+}
+
+DatasetView DatasetIndex::all() const noexcept {
+  DatasetView view;
+  view.index_ = this;
+  view.span_ = base_;
+  return view;
+}
+
+std::vector<int> DatasetIndex::system_ids() const {
+  std::vector<int> ids;
+  ids.reserve(systems_.size());
+  for (const SystemSlice& s : systems_) ids.push_back(s.system_id);
+  return ids;
+}
+
+const DatasetIndex::SystemSlice* DatasetIndex::find_system(
+    int system_id) const noexcept {
+  const auto it = std::lower_bound(
+      systems_.begin(), systems_.end(), system_id,
+      [](const SystemSlice& s, int id) { return s.system_id < id; });
+  if (it == systems_.end() || it->system_id != system_id) return nullptr;
+  return &*it;
+}
+
+void DatasetIndex::count_view_hit() const noexcept {
+  if (view_hits_ != nullptr && obs::enabled()) view_hits_->add(1);
+}
+
+// ---------------------------------------------------------------------------
+// DatasetView
+
+Seconds DatasetView::first_start() const {
+  HPCFAIL_EXPECTS(!span_.empty(), "first_start of empty view");
+  return span_.front().start;
+}
+
+Seconds DatasetView::last_end() const {
+  HPCFAIL_EXPECTS(!span_.empty(), "last_end of empty view");
+  Seconds latest = span_.front().end;
+  for (const FailureRecord& r : span_) latest = std::max(latest, r.end);
+  return latest;
+}
+
+DatasetView DatasetView::for_system(int system_id) const {
+  DatasetView view = *this;
+  view.system_ = system_id;
+  view.span_ = {};
+  if (index_ == nullptr) return view;
+  index_->count_view_hit();
+  if (system_.has_value()) {
+    // Already scoped: same system is a no-op, a different one is empty.
+    if (*system_ == system_id) view.span_ = span_;
+    return view;
+  }
+  const DatasetIndex::SystemSlice* slice = index_->find_system(system_id);
+  if (slice == nullptr) return view;
+  std::span<const FailureRecord> partition(
+      index_->by_system_.data() + slice->begin, slice->end - slice->begin);
+  view.span_ = windowed_ ? window_of(partition, from_, to_) : partition;
+  return view;
+}
+
+DatasetView DatasetView::between(Seconds from, Seconds to) const {
+  DatasetView view = *this;
+  if (windowed_) {
+    view.from_ = std::max(from_, from);
+    view.to_ = std::min(to_, to);
+  } else {
+    view.from_ = from;
+    view.to_ = to;
+  }
+  view.windowed_ = true;
+  // The current span is start-sorted whatever its scope, so narrowing
+  // never needs to consult the index again.
+  view.span_ = window_of(span_, view.from_, view.to_);
+  if (index_ != nullptr) index_->count_view_hit();
+  return view;
+}
+
+std::vector<double> DatasetView::node_interarrivals(int node_id) const {
+  HPCFAIL_EXPECTS(system_.has_value(),
+                  "node_interarrivals requires a system-scoped view");
+  if (index_ == nullptr) return {};
+  index_->count_view_hit();
+  const DatasetIndex::SystemSlice* slice = index_->find_system(*system_);
+  if (slice == nullptr) return {};
+  const auto nodes_begin = index_->node_slices_.begin() +
+                           static_cast<std::ptrdiff_t>(slice->nodes_begin);
+  const auto nodes_end = index_->node_slices_.begin() +
+                         static_cast<std::ptrdiff_t>(slice->nodes_end);
+  const auto it = std::lower_bound(
+      nodes_begin, nodes_end, node_id,
+      [](const DatasetIndex::NodeSlice& s, int id) { return s.node_id < id; });
+  if (it == nodes_end || it->node_id != node_id) return {};
+  std::span<const Seconds> starts(index_->node_starts_.data() + it->begin,
+                                  it->end - it->begin);
+  if (windowed_) starts = window_of(starts, from_, to_);
+  return gaps_of(starts);
+}
+
+std::vector<double> DatasetView::system_interarrivals() const {
+  HPCFAIL_EXPECTS(system_.has_value(),
+                  "system_interarrivals requires a system-scoped view");
+  if (index_ != nullptr) index_->count_view_hit();
+  std::vector<double> gaps;
+  if (span_.size() >= 2) {
+    gaps.reserve(span_.size() - 1);
+    for (std::size_t i = 1; i < span_.size(); ++i) {
+      gaps.push_back(static_cast<double>(span_[i].start -
+                                         span_[i - 1].start));
+    }
+  }
+  return gaps;
+}
+
+std::vector<NodeInterarrivalGroup> DatasetView::node_interarrival_groups(
+    std::size_t min_gaps) const {
+  HPCFAIL_EXPECTS(system_.has_value(),
+                  "node_interarrival_groups requires a system-scoped view");
+  std::vector<NodeInterarrivalGroup> groups;
+  if (index_ == nullptr) return groups;
+  index_->count_view_hit();
+  const DatasetIndex::SystemSlice* slice = index_->find_system(*system_);
+  if (slice == nullptr) return groups;
+  for (std::size_t ni = slice->nodes_begin; ni < slice->nodes_end; ++ni) {
+    const DatasetIndex::NodeSlice& node = index_->node_slices_[ni];
+    std::span<const Seconds> starts(index_->node_starts_.data() + node.begin,
+                                    node.end - node.begin);
+    if (windowed_) starts = window_of(starts, from_, to_);
+    // n records -> n-1 gaps; skip nodes below the floor (and, when the
+    // window empties a node, skip it entirely).
+    if (starts.empty() || starts.size() < min_gaps + 1) continue;
+    NodeInterarrivalGroup group;
+    group.node_id = node.node_id;
+    group.gaps_seconds = gaps_of(starts);
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+std::map<int, std::size_t> DatasetView::failures_per_node() const {
+  HPCFAIL_EXPECTS(system_.has_value(),
+                  "failures_per_node requires a system-scoped view");
+  std::map<int, std::size_t> counts;
+  if (index_ == nullptr) return counts;
+  index_->count_view_hit();
+  const DatasetIndex::SystemSlice* slice = index_->find_system(*system_);
+  if (slice == nullptr) return counts;
+  for (std::size_t ni = slice->nodes_begin; ni < slice->nodes_end; ++ni) {
+    const DatasetIndex::NodeSlice& node = index_->node_slices_[ni];
+    std::size_t count = node.end - node.begin;
+    if (windowed_) {
+      std::span<const Seconds> starts(
+          index_->node_starts_.data() + node.begin, count);
+      count = window_of(starts, from_, to_).size();
+    }
+    if (count > 0) counts[node.node_id] = count;
+  }
+  return counts;
+}
+
+std::vector<double> DatasetView::repair_times_minutes() const {
+  if (index_ != nullptr) index_->count_view_hit();
+  std::vector<double> times;
+  times.reserve(span_.size());
+  for (const FailureRecord& r : span_) times.push_back(r.downtime_minutes());
+  return times;
+}
+
+double DatasetView::total_downtime_minutes() const noexcept {
+  double total = 0.0;
+  for (const FailureRecord& r : span_) total += r.downtime_minutes();
+  return total;
+}
+
+FailureDataset DatasetView::materialize() const {
+  // View spans are already (start, system, node)-sorted and were
+  // validated when the source dataset was built.
+  return FailureDataset::from_sorted(
+      std::vector<FailureRecord>(span_.begin(), span_.end()));
+}
+
+}  // namespace hpcfail::trace

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "synth/generator.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 namespace {
@@ -84,7 +85,8 @@ TEST(CorrelationAnalysis, BurstStatisticsExact) {
 TEST(CorrelationAnalysis, SyntheticPioneerSystemIsCorrelatedEarly) {
   const FailureDataset ds = synth::generate_lanl_trace(42);
   const FailureDataset early =
-      ds.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1));
+      ds.view().between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1))
+          .materialize();
   const CorrelationReport report = correlation_analysis(early, 20);
   // Section 5.3: heavy simultaneous-failure mass early on.
   EXPECT_GT(report.bursts.burst_fraction(), 0.3);
@@ -96,9 +98,11 @@ TEST(CorrelationAnalysis, SyntheticPioneerSystemIsCorrelatedEarly) {
 TEST(CorrelationAnalysis, LateEraMuchLessCorrelated) {
   const FailureDataset ds = synth::generate_lanl_trace(42);
   const FailureDataset early =
-      ds.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1));
+      ds.view().between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1))
+          .materialize();
   const FailureDataset late =
-      ds.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1));
+      ds.view().between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
+          .materialize();
   const CorrelationReport early_report = correlation_analysis(early, 20);
   const CorrelationReport late_report = correlation_analysis(late, 20);
   EXPECT_LT(late_report.bursts.burst_fraction(),

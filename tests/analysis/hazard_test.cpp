@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "dist/weibull.hpp"
 #include "synth/generator.hpp"
+#include "trace/index.hpp"
 
 namespace hpcfail::analysis {
 namespace {
@@ -76,7 +77,8 @@ TEST(HazardAnalysis, SyntheticLanlSystem20HasDecreasingHazard) {
   // synthetic trace (late era to avoid the early-burst regime).
   const FailureDataset ds = synth::generate_lanl_trace(42);
   const FailureDataset late =
-      ds.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1));
+      ds.view().between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
+          .materialize();
   const HazardReport report = node_hazard_analysis(late, 20);
   EXPECT_TRUE(report.decreasing_hazard());
   EXPECT_GT(report.log_log_slope, 0.4);

@@ -148,5 +148,32 @@ TEST(Interarrival, ThrowsOnAbsentSystem) {
   EXPECT_THROW(interarrival_analysis(ds, q), InvalidArgument);
 }
 
+TEST(Interarrival, WindowingAbsentSystemFailsLoudly) {
+  // Regression: `from` set on a system with no records used to default
+  // the open end bound to 0 and quietly query the inverted range
+  // [from, 0); it must instead name the empty system.
+  const FailureDataset ds =
+      weibull_renewal_dataset(2, 0, 1.0, 3600.0, 50, 229);
+  InterarrivalQuery q;
+  q.system_id = 3;  // no records
+  q.from = to_epoch(2000, 1, 1);
+  try {
+    interarrival_analysis(ds, q);
+    FAIL() << "should have thrown";
+  } catch (const ValidationError& e) {
+    EXPECT_NE(std::string(e.what()).find("system 3"), std::string::npos);
+  }
+}
+
+TEST(Interarrival, InvertedWindowFailsLoudly) {
+  const FailureDataset ds =
+      weibull_renewal_dataset(2, 0, 1.0, 3600.0, 50, 229);
+  InterarrivalQuery q;
+  q.system_id = 2;
+  q.from = to_epoch(2001, 1, 1);
+  q.to = to_epoch(2000, 1, 1);  // before `from`
+  EXPECT_THROW(interarrival_analysis(ds, q), ValidationError);
+}
+
 }  // namespace
 }  // namespace hpcfail::analysis

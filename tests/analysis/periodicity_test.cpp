@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace hpcfail::analysis {
@@ -62,6 +64,26 @@ TEST(Periodicity, RatiosReflectDayNightAndWeekPattern) {
       periodicity(FailureDataset(std::move(records)));
   EXPECT_GT(report.day_night_ratio, 1.5);
   EXPECT_NEAR(report.weekday_weekend_ratio, 2.0, 0.01);
+}
+
+TEST(Periodicity, ZeroTroughRatiosAreInfinite) {
+  // Regression: with every failure in one smoothed hourly band the
+  // trough is zero, and day_night_ratio used to return the raw peak
+  // count (a count masquerading as a ratio). Same for a trace with no
+  // weekend failures at all.
+  std::vector<FailureRecord> records;
+  const Seconds monday = to_epoch(2005, 11, 28);
+  for (int i = 0; i < 50; ++i) {
+    // All failures Monday 14:00; every other hour (and the weekend) is
+    // empty.
+    records.push_back(at(monday + 14 * kSecondsPerHour + i));
+  }
+  const PeriodicityReport report =
+      periodicity(FailureDataset(std::move(records)));
+  EXPECT_TRUE(std::isinf(report.day_night_ratio));
+  EXPECT_GT(report.day_night_ratio, 0.0);
+  EXPECT_TRUE(std::isinf(report.weekday_weekend_ratio));
+  EXPECT_GT(report.weekday_weekend_ratio, 0.0);
 }
 
 TEST(Periodicity, RejectsEmptyDataset) {

@@ -59,6 +59,22 @@ TEST(ParseCsv, MissingFinalNewline) {
   EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
 }
 
+TEST(ParseCsv, CrLfWithMissingFinalNewline) {
+  // Regression: a CRLF file truncated before its final LF used to keep
+  // the '\r' in the last field of the last row.
+  const auto rows = parse_csv("a,b\r\nc,d\r");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(ParseCsv, QuotedFinalFieldKeepsCarriageReturn) {
+  // A quoted '\r' is data, not a line ending, even at end of input.
+  const auto rows = parse_csv("a,\"b\r\"");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b\r"}));
+}
+
 TEST(ParseCsv, EmptyFields) {
   const auto rows = parse_csv(",,\n");
   ASSERT_EQ(rows.size(), 1u);
@@ -96,6 +112,17 @@ TEST(CsvWriter, RoundTripsThroughReader) {
 
   const auto parsed = parse_csv(out.str());
   EXPECT_EQ(parsed, rows);
+}
+
+TEST(CsvWriter, FieldEndingInCarriageReturnRoundTrips) {
+  // Regression: the CRLF strip used to eat a quoted trailing '\r' on
+  // the way back in, so write -> read was lossy for this field.
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"x", "ends with cr\r"});
+  const auto parsed = parse_csv(out.str());
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0][1], "ends with cr\r");
 }
 
 TEST(CsvWriter, CustomSeparator) {

@@ -50,9 +50,12 @@ TEST(CvSquared, ExponentialLikeSampleNearOne) {
   EXPECT_NEAR(cv_squared(xs), 1.0, 0.05);
 }
 
-TEST(CvSquared, RejectsZeroMean) {
+TEST(CvSquared, ZeroMeanIsNaN) {
+  // C^2 is undefined at zero mean; both entry points must agree on NaN
+  // rather than one throwing and the other silently reporting 0.
   const std::vector<double> xs = {-1.0, 1.0};
-  EXPECT_THROW(cv_squared(xs), InvalidArgument);
+  EXPECT_TRUE(std::isnan(cv_squared(xs)));
+  EXPECT_TRUE(std::isnan(summarize(xs).cv2));
 }
 
 TEST(QuantileSorted, InterpolatesLinearly) {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "trace/index.hpp"
 #include "trace/validate.hpp"
 #include "stats/descriptive.hpp"
 
@@ -49,7 +50,7 @@ TEST(Generator, SubsetRegeneratesIdentically) {
   const TraceGenerator gen(SystemCatalog::lanl(), lanl_scenario(42));
   const FailureDataset full = gen.generate();
   const FailureDataset solo(gen.generate_system(13));
-  const FailureDataset slice = full.for_system(13);
+  const trace::DatasetView slice = full.view().for_system(13);
   ASSERT_EQ(solo.size(), slice.size());
   for (std::size_t i = 0; i < solo.size(); ++i) {
     EXPECT_EQ(solo.records()[i], slice.records()[i]);
@@ -102,7 +103,7 @@ TEST(Generator, GraphicsNodesAreFailureHotSpots) {
   // of its failures.
   const TraceGenerator gen(SystemCatalog::lanl(), lanl_scenario(42));
   const FailureDataset ds(gen.generate_system(20));
-  const auto counts = ds.failures_per_node(20);
+  const auto counts = ds.view().for_system(20).failures_per_node();
   std::size_t total = 0;
   std::size_t graphics = 0;
   for (const auto& [node, count] : counts) {
@@ -119,8 +120,10 @@ TEST(Generator, EarlyEraHasSimultaneousFailures) {
   // Fig 6(c): >30% of system-wide interarrivals are zero early on.
   const TraceGenerator gen(SystemCatalog::lanl(), lanl_scenario(42));
   const FailureDataset ds(gen.generate_system(20));
-  const auto early = ds.between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1))
-                         .system_interarrivals(20);
+  const auto early = ds.view()
+                         .for_system(20)
+                         .between(to_epoch(1997, 1, 1), to_epoch(2000, 1, 1))
+                         .system_interarrivals();
   ASSERT_GT(early.size(), 100u);
   std::size_t zeros = 0;
   for (const double g : early) {
@@ -129,8 +132,10 @@ TEST(Generator, EarlyEraHasSimultaneousFailures) {
   EXPECT_GT(static_cast<double>(zeros) / static_cast<double>(early.size()),
             0.30);
   // Late era: far fewer simultaneous failures.
-  const auto late = ds.between(to_epoch(2001, 1, 1), to_epoch(2006, 1, 1))
-                        .system_interarrivals(20);
+  const auto late = ds.view()
+                        .for_system(20)
+                        .between(to_epoch(2001, 1, 1), to_epoch(2006, 1, 1))
+                        .system_interarrivals();
   std::size_t late_zeros = 0;
   for (const double g : late) {
     if (g == 0.0) ++late_zeros;
@@ -145,8 +150,10 @@ TEST(Generator, LateEraInterarrivalsAreOverdispersed) {
   // C^2 > 1.3 so the exponential assumption is visibly wrong.
   const TraceGenerator gen(SystemCatalog::lanl(), lanl_scenario(42));
   const FailureDataset ds(gen.generate_system(20));
-  const auto gaps = ds.between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
-                        .node_interarrivals(20, 22);
+  const auto gaps = ds.view()
+                        .for_system(20)
+                        .between(to_epoch(2000, 1, 1), to_epoch(2006, 1, 1))
+                        .node_interarrivals(22);
   ASSERT_GT(gaps.size(), 50u);
   EXPECT_GT(hpcfail::stats::cv_squared(gaps), 1.3);
 }
@@ -189,9 +196,9 @@ TEST(Generator, WorksWithCustomCatalogs) {
                                  overlapping_repair) ==
                   trace::validate(ds, catalog).issues.size());
   const double small_rate =
-      static_cast<double>(ds.for_system(1).size()) / 2.0;
+      static_cast<double>(ds.view().for_system(1).size()) / 2.0;
   const double large_rate =
-      static_cast<double>(ds.for_system(2).size()) / 2.0;
+      static_cast<double>(ds.view().for_system(2).size()) / 2.0;
   EXPECT_NEAR(small_rate / 80.0, 1.0, 0.25);
   EXPECT_NEAR(large_rate / 320.0, 1.0, 0.25);
   // Linear scaling: 4x the nodes at 4x the target rate.

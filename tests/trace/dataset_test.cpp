@@ -4,6 +4,10 @@
 
 #include "common/error.hpp"
 
+// These tests deliberately exercise the deprecated copying accessors:
+// they are the behavioural contract the view-backed shims must keep.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
 namespace hpcfail::trace {
 namespace {
 

@@ -1,0 +1,210 @@
+// DatasetIndex / DatasetView semantics, plus the contract that makes the
+// deprecated copying API safe to keep as shims: every view extraction is
+// bit-identical to the legacy implementation, at any thread count.
+#include "trace/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "synth/generator.hpp"
+#include "trace/dataset.hpp"
+
+// The identity half of these tests compares views against the deprecated
+// copying accessors on purpose.
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace hpcfail::trace {
+namespace {
+
+FailureRecord rec(int system, int node, Seconds start, Seconds duration) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::memory_dimm;
+  return r;
+}
+
+const Seconds t0 = to_epoch(2000, 1, 1);
+
+FailureDataset small_dataset() {
+  return FailureDataset({
+      rec(1, 0, t0 + 5000, 600),
+      rec(1, 0, t0 + 1000, 300),
+      rec(1, 1, t0 + 3000, 1200),
+      rec(2, 0, t0 + 2000, 60),
+      rec(1, 0, t0 + 9000, 300),
+  });
+}
+
+TEST(DatasetView, RootViewCoversEverything) {
+  const FailureDataset ds = small_dataset();
+  const DatasetView all = ds.view();
+  EXPECT_EQ(all.size(), ds.size());
+  EXPECT_FALSE(all.system().has_value());
+  EXPECT_EQ(all.first_start(), ds.first_start());
+  EXPECT_EQ(all.last_end(), ds.last_end());
+}
+
+TEST(DatasetView, ForSystemIsZeroCopy) {
+  const FailureDataset ds = small_dataset();
+  const DatasetView sys1 = ds.view().for_system(1);
+  ASSERT_EQ(sys1.size(), 4u);
+  EXPECT_EQ(sys1.system(), std::optional<int>(1));
+  // The span points into index storage, not a fresh allocation: narrowing
+  // again to the same system is the same span.
+  EXPECT_EQ(sys1.for_system(1).records().data(), sys1.records().data());
+  // Narrowing to a different system yields the empty view.
+  EXPECT_TRUE(sys1.for_system(2).empty());
+  EXPECT_TRUE(ds.view().for_system(99).empty());
+}
+
+TEST(DatasetView, BetweenIsHalfOpenAndComposes) {
+  const FailureDataset ds = small_dataset();
+  const DatasetView window = ds.view().between(t0 + 1000, t0 + 5000);
+  EXPECT_EQ(window.size(), 3u);  // 1000, 2000, 3000; excludes 5000
+
+  // Composition commutes: window-then-system == system-then-window.
+  const DatasetView a = ds.view().between(t0 + 1000, t0 + 5000).for_system(1);
+  const DatasetView b = ds.view().for_system(1).between(t0 + 1000, t0 + 5000);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.records()[i], b.records()[i]);
+  }
+  // Window intersection, not replacement.
+  EXPECT_EQ(
+      ds.view().between(t0, t0 + 5000).between(t0 + 2000, t0 + 99999).size(),
+      2u);  // 2000, 3000
+  // Inverted and disjoint windows are empty, not errors.
+  EXPECT_TRUE(ds.view().between(t0 + 5000, t0 + 1000).empty());
+  EXPECT_TRUE(ds.view().between(t0 + 50000, t0 + 60000).empty());
+}
+
+TEST(DatasetView, ExtractionsMatchHandComputedValues) {
+  const FailureDataset ds = small_dataset();
+  const DatasetView sys1 = ds.view().for_system(1);
+
+  const auto node0 = sys1.node_interarrivals(0);
+  ASSERT_EQ(node0.size(), 2u);
+  EXPECT_DOUBLE_EQ(node0[0], 4000.0);
+  EXPECT_DOUBLE_EQ(node0[1], 4000.0);
+  EXPECT_TRUE(sys1.node_interarrivals(99).empty());
+
+  const auto gaps = sys1.system_interarrivals();
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 2000.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 2000.0);
+  EXPECT_DOUBLE_EQ(gaps[2], 4000.0);
+
+  const auto counts = sys1.failures_per_node();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts.at(0), 3u);
+  EXPECT_EQ(counts.at(1), 1u);
+
+  EXPECT_DOUBLE_EQ(sys1.total_downtime_minutes(), 5.0 + 20.0 + 10.0 + 5.0);
+}
+
+TEST(DatasetView, WindowedExtractionsRespectTheWindow) {
+  const FailureDataset ds = small_dataset();
+  const DatasetView windowed =
+      ds.view().for_system(1).between(t0 + 1000, t0 + 6000);
+  const auto node0 = windowed.node_interarrivals(0);
+  ASSERT_EQ(node0.size(), 1u);  // 1000 -> 5000; 9000 is outside
+  EXPECT_DOUBLE_EQ(node0[0], 4000.0);
+  const auto counts = windowed.failures_per_node();
+  EXPECT_EQ(counts.at(0), 2u);
+  EXPECT_EQ(counts.at(1), 1u);
+}
+
+TEST(DatasetView, GroupedExtractorMatchesPerNodeCalls) {
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  const DatasetView sys20 = ds.view().for_system(20);
+  const auto groups = sys20.node_interarrival_groups();
+  ASSERT_FALSE(groups.empty());
+  int prev_node = -1;
+  for (const NodeInterarrivalGroup& g : groups) {
+    EXPECT_GT(g.node_id, prev_node);  // ascending, no duplicates
+    prev_node = g.node_id;
+    EXPECT_EQ(g.gaps_seconds, sys20.node_interarrivals(g.node_id));
+  }
+  // min_gaps drops the sparse nodes but never alters surviving samples.
+  const auto filtered = sys20.node_interarrival_groups(/*min_gaps=*/30);
+  EXPECT_LT(filtered.size(), groups.size());
+  for (const NodeInterarrivalGroup& g : filtered) {
+    EXPECT_GE(g.gaps_seconds.size(), 30u);
+    EXPECT_EQ(g.gaps_seconds, sys20.node_interarrivals(g.node_id));
+  }
+}
+
+TEST(DatasetView, RequiresSystemScopeForNodeExtractions) {
+  const FailureDataset ds = small_dataset();
+  EXPECT_THROW(ds.view().node_interarrivals(0), InvalidArgument);
+  EXPECT_THROW(ds.view().system_interarrivals(), InvalidArgument);
+  EXPECT_THROW(ds.view().node_interarrival_groups(), InvalidArgument);
+  EXPECT_THROW(ds.view().failures_per_node(), InvalidArgument);
+}
+
+TEST(DatasetView, MaterializeDeepCopies) {
+  FailureDataset copy;
+  {
+    const FailureDataset ds = small_dataset();
+    copy = ds.view().for_system(1).materialize();
+  }  // the source is gone; the copy must be standalone
+  ASSERT_EQ(copy.size(), 4u);
+  EXPECT_EQ(copy.view().for_system(1).size(), 4u);
+  EXPECT_EQ(copy.records()[0].start, t0 + 1000);
+}
+
+TEST(DatasetIndex, SystemIdsSortedUnique) {
+  const FailureDataset ds = small_dataset();
+  EXPECT_EQ(ds.index().system_ids(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(ds.index().record_count(), 5u);
+}
+
+TEST(DatasetIndex, CopyAndMoveResetTheIndex) {
+  FailureDataset ds = small_dataset();
+  (void)ds.index();  // force the build
+  FailureDataset copy = ds;
+  EXPECT_EQ(copy.view().for_system(1).size(), 4u);
+  FailureDataset moved = std::move(ds);
+  EXPECT_EQ(moved.view().for_system(1).size(), 4u);
+}
+
+TEST(DatasetIndex, ViewsMatchLegacyApiBitIdenticallyAtAnyThreadCount) {
+  const FailureDataset ds = synth::generate_lanl_trace(42);
+  // Legacy (copying) results, computed once.
+  const FailureDataset legacy_sys = ds.for_system(20);
+  const auto legacy_node_gaps = ds.node_interarrivals(20, 22);
+  const auto legacy_sys_gaps = ds.system_interarrivals(20);
+  const auto legacy_counts = ds.failures_per_node(20);
+  const FailureDataset legacy_window =
+      ds.between(to_epoch(2000, 1, 1), to_epoch(2003, 1, 1));
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    hpcfail::set_parallelism(threads);
+    // A fresh dataset per thread count so the index is rebuilt under the
+    // configured parallelism.
+    const FailureDataset fresh = synth::generate_lanl_trace(42);
+    const DatasetView sys20 = fresh.view().for_system(20);
+    ASSERT_EQ(sys20.size(), legacy_sys.size()) << threads << " threads";
+    for (std::size_t i = 0; i < sys20.size(); ++i) {
+      ASSERT_EQ(sys20.records()[i], legacy_sys.records()[i]);
+    }
+    EXPECT_EQ(sys20.node_interarrivals(22), legacy_node_gaps);
+    EXPECT_EQ(sys20.system_interarrivals(), legacy_sys_gaps);
+    EXPECT_EQ(sys20.failures_per_node(), legacy_counts);
+    const DatasetView window =
+        fresh.view().between(to_epoch(2000, 1, 1), to_epoch(2003, 1, 1));
+    ASSERT_EQ(window.size(), legacy_window.size());
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      ASSERT_EQ(window.records()[i], legacy_window.records()[i]);
+    }
+  }
+  hpcfail::set_parallelism(0);
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

@@ -22,8 +22,8 @@ TEST(RoundTrip, FullSyntheticTraceSurvivesCsv) {
   // Derived statistics are identical, not just the raw fields.
   EXPECT_DOUBLE_EQ(reread.total_downtime_minutes(),
                    original.total_downtime_minutes());
-  EXPECT_EQ(reread.system_interarrivals(20),
-            original.system_interarrivals(20));
+  EXPECT_EQ(reread.view().for_system(20).system_interarrivals(),
+            original.view().for_system(20).system_interarrivals());
 }
 
 TEST(RoundTrip, RandomizedRecordsSurviveCsv) {
@@ -63,6 +63,46 @@ TEST(RoundTrip, RandomizedRecordsSurviveCsv) {
   ASSERT_EQ(reread.size(), original.size());
   for (std::size_t i = 0; i < original.size(); ++i) {
     ASSERT_EQ(reread.records()[i], original.records()[i]) << "record " << i;
+  }
+}
+
+TEST(RoundTrip, SurvivesCrLfAndMissingFinalNewline) {
+  // Property: the trace reader accepts the same file in the common
+  // "hostile" encodings — CRLF line endings, blank separator lines, and
+  // a truncated final newline — and produces the identical dataset.
+  const FailureDataset original(synth::generate_lanl_trace(7)
+                                    .view()
+                                    .for_system(5)
+                                    .materialize());
+  ASSERT_GT(original.size(), 10u);
+  std::stringstream clean;
+  write_csv(clean, original);
+  const std::string text = clean.str();
+
+  // CRLF every line, and drop the final newline entirely.
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += "\r\n";
+    else crlf += c;
+  }
+  crlf.erase(crlf.size() - 2);  // strip the trailing "\r\n"
+
+  // Blank lines sprinkled between rows.
+  std::string blanks;
+  std::size_t row = 0;
+  for (const char c : text) {
+    blanks += c;
+    if (c == '\n' && ++row % 5 == 0) blanks += '\n';
+  }
+
+  for (const std::string& variant : {crlf, blanks}) {
+    std::stringstream in(variant);
+    const FailureDataset reread = read_csv(in);
+    ASSERT_EQ(reread.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+      ASSERT_EQ(reread.records()[i], original.records()[i])
+          << "record " << i;
+    }
   }
 }
 

@@ -27,10 +27,13 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
   std::string field;
   bool quoted = false;
   // A trailing '\r' is a CRLF line ending only when it arrived outside
-  // quotes; a quoted '\r' (written by csv_escape) is field data.
-  bool field_was_quoted = false;
-  const auto strip_cr = [&field, &field_was_quoted] {
-    if (!field_was_quoted && !field.empty() && field.back() == '\r') {
+  // quotes; a '\r' pushed inside quotes (written by csv_escape) is field
+  // data — even when more unquoted characters follow the closing quote,
+  // so this tracks the provenance of the *current last* character, not
+  // whether the field started quoted.
+  bool trailing_cr_is_data = false;
+  const auto strip_cr = [&field, &trailing_cr_is_data] {
+    if (!trailing_cr_is_data && !field.empty() && field.back() == '\r') {
       field.pop_back();
     }
   };
@@ -52,28 +55,30 @@ bool CsvReader::next_row(std::vector<std::string>& fields) {
         if (in_.peek() == '"') {
           in_.get();
           field.push_back('"');
+          trailing_cr_is_data = false;
         } else {
           quoted = false;
         }
       } else {
         if (c == '\n') ++line_;
         field.push_back(c);
+        trailing_cr_is_data = (c == '\r');
       }
       continue;
     }
     if (c == '"' && field.empty()) {
       quoted = true;
-      field_was_quoted = true;
     } else if (c == sep_) {
       fields.push_back(std::move(field));
       field.clear();
-      field_was_quoted = false;
+      trailing_cr_is_data = false;
     } else if (c == '\n') {
       strip_cr();
       fields.push_back(std::move(field));
       return true;
     } else {
       field.push_back(c);
+      trailing_cr_is_data = false;
     }
   }
 }

@@ -44,14 +44,18 @@ FailureDataset& FailureDataset::operator=(const FailureDataset& other) {
   return *this;
 }
 
-FailureDataset::FailureDataset(FailureDataset&& other) noexcept
-    : records_(std::move(other.records_)) {
-  // The source's index holds spans into the buffer we just took; drop it.
+FailureDataset::FailureDataset(FailureDataset&& other) noexcept {
+  // Hold the source's mutex so a concurrent index()/view() on it can't
+  // observe the buffer mid-steal; its index holds spans into the buffer
+  // we take, so drop it.
+  std::lock_guard<std::mutex> lock(other.index_mutex_);
+  records_ = std::move(other.records_);
   other.index_.reset();
 }
 
 FailureDataset& FailureDataset::operator=(FailureDataset&& other) noexcept {
   if (this != &other) {
+    std::scoped_lock lock(index_mutex_, other.index_mutex_);
     records_ = std::move(other.records_);
     index_.reset();
     other.index_.reset();

@@ -38,7 +38,10 @@ class FailureDataset {
   FailureDataset(const FailureDataset& other);
   FailureDataset& operator=(const FailureDataset& other);
   /// Moving invalidates the source's index and any views borrowed from
-  /// either object.
+  /// either object. The move itself holds both index mutexes, so it
+  /// serializes against concurrent index()/view() calls — but views
+  /// handed out *before* the move still dangle; callers must not use
+  /// them afterwards.
   FailureDataset(FailureDataset&& other) noexcept;
   FailureDataset& operator=(FailureDataset&& other) noexcept;
 

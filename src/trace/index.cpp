@@ -126,7 +126,6 @@ DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
         .set(std::chrono::duration<double, std::milli>(elapsed).count());
     obs::registry().gauge("dataset.index_records")
         .set(static_cast<double>(base_.size()));
-    view_hits_ = &obs::registry().counter("dataset.view_hits");
   }
 }
 
@@ -154,7 +153,16 @@ const DatasetIndex::SystemSlice* DatasetIndex::find_system(
 }
 
 void DatasetIndex::count_view_hit() const noexcept {
-  if (view_hits_ != nullptr && obs::enabled()) view_hits_->add(1);
+  if (!obs::enabled()) return;
+  // Resolved lazily so that obs enabled *after* the index was built still
+  // counts hits; registry().counter() is idempotent, so a race between
+  // resolvers just stores the same pointer twice.
+  obs::Counter* counter = view_hits_.load(std::memory_order_acquire);
+  if (counter == nullptr) {
+    counter = &obs::registry().counter("dataset.view_hits");
+    view_hits_.store(counter, std::memory_order_release);
+  }
+  counter->add(1);
 }
 
 // ---------------------------------------------------------------------------

@@ -30,8 +30,16 @@
 // and is deterministic at any thread count. Build time is exported as the
 // obs gauge "dataset.index_build_ms"; every view-producing query counts
 // into "dataset.view_hits".
+//
+// Memory cost: the per-system partition stores a copy of every record and
+// the posting lists store one Seconds per record, so an indexed dataset
+// occupies roughly twice the raw trace. The duplication is what makes
+// per-system views contiguous (spans cannot express a permutation);
+// callers that never query can avoid it entirely by not calling
+// view()/index(), since the index is built lazily.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <optional>
 #include <span>
@@ -171,7 +179,10 @@ class DatasetIndex {
   std::vector<SystemSlice> systems_;       ///< ascending system id
   std::vector<NodeSlice> node_slices_;     ///< grouped by system
   std::vector<Seconds> node_starts_;       ///< the posting-list storage
-  obs::Counter* view_hits_ = nullptr;      ///< null while obs disabled
+  /// Resolved on first counted hit (not at build time, so enabling obs
+  /// after a lazy index build still records hits); atomic because
+  /// concurrent const queries may race the resolution.
+  mutable std::atomic<obs::Counter*> view_hits_{nullptr};
 };
 
 }  // namespace hpcfail::trace

@@ -68,6 +68,31 @@ TEST(ParseCsv, CrLfWithMissingFinalNewline) {
   EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
 }
 
+TEST(ParseCsv, QuotedFinalFieldFollowedByCrLf) {
+  // Regression: the '\r' of a CRLF ending arrives *after* the closing
+  // quote, so it must still be stripped even though the field was quoted
+  // (standard RFC 4180 shape, e.g. Excel exports).
+  const auto rows = parse_csv("a,\"b,c\"\r\nd,e\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"d", "e"}));
+}
+
+TEST(ParseCsv, QuotedFinalFieldFollowedByCrAtEof) {
+  // Same shape, CRLF file truncated before its final LF.
+  const auto rows = parse_csv("a,\"b,c\"\r");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b,c"}));
+}
+
+TEST(ParseCsv, QuotedTrailingCrSurvivesCrLfEnding) {
+  // A quoted '\r' at the end of the quoted region is data; only the
+  // unquoted '\r' of the CRLF ending is stripped.
+  const auto rows = parse_csv("a,\"b\r\"\r\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b\r"}));
+}
+
 TEST(ParseCsv, QuotedFinalFieldKeepsCarriageReturn) {
   // A quoted '\r' is data, not a line ending, even at end of input.
   const auto rows = parse_csv("a,\"b\r\"");

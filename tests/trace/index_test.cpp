@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "synth/generator.hpp"
 #include "trace/dataset.hpp"
 
@@ -171,6 +172,20 @@ TEST(DatasetIndex, CopyAndMoveResetTheIndex) {
   EXPECT_EQ(copy.view().for_system(1).size(), 4u);
   FailureDataset moved = std::move(ds);
   EXPECT_EQ(moved.view().for_system(1).size(), 4u);
+}
+
+TEST(DatasetIndex, ViewHitsCountedWhenObsEnabledAfterIndexBuild) {
+  // Regression: the view_hits counter used to be resolved only at index
+  // build time, so enabling obs after the lazy build silently dropped
+  // every hit.
+  const FailureDataset ds = small_dataset();
+  obs::disable();
+  ds.view();  // builds the index with obs off
+  obs::enable();
+  const auto before = obs::registry().counter("dataset.view_hits").value();
+  ds.view().for_system(1);
+  EXPECT_GT(obs::registry().counter("dataset.view_hits").value(), before);
+  obs::disable();
 }
 
 TEST(DatasetIndex, ViewsMatchLegacyApiBitIdenticallyAtAnyThreadCount) {

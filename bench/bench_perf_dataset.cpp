@@ -6,7 +6,7 @@
 // synthetic traces of 10k, 100k, and 1M records and reports the
 // speedups, as JSON to the output path given as argv[1] (stdout when
 // omitted). The legacy path is reimplemented inline because the
-// deprecated FailureDataset accessors are now shims over the index.
+// copying FailureDataset accessors are gone from the library.
 #include <chrono>
 #include <fstream>
 #include <iostream>

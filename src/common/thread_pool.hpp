@@ -95,8 +95,9 @@ class ThreadPool {
 unsigned hardware_parallelism() noexcept;
 
 /// Sets the library-wide worker count used by parallel_for/parallel_map
-/// (and everything built on them: TraceGenerator::generate, dist::fit_all,
-/// dist::fit_many). 0 restores the default, hardware_parallelism().
+/// (and everything built on them: TraceGenerator::generate,
+/// dist::fit_report, dist::fit_report_many). 0 restores the default,
+/// hardware_parallelism().
 /// Rebuilds the shared pool; do not call concurrently with running
 /// parallel work.
 void set_parallelism(unsigned n);

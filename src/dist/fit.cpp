@@ -10,8 +10,10 @@
 #include "common/thread_pool.hpp"
 #include "dist/exponential.hpp"
 #include "dist/gamma.hpp"
+#include "dist/hyperexp.hpp"
 #include "dist/lognormal.hpp"
 #include "dist/normal.hpp"
+#include "dist/pareto.hpp"
 #include "dist/poisson.hpp"
 #include "dist/weibull.hpp"
 #include "obs/metrics.hpp"
@@ -42,6 +44,8 @@ std::string to_string(Family family) {
     case Family::lognormal: return "lognormal";
     case Family::normal: return "normal";
     case Family::poisson: return "poisson";
+    case Family::pareto: return "pareto";
+    case Family::hyperexp: return "hyperexp";
   }
   throw InvalidArgument("unknown distribution family");
 }
@@ -73,6 +77,8 @@ int parameter_count(Family family) noexcept {
     case Family::exponential:
     case Family::poisson:
       return 1;
+    case Family::hyperexp:
+      return 3;  // two rates + one mixing weight
     default:
       return 2;
   }
@@ -107,6 +113,13 @@ FitResult fit(Family family, std::span<const double> xs, double floor_at) {
       break;
     case Family::poisson:
       result.model = std::make_unique<Poisson>(Poisson::fit_mle(xs));
+      break;
+    case Family::pareto:
+      result.model = std::make_unique<Pareto>(Pareto::fit_mle(xs, floor_at));
+      break;
+    case Family::hyperexp:
+      result.model =
+          std::make_unique<HyperExp>(HyperExp::fit_em(xs, floor_at));
       break;
   }
   result.iterations = hpcfail::stats::solver_steps() - steps_before;
@@ -143,6 +156,14 @@ std::span<const Family> standard_families() noexcept {
 std::span<const Family> count_families() noexcept {
   static constexpr std::array<Family, 3> kFamilies = {
       Family::poisson, Family::normal, Family::lognormal};
+  return kFamilies;
+}
+
+std::span<const Family> all_families() noexcept {
+  static constexpr std::array<Family, 8> kFamilies = {
+      Family::exponential, Family::weibull,  Family::gamma,
+      Family::lognormal,   Family::normal,   Family::poisson,
+      Family::pareto,      Family::hyperexp};
   return kFamilies;
 }
 
@@ -183,9 +204,13 @@ FitReport fit_report(std::span<const double> xs,
   if (report.ranked.empty()) {
     throw FitError("no distribution family could be fitted");
   }
+  // Tie-break equal likelihoods by enum order so the ranking is a pure
+  // function of the sample — permutation-stable in the requested family
+  // order and reproducible at any thread count.
   std::sort(report.ranked.begin(), report.ranked.end(),
             [](const FitResult& a, const FitResult& b) {
-              return a.nll < b.nll;
+              if (a.nll != b.nll) return a.nll < b.nll;
+              return a.family < b.family;
             });
   return report;
 }
@@ -210,22 +235,6 @@ std::vector<FitReport> fit_report_many(
           return failed;
         }
       });
-}
-
-std::vector<FitResult> fit_all(std::span<const double> xs,
-                               std::span<const Family> families,
-                               double floor_at) {
-  return std::move(fit_report(xs, families, floor_at).ranked);
-}
-
-std::vector<std::vector<FitResult>> fit_many(
-    std::span<const std::vector<double>> samples,
-    std::span<const Family> families, double floor_at) {
-  auto reports = fit_report_many(samples, families, floor_at);
-  std::vector<std::vector<FitResult>> out;
-  out.reserve(reports.size());
-  for (FitReport& report : reports) out.push_back(std::move(report.ranked));
-  return out;
 }
 
 FitResult best_standard_fit(std::span<const double> xs) {

@@ -10,8 +10,11 @@
 // fit_report_many() is the batched form used for the paper's per-node
 // (Fig 6) and per-system (Fig 7) sweeps.
 //
-// The pre-FitReport entry points fit_all()/fit_many() remain as
-// [[deprecated]] shims returning the bare ranked vectors.
+// Beyond the paper's four standard families and the Fig 3(b) count
+// models, the fitter also knows Pareto (the heavy-tailed alternative the
+// paper rejects for interarrival data) and the two-phase hyperexponential
+// (the classic C^2 > 1 renewal model); all eight are exercised by the
+// testkit calibration oracles.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +35,8 @@ enum class Family {
   lognormal,
   normal,
   poisson,
+  pareto,
+  hyperexp,
 };
 
 std::string to_string(Family family);
@@ -46,11 +51,6 @@ struct FitResult {
   double ks_pvalue = 0.0;
   /// Solver iterations the MLE needed (0 for closed-form families).
   std::uint64_t iterations = 0;
-
-  /// Pre-rename spelling of `nll`; migrate to the field.
-  [[deprecated("use the nll field")]] double neg_log_likelihood() const {
-    return nll;
-  }
 
   FitResult() = default;
   FitResult(FitResult&&) = default;
@@ -88,7 +88,10 @@ int parameter_count(Family family) noexcept;
 /// families compete on an equal footing. Callers choose the floor from the
 /// data's resolution (e.g. 1.0 for second-resolution interarrival times
 /// with exact-zero simultaneous failures). Throws InvalidArgument on
-/// unusable samples (see each family's fit_mle).
+/// structurally unusable samples (empty, negative floor) and FitError
+/// when the family is degenerate on the sample — e.g. a constant-valued
+/// (zero-variance) sample for any two-parameter family; fit_report()
+/// counts the latter into failed_families.
 FitResult fit(Family family, std::span<const double> xs,
               double floor_at = 1e-9);
 
@@ -98,12 +101,18 @@ std::span<const Family> standard_families() noexcept;
 /// The three count-model families of Fig 3(b).
 std::span<const Family> count_families() noexcept;
 
+/// Every family the fitter knows, in enum order (the testkit calibration
+/// oracles sweep this).
+std::span<const Family> all_families() noexcept;
+
 /// Fits every family in `families` and ranks the successes best-first by
-/// nll. Families whose fit throws (e.g. degenerate sample for that
-/// family) are counted in `failed_families` and skipped; throws FitError
-/// if none succeed. Families are fitted concurrently on the shared pool
-/// (see common/thread_pool.hpp); results are independent of the thread
-/// count.
+/// nll (ties broken by enum order, so the ranking is a deterministic
+/// function of the sample alone — independent of the thread count and of
+/// the order families were requested in). Families whose fit throws
+/// (e.g. degenerate sample for that family) are counted in
+/// `failed_families` and skipped; throws FitError if none succeed.
+/// Families are fitted concurrently on the shared pool (see
+/// common/thread_pool.hpp).
 FitReport fit_report(std::span<const double> xs,
                      std::span<const Family> families,
                      double floor_at = 1e-9);
@@ -117,16 +126,6 @@ FitReport fit_report(std::span<const double> xs,
 std::vector<FitReport> fit_report_many(
     std::span<const std::vector<double>> samples,
     std::span<const Family> families, double floor_at = 1e-9);
-
-/// Deprecated pre-FitReport form of fit_report(): just the ranked vector.
-[[deprecated("use fit_report()")]] std::vector<FitResult> fit_all(
-    std::span<const double> xs, std::span<const Family> families,
-    double floor_at = 1e-9);
-
-/// Deprecated pre-FitReport form of fit_report_many().
-[[deprecated("use fit_report_many()")]] std::vector<std::vector<FitResult>>
-fit_many(std::span<const std::vector<double>> samples,
-         std::span<const Family> families, double floor_at = 1e-9);
 
 /// Convenience: best (lowest nll) among the paper's four standard
 /// families.

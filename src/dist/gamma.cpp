@@ -36,7 +36,9 @@ GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
     sum += v;
     sum_log += std::log(v);
   }
-  HPCFAIL_EXPECTS(varies, "gamma fit is degenerate on a constant sample");
+  if (!varies) {
+    throw FitError("gamma fit is degenerate on a constant sample");
+  }
   const auto n = static_cast<double>(xs.size());
   const double mean = sum / n;
   // s = ln(mean) - mean(ln x) >= 0 by Jensen, = 0 only for constant data.

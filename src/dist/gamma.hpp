@@ -17,7 +17,8 @@ class GammaDist final : public Distribution {
   /// MLE: Newton iteration on ln k - psi(k) = ln(mean) - mean(ln x),
   /// started from the Minka closed-form approximation; then
   /// scale = mean / k. Non-positive observations are floored at `floor_at`
-  /// (same rationale as Weibull::fit_mle). Requires >= 2 observations.
+  /// (same rationale as Weibull::fit_mle). Requires >= 2 observations;
+  /// a constant-valued sample throws FitError.
   static GammaDist fit_mle(std::span<const double> xs, double floor_at = 1e-9);
 
   double shape() const noexcept { return shape_; }

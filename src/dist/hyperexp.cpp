@@ -45,8 +45,9 @@ HyperExp HyperExp::fit_em(std::span<const double> xs, double floor_at,
   }
   lower_mean /= static_cast<double>(half);
   upper_mean /= static_cast<double>(sorted.size() - half);
-  HPCFAIL_EXPECTS(upper_mean > lower_mean,
-                  "H2 fit is degenerate on a (near-)constant sample");
+  if (!(upper_mean > lower_mean)) {
+    throw FitError("H2 fit is degenerate on a (near-)constant sample");
+  }
 
   double p = 0.5;
   double r1 = 1.0 / lower_mean;

@@ -29,7 +29,8 @@ class HyperExp final : public Distribution {
   /// Maximum-likelihood fit via expectation-maximization, initialized by
   /// splitting the sample at its median. Values below `floor_at` are
   /// floored (same rationale as the other positive-support fitters).
-  /// Requires >= 4 observations and a non-constant sample.
+  /// Requires >= 4 observations; a (near-)constant sample throws
+  /// FitError (the two phases cannot be separated).
   static HyperExp fit_em(std::span<const double> xs, double floor_at = 1e-9,
                          HyperExpEmOptions options = HyperExpEmOptions{});
 

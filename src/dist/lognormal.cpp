@@ -1,5 +1,6 @@
 #include "dist/lognormal.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -29,9 +30,19 @@ LogNormal LogNormal::fit_mle(std::span<const double> xs, double floor_at) {
                   "lognormal fit needs at least 2 observations");
   HPCFAIL_EXPECTS(floor_at > 0.0, "lognormal fit floor must be positive");
   double sum = 0.0;
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
   for (const double x : xs) {
     HPCFAIL_EXPECTS(x >= 0.0, "lognormal fit requires non-negative data");
-    sum += std::log(x < floor_at ? floor_at : x);
+    const double floored = x < floor_at ? floor_at : x;
+    lo = std::min(lo, floored);
+    hi = std::max(hi, floored);
+    sum += std::log(floored);
+  }
+  // Check the data, not the accumulated sigma: on a long constant sample
+  // rounding in the mean leaves sigma ~1e-17 instead of exactly zero.
+  if (lo == hi) {
+    throw FitError("lognormal fit is degenerate on a constant sample");
   }
   const auto n = static_cast<double>(xs.size());
   const double mu = sum / n;
@@ -41,8 +52,9 @@ LogNormal LogNormal::fit_mle(std::span<const double> xs, double floor_at) {
     ss += d * d;
   }
   const double sigma = std::sqrt(ss / n);
-  HPCFAIL_EXPECTS(sigma > 0.0,
-                  "lognormal fit is degenerate on a constant sample");
+  if (!(sigma > 0.0)) {
+    throw FitError("lognormal fit is degenerate on a constant sample");
+  }
   return LogNormal(mu, sigma);
 }
 

@@ -23,8 +23,8 @@ class LogNormal final : public Distribution {
 
   /// Closed-form MLE: mu/sigma are the mean/stddev of ln x (with the
   /// population 1/n variance, as MLE prescribes). Non-positive values are
-  /// floored at `floor_at`. Requires >= 2 observations and a non-constant
-  /// sample.
+  /// floored at `floor_at`. Requires >= 2 observations; a constant
+  /// sample throws FitError (sigma would be zero).
   static LogNormal fit_mle(std::span<const double> xs, double floor_at = 1e-9);
 
   double mu() const noexcept { return mu_; }

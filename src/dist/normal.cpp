@@ -26,8 +26,9 @@ Normal Normal::fit_mle(std::span<const double> xs) {
     ss += d * d;
   }
   const double sigma = std::sqrt(ss / n);
-  HPCFAIL_EXPECTS(sigma > 0.0,
-                  "normal fit is degenerate on a constant sample");
+  if (!(sigma > 0.0)) {
+    throw FitError("normal fit is degenerate on a constant sample");
+  }
   return Normal(mu, sigma);
 }
 

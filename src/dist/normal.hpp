@@ -13,8 +13,8 @@ class Normal final : public Distribution {
   /// sigma > 0 and both parameters finite, otherwise InvalidArgument.
   Normal(double mu, double sigma);
 
-  /// Closed-form MLE (population variance). Requires >= 2 observations
-  /// and a non-constant sample.
+  /// Closed-form MLE (population variance). Requires >= 2 observations;
+  /// a constant sample throws FitError (sigma would be zero).
   static Normal fit_mle(std::span<const double> xs);
 
   double mu() const noexcept { return mu_; }

@@ -28,8 +28,9 @@ Pareto Pareto::fit_mle(std::span<const double> xs, double floor_at) {
     const double v = x < floor_at ? floor_at : x;
     sum_log_ratio += std::log(v / x_min);
   }
-  HPCFAIL_EXPECTS(sum_log_ratio > 0.0,
-                  "pareto fit is degenerate on a constant sample");
+  if (!(sum_log_ratio > 0.0)) {
+    throw FitError("pareto fit is degenerate on a constant sample");
+  }
   const double alpha = static_cast<double>(xs.size()) / sum_log_ratio;
   return Pareto(alpha, x_min);
 }

@@ -22,7 +22,7 @@ class Pareto final : public Distribution {
 
   /// MLE with known support start min(xs): alpha = n / sum ln(x/x_min).
   /// Values below `floor_at` are floored first (so x_min > 0). Requires
-  /// >= 2 observations and a non-constant sample.
+  /// >= 2 observations; a constant sample throws FitError.
   static Pareto fit_mle(std::span<const double> xs, double floor_at = 1e-9);
 
   double alpha() const noexcept { return alpha_; }

@@ -39,8 +39,9 @@ Weibull Weibull::fit_mle(std::span<const double> xs, double floor_at) {
       break;
     }
   }
-  HPCFAIL_EXPECTS(!all_equal,
-                  "weibull fit is degenerate on a constant sample");
+  if (all_equal) {
+    throw FitError("weibull fit is degenerate on a constant sample");
+  }
 
   // Profile-likelihood score in the shape k. Work with x scaled by its
   // geometric mean (subtract mean_log in the exponent) for stability on
@@ -115,8 +116,9 @@ Weibull Weibull::fit_mle_censored(std::span<const double> events,
     pooled_log += std::log(v);
     varies = varies || v != all.front();
   }
-  HPCFAIL_EXPECTS(varies,
-                  "censored weibull fit is degenerate on a constant sample");
+  if (!varies) {
+    throw FitError("censored weibull fit is degenerate on a constant sample");
+  }
   const double center = pooled_log / static_cast<double>(all.size());
 
   const auto score_and_slope = [&](double k, double& slope) {

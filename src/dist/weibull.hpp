@@ -22,7 +22,8 @@ class Weibull final : public Distribution {
   /// Non-positive observations are floored at `floor_at` (failure records
   /// have 1-second resolution; exact-zero interarrivals from simultaneous
   /// failures would otherwise have zero likelihood under any Weibull).
-  /// Requires at least 2 observations and non-negative data.
+  /// Requires at least 2 observations and non-negative data; a
+  /// constant-valued sample throws FitError (the shape is unidentified).
   static Weibull fit_mle(std::span<const double> xs, double floor_at = 1e-9);
 
   /// MLE with right-censoring: `events` are observed failure intervals,
@@ -32,7 +33,7 @@ class Weibull final : public Distribution {
   /// this maximizes the full likelihood
   ///   sum log f(event) + sum log S(censored)
   /// by Brent search on the profile likelihood in the shape. Requires at
-  /// least 2 events and a non-constant pooled sample.
+  /// least 2 events; a constant pooled sample throws FitError.
   static Weibull fit_mle_censored(std::span<const double> events,
                                   std::span<const double> censored,
                                   double floor_at = 1e-9);

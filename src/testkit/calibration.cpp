@@ -1,0 +1,124 @@
+#include "testkit/calibration.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hpcfail::testkit {
+
+namespace {
+
+std::vector<double> draw(const dist::Distribution& truth, std::size_t n,
+                         hpcfail::Rng& rng) {
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(truth.sample(rng));
+  return xs;
+}
+
+}  // namespace
+
+bool RecoveryCurve::rmse_shrinks(double factor) const {
+  if (points.size() < 2) return false;
+  // A functional the family pins by construction (e.g. the exponential's
+  // cv^2 == 1 identically) sits at float-noise RMSE at every n and has
+  // nothing left to shrink; treat that as already converged.
+  constexpr double kNoise = 1e-12;
+  const auto shrinks = [factor](double first, double last) {
+    return first <= kNoise || first >= factor * last;
+  };
+  const RecoveryPoint& first = points.front();
+  const RecoveryPoint& last = points.back();
+  return shrinks(first.mean_rmse, last.mean_rmse) &&
+         shrinks(first.cv2_rmse, last.cv2_rmse);
+}
+
+RecoveryCurve recovery_curve(const dist::Distribution& truth,
+                             dist::Family family,
+                             std::span<const std::size_t> sizes,
+                             std::size_t replicates, std::uint64_t seed,
+                             double floor_at) {
+  HPCFAIL_EXPECTS(!sizes.empty(), "recovery_curve needs at least one size");
+  HPCFAIL_EXPECTS(replicates > 0, "recovery_curve needs replicates");
+  const double true_mean = truth.mean();
+  const double true_cv2 = truth.cv_squared();
+  HPCFAIL_EXPECTS(std::isfinite(true_mean) && true_mean != 0.0,
+                  "recovery_curve truth must have a finite nonzero mean");
+  HPCFAIL_EXPECTS(std::isfinite(true_cv2) && true_cv2 != 0.0,
+                  "recovery_curve truth must have a finite nonzero cv^2");
+
+  RecoveryCurve curve;
+  curve.family = family;
+  for (const std::size_t n : sizes) {
+    RecoveryPoint point;
+    point.n = n;
+    double sum_mean_err = 0.0;
+    double sum_mean_sq = 0.0;
+    double sum_cv2_err = 0.0;
+    double sum_cv2_sq = 0.0;
+    std::size_t ok = 0;
+    for (std::size_t r = 0; r < replicates; ++r) {
+      hpcfail::Rng rng(
+          hpcfail::mix_seed(seed, static_cast<std::uint64_t>(n),
+                            static_cast<std::uint64_t>(r)));
+      const std::vector<double> xs = draw(truth, n, rng);
+      try {
+        const dist::FitResult fit = dist::fit(family, xs, floor_at);
+        const double mean_err = (fit.model->mean() - true_mean) / true_mean;
+        const double cv2_err =
+            (fit.model->cv_squared() - true_cv2) / true_cv2;
+        sum_mean_err += mean_err;
+        sum_mean_sq += mean_err * mean_err;
+        sum_cv2_err += cv2_err;
+        sum_cv2_sq += cv2_err * cv2_err;
+        ++ok;
+      } catch (const Error&) {
+        ++point.failed_fits;
+      }
+    }
+    if (ok > 0) {
+      const double count = static_cast<double>(ok);
+      point.mean_bias = sum_mean_err / count;
+      point.mean_rmse = std::sqrt(sum_mean_sq / count);
+      point.cv2_bias = sum_cv2_err / count;
+      point.cv2_rmse = std::sqrt(sum_cv2_sq / count);
+    }
+    curve.points.push_back(point);
+  }
+  return curve;
+}
+
+CoverageResult bootstrap_coverage(const dist::Distribution& truth,
+                                  double true_value,
+                                  const stats::Statistic& statistic,
+                                  std::size_t n, std::size_t trials,
+                                  stats::BootstrapOptions options,
+                                  std::uint64_t seed) {
+  HPCFAIL_EXPECTS(n > 0 && trials > 0, "bootstrap_coverage needs n, trials");
+  CoverageResult result;
+  result.nominal = options.confidence;
+  std::size_t covered = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    hpcfail::Rng rng(
+        hpcfail::mix_seed(seed, 0xc0feu, static_cast<std::uint64_t>(t)));
+    const std::vector<double> xs = draw(truth, n, rng);
+    hpcfail::Rng boot_rng = rng.fork(1);
+    try {
+      const stats::BootstrapResult ci =
+          stats::bootstrap(xs, statistic, boot_rng, options);
+      ++result.trials;
+      if (ci.lo <= true_value && true_value <= ci.hi) ++covered;
+    } catch (const Error&) {
+      // A degenerate resample run is skipped, not counted against
+      // coverage; the tests assert trials stayed close to the request.
+    }
+  }
+  result.coverage =
+      result.trials > 0 ? static_cast<double>(covered) /
+                              static_cast<double>(result.trials)
+                        : 0.0;
+  return result;
+}
+
+}  // namespace hpcfail::testkit

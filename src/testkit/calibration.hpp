@@ -1,0 +1,108 @@
+// Simulation-based calibration oracles for the MLE fitters.
+//
+// The statistical analogue of a round-trip test: draw samples from a
+// distribution with *known* parameters, refit with dist::fit, and measure
+// how well the fit recovers the truth. recovery_curve() sweeps the sample
+// size and reports relative bias and RMSE of two moment functionals (the
+// mean and the squared coefficient of variation — a scale and a shape
+// quantity, comparable across every family); a correct, consistent
+// estimator must drive both toward zero as n grows. bootstrap_coverage()
+// checks the other half of the inference stack: that stats/bootstrap
+// percentile intervals contain the true value of a statistic at close to
+// their nominal rate.
+//
+// Everything is a pure function of its seed (samples are drawn through
+// common/rng streams forked per replicate), so the calibration tier is
+// byte-reproducible at any thread count. Tolerances asserted by the tests
+// are recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "dist/distribution.hpp"
+#include "dist/fit.hpp"
+#include "stats/bootstrap.hpp"
+
+namespace hpcfail::testkit {
+
+/// Recovery quality at one sample size, aggregated over replicates.
+/// Biases and RMSEs are relative to the truth (dimensionless), so one
+/// tolerance works across families and parameter scales.
+struct RecoveryPoint {
+  std::size_t n = 0;
+  double mean_bias = 0.0;   ///< mean of (fitted mean - true mean) / true mean
+  double mean_rmse = 0.0;   ///< RMSE of the same relative error
+  double cv2_bias = 0.0;    ///< same for the squared coefficient of variation
+  double cv2_rmse = 0.0;
+  std::size_t failed_fits = 0;  ///< replicates where the fit threw
+};
+
+/// recovery_curve() output: one point per requested size, ascending n.
+struct RecoveryCurve {
+  dist::Family family = dist::Family::exponential;
+  std::vector<RecoveryPoint> points;
+
+  /// True when the RMSE of both functionals shrinks from the first to
+  /// the last point by at least `factor` — the consistency signature. A
+  /// functional already at float-noise RMSE (pinned by the family, like
+  /// the exponential's cv^2) counts as converged.
+  bool rmse_shrinks(double factor = 2.0) const;
+};
+
+/// Samples `replicates` datasets of each size from `truth`, refits
+/// `family` on each with dist::fit, and aggregates the recovery error.
+/// Deterministic given `seed`; replicates run on this thread.
+RecoveryCurve recovery_curve(const dist::Distribution& truth,
+                             dist::Family family,
+                             std::span<const std::size_t> sizes,
+                             std::size_t replicates, std::uint64_t seed,
+                             double floor_at = 1e-9);
+
+/// Observed coverage of bootstrap percentile intervals.
+struct CoverageResult {
+  double coverage = 0.0;   ///< fraction of trials whose CI contained truth
+  std::size_t trials = 0;
+  double nominal = 0.0;    ///< the interval's target confidence
+};
+
+/// Draws `trials` samples of size n from `truth`, bootstraps `statistic`
+/// on each (stats/bootstrap with a per-trial forked rng), and counts how
+/// often [lo, hi] contains `true_value`. Deterministic given `seed`.
+CoverageResult bootstrap_coverage(const dist::Distribution& truth,
+                                  double true_value,
+                                  const stats::Statistic& statistic,
+                                  std::size_t n, std::size_t trials,
+                                  stats::BootstrapOptions options,
+                                  std::uint64_t seed);
+
+/// Runs `compute()` once per parallelism level and reports whether every
+/// result is equal (operator==) to the first. Restores the default
+/// parallelism before returning. The workhorse of the serial-vs-parallel
+/// differential oracles.
+template <typename Compute>
+bool identical_across_threads(Compute&& compute,
+                              std::initializer_list<unsigned> counts = {1u, 2u,
+                                                                        8u}) {
+  bool first = true;
+  bool identical = true;
+  decltype(compute()) reference{};
+  for (const unsigned threads : counts) {
+    hpcfail::set_parallelism(threads);
+    auto result = compute();
+    if (first) {
+      reference = std::move(result);
+      first = false;
+    } else if (!(result == reference)) {
+      identical = false;
+      break;
+    }
+  }
+  hpcfail::set_parallelism(0);
+  return identical;
+}
+
+}  // namespace hpcfail::testkit

@@ -1,0 +1,265 @@
+#include "testkit/generators.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "trace/types.hpp"
+
+namespace hpcfail::testkit {
+
+namespace {
+
+const Seconds kEpoch = to_epoch(2000, 1, 1);
+
+// Every detailed cause the vocabulary knows; cause is derived via
+// category_of so generated records are consistent by construction.
+constexpr std::array<trace::DetailCause, 16> kAllDetails = {
+    trace::DetailCause::memory_dimm,    trace::DetailCause::cpu,
+    trace::DetailCause::node_interconnect,
+    trace::DetailCause::power_supply,   trace::DetailCause::disk,
+    trace::DetailCause::other_hardware, trace::DetailCause::operating_system,
+    trace::DetailCause::parallel_fs,    trace::DetailCause::scheduler,
+    trace::DetailCause::other_software, trace::DetailCause::network_switch,
+    trace::DetailCause::nic,            trace::DetailCause::power_outage,
+    trace::DetailCause::ac_failure,     trace::DetailCause::operator_error,
+    trace::DetailCause::undetermined,
+};
+
+void push_unique(std::vector<double>& out, double candidate, double current) {
+  if (candidate == current) return;
+  if (std::find(out.begin(), out.end(), candidate) != out.end()) return;
+  out.push_back(candidate);
+}
+
+// Generic vector generator over any element generator: size uniform in
+// [min_size, max_size], shrinking by dropping elements before
+// simplifying them (shorter counterexamples first).
+template <typename T>
+Gen<std::vector<T>> vectors_of(Gen<T> elem, std::size_t min_size,
+                               std::size_t max_size) {
+  Gen<std::vector<T>> gen;
+  gen.sample = [elem, min_size, max_size](hpcfail::Rng& rng) {
+    const std::size_t size =
+        min_size + static_cast<std::size_t>(
+                       rng.uniform_index(max_size - min_size + 1));
+    std::vector<T> out;
+    out.reserve(size);
+    for (std::size_t i = 0; i < size; ++i) out.push_back(elem.sample(rng));
+    return out;
+  };
+  gen.shrink = [elem, min_size](const std::vector<T>& v) {
+    std::vector<std::vector<T>> candidates;
+    // Structural shrinks first: prefix of minimal size, first half,
+    // drop-last.
+    if (v.size() > min_size) {
+      candidates.emplace_back(v.begin(),
+                              v.begin() + static_cast<std::ptrdiff_t>(min_size));
+      const std::size_t half = std::max(min_size, v.size() / 2);
+      if (half < v.size() && half > min_size) {
+        candidates.emplace_back(v.begin(),
+                                v.begin() + static_cast<std::ptrdiff_t>(half));
+      }
+      candidates.emplace_back(v.begin(), v.end() - 1);
+      // Drop each single position, so a failing element anywhere in the
+      // vector can be isolated one removal at a time.
+      const std::size_t drop_probe = std::min<std::size_t>(v.size(), 16);
+      for (std::size_t i = 0; i < drop_probe; ++i) {
+        std::vector<T> copy = v;
+        copy.erase(copy.begin() + static_cast<std::ptrdiff_t>(i));
+        candidates.push_back(std::move(copy));
+      }
+    }
+    // Then element shrinks: the first shrink candidate of each of the
+    // leading elements.
+    const std::size_t probe = std::min<std::size_t>(v.size(), 8);
+    for (std::size_t i = 0; i < probe; ++i) {
+      auto elem_candidates = elem.shrink(v[i]);
+      if (elem_candidates.empty()) continue;
+      std::vector<T> copy = v;
+      copy[i] = std::move(elem_candidates.front());
+      candidates.push_back(std::move(copy));
+    }
+    return candidates;
+  };
+  return gen;
+}
+
+}  // namespace
+
+Gen<double> reals(double lo, double hi) {
+  Gen<double> gen;
+  gen.sample = [lo, hi](hpcfail::Rng& rng) { return rng.uniform(lo, hi); };
+  gen.shrink = [lo, hi](const double& v) {
+    std::vector<double> out;
+    push_unique(out, lo, v);
+    push_unique(out, (lo + v) / 2.0, v);
+    const double rounded = std::nearbyint(v);
+    if (rounded >= lo && rounded <= hi &&
+        std::abs(rounded - lo) < std::abs(v - lo)) {
+      push_unique(out, rounded, v);
+    }
+    return out;
+  };
+  return gen;
+}
+
+Gen<double> positive_reals(double scale) {
+  Gen<double> gen;
+  gen.sample = [scale](hpcfail::Rng& rng) {
+    return scale * -std::log(rng.uniform_pos());
+  };
+  gen.shrink = [](const double& v) {
+    std::vector<double> out;
+    if (v > 1.0) push_unique(out, 1.0, v);
+    const double floored = std::floor(v);
+    if (floored > 0.0 && floored < v) push_unique(out, floored, v);
+    push_unique(out, v / 2.0, v);
+    return out;
+  };
+  return gen;
+}
+
+Gen<int> ints(int lo, int hi) {
+  Gen<int> gen;
+  gen.sample = [lo, hi](hpcfail::Rng& rng) {
+    return lo + static_cast<int>(
+                    rng.uniform_index(static_cast<std::uint64_t>(hi - lo) + 1));
+  };
+  gen.shrink = [lo](const int& v) {
+    std::vector<int> out;
+    if (v == lo) return out;
+    out.push_back(lo);
+    const int mid = lo + (v - lo) / 2;
+    if (mid != lo && mid != v) out.push_back(mid);
+    if (v - 1 != lo && v - 1 != mid) out.push_back(v - 1);
+    return out;
+  };
+  return gen;
+}
+
+Gen<std::vector<double>> vectors(Gen<double> elem, std::size_t min_size,
+                                 std::size_t max_size) {
+  return vectors_of(std::move(elem), min_size, max_size);
+}
+
+Gen<std::vector<double>> sorted_vectors(Gen<double> elem, std::size_t min_size,
+                                        std::size_t max_size) {
+  Gen<std::vector<double>> base = vectors_of(std::move(elem), min_size, max_size);
+  Gen<std::vector<double>> gen;
+  gen.sample = [base](hpcfail::Rng& rng) {
+    std::vector<double> out = base.sample(rng);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  gen.shrink = [base](const std::vector<double>& v) {
+    std::vector<std::vector<double>> candidates = base.shrink(v);
+    for (std::vector<double>& c : candidates) std::sort(c.begin(), c.end());
+    return candidates;
+  };
+  return gen;
+}
+
+Gen<trace::FailureRecord> failure_records(RecordGenOptions options) {
+  Gen<trace::FailureRecord> gen;
+  gen.sample = [options](hpcfail::Rng& rng) {
+    trace::FailureRecord r;
+    r.system_id = 1 + static_cast<int>(rng.uniform_index(
+                          static_cast<std::uint64_t>(options.systems)));
+    r.node_id = static_cast<int>(rng.uniform_index(
+        static_cast<std::uint64_t>(options.nodes_per_system)));
+    r.start = kEpoch + static_cast<Seconds>(rng.uniform_index(
+                           static_cast<std::uint64_t>(options.horizon)));
+    r.end = r.start + static_cast<Seconds>(rng.uniform_index(
+                          static_cast<std::uint64_t>(options.max_repair) + 1));
+    r.detail = kAllDetails[rng.uniform_index(kAllDetails.size())];
+    r.cause = trace::category_of(r.detail);
+    r.workload = rng.bernoulli(0.8)     ? trace::Workload::compute
+                 : rng.bernoulli(0.5)   ? trace::Workload::graphics
+                                        : trace::Workload::frontend;
+    return r;
+  };
+  gen.shrink = [](const trace::FailureRecord& r) {
+    std::vector<trace::FailureRecord> out;
+    const auto with = [&out, &r](auto mutate) {
+      trace::FailureRecord copy = r;
+      mutate(copy);
+      if (!(copy == r)) out.push_back(copy);
+    };
+    with([](trace::FailureRecord& c) { c.system_id = 1; });
+    with([](trace::FailureRecord& c) { c.node_id = 0; });
+    with([](trace::FailureRecord& c) {
+      c.end -= c.start - kEpoch;  // keep the duration, move to the epoch
+      c.start = kEpoch;
+    });
+    with([](trace::FailureRecord& c) {
+      const Seconds duration = c.downtime_seconds();
+      c.start = kEpoch + (c.start - kEpoch) / 2;
+      c.end = c.start + duration;
+    });
+    with([](trace::FailureRecord& c) { c.end = c.start; });
+    with([](trace::FailureRecord& c) {
+      c.end = c.start + c.downtime_seconds() / 2;
+    });
+    with([](trace::FailureRecord& c) {
+      c.detail = trace::DetailCause::memory_dimm;
+      c.cause = trace::RootCause::hardware;
+    });
+    with([](trace::FailureRecord& c) { c.workload = trace::Workload::compute; });
+    return out;
+  };
+  gen.show = [](const trace::FailureRecord& r) {
+    std::ostringstream out;
+    out << "{sys " << r.system_id << " node " << r.node_id << " start "
+        << r.start << " end " << r.end << " " << trace::to_string(r.detail)
+        << "}";
+    return out.str();
+  };
+  return gen;
+}
+
+Gen<std::vector<trace::FailureRecord>> record_batches(
+    std::size_t min_records, std::size_t max_records,
+    RecordGenOptions options) {
+  Gen<std::vector<trace::FailureRecord>> gen =
+      vectors_of(failure_records(options), min_records, max_records);
+  gen.show = [](const std::vector<trace::FailureRecord>& v) {
+    std::ostringstream out;
+    out << v.size() << " records";
+    if (!v.empty()) {
+      out << ", first " << failure_records().show(v.front());
+    }
+    return out.str();
+  };
+  return gen;
+}
+
+Gen<trace::FailureDataset> datasets(std::size_t min_records,
+                                    std::size_t max_records,
+                                    RecordGenOptions options) {
+  Gen<std::vector<trace::FailureRecord>> batch =
+      record_batches(min_records, max_records, options);
+  Gen<trace::FailureDataset> gen;
+  gen.sample = [batch](hpcfail::Rng& rng) {
+    return trace::FailureDataset(batch.sample(rng));
+  };
+  gen.shrink = [batch](const trace::FailureDataset& ds) {
+    const std::span<const trace::FailureRecord> records = ds.records();
+    const std::vector<trace::FailureRecord> as_vector(records.begin(),
+                                                      records.end());
+    std::vector<trace::FailureDataset> out;
+    for (std::vector<trace::FailureRecord>& c : batch.shrink(as_vector)) {
+      out.emplace_back(std::move(c));
+    }
+    return out;
+  };
+  gen.show = [batch](const trace::FailureDataset& ds) {
+    const std::span<const trace::FailureRecord> records = ds.records();
+    return batch.show(
+        std::vector<trace::FailureRecord>(records.begin(), records.end()));
+  };
+  return gen;
+}
+
+}  // namespace hpcfail::testkit

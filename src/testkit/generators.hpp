@@ -1,0 +1,66 @@
+// Stock generators for the property engine: scalars, vectors, and the
+// domain types (FailureRecord, FailureDataset). All sampling goes through
+// common/rng so a property run is a pure function of its seed; shrinkers
+// move toward the conventional "simplest" value of each type (the lower
+// bound for scalars, shorter vectors, fewer records, earlier/rounder
+// failure times).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/time.hpp"
+#include "testkit/property.hpp"
+#include "trace/dataset.hpp"
+#include "trace/record.hpp"
+
+namespace hpcfail::testkit {
+
+/// Uniform double in [lo, hi]; shrinks toward lo through halvings and
+/// integer rounding. Requires lo <= hi.
+Gen<double> reals(double lo, double hi);
+
+/// Strictly positive double with an exponential tail of the given scale
+/// (median ~ 0.7 * scale, occasional values many times larger); shrinks
+/// downward. The natural generator for durations and interarrival gaps.
+Gen<double> positive_reals(double scale = 1.0);
+
+/// Uniform int in [lo, hi]; shrinks toward lo.
+Gen<int> ints(int lo, int hi);
+
+/// Vector of `elem` draws with size uniform in [min_size, max_size];
+/// shrinks by dropping chunks/elements first, then shrinking elements.
+Gen<std::vector<double>> vectors(Gen<double> elem, std::size_t min_size,
+                                 std::size_t max_size);
+
+/// vectors() post-sorted ascending; shrink candidates are re-sorted so
+/// the invariant survives shrinking.
+Gen<std::vector<double>> sorted_vectors(Gen<double> elem, std::size_t min_size,
+                                        std::size_t max_size);
+
+/// Bounds for the failure-record generators.
+struct RecordGenOptions {
+  int systems = 4;            ///< system ids drawn from [1, systems]
+  int nodes_per_system = 8;   ///< node ids drawn from [0, nodes_per_system)
+  Seconds horizon = 2 * 365 * 24 * 3600;  ///< starts within [t0, t0+horizon)
+  Seconds max_repair = 48 * 3600;         ///< downtime within [0, max_repair]
+};
+
+/// A single consistent failure record: a valid (cause, detail) pair, a
+/// start inside the horizon, end >= start. Shrinks toward system 1 /
+/// node 0 / the epoch start / zero downtime.
+Gen<trace::FailureRecord> failure_records(RecordGenOptions options = {});
+
+/// A batch of consistent records with size in [min_records, max_records];
+/// shrinks like vectors() (drop records first, then simplify them).
+Gen<std::vector<trace::FailureRecord>> record_batches(
+    std::size_t min_records, std::size_t max_records,
+    RecordGenOptions options = {});
+
+/// A whole dataset built from record_batches(); the constructor sorts and
+/// validates, so every generated dataset is well-formed by construction.
+Gen<trace::FailureDataset> datasets(std::size_t min_records,
+                                    std::size_t max_records,
+                                    RecordGenOptions options = {});
+
+}  // namespace hpcfail::testkit

@@ -1,0 +1,164 @@
+#include "testkit/golden.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace hpcfail::testkit {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  while (pos <= text.size()) {
+    const std::string::size_type nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> split_tokens(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream in(line);
+  std::string token;
+  while (in >> token) tokens.push_back(token);
+  return tokens;
+}
+
+bool parse_number(const std::string& token, double& value) {
+  const char* begin = token.c_str();
+  char* end = nullptr;
+  value = std::strtod(begin, &end);
+  return end == begin + token.size() && !token.empty();
+}
+
+bool tokens_match(const std::string& expected, const std::string& actual,
+                  const GoldenOptions& options) {
+  if (expected == actual) return true;
+  double e = 0.0;
+  double a = 0.0;
+  if (!parse_number(expected, e) || !parse_number(actual, a)) return false;
+  return std::abs(a - e) <= options.abs_tol + options.rel_tol * std::abs(e);
+}
+
+GoldenResult golden_mismatch(const std::string& path, const std::string& actual,
+                      const GoldenOptions& options, std::string detail) {
+  GoldenResult result;
+  std::ostringstream out;
+  out << "golden mismatch against " << path << ": " << detail;
+  if (options.write_actual_on_mismatch) {
+    std::ofstream dump(path + ".actual", std::ios::binary);
+    dump << actual;
+    out << "\n  observed output written to " << path << ".actual";
+  }
+  out << "\n  (set HPCFAIL_UPDATE_GOLDENS=1 to regenerate snapshots)";
+  result.message = out.str();
+  return result;
+}
+
+}  // namespace
+
+bool update_goldens() {
+  const char* env = std::getenv("HPCFAIL_UPDATE_GOLDENS");
+  return env != nullptr && std::string(env) == "1";
+}
+
+GoldenResult golden_compare(const std::string& path, const std::string& actual,
+                            const GoldenOptions& options) {
+  if (update_goldens()) {
+    GoldenResult result;
+    const std::filesystem::path target(path);
+    if (target.has_parent_path()) {
+      std::filesystem::create_directories(target.parent_path());
+    }
+    std::ofstream out(path, std::ios::binary);
+    if (!out) {
+      result.message = "failed to write golden " + path;
+      return result;
+    }
+    out << actual;
+    out.close();
+    result.updated = true;
+    result.message = "golden updated: " + path;
+    return result;
+  }
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return golden_mismatch(path, actual, options,
+                    "snapshot file missing (never generated?)");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string expected = buffer.str();
+
+  if (expected == actual) {
+    GoldenResult result;
+    result.matched = true;
+    return result;
+  }
+  if (options.abs_tol == 0.0 && options.rel_tol == 0.0) {
+    // Byte-exact mode: report the first differing line.
+    const auto exp_lines = split_lines(expected);
+    const auto act_lines = split_lines(actual);
+    const std::size_t common =
+        exp_lines.size() < act_lines.size() ? exp_lines.size()
+                                            : act_lines.size();
+    for (std::size_t i = 0; i < common; ++i) {
+      if (exp_lines[i] != act_lines[i]) {
+        std::ostringstream detail;
+        detail << "line " << i + 1 << " differs\n  expected: " << exp_lines[i]
+               << "\n  actual:   " << act_lines[i];
+        return golden_mismatch(path, actual, options, detail.str());
+      }
+    }
+    std::ostringstream detail;
+    detail << "line counts differ (expected " << exp_lines.size()
+           << ", actual " << act_lines.size() << ")";
+    return golden_mismatch(path, actual, options, detail.str());
+  }
+
+  // Tolerant mode: line and token structure must match exactly; numeric
+  // tokens may differ within tolerance.
+  const auto exp_lines = split_lines(expected);
+  const auto act_lines = split_lines(actual);
+  if (exp_lines.size() != act_lines.size()) {
+    std::ostringstream detail;
+    detail << "line counts differ (expected " << exp_lines.size()
+           << ", actual " << act_lines.size() << ")";
+    return golden_mismatch(path, actual, options, detail.str());
+  }
+  for (std::size_t i = 0; i < exp_lines.size(); ++i) {
+    const auto exp_tokens = split_tokens(exp_lines[i]);
+    const auto act_tokens = split_tokens(act_lines[i]);
+    if (exp_tokens.size() != act_tokens.size()) {
+      std::ostringstream detail;
+      detail << "line " << i + 1 << " token counts differ\n  expected: "
+             << exp_lines[i] << "\n  actual:   " << act_lines[i];
+      return golden_mismatch(path, actual, options, detail.str());
+    }
+    for (std::size_t t = 0; t < exp_tokens.size(); ++t) {
+      if (!tokens_match(exp_tokens[t], act_tokens[t], options)) {
+        std::ostringstream detail;
+        detail << "line " << i + 1 << ", token " << t + 1
+               << " out of tolerance\n  expected: " << exp_lines[i]
+               << "\n  actual:   " << act_lines[i];
+        return golden_mismatch(path, actual, options, detail.str());
+      }
+    }
+  }
+  GoldenResult result;
+  result.matched = true;
+  return result;
+}
+
+}  // namespace hpcfail::testkit

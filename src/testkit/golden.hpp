@@ -1,0 +1,45 @@
+// Golden-snapshot comparison with a regeneration mode.
+//
+// golden_compare(path, actual) checks `actual` against the snapshot file
+// at `path`. With HPCFAIL_UPDATE_GOLDENS=1 in the environment it instead
+// (re)writes the snapshot and reports `updated` — the workflow for
+// intentional output changes is: set the variable, run the golden tests,
+// review the diff with git, commit. On a mismatch (and only then) the
+// observed text is written next to the snapshot as `<path>.actual`, so CI
+// can upload the pair as a diffable artifact.
+//
+// By default the comparison is byte-exact. Setting abs_tol/rel_tol turns
+// on token-wise numeric diffing: both texts are split into whitespace
+// tokens per line, tokens that parse fully as numbers are compared within
+// |a - e| <= abs_tol + rel_tol * |e|, and everything else (including the
+// line/token structure itself) must still match exactly. That keeps
+// layout drift loud while absorbing last-ulp noise in printed numbers.
+#pragma once
+
+#include <string>
+
+namespace hpcfail::testkit {
+
+struct GoldenOptions {
+  double abs_tol = 0.0;  ///< absolute numeric tolerance (0 = byte-exact)
+  double rel_tol = 0.0;  ///< relative numeric tolerance (0 = byte-exact)
+  /// Write `<path>.actual` on mismatch so CI can ship the diff.
+  bool write_actual_on_mismatch = true;
+};
+
+struct GoldenResult {
+  bool matched = false;  ///< actual agreed with the snapshot
+  bool updated = false;  ///< snapshot (re)written in update mode
+  std::string message;   ///< first difference, or what was updated
+  /// Success either way the run was configured.
+  explicit operator bool() const noexcept { return matched || updated; }
+};
+
+/// True when HPCFAIL_UPDATE_GOLDENS=1 is set (the regeneration mode).
+bool update_goldens();
+
+/// Compares `actual` against the snapshot at `path` (see file comment).
+GoldenResult golden_compare(const std::string& path, const std::string& actual,
+                            const GoldenOptions& options = {});
+
+}  // namespace hpcfail::testkit

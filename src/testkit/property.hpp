@@ -1,0 +1,182 @@
+// Property-test engine: random-input checking with greedy shrinking.
+//
+// A Gen<T> couples a sampler (driven by the library's deterministic
+// common/rng, so every run is reproducible from one seed) with a shrinker
+// that proposes strictly simpler candidates for a failing value. A
+// Property binds a generator to a predicate; check() samples `cases`
+// inputs, and on the first failure walks the shrink tree greedily —
+// repeatedly taking the first simpler candidate that still fails — until
+// no candidate fails, then reports the minimal counterexample together
+// with the seed that reproduces the original failing draw.
+//
+// The engine replaced the ad-hoc parameter sweeps in
+// tests/dist/property_test.cpp; it is deliberately gtest-free so any test
+// (or a future fuzz driver) can embed it. Typical use:
+//
+//   auto r = check_property(positive_reals(100.0),
+//                           [](double x) { return f(x) >= 0.0; });
+//   EXPECT_TRUE(r.passed) << r.message;
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace hpcfail::testkit {
+
+namespace detail {
+
+template <typename T>
+std::string default_show(const T& value) {
+  if constexpr (std::is_arithmetic_v<T>) {
+    std::ostringstream out;
+    out.precision(17);
+    out << value;
+    return out.str();
+  } else {
+    return "<value>";
+  }
+}
+
+template <typename E>
+std::string default_show(const std::vector<E>& values) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "[";
+  const std::size_t shown = values.size() < 16 ? values.size() : 16;
+  for (std::size_t i = 0; i < shown; ++i) {
+    if (i > 0) out << ", ";
+    if constexpr (std::is_arithmetic_v<E>) {
+      out << values[i];
+    } else {
+      out << default_show(values[i]);
+    }
+  }
+  if (shown < values.size()) {
+    out << ", ... " << values.size() - shown << " more";
+  }
+  out << "] (size " << values.size() << ")";
+  return out.str();
+}
+
+}  // namespace detail
+
+/// A reproducible random generator of T plus a shrinker. The shrinker
+/// returns candidate simplifications of a failing value, simplest first;
+/// an empty vector means the value is already minimal. `show` renders the
+/// value for failure messages.
+template <typename T>
+struct Gen {
+  std::function<T(hpcfail::Rng&)> sample;
+  std::function<std::vector<T>(const T&)> shrink = [](const T&) {
+    return std::vector<T>{};
+  };
+  std::function<std::string(const T&)> show = [](const T& v) {
+    return detail::default_show(v);
+  };
+};
+
+struct PropertyOptions {
+  std::size_t cases = 200;          ///< random inputs to try
+  std::uint64_t seed = 0x7e57c0de;  ///< base seed; case i uses mix_seed(seed, i)
+  std::size_t max_shrink_steps = 10'000;
+};
+
+/// Outcome of one check() run. On failure, `counterexample` is the
+/// shrunk (minimal) failing value and `failing_seed` reproduces the
+/// *original* draw: Gen::sample(Rng(failing_seed)) yields it again.
+template <typename T>
+struct PropertyResult {
+  bool passed = true;
+  std::size_t cases_run = 0;
+  std::optional<T> counterexample;
+  std::uint64_t failing_seed = 0;
+  std::size_t failing_case = 0;
+  std::size_t shrink_steps = 0;  ///< candidates evaluated while shrinking
+  std::string message;           ///< human-readable failure report
+  explicit operator bool() const noexcept { return passed; }
+};
+
+/// A named random-input law: `holds` must return true for every generated
+/// value.
+template <typename T>
+class Property {
+ public:
+  Property(std::string name, Gen<T> gen, std::function<bool(const T&)> holds)
+      : name_(std::move(name)), gen_(std::move(gen)), holds_(std::move(holds)) {}
+
+  PropertyResult<T> check(const PropertyOptions& options = {}) const {
+    PropertyResult<T> result;
+    for (std::size_t i = 0; i < options.cases; ++i) {
+      const std::uint64_t case_seed =
+          hpcfail::mix_seed(options.seed, static_cast<std::uint64_t>(i));
+      hpcfail::Rng rng(case_seed);
+      T value = gen_.sample(rng);
+      ++result.cases_run;
+      if (holds_safe(value)) continue;
+
+      // Greedy shrink: take the first simpler candidate that still
+      // fails; stop when none does (local minimum) or on the step cap.
+      T minimal = std::move(value);
+      bool improved = true;
+      while (improved && result.shrink_steps < options.max_shrink_steps) {
+        improved = false;
+        for (T& candidate : gen_.shrink(minimal)) {
+          ++result.shrink_steps;
+          if (!holds_safe(candidate)) {
+            minimal = std::move(candidate);
+            improved = true;
+            break;
+          }
+          if (result.shrink_steps >= options.max_shrink_steps) break;
+        }
+      }
+
+      result.passed = false;
+      result.failing_seed = case_seed;
+      result.failing_case = i;
+      std::ostringstream out;
+      out << "property \"" << name_ << "\" falsified on case " << i << " of "
+          << options.cases << "\n  minimal counterexample: "
+          << gen_.show(minimal) << "\n  after " << result.shrink_steps
+          << " shrink steps; reproduce the original draw with seed 0x"
+          << std::hex << case_seed << std::dec;
+      result.message = out.str();
+      result.counterexample = std::move(minimal);
+      return result;
+    }
+    return result;
+  }
+
+ private:
+  // A throwing predicate counts as a failure of the property, so shrink
+  // also works toward minimal throwing inputs.
+  bool holds_safe(const T& value) const {
+    try {
+      return holds_(value);
+    } catch (...) {
+      return false;
+    }
+  }
+
+  std::string name_;
+  Gen<T> gen_;
+  std::function<bool(const T&)> holds_;
+};
+
+/// One-shot form: check an anonymous property.
+template <typename T, typename Predicate>
+PropertyResult<T> check_property(const Gen<T>& gen, Predicate&& holds,
+                                 const PropertyOptions& options = {}) {
+  return Property<T>("<anonymous>", gen,
+                     std::function<bool(const T&)>(std::forward<Predicate>(holds)))
+      .check(options);
+}
+
+}  // namespace hpcfail::testkit

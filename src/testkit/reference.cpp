@@ -1,0 +1,61 @@
+#include "testkit/reference.hpp"
+
+namespace hpcfail::testkit {
+
+std::vector<trace::FailureRecord> ref_for_system(
+    std::span<const trace::FailureRecord> records, int system_id) {
+  std::vector<trace::FailureRecord> out;
+  for (const trace::FailureRecord& r : records) {
+    if (r.system_id == system_id) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<trace::FailureRecord> ref_between(
+    std::span<const trace::FailureRecord> records, Seconds from, Seconds to) {
+  std::vector<trace::FailureRecord> out;
+  for (const trace::FailureRecord& r : records) {
+    if (r.start >= from && r.start < to) out.push_back(r);
+  }
+  return out;
+}
+
+std::vector<double> ref_node_interarrivals(
+    std::span<const trace::FailureRecord> records, int system_id,
+    int node_id) {
+  std::vector<Seconds> starts;
+  for (const trace::FailureRecord& r : records) {
+    if (r.system_id == system_id && r.node_id == node_id) {
+      starts.push_back(r.start);
+    }
+  }
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    gaps.push_back(static_cast<double>(starts[i] - starts[i - 1]));
+  }
+  return gaps;
+}
+
+std::vector<double> ref_system_interarrivals(
+    std::span<const trace::FailureRecord> records, int system_id) {
+  std::vector<Seconds> starts;
+  for (const trace::FailureRecord& r : records) {
+    if (r.system_id == system_id) starts.push_back(r.start);
+  }
+  std::vector<double> gaps;
+  for (std::size_t i = 1; i < starts.size(); ++i) {
+    gaps.push_back(static_cast<double>(starts[i] - starts[i - 1]));
+  }
+  return gaps;
+}
+
+std::map<int, std::size_t> ref_failures_per_node(
+    std::span<const trace::FailureRecord> records, int system_id) {
+  std::map<int, std::size_t> counts;
+  for (const trace::FailureRecord& r : records) {
+    if (r.system_id == system_id) ++counts[r.node_id];
+  }
+  return counts;
+}
+
+}  // namespace hpcfail::testkit

@@ -99,36 +99,6 @@ FailureDataset FailureDataset::filter(
   return from_sorted(std::move(kept));  // already sorted and validated
 }
 
-// ---------------------------------------------------------------------------
-// Deprecated copying API, now thin shims over the view layer. Kept so
-// downstream code can migrate incrementally; each does one deep copy of
-// the indexed, span-backed result.
-
-FailureDataset FailureDataset::for_system(int system_id) const {
-  return view().for_system(system_id).materialize();
-}
-
-FailureDataset FailureDataset::between(Seconds from, Seconds to) const {
-  return view().between(from, to).materialize();
-}
-
-std::vector<double> FailureDataset::node_interarrivals(int system_id,
-                                                       int node_id) const {
-  return view().for_system(system_id).node_interarrivals(node_id);
-}
-
-std::vector<double> FailureDataset::system_interarrivals(
-    int system_id) const {
-  return view().for_system(system_id).system_interarrivals();
-}
-
-std::map<int, std::size_t> FailureDataset::failures_per_node(
-    int system_id) const {
-  return view().for_system(system_id).failures_per_node();
-}
-
-// ---------------------------------------------------------------------------
-
 std::vector<double> FailureDataset::repair_times_minutes() const {
   std::vector<double> times;
   times.reserve(records_.size());

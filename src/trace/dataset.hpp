@@ -6,7 +6,8 @@
 // Querying goes through the zero-copy view layer (trace/index.hpp):
 // view() exposes span-backed slices and indexed extractors over a
 // DatasetIndex that is built lazily, once per dataset. The original
-// copying query methods remain as deprecated shims over that layer.
+// copying query methods are gone; callers narrow a view() and
+// materialize() only when they need a standalone dataset.
 #pragma once
 
 #include <functional>
@@ -67,32 +68,9 @@ class FailureDataset {
   FailureDataset filter(
       const std::function<bool(const FailureRecord&)>& keep) const;
 
-  /// Records of one system, deep-copied.
-  [[deprecated("use view().for_system() for a zero-copy view")]]
-  FailureDataset for_system(int system_id) const;
-
-  /// Records inside [from, to), deep-copied.
-  [[deprecated("use view().between() for a zero-copy view")]]
-  FailureDataset between(Seconds from, Seconds to) const;
-
-  /// Time between consecutive failures *of one node*, in seconds
-  /// (Section 5.3 view (i)). Empty when the node has fewer than 2 records.
-  [[deprecated("use view().for_system().node_interarrivals()")]]
-  std::vector<double> node_interarrivals(int system_id, int node_id) const;
-
-  /// Time between consecutive failures anywhere in one system, in seconds
-  /// (Section 5.3 view (ii)). Simultaneous failures yield exact zeros.
-  [[deprecated("use view().for_system().system_interarrivals()")]]
-  std::vector<double> system_interarrivals(int system_id) const;
-
   /// Repair times (end - start) in minutes, the unit of Table 2/Fig 7,
   /// over all records in the dataset.
   std::vector<double> repair_times_minutes() const;
-
-  /// Number of failures per node of one system (nodes with zero failures
-  /// are absent; callers that need zeros consult the catalog).
-  [[deprecated("use view().for_system().failures_per_node()")]]
-  std::map<int, std::size_t> failures_per_node(int system_id) const;
 
   /// Distinct system ids present, ascending.
   std::vector<int> system_ids() const;

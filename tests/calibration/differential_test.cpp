@@ -1,0 +1,158 @@
+// Differential oracles: two independent paths to the same answer must
+// agree bit-for-bit.
+//
+//   * indexed views vs the testkit brute-force references vs
+//     materialize() round-trips, on a full synthetic LANL trace;
+//   * fit_report / fit_report_many at 1, 2 and 8 threads;
+//   * fit rankings under permutation of the requested family list.
+#include <array>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/interarrival.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "dist/fit.hpp"
+#include "dist/weibull.hpp"
+#include "synth/generator.hpp"
+#include "testkit/calibration.hpp"
+#include "testkit/reference.hpp"
+#include "trace/dataset.hpp"
+#include "trace/index.hpp"
+
+namespace {
+
+using hpcfail::dist::Family;
+using hpcfail::testkit::identical_across_threads;
+
+TEST(Differential, ViewsMatchBruteForceReferencesOnAFullTrace) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(101);
+  const auto records = ds.records();
+  for (const int system : ds.system_ids()) {
+    const auto view = ds.view().for_system(system);
+    const auto ref = hpcfail::testkit::ref_for_system(records, system);
+    ASSERT_EQ(view.size(), ref.size()) << "system " << system;
+    const auto view_records = view.records();
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(view_records[i], ref[i]) << "system " << system;
+    }
+    EXPECT_EQ(view.system_interarrivals(),
+              hpcfail::testkit::ref_system_interarrivals(records, system));
+    EXPECT_EQ(view.failures_per_node(),
+              hpcfail::testkit::ref_failures_per_node(records, system));
+  }
+}
+
+TEST(Differential, NodeInterarrivalsMatchReferencesPerNode) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(101);
+  const auto records = ds.records();
+  const int system = 20;
+  const auto view = ds.view().for_system(system);
+  for (const auto& [node, count] : view.failures_per_node()) {
+    EXPECT_EQ(view.node_interarrivals(node),
+              hpcfail::testkit::ref_node_interarrivals(records, system, node))
+        << "node " << node;
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(Differential, MaterializeRoundTripsTheViewExactly) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(101);
+  const auto view = ds.view().for_system(20).between(
+      ds.first_start(), ds.first_start() + 400 * 24 * 3600);
+  const auto copy = view.materialize();
+  const auto a = view.records();
+  const auto b = copy.records();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  // And the analyzers see the two datasets identically.
+  EXPECT_EQ(view.repair_times_minutes(), copy.view().repair_times_minutes());
+  EXPECT_EQ(view.system_interarrivals(),
+            copy.view().for_system(20).system_interarrivals());
+}
+
+// Flattens a report to exactly-comparable numbers (family order + nll +
+// aic + ks per rank).
+std::vector<std::tuple<Family, double, double, double>> flatten(
+    const hpcfail::dist::FitReport& report) {
+  std::vector<std::tuple<Family, double, double, double>> flat;
+  for (const auto& r : report) {
+    flat.emplace_back(r.family, r.nll, r.aic, r.ks);
+  }
+  return flat;
+}
+
+TEST(Differential, FitReportIsBitIdenticalAcrossThreadCounts) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(7);
+  const auto gaps = ds.view().for_system(20).system_interarrivals();
+  const auto compute = [&] {
+    return flatten(
+        hpcfail::dist::fit_report(gaps, hpcfail::dist::all_families(), 1.0));
+  };
+  EXPECT_TRUE(identical_across_threads(compute));
+}
+
+TEST(Differential, FitReportManyIsBitIdenticalAcrossThreadCounts) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(7);
+  const auto compute = [&] {
+    std::vector<std::tuple<int, Family, double>> flat;
+    for (const auto& node :
+         hpcfail::analysis::per_node_interarrival_fits(ds, 20)) {
+      if (node.fits.empty()) {
+        flat.emplace_back(node.node_id, Family::exponential, -1.0);
+        continue;
+      }
+      flat.emplace_back(node.node_id, node.fits.best().family,
+                        node.fits.best().nll);
+    }
+    return flat;
+  };
+  EXPECT_TRUE(identical_across_threads(compute));
+}
+
+TEST(Differential, InterarrivalAnalysisIsBitIdenticalAcrossThreadCounts) {
+  const auto ds = hpcfail::synth::generate_lanl_trace(7);
+  const auto compute = [&] {
+    hpcfail::analysis::InterarrivalQuery query;
+    query.system_id = 20;
+    const auto report = hpcfail::analysis::interarrival_analysis(ds, query);
+    auto flat = flatten(report.fits);
+    flat.emplace_back(Family::exponential, report.summary.mean,
+                      report.summary.median, report.zero_fraction);
+    return flat;
+  };
+  EXPECT_TRUE(identical_across_threads(compute));
+}
+
+TEST(Differential, FitRankingIsStableUnderFamilyPermutation) {
+  hpcfail::Rng rng(31337);
+  const hpcfail::dist::Weibull source(0.8, 1200.0);
+  std::vector<double> xs(3000);
+  for (double& x : xs) x = source.sample(rng);
+
+  const std::array<std::vector<Family>, 4> permutations = {{
+      {Family::exponential, Family::weibull, Family::gamma, Family::lognormal,
+       Family::normal, Family::pareto, Family::hyperexp},
+      {Family::hyperexp, Family::pareto, Family::normal, Family::lognormal,
+       Family::gamma, Family::weibull, Family::exponential},
+      {Family::gamma, Family::exponential, Family::lognormal,
+       Family::hyperexp, Family::weibull, Family::pareto, Family::normal},
+      {Family::weibull, Family::normal, Family::pareto, Family::exponential,
+       Family::hyperexp, Family::lognormal, Family::gamma},
+  }};
+
+  const auto reference =
+      flatten(hpcfail::dist::fit_report(xs, permutations[0], 1e-9));
+  ASSERT_FALSE(reference.empty());
+  EXPECT_EQ(std::get<0>(reference.front()), Family::weibull);
+  for (std::size_t p = 1; p < permutations.size(); ++p) {
+    EXPECT_EQ(flatten(hpcfail::dist::fit_report(xs, permutations[p], 1e-9)),
+              reference)
+        << "permutation " << p;
+  }
+}
+
+}  // namespace

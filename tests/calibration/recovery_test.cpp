@@ -1,0 +1,132 @@
+// Simulation-based calibration: parameter recovery for every fit family.
+//
+// For each family, sample from a distribution with known parameters at
+// several sample sizes, refit with dist::fit, and require (a) the
+// relative RMSE of the recovered mean and C^2 to shrink as n grows — the
+// consistency signature of a correct MLE — and (b) the bias at the
+// largest n to be small. Tolerances are documented in EXPERIMENTS.md.
+// Everything is seeded, so a failure here is a real regression, not
+// noise.
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "dist/exponential.hpp"
+#include "dist/fit.hpp"
+#include "dist/gamma.hpp"
+#include "dist/hyperexp.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/normal.hpp"
+#include "dist/pareto.hpp"
+#include "dist/poisson.hpp"
+#include "dist/weibull.hpp"
+#include "testkit/calibration.hpp"
+
+namespace {
+
+using hpcfail::dist::Family;
+using hpcfail::testkit::recovery_curve;
+using hpcfail::testkit::RecoveryCurve;
+
+constexpr std::array<std::size_t, 3> kSizes = {256, 2048, 16384};
+constexpr std::size_t kReplicates = 40;
+constexpr std::uint64_t kSeed = 0x5ca1ab1e;
+
+void expect_recovers(const RecoveryCurve& curve, double bias_tol,
+                     double rmse_factor = 2.0) {
+  ASSERT_FALSE(curve.points.empty());
+  const auto& last = curve.points.back();
+  EXPECT_LT(std::abs(last.mean_bias), bias_tol)
+      << "mean bias at n=" << last.n;
+  EXPECT_LT(std::abs(last.cv2_bias), bias_tol) << "cv2 bias at n=" << last.n;
+  EXPECT_TRUE(curve.rmse_shrinks(rmse_factor))
+      << "RMSE did not shrink by " << rmse_factor << "x from n="
+      << curve.points.front().n << " (mean rmse "
+      << curve.points.front().mean_rmse << ", cv2 rmse "
+      << curve.points.front().cv2_rmse << ") to n=" << last.n
+      << " (mean rmse " << last.mean_rmse << ", cv2 rmse " << last.cv2_rmse
+      << ")";
+  EXPECT_EQ(last.failed_fits, 0u);
+}
+
+TEST(Calibration, ExponentialRecovery) {
+  const hpcfail::dist::Exponential truth(1.0 / 1500.0);
+  expect_recovers(
+      recovery_curve(truth, Family::exponential, kSizes, kReplicates, kSeed),
+      0.02);
+}
+
+TEST(Calibration, WeibullRecovery) {
+  // The paper's decreasing-hazard regime: shape < 1.
+  const hpcfail::dist::Weibull truth(0.7, 3600.0);
+  expect_recovers(
+      recovery_curve(truth, Family::weibull, kSizes, kReplicates, kSeed),
+      0.03);
+}
+
+TEST(Calibration, GammaRecovery) {
+  const hpcfail::dist::GammaDist truth(1.8, 2000.0);
+  expect_recovers(
+      recovery_curve(truth, Family::gamma, kSizes, kReplicates, kSeed), 0.03);
+}
+
+TEST(Calibration, LognormalRecovery) {
+  const hpcfail::dist::LogNormal truth(4.0, 1.2);
+  expect_recovers(
+      recovery_curve(truth, Family::lognormal, kSizes, kReplicates, kSeed),
+      0.05);
+}
+
+TEST(Calibration, NormalRecovery) {
+  const hpcfail::dist::Normal truth(120.0, 25.0);
+  expect_recovers(
+      recovery_curve(truth, Family::normal, kSizes, kReplicates, kSeed),
+      0.02);
+}
+
+TEST(Calibration, PoissonRecovery) {
+  const hpcfail::dist::Poisson truth(6.5);
+  expect_recovers(
+      recovery_curve(truth, Family::poisson, kSizes, kReplicates, kSeed),
+      0.02);
+}
+
+TEST(Calibration, ParetoRecovery) {
+  // alpha > 2 keeps both the mean and the variance of the truth finite;
+  // at these sizes the fitted alpha stays well above 2 too.
+  const hpcfail::dist::Pareto truth(3.0, 10.0);
+  expect_recovers(
+      recovery_curve(truth, Family::pareto, kSizes, kReplicates, kSeed),
+      0.05);
+}
+
+TEST(Calibration, HyperexpRecovery) {
+  // EM is by far the costliest fitter, so this family sweeps smaller
+  // sizes with fewer replicates; the consistency signature is the same.
+  const hpcfail::dist::HyperExp truth(0.4, 1.0 / 500.0, 1.0 / 5000.0);
+  constexpr std::array<std::size_t, 3> sizes = {256, 1024, 4096};
+  expect_recovers(
+      recovery_curve(truth, Family::hyperexp, sizes, 20, kSeed), 0.10, 1.5);
+}
+
+TEST(Calibration, RecoveryCurveIsDeterministicAcrossThreadCounts) {
+  // The calibration oracles must be a pure function of the seed at any
+  // parallelism level (dist::fit fans families out on the shared pool).
+  const hpcfail::dist::Weibull truth(0.7, 3600.0);
+  constexpr std::array<std::size_t, 2> sizes = {256, 1024};
+  const auto compute = [&] {
+    const auto curve =
+        recovery_curve(truth, Family::weibull, sizes, 10, kSeed);
+    std::vector<std::array<double, 4>> flat;
+    for (const auto& p : curve.points) {
+      flat.push_back({p.mean_bias, p.mean_rmse, p.cv2_bias, p.cv2_rmse});
+    }
+    return flat;
+  };
+  EXPECT_TRUE(hpcfail::testkit::identical_across_threads(compute));
+}
+
+}  // namespace

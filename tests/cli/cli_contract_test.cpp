@@ -1,0 +1,204 @@
+// The CLI's exit-code contract, table-driven over every subcommand:
+//   0 success, 1 runtime failure (io / validation / fit / ...),
+//   2 usage error (unknown command/option, missing required option).
+// Each row shells out to the real binary (HPCFAIL_CLI_PATH, injected by
+// CMake) and checks the exit code plus the stderr prefix the top-level
+// error taxonomy promises.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+  std::string err;
+};
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// Runs `hpcfail <args>` with stdout/stderr captured to temp files.
+RunResult run_cli(const std::string& args) {
+  // Per (process, invocation) name: ctest runs each test in its own
+  // process with a shared TempDir, so a bare counter collides.
+  static int invocation = 0;
+  const std::string stem =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("cli_run_" + std::to_string(::getpid()) + "_" +
+        std::to_string(invocation++)))
+          .string();
+  const std::string out_path = stem + ".out";
+  const std::string err_path = stem + ".err";
+  const std::string command = std::string(HPCFAIL_CLI_PATH) + " " + args +
+                              " > " + out_path + " 2> " + err_path;
+  const int raw = std::system(command.c_str());
+  RunResult result;
+  result.exit_code = WIFEXITED(raw) ? WEXITSTATUS(raw) : -1;
+  result.out = read_file(out_path);
+  result.err = read_file(err_path);
+  std::remove(out_path.c_str());
+  std::remove(err_path.c_str());
+  return result;
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+// One row of the contract: a command line, the promised exit code, and
+// (for failures) the stderr prefix of the error taxonomy.
+struct ContractRow {
+  std::string args;
+  int exit_code;
+  std::string err_prefix;  // empty = don't care
+};
+
+const std::vector<std::string>& all_subcommands() {
+  static const std::vector<std::string> kNames = {
+      "generate", "catalog", "validate",     "fit",
+      "repair",   "report",  "availability", "profile"};
+  return kNames;
+}
+
+TEST(CliContract, SubcommandTableMatchesHelpOutput) {
+  // Keeps all_subcommands() honest: a new subcommand must be added to
+  // this contract suite or this test fails.
+  const auto help = run_cli("help");
+  EXPECT_EQ(help.exit_code, 0);  // global usage, on stdout
+  for (const auto& name : all_subcommands()) {
+    EXPECT_NE(help.out.find("  " + name), std::string::npos)
+        << "usage does not list " << name;
+  }
+  // And nothing extra: count the command lines between "commands:" and
+  // the blank line that follows the list.
+  const auto begin = help.out.find("commands:");
+  ASSERT_NE(begin, std::string::npos);
+  const auto end = help.out.find("\n\n", begin);
+  ASSERT_NE(end, std::string::npos);
+  std::size_t listed = 0;
+  for (std::size_t pos = begin; pos < end;
+       pos = help.out.find('\n', pos + 1)) {
+    if (help.out.compare(pos, 3, "\n  ") == 0) ++listed;
+  }
+  EXPECT_EQ(listed, all_subcommands().size());
+}
+
+TEST(CliContract, EverySubcommandHonoursHelpAndRejectsUnknownOptions) {
+  for (const auto& name : all_subcommands()) {
+    const auto help = run_cli(name + " --help");
+    EXPECT_EQ(help.exit_code, 0) << name;
+    EXPECT_NE(help.out.find("usage: hpcfail " + name), std::string::npos)
+        << name;
+
+    const auto unknown = run_cli(name + " --definitely-not-an-option 1");
+    EXPECT_EQ(unknown.exit_code, 2) << name;
+    EXPECT_TRUE(starts_with(unknown.err, "parse error:")) << name << ": "
+                                                          << unknown.err;
+  }
+}
+
+TEST(CliContract, ExitCodeTable) {
+  const std::string missing = "/nonexistent/no_such_trace.csv";
+  const std::vector<ContractRow> rows = {
+      // usage errors -> 2
+      {"", 2, ""},
+      {"frobnicate", 2, ""},
+      {"generate", 2, "parse error:"},          // missing required --out
+      {"validate", 2, "parse error:"},          // missing required --trace
+      {"fit", 2, "parse error:"},               // missing required --system
+      {"fit --system", 2, "parse error:"},      // option without a value
+      {"fit --system notanint", 2, "parse error:"},
+      {"repair --seed -3", 2, "parse error:"},  // uint64 cannot be negative
+      // runtime failures -> 1
+      {"fit --system 20 --trace " + missing, 1, "io error:"},
+      {"validate --trace " + missing, 1, "io error:"},
+      {"repair --trace " + missing, 1, "io error:"},
+      {"report --trace " + missing, 1, "io error:"},
+      {"generate --out /nonexistent-dir/sub/trace.csv", 1, "io error:"},
+      {"catalog --metrics-out /nonexistent-dir/m.json", 1, "io error:"},
+      {"fit --system 20 --seed 1 --threads 0", 1, "validation error:"},
+      {"fit --system 999 --seed 1", 1, ""},  // no such system in the trace
+      // successes -> 0
+      {"--version", 0, ""},
+      {"catalog", 0, ""},
+  };
+
+  for (const auto& row : rows) {
+    const auto result = run_cli(row.args);
+    EXPECT_EQ(result.exit_code, row.exit_code)
+        << "hpcfail " << row.args << "\nstderr: " << result.err;
+    if (!row.err_prefix.empty()) {
+      EXPECT_TRUE(starts_with(result.err, row.err_prefix))
+          << "hpcfail " << row.args << "\nstderr: " << result.err;
+    }
+  }
+}
+
+TEST(CliContract, MetricsOutUnwritablePathFailsWithIoError) {
+  // --metrics-out is a global option: the pipeline runs, then the export
+  // fails cleanly with the io taxonomy, not a crash or silent success.
+  const auto result = run_cli(
+      "catalog --metrics-out /nonexistent-dir/deep/metrics.json "
+      "--metrics-format json");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_TRUE(starts_with(result.err, "io error:")) << result.err;
+}
+
+TEST(CliContract, MetricsFormatIsValidated) {
+  const auto result = run_cli("catalog --metrics-out m.json "
+                              "--metrics-format yaml");
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_TRUE(starts_with(result.err, "validation error:")) << result.err;
+}
+
+TEST(CliContract, ValidateFlagsSuspectTraceWithExitTwo) {
+  // A readable trace with a record validate must flag (a system id no
+  // LANL catalog entry knows): exit 2 = "issues found", distinct from
+  // exit 1 = could not even read the trace.
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "suspect.csv").string();
+  {
+    std::ofstream out(path);
+    out << "system,node,start,end,workload,cause,detail\n";
+    out << "99,3,2005-01-02 09:00:00,2005-01-02 10:00:00,compute,hardware,"
+           "memory_dimm\n";
+  }
+  const auto result = run_cli("validate --trace " + path);
+  EXPECT_EQ(result.exit_code, 2) << result.err << result.out;
+  std::remove(path.c_str());
+}
+
+TEST(CliContract, InconsistentTraceRecordIsAParseError) {
+  // end < start is rejected while reading the CSV ("parse error: line
+  // 2: inconsistent record"), before validate ever runs — a usage-level
+  // failure, distinct from validate's own issues-found exit.
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "corrupt.csv").string();
+  {
+    std::ofstream out(path);
+    out << "system,node,start,end,workload,cause,detail\n";
+    out << "20,3,2005-01-02 10:00:00,2005-01-02 09:00:00,compute,hardware,"
+           "memory_dimm\n";
+  }
+  const auto result = run_cli("validate --trace " + path);
+  EXPECT_EQ(result.exit_code, 2) << result.err << result.out;
+  EXPECT_TRUE(starts_with(result.err, "parse error:")) << result.err;
+  std::remove(path.c_str());
+}
+
+}  // namespace

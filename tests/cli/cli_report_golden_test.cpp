@@ -1,0 +1,66 @@
+// Golden snapshot of the full `hpcfail report` output (the composite
+// Figs 1/2/6 + Table 2 text report on the default seed-42 trace).
+//
+// The comparison is token-wise with a tiny relative tolerance: the
+// report's numbers come through iterative MLE solvers, where the last
+// printed digit can legitimately differ across optimization levels and
+// libm versions, but the layout, labels, and ranking order must match
+// exactly. Regenerate with HPCFAIL_UPDATE_GOLDENS=1 (the env var is
+// forwarded to golden_compare in-process, so the same ctest run updates
+// this snapshot too).
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testkit/golden.hpp"
+
+namespace {
+
+std::string run_report(const std::string& extra_args) {
+  // Name the capture per (process, invocation): ctest runs each test in
+  // its own process with a shared TempDir, so a bare counter collides.
+  static int invocation = 0;
+  const std::string out_path =
+      (std::filesystem::path(::testing::TempDir()) /
+       ("report_" + std::to_string(::getpid()) + "_" +
+        std::to_string(invocation++) + ".out"))
+          .string();
+  const std::string command = std::string(HPCFAIL_CLI_PATH) +
+                              " report --seed 42 " + extra_args + " > " +
+                              out_path + " 2> /dev/null";
+  const int raw = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(raw) && WEXITSTATUS(raw) == 0)
+      << "hpcfail report exited with " << raw;
+  std::ifstream in(out_path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::remove(out_path.c_str());
+  return buffer.str();
+}
+
+TEST(CliReportGolden, ReportMatchesSnapshot) {
+  const std::string output = run_report("--threads 2");
+  hpcfail::testkit::GoldenOptions options;
+  options.rel_tol = 1e-6;
+  options.abs_tol = 1e-9;
+  const auto result = hpcfail::testkit::golden_compare(
+      std::string(HPCFAIL_GOLDEN_DIR) + "/cli_report.golden", output,
+      options);
+  EXPECT_TRUE(static_cast<bool>(result)) << result.message;
+}
+
+TEST(CliReportGolden, ReportIsByteIdenticalAcrossThreadCounts) {
+  const std::string serial = run_report("--threads 1");
+  const std::string parallel = run_report("--threads 8");
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace

@@ -161,16 +161,6 @@ TEST(FitReportMany, EmptyAndDegenerateSamplesYieldEmptyReports) {
   EXPECT_EQ(reports[2].failed_families, 2u);
 }
 
-TEST(FitResult, DeprecatedNegLogLikelihoodShimStillWorks) {
-  const Exponential truth(0.25);
-  const auto xs = draw(truth, 200, 227);
-  const FitResult r = fit(Family::exponential, xs);
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  EXPECT_DOUBLE_EQ(r.neg_log_likelihood(), r.nll);
-#pragma GCC diagnostic pop
-}
-
 TEST(Fit, RejectsEmptySample) {
   EXPECT_THROW(fit(Family::weibull, std::vector<double>{}),
                InvalidArgument);
@@ -201,6 +191,42 @@ TEST(FamilyNames, RoundTrip) {
   EXPECT_EQ(to_string(Family::lognormal), "lognormal");
   EXPECT_EQ(to_string(Family::normal), "normal");
   EXPECT_EQ(to_string(Family::poisson), "poisson");
+  EXPECT_EQ(to_string(Family::pareto), "pareto");
+  EXPECT_EQ(to_string(Family::hyperexp), "hyperexp");
+}
+
+TEST(Families, AllFamiliesCoversTheEnumInOrder) {
+  const auto all = all_families();
+  ASSERT_EQ(all.size(), 8u);
+  EXPECT_EQ(all.front(), Family::exponential);
+  EXPECT_EQ(all.back(), Family::hyperexp);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(static_cast<int>(all[i - 1]), static_cast<int>(all[i]));
+  }
+}
+
+TEST(Fit, ConstantSampleThrowsTypedFitErrorPerFamily) {
+  // Regression: a constant-valued sample used to spin two-parameter
+  // solvers to their iteration cap; now every family that cannot
+  // represent zero variance rejects it immediately with FitError.
+  const std::vector<double> xs = {7.5, 7.5, 7.5, 7.5, 7.5, 7.5, 7.5, 7.5};
+  for (const Family family :
+       {Family::weibull, Family::gamma, Family::lognormal, Family::normal,
+        Family::pareto, Family::hyperexp}) {
+    EXPECT_THROW(fit(family, xs), FitError) << to_string(family);
+  }
+  // The closed-form rate/count families still fit a constant sample.
+  EXPECT_NO_THROW(fit(Family::exponential, xs));
+}
+
+TEST(FitReport, ConstantSampleLandsInFailedFamiliesNotIterations) {
+  const std::vector<double> xs(32, 7.5);
+  const FitReport report = fit_report(xs, all_families());
+  // exponential and poisson fit; the six variance-requiring families
+  // are counted as failed instead of burning solver iterations.
+  EXPECT_EQ(report.failed_families, 6u);
+  ASSERT_EQ(report.size(), 2u);
+  EXPECT_EQ(report.total_iterations, 0u);
 }
 
 }  // namespace

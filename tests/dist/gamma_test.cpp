@@ -81,7 +81,7 @@ TEST(GammaDist, FitRejectsDegenerateSamples) {
   EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{1.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{3.0, 3.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   EXPECT_THROW(GammaDist::fit_mle(std::vector<double>{1.0, -0.5}),
                hpcfail::InvalidArgument);
 }

@@ -92,7 +92,7 @@ TEST(HyperExp, EmRejectsBadSamples) {
   EXPECT_THROW(HyperExp::fit_em(std::vector<double>{1.0, 2.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(HyperExp::fit_em(std::vector<double>{3.0, 3.0, 3.0, 3.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   EXPECT_THROW(
       HyperExp::fit_em(std::vector<double>{1.0, 2.0, -1.0, 4.0}),
       hpcfail::InvalidArgument);

@@ -72,7 +72,7 @@ TEST(LogNormal, FitRejectsDegenerateSamples) {
   EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{1.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{2.0, 2.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   EXPECT_THROW(LogNormal::fit_mle(std::vector<double>{1.0, -1.0}),
                hpcfail::InvalidArgument);
 }

@@ -69,7 +69,7 @@ TEST(Normal, FitRejectsDegenerateSamples) {
   EXPECT_THROW(Normal::fit_mle(std::vector<double>{1.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(Normal::fit_mle(std::vector<double>{2.0, 2.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
 }
 
 TEST(Normal, RejectsBadParameters) {

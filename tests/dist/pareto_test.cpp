@@ -67,7 +67,7 @@ TEST(Pareto, FitRejectsDegenerateSamples) {
   EXPECT_THROW(Pareto::fit_mle(std::vector<double>{5.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(Pareto::fit_mle(std::vector<double>{5.0, 5.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   EXPECT_THROW(Pareto::fit_mle(std::vector<double>{1.0, -1.0}),
                hpcfail::InvalidArgument);
 }

@@ -91,7 +91,7 @@ TEST(WeibullCensored, ValidatesInput) {
                hpcfail::InvalidArgument);
   const std::vector<double> constant = {3.0, 3.0};
   EXPECT_THROW(Weibull::fit_mle_censored(constant, {}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   const std::vector<double> negative = {3.0, -1.0};
   EXPECT_THROW(Weibull::fit_mle_censored(negative, censored),
                hpcfail::InvalidArgument);

@@ -81,7 +81,7 @@ TEST(Weibull, FitRejectsDegenerateSamples) {
   EXPECT_THROW(Weibull::fit_mle(std::vector<double>{1.0}),
                hpcfail::InvalidArgument);
   EXPECT_THROW(Weibull::fit_mle(std::vector<double>{2.0, 2.0, 2.0}),
-               hpcfail::InvalidArgument);
+               hpcfail::FitError);
   EXPECT_THROW(Weibull::fit_mle(std::vector<double>{1.0, -1.0}),
                hpcfail::InvalidArgument);
 }

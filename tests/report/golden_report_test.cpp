@@ -1,0 +1,74 @@
+// Golden snapshots of the text-rendering layer: TextTable and the ASCII
+// chart renderers, fed hand-fixed inputs so the output is byte-exact on
+// every platform. These pin the exact layout (alignment, separators,
+// glyphs, number formatting) that the CLI report is built from; any
+// intentional change is reviewed through HPCFAIL_UPDATE_GOLDENS=1.
+#include <cmath>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "report/ascii_chart.hpp"
+#include "report/table.hpp"
+#include "testkit/golden.hpp"
+
+namespace {
+
+std::string golden_path(const char* name) {
+  return std::string(HPCFAIL_GOLDEN_DIR) + "/" + name;
+}
+
+TEST(GoldenReport, TextTableLayoutIsStable) {
+  hpcfail::report::TextTable table(
+      {"system", "HW", "failures", "fail/yr", "downtime h"});
+  table.add_row({"2", "A", "1996", "488.2", "14287.5"});
+  table.add_row({"19", "E", "3102", "689.1", "22110.0"});
+  // The numeric-formatting overload: label + one double per remaining
+  // column, rendered at 6 significant digits.
+  table.add_row("20", {5.0, 3202.0, 711.4375, 23001.25}, 6);
+  table.add_row({"total", "-", "8300", "1888.7", "59398.8"});
+
+  const auto result = hpcfail::testkit::golden_compare(
+      golden_path("report_table.golden"), table.to_string());
+  EXPECT_TRUE(static_cast<bool>(result)) << result.message;
+}
+
+TEST(GoldenReport, AsciiChartsLayoutIsStable) {
+  std::ostringstream out;
+
+  hpcfail::report::bar_chart(
+      out, "failures by root cause (% of records)",
+      {{"Hardware", 61.58}, {"Software", 23.06}, {"Network", 1.8},
+       {"Environment", 1.55}, {"Human", 0.36}, {"Unknown", 11.65}},
+      40);
+  out << "\n";
+
+  hpcfail::report::stacked_bar_chart(
+      out, "failures per month by cause",
+      {"Jan", "Feb", "Mar"},
+      {{"hardware", {12.0, 9.0, 15.0}},
+       {"software", {4.0, 6.0, 3.0}},
+       {"other", {1.0, 2.0, 1.0}}},
+      30);
+  out << "\n";
+
+  // A fixed Weibull-vs-exponential CDF pair, the Fig 6 shape.
+  const auto weibull = [](double x) {
+    return 1.0 - std::exp(-std::pow(x / 1000.0, 0.7));
+  };
+  const auto exponential = [](double x) {
+    return 1.0 - std::exp(-x / 1000.0);
+  };
+  hpcfail::report::cdf_plot(
+      out, "interarrival CDF (fixed example)",
+      {hpcfail::report::sample_cdf("weibull", weibull, 1.0, 1e5),
+       hpcfail::report::sample_cdf("exponential", exponential, 1.0, 1e5)},
+      /*log_x=*/true, 64, 16);
+
+  const auto result = hpcfail::testkit::golden_compare(
+      golden_path("ascii_charts.golden"), out.str());
+  EXPECT_TRUE(static_cast<bool>(result)) << result.message;
+}
+
+}  // namespace

@@ -1,0 +1,129 @@
+// Generator laws: every stock generator must (a) sample only values that
+// satisfy its advertised invariant and (b) keep that invariant across
+// every shrink candidate — otherwise shrinking could "minimize" a failure
+// into an input the production code is not even supposed to accept.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/property.hpp"
+#include "trace/record.hpp"
+
+namespace {
+
+using hpcfail::Rng;
+using namespace hpcfail::testkit;
+
+// Samples `count` values and applies `check` to each value and to each
+// of its shrink candidates.
+template <typename T, typename Check>
+void for_samples_and_shrinks(const Gen<T>& gen, std::size_t count,
+                             Check&& check) {
+  Rng rng(20260805);
+  for (std::size_t i = 0; i < count; ++i) {
+    const T value = gen.sample(rng);
+    check(value);
+    for (const T& candidate : gen.shrink(value)) check(candidate);
+  }
+}
+
+TEST(Generators, RealsStayInRange) {
+  const auto gen = reals(-3.0, 12.5);
+  for_samples_and_shrinks(gen, 300, [](double x) {
+    EXPECT_GE(x, -3.0);
+    EXPECT_LE(x, 12.5);
+  });
+}
+
+TEST(Generators, PositiveRealsAreStrictlyPositive) {
+  const auto gen = positive_reals(3600.0);
+  for_samples_and_shrinks(gen, 300, [](double x) { EXPECT_GT(x, 0.0); });
+}
+
+TEST(Generators, IntsStayInRange) {
+  const auto gen = ints(-4, 17);
+  for_samples_and_shrinks(gen, 300, [](int v) {
+    EXPECT_GE(v, -4);
+    EXPECT_LE(v, 17);
+  });
+}
+
+TEST(Generators, VectorsRespectSizeBounds) {
+  const auto gen = vectors(reals(0.0, 1.0), 3, 9);
+  for_samples_and_shrinks(gen, 100, [](const std::vector<double>& xs) {
+    EXPECT_GE(xs.size(), 3u);
+    EXPECT_LE(xs.size(), 9u);
+    for (const double x : xs) {
+      EXPECT_GE(x, 0.0);
+      EXPECT_LE(x, 1.0);
+    }
+  });
+}
+
+TEST(Generators, SortedVectorsStaySortedThroughShrinking) {
+  const auto gen = sorted_vectors(positive_reals(100.0), 2, 12);
+  for_samples_and_shrinks(gen, 100, [](const std::vector<double>& xs) {
+    EXPECT_TRUE(std::is_sorted(xs.begin(), xs.end()));
+  });
+}
+
+TEST(Generators, FailureRecordsAreAlwaysConsistent) {
+  RecordGenOptions options;
+  const auto gen = failure_records(options);
+  for_samples_and_shrinks(gen, 300, [&](const hpcfail::trace::FailureRecord& r) {
+    EXPECT_TRUE(r.is_consistent());
+    EXPECT_GE(r.system_id, 1);
+    EXPECT_LE(r.system_id, options.systems);
+    EXPECT_GE(r.node_id, 0);
+    EXPECT_LT(r.node_id, options.nodes_per_system);
+    EXPECT_GE(r.downtime_seconds(), 0);
+    EXPECT_LE(r.downtime_seconds(), options.max_repair);
+  });
+}
+
+TEST(Generators, RecordBatchesRespectSizeBounds) {
+  const auto gen = record_batches(2, 25);
+  for_samples_and_shrinks(
+      gen, 40, [](const std::vector<hpcfail::trace::FailureRecord>& rs) {
+        EXPECT_GE(rs.size(), 2u);
+        EXPECT_LE(rs.size(), 25u);
+        for (const auto& r : rs) EXPECT_TRUE(r.is_consistent());
+      });
+}
+
+TEST(Generators, DatasetsAreWellFormedAndStartSorted) {
+  const auto gen = datasets(1, 30);
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const auto ds = gen.sample(rng);
+    EXPECT_GE(ds.size(), 1u);
+    EXPECT_LE(ds.size(), 30u);
+    const auto records = ds.records();
+    for (std::size_t k = 1; k < records.size(); ++k) {
+      EXPECT_LE(records[k - 1].start, records[k].start);
+    }
+  }
+}
+
+TEST(Generators, SamplingIsAPureFunctionOfTheSeed) {
+  const auto gen = record_batches(1, 50);
+  Rng a(4242);
+  Rng b(4242);
+  for (int i = 0; i < 10; ++i) {
+    const auto xs = gen.sample(a);
+    const auto ys = gen.sample(b);
+    ASSERT_EQ(xs.size(), ys.size());
+    for (std::size_t k = 0; k < xs.size(); ++k) {
+      EXPECT_EQ(xs[k].start, ys[k].start);
+      EXPECT_EQ(xs[k].end, ys[k].end);
+      EXPECT_EQ(xs[k].system_id, ys[k].system_id);
+      EXPECT_EQ(xs[k].node_id, ys[k].node_id);
+      EXPECT_EQ(xs[k].detail, ys[k].detail);
+    }
+  }
+}
+
+}  // namespace

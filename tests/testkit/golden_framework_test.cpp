@@ -1,0 +1,147 @@
+// Self-tests of the golden-snapshot framework against throwaway files in
+// the gtest temp dir: byte-exact matching, first-difference reporting,
+// the .actual dump for CI artifacts, HPCFAIL_UPDATE_GOLDENS regeneration
+// (including byte-identical re-regeneration), and tolerant numeric mode.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "testkit/golden.hpp"
+
+namespace {
+
+using hpcfail::testkit::golden_compare;
+using hpcfail::testkit::GoldenOptions;
+using hpcfail::testkit::update_goldens;
+
+std::string temp_golden(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) / name).string();
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+// RAII guard: forces update mode on/off for one test and restores the
+// ambient environment afterwards, so these self-tests behave identically
+// inside and outside a regeneration run.
+class UpdateModeGuard {
+ public:
+  explicit UpdateModeGuard(bool enable) {
+    const char* prior = std::getenv("HPCFAIL_UPDATE_GOLDENS");
+    had_prior_ = prior != nullptr;
+    if (had_prior_) prior_ = prior;
+    if (enable) {
+      ::setenv("HPCFAIL_UPDATE_GOLDENS", "1", 1);
+    } else {
+      ::unsetenv("HPCFAIL_UPDATE_GOLDENS");
+    }
+  }
+  ~UpdateModeGuard() {
+    if (had_prior_) {
+      ::setenv("HPCFAIL_UPDATE_GOLDENS", prior_.c_str(), 1);
+    } else {
+      ::unsetenv("HPCFAIL_UPDATE_GOLDENS");
+    }
+  }
+
+ private:
+  bool had_prior_ = false;
+  std::string prior_;
+};
+
+TEST(GoldenFramework, ByteExactMatchPasses) {
+  UpdateModeGuard guard(false);
+  const std::string path = temp_golden("exact.golden");
+  write_file(path, "header\n1 2 3\n");
+  const auto result = golden_compare(path, "header\n1 2 3\n");
+  EXPECT_TRUE(result.matched);
+  EXPECT_TRUE(static_cast<bool>(result));
+}
+
+TEST(GoldenFramework, MismatchNamesFirstDifferingLineAndDumpsActual) {
+  UpdateModeGuard guard(false);
+  const std::string path = temp_golden("mismatch.golden");
+  write_file(path, "alpha\nbeta\ngamma\n");
+  const auto result = golden_compare(path, "alpha\nBETA\ngamma\n");
+  ASSERT_FALSE(static_cast<bool>(result));
+  EXPECT_NE(result.message.find("line 2"), std::string::npos);
+  EXPECT_NE(result.message.find("HPCFAIL_UPDATE_GOLDENS=1"),
+            std::string::npos);
+  // The observed text lands next to the snapshot for CI to upload.
+  EXPECT_EQ(read_file(path + ".actual"), "alpha\nBETA\ngamma\n");
+  std::filesystem::remove(path + ".actual");
+}
+
+TEST(GoldenFramework, MissingSnapshotIsAMismatch) {
+  UpdateModeGuard guard(false);
+  const std::string path = temp_golden("never_written.golden");
+  std::filesystem::remove(path);
+  const auto result = golden_compare(path, "anything\n");
+  EXPECT_FALSE(static_cast<bool>(result));
+  EXPECT_NE(result.message.find("missing"), std::string::npos);
+  std::filesystem::remove(path + ".actual");
+}
+
+TEST(GoldenFramework, UpdateModeWritesSnapshotByteIdentically) {
+  const std::string path = temp_golden("regen/nested.golden");
+  std::filesystem::remove_all(temp_golden("regen"));
+  const std::string text = "table\n  row 1.5\n  row 2.5\n";
+  {
+    UpdateModeGuard guard(true);
+    EXPECT_TRUE(update_goldens());
+    const auto first = golden_compare(path, text);
+    EXPECT_TRUE(first.updated);
+    EXPECT_TRUE(static_cast<bool>(first));
+    const std::string bytes_after_first = read_file(path);
+    // Regenerating from an unchanged tree must be byte-identical.
+    const auto second = golden_compare(path, text);
+    EXPECT_TRUE(second.updated);
+    EXPECT_EQ(read_file(path), bytes_after_first);
+    EXPECT_EQ(read_file(path), text);
+  }
+  UpdateModeGuard guard(false);
+  EXPECT_TRUE(golden_compare(path, text).matched);
+}
+
+TEST(GoldenFramework, ToleranceAbsorbsNumericDriftOnly) {
+  UpdateModeGuard guard(false);
+  const std::string path = temp_golden("tolerant.golden");
+  write_file(path, "mean 100.000001 label\n");
+  GoldenOptions tolerant;
+  tolerant.rel_tol = 1e-6;
+  tolerant.write_actual_on_mismatch = false;
+  // Last-ulp numeric drift passes ...
+  EXPECT_TRUE(golden_compare(path, "mean 100.000050 label\n", tolerant));
+  // ... a real numeric change does not ...
+  EXPECT_FALSE(
+      static_cast<bool>(golden_compare(path, "mean 101.0 label\n", tolerant)));
+  // ... and non-numeric or structural drift is never absorbed.
+  EXPECT_FALSE(static_cast<bool>(
+      golden_compare(path, "mean 100.000001 other\n", tolerant)));
+  EXPECT_FALSE(static_cast<bool>(
+      golden_compare(path, "mean 100.000001\n", tolerant)));
+}
+
+TEST(GoldenFramework, ToleranceZeroIsByteExact) {
+  UpdateModeGuard guard(false);
+  const std::string path = temp_golden("strict.golden");
+  write_file(path, "x 1.0\n");
+  GoldenOptions strict;
+  strict.write_actual_on_mismatch = false;
+  EXPECT_FALSE(static_cast<bool>(golden_compare(path, "x 1.00\n", strict)));
+}
+
+}  // namespace

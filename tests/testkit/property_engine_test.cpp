@@ -1,0 +1,124 @@
+// Self-tests of the property engine: passing runs, failure reporting,
+// greedy shrinking to a minimal counterexample, seed reproducibility,
+// and the throwing-predicate contract. These are the acceptance tests
+// for the harness itself, so they assert on the exact mechanics.
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "testkit/generators.hpp"
+#include "testkit/property.hpp"
+
+namespace {
+
+using hpcfail::testkit::check_property;
+using hpcfail::testkit::Gen;
+using hpcfail::testkit::ints;
+using hpcfail::testkit::positive_reals;
+using hpcfail::testkit::Property;
+using hpcfail::testkit::PropertyOptions;
+using hpcfail::testkit::reals;
+using hpcfail::testkit::vectors;
+
+TEST(PropertyEngine, PassingPropertyRunsEveryCase) {
+  PropertyOptions options;
+  options.cases = 137;
+  const auto result =
+      check_property(positive_reals(10.0),
+                     [](double x) { return x > 0.0; }, options);
+  EXPECT_TRUE(result.passed);
+  EXPECT_TRUE(static_cast<bool>(result));
+  EXPECT_EQ(result.cases_run, 137u);
+  EXPECT_FALSE(result.counterexample.has_value());
+  EXPECT_TRUE(result.message.empty());
+}
+
+TEST(PropertyEngine, ShrinkingFindsTheExactBoundary) {
+  // "v < 500" over ints in [0, 1000]: the unique minimal counterexample
+  // is 500 itself, and the greedy shrinker must reach it from wherever
+  // the random draw landed.
+  const auto result = check_property(
+      ints(0, 1000), [](int v) { return v < 500; });
+  ASSERT_FALSE(result.passed);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(*result.counterexample, 500);
+  EXPECT_GT(result.shrink_steps, 0u);
+}
+
+TEST(PropertyEngine, FailingSeedReproducesTheOriginalDraw) {
+  const auto gen = reals(0.0, 100.0);
+  const auto result =
+      check_property(gen, [](double x) { return x < 60.0; });
+  ASSERT_FALSE(result.passed);
+  // The reported seed re-creates the *unshrunk* failing draw.
+  hpcfail::Rng rng(result.failing_seed);
+  const double replay = gen.sample(rng);
+  EXPECT_GE(replay, 60.0);
+}
+
+TEST(PropertyEngine, FailureMessageNamesThePropertyAndSeed) {
+  Property<int> property("ints are tiny", ints(0, 9),
+                         [](int v) { return v < 5; });
+  const auto result = property.check();
+  ASSERT_FALSE(result.passed);
+  EXPECT_NE(result.message.find("ints are tiny"), std::string::npos);
+  EXPECT_NE(result.message.find("minimal counterexample"), std::string::npos);
+  EXPECT_NE(result.message.find("seed 0x"), std::string::npos);
+  EXPECT_EQ(*result.counterexample, 5);
+}
+
+TEST(PropertyEngine, VectorShrinkDropsIrrelevantElements) {
+  // "no element exceeds 50": a minimal counterexample is one element
+  // barely above the threshold; structural shrinking must discard the
+  // rest of the vector.
+  const auto result = check_property(
+      vectors(reals(0.0, 100.0), 0, 20), [](const std::vector<double>& xs) {
+        for (const double x : xs) {
+          if (x > 50.0) return false;
+        }
+        return true;
+      });
+  ASSERT_FALSE(result.passed);
+  ASSERT_TRUE(result.counterexample.has_value());
+  EXPECT_EQ(result.counterexample->size(), 1u);
+  EXPECT_GT(result.counterexample->front(), 50.0);
+}
+
+TEST(PropertyEngine, ThrowingPredicateCountsAsFailure) {
+  const auto result = check_property(ints(0, 100), [](int v) -> bool {
+    if (v >= 10) throw std::runtime_error("predicate blew up");
+    return true;
+  });
+  ASSERT_FALSE(result.passed);
+  // Shrinking treats the throw as a failure too, so the minimum is the
+  // smallest throwing input.
+  EXPECT_EQ(*result.counterexample, 10);
+}
+
+TEST(PropertyEngine, SameSeedGivesIdenticalOutcome) {
+  PropertyOptions options;
+  options.seed = 0xabcdefull;
+  const auto predicate = [](double x) { return x < 7.5; };
+  const auto first = check_property(reals(0.0, 10.0), predicate, options);
+  const auto second = check_property(reals(0.0, 10.0), predicate, options);
+  ASSERT_FALSE(first.passed);
+  EXPECT_EQ(first.failing_case, second.failing_case);
+  EXPECT_EQ(first.failing_seed, second.failing_seed);
+  EXPECT_EQ(*first.counterexample, *second.counterexample);
+  EXPECT_EQ(first.message, second.message);
+}
+
+TEST(PropertyEngine, ShrinkStepCapIsHonoured) {
+  PropertyOptions options;
+  options.max_shrink_steps = 3;
+  const auto result = check_property(
+      ints(0, 1'000'000), [](int v) { return v < 1; }, options);
+  ASSERT_FALSE(result.passed);
+  EXPECT_LE(result.shrink_steps, 3u);
+}
+
+}  // namespace

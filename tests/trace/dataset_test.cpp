@@ -1,12 +1,10 @@
 #include "trace/dataset.hpp"
 
+#include "trace/index.hpp"
+
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
-
-// These tests deliberately exercise the deprecated copying accessors:
-// they are the behavioural contract the view-backed shims must keep.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace hpcfail::trace {
 namespace {
@@ -72,14 +70,14 @@ TEST(FailureDataset, EmptyDatasetBehaviour) {
   EXPECT_THROW(ds.first_start(), InvalidArgument);
   EXPECT_THROW(ds.last_end(), InvalidArgument);
   EXPECT_TRUE(ds.system_ids().empty());
-  EXPECT_TRUE(ds.system_interarrivals(1).empty());
+  EXPECT_TRUE(ds.view().for_system(1).empty());
 }
 
 TEST(FailureDataset, FilterAndForSystem) {
   const FailureDataset ds = small_dataset();
-  EXPECT_EQ(ds.for_system(1).size(), 4u);
-  EXPECT_EQ(ds.for_system(2).size(), 1u);
-  EXPECT_EQ(ds.for_system(3).size(), 0u);
+  EXPECT_EQ(ds.view().for_system(1).size(), 4u);
+  EXPECT_EQ(ds.view().for_system(2).size(), 1u);
+  EXPECT_EQ(ds.view().for_system(3).size(), 0u);
   const auto long_repairs = ds.filter(
       [](const FailureRecord& r) { return r.downtime_seconds() >= 600; });
   EXPECT_EQ(long_repairs.size(), 2u);
@@ -87,23 +85,24 @@ TEST(FailureDataset, FilterAndForSystem) {
 
 TEST(FailureDataset, BetweenIsHalfOpen) {
   const FailureDataset ds = small_dataset();
-  const auto window = ds.between(t0 + 1000, t0 + 5000);
+  const auto window = ds.view().between(t0 + 1000, t0 + 5000);
   EXPECT_EQ(window.size(), 3u);  // 1000, 2000, 3000; excludes 5000
 }
 
 TEST(FailureDataset, NodeInterarrivals) {
   const FailureDataset ds = small_dataset();
-  const auto gaps = ds.node_interarrivals(1, 0);
+  const auto gaps = ds.view().for_system(1).node_interarrivals(0);
   ASSERT_EQ(gaps.size(), 2u);
   EXPECT_DOUBLE_EQ(gaps[0], 4000.0);
   EXPECT_DOUBLE_EQ(gaps[1], 4000.0);
-  EXPECT_TRUE(ds.node_interarrivals(1, 99).empty());
-  EXPECT_TRUE(ds.node_interarrivals(2, 0).empty());  // single record
+  EXPECT_TRUE(ds.view().for_system(1).node_interarrivals(99).empty());
+  // A single record yields no gaps.
+  EXPECT_TRUE(ds.view().for_system(2).node_interarrivals(0).empty());
 }
 
 TEST(FailureDataset, SystemInterarrivalsIncludeAllNodes) {
   const FailureDataset ds = small_dataset();
-  const auto gaps = ds.system_interarrivals(1);
+  const auto gaps = ds.view().for_system(1).system_interarrivals();
   ASSERT_EQ(gaps.size(), 3u);
   EXPECT_DOUBLE_EQ(gaps[0], 2000.0);  // 1000 -> 3000 (node 1)
   EXPECT_DOUBLE_EQ(gaps[1], 2000.0);  // 3000 -> 5000
@@ -116,7 +115,7 @@ TEST(FailureDataset, SimultaneousFailuresYieldZeroGaps) {
       rec(1, 1, t0, 60),  // same instant, different node
       rec(1, 2, t0 + 100, 60),
   });
-  const auto gaps = ds.system_interarrivals(1);
+  const auto gaps = ds.view().for_system(1).system_interarrivals();
   ASSERT_EQ(gaps.size(), 2u);
   EXPECT_DOUBLE_EQ(gaps[0], 0.0);
   EXPECT_DOUBLE_EQ(gaps[1], 100.0);
@@ -135,11 +134,11 @@ TEST(FailureDataset, RepairTimesMinutes) {
 
 TEST(FailureDataset, FailuresPerNode) {
   const FailureDataset ds = small_dataset();
-  const auto counts = ds.failures_per_node(1);
+  const auto counts = ds.view().for_system(1).failures_per_node();
   ASSERT_EQ(counts.size(), 2u);
   EXPECT_EQ(counts.at(0), 3u);
   EXPECT_EQ(counts.at(1), 1u);
-  EXPECT_TRUE(ds.failures_per_node(9).empty());
+  EXPECT_TRUE(ds.view().for_system(9).empty());
 }
 
 TEST(FailureDataset, SystemIdsSortedUnique) {

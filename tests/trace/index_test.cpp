@@ -1,6 +1,6 @@
-// DatasetIndex / DatasetView semantics, plus the contract that makes the
-// deprecated copying API safe to keep as shims: every view extraction is
-// bit-identical to the legacy implementation, at any thread count.
+// DatasetIndex / DatasetView semantics, plus the contract every analyzer
+// relies on: each view extraction is bit-identical to a brute-force
+// reference implementation (testkit/reference.hpp), at any thread count.
 #include "trace/index.hpp"
 
 #include <gtest/gtest.h>
@@ -9,11 +9,8 @@
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "synth/generator.hpp"
+#include "testkit/reference.hpp"
 #include "trace/dataset.hpp"
-
-// The identity half of these tests compares views against the deprecated
-// copying accessors on purpose.
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace hpcfail::trace {
 namespace {
@@ -188,15 +185,15 @@ TEST(DatasetIndex, ViewHitsCountedWhenObsEnabledAfterIndexBuild) {
   obs::disable();
 }
 
-TEST(DatasetIndex, ViewsMatchLegacyApiBitIdenticallyAtAnyThreadCount) {
+TEST(DatasetIndex, ViewsMatchBruteForceReferencesAtAnyThreadCount) {
   const FailureDataset ds = synth::generate_lanl_trace(42);
-  // Legacy (copying) results, computed once.
-  const FailureDataset legacy_sys = ds.for_system(20);
-  const auto legacy_node_gaps = ds.node_interarrivals(20, 22);
-  const auto legacy_sys_gaps = ds.system_interarrivals(20);
-  const auto legacy_counts = ds.failures_per_node(20);
-  const FailureDataset legacy_window =
-      ds.between(to_epoch(2000, 1, 1), to_epoch(2003, 1, 1));
+  // Brute-force references over the raw record span, computed once.
+  const auto ref_sys = testkit::ref_for_system(ds.records(), 20);
+  const auto ref_node_gaps = testkit::ref_node_interarrivals(ds.records(), 20, 22);
+  const auto ref_sys_gaps = testkit::ref_system_interarrivals(ds.records(), 20);
+  const auto ref_counts = testkit::ref_failures_per_node(ds.records(), 20);
+  const auto ref_window = testkit::ref_between(
+      ds.records(), to_epoch(2000, 1, 1), to_epoch(2003, 1, 1));
 
   for (const unsigned threads : {1u, 2u, 8u}) {
     hpcfail::set_parallelism(threads);
@@ -204,18 +201,18 @@ TEST(DatasetIndex, ViewsMatchLegacyApiBitIdenticallyAtAnyThreadCount) {
     // configured parallelism.
     const FailureDataset fresh = synth::generate_lanl_trace(42);
     const DatasetView sys20 = fresh.view().for_system(20);
-    ASSERT_EQ(sys20.size(), legacy_sys.size()) << threads << " threads";
+    ASSERT_EQ(sys20.size(), ref_sys.size()) << threads << " threads";
     for (std::size_t i = 0; i < sys20.size(); ++i) {
-      ASSERT_EQ(sys20.records()[i], legacy_sys.records()[i]);
+      ASSERT_EQ(sys20.records()[i], ref_sys[i]);
     }
-    EXPECT_EQ(sys20.node_interarrivals(22), legacy_node_gaps);
-    EXPECT_EQ(sys20.system_interarrivals(), legacy_sys_gaps);
-    EXPECT_EQ(sys20.failures_per_node(), legacy_counts);
+    EXPECT_EQ(sys20.node_interarrivals(22), ref_node_gaps);
+    EXPECT_EQ(sys20.system_interarrivals(), ref_sys_gaps);
+    EXPECT_EQ(sys20.failures_per_node(), ref_counts);
     const DatasetView window =
         fresh.view().between(to_epoch(2000, 1, 1), to_epoch(2003, 1, 1));
-    ASSERT_EQ(window.size(), legacy_window.size());
+    ASSERT_EQ(window.size(), ref_window.size());
     for (std::size_t i = 0; i < window.size(); ++i) {
-      ASSERT_EQ(window.records()[i], legacy_window.records()[i]);
+      ASSERT_EQ(window.records()[i], ref_window[i]);
     }
   }
   hpcfail::set_parallelism(0);

@@ -7,11 +7,19 @@
 // BM_GenerateFullTrace vs BM_GenerateFullTraceObsOff is the
 // observability overhead budget: the instrumented generator must stay
 // within 2% of its obs::disable()d self.
+//
+// BM_GenerateBulk scales every system's failure volume by range(0) so the
+// bulk pipeline (columnar emission + radix merge) dominates instead of
+// the per-system planning cost that bounds the paper-scale runs; the full
+// 10M-record sweep with per-stage numbers lives in
+// `bench_perf_dataset --pr6` (committed as BENCH_PR6.json).
 #include <benchmark/benchmark.h>
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
 #include "synth/generator.hpp"
+#include "synth/scenario.hpp"
+#include "trace/catalog.hpp"
 
 namespace {
 
@@ -51,6 +59,22 @@ void BM_GenerateFullTraceSequential(benchmark::State& state) {
   hpcfail::set_parallelism(0);
 }
 
+void BM_GenerateBulk(benchmark::State& state) {
+  hpcfail::synth::ScenarioConfig cfg = hpcfail::synth::lanl_scenario(2024);
+  for (auto& s : cfg.systems) {
+    s.failures_per_year *= static_cast<double>(state.range(0));
+  }
+  const hpcfail::synth::TraceGenerator generator(
+      hpcfail::trace::SystemCatalog::lanl(), std::move(cfg));
+  std::size_t records = 0;
+  for (auto _ : state) {
+    auto dataset = generator.generate();
+    records += dataset.size();
+    benchmark::DoNotOptimize(dataset);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(records));
+}
+
 void BM_GenerateFullTraceObsOff(benchmark::State& state) {
   hpcfail::obs::disable();
   std::size_t records = 0;
@@ -68,6 +92,9 @@ void BM_GenerateFullTraceObsOff(benchmark::State& state) {
 // System 2 (tiny), 20 (big NUMA, 8.9 years), 7 (1024 nodes).
 BENCHMARK(BM_GenerateSystem)->Arg(2)->Arg(20)->Arg(7);
 BENCHMARK(BM_GenerateFullTrace)->UseRealTime();
+// 10x and 100x the calibrated failure volume (~260k and ~2.6M records).
+BENCHMARK(BM_GenerateBulk)->Arg(10)->Arg(100)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GenerateFullTraceSequential)->UseRealTime();
 BENCHMARK(BM_GenerateFullTraceObsOff)->UseRealTime();
 

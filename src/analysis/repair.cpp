@@ -1,5 +1,7 @@
 #include "analysis/repair.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
 #include "obs/span.hpp"
 #include "trace/index.hpp"
@@ -12,11 +14,20 @@ RepairReport repair_analysis(const trace::FailureDataset& dataset,
   HPCFAIL_EXPECTS(!dataset.empty(), "repair analysis of empty dataset");
   RepairReport report;
 
-  // Table 2: per root cause.
+  // Table 2: per root cause. One fused pass per cause over the cause and
+  // start/end columns; the unit conversion is hoisted out of the
+  // per-record helper (the division stays a division so the samples match
+  // the record-level path bit for bit).
+  const trace::ColumnsView records = dataset.records();
+  const std::span<const trace::RootCause> causes = records.causes();
+  const std::span<const hpcfail::Seconds> starts = records.starts();
+  const std::span<const hpcfail::Seconds> ends = records.ends();
   for (const trace::RootCause cause : trace::kAllRootCauses) {
     std::vector<double> minutes;
-    for (const trace::FailureRecord& r : dataset.records()) {
-      if (r.cause == cause) minutes.push_back(r.downtime_minutes());
+    for (std::size_t i = 0; i < causes.size(); ++i) {
+      if (causes[i] == cause) {
+        minutes.push_back(static_cast<double>(ends[i] - starts[i]) / 60.0);
+      }
     }
     if (minutes.empty()) continue;
     RepairByCause entry;

@@ -1,5 +1,7 @@
 #include "analysis/root_cause.hpp"
 
+#include <span>
+
 #include "common/error.hpp"
 #include "obs/span.hpp"
 
@@ -45,15 +47,24 @@ RootCauseReport root_cause_breakdown(const trace::FailureDataset& dataset,
   std::array<double, 6> all_counts{};
   std::array<double, 6> all_downtime{};
 
-  for (const trace::FailureRecord& r : dataset.records()) {
-    const char type = catalog.system(r.system_id).hw_type;
-    const std::size_t ci = breakdown_index(r.cause);
+  // Fused column pass: the downtime conversion happens once per record
+  // (the old code called downtime_minutes() twice) and only the four
+  // touched columns stream through cache.
+  const trace::ColumnsView records = dataset.records();
+  const std::span<const int> system_ids = records.system_ids();
+  const std::span<const trace::RootCause> causes = records.causes();
+  const std::span<const hpcfail::Seconds> starts = records.starts();
+  const std::span<const hpcfail::Seconds> ends = records.ends();
+  for (std::size_t i = 0; i < system_ids.size(); ++i) {
+    const char type = catalog.system(system_ids[i]).hw_type;
+    const std::size_t ci = breakdown_index(causes[i]);
+    const double minutes = static_cast<double>(ends[i] - starts[i]) / 60.0;
     all_counts[ci] += 1.0;
-    all_downtime[ci] += r.downtime_minutes();
+    all_downtime[ci] += minutes;
     for (std::size_t t = 0; t < types.size(); ++t) {
       if (types[t] == type) {
         counts[t][ci] += 1.0;
-        downtime[t][ci] += r.downtime_minutes();
+        downtime[t][ci] += minutes;
         break;
       }
     }
@@ -78,8 +89,8 @@ double detail_cause_fraction(const trace::FailureDataset& dataset,
                              trace::DetailCause detail) {
   HPCFAIL_EXPECTS(!dataset.empty(), "detail fraction of empty dataset");
   std::size_t hits = 0;
-  for (const trace::FailureRecord& r : dataset.records()) {
-    if (r.detail == detail) ++hits;
+  for (const trace::DetailCause d : dataset.records().details()) {
+    if (d == detail) ++hits;
   }
   return static_cast<double>(hits) / static_cast<double>(dataset.size());
 }

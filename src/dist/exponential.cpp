@@ -24,6 +24,15 @@ Exponential Exponential::fit_mle(std::span<const double> xs) {
   return Exponential(1.0 / m);
 }
 
+Exponential Exponential::fit_mle(const SuffStats& stats) {
+  HPCFAIL_EXPECTS(stats.n > 0, "exponential fit on empty sample");
+  // Same accumulation order as stats::mean over the raw sample, so the
+  // rate matches the span overload bit for bit.
+  const double m = stats.sum_raw / static_cast<double>(stats.n);
+  HPCFAIL_EXPECTS(m > 0.0, "exponential fit requires positive sample mean");
+  return Exponential(1.0 / m);
+}
+
 double Exponential::log_pdf(double x) const {
   if (x < 0.0) return -std::numeric_limits<double>::infinity();
   return std::log(rate_) - rate_ * x;

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "dist/distribution.hpp"
+#include "dist/suffstats.hpp"
 
 namespace hpcfail::dist {
 
@@ -19,6 +20,10 @@ class Exponential final : public Distribution {
   /// Closed-form MLE: lambda = 1 / sample mean. Requires a non-empty
   /// sample of non-negative values with positive mean.
   static Exponential fit_mle(std::span<const double> xs);
+
+  /// MLE from precomputed sufficient statistics: lambda = n / sum of the
+  /// raw (unfloored) sample, bit-identical to the span overload.
+  static Exponential fit_mle(const SuffStats& stats);
 
   double rate() const noexcept { return rate_; }
 

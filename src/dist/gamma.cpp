@@ -18,28 +18,13 @@ GammaDist::GammaDist(double shape, double scale)
                   "gamma scale must be positive and finite");
 }
 
-GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
-  HPCFAIL_EXPECTS(xs.size() >= 2, "gamma fit needs at least 2 observations");
-  HPCFAIL_EXPECTS(floor_at > 0.0, "gamma fit floor must be positive");
-  double sum = 0.0;
-  double sum_log = 0.0;
-  bool varies = false;
-  double first = -1.0;
-  for (const double x : xs) {
-    HPCFAIL_EXPECTS(x >= 0.0, "gamma fit requires non-negative data");
-    const double v = x < floor_at ? floor_at : x;
-    if (first < 0.0) {
-      first = v;
-    } else if (v != first) {
-      varies = true;
-    }
-    sum += v;
-    sum_log += std::log(v);
-  }
-  if (!varies) {
-    throw FitError("gamma fit is degenerate on a constant sample");
-  }
-  const auto n = static_cast<double>(xs.size());
+namespace {
+
+// Shared solver tail of the MLE: both fit_mle overloads reduce their input
+// to (sum of floored x, sum of log floored x, n) and the parameter search
+// below only ever touches those sums, so precomputed statistics give the
+// same bits as a fresh span reduction.
+GammaDist gamma_from_sums(double sum, double sum_log, double n) {
   const double mean = sum / n;
   // s = ln(mean) - mean(ln x) >= 0 by Jensen, = 0 only for constant data.
   const double s = std::log(mean) - sum_log / n;
@@ -62,9 +47,45 @@ GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
   return GammaDist(k, mean / k);
 }
 
+}  // namespace
+
+GammaDist GammaDist::fit_mle(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(xs.size() >= 2, "gamma fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(floor_at > 0.0, "gamma fit floor must be positive");
+  double sum = 0.0;
+  double sum_log = 0.0;
+  bool varies = false;
+  double first = -1.0;
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "gamma fit requires non-negative data");
+    const double v = x < floor_at ? floor_at : x;
+    if (first < 0.0) {
+      first = v;
+    } else if (v != first) {
+      varies = true;
+    }
+    sum += v;
+    sum_log += std::log(v);
+  }
+  if (!varies) {
+    throw FitError("gamma fit is degenerate on a constant sample");
+  }
+  return gamma_from_sums(sum, sum_log, static_cast<double>(xs.size()));
+}
+
+GammaDist GammaDist::fit_mle(const SuffStats& stats) {
+  HPCFAIL_EXPECTS(stats.n >= 2, "gamma fit needs at least 2 observations");
+  if (stats.constant()) {
+    throw FitError("gamma fit is degenerate on a constant sample");
+  }
+  return gamma_from_sums(stats.sum, stats.sum_log,
+                         static_cast<double>(stats.n));
+}
+
 double GammaDist::log_pdf(double x) const {
   if (x <= 0.0) return -std::numeric_limits<double>::infinity();
-  return (shape_ - 1.0) * std::log(x) - x / scale_ - hpcfail::stats::log_gamma_unchecked(shape_) -
+  return (shape_ - 1.0) * std::log(x) - x / scale_ -
+         hpcfail::stats::log_gamma_unchecked(shape_) -
          shape_ * std::log(scale_);
 }
 

@@ -5,6 +5,7 @@
 #include <span>
 
 #include "dist/distribution.hpp"
+#include "dist/suffstats.hpp"
 
 namespace hpcfail::dist {
 
@@ -20,6 +21,11 @@ class GammaDist final : public Distribution {
   /// (same rationale as Weibull::fit_mle). Requires >= 2 observations;
   /// a constant-valued sample throws FitError.
   static GammaDist fit_mle(std::span<const double> xs, double floor_at = 1e-9);
+
+  /// MLE from precomputed sufficient statistics: O(1) in the sample size
+  /// (the Newton iteration only touches the sums). Bit-identical to the
+  /// span overload on the same sample and floor.
+  static GammaDist fit_mle(const SuffStats& stats);
 
   double shape() const noexcept { return shape_; }
   double scale() const noexcept { return scale_; }

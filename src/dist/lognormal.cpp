@@ -58,6 +58,24 @@ LogNormal LogNormal::fit_mle(std::span<const double> xs, double floor_at) {
   return LogNormal(mu, sigma);
 }
 
+LogNormal LogNormal::fit_mle(const SuffStats& stats) {
+  HPCFAIL_EXPECTS(stats.n >= 2, "lognormal fit needs at least 2 observations");
+  if (stats.constant()) {
+    throw FitError("lognormal fit is degenerate on a constant sample");
+  }
+  const auto n = static_cast<double>(stats.n);
+  const double mu = stats.sum_log / n;
+  // One-pass variance from the precomputed log sums; clamp the rounding
+  // residual that can leave it a hair below zero on near-constant data.
+  double var = stats.sum_log_sq / n - mu * mu;
+  if (var < 0.0) var = 0.0;
+  const double sigma = std::sqrt(var);
+  if (!(sigma > 0.0)) {
+    throw FitError("lognormal fit is degenerate on a constant sample");
+  }
+  return LogNormal(mu, sigma);
+}
+
 double LogNormal::median() const noexcept { return std::exp(mu_); }
 
 double LogNormal::log_pdf(double x) const {

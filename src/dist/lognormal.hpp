@@ -6,6 +6,7 @@
 #include <span>
 
 #include "dist/distribution.hpp"
+#include "dist/suffstats.hpp"
 
 namespace hpcfail::dist {
 
@@ -26,6 +27,12 @@ class LogNormal final : public Distribution {
   /// floored at `floor_at`. Requires >= 2 observations; a constant
   /// sample throws FitError (sigma would be zero).
   static LogNormal fit_mle(std::span<const double> xs, double floor_at = 1e-9);
+
+  /// MLE from precomputed sufficient statistics: O(1) in the sample size,
+  /// using the one-pass variance form sigma^2 = sum_log_sq/n - mu^2.
+  /// Agrees with the span overload (two-pass variance) to float noise;
+  /// mu is bit-identical.
+  static LogNormal fit_mle(const SuffStats& stats);
 
   double mu() const noexcept { return mu_; }
   double sigma() const noexcept { return sigma_; }

@@ -1,0 +1,34 @@
+#include "dist/suffstats.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hpcfail::dist {
+
+SuffStats SuffStats::compute(std::span<const double> xs, double floor_at) {
+  HPCFAIL_EXPECTS(floor_at > 0.0,
+                  "sufficient statistics require a positive floor");
+  SuffStats s;
+  s.n = xs.size();
+  s.floor_at = floor_at;
+  if (xs.empty()) return s;
+  s.min = std::numeric_limits<double>::infinity();
+  s.max = -std::numeric_limits<double>::infinity();
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0,
+                    "sufficient statistics require non-negative data");
+    const double v = x < floor_at ? floor_at : x;
+    const double lx = std::log(v);
+    s.sum_raw += x;
+    s.sum += v;
+    s.sum_log += lx;
+    s.sum_log_sq += lx * lx;
+    if (v < s.min) s.min = v;
+    if (v > s.max) s.max = v;
+  }
+  return s;
+}
+
+}  // namespace hpcfail::dist

@@ -1,0 +1,47 @@
+// Shared sufficient statistics for the standard positive-support MLE
+// families (exponential, weibull, gamma, lognormal).
+//
+// All four fits reduce the sample through the same handful of sums — Σx,
+// Σlog x, Σlog²x, the floored extrema — and the batched per-node fitting
+// path used to recompute each of them once per family (and, for the
+// iterative fits, once per solver step). SuffStats::compute performs every
+// reduction in ONE streaming pass over the sample; the family overloads
+// taking a SuffStats then derive their parameters from the precomputed
+// sums, turning the exponential, gamma, and lognormal fits into O(1) (or
+// one cheap residual pass) and sparing the weibull profile-likelihood
+// solver its redundant reductions.
+//
+// Contract: parameters derived from SuffStats agree with the direct
+// span-based fit_mle overloads to floating-point noise (the accumulation
+// orders are the same single forward pass, so most agree bit for bit; the
+// lognormal sigma uses the one-pass variance form and may differ in the
+// last ulps). The testkit calibration oracle asserts this tolerance.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace hpcfail::dist {
+
+struct SuffStats {
+  std::size_t n = 0;        ///< sample size
+  double floor_at = 1e-9;   ///< resolution floor applied to the sums below
+  double sum_raw = 0.0;     ///< Σ x over the raw (unfloored) sample
+  double sum = 0.0;         ///< Σ max(x, floor_at)
+  double sum_log = 0.0;     ///< Σ log(max(x, floor_at))
+  double sum_log_sq = 0.0;  ///< Σ log²(max(x, floor_at))
+  double min = 0.0;         ///< floored minimum (0 when n == 0)
+  double max = 0.0;         ///< floored maximum (0 when n == 0)
+
+  /// True when the floored sample is constant (every two-parameter family
+  /// is degenerate on it).
+  bool constant() const noexcept { return min == max; }
+
+  /// One streaming pass over the sample. Requires floor_at > 0 and
+  /// non-negative data (InvalidArgument otherwise) — the same domain as
+  /// the positive-support fit_mle overloads.
+  static SuffStats compute(std::span<const double> xs,
+                           double floor_at = 1e-9);
+};
+
+}  // namespace hpcfail::dist

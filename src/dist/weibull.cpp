@@ -1,5 +1,6 @@
 #include "dist/weibull.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <vector>
@@ -21,37 +22,72 @@ Weibull::Weibull(double shape, double scale) : shape_(shape), scale_(scale) {
 Weibull Weibull::fit_mle(std::span<const double> xs, double floor_at) {
   HPCFAIL_EXPECTS(xs.size() >= 2, "weibull fit needs at least 2 observations");
   HPCFAIL_EXPECTS(floor_at > 0.0, "weibull fit floor must be positive");
-  std::vector<double> data;
-  data.reserve(xs.size());
+  std::vector<double> logs;
+  logs.reserve(xs.size());
   double mean_log = 0.0;
+  double first = 0.0;
+  bool all_equal = true;
   for (const double x : xs) {
     HPCFAIL_EXPECTS(x >= 0.0, "weibull fit requires non-negative data");
     const double v = x < floor_at ? floor_at : x;
-    data.push_back(v);
-    mean_log += std::log(v);
-  }
-  mean_log /= static_cast<double>(data.size());
-
-  bool all_equal = true;
-  for (const double v : data) {
-    if (v != data.front()) {
+    if (logs.empty()) {
+      first = v;
+    } else if (v != first) {
       all_equal = false;
-      break;
     }
+    const double lx = std::log(v);
+    logs.push_back(lx);
+    mean_log += lx;
   }
+  mean_log /= static_cast<double>(logs.size());
+
   if (all_equal) {
     throw FitError("weibull fit is degenerate on a constant sample");
   }
+  return fit_mle_from_logs(logs, mean_log);
+}
 
+Weibull Weibull::fit_mle(std::span<const double> xs, const SuffStats& stats) {
+  HPCFAIL_EXPECTS(xs.size() >= 2, "weibull fit needs at least 2 observations");
+  HPCFAIL_EXPECTS(xs.size() == stats.n,
+                  "weibull fit statistics do not match the sample");
+  if (stats.constant()) {
+    throw FitError("weibull fit is degenerate on a constant sample");
+  }
+  std::vector<double> logs;
+  logs.reserve(xs.size());
+  for (const double x : xs) {
+    HPCFAIL_EXPECTS(x >= 0.0, "weibull fit requires non-negative data");
+    const double v = x < stats.floor_at ? stats.floor_at : x;
+    logs.push_back(std::log(v));
+  }
+  const double mean_log = stats.sum_log / static_cast<double>(stats.n);
+  return fit_mle_from_logs(logs, mean_log, shape_hint_from(stats));
+}
+
+double Weibull::shape_hint_from(const SuffStats& stats) noexcept {
+  if (stats.n == 0) return 0.0;
+  const auto n = static_cast<double>(stats.n);
+  const double mean_log = stats.sum_log / n;
+  const double var_log = stats.sum_log_sq / n - mean_log * mean_log;
+  if (!(var_log > 0.0)) return 0.0;
+  // For Weibull data, log x is Gumbel with stddev (pi/sqrt(6)) / shape.
+  return 1.2825498301618641 / std::sqrt(var_log);
+}
+
+Weibull Weibull::fit_mle_from_logs(std::span<const double> logs,
+                                   double mean_log, double shape_hint) {
+  HPCFAIL_EXPECTS(logs.size() >= 2,
+                  "weibull fit needs at least 2 observations");
   // Profile-likelihood score in the shape k. Work with x scaled by its
   // geometric mean (subtract mean_log in the exponent) for stability on
-  // second-scale data spanning 7 orders of magnitude.
+  // second-scale data spanning 7 orders of magnitude. Only the cached
+  // logarithms enter the iteration, so each solver step is log()-free.
   const auto score_and_slope = [&](double k, double& slope) {
     double sw = 0.0;       // sum x^k (scaled)
     double swl = 0.0;      // sum x^k ln x
     double swl2 = 0.0;     // sum x^k (ln x)^2
-    for (const double v : data) {
-      const double lx = std::log(v);
+    for (const double lx : logs) {
       const double w = std::exp(k * (lx - mean_log));
       sw += w;
       swl += w * lx;
@@ -65,22 +101,31 @@ Weibull Weibull::fit_mle(std::span<const double> xs, double floor_at) {
     double unused;
     return score_and_slope(k, unused);
   };
-  const auto slope_fn = [&](double k) {
-    double slope;
-    score_and_slope(k, slope);
-    return slope;
-  };
 
+  // The score is strictly increasing in k (its slope is a weighted
+  // log-variance plus 1/k^2), so any sign-changing bracket finds the same
+  // root. A trustworthy hint gives a tight initial bracket that
+  // expand_bracket usually accepts as-is.
   double lo = 1e-3;
   double hi = 10.0;
-  hpcfail::stats::expand_bracket(score, lo, hi, /*positive_only=*/true);
-  const double k = hpcfail::stats::newton_bracketed(score, slope_fn, lo, hi);
+  if (shape_hint > 0.0 && std::isfinite(shape_hint)) {
+    const double centre = std::clamp(shape_hint, 1e-3, 64.0);
+    lo = centre / 1.5;
+    hi = centre * 1.5;
+  }
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  hpcfail::stats::expand_bracket(score, lo, hi, f_lo, f_hi,
+                                 /*positive_only=*/true);
+  const double k = hpcfail::stats::newton_bracketed_fdf(
+      [&](double kk, double& slope) { return score_and_slope(kk, slope); },
+      lo, hi, f_lo, f_hi);
 
   double sw = 0.0;
-  for (const double v : data) sw += std::exp(k * (std::log(v) - mean_log));
+  for (const double lx : logs) sw += std::exp(k * (lx - mean_log));
   const double scale =
       std::exp(mean_log +
-               std::log(sw / static_cast<double>(data.size())) / k);
+               std::log(sw / static_cast<double>(logs.size())) / k);
   return Weibull(k, scale);
 }
 
@@ -140,16 +185,16 @@ Weibull Weibull::fit_mle_censored(std::span<const double> events,
     double unused;
     return score_and_slope(k, unused);
   };
-  const auto slope_fn = [&](double k) {
-    double slope;
-    score_and_slope(k, slope);
-    return slope;
-  };
 
   double lo = 1e-3;
   double hi = 10.0;
-  hpcfail::stats::expand_bracket(score, lo, hi, /*positive_only=*/true);
-  const double k = hpcfail::stats::newton_bracketed(score, slope_fn, lo, hi);
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  hpcfail::stats::expand_bracket(score, lo, hi, f_lo, f_hi,
+                                 /*positive_only=*/true);
+  const double k = hpcfail::stats::newton_bracketed_fdf(
+      [&](double kk, double& slope) { return score_and_slope(kk, slope); },
+      lo, hi, f_lo, f_hi);
 
   double sw = 0.0;
   for (const double v : all) sw += std::exp(k * (std::log(v) - center));
@@ -177,12 +222,15 @@ double Weibull::quantile(double p) const {
 }
 
 double Weibull::mean() const {
-  return scale_ * std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
+  return scale_ *
+         std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
 }
 
 double Weibull::variance() const {
-  const double g1 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
-  const double g2 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / shape_));
+  const double g1 =
+      std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / shape_));
+  const double g2 =
+      std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / shape_));
   return scale_ * scale_ * (g2 - g1 * g1);
 }
 

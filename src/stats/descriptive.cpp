@@ -54,8 +54,20 @@ Summary summarize(std::span<const double> xs) {
   auto sorted = sorted_copy(xs);
   Summary s;
   s.n = xs.size();
+  // Fused moments: one sum pass, then one squared-deviation pass reusing
+  // the mean (the standalone variance() recomputes it — same value, same
+  // accumulation order, so the results are bit-identical).
   s.mean = mean(xs);
-  s.variance = variance(xs);
+  if (xs.size() == 1) {
+    s.variance = 0.0;
+  } else {
+    double ss = 0.0;
+    for (const double x : xs) {
+      const double d = x - s.mean;
+      ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(xs.size() - 1);
+  }
   s.stddev = std::sqrt(s.variance);
   s.cv2 = (s.mean != 0.0) ? s.variance / (s.mean * s.mean)
                           : std::numeric_limits<double>::quiet_NaN();

@@ -5,8 +5,13 @@
 // its asymptotic p-value as a second, scale-free goodness-of-fit measure.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <span>
+#include <vector>
+
+#include "common/error.hpp"
 
 namespace hpcfail::stats {
 
@@ -14,6 +19,67 @@ namespace hpcfail::stats {
 /// sorted internally. Throws InvalidArgument on an empty sample.
 double ks_statistic(std::span<const double> sample,
                     const std::function<double(double)>& model_cdf);
+
+/// KS distance for an already-sorted sample of size n, with the model CDF
+/// supplied as an indexed callable: cdf_at(i) must return F(sorted[i]) and
+/// therefore be non-decreasing in i (true for any CDF over ascending order
+/// statistics — this is a REQUIREMENT, not a hint).
+///
+/// Batched fitting sorts once and evaluates several families against the
+/// same order statistics; the callable form lets the caller inline
+/// family-specific CDFs (no std::function dispatch per point).
+///
+/// The sup is found by adaptive interval pruning instead of a full scan:
+/// for interior points lo < i < hi of a bracket with known F(x_lo), F(x_hi),
+/// monotonicity bounds the deviations
+///   (i+1)/n - F(x_i) <= hi/n - F(x_lo)   and
+///   F(x_i) - i/n     <= F(x_hi) - (lo+1)/n,
+/// so any bracket whose bounds cannot beat the best deviation seen so far
+/// is skipped without evaluating its CDFs. Every point that could attain
+/// the max IS evaluated (with the exact same arithmetic as the full scan,
+/// and max() is order-independent), so the result is bit-identical to the
+/// brute-force loop while typically costing O(D^-1 log n) CDF evaluations
+/// instead of n — the big win for the expensive gamma CDF.
+template <typename CdfAt>
+double ks_statistic_sorted(std::size_t size, CdfAt&& cdf_at) {
+  HPCFAIL_EXPECTS(size > 0, "ks_statistic of empty sample");
+  const auto n = static_cast<double>(size);
+  double d = 0.0;
+  const auto consider = [&](std::size_t i) {
+    const double fx = cdf_at(i);
+    // Compare against the ECDF from above and below the step at x_i.
+    const double above = static_cast<double>(i + 1) / n - fx;
+    const double below = fx - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+    return fx;
+  };
+  const double f_first = consider(0);
+  if (size == 1) return d;
+  const double f_last = consider(size - 1);
+
+  struct Bracket {
+    std::size_t lo, hi;
+    double f_lo, f_hi;
+  };
+  // Depth-first over subdivided brackets; splitting at the midpoint keeps
+  // the stack logarithmic in n.
+  std::vector<Bracket> stack;
+  stack.reserve(64);
+  stack.push_back({0, size - 1, f_first, f_last});
+  while (!stack.empty()) {
+    const Bracket b = stack.back();
+    stack.pop_back();
+    if (b.hi - b.lo <= 1) continue;  // no interior points
+    const double above_bound = static_cast<double>(b.hi) / n - b.f_lo;
+    const double below_bound = b.f_hi - static_cast<double>(b.lo + 1) / n;
+    if (above_bound <= d && below_bound <= d) continue;  // cannot beat d
+    const std::size_t mid = b.lo + (b.hi - b.lo) / 2;
+    const double f_mid = consider(mid);
+    stack.push_back({b.lo, mid, b.f_lo, f_mid});
+    stack.push_back({mid, b.hi, f_mid, b.f_hi});
+  }
+  return d;
+}
 
 /// Asymptotic two-sided p-value for KS distance `d` on `n` observations,
 /// using the Kolmogorov distribution with the usual small-sample

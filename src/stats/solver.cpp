@@ -16,26 +16,33 @@ thread_local std::uint64_t tl_solver_steps = 0;
 
 std::uint64_t solver_steps() noexcept { return tl_solver_steps; }
 
-void expand_bracket(const Fn& f, double& lo, double& hi, bool positive_only,
-                    int max_expansions) {
+void expand_bracket(const Fn& f, double& lo, double& hi, double& f_lo,
+                    double& f_hi, bool positive_only, int max_expansions) {
   HPCFAIL_EXPECTS(lo < hi, "expand_bracket requires lo < hi");
-  double flo = f(lo);
-  double fhi = f(hi);
+  f_lo = f(lo);
+  f_hi = f(hi);
   for (int i = 0; i < max_expansions; ++i) {
-    if (bracketed(flo, fhi)) return;
+    if (bracketed(f_lo, f_hi)) return;
     ++tl_solver_steps;
     // Grow in the direction of the smaller |f|, geometrically.
-    if (std::fabs(flo) < std::fabs(fhi)) {
+    if (std::fabs(f_lo) < std::fabs(f_hi)) {
       lo -= (hi - lo);
       if (positive_only && lo <= 0.0) lo = (hi - lo > 1.0 ? 1e-12 : lo / 2.0);
       if (positive_only && lo <= 0.0) lo = 1e-12;
-      flo = f(lo);
+      f_lo = f(lo);
     } else {
       hi += (hi - lo);
-      fhi = f(hi);
+      f_hi = f(hi);
     }
   }
   throw NumericError("expand_bracket: no sign change found");
+}
+
+void expand_bracket(const Fn& f, double& lo, double& hi, bool positive_only,
+                    int max_expansions) {
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  expand_bracket(f, lo, hi, f_lo, f_hi, positive_only, max_expansions);
 }
 
 double bisect(const Fn& f, double lo, double hi, SolverOptions opts) {
@@ -82,6 +89,36 @@ double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
       hi = x;
     }
     const double dfx = df(x);
+    double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < opts.x_tol) return next;
+    x = next;
+  }
+  throw NumericError("newton_bracketed: did not converge");
+}
+
+double newton_bracketed_fdf(const FnWithSlope& fdf, double lo, double hi,
+                            double f_lo, double f_hi, SolverOptions opts) {
+  HPCFAIL_EXPECTS(lo <= hi, "newton_bracketed requires lo <= hi");
+  if (f_lo == 0.0) return lo;
+  if (f_hi == 0.0) return hi;
+  HPCFAIL_EXPECTS(bracketed(f_lo, f_hi),
+                  "newton_bracketed requires a sign change");
+  // Mirrors newton_bracketed step for step — f(x) and df(x) are the same
+  // values, just produced by one callback — so the iterates (and the
+  // returned root) are bit-identical to the two-callback form.
+  double x = 0.5 * (lo + hi);
+  for (int i = 0; i < opts.max_iterations; ++i) {
+    ++tl_solver_steps;
+    double dfx = 0.0;
+    const double fx = fdf(x, dfx);
+    if (std::fabs(fx) < opts.f_tol) return x;
+    if ((f_lo < 0.0) == (fx < 0.0)) {
+      lo = x;
+      f_lo = fx;
+    } else {
+      hi = x;
+    }
     double next = (dfx != 0.0) ? x - fx / dfx : lo - 1.0;  // force bisection
     if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
     if (std::fabs(next - x) < opts.x_tol) return next;

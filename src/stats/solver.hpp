@@ -25,6 +25,13 @@ struct SolverOptions {
 void expand_bracket(const Fn& f, double& lo, double& hi,
                     bool positive_only = true, int max_expansions = 80);
 
+/// expand_bracket that also hands back the endpoint values f(lo), f(hi),
+/// so a caller chaining into newton_bracketed_fdf need not re-evaluate
+/// them. Identical expansion sequence to the overload above.
+void expand_bracket(const Fn& f, double& lo, double& hi, double& f_lo,
+                    double& f_hi, bool positive_only = true,
+                    int max_expansions = 80);
+
 /// Bisection on a bracketing interval [lo, hi] (f(lo)*f(hi) <= 0 required;
 /// throws InvalidArgument otherwise).
 double bisect(const Fn& f, double lo, double hi, SolverOptions opts = {});
@@ -34,6 +41,20 @@ double bisect(const Fn& f, double lo, double hi, SolverOptions opts = {});
 /// Requires a bracket like bisect().
 double newton_bracketed(const Fn& f, const Fn& df, double lo, double hi,
                         SolverOptions opts = {});
+
+/// Function and derivative from one evaluation: returns f(x), writes f'(x).
+using FnWithSlope = std::function<double(double, double&)>;
+
+/// newton_bracketed for objectives whose derivative falls out of the same
+/// pass as the value (the Weibull profile score: one sweep over the data
+/// yields both). `f_lo`/`f_hi` are the caller's already-computed endpoint
+/// values (e.g. from the expand_bracket overload above). The iterate
+/// sequence — and therefore the returned root, bit for bit — matches
+/// newton_bracketed(f, df, ...); each step just costs one data pass
+/// instead of two, and the endpoints cost zero instead of two.
+double newton_bracketed_fdf(const FnWithSlope& fdf, double lo, double hi,
+                            double f_lo, double f_hi,
+                            SolverOptions opts = {});
 
 /// Brent's method (inverse quadratic interpolation + secant + bisection).
 /// Requires a bracket like bisect().

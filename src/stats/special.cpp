@@ -47,8 +47,10 @@ double trigamma(double x) {
 
 namespace {
 
-// Series representation of P(a, x), valid/fast for x < a + 1.
-double gamma_p_series(double a, double x) {
+// Series representation of P(a, x), valid/fast for x < a + 1. `lg` is the
+// caller-supplied ln Gamma(a), hoisted so repeated evaluations at a fixed
+// shape (KS loops over a sorted sample) compute it once.
+double gamma_p_series(double a, double x, double lg) {
   double term = 1.0 / a;
   double sum = term;
   double ap = a;
@@ -57,7 +59,7 @@ double gamma_p_series(double a, double x) {
     term *= x / ap;
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * 1e-16) {
-      return sum * std::exp(-x + a * std::log(x) - log_gamma_unchecked(a));
+      return sum * std::exp(-x + a * std::log(x) - lg);
     }
   }
   throw hpcfail::NumericError("incomplete gamma series did not converge");
@@ -65,7 +67,7 @@ double gamma_p_series(double a, double x) {
 
 // Continued-fraction representation of Q(a, x) (modified Lentz), for
 // x >= a + 1.
-double gamma_q_cont_fraction(double a, double x) {
+double gamma_q_cont_fraction(double a, double x, double lg) {
   constexpr double kTiny = 1e-300;
   double b = x + 1.0 - a;
   double c = 1.0 / kTiny;
@@ -82,7 +84,7 @@ double gamma_q_cont_fraction(double a, double x) {
     const double delta = d * c;
     h *= delta;
     if (std::fabs(delta - 1.0) < 1e-16) {
-      return h * std::exp(-x + a * std::log(x) - log_gamma_unchecked(a));
+      return h * std::exp(-x + a * std::log(x) - lg);
     }
   }
   throw hpcfail::NumericError(
@@ -95,16 +97,26 @@ double reg_gamma_lower(double a, double x) {
   HPCFAIL_EXPECTS(a > 0.0, "reg_gamma_lower requires a > 0");
   HPCFAIL_EXPECTS(x >= 0.0, "reg_gamma_lower requires x >= 0");
   if (x == 0.0) return 0.0;
-  if (x < a + 1.0) return gamma_p_series(a, x);
-  return 1.0 - gamma_q_cont_fraction(a, x);
+  const double lg = log_gamma_unchecked(a);
+  if (x < a + 1.0) return gamma_p_series(a, x, lg);
+  return 1.0 - gamma_q_cont_fraction(a, x, lg);
+}
+
+double reg_gamma_lower_cached(double a, double x, double log_gamma_a) {
+  HPCFAIL_EXPECTS(a > 0.0, "reg_gamma_lower requires a > 0");
+  HPCFAIL_EXPECTS(x >= 0.0, "reg_gamma_lower requires x >= 0");
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x, log_gamma_a);
+  return 1.0 - gamma_q_cont_fraction(a, x, log_gamma_a);
 }
 
 double reg_gamma_upper(double a, double x) {
   HPCFAIL_EXPECTS(a > 0.0, "reg_gamma_upper requires a > 0");
   HPCFAIL_EXPECTS(x >= 0.0, "reg_gamma_upper requires x >= 0");
   if (x == 0.0) return 1.0;
-  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
-  return gamma_q_cont_fraction(a, x);
+  const double lg = log_gamma_unchecked(a);
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x, lg);
+  return gamma_q_cont_fraction(a, x, lg);
 }
 
 double normal_cdf(double z) noexcept {

@@ -25,6 +25,12 @@ double trigamma(double x);
 /// NumericError on (unreachable in practice) non-convergence.
 double reg_gamma_lower(double a, double x);
 
+/// reg_gamma_lower with ln Gamma(a) precomputed by the caller (pass
+/// log_gamma_unchecked(a)). Evaluating the gamma CDF over a whole sample
+/// at a fixed shape pays the lgamma once instead of per point; results
+/// are bit-identical to reg_gamma_lower.
+double reg_gamma_lower_cached(double a, double x, double log_gamma_a);
+
 /// Regularized upper incomplete gamma Q(a, x) = 1 - P(a, x).
 double reg_gamma_upper(double a, double x);
 

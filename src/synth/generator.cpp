@@ -1,11 +1,15 @@
 #include "synth/generator.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <vector>
-
+#include <array>
+#include <bit>
 #include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
@@ -13,9 +17,11 @@
 #include "dist/lognormal.hpp"
 #include "obs/span.hpp"
 #include "stats/special.hpp"
+#include "trace/columns.hpp"
 
 namespace hpcfail::synth {
 
+using trace::ColumnStore;
 using trace::DetailCause;
 using trace::FailureRecord;
 using trace::NodeCategory;
@@ -50,20 +56,45 @@ struct IntensityGrid {
         static_cast<double>(kSecondsPerHour);
     return cumulative[i] + frac * (cumulative[i + 1] - cumulative[i]);
   }
+};
 
-  /// Inverse of at(): the absolute time where the cumulative intensity
-  /// reaches c. Requires 0 <= c <= cumulative.back().
-  Seconds invert(double c) const {
-    const auto it =
-        std::upper_bound(cumulative.begin(), cumulative.end(), c);
-    if (it == cumulative.begin()) return start;
-    if (it == cumulative.end()) return end();
-    const auto i = static_cast<std::size_t>(it - cumulative.begin()) - 1;
-    const double span = cumulative[i + 1] - cumulative[i];
-    const double frac = span > 0.0 ? (c - cumulative[i]) / span : 0.0;
-    return start + static_cast<Seconds>(i) * kSecondsPerHour +
+/// Monotone inverse of the cumulative intensity. Each node queries its
+/// event times in increasing order, so instead of a full binary search
+/// over the whole grid (~80k hours for a 9-year system) per event, the
+/// cursor gallops forward from the previous hit and binary-searches only
+/// the overshoot window. Returns the same value, bit for bit, as an
+/// upper_bound over the whole grid.
+class InvertCursor {
+ public:
+  explicit InvertCursor(const IntensityGrid& grid) noexcept : grid_(&grid) {}
+
+  /// Absolute time where the cumulative intensity reaches c. Requires
+  /// 0 <= c <= cumulative.back() and c non-decreasing across calls.
+  Seconds operator()(double c) {
+    const std::vector<double>& cum = grid_->cumulative;
+    const std::size_t size = cum.size();
+    std::size_t lo = pos_;  // invariant: cum[lo] <= c
+    std::size_t step = 1;
+    while (lo + step < size && cum[lo + step] <= c) {
+      lo += step;
+      step <<= 1;
+    }
+    const auto it = std::upper_bound(
+        cum.begin() + static_cast<std::ptrdiff_t>(lo + 1),
+        cum.begin() + static_cast<std::ptrdiff_t>(std::min(lo + step, size)),
+        c);
+    if (it == cum.end()) return grid_->end();
+    const auto i = static_cast<std::size_t>(it - cum.begin()) - 1;
+    pos_ = i;
+    const double span = cum[i + 1] - cum[i];
+    const double frac = span > 0.0 ? (c - cum[i]) / span : 0.0;
+    return grid_->start + static_cast<Seconds>(i) * kSecondsPerHour +
            static_cast<Seconds>(frac * static_cast<double>(kSecondsPerHour));
   }
+
+ private:
+  const IntensityGrid* grid_;
+  std::size_t pos_ = 0;
 };
 
 IntensityGrid build_grid(const SystemInfo& sys, const Lifecycle& lifecycle) {
@@ -74,23 +105,40 @@ IntensityGrid build_grid(const SystemInfo& sys, const Lifecycle& lifecycle) {
       static_cast<std::size_t>((end - grid.start) / kSecondsPerHour) + 1;
   grid.cumulative.resize(hours + 1);
   grid.cumulative[0] = 0.0;
+  // The diurnal and weekly factors repeat with a one-week (168-hour)
+  // period whatever the grid's phase, so resolve them through a per-week
+  // table instead of two calendar conversions per grid hour. The
+  // multiplication order (lifecycle x diurnal x weekly) is unchanged, so
+  // the cumulative sums match the direct evaluation bit for bit.
+  constexpr std::size_t kWeekHours = 168;
+  std::array<double, kWeekHours> diurnal;
+  std::array<double, kWeekHours> weekly;
+  for (std::size_t i = 0; i < kWeekHours; ++i) {
+    const Seconds t = grid.start + static_cast<Seconds>(i) * kSecondsPerHour;
+    diurnal[i] = diurnal_factor(hour_of_day(t));
+    weekly[i] = weekly_factor(day_of_week(t));
+  }
+  std::size_t week_idx = 0;
   for (std::size_t i = 0; i < hours; ++i) {
     const Seconds t = grid.start + static_cast<Seconds>(i) * kSecondsPerHour;
     const double months =
         static_cast<double>(t - grid.start) / kSecondsPerMonth;
     const double rate = lifecycle_factor(lifecycle, months) *
-                        diurnal_factor(hour_of_day(t)) *
-                        weekly_factor(day_of_week(t));
+                        diurnal[week_idx] * weekly[week_idx];
     grid.cumulative[i + 1] = grid.cumulative[i] + rate;
+    if (++week_idx == kWeekHours) week_idx = 0;
   }
   return grid;
 }
 
-// Mean-1 renewal gap samplers for the two eras. The Weibull scale
-// (1 / Gamma(1 + 1/shape)) is a pure function of the scenario shape, so
-// it is computed once per SystemPlan instead of per draw.
-double weibull_gap(hpcfail::Rng& rng, double shape, double scale) {
-  return scale * std::pow(-std::log(rng.uniform_pos()), 1.0 / shape);
+// Mean-1 renewal gap samplers for the two eras. The Weibull scale and the
+// reciprocal shape are pure functions of the scenario, computed once per
+// SystemPlan; a unit shape (the exponential stress configuration) skips
+// the pow entirely, which is exact because pow(x, 1.0) == x.
+double weibull_gap(hpcfail::Rng& rng, double inv_shape, double scale,
+                   bool unit_shape) {
+  const double e = -std::log(rng.uniform_pos());
+  return scale * (unit_shape ? e : std::pow(e, inv_shape));
 }
 
 double lognormal_gap(hpcfail::Rng& rng, double sigma) {
@@ -120,9 +168,8 @@ double normal_draw(hpcfail::Rng& rng) {
   return u1 * std::sqrt(-2.0 * std::log(s) / s);
 }
 
-RootCause sample_cause(hpcfail::Rng& rng, const HardwareProfile& profile) {
-  double total = 0.0;
-  for (const double w : profile.cause_mix) total += w;
+RootCause sample_cause(hpcfail::Rng& rng, const HardwareProfile& profile,
+                       double total) {
   double r = rng.uniform() * total;
   for (std::size_t i = 0; i < profile.cause_mix.size(); ++i) {
     r -= profile.cause_mix[i];
@@ -131,12 +178,9 @@ RootCause sample_cause(hpcfail::Rng& rng, const HardwareProfile& profile) {
   return RootCause::unknown;
 }
 
-DetailCause sample_detail(hpcfail::Rng& rng, const HardwareProfile& profile,
-                          RootCause cause) {
-  const DetailMix& mix = profile.detail_mix[cause_index(cause)];
+DetailCause sample_detail(hpcfail::Rng& rng, const DetailMix& mix,
+                          double total) {
   HPCFAIL_ASSERT(!mix.empty());
-  double total = 0.0;
-  for (const auto& [detail, w] : mix) total += w;
   double r = rng.uniform() * total;
   for (const auto& [detail, w] : mix) {
     r -= w;
@@ -145,37 +189,89 @@ DetailCause sample_detail(hpcfail::Rng& rng, const HardwareProfile& profile,
   return mix.back().first;
 }
 
-Seconds sample_repair_seconds(hpcfail::Rng& rng,
-                              const HardwareProfile& profile,
-                              RootCause cause) {
-  const RepairMoments& m = profile.repair[cause_index(cause)];
-  const auto ln =
-      hpcfail::dist::LogNormal::from_mean_median(m.mean_minutes,
-                                                 m.median_minutes);
-  const double minutes = ln.sample(rng);
-  // Records have minute-scale resolution; repairs take at least a minute.
-  // The lognormal tail is capped at 45 days: open tickets were eventually
-  // closed, and the public release contains no multi-month repairs.
-  constexpr double kMaxMinutes = 45.0 * 24.0 * 60.0;
-  return std::max<Seconds>(
-      60, static_cast<Seconds>(std::min(minutes, kMaxMinutes) * 60.0));
-}
-
-// Nodes of `sys` in production at time t, excluding `exclude`.
-std::vector<int> nodes_in_production(const SystemInfo& sys, Seconds t,
-                                     int exclude) {
-  std::vector<int> out;
-  for (const NodeCategory& c : sys.categories) {
-    if (t < c.production_start || t >= c.production_end) continue;
-    for (int n = c.first_node; n < c.first_node + c.node_count; ++n) {
-      if (n != exclude) out.push_back(n);
+/// The in-production candidate list a burst picks follower nodes from —
+/// categories in catalog order, node ids ascending, the primary excluded —
+/// resolved index-to-node on demand. Emulating the swap-remove draws on
+/// the virtual list keeps the picked sequence identical to materializing
+/// the list, at O(followers * categories) per burst instead of O(nodes).
+class BurstCandidates {
+ public:
+  BurstCandidates(const SystemInfo& sys, Seconds t, int exclude) noexcept
+      : sys_(&sys), t_(t), exclude_(exclude) {
+    for (const NodeCategory& c : sys.categories) {
+      if (t < c.production_start || t >= c.production_end) continue;
+      size_ += static_cast<std::uint64_t>(c.node_count);
+      if (exclude >= c.first_node && exclude < c.first_node + c.node_count) {
+        --size_;
+      }
     }
   }
-  return out;
-}
+
+  std::uint64_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Removes and returns the element at index `pick`, emulating
+  /// `candidates[pick] = candidates.back(); candidates.pop_back();`.
+  int take(std::uint64_t pick) noexcept {
+    const int value = value_at(pick);
+    const int back = value_at(size_ - 1);
+    --size_;
+    if (pick < size_) set_override(pick, back);
+    return value;
+  }
+
+ private:
+  int value_at(std::uint64_t j) const noexcept {
+    for (int k = overrides_ - 1; k >= 0; --k) {
+      if (override_idx_[static_cast<std::size_t>(k)] == j) {
+        return override_val_[static_cast<std::size_t>(k)];
+      }
+    }
+    for (const NodeCategory& c : sys_->categories) {
+      if (t_ < c.production_start || t_ >= c.production_end) continue;
+      const bool holds_excluded =
+          exclude_ >= c.first_node && exclude_ < c.first_node + c.node_count;
+      auto m = static_cast<std::uint64_t>(c.node_count);
+      if (holds_excluded) --m;
+      if (j < m) {
+        int node = c.first_node + static_cast<int>(j);
+        if (holds_excluded && node >= exclude_) ++node;
+        return node;
+      }
+      j -= m;
+    }
+    HPCFAIL_ASSERT(false);  // j < size() always resolves to a node
+    return exclude_;
+  }
+
+  void set_override(std::uint64_t idx, int value) noexcept {
+    for (int k = 0; k < overrides_; ++k) {
+      if (override_idx_[static_cast<std::size_t>(k)] == idx) {
+        override_val_[static_cast<std::size_t>(k)] = value;
+        return;
+      }
+    }
+    override_idx_[static_cast<std::size_t>(overrides_)] = idx;
+    override_val_[static_cast<std::size_t>(overrides_)] = value;
+    ++overrides_;
+  }
+
+  const SystemInfo* sys_;
+  Seconds t_;
+  int exclude_;
+  std::uint64_t size_ = 0;
+  // A burst draws at most 4 followers, so at most 4 swap overrides.
+  std::array<std::uint64_t, 4> override_idx_{};
+  std::array<int, 4> override_val_{};
+  int overrides_ = 0;
+};
 
 // Everything node generation needs about one system, computed once and
-// then shared read-only across worker threads.
+// then shared read-only across worker threads. The cached mixture totals,
+// repair lognormals, and reciprocal shape keep every per-record sampling
+// step free of re-derivation; all cached values are computed with the
+// same arithmetic (same summation order, same divisions) the per-record
+// path used, so the draws are bit-identical.
 struct SystemPlan {
   const SystemScenario* scen = nullptr;
   const SystemInfo* sys = nullptr;
@@ -185,7 +281,51 @@ struct SystemPlan {
   double base = 0.0;           // calibrated base intensity
   double target_total = 0.0;   // expected record count (for reserve)
   double weibull_scale = 1.0;  // mean-1 scale for the late-era gaps
+  double inv_shape = 1.0;      // 1 / interarrival_weibull_shape
+  bool unit_shape = false;     // shape == 1 (gap sampling skips the pow)
+  double cause_total = 0.0;    // sum of the profile's cause mixture
+  std::array<double, 6> detail_total{};  // per-cause detail mixture sums
+  // Repair lognormal parameters per cause, resolved eagerly so the hot
+  // path samples inline from two doubles. A cause whose moments reject
+  // construction stays invalid and reproduces the original throw on
+  // first sample.
+  std::array<double, 6> repair_mu{};
+  std::array<double, 6> repair_sigma{};
+  std::array<bool, 6> repair_valid{};
 };
+
+Seconds sample_repair_seconds(hpcfail::Rng& rng, const SystemPlan& plan,
+                              RootCause cause) {
+  // Records have minute-scale resolution; repairs take at least a minute.
+  // The lognormal tail is capped at 45 days: open tickets were eventually
+  // closed, and the public release contains no multi-month repairs.
+  constexpr double kMaxMinutes = 45.0 * 24.0 * 60.0;
+  const std::size_t idx = cause_index(cause);
+  if (!plan.repair_valid[idx]) {
+    // Construct on demand, reproducing the throw the plan swallowed.
+    const RepairMoments& m = plan.profile->repair[idx];
+    const double minutes = hpcfail::dist::LogNormal::from_mean_median(
+                               m.mean_minutes, m.median_minutes)
+                               .sample(rng);
+    return std::max<Seconds>(
+        60, static_cast<Seconds>(std::min(minutes, kMaxMinutes) * 60.0));
+  }
+  // Marsaglia polar normal, the same draw sequence LogNormal::sample
+  // uses, fed from the plan's cached (mu, sigma).
+  double u1;
+  double u2;
+  double s;
+  do {
+    u1 = rng.uniform(-1.0, 1.0);
+    u2 = rng.uniform(-1.0, 1.0);
+    s = u1 * u1 + u2 * u2;
+  } while (s >= 1.0 || s == 0.0);
+  const double z = u1 * std::sqrt(-2.0 * std::log(s) / s);
+  const double minutes =
+      std::exp(plan.repair_mu[idx] + plan.repair_sigma[idx] * z);
+  return std::max<Seconds>(
+      60, static_cast<Seconds>(std::min(minutes, kMaxMinutes) * 60.0));
+}
 
 SystemPlan build_plan(std::uint64_t seed, const SystemInfo& sys,
                       const SystemScenario& scen) {
@@ -244,8 +384,10 @@ SystemPlan build_plan(std::uint64_t seed, const SystemInfo& sys,
   // extra, which is material for many-node systems; deduct it from the
   // calibration target (clamped so small targets stay positive).
   const auto weibull_cv2 = [](double k) {
-    const double g1 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / k));
-    const double g2 = std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / k));
+    const double g1 =
+        std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 1.0 / k));
+    const double g2 =
+        std::exp(hpcfail::stats::log_gamma_unchecked(1.0 + 2.0 / k));
     return g2 / (g1 * g1) - 1.0;
   };
   const double cv2_late = weibull_cv2(scen.interarrival_weibull_shape);
@@ -264,27 +406,186 @@ SystemPlan build_plan(std::uint64_t seed, const SystemInfo& sys,
   plan.target_total = target_total;
   plan.weibull_scale = std::exp(-hpcfail::stats::log_gamma_unchecked(
       1.0 + 1.0 / scen.interarrival_weibull_shape));
+  plan.inv_shape = 1.0 / scen.interarrival_weibull_shape;
+  plan.unit_shape = scen.interarrival_weibull_shape == 1.0;
+  plan.cause_total = 0.0;
+  for (const double w : plan.profile->cause_mix) plan.cause_total += w;
+  for (std::size_t ci = 0; ci < plan.profile->detail_mix.size(); ++ci) {
+    double total = 0.0;
+    for (const auto& [detail, w] : plan.profile->detail_mix[ci]) total += w;
+    plan.detail_total[ci] = total;
+    const RepairMoments& m = plan.profile->repair[ci];
+    try {
+      const hpcfail::dist::LogNormal ln =
+          hpcfail::dist::LogNormal::from_mean_median(m.mean_minutes,
+                                                     m.median_minutes);
+      plan.repair_mu[ci] = ln.mu();
+      plan.repair_sigma[ci] = ln.sigma();
+      plan.repair_valid[ci] = true;
+    } catch (const Error&) {
+      // Stays invalid; sampling this cause reproduces the original throw.
+    }
+  }
   return plan;
 }
+
+unsigned bits_for(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+// Layout of the packed (start, system, node) merge key, fixed before
+// emission from the catalog's ranges. The key orders exactly like the
+// dataset's record comparator, so a stable integer sort of the keys is
+// the global merge; equal keys stay in emission order.
+struct KeySpec {
+  Seconds base = 0;
+  unsigned start_bits = 0;
+  unsigned sys_bits = 0;
+  unsigned node_bits = 0;
+  bool packable = false;
+
+  unsigned total_bits() const noexcept {
+    return start_bits + sys_bits + node_bits;
+  }
+
+  std::uint64_t pack(Seconds start, int system, int node) const noexcept {
+    return (static_cast<std::uint64_t>(start - base)
+            << (sys_bits + node_bits)) |
+           (static_cast<std::uint64_t>(system) << node_bits) |
+           static_cast<std::uint64_t>(node);
+  }
+};
+
+KeySpec make_key_spec(const std::vector<SystemPlan>& plans) {
+  KeySpec spec;
+  if (plans.empty()) return spec;
+  Seconds lo = std::numeric_limits<Seconds>::max();
+  Seconds hi = std::numeric_limits<Seconds>::min();
+  std::uint64_t max_sys = 0;
+  std::uint64_t max_node = 0;
+  for (const SystemPlan& p : plans) {
+    if (p.sys->id < 0 || p.sys->nodes <= 0) return spec;
+    lo = std::min(lo, p.grid.start);
+    hi = std::max(hi, p.grid.end());
+    max_sys = std::max(max_sys, static_cast<std::uint64_t>(p.sys->id));
+    max_node =
+        std::max(max_node, static_cast<std::uint64_t>(p.sys->nodes - 1));
+  }
+  if (hi < lo) return spec;
+  spec.base = lo;
+  spec.start_bits = bits_for(static_cast<std::uint64_t>(hi - lo));
+  spec.sys_bits = bits_for(max_sys);
+  spec.node_bits = bits_for(max_node);
+  spec.packable = spec.total_bits() <= 64;
+  return spec;
+}
+
+// One shard's records in emission order, stored as columns, plus the
+// packed merge key of every record when the generate() path requested
+// them (generate_system() skips the keys).
+struct ShardOut {
+  ColumnStore columns;
+  std::vector<std::uint64_t> keys;
+};
+
+// Column write cursors with one capacity check per record instead of one
+// per column. The store is resized up front to the shard's estimated row
+// count (doubling when the estimate is exceeded); finish() shrinks it to
+// the rows actually written, which for trivially-destructible columns
+// never touches the written rows.
+class EmitBuffer {
+ public:
+  EmitBuffer(ColumnStore& out, std::vector<std::uint64_t>* keys,
+             std::size_t capacity)
+      : out_(&out), keys_(keys), cap_(capacity > 0 ? capacity : 16) {
+    resize_all();
+  }
+
+  void push(int system, int node, Seconds start, Seconds end, Workload w,
+            RootCause cause, DetailCause detail, std::uint64_t key) {
+    if (n_ == cap_) {
+      cap_ *= 2;
+      resize_all();
+    }
+    system_[n_] = system;
+    node_[n_] = node;
+    start_[n_] = start;
+    end_[n_] = end;
+    workload_[n_] = w;
+    cause_[n_] = cause;
+    detail_[n_] = detail;
+    if (key_ != nullptr) key_[n_] = key;
+    ++n_;
+  }
+
+  void finish() {
+    out_->resize(n_);
+    if (keys_ != nullptr) keys_->resize(n_);
+  }
+
+ private:
+  void resize_all() {
+    out_->resize(cap_);
+    if (keys_ != nullptr) keys_->resize(cap_);
+    system_ = out_->system_id.data();
+    node_ = out_->node_id.data();
+    start_ = out_->start.data();
+    end_ = out_->end.data();
+    workload_ = out_->workload.data();
+    cause_ = out_->cause.data();
+    detail_ = out_->detail.data();
+    key_ = keys_ != nullptr ? keys_->data() : nullptr;
+  }
+
+  ColumnStore* out_;
+  std::vector<std::uint64_t>* keys_;
+  std::size_t cap_ = 0;
+  std::size_t n_ = 0;
+  int* system_ = nullptr;
+  int* node_ = nullptr;
+  Seconds* start_ = nullptr;
+  Seconds* end_ = nullptr;
+  Workload* workload_ = nullptr;
+  RootCause* cause_ = nullptr;
+  DetailCause* detail_ = nullptr;
+  std::uint64_t* key_ = nullptr;
+};
 
 // Generates the records of nodes [node_begin, node_end) of one system —
 // exactly the records the sequential per-node loop would produce for that
 // range, because every node draws from its own (seed, system, node) PRNG
-// stream.
-std::vector<FailureRecord> generate_node_range(const SystemPlan& plan,
-                                               std::uint64_t seed,
-                                               int node_begin, int node_end) {
+// stream. Records land directly in the shard's columns; no AoS staging.
+ShardOut generate_node_range(const SystemPlan& plan, std::uint64_t seed,
+                             int node_begin, int node_end,
+                             const KeySpec* keyspec) {
   const SystemScenario& scen = *plan.scen;
   const SystemInfo& sys = *plan.sys;
   const HardwareProfile& profile = *plan.profile;
   const IntensityGrid& grid = plan.grid;
 
-  std::vector<FailureRecord> records;
+  ShardOut shard;
   const double share =
       static_cast<double>(node_end - node_begin) /
       static_cast<double>(std::max(1, sys.nodes));
-  records.reserve(
+  EmitBuffer buf(
+      shard.columns, keyspec != nullptr ? &shard.keys : nullptr,
       static_cast<std::size_t>(plan.target_total * share * 1.2) + 16);
+
+  const auto emit = [&](int node_id, Seconds start, Seconds end, Workload w,
+                        RootCause cause, DetailCause detail) {
+    buf.push(sys.id, node_id, start, end, w, cause, detail,
+             keyspec != nullptr ? keyspec->pack(start, sys.id, node_id) : 0);
+  };
+
+  // Past the decay window the unknown-cause boost is exactly zero and
+  // bernoulli(0) consumes no draw, so later records can skip the months
+  // arithmetic entirely. The cutoff carries a two-hour guard band so the
+  // skip only covers instants where the computed boost is exactly zero.
+  const Seconds boost_cutoff =
+      grid.start +
+      static_cast<Seconds>(
+          std::ceil(scen.unknown_decay_months * kSecondsPerMonth)) +
+      2 * kSecondsPerHour;
 
   for (int node = node_begin; node < node_end; ++node) {
     const NodeCategory& cat = sys.category_for_node(node);
@@ -293,43 +594,43 @@ std::vector<FailureRecord> generate_node_range(const SystemPlan& plan,
     const double tau_end = rate * (grid.at(cat.production_end) - tau_lo);
     if (tau_end <= 0.0) continue;
 
+    const Workload node_workload = sys.workload_of(node);
     hpcfail::Rng rng(hpcfail::mix_seed(seed,
                                        static_cast<std::uint64_t>(sys.id),
                                        static_cast<std::uint64_t>(node)));
+    InvertCursor invert(grid);
     double tau = 0.0;
     Seconds now = cat.production_start;
     for (;;) {
       const bool early = now < scen.early_era_end;
       const double gap =
           early ? lognormal_gap(rng, scen.early_lognormal_sigma)
-                : weibull_gap(rng, scen.interarrival_weibull_shape,
-                              plan.weibull_scale);
+                : weibull_gap(rng, plan.inv_shape, plan.weibull_scale,
+                              plan.unit_shape);
       tau += gap;
       if (tau >= tau_end) break;
-      now = grid.invert(tau_lo + tau / rate);
+      now = invert(tau_lo + tau / rate);
 
       // Section 4: pioneer systems initially recorded most causes as
       // unknown; the boost decays as administrators learn the platform.
-      const double months_in =
-          static_cast<double>(now - grid.start) / kSecondsPerMonth;
-      const double unknown_boost =
-          scen.early_unknown_boost *
-          std::max(0.0, 1.0 - months_in / scen.unknown_decay_months);
-
-      FailureRecord primary;
-      primary.system_id = sys.id;
-      primary.node_id = node;
-      primary.start = now;
-      primary.workload = sys.workload_of(node);
-      if (rng.bernoulli(unknown_boost)) {
-        primary.cause = RootCause::unknown;
-        primary.detail = DetailCause::undetermined;
-      } else {
-        primary.cause = sample_cause(rng, profile);
-        primary.detail = sample_detail(rng, profile, primary.cause);
+      double unknown_boost = 0.0;
+      if (now < boost_cutoff) {
+        const double months_in =
+            static_cast<double>(now - grid.start) / kSecondsPerMonth;
+        unknown_boost =
+            scen.early_unknown_boost *
+            std::max(0.0, 1.0 - months_in / scen.unknown_decay_months);
       }
-      primary.end = now + sample_repair_seconds(rng, profile, primary.cause);
-      records.push_back(primary);
+
+      RootCause cause = RootCause::unknown;
+      DetailCause detail = DetailCause::undetermined;
+      if (!rng.bernoulli(unknown_boost)) {
+        cause = sample_cause(rng, profile, plan.cause_total);
+        detail = sample_detail(rng, profile.detail_mix[cause_index(cause)],
+                               plan.detail_total[cause_index(cause)]);
+      }
+      const Seconds repair = sample_repair_seconds(rng, plan, cause);
+      emit(node, now, now + repair, node_workload, cause, detail);
 
       // Correlated multi-node events: a site-level incident (power,
       // interconnect fabric) takes down additional nodes at the same
@@ -338,35 +639,252 @@ std::vector<FailureRecord> generate_node_range(const SystemPlan& plan,
                                    : scen.late_burst_probability;
       if (burst_p > 0.0 && rng.bernoulli(burst_p)) {
         const auto followers = 1 + rng.uniform_index(4);  // 1..4 nodes
-        std::vector<int> candidates = nodes_in_production(sys, now, node);
+        BurstCandidates candidates(sys, now, node);
         for (std::uint64_t k = 0;
              k < followers && !candidates.empty(); ++k) {
           const auto pick = rng.uniform_index(candidates.size());
-          const int other = candidates[pick];
-          candidates[pick] = candidates.back();
-          candidates.pop_back();
+          const int other = candidates.take(pick);
 
-          FailureRecord follower;
-          follower.system_id = sys.id;
-          follower.node_id = other;
-          follower.start = now;
-          follower.workload = sys.workload_of(other);
-          if (rng.bernoulli(unknown_boost)) {
-            follower.cause = RootCause::unknown;
-            follower.detail = DetailCause::undetermined;
-          } else {
-            follower.cause = rng.bernoulli(0.5) ? RootCause::environment
-                                                : RootCause::network;
-            follower.detail = sample_detail(rng, profile, follower.cause);
+          RootCause fcause = RootCause::unknown;
+          DetailCause fdetail = DetailCause::undetermined;
+          if (!rng.bernoulli(unknown_boost)) {
+            fcause = rng.bernoulli(0.5) ? RootCause::environment
+                                        : RootCause::network;
+            fdetail = sample_detail(rng,
+                                    profile.detail_mix[cause_index(fcause)],
+                                    plan.detail_total[cause_index(fcause)]);
           }
-          follower.end =
-              now + sample_repair_seconds(rng, profile, follower.cause);
-          records.push_back(follower);
+          const Seconds frepair = sample_repair_seconds(rng, plan, fcause);
+          emit(other, now, now + frepair, sys.workload_of(other), fcause,
+               fdetail);
         }
       }
     }
   }
-  return records;
+  buf.finish();
+  return shard;
+}
+
+// Comparison-sort fallback for catalogs whose (start, system, node) range
+// does not pack into 64 bits. stable_sort keeps equal keys in emission
+// order, the same tie order the radix path produces.
+ColumnStore merge_shards_by_comparison(std::vector<ShardOut>&& parts) {
+  std::size_t total = 0;
+  for (const ShardOut& p : parts) total += p.columns.size();
+  if (total == 0) return ColumnStore{};
+
+  struct Ref {
+    Seconds start;
+    int system;
+    int node;
+    std::uint32_t part;
+    std::size_t pos;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(total);
+  for (std::uint32_t p = 0; p < parts.size(); ++p) {
+    const ColumnStore& c = parts[p].columns;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      refs.push_back({c.start[i], c.system_id[i], c.node_id[i], p, i});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) noexcept {
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.system != b.system) return a.system < b.system;
+                     return a.node < b.node;
+                   });
+
+  ColumnStore out;
+  out.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const Ref& r = refs[i];
+    const ColumnStore& c = parts[r.part].columns;
+    out.system_id[i] = c.system_id[r.pos];
+    out.node_id[i] = c.node_id[r.pos];
+    out.start[i] = c.start[r.pos];
+    out.end[i] = c.end[r.pos];
+    out.workload[i] = c.workload[r.pos];
+    out.cause[i] = c.cause[r.pos];
+    out.detail[i] = c.detail[r.pos];
+  }
+  return out;
+}
+
+constexpr unsigned kRadixDigitBits = 16;
+
+// Merges the shards' emission-order columns into one globally
+// (start, system, node)-sorted store: a stable LSD radix sort of the
+// packed keys carrying a (shard, row) reference, then one gather pass
+// per output row. Stability leaves equal keys in emission order, so the
+// result is deterministic and independent of how nodes were sharded.
+ColumnStore merge_shards(std::vector<ShardOut>&& parts, const KeySpec& spec) {
+  std::size_t total = 0;
+  std::size_t max_rows = 0;
+  for (const ShardOut& p : parts) {
+    total += p.columns.size();
+    max_rows = std::max(max_rows, p.columns.size());
+  }
+  if (total == 0) return ColumnStore{};
+
+  const unsigned pos_bits =
+      max_rows > 1 ? bits_for(static_cast<std::uint64_t>(max_rows - 1)) : 0;
+  const unsigned part_bits =
+      parts.size() > 1 ? bits_for(parts.size() - 1) : 0;
+  if (!spec.packable || pos_bits + part_bits > 32 ||
+      total >= std::numeric_limits<std::uint32_t>::max()) {
+    return merge_shards_by_comparison(std::move(parts));
+  }
+
+  const unsigned key_bits = std::max(1u, spec.total_bits());
+  const unsigned passes = (key_bits + kRadixDigitBits - 1) / kRadixDigitBits;
+  constexpr std::size_t kBuckets = std::size_t{1} << kRadixDigitBits;
+  constexpr std::uint64_t kDigitMask = kBuckets - 1;
+
+  // Every pass's digit histogram in one read of the shard keys.
+  std::vector<std::uint32_t> hist(passes * kBuckets, 0);
+  for (const ShardOut& part : parts) {
+    HPCFAIL_ASSERT(part.keys.size() == part.columns.size());
+    for (const std::uint64_t k : part.keys) {
+      for (unsigned pass = 0; pass < passes; ++pass) {
+        ++hist[pass * kBuckets +
+               ((k >> (pass * kRadixDigitBits)) & kDigitMask)];
+      }
+    }
+  }
+
+  // A pass whose digit is constant across the input is an identity
+  // permutation and is skipped; the last live pass does not need to
+  // forward the keys (only the references survive it).
+  const auto digit_constant = [&](unsigned pass) {
+    const std::uint32_t* h = hist.data() + pass * kBuckets;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      if (h[d] == 0) continue;
+      return static_cast<std::size_t>(h[d]) == total;
+    }
+    return true;
+  };
+  unsigned live_passes = 0;
+  unsigned last_live = 0;
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    if (!digit_constant(pass)) {
+      ++live_passes;
+      last_live = pass;
+    }
+  }
+
+  std::vector<std::uint32_t> ref(total);
+  if (live_passes == 0) {
+    // Fully constant keys: emission order already is the global order.
+    std::size_t at = 0;
+    for (std::uint32_t p = 0; p < parts.size(); ++p) {
+      const auto tag = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(p) << pos_bits);
+      const std::size_t n = parts[p].keys.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        ref[at++] = tag | static_cast<std::uint32_t>(i);
+      }
+    }
+  } else {
+    std::vector<std::uint64_t> key(live_passes > 1 ? total : 0);
+    std::vector<std::uint64_t> key_tmp(live_passes > 2 ? total : 0);
+    std::vector<std::uint32_t> ref_tmp(live_passes > 1 ? total : 0);
+    bool scattered = false;
+    for (unsigned pass = 0; pass < passes; ++pass) {
+      if (digit_constant(pass)) continue;
+      std::uint32_t* h = hist.data() + pass * kBuckets;
+      std::uint32_t sum = 0;
+      for (std::size_t d = 0; d < kBuckets; ++d) {
+        const std::uint32_t c = h[d];
+        h[d] = sum;
+        sum += c;
+      }
+      const unsigned shift = pass * kRadixDigitBits;
+      const bool forward_keys = pass != last_live;
+      if (!scattered) {
+        // The first live pass streams straight out of the shards' key
+        // arrays, fusing the fill copy into the scatter.
+        std::uint64_t* kout = key.data();
+        std::uint32_t* rout = ref.data();
+        for (std::uint32_t p = 0; p < parts.size(); ++p) {
+          std::vector<std::uint64_t>& pk = parts[p].keys;
+          const auto tag = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(p) << pos_bits);
+          const std::size_t n = pk.size();
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t k = pk[i];
+            const std::uint32_t dst =
+                h[(k >> shift) & kDigitMask]++;
+            if (forward_keys) kout[dst] = k;
+            rout[dst] = tag | static_cast<std::uint32_t>(i);
+          }
+          std::vector<std::uint64_t>().swap(pk);
+        }
+        scattered = true;
+      } else {
+        std::uint64_t* kout = key_tmp.data();
+        std::uint32_t* rout = ref_tmp.data();
+        const std::uint64_t* kin = key.data();
+        const std::uint32_t* rin = ref.data();
+        for (std::size_t i = 0; i < total; ++i) {
+          const std::uint64_t k = kin[i];
+          const std::uint32_t dst = h[(k >> shift) & kDigitMask]++;
+          if (forward_keys) kout[dst] = k;
+          rout[dst] = rin[i];
+        }
+        key.swap(key_tmp);
+        ref.swap(ref_tmp);
+      }
+    }
+  }
+  for (ShardOut& part : parts) {
+    std::vector<std::uint64_t>().swap(part.keys);
+  }
+
+  // Gather the rows in sorted order. Each source shard is read as ~one
+  // forward stream per node, so the random-looking reads stay cache
+  // resident.
+  ColumnStore out;
+  out.resize(total);
+  const std::size_t nparts = parts.size();
+  std::vector<const int*> sys_p(nparts);
+  std::vector<const int*> node_p(nparts);
+  std::vector<const Seconds*> start_p(nparts);
+  std::vector<const Seconds*> end_p(nparts);
+  std::vector<const Workload*> w_p(nparts);
+  std::vector<const RootCause*> cause_p(nparts);
+  std::vector<const DetailCause*> detail_p(nparts);
+  for (std::size_t p = 0; p < nparts; ++p) {
+    const ColumnStore& c = parts[p].columns;
+    sys_p[p] = c.system_id.data();
+    node_p[p] = c.node_id.data();
+    start_p[p] = c.start.data();
+    end_p[p] = c.end.data();
+    w_p[p] = c.workload.data();
+    cause_p[p] = c.cause.data();
+    detail_p[p] = c.detail.data();
+  }
+  // One column at a time: the destination stays a pure forward stream
+  // and the source working set is a single column's node streams, which
+  // fit in cache.
+  const auto pos_mask =
+      static_cast<std::uint32_t>((std::uint64_t{1} << pos_bits) - 1);
+  const auto gather = [&](auto* dst, const auto& srcs) {
+    const std::uint32_t* rp = ref.data();
+    for (std::size_t i = 0; i < total; ++i) {
+      const std::uint32_t r = rp[i];
+      dst[i] = srcs[static_cast<std::size_t>(
+          static_cast<std::uint64_t>(r) >> pos_bits)][r & pos_mask];
+    }
+  };
+  gather(out.system_id.data(), sys_p);
+  gather(out.node_id.data(), node_p);
+  gather(out.start.data(), start_p);
+  gather(out.end.data(), end_p);
+  gather(out.workload.data(), w_p);
+  gather(out.cause.data(), cause_p);
+  gather(out.detail.data(), detail_p);
+  return out;
 }
 
 // Shard size for splitting one system's nodes across workers. Small
@@ -387,27 +905,28 @@ void append_shards(const SystemPlan& plan, std::vector<NodeShard>& shards) {
   }
 }
 
-// Runs the shards on the shared pool and concatenates their records in
-// shard order — the exact vector a sequential (system-order, node-order)
-// loop builds, so the result is identical at any thread count.
+// Runs the shards on the shared pool. The generate() path passes a key
+// spec so every record's packed merge key is emitted alongside the
+// columns; the generate_system() path passes none and reads the columns
+// in emission order.
 //
 // Each shard's wall time and record count go to the per-system obs
 // histograms ("synth.shard_seconds{system=N}" / "synth.shard_records{...}");
 // timing is measured around the deterministic generation, never fed back
 // into it, so the output is bit-identical with obs on or off.
-std::vector<FailureRecord> run_shards(const std::vector<NodeShard>& shards,
-                                      std::uint64_t seed) {
+std::vector<ShardOut> run_shards(const std::vector<NodeShard>& shards,
+                                 std::uint64_t seed, const KeySpec* keyspec) {
   const bool observed = hpcfail::obs::enabled();
   auto parts = hpcfail::parallel_map(
-      shards.size(), [&shards, seed, observed](std::size_t k) {
+      shards.size(), [&shards, seed, keyspec, observed](std::size_t k) {
         const NodeShard& s = shards[k];
         if (!observed) {
-          return generate_node_range(*s.plan, seed, s.node_begin,
-                                     s.node_end);
+          return generate_node_range(*s.plan, seed, s.node_begin, s.node_end,
+                                     keyspec);
         }
         const auto t0 = std::chrono::steady_clock::now();
-        auto records =
-            generate_node_range(*s.plan, seed, s.node_begin, s.node_end);
+        ShardOut shard = generate_node_range(*s.plan, seed, s.node_begin,
+                                             s.node_end, keyspec);
         const double elapsed =
             std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           t0)
@@ -417,20 +936,15 @@ std::vector<FailureRecord> run_shards(const std::vector<NodeShard>& shards,
         hpcfail::obs::Registry& reg = hpcfail::obs::registry();
         reg.histogram("synth.shard_seconds" + label).record(elapsed);
         reg.histogram("synth.shard_records" + label)
-            .record(static_cast<double>(records.size()));
-        return records;
+            .record(static_cast<double>(shard.columns.size()));
+        return shard;
       });
-  std::size_t total = 0;
-  for (const auto& part : parts) total += part.size();
   if (observed) {
+    std::size_t total = 0;
+    for (const auto& part : parts) total += part.columns.size();
     hpcfail::obs::registry().counter("synth.records_total").add(total);
   }
-  std::vector<FailureRecord> all;
-  all.reserve(total);
-  for (auto& part : parts) {
-    all.insert(all.end(), part.begin(), part.end());
-  }
-  return all;
+  return parts;
 }
 
 }  // namespace
@@ -479,16 +993,29 @@ std::vector<FailureRecord> TraceGenerator::generate_system(
       build_plan(config_.seed, catalog_.system(system_id), *scen);
   std::vector<NodeShard> shards;
   append_shards(plan, shards);
-  return run_shards(shards, config_.seed);
+  // Emission order, shard by shard — the exact vector the sequential
+  // per-node loop builds; AoS records are reconstituted at this edge.
+  auto parts = run_shards(shards, config_.seed, /*keyspec=*/nullptr);
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.columns.size();
+  std::vector<FailureRecord> all;
+  all.reserve(total);
+  for (const auto& part : parts) {
+    const std::size_t n = part.columns.size();
+    for (std::size_t i = 0; i < n; ++i) all.push_back(part.columns.row(i));
+  }
+  return all;
 }
 
 trace::FailureDataset TraceGenerator::generate() const {
   // Plans (hourly intensity grid, per-node weights, calibration) are
   // cheap; build them up front so the expensive event generation can fan
-  // out per (system, node-range) shard across the shared pool. run_shards
-  // concatenates in (scenario order, node order) — the same vector the
-  // sequential path builds — so output is bit-identical at any thread
-  // count.
+  // out per (system, node-range) shard across the shared pool. Workers
+  // emit columns plus a packed (start, system, node) key per record; a
+  // stable radix sort of the keys then merges the shards into globally
+  // sorted columns with a single copy of the rows, which from_columns
+  // adopts without re-sorting — the whole pipeline never builds an AoS
+  // copy of the trace.
   obs::Span span("synth.generate");
   obs::StageTimer stage("synth.generate");
   std::vector<SystemPlan> plans;
@@ -496,9 +1023,13 @@ trace::FailureDataset TraceGenerator::generate() const {
   for (const SystemScenario& s : config_.systems) {
     plans.push_back(build_plan(config_.seed, catalog_.system(s.system_id), s));
   }
+  const KeySpec spec = make_key_spec(plans);
   std::vector<NodeShard> shards;
   for (const SystemPlan& plan : plans) append_shards(plan, shards);
-  trace::FailureDataset dataset(run_shards(shards, config_.seed));
+  auto parts =
+      run_shards(shards, config_.seed, spec.packable ? &spec : nullptr);
+  trace::FailureDataset dataset =
+      trace::FailureDataset::from_columns(merge_shards(std::move(parts), spec));
   stage.stop();
   if (obs::enabled() && stage.wall_seconds() > 0.0) {
     obs::registry()

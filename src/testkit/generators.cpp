@@ -54,8 +54,8 @@ Gen<std::vector<T>> vectors_of(Gen<T> elem, std::size_t min_size,
     // Structural shrinks first: prefix of minimal size, first half,
     // drop-last.
     if (v.size() > min_size) {
-      candidates.emplace_back(v.begin(),
-                              v.begin() + static_cast<std::ptrdiff_t>(min_size));
+      candidates.emplace_back(
+          v.begin(), v.begin() + static_cast<std::ptrdiff_t>(min_size));
       const std::size_t half = std::max(min_size, v.size() / 2);
       if (half < v.size() && half > min_size) {
         candidates.emplace_back(v.begin(),
@@ -146,7 +146,8 @@ Gen<std::vector<double>> vectors(Gen<double> elem, std::size_t min_size,
 
 Gen<std::vector<double>> sorted_vectors(Gen<double> elem, std::size_t min_size,
                                         std::size_t max_size) {
-  Gen<std::vector<double>> base = vectors_of(std::move(elem), min_size, max_size);
+  Gen<std::vector<double>> base =
+      vectors_of(std::move(elem), min_size, max_size);
   Gen<std::vector<double>> gen;
   gen.sample = [base](hpcfail::Rng& rng) {
     std::vector<double> out = base.sample(rng);
@@ -206,7 +207,8 @@ Gen<trace::FailureRecord> failure_records(RecordGenOptions options) {
       c.detail = trace::DetailCause::memory_dimm;
       c.cause = trace::RootCause::hardware;
     });
-    with([](trace::FailureRecord& c) { c.workload = trace::Workload::compute; });
+    with(
+        [](trace::FailureRecord& c) { c.workload = trace::Workload::compute; });
     return out;
   };
   gen.show = [](const trace::FailureRecord& r) {
@@ -245,7 +247,7 @@ Gen<trace::FailureDataset> datasets(std::size_t min_records,
     return trace::FailureDataset(batch.sample(rng));
   };
   gen.shrink = [batch](const trace::FailureDataset& ds) {
-    const std::span<const trace::FailureRecord> records = ds.records();
+    const trace::ColumnsView records = ds.records();
     const std::vector<trace::FailureRecord> as_vector(records.begin(),
                                                       records.end());
     std::vector<trace::FailureDataset> out;
@@ -255,7 +257,7 @@ Gen<trace::FailureDataset> datasets(std::size_t min_records,
     return out;
   };
   gen.show = [batch](const trace::FailureDataset& ds) {
-    const std::span<const trace::FailureRecord> records = ds.records();
+    const trace::ColumnsView records = ds.records();
     return batch.show(
         std::vector<trace::FailureRecord>(records.begin(), records.end()));
   };

@@ -3,7 +3,7 @@
 namespace hpcfail::testkit {
 
 std::vector<trace::FailureRecord> ref_for_system(
-    std::span<const trace::FailureRecord> records, int system_id) {
+    trace::ColumnsView records, int system_id) {
   std::vector<trace::FailureRecord> out;
   for (const trace::FailureRecord& r : records) {
     if (r.system_id == system_id) out.push_back(r);
@@ -12,7 +12,7 @@ std::vector<trace::FailureRecord> ref_for_system(
 }
 
 std::vector<trace::FailureRecord> ref_between(
-    std::span<const trace::FailureRecord> records, Seconds from, Seconds to) {
+    trace::ColumnsView records, Seconds from, Seconds to) {
   std::vector<trace::FailureRecord> out;
   for (const trace::FailureRecord& r : records) {
     if (r.start >= from && r.start < to) out.push_back(r);
@@ -21,7 +21,7 @@ std::vector<trace::FailureRecord> ref_between(
 }
 
 std::vector<double> ref_node_interarrivals(
-    std::span<const trace::FailureRecord> records, int system_id,
+    trace::ColumnsView records, int system_id,
     int node_id) {
   std::vector<Seconds> starts;
   for (const trace::FailureRecord& r : records) {
@@ -37,7 +37,7 @@ std::vector<double> ref_node_interarrivals(
 }
 
 std::vector<double> ref_system_interarrivals(
-    std::span<const trace::FailureRecord> records, int system_id) {
+    trace::ColumnsView records, int system_id) {
   std::vector<Seconds> starts;
   for (const trace::FailureRecord& r : records) {
     if (r.system_id == system_id) starts.push_back(r.start);
@@ -50,7 +50,7 @@ std::vector<double> ref_system_interarrivals(
 }
 
 std::map<int, std::size_t> ref_failures_per_node(
-    std::span<const trace::FailureRecord> records, int system_id) {
+    trace::ColumnsView records, int system_id) {
   std::map<int, std::size_t> counts;
   for (const trace::FailureRecord& r : records) {
     if (r.system_id == system_id) ++counts[r.node_id];

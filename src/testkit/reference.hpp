@@ -1,41 +1,41 @@
 // Brute-force reference implementations of the dataset extractions
 // (differential oracles for trace/index.hpp).
 //
-// Each function is the textbook O(n) filter-and-scan over the raw record
-// span, written with none of the index machinery — no partitions, posting
+// Each function is the textbook O(n) filter-and-scan over the raw records
+// table, written with none of the index machinery — no partitions, posting
 // lists, or binary searches — so an index bug cannot hide in its own
 // reference. The index/view tests and the testkit calibration suite
 // assert the optimized extractors match these bit-identically.
 #pragma once
 
 #include <map>
-#include <span>
 #include <vector>
 
 #include "common/time.hpp"
+#include "trace/columns.hpp"
 #include "trace/record.hpp"
 
 namespace hpcfail::testkit {
 
 /// Records of one system, in input (start-sorted) order.
 std::vector<trace::FailureRecord> ref_for_system(
-    std::span<const trace::FailureRecord> records, int system_id);
+    trace::ColumnsView records, int system_id);
 
 /// Records with start in [from, to), in input order.
 std::vector<trace::FailureRecord> ref_between(
-    std::span<const trace::FailureRecord> records, Seconds from, Seconds to);
+    trace::ColumnsView records, Seconds from, Seconds to);
 
 /// Gaps between consecutive failures of one (system, node), in seconds.
 std::vector<double> ref_node_interarrivals(
-    std::span<const trace::FailureRecord> records, int system_id,
+    trace::ColumnsView records, int system_id,
     int node_id);
 
 /// Gaps between consecutive failures anywhere in one system, in seconds.
 std::vector<double> ref_system_interarrivals(
-    std::span<const trace::FailureRecord> records, int system_id);
+    trace::ColumnsView records, int system_id);
 
 /// Failure count per node of one system (zero-failure nodes absent).
 std::map<int, std::size_t> ref_failures_per_node(
-    std::span<const trace::FailureRecord> records, int system_id);
+    trace::ColumnsView records, int system_id);
 
 }  // namespace hpcfail::testkit

@@ -2,42 +2,97 @@
 
 #include <algorithm>
 #include <set>
+#include <string>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "trace/index.hpp"
 
 namespace hpcfail::trace {
 
 namespace {
+
 bool record_order(const FailureRecord& a, const FailureRecord& b) noexcept {
   if (a.start != b.start) return a.start < b.start;
   if (a.system_id != b.system_id) return a.system_id < b.system_id;
   return a.node_id < b.node_id;
 }
-}  // namespace
 
-FailureDataset::FailureDataset(std::vector<FailureRecord> records)
-    : records_(std::move(records)) {
-  for (std::size_t i = 0; i < records_.size(); ++i) {
-    if (!records_[i].is_consistent()) {
-      throw InvalidArgument("inconsistent failure record at index " +
-                            std::to_string(i) +
-                            " (end < start, bad ids, or cause/detail "
-                            "mismatch)");
+[[noreturn]] void throw_inconsistent(std::size_t index) {
+  throw InvalidArgument("inconsistent failure record at index " +
+                        std::to_string(index) +
+                        " (end < start, bad ids, or cause/detail "
+                        "mismatch)");
+}
+
+/// Fused columnar form of FailureRecord::is_consistent(): per-row checks
+/// plus (start, system, node) sortedness, one streaming pass per column
+/// group. Returns whether the columns are sorted; throws on the first
+/// inconsistent row, reporting its index like the record constructor.
+bool validate_columns(const ColumnStore& c) {
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (c.end[i] < c.start[i] || c.system_id[i] < 1 || c.node_id[i] < 0 ||
+        category_of(c.detail[i]) != c.cause[i]) {
+      throw_inconsistent(i);
     }
   }
-  std::sort(records_.begin(), records_.end(), record_order);
+  for (std::size_t i = 1; i < n; ++i) {
+    if (c.start[i] != c.start[i - 1]) {
+      if (c.start[i] < c.start[i - 1]) return false;
+    } else if (c.system_id[i] != c.system_id[i - 1]) {
+      if (c.system_id[i] < c.system_id[i - 1]) return false;
+    } else if (c.node_id[i] < c.node_id[i - 1]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void record_bytes_gauge(const ColumnStore& columns) {
+  if (obs::enabled()) {
+    obs::registry().gauge("dataset.bytes")
+        .set(static_cast<double>(columns.bytes()));
+  }
+}
+
+}  // namespace
+
+FailureDataset::FailureDataset(std::vector<FailureRecord> records) {
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (!records[i].is_consistent()) {
+      throw_inconsistent(i);
+    }
+  }
+  std::sort(records.begin(), records.end(), record_order);
+  columns_ = ColumnStore::from_records(records);
+  record_bytes_gauge(columns_);
+}
+
+FailureDataset FailureDataset::from_columns(ColumnStore columns) {
+  const bool sorted = validate_columns(columns);
+  if (!sorted) {
+    // Rare slow path (the generator always produces sorted columns):
+    // permuting seven parallel arrays is simplest through records.
+    std::vector<FailureRecord> records = columns.to_records();
+    std::sort(records.begin(), records.end(), record_order);
+    columns = ColumnStore::from_records(records);
+  }
+  FailureDataset out;
+  out.columns_ = std::move(columns);
+  record_bytes_gauge(out.columns_);
+  return out;
 }
 
 FailureDataset::FailureDataset() = default;
 FailureDataset::~FailureDataset() = default;
 
 FailureDataset::FailureDataset(const FailureDataset& other)
-    : records_(other.records_) {}
+    : columns_(other.columns_) {}
 
 FailureDataset& FailureDataset::operator=(const FailureDataset& other) {
   if (this != &other) {
-    records_ = other.records_;
+    columns_ = other.columns_;
     std::lock_guard<std::mutex> lock(index_mutex_);
     index_.reset();
   }
@@ -46,17 +101,17 @@ FailureDataset& FailureDataset::operator=(const FailureDataset& other) {
 
 FailureDataset::FailureDataset(FailureDataset&& other) noexcept {
   // Hold the source's mutex so a concurrent index()/view() on it can't
-  // observe the buffer mid-steal; its index holds spans into the buffer
+  // observe the buffer mid-steal; its index holds views into the columns
   // we take, so drop it.
   std::lock_guard<std::mutex> lock(other.index_mutex_);
-  records_ = std::move(other.records_);
+  columns_ = std::move(other.columns_);
   other.index_.reset();
 }
 
 FailureDataset& FailureDataset::operator=(FailureDataset&& other) noexcept {
   if (this != &other) {
     std::scoped_lock lock(index_mutex_, other.index_mutex_);
-    records_ = std::move(other.records_);
+    columns_ = std::move(other.columns_);
     index_.reset();
     other.index_.reset();
   }
@@ -65,58 +120,66 @@ FailureDataset& FailureDataset::operator=(FailureDataset&& other) noexcept {
 
 const DatasetIndex& FailureDataset::index() const {
   std::lock_guard<std::mutex> lock(index_mutex_);
-  if (!index_) index_ = std::make_unique<DatasetIndex>(records_);
+  if (!index_) index_ = std::make_unique<DatasetIndex>(columns_);
   return *index_;
 }
 
 DatasetView FailureDataset::view() const { return index().all(); }
 
-FailureDataset FailureDataset::from_sorted(
-    std::vector<FailureRecord> records) {
+FailureDataset FailureDataset::from_sorted_columns(ColumnStore columns) {
   FailureDataset out;
-  out.records_ = std::move(records);
+  out.columns_ = std::move(columns);
   return out;
 }
 
 Seconds FailureDataset::first_start() const {
-  HPCFAIL_EXPECTS(!records_.empty(), "first_start of empty dataset");
-  return records_.front().start;
+  HPCFAIL_EXPECTS(!columns_.empty(), "first_start of empty dataset");
+  return columns_.start.front();
 }
 
 Seconds FailureDataset::last_end() const {
-  HPCFAIL_EXPECTS(!records_.empty(), "last_end of empty dataset");
-  Seconds latest = records_.front().end;
-  for (const FailureRecord& r : records_) latest = std::max(latest, r.end);
+  HPCFAIL_EXPECTS(!columns_.empty(), "last_end of empty dataset");
+  Seconds latest = columns_.end.front();
+  for (Seconds e : columns_.end) latest = std::max(latest, e);
   return latest;
 }
 
 FailureDataset FailureDataset::filter(
     const std::function<bool(const FailureRecord&)>& keep) const {
-  std::vector<FailureRecord> kept;
-  for (const FailureRecord& r : records_) {
-    if (keep(r)) kept.push_back(r);
+  ColumnStore kept;
+  const std::size_t n = columns_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (keep(columns_.row(i))) kept.push_row(columns_, i);
   }
-  return from_sorted(std::move(kept));  // already sorted and validated
+  return from_sorted_columns(std::move(kept));  // already sorted + validated
 }
 
 std::vector<double> FailureDataset::repair_times_minutes() const {
+  // Fused unit conversion over the start/end columns; the record-level
+  // downtime_minutes() helper stays for edge callers only. The division
+  // stays a division so the values match the per-record path bit for bit.
+  const std::size_t n = columns_.size();
   std::vector<double> times;
-  times.reserve(records_.size());
-  for (const FailureRecord& r : records_) {
-    times.push_back(r.downtime_minutes());
+  times.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    times.push_back(
+        static_cast<double>(columns_.end[i] - columns_.start[i]) / 60.0);
   }
   return times;
 }
 
 std::vector<int> FailureDataset::system_ids() const {
   std::set<int> ids;
-  for (const FailureRecord& r : records_) ids.insert(r.system_id);
+  for (int id : columns_.system_id) ids.insert(id);
   return {ids.begin(), ids.end()};
 }
 
 double FailureDataset::total_downtime_minutes() const noexcept {
   double total = 0.0;
-  for (const FailureRecord& r : records_) total += r.downtime_minutes();
+  const std::size_t n = columns_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    total += static_cast<double>(columns_.end[i] - columns_.start[i]) / 60.0;
+  }
   return total;
 }
 

@@ -3,20 +3,26 @@
 // system-wide interarrival times (Section 5.3's two views of the failure
 // process), repair-time samples, and per-node counts.
 //
+// Storage is columnar (trace/columns.hpp): the dataset owns one
+// ColumnStore, records() exposes it as a ColumnsView, and the numeric
+// extractors (repair times, downtime totals) run as fused passes over the
+// start/end columns instead of per-record helper calls. Row-oriented
+// callers still iterate FailureRecord values; AoS vectors are
+// reconstituted only at the edges (CSV I/O, golden snapshots).
+//
 // Querying goes through the zero-copy view layer (trace/index.hpp):
-// view() exposes span-backed slices and indexed extractors over a
+// view() exposes column-backed slices and indexed extractors over a
 // DatasetIndex that is built lazily, once per dataset. The original
 // copying query methods are gone; callers narrow a view() and
 // materialize() only when they need a standalone dataset.
 #pragma once
 
 #include <functional>
-#include <map>
 #include <memory>
 #include <mutex>
-#include <span>
 #include <vector>
 
+#include "trace/columns.hpp"
 #include "trace/record.hpp"
 
 namespace hpcfail::trace {
@@ -31,11 +37,18 @@ class FailureDataset {
   /// cause/detail mismatch; the offending index is reported.
   explicit FailureDataset(std::vector<FailureRecord> records);
 
+  /// Takes ownership of already-columnar storage — the zero-copy path the
+  /// trace generator feeds. Validation is one fused pass over the columns
+  /// (same per-row rule and error message as the record constructor);
+  /// columns that arrive (start, system, node)-sorted are adopted as-is,
+  /// anything else is sorted through a one-time AoS round trip.
+  static FailureDataset from_columns(ColumnStore columns);
+
   /// The empty dataset.
   FailureDataset();
   ~FailureDataset();
 
-  /// Copies records only; the copy builds its own index on first use.
+  /// Copies columns only; the copy builds its own index on first use.
   FailureDataset(const FailureDataset& other);
   FailureDataset& operator=(const FailureDataset& other);
   /// Moving invalidates the source's index and any views borrowed from
@@ -46,9 +59,16 @@ class FailureDataset {
   FailureDataset(FailureDataset&& other) noexcept;
   FailureDataset& operator=(FailureDataset&& other) noexcept;
 
-  std::span<const FailureRecord> records() const noexcept { return records_; }
-  std::size_t size() const noexcept { return records_.size(); }
-  bool empty() const noexcept { return records_.empty(); }
+  /// All records as a columnar view, (start, system, node)-sorted.
+  /// Iterating yields FailureRecord values; column spans are available
+  /// through the view's typed accessors.
+  ColumnsView records() const noexcept { return ColumnsView(columns_); }
+
+  /// The underlying column storage.
+  const ColumnStore& columns() const noexcept { return columns_; }
+
+  std::size_t size() const noexcept { return columns_.size(); }
+  bool empty() const noexcept { return columns_.empty(); }
 
   /// The dataset's acceleration index, built on first use (thread-safe)
   /// and reused by every subsequent query.
@@ -69,7 +89,7 @@ class FailureDataset {
       const std::function<bool(const FailureRecord&)>& keep) const;
 
   /// Repair times (end - start) in minutes, the unit of Table 2/Fig 7,
-  /// over all records in the dataset.
+  /// over all records — one fused pass over the start/end columns.
   std::vector<double> repair_times_minutes() const;
 
   /// Distinct system ids present, ascending.
@@ -81,12 +101,12 @@ class FailureDataset {
  private:
   friend class DatasetView;  // materialize() rebuilds without revalidating
 
-  /// Adopts records that are already (start, system, node)-sorted and
+  /// Adopts columns that are already (start, system, node)-sorted and
   /// validated — the internal fast path behind filter()/materialize().
-  static FailureDataset from_sorted(std::vector<FailureRecord> records);
+  static FailureDataset from_sorted_columns(ColumnStore columns);
 
-  std::vector<FailureRecord> records_;  // sorted by (start, system, node)
-  mutable std::mutex index_mutex_;      // guards lazy index_ creation
+  ColumnStore columns_;             // sorted by (start, system, node)
+  mutable std::mutex index_mutex_;  // guards lazy index_ creation
   mutable std::unique_ptr<DatasetIndex> index_;
 };
 

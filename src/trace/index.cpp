@@ -12,17 +12,14 @@ namespace hpcfail::trace {
 
 namespace {
 
-/// Start-projected binary search: the subrange of the start-sorted `span`
+/// Start-projected binary search: the subrange of the start-sorted view
 /// whose starts lie in [from, to).
-std::span<const FailureRecord> window_of(std::span<const FailureRecord> span,
-                                         Seconds from, Seconds to) {
-  if (from >= to) return span.subspan(0, 0);
-  const auto by_start = [](const FailureRecord& r, Seconds t) {
-    return r.start < t;
-  };
-  const auto lo = std::lower_bound(span.begin(), span.end(), from, by_start);
-  const auto hi = std::lower_bound(lo, span.end(), to, by_start);
-  return span.subspan(static_cast<std::size_t>(lo - span.begin()),
+ColumnsView window_of(ColumnsView view, Seconds from, Seconds to) {
+  if (from >= to) return view.subview(0, 0);
+  const std::span<const Seconds> starts = view.starts();
+  const auto lo = std::lower_bound(starts.begin(), starts.end(), from);
+  const auto hi = std::lower_bound(lo, starts.end(), to);
+  return view.subview(static_cast<std::size_t>(lo - starts.begin()),
                       static_cast<std::size_t>(hi - lo));
 }
 
@@ -52,15 +49,16 @@ std::vector<double> gaps_of(std::span<const Seconds> starts) {
 // ---------------------------------------------------------------------------
 // DatasetIndex
 
-DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
-    : base_(records) {
+DatasetIndex::DatasetIndex(const ColumnStore& columns)
+    : base_(columns) {
   const auto build_start = std::chrono::steady_clock::now();
   hpcfail::obs::ScopedTimer timer("trace.index_build");
+  const std::size_t n = columns.size();
 
   // Pass 1 (sequential, O(n)): per-system counts, then contiguous slices
   // in ascending system-id order.
   std::map<int, std::size_t> counts;
-  for (const FailureRecord& r : base_) ++counts[r.system_id];
+  for (int id : columns.system_id) ++counts[id];
   systems_.reserve(counts.size());
   std::size_t offset = 0;
   for (const auto& [system_id, count] : counts) {
@@ -73,14 +71,38 @@ DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
   }
 
   // Pass 2 (sequential, O(n)): stable scatter into the partition. The
-  // base span is (start, system, node)-sorted, so each system's slice
-  // comes out (start, node)-sorted.
-  by_system_.resize(base_.size());
+  // base columns are (start, system, node)-sorted, so each system's slice
+  // comes out (start, node)-sorted. Destinations are computed once, then
+  // each column scatters independently — a streaming write per column
+  // instead of a strided 32-byte record store.
+  by_system_.resize(n);
   {
+    std::vector<std::size_t> dest(n);
     std::map<int, std::size_t> cursor;
     for (const SystemSlice& s : systems_) cursor[s.system_id] = s.begin;
-    for (const FailureRecord& r : base_) {
-      by_system_[cursor[r.system_id]++] = r;
+    for (std::size_t i = 0; i < n; ++i) {
+      dest[i] = cursor[columns.system_id[i]]++;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.system_id[dest[i]] = columns.system_id[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.node_id[dest[i]] = columns.node_id[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.start[dest[i]] = columns.start[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.end[dest[i]] = columns.end[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.workload[dest[i]] = columns.workload[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.cause[dest[i]] = columns.cause[i];
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      by_system_.detail[dest[i]] = columns.detail[i];
     }
   }
 
@@ -88,13 +110,13 @@ DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
   // posting lists. Each system's lists land in its own slice of
   // node_starts_ (same offsets as the partition), so workers never share
   // output and the result is identical at any thread count.
-  node_starts_.resize(base_.size());
+  node_starts_.resize(n);
   std::vector<std::vector<NodeSlice>> per_system_nodes(systems_.size());
   parallel_for(systems_.size(), [this, &per_system_nodes](std::size_t si) {
     const SystemSlice& s = systems_[si];
     std::map<int, std::vector<Seconds>> by_node;
     for (std::size_t i = s.begin; i < s.end; ++i) {
-      by_node[by_system_[i].node_id].push_back(by_system_[i].start);
+      by_node[by_system_.node_id[i]].push_back(by_system_.start[i]);
     }
     std::size_t off = s.begin;
     per_system_nodes[si].reserve(by_node.size());
@@ -132,7 +154,7 @@ DatasetIndex::DatasetIndex(std::span<const FailureRecord> records)
 DatasetView DatasetIndex::all() const noexcept {
   DatasetView view;
   view.index_ = this;
-  view.span_ = base_;
+  view.view_ = base_;
   return view;
 }
 
@@ -169,33 +191,34 @@ void DatasetIndex::count_view_hit() const noexcept {
 // DatasetView
 
 Seconds DatasetView::first_start() const {
-  HPCFAIL_EXPECTS(!span_.empty(), "first_start of empty view");
-  return span_.front().start;
+  HPCFAIL_EXPECTS(!view_.empty(), "first_start of empty view");
+  return view_.starts().front();
 }
 
 Seconds DatasetView::last_end() const {
-  HPCFAIL_EXPECTS(!span_.empty(), "last_end of empty view");
-  Seconds latest = span_.front().end;
-  for (const FailureRecord& r : span_) latest = std::max(latest, r.end);
+  HPCFAIL_EXPECTS(!view_.empty(), "last_end of empty view");
+  const std::span<const Seconds> ends = view_.ends();
+  Seconds latest = ends.front();
+  for (Seconds e : ends) latest = std::max(latest, e);
   return latest;
 }
 
 DatasetView DatasetView::for_system(int system_id) const {
   DatasetView view = *this;
   view.system_ = system_id;
-  view.span_ = {};
+  view.view_ = {};
   if (index_ == nullptr) return view;
   index_->count_view_hit();
   if (system_.has_value()) {
     // Already scoped: same system is a no-op, a different one is empty.
-    if (*system_ == system_id) view.span_ = span_;
+    if (*system_ == system_id) view.view_ = view_;
     return view;
   }
   const DatasetIndex::SystemSlice* slice = index_->find_system(system_id);
   if (slice == nullptr) return view;
-  std::span<const FailureRecord> partition(
-      index_->by_system_.data() + slice->begin, slice->end - slice->begin);
-  view.span_ = windowed_ ? window_of(partition, from_, to_) : partition;
+  const ColumnsView partition(&index_->by_system_, slice->begin,
+                              slice->end - slice->begin);
+  view.view_ = windowed_ ? window_of(partition, from_, to_) : partition;
   return view;
 }
 
@@ -209,9 +232,9 @@ DatasetView DatasetView::between(Seconds from, Seconds to) const {
     view.to_ = to;
   }
   view.windowed_ = true;
-  // The current span is start-sorted whatever its scope, so narrowing
+  // The current view is start-sorted whatever its scope, so narrowing
   // never needs to consult the index again.
-  view.span_ = window_of(span_, view.from_, view.to_);
+  view.view_ = window_of(view_, view.from_, view.to_);
   if (index_ != nullptr) index_->count_view_hit();
   return view;
 }
@@ -241,12 +264,12 @@ std::vector<double> DatasetView::system_interarrivals() const {
   HPCFAIL_EXPECTS(system_.has_value(),
                   "system_interarrivals requires a system-scoped view");
   if (index_ != nullptr) index_->count_view_hit();
+  const std::span<const Seconds> starts = view_.starts();
   std::vector<double> gaps;
-  if (span_.size() >= 2) {
-    gaps.reserve(span_.size() - 1);
-    for (std::size_t i = 1; i < span_.size(); ++i) {
-      gaps.push_back(static_cast<double>(span_[i].start -
-                                         span_[i - 1].start));
+  if (starts.size() >= 2) {
+    gaps.reserve(starts.size() - 1);
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      gaps.push_back(static_cast<double>(starts[i] - starts[i - 1]));
     }
   }
   return gaps;
@@ -300,23 +323,32 @@ std::map<int, std::size_t> DatasetView::failures_per_node() const {
 
 std::vector<double> DatasetView::repair_times_minutes() const {
   if (index_ != nullptr) index_->count_view_hit();
+  // Fused unit conversion over the start/end columns (the division stays
+  // a division so values match the per-record helper bit for bit).
+  const std::span<const Seconds> starts = view_.starts();
+  const std::span<const Seconds> ends = view_.ends();
   std::vector<double> times;
-  times.reserve(span_.size());
-  for (const FailureRecord& r : span_) times.push_back(r.downtime_minutes());
+  times.reserve(starts.size());
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    times.push_back(static_cast<double>(ends[i] - starts[i]) / 60.0);
+  }
   return times;
 }
 
 double DatasetView::total_downtime_minutes() const noexcept {
+  const std::span<const Seconds> starts = view_.starts();
+  const std::span<const Seconds> ends = view_.ends();
   double total = 0.0;
-  for (const FailureRecord& r : span_) total += r.downtime_minutes();
+  for (std::size_t i = 0; i < starts.size(); ++i) {
+    total += static_cast<double>(ends[i] - starts[i]) / 60.0;
+  }
   return total;
 }
 
 FailureDataset DatasetView::materialize() const {
-  // View spans are already (start, system, node)-sorted and were
+  // View columns are already (start, system, node)-sorted and were
   // validated when the source dataset was built.
-  return FailureDataset::from_sorted(
-      std::vector<FailureRecord>(span_.begin(), span_.end()));
+  return FailureDataset::from_sorted_columns(view_.to_store());
 }
 
 }  // namespace hpcfail::trace

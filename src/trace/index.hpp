@@ -11,17 +11,18 @@
 // DatasetIndex is built once per dataset (lazily, see
 // FailureDataset::view()) and holds three structures:
 //
-//   * the base span: the dataset's records, globally start-sorted, so any
-//     time window is a contiguous range found by binary search;
-//   * a per-system contiguous partition: the records re-grouped by system
+//   * the base view: the dataset's columns, globally start-sorted, so any
+//     time window is a contiguous range found by binary search over the
+//     start column;
+//   * a per-system contiguous partition: the columns re-grouped by system
 //     (start-sorted within each system), so one system's records are one
-//     span;
+//     column range;
 //   * per-(system, node) posting lists: each node's failure start times,
 //     ascending, so per-node interarrival extraction never rescans.
 //
-// DatasetView is a cheap value type (a span plus scope metadata) backed by
-// the index. for_system()/between() return narrower views in O(log n)
-// without copying a record; the grouped extractor
+// DatasetView is a cheap value type (a ColumnsView plus scope metadata)
+// backed by the index. for_system()/between() return narrower views in
+// O(log n) without copying a record; the grouped extractor
 // node_interarrival_groups() produces *all* nodes' interarrival vectors in
 // one sweep over the posting lists. Views borrow the dataset: they are
 // invalidated when the dataset is destroyed, moved, or assigned.
@@ -31,12 +32,12 @@
 // obs gauge "dataset.index_build_ms"; every view-producing query counts
 // into "dataset.view_hits".
 //
-// Memory cost: the per-system partition stores a copy of every record and
-// the posting lists store one Seconds per record, so an indexed dataset
-// occupies roughly twice the raw trace. The duplication is what makes
-// per-system views contiguous (spans cannot express a permutation);
-// callers that never query can avoid it entirely by not calling
-// view()/index(), since the index is built lazily.
+// Memory cost: the per-system partition stores a columnar copy of every
+// record and the posting lists store one Seconds per record, so an indexed
+// dataset occupies roughly twice the raw trace. The duplication is what
+// makes per-system views contiguous (a column range cannot express a
+// permutation); callers that never query can avoid it entirely by not
+// calling view()/index(), since the index is built lazily.
 #pragma once
 
 #include <atomic>
@@ -45,6 +46,7 @@
 #include <span>
 #include <vector>
 
+#include "trace/columns.hpp"
 #include "trace/dataset.hpp"
 #include "trace/record.hpp"
 
@@ -63,16 +65,18 @@ struct NodeInterarrivalGroup {
 };
 
 /// A non-owning, start-sorted slice of a dataset: all records, one
-/// system, a time window, or both. Copying a view copies two pointers.
+/// system, a time window, or both. Copying a view copies a few pointers.
 class DatasetView {
  public:
   /// The empty view (no index, no records).
   DatasetView() = default;
 
-  /// The records in this view, start-ascending.
-  std::span<const FailureRecord> records() const noexcept { return span_; }
-  std::size_t size() const noexcept { return span_.size(); }
-  bool empty() const noexcept { return span_.empty(); }
+  /// The records in this view, start-ascending, as a columnar view.
+  /// Iteration yields FailureRecord values; starts()/ends()/causes()...
+  /// expose the raw column spans.
+  ColumnsView records() const noexcept { return view_; }
+  std::size_t size() const noexcept { return view_.size(); }
+  bool empty() const noexcept { return view_.empty(); }
 
   /// The system this view is scoped to, if any.
   std::optional<int> system() const noexcept { return system_; }
@@ -111,7 +115,8 @@ class DatasetView {
   /// absent). Requires a system-scoped view; O(nodes log n).
   std::map<int, std::size_t> failures_per_node() const;
 
-  /// Repair times (end - start) in minutes over the view's records.
+  /// Repair times (end - start) in minutes over the view's records — one
+  /// fused pass over the start/end columns.
   std::vector<double> repair_times_minutes() const;
 
   /// Sum of downtime over the view's records, in minutes.
@@ -129,19 +134,19 @@ class DatasetView {
   Seconds from_ = 0;  ///< window, meaningful only when windowed_
   Seconds to_ = 0;
   bool windowed_ = false;
-  std::span<const FailureRecord> span_;
+  ColumnsView view_;
 };
 
-/// The immutable acceleration structure behind DatasetView. Built from a
-/// (start, system, node)-sorted record span — exactly the order
+/// The immutable acceleration structure behind DatasetView. Built from
+/// (start, system, node)-sorted columns — exactly the order
 /// FailureDataset maintains — normally through FailureDataset::view()
 /// rather than directly.
 class DatasetIndex {
  public:
   /// Builds the partition and posting lists; parallelizes over systems on
-  /// the shared pool. `records` must stay alive and unmoved for the
+  /// the shared pool. `columns` must stay alive and unmoved for the
   /// index's lifetime.
-  explicit DatasetIndex(std::span<const FailureRecord> records);
+  explicit DatasetIndex(const ColumnStore& columns);
 
   /// The root view: every record.
   DatasetView all() const noexcept;
@@ -174,11 +179,11 @@ class DatasetIndex {
   const SystemSlice* find_system(int system_id) const noexcept;
   void count_view_hit() const noexcept;
 
-  std::span<const FailureRecord> base_;    ///< globally start-sorted
-  std::vector<FailureRecord> by_system_;   ///< partitioned by system
-  std::vector<SystemSlice> systems_;       ///< ascending system id
-  std::vector<NodeSlice> node_slices_;     ///< grouped by system
-  std::vector<Seconds> node_starts_;       ///< the posting-list storage
+  ColumnsView base_;                    ///< globally start-sorted
+  ColumnStore by_system_;               ///< partitioned by system
+  std::vector<SystemSlice> systems_;    ///< ascending system id
+  std::vector<NodeSlice> node_slices_;  ///< grouped by system
+  std::vector<Seconds> node_starts_;    ///< the posting-list storage
   /// Resolved on first counted hit (not at build time, so enabling obs
   /// after a lazy index build still records hits); atomic because
   /// concurrent const queries may race the resolution.

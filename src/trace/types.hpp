@@ -8,13 +8,16 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
 namespace hpcfail::trace {
 
-/// High-level root-cause categories (Section 2.3).
-enum class RootCause {
+/// High-level root-cause categories (Section 2.3). The explicit one-byte
+/// underlying type keeps the columnar trace layout (trace/columns.hpp) at
+/// one byte per categorical column instead of four.
+enum class RootCause : std::uint8_t {
   hardware,
   software,
   network,
@@ -29,7 +32,7 @@ inline constexpr std::array<RootCause, 6> kAllRootCauses = {
 };
 
 /// Detailed root causes the paper's Section 4 discusses explicitly.
-enum class DetailCause {
+enum class DetailCause : std::uint8_t {
   // hardware
   memory_dimm,        ///< the most common low-level cause in every system
   cpu,                ///< dominant in type E (design flaw, >50% of failures)
@@ -55,7 +58,7 @@ enum class DetailCause {
 };
 
 /// Workload running on the failed node (Section 2.3).
-enum class Workload {
+enum class Workload : std::uint8_t {
   compute,
   graphics,
   frontend,

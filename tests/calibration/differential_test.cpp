@@ -127,6 +127,40 @@ TEST(Differential, InterarrivalAnalysisIsBitIdenticalAcrossThreadCounts) {
   EXPECT_TRUE(identical_across_threads(compute));
 }
 
+TEST(Differential, AnalyzersAgreeOnColumnarAndRoundTrippedDatasets) {
+  // The generator builds its dataset straight into columns (radix-merged
+  // shards); the classic path goes through AoS records and the
+  // comparison-sorting constructor. Analyzer results must not depend on
+  // which path built the storage.
+  const auto columnar = hpcfail::synth::generate_lanl_trace(101);
+  const hpcfail::trace::FailureDataset round_trip(
+      columnar.columns().to_records());
+  const auto materialized = columnar.view().materialize();
+
+  for (const auto* other : {&round_trip, &materialized}) {
+    const auto& a = columnar.columns();
+    const auto& b = other->columns();
+    ASSERT_EQ(columnar.size(), other->size());
+    EXPECT_EQ(a.system_id, b.system_id);
+    EXPECT_EQ(a.node_id, b.node_id);
+    EXPECT_EQ(a.start, b.start);
+    EXPECT_EQ(a.end, b.end);
+    EXPECT_EQ(a.workload, b.workload);
+    EXPECT_EQ(a.cause, b.cause);
+    EXPECT_EQ(a.detail, b.detail);
+
+    EXPECT_EQ(columnar.repair_times_minutes(),
+              other->repair_times_minutes());
+    hpcfail::analysis::InterarrivalQuery query;
+    query.system_id = 20;
+    const auto lhs = hpcfail::analysis::interarrival_analysis(columnar, query);
+    const auto rhs = hpcfail::analysis::interarrival_analysis(*other, query);
+    EXPECT_EQ(flatten(lhs.fits), flatten(rhs.fits));
+    EXPECT_EQ(lhs.summary.mean, rhs.summary.mean);
+    EXPECT_EQ(lhs.zero_fraction, rhs.zero_fraction);
+  }
+}
+
 TEST(Differential, FitRankingIsStableUnderFamilyPermutation) {
   hpcfail::Rng rng(31337);
   const hpcfail::dist::Weibull source(0.8, 1200.0);

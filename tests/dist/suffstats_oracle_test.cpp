@@ -1,0 +1,129 @@
+// Calibration oracle for the SuffStats contract (dist/suffstats.hpp):
+// parameters derived from the one-pass sufficient statistics must agree
+// with the direct span-based fit_mle overloads to floating-point noise.
+// The accumulation order is the same forward pass, so the sums themselves
+// are bit-identical; derived parameters are allowed last-ulp slack where
+// the algebra is rearranged (the lognormal one-pass variance, the weibull
+// warm-started solver, which converges from a different bracket to the
+// same root within the solver's 1e-12 position tolerance).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dist/exponential.hpp"
+#include "dist/gamma.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/suffstats.hpp"
+#include "dist/weibull.hpp"
+
+namespace {
+
+using hpcfail::Rng;
+using hpcfail::dist::Exponential;
+using hpcfail::dist::GammaDist;
+using hpcfail::dist::LogNormal;
+using hpcfail::dist::SuffStats;
+using hpcfail::dist::Weibull;
+
+std::vector<double> weibull_sample(std::size_t n, double shape,
+                                   std::uint64_t seed) {
+  const Weibull truth(shape, 86400.0);
+  Rng rng(seed);
+  std::vector<double> xs;
+  xs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(truth.sample(rng));
+  return xs;
+}
+
+void expect_close(double a, double b, double rel, const char* what,
+                  std::size_t n) {
+  EXPECT_NEAR(a, b, rel * std::max(std::abs(a), std::abs(b)))
+      << what << " at n=" << n;
+}
+
+TEST(SuffStatsOracle, SumsMatchADirectPassBitForBit) {
+  for (const std::size_t n : {64u, 1000u, 10000u}) {
+    const auto xs = weibull_sample(n, 0.75, 1234 + n);
+    constexpr double kFloor = 1.0;
+    const SuffStats stats = SuffStats::compute(xs, kFloor);
+
+    double sum_raw = 0.0;
+    double sum = 0.0;
+    double sum_log = 0.0;
+    double sum_log_sq = 0.0;
+    double mn = xs[0] < kFloor ? kFloor : xs[0];
+    double mx = mn;
+    for (const double x : xs) {
+      const double v = x < kFloor ? kFloor : x;
+      sum_raw += x;
+      sum += v;
+      const double lx = std::log(v);
+      sum_log += lx;
+      sum_log_sq += lx * lx;
+      mn = std::min(mn, v);
+      mx = std::max(mx, v);
+    }
+    EXPECT_EQ(stats.n, n);
+    EXPECT_EQ(stats.sum_raw, sum_raw) << "n=" << n;
+    EXPECT_EQ(stats.sum, sum) << "n=" << n;
+    EXPECT_EQ(stats.sum_log, sum_log) << "n=" << n;
+    EXPECT_EQ(stats.sum_log_sq, sum_log_sq) << "n=" << n;
+    EXPECT_EQ(stats.min, mn) << "n=" << n;
+    EXPECT_EQ(stats.max, mx) << "n=" << n;
+  }
+}
+
+TEST(SuffStatsOracle, FitsAgreeWithDirectSpanOverloads) {
+  for (const std::size_t n : {64u, 1000u, 10000u}) {
+    for (const double shape : {0.75, 1.4}) {
+      const auto xs = weibull_sample(n, shape, 99 + n);
+      constexpr double kFloor = 1.0;
+      const SuffStats stats = SuffStats::compute(xs, kFloor);
+
+      const Exponential exp_span = Exponential::fit_mle(xs);
+      const Exponential exp_stats = Exponential::fit_mle(stats);
+      expect_close(exp_stats.rate(), exp_span.rate(), 1e-12, "exp rate", n);
+
+      const GammaDist gamma_span = GammaDist::fit_mle(xs, kFloor);
+      const GammaDist gamma_stats = GammaDist::fit_mle(stats);
+      expect_close(gamma_stats.shape(), gamma_span.shape(), 1e-9,
+                   "gamma shape", n);
+      expect_close(gamma_stats.scale(), gamma_span.scale(), 1e-9,
+                   "gamma scale", n);
+
+      const LogNormal ln_span = LogNormal::fit_mle(xs, kFloor);
+      const LogNormal ln_stats = LogNormal::fit_mle(stats);
+      expect_close(ln_stats.mu(), ln_span.mu(), 1e-12, "lognormal mu", n);
+      expect_close(ln_stats.sigma(), ln_span.sigma(), 1e-9,
+                   "lognormal sigma", n);
+
+      const Weibull wb_span = Weibull::fit_mle(xs, kFloor);
+      const Weibull wb_stats = Weibull::fit_mle(xs, stats);
+      expect_close(wb_stats.shape(), wb_span.shape(), 1e-8,
+                   "weibull shape", n);
+      expect_close(wb_stats.scale(), wb_span.scale(), 1e-8,
+                   "weibull scale", n);
+    }
+  }
+}
+
+TEST(SuffStatsOracle, WarmStartHintBracketsTheTrueShape) {
+  // The hint (pi/sqrt(6)) / stddev(log x) must land within the solver's
+  // initial bracket [hint/1.5, hint*1.5] of the converged MLE for
+  // realistic interarrival shapes, or the warm start degenerates into
+  // bracket expansion and the batched path loses its advantage.
+  for (const double shape : {0.6, 0.75, 1.0, 1.4}) {
+    const auto xs = weibull_sample(20000, shape, 7);
+    const SuffStats stats = SuffStats::compute(xs, 1.0);
+    const double hint = Weibull::shape_hint_from(stats);
+    const double fitted = Weibull::fit_mle(xs, stats).shape();
+    ASSERT_GT(hint, 0.0);
+    EXPECT_LT(fitted / hint, 1.5) << "shape " << shape;
+    EXPECT_GT(fitted / hint, 1.0 / 1.5) << "shape " << shape;
+  }
+}
+
+}  // namespace

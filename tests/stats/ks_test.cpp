@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
 #include <vector>
 
 #include "common/error.hpp"
@@ -68,6 +70,62 @@ TEST(KsPvalue, BoundsAndMonotonicity) {
 TEST(KsPvalue, RejectsBadArguments) {
   EXPECT_THROW(ks_pvalue(0.1, 0), InvalidArgument);
   EXPECT_THROW(ks_pvalue(-0.1, 10), InvalidArgument);
+}
+
+// ks_statistic_sorted prunes whole brackets of order statistics whose
+// monotonicity bounds cannot beat the best deviation seen, but every
+// point that could attain the max is still evaluated with the exact same
+// arithmetic — so the result must equal the brute-force full scan bit
+// for bit, for any monotone CDF.
+double brute_force_sorted_ks(const std::vector<double>& sorted,
+                             const std::function<double(double)>& cdf) {
+  const auto n = static_cast<double>(sorted.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    const double fx = cdf(sorted[i]);
+    const double above = static_cast<double>(i + 1) / n - fx;
+    const double below = fx - static_cast<double>(i) / n;
+    d = std::max({d, above, below});
+  }
+  return d;
+}
+
+TEST(KsStatisticSorted, BitIdenticalToBruteForceScan) {
+  hpcfail::Rng rng(97);
+  for (const std::size_t n : {1u, 2u, 3u, 100u, 4097u}) {
+    std::vector<double> xs;
+    xs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform() * 10.0);
+    std::sort(xs.begin(), xs.end());
+
+    const std::vector<std::function<double(double)>> cdfs = {
+        // Good fit, bad fit, and a degenerate step: the pruning bounds
+        // must hold for any monotone model.
+        [](double x) { return x / 10.0; },
+        [](double x) { return x * x / 100.0; },
+        [](double x) { return x < 5.0 ? 0.0 : 1.0; },
+    };
+    for (const auto& cdf : cdfs) {
+      const double expected = brute_force_sorted_ks(xs, cdf);
+      const double actual =
+          ks_statistic_sorted(xs.size(), [&](std::size_t i) {
+            return cdf(xs[i]);
+          });
+      EXPECT_EQ(actual, expected) << "n=" << n;
+    }
+  }
+}
+
+TEST(KsStatisticSorted, AgreesWithUnsortedEntryPoint) {
+  hpcfail::Rng rng(98);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.uniform() * 3.0);
+  const auto cdf = [](double x) { return 1.0 - std::exp(-x); };
+  const double via_function = ks_statistic(xs, cdf);
+  std::sort(xs.begin(), xs.end());
+  const double via_sorted = ks_statistic_sorted(
+      xs.size(), [&](std::size_t i) { return cdf(xs[i]); });
+  EXPECT_EQ(via_sorted, via_function);
 }
 
 }  // namespace

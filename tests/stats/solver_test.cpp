@@ -93,5 +93,56 @@ TEST(ExpandBracket, ThrowsWhenNoRootExists) {
   EXPECT_THROW(expand_bracket(f, lo, hi), NumericError);
 }
 
+TEST(ExpandBracket, EndpointOverloadReturnsTheEvaluatedValues) {
+  const auto f = [](double x) { return std::log(x); };
+  double lo = 0.25;
+  double hi = 0.5;
+  double f_lo = 0.0;
+  double f_hi = 0.0;
+  expand_bracket(f, lo, hi, f_lo, f_hi, /*positive_only=*/true);
+  EXPECT_EQ(f_lo, f(lo));
+  EXPECT_EQ(f_hi, f(hi));
+  EXPECT_LE(f_lo * f_hi, 0.0);
+}
+
+TEST(NewtonBracketedFdf, BitIdenticalToSeparateValueAndSlope) {
+  // The fused form exists so the Weibull profile score costs one data
+  // pass per iteration instead of two; its contract is that the iterate
+  // sequence — and therefore the root, bit for bit — matches
+  // newton_bracketed with separate f/df callables.
+  const auto cases = {
+      std::pair<double, double>{0.5, 3.0},    // root at sqrt(2)
+      std::pair<double, double>{1e-3, 10.0},  // wide bracket
+  };
+  for (const auto& [lo, hi] : cases) {
+    const auto f = [](double x) { return x * x - 2.0; };
+    const auto df = [](double x) { return 2.0 * x; };
+    const double classic = newton_bracketed(f, df, lo, hi);
+    const double fused = newton_bracketed_fdf(
+        [](double x, double& slope) {
+          slope = 2.0 * x;
+          return x * x - 2.0;
+        },
+        lo, hi, f(lo), f(hi));
+    EXPECT_EQ(fused, classic);
+  }
+
+  // A transcendental objective where Newton occasionally overshoots and
+  // the safeguard bisects: the fallback decisions must match too.
+  const auto g = [](double x) { return std::tanh(4.0 * (x - 1.3)); };
+  const auto dg = [](double x) {
+    const double t = std::tanh(4.0 * (x - 1.3));
+    return 4.0 * (1.0 - t * t);
+  };
+  const double classic = newton_bracketed(g, dg, 0.01, 20.0);
+  const double fused = newton_bracketed_fdf(
+      [&](double x, double& slope) {
+        slope = dg(x);
+        return g(x);
+      },
+      0.01, 20.0, g(0.01), g(20.0));
+  EXPECT_EQ(fused, classic);
+}
+
 }  // namespace
 }  // namespace hpcfail::stats

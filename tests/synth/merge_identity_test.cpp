@@ -1,0 +1,91 @@
+// generate() assembles the full trace by writing columns shard-by-shard
+// and merging them with a stable radix sort on packed (start, system,
+// node) keys. The reference semantics are simpler: concatenate every
+// system's AoS records and let the FailureDataset constructor comparison
+// sort them. These tests pin the two paths bit-identical — including tie
+// order among simultaneous failures — across seeds and thread counts, and
+// check the extraction surfaces agree on both.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "synth/generator.hpp"
+#include "synth/scenario.hpp"
+#include "trace/catalog.hpp"
+#include "trace/dataset.hpp"
+#include "trace/index.hpp"
+
+namespace {
+
+using hpcfail::synth::TraceGenerator;
+using hpcfail::trace::FailureDataset;
+using hpcfail::trace::FailureRecord;
+
+class MergeIdentityTest : public ::testing::Test {
+ protected:
+  ~MergeIdentityTest() override { hpcfail::set_parallelism(0); }
+};
+
+FailureDataset reference_dataset(const TraceGenerator& gen) {
+  std::vector<FailureRecord> all;
+  for (const auto& scen : gen.config().systems) {
+    const auto records = gen.generate_system(scen.system_id);
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  return FailureDataset(std::move(all));
+}
+
+void expect_columns_identical(const FailureDataset& merged,
+                              const FailureDataset& reference) {
+  ASSERT_EQ(merged.size(), reference.size());
+  const auto& a = merged.columns();
+  const auto& b = reference.columns();
+  EXPECT_EQ(a.system_id, b.system_id);
+  EXPECT_EQ(a.node_id, b.node_id);
+  EXPECT_EQ(a.start, b.start);
+  EXPECT_EQ(a.end, b.end);
+  EXPECT_EQ(a.workload, b.workload);
+  EXPECT_EQ(a.cause, b.cause);
+  EXPECT_EQ(a.detail, b.detail);
+}
+
+TEST_F(MergeIdentityTest, RadixMergeMatchesComparisonSortAcrossSeeds) {
+  for (const std::uint64_t seed : {42ull, 7ull, 2024ull}) {
+    const TraceGenerator gen(hpcfail::trace::SystemCatalog::lanl(),
+                             hpcfail::synth::lanl_scenario(seed));
+    expect_columns_identical(gen.generate(), reference_dataset(gen));
+  }
+}
+
+TEST_F(MergeIdentityTest, MergedPathIdenticalAt1And2And8Threads) {
+  const TraceGenerator gen(hpcfail::trace::SystemCatalog::lanl(),
+                           hpcfail::synth::lanl_scenario(42));
+  const FailureDataset reference = reference_dataset(gen);
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    hpcfail::set_parallelism(threads);
+    expect_columns_identical(gen.generate(), reference);
+  }
+}
+
+TEST_F(MergeIdentityTest, ExtractionAgreesOnBothPaths) {
+  const TraceGenerator gen(hpcfail::trace::SystemCatalog::lanl(),
+                           hpcfail::synth::lanl_scenario(7));
+  const FailureDataset merged = gen.generate();
+  const FailureDataset reference = reference_dataset(gen);
+
+  EXPECT_EQ(merged.repair_times_minutes(), reference.repair_times_minutes());
+  EXPECT_EQ(merged.system_ids(), reference.system_ids());
+  for (const int system : merged.system_ids()) {
+    const auto a = merged.view().for_system(system).node_interarrival_groups();
+    const auto b =
+        reference.view().for_system(system).node_interarrival_groups();
+    ASSERT_EQ(a.size(), b.size()) << "system " << system;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].node_id, b[i].node_id);
+      EXPECT_EQ(a[i].gaps_seconds, b[i].gaps_seconds);
+    }
+  }
+}
+
+}  // namespace

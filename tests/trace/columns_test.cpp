@@ -1,0 +1,186 @@
+// ColumnStore / ColumnsView unit tests: the SoA storage must be a
+// faithful row store (AoS round trips are identity), and
+// FailureDataset::from_columns must accept sorted columns as-is, sort
+// unsorted ones to the exact order the record constructor produces, and
+// reject inconsistent rows with the same diagnostics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <iterator>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "trace/columns.hpp"
+#include "trace/dataset.hpp"
+
+namespace {
+
+using hpcfail::Rng;
+using hpcfail::trace::ColumnStore;
+using hpcfail::trace::ColumnsView;
+using hpcfail::trace::DetailCause;
+using hpcfail::trace::FailureDataset;
+using hpcfail::trace::FailureRecord;
+using hpcfail::trace::RootCause;
+using hpcfail::trace::Workload;
+
+FailureRecord make_record(int system, int node, hpcfail::Seconds start,
+                          hpcfail::Seconds duration) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.workload = Workload::compute;
+  r.cause = RootCause::hardware;
+  r.detail = DetailCause::memory_dimm;
+  return r;
+}
+
+std::vector<FailureRecord> random_records(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<FailureRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(make_record(
+        1 + static_cast<int>(rng.uniform_index(4)),
+        static_cast<int>(rng.uniform_index(64)),
+        static_cast<hpcfail::Seconds>(rng.uniform_index(1'000'000)),
+        60 + static_cast<hpcfail::Seconds>(rng.uniform_index(86'400))));
+  }
+  return out;
+}
+
+TEST(ColumnStore, PushBackAndRowRoundTrip) {
+  ColumnStore cols;
+  const auto records = random_records(100, 11);
+  for (const FailureRecord& r : records) cols.push_back(r);
+  ASSERT_EQ(cols.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(cols.row(i), records[i]) << "row " << i;
+  }
+}
+
+TEST(ColumnStore, FromRecordsToRecordsIsIdentity) {
+  const auto records = random_records(257, 12);
+  const ColumnStore cols = ColumnStore::from_records(records);
+  EXPECT_EQ(cols.to_records(), records);
+  // Partial reconstitution slices the same rows.
+  const auto middle = cols.to_records(50, 20);
+  ASSERT_EQ(middle.size(), 20u);
+  for (std::size_t i = 0; i < middle.size(); ++i) {
+    EXPECT_EQ(middle[i], records[50 + i]);
+  }
+}
+
+TEST(ColumnStore, PushRowCopiesWithoutRoundTrip) {
+  const ColumnStore src =
+      ColumnStore::from_records(random_records(10, 13));
+  ColumnStore dst;
+  dst.push_row(src, 7);
+  dst.push_row(src, 2);
+  ASSERT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst.row(0), src.row(7));
+  EXPECT_EQ(dst.row(1), src.row(2));
+}
+
+TEST(ColumnStore, ResizeClearAndBytes) {
+  ColumnStore cols;
+  EXPECT_TRUE(cols.empty());
+  cols.resize(50);
+  EXPECT_EQ(cols.size(), 50u);
+  const std::size_t bytes_at_50 = cols.bytes();
+  // Seven columns: 2 ints + 2 Seconds + 3 one-byte categoricals.
+  EXPECT_GE(bytes_at_50, 50 * (2 * sizeof(int) +
+                               2 * sizeof(hpcfail::Seconds) + 3));
+  cols.clear();
+  EXPECT_TRUE(cols.empty());
+  cols.reserve(1000);
+  EXPECT_GE(cols.bytes(), bytes_at_50);  // capacity, not size
+}
+
+TEST(ColumnsView, SpansIteratorAndSubviewAgree) {
+  const auto records = random_records(64, 14);
+  const ColumnStore cols = ColumnStore::from_records(records);
+  const ColumnsView view(cols);
+  ASSERT_EQ(view.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(view[i], records[i]);
+    EXPECT_EQ(view.starts()[i], records[i].start);
+    EXPECT_EQ(view.ends()[i], records[i].end);
+    EXPECT_EQ(view.causes()[i], records[i].cause);
+  }
+  // Range-for assembles the same values the spans expose.
+  std::size_t i = 0;
+  for (const FailureRecord& r : view) {
+    EXPECT_EQ(r, records[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, records.size());
+
+  const ColumnsView sub = view.subview(10, 5);
+  ASSERT_EQ(sub.size(), 5u);
+  EXPECT_EQ(sub.front(), records[10]);
+  EXPECT_EQ(sub.back(), records[14]);
+  EXPECT_EQ(sub.starts().size(), 5u);
+  EXPECT_EQ(sub.starts()[0], records[10].start);
+
+  // The iterator is random-access (std::sort-compatible distance math).
+  static_assert(std::random_access_iterator<ColumnsView::iterator>);
+  EXPECT_EQ(view.end() - view.begin(),
+            static_cast<std::ptrdiff_t>(records.size()));
+}
+
+TEST(ColumnsView, EmptyViewYieldsEmptySpans) {
+  const ColumnsView view;
+  EXPECT_TRUE(view.empty());
+  EXPECT_TRUE(view.starts().empty());
+  EXPECT_TRUE(view.causes().empty());
+  EXPECT_EQ(view.begin(), view.end());
+}
+
+TEST(FromColumns, AdoptsSortedColumnsAsIs) {
+  auto records = random_records(500, 15);
+  std::sort(records.begin(), records.end(),
+            [](const FailureRecord& a, const FailureRecord& b) {
+              if (a.start != b.start) return a.start < b.start;
+              if (a.system_id != b.system_id) return a.system_id < b.system_id;
+              return a.node_id < b.node_id;
+            });
+  const FailureDataset ds =
+      FailureDataset::from_columns(ColumnStore::from_records(records));
+  ASSERT_EQ(ds.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(ds.records()[i], records[i]) << "row " << i;
+  }
+}
+
+TEST(FromColumns, SortsUnsortedColumnsLikeTheRecordConstructor) {
+  const auto records = random_records(500, 16);  // unsorted
+  const FailureDataset via_columns =
+      FailureDataset::from_columns(ColumnStore::from_records(records));
+  const FailureDataset via_records(
+      std::vector<FailureRecord>(records.begin(), records.end()));
+  ASSERT_EQ(via_columns.size(), via_records.size());
+  for (std::size_t i = 0; i < via_columns.size(); ++i) {
+    EXPECT_EQ(via_columns.records()[i], via_records.records()[i])
+        << "row " << i;
+  }
+}
+
+TEST(FromColumns, RejectsInconsistentRowsWithIndex) {
+  auto records = random_records(10, 17);
+  records[3].end = records[3].start - 1;  // end < start
+  EXPECT_THROW(
+      FailureDataset::from_columns(ColumnStore::from_records(records)),
+      hpcfail::InvalidArgument);
+
+  records = random_records(10, 18);
+  records[5].detail = DetailCause::undetermined;  // mismatches hardware
+  EXPECT_THROW(
+      FailureDataset::from_columns(ColumnStore::from_records(records)),
+      hpcfail::InvalidArgument);
+}
+
+}  // namespace

@@ -52,9 +52,10 @@ TEST(DatasetView, ForSystemIsZeroCopy) {
   const DatasetView sys1 = ds.view().for_system(1);
   ASSERT_EQ(sys1.size(), 4u);
   EXPECT_EQ(sys1.system(), std::optional<int>(1));
-  // The span points into index storage, not a fresh allocation: narrowing
-  // again to the same system is the same span.
-  EXPECT_EQ(sys1.for_system(1).records().data(), sys1.records().data());
+  // The view points into index storage, not a fresh allocation: narrowing
+  // again to the same system is the same column range.
+  EXPECT_EQ(sys1.for_system(1).records().starts().data(),
+            sys1.records().starts().data());
   // Narrowing to a different system yields the empty view.
   EXPECT_TRUE(sys1.for_system(2).empty());
   EXPECT_TRUE(ds.view().for_system(99).empty());
@@ -189,7 +190,8 @@ TEST(DatasetIndex, ViewsMatchBruteForceReferencesAtAnyThreadCount) {
   const FailureDataset ds = synth::generate_lanl_trace(42);
   // Brute-force references over the raw record span, computed once.
   const auto ref_sys = testkit::ref_for_system(ds.records(), 20);
-  const auto ref_node_gaps = testkit::ref_node_interarrivals(ds.records(), 20, 22);
+  const auto ref_node_gaps =
+      testkit::ref_node_interarrivals(ds.records(), 20, 22);
   const auto ref_sys_gaps = testkit::ref_system_interarrivals(ds.records(), 20);
   const auto ref_counts = testkit::ref_failures_per_node(ds.records(), 20);
   const auto ref_window = testkit::ref_between(

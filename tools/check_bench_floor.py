@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Gates the PR6 columnar-pipeline benchmark against regression floors.
+
+Usage: check_bench_floor.py BENCH_PR6.json
+           [--min-generation-records-per-sec N --generation-profile P]
+           [--min-fitting-speedup-vs-seed X --fitting-row per_node|pooled]
+
+Reads the JSON written by `bench_perf_dataset --pr6` and fails (exit 1)
+when a gated number falls below its floor. The generation gate applies to
+the wall-clock `records_per_sec` of the largest trace generated under the
+named profile — the 10M-record sweep row, NOT the paper-scale profile
+gauge, which is dominated by per-system planning cost. Floors are
+commanded from CI so they can be sized to the runner class; keep them
+well below locally measured bests, since single-shot CI runs see 1.5x
+scheduling noise. Stdlib only.
+"""
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"bench floor violation: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("path")
+    parser.add_argument("--min-generation-records-per-sec", type=float)
+    parser.add_argument("--generation-profile", default="stress")
+    parser.add_argument("--min-fitting-speedup-vs-seed", type=float)
+    parser.add_argument("--fitting-row", default="pooled",
+                        choices=["per_node", "pooled"])
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"cannot parse {args.path}: {e}")
+
+    if doc.get("benchmark") != "pr6_columnar_pipeline":
+        fail(f"unexpected benchmark {doc.get('benchmark')!r}")
+
+    if args.min_generation_records_per_sec is not None:
+        rows = [g for g in doc.get("generation", [])
+                if g.get("profile") == args.generation_profile]
+        if not rows:
+            fail(f"no generation row with profile "
+                 f"'{args.generation_profile}'")
+        sweep = max(rows, key=lambda g: g.get("records", 0))
+        rate = sweep.get("records_per_sec", 0.0)
+        floor = args.min_generation_records_per_sec
+        if rate < floor:
+            fail(f"generation ({args.generation_profile}, "
+                 f"{sweep.get('records')} records): "
+                 f"{rate:,.0f} records/sec < floor {floor:,.0f}")
+        print(f"generation {args.generation_profile} sweep: {rate:,.0f} "
+              f"records/sec >= floor {floor:,.0f} "
+              f"({sweep.get('records')} records)")
+
+    if args.min_fitting_speedup_vs_seed is not None:
+        row = doc.get("fitting", {}).get(args.fitting_row)
+        if not isinstance(row, dict):
+            fail(f"no fitting row '{args.fitting_row}'")
+        speedup = row.get("speedup_vs_seed", 0.0)
+        floor = args.min_fitting_speedup_vs_seed
+        if speedup < floor:
+            fail(f"fitting ({args.fitting_row}): speedup vs seed "
+                 f"{speedup:.2f}x < floor {floor:.2f}x")
+        print(f"fitting {args.fitting_row}: {speedup:.2f}x vs seed >= "
+              f"floor {floor:.2f}x ({row.get('points')} points)")
+
+    print(f"{args.path}: all commanded floors hold")
+
+
+if __name__ == "__main__":
+    main()

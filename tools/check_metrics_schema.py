@@ -2,12 +2,17 @@
 """Validates an hpcfail metrics JSON dump against schema version 1.
 
 Usage: check_metrics_schema.py FILE [--require-stage STAGE ...]
+           [--require-gauge NAME ...] [--require-counter NAME ...]
 
 Checks the layout emitted by obs::to_json (schema "hpcfail.metrics",
 schema_version 1): top-level keys and types, per-entry shapes, histogram
 bucket ordering, and optionally that stage gauges exist for the named
-pipeline stages. Exits non-zero with a message on the first violation.
-Stdlib only, so CI can run it anywhere python3 exists.
+pipeline stages. --require-gauge / --require-counter assert that a
+specific metric was recorded at all (e.g. the "dataset.bytes" storage
+gauge or the "fit.suffstat_reuse" counter), catching instrumentation
+points that silently fall out of the pipeline. Exits non-zero with a
+message on the first violation. Stdlib only, so CI can run it anywhere
+python3 exists.
 """
 import json
 import sys
@@ -88,10 +93,18 @@ def main():
         fail("usage: check_metrics_schema.py FILE [--require-stage STAGE ...]")
     path = args[0]
     required_stages = []
+    required_gauges = []
+    required_counters = []
     i = 1
     while i < len(args):
         if args[i] == "--require-stage" and i + 1 < len(args):
             required_stages.append(args[i + 1])
+            i += 2
+        elif args[i] == "--require-gauge" and i + 1 < len(args):
+            required_gauges.append(args[i + 1])
+            i += 2
+        elif args[i] == "--require-counter" and i + 1 < len(args):
+            required_counters.append(args[i + 1])
             i += 2
         else:
             fail(f"unknown argument '{args[i]}'")
@@ -125,6 +138,13 @@ def main():
         wanted = f"stage.{stage}.wall_seconds"
         if wanted not in gauge_names:
             fail(f"required stage gauge '{wanted}' not present")
+    for gauge in required_gauges:
+        if gauge not in gauge_names:
+            fail(f"required gauge '{gauge}' not present")
+    counter_names = {c["name"] for c in doc["counters"]}
+    for counter in required_counters:
+        if counter not in counter_names:
+            fail(f"required counter '{counter}' not present")
 
     print(f"{path}: schema v{doc['schema_version']} OK "
           f"({len(doc['counters'])} counters, {len(doc['gauges'])} gauges, "

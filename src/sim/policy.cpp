@@ -1,0 +1,40 @@
+#include "sim/policy.hpp"
+
+#include "common/error.hpp"
+#include "sim/checkpoint.hpp"
+
+namespace hpcfail::sim {
+
+CampaignPolicy no_protection_policy() {
+  return CampaignPolicy{"none", PlacementPolicy::random, 0.0};
+}
+
+CampaignPolicy periodic_checkpoint_policy(double interval_seconds) {
+  HPCFAIL_EXPECTS(interval_seconds > 0.0,
+                  "checkpoint interval must be positive");
+  return CampaignPolicy{"periodic", PlacementPolicy::random,
+                        interval_seconds};
+}
+
+CampaignPolicy daly_checkpoint_policy(double mtbf_seconds,
+                                      double checkpoint_cost) {
+  return CampaignPolicy{"daly", PlacementPolicy::random,
+                        daly_interval(mtbf_seconds, checkpoint_cost)};
+}
+
+CampaignPolicy reliability_ranked_policy(double checkpoint_interval) {
+  HPCFAIL_EXPECTS(checkpoint_interval >= 0.0,
+                  "checkpoint interval must be non-negative");
+  return CampaignPolicy{"ranked", PlacementPolicy::reliability_ranked,
+                        checkpoint_interval};
+}
+
+std::vector<CampaignPolicy> default_policy_set() {
+  CampaignPolicy hourly = periodic_checkpoint_policy(3600.0);
+  hourly.name = "hourly";
+  CampaignPolicy ranked = reliability_ranked_policy(3600.0);
+  ranked.name = "hourly-ranked";
+  return {no_protection_policy(), hourly, ranked};
+}
+
+}  // namespace hpcfail::sim

@@ -1,0 +1,52 @@
+// Resilience policies under test in fault-injection campaigns.
+//
+// A policy is the operator-controllable half of a campaign cell: where
+// gang-scheduled jobs are placed (the paper's Section 5.1 argument that
+// schedulers should exploit heterogeneous per-node failure rates) and how
+// often they checkpoint (the Young/Daly interval question the paper's
+// statistics exist to answer). Scenarios supply the faults; policies are
+// compared against each other on identical injected-fault schedules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+
+namespace hpcfail::sim {
+
+/// One policy under test. Names key the campaign report cells, so they
+/// must be unique within a CampaignSpec.
+struct CampaignPolicy {
+  std::string name;
+  PlacementPolicy placement = PlacementPolicy::random;
+  /// Useful-work seconds between application checkpoints; 0 = none (a
+  /// killed job restarts from scratch, the LANL default).
+  double checkpoint_interval = 0.0;
+
+  friend bool operator==(const CampaignPolicy&,
+                         const CampaignPolicy&) = default;
+};
+
+/// No checkpointing, uniform-random placement — the unprotected baseline.
+CampaignPolicy no_protection_policy();
+
+/// Periodic checkpointing at a fixed interval, random placement. Throws
+/// InvalidArgument unless the interval is positive.
+CampaignPolicy periodic_checkpoint_policy(double interval_seconds);
+
+/// Periodic checkpointing at Daly's near-optimal interval for the given
+/// MTBF and checkpoint cost (sim::daly_interval), random placement.
+CampaignPolicy daly_checkpoint_policy(double mtbf_seconds,
+                                      double checkpoint_cost);
+
+/// Reliability-ranked placement (prefer the nodes with the fewest
+/// scheduled faults — an operator who knows the per-node rates of
+/// Fig 3a) with optional periodic checkpointing (0 = none).
+CampaignPolicy reliability_ranked_policy(double checkpoint_interval = 0.0);
+
+/// The three-way comparison the campaign CLI runs by default: no
+/// protection, hourly checkpoints, hourly checkpoints + ranked placement.
+std::vector<CampaignPolicy> default_policy_set();
+
+}  // namespace hpcfail::sim

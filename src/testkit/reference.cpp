@@ -58,4 +58,25 @@ std::map<int, std::size_t> ref_failures_per_node(
   return counts;
 }
 
+CampaignAggregate ref_campaign_aggregate(
+    std::span<const sim::CampaignRunResult> runs) {
+  CampaignAggregate agg;
+  agg.runs = runs.size();
+  if (runs.empty()) return agg;
+  double makespan = 0.0;
+  double waste = 0.0;
+  double interruptions = 0.0;
+  for (const sim::CampaignRunResult& r : runs) {
+    agg.faults_injected += r.faults_injected;
+    makespan += r.makespan;
+    waste += r.waste_fraction();
+    interruptions += static_cast<double>(r.interruptions);
+  }
+  const auto n = static_cast<double>(runs.size());
+  agg.mean_makespan = makespan / n;
+  agg.mean_waste_fraction = waste / n;
+  agg.mean_interruptions = interruptions / n;
+  return agg;
+}
+
 }  // namespace hpcfail::testkit

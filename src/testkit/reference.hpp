@@ -8,10 +8,13 @@
 // assert the optimized extractors match these bit-identically.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "common/time.hpp"
+#include "sim/campaign.hpp"
 #include "trace/columns.hpp"
 #include "trace/record.hpp"
 
@@ -37,5 +40,25 @@ std::vector<double> ref_system_interarrivals(
 /// Failure count per node of one system (zero-failure nodes absent).
 std::map<int, std::size_t> ref_failures_per_node(
     trace::ColumnsView records, int system_id);
+
+/// Naive aggregate of one campaign cell's runs: plain accumulation-loop
+/// means in replicate order. The campaign summary's bootstrap point
+/// estimates must match these bit-identically (the bootstrap evaluates
+/// its statistic on the original sample), so a summary bug cannot hide
+/// in a shared implementation.
+struct CampaignAggregate {
+  std::size_t runs = 0;
+  std::uint64_t faults_injected = 0;
+  double mean_makespan = 0.0;
+  double mean_waste_fraction = 0.0;
+  double mean_interruptions = 0.0;
+
+  friend bool operator==(const CampaignAggregate&,
+                         const CampaignAggregate&) = default;
+};
+
+/// Aggregates `runs` (one cell, replicate order) with textbook loops.
+CampaignAggregate ref_campaign_aggregate(
+    std::span<const sim::CampaignRunResult> runs);
 
 }  // namespace hpcfail::testkit

@@ -70,8 +70,8 @@ struct ContractRow {
 
 const std::vector<std::string>& all_subcommands() {
   static const std::vector<std::string> kNames = {
-      "generate", "catalog", "validate",     "fit",
-      "repair",   "report",  "availability", "profile"};
+      "generate", "catalog",      "validate", "fit",     "repair",
+      "report",   "availability", "profile",  "campaign"};
   return kNames;
 }
 

@@ -1,0 +1,71 @@
+// Campaign determinism contract: results are bit-identical at any thread
+// count (each run is a pure function of (spec, cell, replicate) on its
+// own forked RNG stream), across checkpoint-resume at any thread count,
+// and with observability on or off.
+#include <cstddef>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
+#include "sim/campaign.hpp"
+#include "sim/policy.hpp"
+#include "sim/scenario.hpp"
+#include "testkit/calibration.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+/// A small grid that still exercises every engine path: scripted cascade
+/// kills, renewal sampling, and crew-limited repair queueing, against
+/// all three default policies (including the RNG-consuming random
+/// placement and the ranked placement).
+sim::CampaignSpec mixed_spec() {
+  sim::CampaignSpec spec;
+  spec.scenarios = {
+      sim::staggered_cascade_scenario(16, 0.25, 1000.0, 200.0, 3600.0),
+      sim::weibull_renewal_scenario(10, 86400.0, 4.0 * 86400.0),
+      sim::repair_contention_scenario(8, 1),
+  };
+  spec.policies = sim::default_policy_set();
+  spec.runs_per_cell = 3;
+  return spec;
+}
+
+TEST(CampaignDeterminism, BitIdenticalAcrossThreadCounts) {
+  const sim::Campaign campaign(mixed_spec());
+  EXPECT_TRUE(testkit::identical_across_threads(
+      [&campaign] { return campaign.run().runs; }));
+}
+
+TEST(CampaignDeterminism, SchedulesAreIdenticalAcrossThreadCounts) {
+  const sim::Campaign campaign(mixed_spec());
+  EXPECT_TRUE(testkit::identical_across_threads(
+      [&campaign] { return campaign.schedule_for(4, 1); }));
+}
+
+TEST(CampaignDeterminism, ResumeIsBitIdenticalAtEveryThreadCount) {
+  const sim::Campaign campaign(mixed_spec());
+  set_parallelism(1);
+  const std::vector<sim::CampaignRunResult> reference = campaign.run().runs;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    set_parallelism(threads);
+    const sim::CampaignCheckpoint partial = campaign.run_partial(10);
+    const sim::CampaignResult resumed = campaign.run(&partial);
+    EXPECT_EQ(resumed.runs, reference) << "at " << threads << " threads";
+  }
+  set_parallelism(0);
+}
+
+TEST(CampaignDeterminism, ObservabilityDoesNotPerturbResults) {
+  const sim::Campaign campaign(mixed_spec());
+  const std::vector<sim::CampaignRunResult> with_obs = campaign.run().runs;
+  obs::disable();
+  const std::vector<sim::CampaignRunResult> without_obs = campaign.run().runs;
+  obs::enable();
+  EXPECT_EQ(with_obs, without_obs);
+}
+
+}  // namespace

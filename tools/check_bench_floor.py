@@ -1,18 +1,23 @@
 #!/usr/bin/env python3
-"""Gates the PR6 columnar-pipeline benchmark against regression floors.
+"""Gates committed benchmark artifacts against regression floors.
 
 Usage: check_bench_floor.py BENCH_PR6.json
            [--min-generation-records-per-sec N --generation-profile P]
            [--min-fitting-speedup-vs-seed X --fitting-row per_node|pooled]
+       check_bench_floor.py BENCH_PR7.json
+           [--min-campaign-faults-per-sec N]
 
-Reads the JSON written by `bench_perf_dataset --pr6` and fails (exit 1)
-when a gated number falls below its floor. The generation gate applies to
-the wall-clock `records_per_sec` of the largest trace generated under the
-named profile — the 10M-record sweep row, NOT the paper-scale profile
-gauge, which is dominated by per-system planning cost. Floors are
-commanded from CI so they can be sized to the runner class; keep them
-well below locally measured bests, since single-shot CI runs see 1.5x
-scheduling noise. Stdlib only.
+Dispatches on the JSON's "benchmark" field: "pr6_columnar_pipeline"
+(written by `bench_perf_dataset --pr6`) or "pr7_campaign" (written by
+`bench_perf_campaign`), and fails (exit 1) when a gated number falls
+below its floor. The generation gate applies to the wall-clock
+`records_per_sec` of the largest trace generated under the named
+profile — the 10M-record sweep row, NOT the paper-scale profile gauge,
+which is dominated by per-system planning cost. The campaign gate
+applies to single-core injected-faults/sec, which is runner-count
+independent. Floors are commanded from CI so they can be sized to the
+runner class; keep them well below locally measured bests, since
+single-shot CI runs see 1.5x scheduling noise. Stdlib only.
 """
 import argparse
 import json
@@ -32,6 +37,7 @@ def main():
     parser.add_argument("--min-fitting-speedup-vs-seed", type=float)
     parser.add_argument("--fitting-row", default="pooled",
                         choices=["per_node", "pooled"])
+    parser.add_argument("--min-campaign-faults-per-sec", type=float)
     args = parser.parse_args()
 
     try:
@@ -40,8 +46,21 @@ def main():
     except (OSError, json.JSONDecodeError) as e:
         fail(f"cannot parse {args.path}: {e}")
 
-    if doc.get("benchmark") != "pr6_columnar_pipeline":
-        fail(f"unexpected benchmark {doc.get('benchmark')!r}")
+    benchmark = doc.get("benchmark")
+    if benchmark == "pr6_columnar_pipeline":
+        check_pr6(doc, args)
+    elif benchmark == "pr7_campaign":
+        check_pr7(doc, args)
+    else:
+        fail(f"unexpected benchmark {benchmark!r}")
+
+    print(f"{args.path}: all commanded floors hold")
+
+
+def check_pr6(doc, args):
+    if args.min_campaign_faults_per_sec is not None:
+        fail("--min-campaign-faults-per-sec does not apply to "
+             "pr6_columnar_pipeline")
 
     if args.min_generation_records_per_sec is not None:
         rows = [g for g in doc.get("generation", [])
@@ -72,7 +91,31 @@ def main():
         print(f"fitting {args.fitting_row}: {speedup:.2f}x vs seed >= "
               f"floor {floor:.2f}x ({row.get('points')} points)")
 
-    print(f"{args.path}: all commanded floors hold")
+
+def check_pr7(doc, args):
+    for flag, value in (
+            ("--min-generation-records-per-sec",
+             args.min_generation_records_per_sec),
+            ("--min-fitting-speedup-vs-seed",
+             args.min_fitting_speedup_vs_seed)):
+        if value is not None:
+            fail(f"{flag} does not apply to pr7_campaign")
+
+    if not doc.get("deterministic", False):
+        fail("campaign benchmark reported a determinism mismatch")
+
+    if args.min_campaign_faults_per_sec is not None:
+        cell = doc.get("single_core")
+        if not isinstance(cell, dict):
+            fail("no single_core measurement")
+        rate = cell.get("faults_per_sec", 0.0)
+        floor = args.min_campaign_faults_per_sec
+        if rate < floor:
+            fail(f"campaign single-core: {rate:,.0f} faults/sec "
+                 f"< floor {floor:,.0f}")
+        print(f"campaign single-core: {rate:,.0f} faults/sec >= "
+              f"floor {floor:,.0f} ({cell.get('faults')} faults over "
+              f"{cell.get('runs')} runs)")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,7 @@
 // "error:" for everything else.
 #include <charconv>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <optional>
@@ -40,7 +41,7 @@ using namespace hpcfail;
 // ---------------------------------------------------------------------------
 // Declarative option table
 
-enum class ArgType { string, integer, uint64, timestamp };
+enum class ArgType { string, integer, uint64, timestamp, flag };
 
 const char* type_label(ArgType type) {
   switch (type) {
@@ -48,6 +49,7 @@ const char* type_label(ArgType type) {
     case ArgType::integer: return "N";
     case ArgType::uint64: return "N";
     case ArgType::timestamp: return "YYYY-MM-DD";
+    case ArgType::flag: return "";
   }
   return "?";
 }
@@ -167,7 +169,8 @@ const Subcommand* find_subcommand(const std::string& name) {
 
 void print_specs(std::ostream& out, const std::vector<ArgSpec>& specs) {
   for (const ArgSpec& s : specs) {
-    std::string left = "  --" + s.name + " " + type_label(s.type);
+    std::string left = "  --" + s.name;
+    if (s.type != ArgType::flag) left += std::string(" ") + type_label(s.type);
     if (left.size() < 26) left.resize(26, ' ');
     out << left << s.help;
     if (!s.default_value.empty()) out << " [default: " << s.default_value
@@ -232,6 +235,10 @@ std::optional<Args> parse_args(const Subcommand& sc, int argc, char** argv,
       throw ParseError("unknown option --" + arg + " for subcommand '" +
                        sc.name + "' (see 'hpcfail " + sc.name +
                        " --help')");
+    }
+    if (spec->type == ArgType::flag) {
+      args.set(arg, "1");
+      continue;
     }
     if (i + 1 >= argc) {
       throw ParseError("option --" + arg + " needs a value");
@@ -535,6 +542,136 @@ int cmd_profile(const Args& args) {
   return 0;
 }
 
+int cmd_campaign(const Args& args) {
+  sim::CampaignSpec spec;
+  std::vector<sim::CampaignScenario> library = sim::default_scenarios();
+  if (args.given("trace")) {
+    const trace::FailureDataset ds =
+        trace::read_csv_file(args.get_string("trace"));
+    library.push_back(
+        sim::replay_scenario(ds, args.get_int("replay-system")));
+  }
+  const std::string scenario = args.get_string("scenario");
+  if (scenario == "all") {
+    spec.scenarios = std::move(library);
+  } else {
+    std::string known;
+    for (const sim::CampaignScenario& s : library) {
+      if (s.name == scenario) spec.scenarios.push_back(s);
+      known += " | " + s.name;
+    }
+    if (spec.scenarios.empty()) {
+      throw ValidationError("unknown scenario '" + scenario +
+                            "' (expected: all" + known + ")");
+    }
+  }
+  const std::string policy = args.get_string("policy");
+  for (const sim::CampaignPolicy& p : sim::default_policy_set()) {
+    if (policy == "all" || p.name == policy) spec.policies.push_back(p);
+  }
+  if (spec.policies.empty()) {
+    throw ValidationError("unknown policy '" + policy +
+                          "' (expected: all | none | hourly | hourly-ranked)");
+  }
+  spec.runs_per_cell = args.get_u64("runs");
+  spec.seed = args.get_u64("seed");
+  const sim::Campaign campaign(std::move(spec));
+
+  if (args.given("dry-run")) {
+    std::cout << "campaign: " << campaign.spec().scenarios.size()
+              << " scenario(s) x " << campaign.spec().policies.size()
+              << " policy(ies) x " << campaign.spec().runs_per_cell
+              << " replicate(s) = " << campaign.total_runs()
+              << " runs, fingerprint " << campaign.fingerprint() << "\n";
+    report::TextTable table(
+        {"cell", "scenario", "policy", "nodes", "faults/run"});
+    for (std::size_t cell = 0; cell < campaign.cell_count(); ++cell) {
+      const auto schedule = campaign.schedule_for(cell, 0);
+      table.add_row(
+          {std::to_string(cell), campaign.scenario_of_cell(cell).name,
+           campaign.policy_of_cell(cell).name,
+           std::to_string(campaign.scenario_of_cell(cell).node_count),
+           std::to_string(schedule.size())});
+    }
+    table.render(std::cout);
+    return 0;
+  }
+
+  sim::CampaignCheckpoint resume;
+  const sim::CampaignCheckpoint* resume_ptr = nullptr;
+  std::string checkpoint_path;
+  if (args.given("checkpoint")) {
+    checkpoint_path = args.get_string("checkpoint");
+    if (std::ifstream(checkpoint_path).good()) {
+      resume = sim::load_campaign_checkpoint(checkpoint_path);
+      resume_ptr = &resume;
+      std::cout << "resuming from " << checkpoint_path << " ("
+                << resume.completed.size() << "/" << resume.total_runs
+                << " runs done)\n";
+    }
+  }
+
+  sim::CampaignResult result;
+  if (args.given("limit-runs")) {
+    const sim::CampaignCheckpoint advanced =
+        campaign.run_partial(args.get_u64("limit-runs"), resume_ptr);
+    if (!checkpoint_path.empty()) {
+      sim::save_campaign_checkpoint(checkpoint_path, advanced);
+    }
+    if (!advanced.complete()) {
+      std::cout << "campaign paused: " << advanced.completed.size() << "/"
+                << advanced.total_runs << " runs done\n";
+      return 0;
+    }
+    result = campaign.summarize(advanced);
+  } else {
+    result = campaign.run(resume_ptr);
+    if (!checkpoint_path.empty()) {
+      sim::CampaignCheckpoint finished;
+      finished.fingerprint = campaign.fingerprint();
+      finished.total_runs = campaign.total_runs();
+      finished.completed = result.runs;
+      sim::save_campaign_checkpoint(checkpoint_path, finished);
+    }
+  }
+
+  const auto render_report = [&result](std::ostream& out) {
+    report::TextTable table({"scenario", "policy", "runs", "faults",
+                             "makespan (h)", "95% CI", "waste %",
+                             "interrupts"});
+    for (const sim::CampaignCellSummary& c : result.cells) {
+      table.add_row(
+          {c.scenario, c.policy, std::to_string(c.runs),
+           std::to_string(c.faults_injected),
+           format_double(c.makespan.point / 3600.0, 4),
+           format_double(c.makespan.lo / 3600.0, 4) + ".." +
+               format_double(c.makespan.hi / 3600.0, 4),
+           format_double(c.waste_fraction.point * 100.0, 3),
+           format_double(c.interruptions.point, 3)});
+    }
+    table.render(out);
+    out << "total faults injected: " << result.total_faults_injected()
+        << " across " << result.runs.size() << " runs\n";
+  };
+  render_report(std::cout);
+  if (args.given("report-out")) {
+    std::ofstream out(args.get_string("report-out"));
+    if (!out) {
+      throw IoError("cannot open report file: " +
+                    args.get_string("report-out"));
+    }
+    render_report(out);
+    out.flush();
+    if (!out) {
+      throw IoError("failed writing report file: " +
+                    args.get_string("report-out"));
+    }
+    std::cerr << "campaign report written to "
+              << args.get_string("report-out") << "\n";
+  }
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // The subcommand table
 
@@ -603,6 +740,31 @@ const std::vector<Subcommand>& subcommands() {
             "system id for the interarrival stages"},
        },
        &cmd_profile},
+      {"campaign", "run a fault-injection campaign over the simulator",
+       {
+           {"scenario", ArgType::string, "all", false,
+            "scenario: cascade | bursts | contention | renewal | all"},
+           {"policy", ArgType::string, "all", false,
+            "policy: none | hourly | hourly-ranked | all"},
+           {"runs", ArgType::uint64, "8", false,
+            "replicates per (scenario, policy) cell"},
+           {"seed", ArgType::uint64, "42", false,
+            "campaign seed (results are bit-identical at any --threads)"},
+           {"trace", ArgType::string, "", false,
+            "trace CSV: adds a replay scenario of --replay-system"},
+           {"replay-system", ArgType::integer, "20", false,
+            "system id to replay when --trace is given"},
+           {"checkpoint", ArgType::string, "", false,
+            "checkpoint FILE: resume from it when present, save after"},
+           {"limit-runs", ArgType::uint64, "", false,
+            "execute at most N outstanding runs, checkpoint, and stop"},
+           {"report-out", ArgType::string, "", false,
+            "also write the campaign report to FILE"},
+           {"dry-run", ArgType::flag, "", false,
+            "validate the spec and print per-cell schedules without "
+            "simulating"},
+       },
+       &cmd_campaign},
   };
   return kTable;
 }

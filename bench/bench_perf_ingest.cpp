@@ -1,0 +1,181 @@
+// Streaming-ingest throughput (writes BENCH_PR8.json; gated in CI by
+// tools/check_bench_floor.py --min-ingest-events-per-sec).
+//
+// Measures the daemon's whole per-event hot path on one core, sockets
+// excluded (they are kernel cost, not ours): line-protocol text in 64KB
+// chunks -> LineSource framing/parsing -> LiveDataset::append (tail
+// columns + live posting lists + amortized epoch seals) ->
+// LiveAnalytics::observe (sliding repair/gap cells). That is exactly the
+// work `hpcfail serve` does between recv() and the next poll round.
+//
+// Also cross-checks correctness at scale: after a final seal, the
+// incrementally-maintained dataset must be column-for-column identical
+// to a from-scratch FailureDataset over the same records ("identical" in
+// the JSON; the floor checker fails the build when false), and reports
+// the windowed-report latency on the fully loaded analytics.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "common/time.hpp"
+#include "serve/analytics.hpp"
+#include "trace/dataset.hpp"
+#include "trace/ingest.hpp"
+#include "trace/source.hpp"
+
+namespace {
+
+using namespace hpcfail;
+
+constexpr std::size_t kEvents = 1'000'000;
+constexpr int kSystems = 8;
+constexpr int kNodesPerSystem = 128;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+
+std::vector<trace::FailureRecord> stream_records() {
+  // A live feed: strictly increasing start times (so the from-scratch
+  // sort order is unique and the identity check is exact), rotating over
+  // systems and nodes.
+  Rng rng(777);
+  std::vector<trace::FailureRecord> out;
+  out.reserve(kEvents);
+  Seconds at = to_epoch(1998, 1, 1);
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    at += 1 + static_cast<Seconds>(rng.uniform_index(30));
+    trace::FailureRecord r;
+    r.system_id = 1 + static_cast<int>(rng.uniform_index(kSystems));
+    r.node_id = static_cast<int>(rng.uniform_index(kNodesPerSystem));
+    r.start = at;
+    r.end = at + 60 + static_cast<Seconds>(rng.uniform_index(7200));
+    r.workload = trace::Workload::compute;
+    r.cause = trace::RootCause::hardware;
+    r.detail = trace::DetailCause::memory_dimm;
+    out.push_back(r);
+  }
+  return out;
+}
+
+std::string render_line_protocol(
+    const std::vector<trace::FailureRecord>& records) {
+  std::string text;
+  text.reserve(records.size() * 80);
+  for (const trace::FailureRecord& r : records) {
+    text += std::to_string(r.system_id);
+    text += ',';
+    text += std::to_string(r.node_id);
+    text += ',';
+    text += format_timestamp(r.start);
+    text += ',';
+    text += format_timestamp(r.end);
+    text += ",compute,hardware,memory_dimm\n";
+  }
+  return text;
+}
+
+bool bit_identical(const trace::FailureDataset& got,
+                   const trace::FailureDataset& want) {
+  if (got.size() != want.size()) return false;
+  const trace::ColumnsView g = got.records();
+  const trace::ColumnsView w = want.records();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (g.starts()[i] != w.starts()[i] || g.ends()[i] != w.ends()[i] ||
+        g.system_ids()[i] != w.system_ids()[i] ||
+        g.node_ids()[i] != w.node_ids()[i] ||
+        g.workloads()[i] != w.workloads()[i] ||
+        g.causes()[i] != w.causes()[i] ||
+        g.details()[i] != w.details()[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_parallelism(1);  // single-core: the gated number is thread-free
+
+  std::cerr << "generating " << kEvents << " events...\n";
+  const std::vector<trace::FailureRecord> records = stream_records();
+  const std::string text = render_line_protocol(records);
+
+  std::cerr << "ingesting " << (text.size() >> 20) << " MiB of line "
+            << "protocol on one core...\n";
+  trace::LineSource source;
+  trace::LiveDataset live;
+  serve::LiveAnalytics analytics;
+  trace::FailureRecord r;
+  const auto ingest_start = std::chrono::steady_clock::now();
+  for (std::size_t off = 0; off < text.size(); off += kChunkBytes) {
+    source.feed(std::string_view(text).substr(
+        off, std::min(kChunkBytes, text.size() - off)));
+    while (source.next(r) == trace::SourceStatus::event) {
+      live.append(r);
+      analytics.observe(r);
+    }
+  }
+  const double ingest_seconds = seconds_since(ingest_start);
+  const std::uint64_t epochs_during_ingest = live.epoch();
+
+  const auto seal_start = std::chrono::steady_clock::now();
+  live.seal();
+  const double final_seal_seconds = seconds_since(seal_start);
+
+  const auto report_start = std::chrono::steady_clock::now();
+  const serve::WindowReport report =
+      analytics.report(1, 24 * 7 * kSecondsPerHour);
+  const double report_seconds = seconds_since(report_start);
+
+  std::cerr << "cross-checking against a from-scratch dataset...\n";
+  const trace::FailureDataset reference{
+      std::vector<trace::FailureRecord>(records)};
+  const bool identical = bit_identical(*live.snapshot(), reference);
+
+  const double rate =
+      static_cast<double>(source.counters().accepted) / ingest_seconds;
+  std::ostringstream json;
+  json << "{\n  \"benchmark\": \"pr8_ingest\",\n";
+  json << "  \"single_core\": {\n";
+  json << "    \"events\": " << source.counters().accepted << ",\n";
+  json << "    \"bytes\": " << text.size() << ",\n";
+  json << "    \"seconds\": " << ingest_seconds << ",\n";
+  json << "    \"events_per_sec\": " << rate << ",\n";
+  json << "    \"epochs\": " << epochs_during_ingest << ",\n";
+  json << "    \"final_seal_seconds\": " << final_seal_seconds << "\n";
+  json << "  },\n";
+  json << "  \"window_report\": {\n";
+  json << "    \"events_total\": " << report.events_total << ",\n";
+  json << "    \"repair_n\": " << report.repair_minutes.n << ",\n";
+  json << "    \"seconds\": " << report_seconds << "\n";
+  json << "  },\n";
+  json << "  \"identical\": " << (identical ? "true" : "false") << "\n";
+  json << "}\n";
+
+  if (argc > 1) {
+    std::ofstream out(argv[1]);
+    out << json.str();
+    std::cerr << "wrote " << argv[1] << "\n";
+  } else {
+    std::cout << json.str();
+  }
+  std::cerr << "single-core: " << static_cast<std::uint64_t>(rate)
+            << " events/sec over " << source.counters().accepted
+            << " events (" << epochs_during_ingest << " epochs), "
+            << (identical ? "identical" : "MISMATCH") << "\n";
+  return identical ? 0 : 1;
+}

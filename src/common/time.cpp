@@ -1,7 +1,9 @@
 #include "common/time.hpp"
 
 #include <array>
+#include <charconv>
 #include <cstdio>
+#include <string>
 
 #include "common/error.hpp"
 
@@ -120,26 +122,58 @@ std::string format_timestamp(Seconds t) {
   return buf;
 }
 
-Seconds parse_timestamp(const std::string& text) {
-  CivilDateTime c;
-  int n = 0;
-  const int fields =
-      std::sscanf(text.c_str(), "%d-%d-%d %d:%d:%d%n", &c.year, &c.month,
-                  &c.day, &c.hour, &c.minute, &c.second, &n);
-  if (fields == 3) {
-    // Date-only form: re-scan to find the consumed length.
-    c.hour = c.minute = c.second = 0;
-    std::sscanf(text.c_str(), "%d-%d-%d%n", &c.year, &c.month, &c.day, &n);
-  } else if (fields != 6) {
-    throw ParseError("unparseable timestamp: '" + text + "'");
+namespace {
+
+/// One "%d"-style field: optional leading whitespace, then an int.
+bool scan_int(std::string_view& s, int& out) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
   }
-  if (static_cast<std::size_t>(n) != text.size()) {
-    throw ParseError("trailing characters in timestamp: '" + text + "'");
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec != std::errc{}) return false;
+  s.remove_prefix(static_cast<std::size_t>(ptr - s.data()));
+  return true;
+}
+
+bool scan_char(std::string_view& s, char ch) {
+  if (s.empty() || s.front() != ch) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+}  // namespace
+
+// Hand-rolled with from_chars rather than sscanf: this runs twice per
+// event on the streaming-ingest hot path, where sscanf's format
+// interpretation and locale machinery dominated the parse cost.
+Seconds parse_timestamp(std::string_view text) {
+  CivilDateTime c;
+  std::string_view rest = text;
+  const auto unparseable = [&text] {
+    return ParseError("unparseable timestamp: '" + std::string(text) + "'");
+  };
+  if (!scan_int(rest, c.year) || !scan_char(rest, '-') ||
+      !scan_int(rest, c.month) || !scan_char(rest, '-') ||
+      !scan_int(rest, c.day)) {
+    throw unparseable();
+  }
+  if (!rest.empty() && (rest.front() == ' ' || rest.front() == '\t')) {
+    // Time-of-day part ("%d %d:%d:%d": whitespace then three fields).
+    if (!scan_int(rest, c.hour) || !scan_char(rest, ':') ||
+        !scan_int(rest, c.minute) || !scan_char(rest, ':') ||
+        !scan_int(rest, c.second)) {
+      throw unparseable();
+    }
+  }
+  if (!rest.empty()) {
+    throw ParseError("trailing characters in timestamp: '" +
+                     std::string(text) + "'");
   }
   try {
     return to_epoch(c);
   } catch (const InvalidArgument&) {
-    throw ParseError("timestamp field out of range: '" + text + "'");
+    throw ParseError("timestamp field out of range: '" + std::string(text) +
+                     "'");
   }
 }
 

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace hpcfail {
 
@@ -78,6 +79,6 @@ std::string format_timestamp(Seconds t);
 
 /// Parses "YYYY-MM-DD HH:MM:SS" or "YYYY-MM-DD". Throws ParseError on any
 /// malformed or out-of-range input.
-Seconds parse_timestamp(const std::string& text);
+Seconds parse_timestamp(std::string_view text);
 
 }  // namespace hpcfail

@@ -486,6 +486,94 @@ std::vector<FitReport> fit_report_many(
       });
 }
 
+std::span<const Family> streamable_families() noexcept {
+  static constexpr std::array<Family, 3> kFamilies = {
+      Family::exponential, Family::gamma, Family::lognormal};
+  return kFamilies;
+}
+
+FitReport fit_report_from_stats(const SuffStats& stats) {
+  FitReport report;
+  report.sample_size = stats.n;
+  report.floor_at = stats.floor_at;
+  const std::span<const Family> families = streamable_families();
+  if (stats.n == 0) {
+    for (const Family family : families) count_fit_failure(family);
+    report.failed_families = families.size();
+    throw FitError("no distribution family could be fitted");
+  }
+
+  const auto n = static_cast<double>(stats.n);
+  for (const Family family : families) {
+    try {
+      FitResult result;
+      result.family = family;
+      const std::uint64_t steps_before = hpcfail::stats::solver_steps();
+      double nll = 0.0;
+      switch (family) {
+        case Family::exponential: {
+          const Exponential model = Exponential::fit_mle(stats);
+          const double rate = model.rate();
+          nll = -(n * std::log(rate) - rate * stats.sum);
+          result.model = std::make_unique<Exponential>(model);
+          break;
+        }
+        case Family::gamma: {
+          const GammaDist model = GammaDist::fit_mle(stats);
+          const double k = model.shape();
+          const double scale = model.scale();
+          const double lg = hpcfail::stats::log_gamma_unchecked(k);
+          nll = -((k - 1.0) * stats.sum_log - stats.sum / scale - n * lg -
+                  n * k * std::log(scale));
+          result.model = std::make_unique<GammaDist>(model);
+          break;
+        }
+        case Family::lognormal: {
+          const LogNormal model = LogNormal::fit_mle(stats);
+          // Same closed form as the fused path; the z-score square sum is
+          // exactly n at the (one-pass) MLE sigma.
+          nll = 0.5 * n + stats.sum_log + n * std::log(model.sigma()) +
+                0.5 * n * std::log(2.0 * 3.14159265358979323846);
+          result.model = std::make_unique<LogNormal>(model);
+          break;
+        }
+        default:
+          throw InvalidArgument("family is not streamable");
+      }
+      result.iterations = hpcfail::stats::solver_steps() - steps_before;
+      result.nll = nll;
+      result.aic = 2.0 * parameter_count(family) + 2.0 * nll;
+      // KS needs the order statistics, which a moment accumulator does
+      // not retain; 0 marks "not computed" (ks_pvalue likewise).
+      result.ks = 0.0;
+      result.ks_pvalue = 0.0;
+      report.total_iterations += result.iterations;
+
+      if (hpcfail::obs::enabled()) {
+        hpcfail::obs::Registry& reg = hpcfail::obs::registry();
+        const std::string label = "{family=" + to_string(family) + "}";
+        reg.counter("dist.fit.total" + label).add(1);
+        reg.counter("dist.fit.solver_steps" + label).add(result.iterations);
+        reg.histogram("dist.fit.sample_size" + label).record(n);
+        reg.counter("fit.streaming_fits").add(1);
+      }
+      report.ranked.push_back(std::move(result));
+    } catch (const Error&) {
+      count_fit_failure(family);
+      ++report.failed_families;
+    }
+  }
+  if (report.ranked.empty()) {
+    throw FitError("no distribution family could be fitted");
+  }
+  std::sort(report.ranked.begin(), report.ranked.end(),
+            [](const FitResult& a, const FitResult& b) {
+              if (a.nll != b.nll) return a.nll < b.nll;
+              return a.family < b.family;
+            });
+  return report;
+}
+
 FitResult best_standard_fit(std::span<const double> xs) {
   auto report = fit_report(xs, standard_families());
   return std::move(report.ranked.front());

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "dist/distribution.hpp"
+#include "dist/suffstats.hpp"
 
 namespace hpcfail::dist {
 
@@ -126,6 +127,23 @@ FitReport fit_report(std::span<const double> xs,
 std::vector<FitReport> fit_report_many(
     std::span<const std::vector<double>> samples,
     std::span<const Family> families, double floor_at = 1e-9);
+
+/// The families fittable from sufficient statistics alone (exponential,
+/// gamma, lognormal) — the streaming daemon's windowed fit set. Weibull
+/// is excluded: its profile likelihood needs Σx^k for solver-chosen k,
+/// which moments cannot provide.
+std::span<const Family> streamable_families() noexcept;
+
+/// Streaming FitReport from sufficient statistics alone — no sample is
+/// rescanned or even retained, so windowed live fits are O(1) in the
+/// window size. Fits streamable_families(); parameters and nll use the
+/// same closed forms as the fused batch path, so a streaming report
+/// agrees with fit_report() over the rescanned window sample to float
+/// noise (exponential bit-exactly). KS distances are not computable from
+/// moments: ks/ks_pvalue are reported as 0. Degenerate families are
+/// counted into failed_families; throws FitError when none succeed
+/// (including the empty-stats case).
+FitReport fit_report_from_stats(const SuffStats& stats);
 
 /// Convenience: best (lowest nll) among the paper's four standard
 /// families.

@@ -23,12 +23,52 @@ SuffStats SuffStats::compute(std::span<const double> xs, double floor_at) {
     const double lx = std::log(v);
     s.sum_raw += x;
     s.sum += v;
+    s.sum_sq += v * v;
     s.sum_log += lx;
     s.sum_log_sq += lx * lx;
     if (v < s.min) s.min = v;
     if (v > s.max) s.max = v;
   }
   return s;
+}
+
+void SuffStats::add(double x) {
+  HPCFAIL_EXPECTS(floor_at > 0.0,
+                  "sufficient statistics require a positive floor");
+  HPCFAIL_EXPECTS(x >= 0.0,
+                  "sufficient statistics require non-negative data");
+  if (n == 0) {
+    min = std::numeric_limits<double>::infinity();
+    max = -std::numeric_limits<double>::infinity();
+  }
+  ++n;
+  const double v = x < floor_at ? floor_at : x;
+  const double lx = std::log(v);
+  sum_raw += x;
+  sum += v;
+  sum_sq += v * v;
+  sum_log += lx;
+  sum_log_sq += lx * lx;
+  if (v < min) min = v;
+  if (v > max) max = v;
+}
+
+void SuffStats::merge(const SuffStats& other) {
+  if (other.n == 0) return;  // empty carries no floored data: any floor
+  HPCFAIL_EXPECTS(n == 0 || floor_at == other.floor_at,
+                  "cannot merge sufficient statistics with different floors");
+  if (n == 0) {
+    *this = other;
+    return;
+  }
+  n += other.n;
+  sum_raw += other.sum_raw;
+  sum += other.sum;
+  sum_sq += other.sum_sq;
+  sum_log += other.sum_log;
+  sum_log_sq += other.sum_log_sq;
+  if (other.min < min) min = other.min;
+  if (other.max > max) max = other.max;
 }
 
 }  // namespace hpcfail::dist

@@ -28,6 +28,7 @@ struct SuffStats {
   double floor_at = 1e-9;   ///< resolution floor applied to the sums below
   double sum_raw = 0.0;     ///< Σ x over the raw (unfloored) sample
   double sum = 0.0;         ///< Σ max(x, floor_at)
+  double sum_sq = 0.0;      ///< Σ max(x, floor_at)² (windowed mean/cv²)
   double sum_log = 0.0;     ///< Σ log(max(x, floor_at))
   double sum_log_sq = 0.0;  ///< Σ log²(max(x, floor_at))
   double min = 0.0;         ///< floored minimum (0 when n == 0)
@@ -37,11 +38,42 @@ struct SuffStats {
   /// is degenerate on it).
   bool constant() const noexcept { return min == max; }
 
+  /// Mean of the floored sample (NaN when empty).
+  double mean() const noexcept {
+    return sum / static_cast<double>(n);
+  }
+
+  /// Biased (1/n) variance of the floored sample via the one-pass form;
+  /// clamped at zero against cancellation (NaN when empty).
+  double variance() const noexcept {
+    const double m = mean();
+    const double v = sum_sq / static_cast<double>(n) - m * m;
+    return v < 0.0 ? 0.0 : v;
+  }
+
+  /// Squared coefficient of variation, the paper's C² statistic (NaN when
+  /// empty or zero-mean).
+  double cv_squared() const noexcept {
+    const double m = mean();
+    return variance() / (m * m);
+  }
+
   /// One streaming pass over the sample. Requires floor_at > 0 and
   /// non-negative data (InvalidArgument otherwise) — the same domain as
   /// the positive-support fit_mle overloads.
   static SuffStats compute(std::span<const double> xs,
                            double floor_at = 1e-9);
+
+  /// Streaming single-observation update; the per-element arithmetic is
+  /// the same sequence as compute(), so accumulating one at a time equals
+  /// one compute() pass bit for bit. Same domain checks as compute().
+  void add(double x);
+
+  /// Pools another accumulator computed with the same floor (throws
+  /// InvalidArgument on a floor mismatch). Sums combine by one addition
+  /// each, so a merged result matches a single pass to float noise (not
+  /// bit-exactly — addition order differs).
+  void merge(const SuffStats& other);
 };
 
 }  // namespace hpcfail::dist

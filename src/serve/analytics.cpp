@@ -1,0 +1,211 @@
+#include "serve/analytics.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "trace/types.hpp"
+
+namespace hpcfail::serve {
+
+LiveAnalytics::LiveAnalytics(Options options) : options_(options) {
+  repair_opts_.bucket_seconds = options_.bucket_seconds;
+  repair_opts_.max_buckets = options_.max_buckets;
+  repair_opts_.floor_at = options_.repair_floor_minutes;
+  gap_opts_.bucket_seconds = options_.bucket_seconds;
+  gap_opts_.max_buckets = options_.max_buckets;
+  gap_opts_.floor_at = options_.gap_floor_seconds;
+}
+
+LiveAnalytics::Cell& LiveAnalytics::cell(int system_id, int node_id,
+                                         trace::RootCause cause) {
+  const auto key = std::make_tuple(system_id, node_id, cause);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell fresh{dist::SlidingSuffStats(repair_opts_),
+               dist::SlidingSuffStats(gap_opts_)};
+    it = cells_.emplace(key, std::move(fresh)).first;
+  }
+  return it->second;
+}
+
+void LiveAnalytics::observe(const trace::FailureRecord& r) {
+  ++events_;
+  if (r.start > latest_at_) latest_at_ = r.start;
+
+  Cell& c = cell(r.system_id, r.node_id, r.cause);
+  c.repair_minutes.add(r.start, r.downtime_minutes());
+
+  // Per-node gap: consecutive failures of the same node, attributed at
+  // (and to the cause of) the later event. Out-of-order arrivals with a
+  // negative gap are skipped — the live posting lists in trace::
+  // LiveDataset remain the exact source for those.
+  const std::pair<int, int> node_key{r.system_id, r.node_id};
+  auto last = last_node_start_.find(node_key);
+  if (last != last_node_start_.end()) {
+    const Seconds gap = r.start - last->second;
+    if (gap >= 0) {
+      c.node_gaps.add(r.start, static_cast<double>(gap));
+      last->second = r.start;
+    }
+  } else {
+    last_node_start_.emplace(node_key, r.start);
+  }
+
+  auto sit = systems_.find(r.system_id);
+  if (sit == systems_.end()) {
+    SystemState fresh;
+    fresh.system_gaps = dist::SlidingSuffStats(gap_opts_);
+    sit = systems_.emplace(r.system_id, std::move(fresh)).first;
+  }
+  SystemState& sys = sit->second;
+  ++sys.events;
+  if (sys.has_last) {
+    const Seconds gap = r.start - sys.last_start;
+    if (gap >= 0) {
+      sys.system_gaps.add(r.start, static_cast<double>(gap));
+      sys.last_start = r.start;
+    }
+  } else {
+    sys.last_start = r.start;
+    sys.has_last = true;
+  }
+}
+
+WindowReport LiveAnalytics::report(int system_id, Seconds window) const {
+  WindowReport out;
+  out.system_id = system_id;
+  out.now = latest_at_;
+  out.window = window > 0 ? window : 24 * kSecondsPerHour;
+
+  out.repair_minutes.floor_at = options_.repair_floor_minutes;
+  out.node_gaps_seconds.floor_at = options_.gap_floor_seconds;
+  out.system_gaps_seconds.floor_at = options_.gap_floor_seconds;
+
+  std::map<trace::RootCause, dist::SuffStats> by_cause;
+  const auto first = cells_.lower_bound(
+      std::make_tuple(system_id, 0, static_cast<trace::RootCause>(0)));
+  for (auto it = first;
+       it != cells_.end() && std::get<0>(it->first) == system_id; ++it) {
+    const dist::SuffStats repair =
+        it->second.repair_minutes.window_stats(out.now, out.window);
+    const dist::SuffStats gaps =
+        it->second.node_gaps.window_stats(out.now, out.window);
+    out.repair_minutes.merge(repair);
+    out.node_gaps_seconds.merge(gaps);
+    if (repair.n > 0) {
+      auto& slot = by_cause[std::get<2>(it->first)];
+      if (slot.n == 0) slot.floor_at = repair.floor_at;
+      slot.merge(repair);
+    }
+  }
+  for (auto& [cause, stats] : by_cause) {
+    out.by_cause.push_back(CauseWindow{cause, stats});
+  }
+
+  const auto sys = systems_.find(system_id);
+  if (sys != systems_.end()) {
+    out.events_total = sys->second.events;
+    out.system_gaps_seconds =
+        sys->second.system_gaps.window_stats(out.now, out.window);
+  }
+
+  try {
+    out.repair_fits = dist::fit_report_from_stats(out.repair_minutes);
+  } catch (const Error&) {
+    // Degenerate window (empty or constant): serve moments without fits.
+  }
+  try {
+    out.node_gap_fits = dist::fit_report_from_stats(out.node_gaps_seconds);
+  } catch (const Error&) {
+  }
+  return out;
+}
+
+std::vector<int> LiveAnalytics::system_ids() const {
+  std::vector<int> ids;
+  ids.reserve(systems_.size());
+  for (const auto& [id, state] : systems_) ids.push_back(id);
+  return ids;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += ch;
+    }
+  }
+  return out;
+}
+
+void append_stats(std::string& out, const char* name,
+                  const dist::SuffStats& s) {
+  out += '"';
+  out += name;
+  out += "\":{\"n\":" + std::to_string(s.n);
+  if (s.n > 0) {
+    out += ",\"mean\":" + format_double(s.mean());
+    out += ",\"cv2\":" + format_double(s.cv_squared());
+    out += ",\"min\":" + format_double(s.min);
+    out += ",\"max\":" + format_double(s.max);
+  }
+  out += '}';
+}
+
+void append_fits(std::string& out, const char* name,
+                 const dist::FitReport& fits) {
+  out += '"';
+  out += name;
+  out += "\":[";
+  for (std::size_t i = 0; i < fits.size(); ++i) {
+    const dist::FitResult& f = fits[i];
+    if (i != 0) out += ',';
+    out += "{\"family\":\"" + dist::to_string(f.family) + '"';
+    out += ",\"nll\":" + format_double(f.nll);
+    out += ",\"aic\":" + format_double(f.aic);
+    out += ",\"model\":\"" + json_escape(f.model->describe()) + "\"}";
+  }
+  out += ']';
+}
+
+}  // namespace
+
+std::string to_json(const WindowReport& report) {
+  std::string out;
+  out.reserve(1024);
+  out += "{\"schema\":\"hpcfail.serve.report\",\"version\":1";
+  out += ",\"system\":" + std::to_string(report.system_id);
+  out += ",\"window_seconds\":" + std::to_string(report.window);
+  out += ",\"now\":\"" + format_timestamp(report.now) + '"';
+  out += ",\"events_total\":" + std::to_string(report.events_total);
+  out += ',';
+  append_stats(out, "repair_minutes", report.repair_minutes);
+  out += ',';
+  append_stats(out, "node_gaps_seconds", report.node_gaps_seconds);
+  out += ',';
+  append_stats(out, "system_gaps_seconds", report.system_gaps_seconds);
+  out += ",\"by_cause\":[";
+  for (std::size_t i = 0; i < report.by_cause.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"cause\":\"" + trace::to_string(report.by_cause[i].cause) + "\",";
+    append_stats(out, "repair_minutes", report.by_cause[i].repair_minutes);
+    out += '}';
+  }
+  out += "],";
+  append_fits(out, "repair_fits", report.repair_fits);
+  out += ',';
+  append_fits(out, "node_gap_fits", report.node_gap_fits);
+  out += '}';
+  return out;
+}
+
+}  // namespace hpcfail::serve

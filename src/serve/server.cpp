@@ -1,0 +1,533 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace hpcfail::serve {
+
+namespace {
+
+constexpr int kPollMillis = 100;
+constexpr std::size_t kChunkBytes = 64 * 1024;
+constexpr std::size_t kObserveBatch = 256;
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("cannot make socket non-blocking");
+  }
+}
+
+int bound_port_of(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname failed");
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+/// Binds a listening TCP socket; returns the fd (caller owns).
+int listen_on(const in_addr& host, int port, const char* label) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno(std::string("cannot create ") + label + " socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr = host;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(std::string("cannot bind ") + label + " socket to port " +
+                std::to_string(port));
+  }
+  if (::listen(fd, 64) < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno(std::string("cannot listen on ") + label + " socket");
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+void close_if_open(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// One query parameter ("system=20") from a raw target string.
+std::string query_param(const std::string& target, const std::string& key) {
+  const std::size_t q = target.find('?');
+  if (q == std::string::npos) return {};
+  std::size_t pos = q + 1;
+  while (pos < target.size()) {
+    std::size_t amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const std::size_t eq = pair.find('=');
+    if (eq != std::string::npos && pair.substr(0, eq) == key) {
+      return pair.substr(eq + 1);
+    }
+    pos = amp + 1;
+  }
+  return {};
+}
+
+/// Validates user-supplied options before any member construction.
+ServerOptions validated(ServerOptions options) {
+  const auto valid_port = [](int p) { return p >= 0 && p <= 65535; };
+  if (!valid_port(options.ingest_port) || !valid_port(options.http_port)) {
+    throw ValidationError("port must be in [0, 65535]");
+  }
+  if (options.window_seconds <= 0) {
+    throw ValidationError("window must be positive");
+  }
+  if (options.bucket_seconds <= 0) {
+    throw ValidationError("bucket seconds must be positive");
+  }
+  if (options.max_buckets == 0) {
+    throw ValidationError("max buckets must be positive");
+  }
+  in_addr probe{};
+  if (::inet_pton(AF_INET, options.host.c_str(), &probe) != 1) {
+    throw ValidationError("invalid host address '" + options.host + "'");
+  }
+  return options;
+}
+
+LiveAnalytics::Options analytics_options(const ServerOptions& options) {
+  LiveAnalytics::Options aopts;
+  aopts.bucket_seconds = options.bucket_seconds;
+  aopts.max_buckets = options.max_buckets;
+  return aopts;
+}
+
+}  // namespace
+
+struct Server::Connection {
+  int fd = -1;
+  trace::LineSource source;
+  std::uint64_t rejected_seen = 0;  ///< counter watermark already reported
+};
+
+Server::Server(ServerOptions options)
+    : options_(validated(std::move(options))),
+      live_(options_.epoch),
+      analytics_(analytics_options(options_)) {}
+
+Server::Server(ServerOptions options, trace::FailureDataset seed)
+    : options_(validated(std::move(options))),
+      live_(std::move(seed), options_.epoch),
+      analytics_(analytics_options(options_)) {
+  // Replay the seed into the analytics cells; snapshot records are
+  // start-sorted, so gap extraction sees them chronologically.
+  const std::shared_ptr<const trace::FailureDataset> snap = live_.snapshot();
+  for (const trace::FailureRecord& r : snap->records()) {
+    analytics_.observe(r);
+  }
+}
+
+Server::~Server() {
+  stop();
+  wait();
+  close_if_open(stop_pipe_[0]);
+  close_if_open(stop_pipe_[1]);
+  close_if_open(ingest_fd_);
+  close_if_open(http_fd_);
+}
+
+void Server::start() {
+  HPCFAIL_EXPECTS(!running_.load(std::memory_order_acquire),
+                  "server already started");
+  if (::pipe(stop_pipe_) < 0) throw_errno("cannot create stop pipe");
+  set_nonblocking(stop_pipe_[0]);
+  set_nonblocking(stop_pipe_[1]);
+
+  in_addr host{};
+  ::inet_pton(AF_INET, options_.host.c_str(), &host);  // validated in ctor
+  ingest_fd_ = listen_on(host, options_.ingest_port, "ingest");
+  bound_ingest_port_ = bound_port_of(ingest_fd_);
+  http_fd_ = listen_on(host, options_.http_port, "http");
+  bound_http_port_ = bound_port_of(http_fd_);
+
+  if (obs::enabled()) {
+    // Register the serve metrics eagerly so /metrics shows the full
+    // schema (zeros included) from the first scrape.
+    obs::Registry& reg = obs::registry();
+    reg.counter("serve.events_ingested");
+    reg.counter("serve.rejected_events");
+    reg.counter("serve.bytes_ingested");
+    reg.counter("serve.connections");
+    reg.counter("serve.http_requests");
+    reg.gauge("serve.events_per_sec");
+    reg.gauge("serve.index_epoch");
+    reg.gauge("serve.epoch_lag_records");
+    reg.gauge("serve.window_staleness_seconds");
+  }
+
+  rate_last_time_ = std::chrono::steady_clock::now();
+  last_event_time_ = rate_last_time_;
+  running_.store(true, std::memory_order_release);
+  stop_requested_.store(false, std::memory_order_release);
+  ingest_thread_ = std::thread([this] { ingest_loop(); });
+  http_thread_ = std::thread([this] { http_loop(); });
+}
+
+void Server::stop() noexcept {
+  stop_requested_.store(true, std::memory_order_release);
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 1;
+    // Async-signal-safe; short writes/EAGAIN are fine (any byte wakes
+    // both loops, and they also poll stop_requested_ on a timeout).
+    [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::wait() {
+  if (ingest_thread_.joinable()) ingest_thread_.join();
+  if (http_thread_.joinable()) http_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void Server::drain_source(trace::Source& source) {
+  // live_ appends run lock-free for readers (the seal publishes behind
+  // its own pointer swap), so only the analytics cells need the mutex —
+  // taken per small batch, never across a seal.
+  trace::FailureRecord r;
+  std::vector<trace::FailureRecord> batch;
+  batch.reserve(kObserveBatch);
+  std::uint64_t accepted = 0;
+  const auto flush = [&] {
+    if (batch.empty()) return;
+    std::lock_guard<std::mutex> lock(analytics_mutex_);
+    for (const trace::FailureRecord& rec : batch) analytics_.observe(rec);
+    batch.clear();
+  };
+  while (source.next(r) == trace::SourceStatus::event) {
+    live_.append(r);
+    batch.push_back(r);
+    ++accepted;
+    if (batch.size() >= kObserveBatch) flush();
+  }
+  flush();
+  if (accepted > 0) {
+    events_ingested_.fetch_add(accepted, std::memory_order_acq_rel);
+    last_event_time_ = std::chrono::steady_clock::now();
+    if (obs::enabled()) {
+      obs::registry().counter("serve.events_ingested").add(accepted);
+    }
+  }
+}
+
+void Server::ingest_chunk(Connection& conn, std::string_view bytes) {
+  conn.source.feed(bytes);
+  bytes_ingested_.fetch_add(bytes.size(), std::memory_order_acq_rel);
+  if (obs::enabled()) {
+    obs::registry().counter("serve.bytes_ingested").add(bytes.size());
+  }
+  drain_source(conn.source);
+  const std::uint64_t rejected = conn.source.counters().rejected;
+  if (rejected > conn.rejected_seen) {
+    const std::uint64_t delta = rejected - conn.rejected_seen;
+    conn.rejected_seen = rejected;
+    events_rejected_.fetch_add(delta, std::memory_order_acq_rel);
+    if (obs::enabled()) {
+      obs::registry().counter("serve.rejected_events").add(delta);
+    }
+  }
+}
+
+void Server::update_gauges() {
+  const auto now = std::chrono::steady_clock::now();
+  const double dt =
+      std::chrono::duration<double>(now - rate_last_time_).count();
+  if (dt < 1.0) return;
+  const std::uint64_t total =
+      events_ingested_.load(std::memory_order_acquire);
+  const double rate = static_cast<double>(total - rate_last_events_) / dt;
+  rate_last_events_ = total;
+  rate_last_time_ = now;
+  if (obs::enabled()) {
+    obs::Registry& reg = obs::registry();
+    reg.gauge("serve.events_per_sec").set(rate);
+    reg.gauge("serve.index_epoch").set(static_cast<double>(live_.epoch()));
+    reg.gauge("serve.epoch_lag_records")
+        .set(static_cast<double>(live_.tail_size()));
+    reg.gauge("serve.window_staleness_seconds")
+        .set(std::chrono::duration<double>(now - last_event_time_).count());
+  }
+}
+
+void Server::ingest_loop() {
+  std::vector<std::unique_ptr<Connection>> conns;
+  std::unique_ptr<trace::TailSource> tail;
+  std::uint64_t tail_rejected_seen = 0;
+  if (!options_.tail_path.empty()) {
+    tail = std::make_unique<trace::TailSource>(options_.tail_path);
+  }
+
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    fds.push_back({ingest_fd_, POLLIN, 0});
+    for (const auto& conn : conns) fds.push_back({conn->fd, POLLIN, 0});
+
+    const int ready = ::poll(fds.data(), fds.size(), kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+
+    if (ready > 0 && (fds[1].revents & POLLIN) != 0) {
+      while (true) {
+        const int client = ::accept(ingest_fd_, nullptr, nullptr);
+        if (client < 0) break;  // EAGAIN: accepted everything pending
+        set_nonblocking(client);
+        auto conn = std::make_unique<Connection>();
+        conn->fd = client;
+        conns.push_back(std::move(conn));
+        connections_.fetch_add(1, std::memory_order_acq_rel);
+        if (obs::enabled()) {
+          obs::registry().counter("serve.connections").add(1);
+        }
+      }
+    }
+
+    char buffer[kChunkBytes];
+    for (std::size_t i = 0; i < conns.size();) {
+      Connection& conn = *conns[i];
+      const auto& pfd =
+          std::find_if(fds.begin() + 2, fds.end(),
+                       [&](const pollfd& f) { return f.fd == conn.fd; });
+      bool closed = false;
+      if (pfd != fds.end() && (pfd->revents & (POLLIN | POLLHUP)) != 0) {
+        const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+          ingest_chunk(conn, std::string_view(buffer,
+                                              static_cast<std::size_t>(n)));
+        } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+          conn.source.finish();
+          ingest_chunk(conn, std::string_view());
+          ::close(conn.fd);
+          closed = true;
+        }
+      }
+      if (closed) {
+        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+
+    if (tail) {
+      drain_source(*tail);
+      const std::uint64_t rejected = tail->counters().rejected;
+      if (rejected > tail_rejected_seen) {
+        const std::uint64_t delta = rejected - tail_rejected_seen;
+        tail_rejected_seen = rejected;
+        events_rejected_.fetch_add(delta, std::memory_order_acq_rel);
+        if (obs::enabled()) {
+          obs::registry().counter("serve.rejected_events").add(delta);
+        }
+      }
+    }
+
+    update_gauges();
+
+    if (options_.max_events > 0 &&
+        events_ingested_.load(std::memory_order_acquire) >=
+            options_.max_events) {
+      stop();
+      break;
+    }
+  }
+
+  for (const auto& conn : conns) ::close(conn->fd);
+  conns.clear();
+  // Final seal so post-run snapshots (CLI metrics dump, tests) see every
+  // accepted event in the indexed dataset.
+  live_.seal();
+  if (obs::enabled()) {
+    obs::registry().gauge("serve.index_epoch")
+        .set(static_cast<double>(live_.epoch()));
+    obs::registry().gauge("serve.epoch_lag_records")
+        .set(static_cast<double>(live_.tail_size()));
+  }
+}
+
+std::string Server::stats_json() const {
+  std::string out = "{";
+  out += "\"events_ingested\":" + std::to_string(events_ingested());
+  out += ",\"events_rejected\":" + std::to_string(events_rejected());
+  out += ",\"bytes_ingested\":" +
+         std::to_string(bytes_ingested_.load(std::memory_order_acquire));
+  out += ",\"connections\":" +
+         std::to_string(connections_.load(std::memory_order_acquire));
+  out += ",\"http_requests\":" + std::to_string(http_requests());
+  out += ",\"epoch\":" + std::to_string(live_.epoch());
+  out += ",\"sealed_records\":" + std::to_string(live_.sealed_size());
+  out += ",\"tail_records\":" + std::to_string(live_.tail_size());
+  out += ",\"systems\":[";
+  {
+    std::lock_guard<std::mutex> lock(analytics_mutex_);
+    const std::vector<int> ids = analytics_.system_ids();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (i != 0) out += ',';
+      out += std::to_string(ids[i]);
+    }
+  }
+  out += "]}";
+  return out;
+}
+
+std::string Server::handle_request(const std::string& target, int& status) {
+  status = 200;
+  const std::string path = target.substr(0, target.find('?'));
+  if (path == "/healthz") return "ok\n";
+  if (path == "/stats") return stats_json();
+  if (path == "/metrics") {
+    return obs::to_prometheus(obs::registry().snapshot());
+  }
+  if (path == "/shutdown") {
+    stop();
+    return "{\"shutting_down\":true}";
+  }
+  if (path == "/report") {
+    try {
+      const std::string system_text = query_param(target, "system");
+      if (system_text.empty()) {
+        status = 400;
+        return "{\"error\":\"missing required parameter 'system'\"}";
+      }
+      const int system_id = static_cast<int>(parse_i64(system_text));
+      Seconds window = options_.window_seconds;
+      const std::string hours = query_param(target, "window_hours");
+      if (!hours.empty()) {
+        window = static_cast<Seconds>(parse_double(hours) *
+                                      static_cast<double>(kSecondsPerHour));
+      }
+      const std::string seconds = query_param(target, "window_seconds");
+      if (!seconds.empty()) window = parse_i64(seconds);
+      if (window <= 0) {
+        status = 400;
+        return "{\"error\":\"window must be positive\"}";
+      }
+      std::lock_guard<std::mutex> lock(analytics_mutex_);
+      const std::vector<int> ids = analytics_.system_ids();
+      if (std::find(ids.begin(), ids.end(), system_id) == ids.end()) {
+        status = 404;
+        return "{\"error\":\"unknown system " + std::to_string(system_id) +
+               "\"}";
+      }
+      return to_json(analytics_.report(system_id, window));
+    } catch (const ParseError& e) {
+      status = 400;
+      return "{\"error\":\"parse error: " + std::string(e.what()) + "\"}";
+    }
+  }
+  status = 404;
+  return "{\"error\":\"not found\"}";
+}
+
+void Server::http_loop() {
+  std::vector<pollfd> fds;
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    fds.clear();
+    fds.push_back({stop_pipe_[0], POLLIN, 0});
+    fds.push_back({http_fd_, POLLIN, 0});
+    const int ready = ::poll(fds.data(), fds.size(), kPollMillis);
+    if (ready < 0 && errno != EINTR) break;
+    if (stop_requested_.load(std::memory_order_acquire)) break;
+    if (ready <= 0 || (fds[1].revents & POLLIN) == 0) continue;
+
+    while (true) {
+      const int client = ::accept(http_fd_, nullptr, nullptr);
+      if (client < 0) break;
+      // Small blocking read with a timeout: requests are one GET line
+      // and responses are small, so per-request handling stays in the
+      // microsecond range and concurrent readers just queue briefly.
+      timeval tv{};
+      tv.tv_sec = 2;
+      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      std::string request;
+      char buffer[4096];
+      while (request.find("\r\n") == std::string::npos &&
+             request.size() < 16 * 1024) {
+        const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
+        if (n <= 0) break;
+        request.append(buffer, static_cast<std::size_t>(n));
+      }
+
+      std::string body;
+      std::string content_type = "application/json";
+      int status = 200;
+      const std::size_t line_end = request.find("\r\n");
+      if (line_end == std::string::npos) {
+        status = 400;
+        body = "{\"error\":\"malformed request\"}";
+      } else {
+        const std::vector<std::string> parts =
+            split(request.substr(0, line_end), ' ');
+        if (parts.size() < 2 || parts[0] != "GET") {
+          status = 405;
+          body = "{\"error\":\"only GET is supported\"}";
+        } else {
+          body = handle_request(parts[1], status);
+          const std::string path = parts[1].substr(0, parts[1].find('?'));
+          if (path == "/metrics" || path == "/healthz") {
+            content_type = "text/plain; charset=utf-8";
+          }
+        }
+      }
+
+      const char* reason = status == 200   ? "OK"
+                           : status == 400 ? "Bad Request"
+                           : status == 404 ? "Not Found"
+                           : status == 405 ? "Method Not Allowed"
+                                           : "Error";
+      std::string response = "HTTP/1.0 " + std::to_string(status) + " " +
+                             reason + "\r\nContent-Type: " + content_type +
+                             "\r\nContent-Length: " +
+                             std::to_string(body.size()) +
+                             "\r\nConnection: close\r\n\r\n" + body;
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n = ::send(client, response.data() + sent,
+                                 response.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+      }
+      ::close(client);
+      http_requests_.fetch_add(1, std::memory_order_acq_rel);
+      if (obs::enabled()) {
+        obs::registry().counter("serve.http_requests").add(1);
+      }
+      if (stop_requested_.load(std::memory_order_acquire)) break;
+    }
+  }
+}
+
+}  // namespace hpcfail::serve

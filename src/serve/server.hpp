@@ -1,0 +1,151 @@
+// The `hpcfail serve` daemon: streaming ingest + live query serving.
+//
+// Two threads, two listening sockets:
+//
+//   * the ingest thread accepts TCP connections speaking the line
+//     protocol (one CSV row per line, see trace/source.hpp), feeds each
+//     connection through its own trace::LineSource into the shared
+//     trace::LiveDataset (incremental index, see trace/ingest.hpp) and
+//     serve::LiveAnalytics (windowed moment cells), and optionally tails
+//     an appended file (trace::TailSource). Malformed lines are rejected
+//     and counted (serve.rejected_events) — one bad producer cannot take
+//     the daemon down.
+//
+//   * the HTTP thread serves many concurrent readers a minimal HTTP/1.0
+//     GET surface: /healthz, /stats (ingest accounting JSON), /report?
+//     system=N&window_hours=H (windowed moments + streaming FitReport
+//     JSON), /metrics (the src/obs Prometheus exporter over the live
+//     registry) and /shutdown. Reports are computed from the analytics
+//     cells under a short mutex — never from a dataset rebuild, so
+//     readers do not block on ingest (the epoch merges run on the ingest
+//     thread, off the readers' path).
+//
+// Backpressure: the ingest loop reads at most one chunk per connection
+// per poll round and appends synchronously, so a producer that outruns
+// the daemon is throttled by TCP flow control (the socket buffer fills
+// and the producer's write blocks) rather than by unbounded queueing —
+// memory stays bounded by the tail + one partial line per connection.
+//
+// stop() is async-signal-safe (one write to a self-pipe), so the CLI
+// installs it directly as its SIGINT/SIGTERM handler.
+//
+// Error taxonomy (consistent with the CLI's 0/1/2 contract): socket and
+// bind failures throw IoError; invalid options throw ValidationError;
+// malformed event lines never throw — they reject-and-count.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/analytics.hpp"
+#include "trace/dataset.hpp"
+#include "trace/ingest.hpp"
+#include "trace/source.hpp"
+
+namespace hpcfail::serve {
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  int ingest_port = 0;  ///< 0 = ephemeral (bound port via ingest_port())
+  int http_port = 0;    ///< 0 = ephemeral
+  Seconds window_seconds = 24 * kSecondsPerHour;  ///< default /report window
+  Seconds bucket_seconds = kSecondsPerHour;
+  std::size_t max_buckets = 24 * 14;
+  trace::LiveDataset::Options epoch;  ///< seal policy
+  std::string tail_path;              ///< optional appended-file to follow
+  /// Stop automatically after this many accepted events (0 = run until
+  /// stop()/shutdown). Lets smoke tests bound a run without a race.
+  std::uint64_t max_events = 0;
+};
+
+class Server {
+ public:
+  /// Validates options; does not bind yet. Throws ValidationError on an
+  /// invalid port/window/bucket configuration.
+  explicit Server(ServerOptions options);
+  /// Same, with the dataset and analytics pre-seeded from `seed`.
+  Server(ServerOptions options, trace::FailureDataset seed);
+  ~Server();  ///< stop() + join
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds both sockets and starts the ingest and HTTP threads. Throws
+  /// IoError when a socket cannot be created or bound.
+  void start();
+
+  /// Requests shutdown; async-signal-safe (a single self-pipe write).
+  void stop() noexcept;
+
+  /// Blocks until both threads have exited.
+  void wait();
+
+  bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Bound ports (valid after start(); ephemeral requests resolve here).
+  int ingest_port() const noexcept { return bound_ingest_port_; }
+  int http_port() const noexcept { return bound_http_port_; }
+
+  std::uint64_t events_ingested() const noexcept {
+    return events_ingested_.load(std::memory_order_acquire);
+  }
+  std::uint64_t events_rejected() const noexcept {
+    return events_rejected_.load(std::memory_order_acquire);
+  }
+  std::uint64_t http_requests() const noexcept {
+    return http_requests_.load(std::memory_order_acquire);
+  }
+
+  /// The live dataset. Snapshot/epoch accessors are safe while running;
+  /// everything else only after wait() returns.
+  const trace::LiveDataset& dataset() const noexcept { return live_; }
+
+ private:
+  struct Connection;
+
+  void ingest_loop();
+  void http_loop();
+  void ingest_chunk(Connection& conn, std::string_view bytes);
+  void drain_source(trace::Source& source);
+  void update_gauges();
+  std::string handle_request(const std::string& target, int& status);
+  std::string stats_json() const;
+
+  ServerOptions options_;
+  trace::LiveDataset live_;
+  LiveAnalytics analytics_;
+  /// Guards analytics_ and the rejected-line bookkeeping shared between
+  /// the ingest loop (writes) and /report, /stats (reads).
+  mutable std::mutex analytics_mutex_;
+
+  std::thread ingest_thread_;
+  std::thread http_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stop_requested_{false};
+  int stop_pipe_[2] = {-1, -1};  ///< self-pipe; write side used by stop()
+  int ingest_fd_ = -1;
+  int http_fd_ = -1;
+  int bound_ingest_port_ = 0;
+  int bound_http_port_ = 0;
+
+  std::atomic<std::uint64_t> events_ingested_{0};
+  std::atomic<std::uint64_t> events_rejected_{0};
+  std::atomic<std::uint64_t> bytes_ingested_{0};
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> http_requests_{0};
+
+  /// events/sec gauge state (ingest thread only).
+  std::uint64_t rate_last_events_ = 0;
+  std::chrono::steady_clock::time_point rate_last_time_;
+  std::chrono::steady_clock::time_point last_event_time_;
+};
+
+}  // namespace hpcfail::serve

@@ -144,8 +144,14 @@ class DatasetView {
 class DatasetIndex {
  public:
   /// Builds the partition and posting lists; parallelizes over systems on
-  /// the shared pool. `columns` must stay alive and unmoved for the
-  /// index's lifetime.
+  /// the shared pool. The index holds views into `columns`, so the caller
+  /// owns keeping that storage valid for the index's lifetime.
+  /// FailureDataset provides this not by pinning its columns in place but
+  /// by serializing moves against index()/view() on index_mutex_ and
+  /// dropping the moved-from dataset's index (the destination rebuilds
+  /// lazily on next access) — so moving a FailureDataset with a built
+  /// index is safe; it just costs one rebuild. Direct constructors of
+  /// DatasetIndex must provide the same guarantee themselves.
   explicit DatasetIndex(const ColumnStore& columns);
 
   /// The root view: every record.

@@ -1,0 +1,203 @@
+#include "trace/ingest.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "trace/index.hpp"
+
+namespace hpcfail::trace {
+
+namespace {
+
+/// The dataset's canonical (start, system, node) order over column rows.
+bool row_less(const ColumnStore& c, std::size_t a, std::size_t b) noexcept {
+  if (c.start[a] != c.start[b]) return c.start[a] < c.start[b];
+  if (c.system_id[a] != c.system_id[b]) return c.system_id[a] < c.system_id[b];
+  return c.node_id[a] < c.node_id[b];
+}
+
+/// Cross-store comparison: row a of `x` strictly before row b of `y`.
+bool row_less(const ColumnStore& x, std::size_t a, const ColumnStore& y,
+              std::size_t b) noexcept {
+  if (x.start[a] != y.start[b]) return x.start[a] < y.start[b];
+  if (x.system_id[a] != y.system_id[b]) {
+    return x.system_id[a] < y.system_id[b];
+  }
+  return x.node_id[a] < y.node_id[b];
+}
+
+}  // namespace
+
+LiveDataset::LiveDataset() : LiveDataset(Options{}) {}
+
+LiveDataset::LiveDataset(FailureDataset seed)
+    : LiveDataset(std::move(seed), Options{}) {}
+
+LiveDataset::LiveDataset(Options options) : options_(options) {
+  HPCFAIL_EXPECTS(options_.min_rebuild_tail > 0,
+                  "min_rebuild_tail must be positive");
+  HPCFAIL_EXPECTS(options_.rebuild_fraction >= 0.0,
+                  "rebuild_fraction must be non-negative");
+  sealed_ = std::make_shared<const FailureDataset>();
+}
+
+LiveDataset::LiveDataset(FailureDataset seed, Options options)
+    : LiveDataset(options) {
+  index_starts(seed.columns());
+  sealed_count_.store(seed.size(), std::memory_order_release);
+  // Build the index on the shared instance (a move would drop it — the
+  // dataset move ctor invalidates the source's index), so readers of the
+  // first snapshot never trigger a lazy build.
+  auto next = std::make_shared<const FailureDataset>(std::move(seed));
+  next->index();
+  publish(std::move(next));
+}
+
+void LiveDataset::index_starts(const ColumnStore& columns) {
+  // Columns are globally start-sorted, so appending per (system, node)
+  // keeps every posting list ascending.
+  const std::size_t n = columns.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    live_starts_[{columns.system_id[i], columns.node_id[i]}].push_back(
+        columns.start[i]);
+  }
+}
+
+std::size_t LiveDataset::seal_threshold() const noexcept {
+  const auto scaled = static_cast<std::size_t>(
+      options_.rebuild_fraction * static_cast<double>(sealed_size()));
+  return std::max(options_.min_rebuild_tail, scaled);
+}
+
+void LiveDataset::append(const FailureRecord& r) {
+  if (!r.is_consistent()) {
+    throw InvalidArgument(
+        "inconsistent failure record appended (end < start, bad ids, or "
+        "cause/detail mismatch)");
+  }
+  tail_.push_back(r);
+  tail_count_.store(tail_.size(), std::memory_order_release);
+
+  std::vector<Seconds>& starts = live_starts_[{r.system_id, r.node_id}];
+  if (starts.empty() || starts.back() <= r.start) {
+    starts.push_back(r.start);  // in-order arrival: the common case
+  } else {
+    starts.insert(std::upper_bound(starts.begin(), starts.end(), r.start),
+                  r.start);
+  }
+
+  if (obs::enabled()) {
+    // Lazy handle, same scheme as DatasetIndex::count_view_hit().
+    obs::Counter* counter = appends_counter_.load(std::memory_order_acquire);
+    if (counter == nullptr) {
+      counter = &obs::registry().counter("ingest.appends");
+      appends_counter_.store(counter, std::memory_order_release);
+    }
+    counter->add(1);
+  }
+
+  if (tail_.size() >= seal_threshold()) seal();
+}
+
+std::size_t LiveDataset::drain(Source& source, std::size_t max_events) {
+  std::size_t appended = 0;
+  FailureRecord r;
+  while (appended < max_events && source.next(r) == SourceStatus::event) {
+    append(r);
+    ++appended;
+  }
+  return appended;
+}
+
+void LiveDataset::seal() {
+  if (tail_.empty()) return;
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Stable sort of the tail (arrival order preserved on full-key ties)...
+  std::vector<std::size_t> order(tail_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return row_less(tail_, a, b);
+                   });
+
+  // ...then a two-way merge with the sealed columns, sealed first on
+  // ties. Together these equal one stable sort of sealed-then-tail, so
+  // repeated seals commute with a single batch build on the same data.
+  const std::shared_ptr<const FailureDataset> sealed_ptr = snapshot();
+  const ColumnStore& sealed = sealed_ptr->columns();
+  ColumnStore merged;
+  merged.reserve(sealed.size() + tail_.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  while (i < sealed.size() && j < tail_.size()) {
+    if (row_less(tail_, order[j], sealed, i)) {
+      merged.push_row(tail_, order[j]);
+      ++j;
+    } else {
+      merged.push_row(sealed, i);
+      ++i;
+    }
+  }
+  for (; i < sealed.size(); ++i) merged.push_row(sealed, i);
+  for (; j < tail_.size(); ++j) merged.push_row(tail_, order[j]);
+
+  // Revalidates in one fused pass and adopts (the merge output is
+  // sorted, so no AoS round trip happens). The index is built on the
+  // shared instance *after* the move — the dataset move ctor drops the
+  // source's index — and before the swap, so readers never block on it.
+  auto next = std::make_shared<const FailureDataset>(
+      FailureDataset::from_columns(std::move(merged)));
+  next->index();
+
+  sealed_count_.store(next->size(), std::memory_order_release);
+  tail_.clear();
+  tail_count_.store(0, std::memory_order_release);
+  publish(std::move(next));
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  last_rebuild_ms_ =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  if (obs::enabled()) {
+    obs::registry().gauge("ingest.epoch")
+        .set(static_cast<double>(epoch_.load(std::memory_order_acquire)));
+    obs::registry().gauge("ingest.rebuild_ms").set(last_rebuild_ms_);
+    obs::registry().gauge("ingest.sealed_records")
+        .set(static_cast<double>(sealed_size()));
+  }
+}
+
+std::shared_ptr<const FailureDataset> LiveDataset::snapshot() const {
+  std::lock_guard<std::mutex> lock(sealed_mutex_);
+  return sealed_;
+}
+
+void LiveDataset::publish(std::shared_ptr<const FailureDataset> next) {
+  std::lock_guard<std::mutex> lock(sealed_mutex_);
+  sealed_ = std::move(next);
+}
+
+const std::vector<Seconds>* LiveDataset::node_starts(
+    int system_id, int node_id) const noexcept {
+  const auto it = live_starts_.find({system_id, node_id});
+  return it == live_starts_.end() ? nullptr : &it->second;
+}
+
+std::vector<double> LiveDataset::node_interarrivals(int system_id,
+                                                    int node_id) const {
+  const std::vector<Seconds>* starts = node_starts(system_id, node_id);
+  std::vector<double> gaps;
+  if (starts != nullptr && starts->size() >= 2) {
+    gaps.reserve(starts->size() - 1);
+    for (std::size_t i = 1; i < starts->size(); ++i) {
+      gaps.push_back(static_cast<double>((*starts)[i] - (*starts)[i - 1]));
+    }
+  }
+  return gaps;
+}
+
+}  // namespace hpcfail::trace

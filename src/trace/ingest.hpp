@@ -1,0 +1,133 @@
+// Incremental dataset maintenance for streaming ingest (`hpcfail serve`).
+//
+// The batch pipeline builds one immutable FailureDataset and one
+// DatasetIndex over it. A live daemon cannot afford a full O(n log n)
+// re-sort + reindex per arriving event, so LiveDataset splits the data in
+// two:
+//
+//   * the *sealed* prefix: an immutable FailureDataset (with its index
+//     already built) published to readers as a shared_ptr snapshot;
+//   * the *tail*: recent appends, kept columnar in arrival order, plus
+//     live per-(system, node) posting lists (each node's start times,
+//     ascending) that are updated in O(1) amortized per append and cover
+//     sealed + tail, so exact per-node interarrival queries never wait
+//     for a rebuild.
+//
+// When the tail outgrows the rebuild policy (max(min_rebuild_tail,
+// rebuild_fraction x sealed size) — geometric growth, so the total merge
+// work over n appends is O(n log n) amortized, not O(n^2)), seal() stable-
+// sorts the tail and two-way merges it with the sealed columns (sealed
+// first on full-key ties, which equals one stable sort of the
+// concatenation), revalidates in one fused pass, builds the new index
+// *before* publishing, and swaps the snapshot pointer under a mutex held
+// only for the pointer swap. Readers therefore never block on a rebuild
+// and never observe a half-built index.
+//
+// Threading contract: append()/drain()/seal()/node_interarrivals() are
+// single-writer (the ingest thread); snapshot()/epoch()/sealed_size()/
+// tail_size()/size() are safe from any thread concurrently with the
+// writer. Snapshots are immutable and remain valid after further appends
+// and seals (the previous epoch's dataset lives until the last reader
+// drops its shared_ptr).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "trace/columns.hpp"
+#include "trace/dataset.hpp"
+#include "trace/source.hpp"
+
+namespace hpcfail::obs {
+class Counter;
+}  // namespace hpcfail::obs
+
+namespace hpcfail::trace {
+
+class LiveDataset {
+ public:
+  /// Epoch rebuild policy. A seal is triggered when the tail reaches
+  /// max(min_rebuild_tail, rebuild_fraction * sealed records).
+  struct Options {
+    std::size_t min_rebuild_tail = 8192;
+    double rebuild_fraction = 0.5;
+  };
+
+  LiveDataset();
+  explicit LiveDataset(Options options);
+
+  /// Seeds the sealed prefix from an existing dataset and derives the
+  /// live posting lists from it.
+  LiveDataset(FailureDataset seed, Options options);
+  explicit LiveDataset(FailureDataset seed);
+
+  /// Appends one record; may trigger a seal per the rebuild policy.
+  /// Throws InvalidArgument on an inconsistent record (same rule as
+  /// FailureDataset construction).
+  void append(const FailureRecord& r);
+
+  /// Pulls events from `source` until it reports idle/end or
+  /// `max_events` have been appended. Returns the number appended.
+  std::size_t drain(Source& source,
+                    std::size_t max_events = static_cast<std::size_t>(-1));
+
+  /// Forces an epoch rebuild now (no-op on an empty tail).
+  void seal();
+
+  /// The current sealed snapshot (tail records are *not* included; call
+  /// seal() first for an up-to-the-last-append dataset). Never null.
+  std::shared_ptr<const FailureDataset> snapshot() const;
+
+  /// Number of seals performed (0 = nothing sealed yet).
+  std::uint64_t epoch() const noexcept {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  std::size_t sealed_size() const noexcept {
+    return sealed_count_.load(std::memory_order_acquire);
+  }
+  /// Records appended but not yet sealed — the index epoch lag.
+  std::size_t tail_size() const noexcept {
+    return tail_count_.load(std::memory_order_acquire);
+  }
+  std::size_t size() const noexcept { return sealed_size() + tail_size(); }
+
+  /// Wall-clock cost of the most recent seal, in milliseconds.
+  double last_rebuild_ms() const noexcept { return last_rebuild_ms_; }
+
+  /// Exact per-node interarrival gaps (seconds) over sealed + tail, from
+  /// the live posting lists — no rebuild required. Writer-thread only.
+  std::vector<double> node_interarrivals(int system_id, int node_id) const;
+
+  /// Start times of one node, ascending, over sealed + tail. Empty when
+  /// the node has no failures. Writer-thread only.
+  const std::vector<Seconds>* node_starts(int system_id,
+                                          int node_id) const noexcept;
+
+ private:
+  void publish(std::shared_ptr<const FailureDataset> next);
+  void index_starts(const ColumnStore& columns);
+  std::size_t seal_threshold() const noexcept;
+
+  Options options_;
+  ColumnStore tail_;  ///< arrival order, not yet merged
+  std::map<std::pair<int, int>, std::vector<Seconds>> live_starts_;
+
+  mutable std::mutex sealed_mutex_;  ///< guards sealed_ pointer swap only
+  std::shared_ptr<const FailureDataset> sealed_;
+
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::size_t> sealed_count_{0};
+  std::atomic<std::size_t> tail_count_{0};
+  double last_rebuild_ms_ = 0.0;
+  /// Lazy obs handle (resolved on first append so enabling obs after
+  /// construction still counts); atomic mirrors DatasetIndex::view_hits_.
+  mutable std::atomic<obs::Counter*> appends_counter_{nullptr};
+};
+
+}  // namespace hpcfail::trace

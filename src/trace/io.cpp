@@ -5,7 +5,7 @@
 
 #include "common/csv.hpp"
 #include "common/error.hpp"
-#include "common/strings.hpp"
+#include "trace/source.hpp"
 
 namespace hpcfail::trace {
 
@@ -35,48 +35,13 @@ void write_csv_file(const std::string& path, const FailureDataset& dataset) {
 }
 
 FailureDataset read_csv(std::istream& in) {
-  CsvReader reader(in);
-  std::vector<std::string> row;
-  if (!reader.next_row(row)) {
-    throw ParseError("empty trace file (missing header)");
-  }
-  {
-    std::string joined;
-    for (std::size_t i = 0; i < row.size(); ++i) {
-      if (i != 0) joined += ',';
-      joined += trim(row[i]);
-    }
-    if (joined != kCsvHeader) {
-      throw ParseError("unexpected trace header: '" + joined + "'");
-    }
-  }
-
+  // Thin wrapper over the strict CsvSource: identical header checks,
+  // error messages, and blank-line handling as the historical inline
+  // parser (see trace/source.cpp).
+  CsvSource source(in, CsvSource::OnError::throw_);
   std::vector<FailureRecord> records;
-  while (reader.next_row(row)) {
-    const std::size_t line = reader.line_number();
-    if (row.size() == 1 && trim(row[0]).empty()) continue;  // blank line
-    if (row.size() != 7) {
-      throw ParseError("line " + std::to_string(line) + ": expected 7 " +
-                       "fields, got " + std::to_string(row.size()));
-    }
-    try {
-      FailureRecord r;
-      r.system_id = static_cast<int>(parse_i64(trim(row[0])));
-      r.node_id = static_cast<int>(parse_i64(trim(row[1])));
-      r.start = parse_timestamp(trim(row[2]));
-      r.end = parse_timestamp(trim(row[3]));
-      r.workload = workload_from_string(row[4]);
-      r.cause = root_cause_from_string(row[5]);
-      r.detail = detail_cause_from_string(row[6]);
-      if (!r.is_consistent()) {
-        throw ParseError("inconsistent record (end < start, bad ids, or "
-                         "cause/detail mismatch)");
-      }
-      records.push_back(r);
-    } catch (const ParseError& e) {
-      throw ParseError("line " + std::to_string(line) + ": " + e.what());
-    }
-  }
+  FailureRecord r;
+  while (source.next(r) == SourceStatus::event) records.push_back(r);
   return FailureDataset(std::move(records));
 }
 

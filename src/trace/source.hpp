@@ -1,0 +1,157 @@
+// Pull-based event sources: the unified ingest surface behind both the
+// batch CSV reader and the streaming daemon (`hpcfail serve`).
+//
+// A Source yields FailureRecords one at a time. Batch sources (CsvSource)
+// only ever report `event` or `end`; streaming sources (LineSource,
+// TailSource) additionally report `idle` when no complete event is
+// available *yet* — the caller polls again later. Malformed input is
+// handled per the source's error policy: the strict CSV path throws
+// ParseError with a line number (preserving read_csv's exact messages),
+// while streaming sources reject-and-count so one bad line never takes
+// the daemon down (counters() exposes accepted/rejected totals and the
+// last rejection message).
+//
+// The wire format for the line-protocol sources is one CSV row per line,
+// same field order as kCsvHeader (system,node,start,end,workload,cause,
+// detail), no quoting. Blank lines and lines equal to the canonical
+// header are skipped silently so `nc daemon < trace.csv` just works.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/csv.hpp"
+#include "trace/record.hpp"
+
+namespace hpcfail::trace {
+
+/// Result of one Source::next() poll.
+enum class SourceStatus {
+  event,  ///< `out` holds a valid record
+  idle,   ///< no complete event available yet; poll again later
+  end,    ///< the source is exhausted; no further events will arrive
+};
+
+/// Ingest accounting shared by every source.
+struct SourceCounters {
+  std::uint64_t accepted = 0;  ///< records successfully parsed
+  std::uint64_t rejected = 0;  ///< malformed lines dropped (reject policy)
+  std::string last_error;      ///< message of the most recent rejection
+};
+
+/// Abstract pull-based event iterator.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Advances to the next record. Returns `event` and fills `out`, or
+  /// `idle`/`end` per the source's contract. Strict sources may throw
+  /// ParseError instead of rejecting.
+  virtual SourceStatus next(FailureRecord& out) = 0;
+
+  /// Accept/reject accounting since construction.
+  virtual const SourceCounters& counters() const noexcept {
+    return counters_;
+  }
+
+ protected:
+  SourceCounters counters_;
+};
+
+/// Builds a record from the 7 canonical fields. Fields 0-3 (ids and
+/// timestamps) are trimmed; workload/cause/detail are parsed verbatim,
+/// matching the historical read_csv behavior. Throws ParseError (without
+/// a line prefix; callers add one) on any malformed field or an
+/// inconsistent record.
+FailureRecord record_from_fields(const std::vector<std::string>& fields);
+
+/// Parses one line-protocol line (7 comma-separated fields, optional
+/// trailing '\r'). Allocation-free splitting; same validation and error
+/// messages as record_from_fields, plus "expected 7 fields, got N" when
+/// the field count is wrong.
+FailureRecord record_from_line(std::string_view line);
+
+/// Strict/lenient CSV source over any istream. The constructor consumes
+/// and validates the canonical header (always throwing ParseError on a
+/// missing or unexpected header, regardless of policy). next() never
+/// returns `idle`.
+class CsvSource : public Source {
+ public:
+  enum class OnError {
+    throw_,  ///< propagate ParseError with "line N: ..." (read_csv contract)
+    reject,  ///< count the bad row and keep going
+  };
+
+  /// `in` must outlive the source. Reads the header immediately.
+  explicit CsvSource(std::istream& in, OnError on_error = OnError::throw_);
+
+  SourceStatus next(FailureRecord& out) override;
+
+ private:
+  CsvReader reader_;
+  OnError on_error_;
+  std::vector<std::string> row_;
+};
+
+/// Streaming line-protocol source fed by pushed byte chunks (the TCP
+/// ingest path). feed() appends raw bytes; next() yields one record per
+/// complete '\n'-terminated line, `idle` when the buffer holds no
+/// complete line, and `end` once finish() has been called and the buffer
+/// is drained (a final unterminated line is still parsed). Malformed
+/// lines are always reject-and-count.
+class LineSource : public Source {
+ public:
+  /// Appends raw bytes (need not align with line boundaries).
+  void feed(std::string_view bytes);
+
+  /// Declares end-of-stream; next() drains the remainder then returns
+  /// `end`.
+  void finish() noexcept { finished_ = true; }
+
+  SourceStatus next(FailureRecord& out) override;
+
+  /// Total '\n'-terminated lines consumed so far (blank/header included).
+  std::uint64_t lines_seen() const noexcept { return lines_seen_; }
+
+ private:
+  bool parse_line(std::string_view line, FailureRecord& out);
+
+  std::string buffer_;
+  std::size_t pos_ = 0;  ///< start of the first unconsumed byte
+  std::uint64_t lines_seen_ = 0;
+  bool finished_ = false;
+};
+
+/// Follows a file that other processes append to (`tail -f` semantics).
+/// Each next() that finds the inner buffer empty re-opens the file, seeks
+/// past everything already consumed, and feeds any new bytes; `idle`
+/// means no new data (or the file does not exist yet). Never returns
+/// `end` — the caller decides when to stop polling. Truncation below the
+/// consumed offset restarts from the top of the file.
+class TailSource : public Source {
+ public:
+  explicit TailSource(std::string path, std::uint64_t start_offset = 0);
+
+  SourceStatus next(FailureRecord& out) override;
+
+  const SourceCounters& counters() const noexcept override {
+    return lines_.counters();
+  }
+
+  /// Byte offset of the next read.
+  std::uint64_t offset() const noexcept { return offset_; }
+
+ private:
+  /// Reads newly appended bytes into the line buffer. Returns the byte
+  /// count fed (0 when nothing new).
+  std::size_t poll_file();
+
+  std::string path_;
+  std::uint64_t offset_ = 0;
+  LineSource lines_;
+};
+
+}  // namespace hpcfail::trace

@@ -70,8 +70,8 @@ struct ContractRow {
 
 const std::vector<std::string>& all_subcommands() {
   static const std::vector<std::string> kNames = {
-      "generate", "catalog",      "validate", "fit",     "repair",
-      "report",   "availability", "profile",  "campaign"};
+      "generate", "catalog",      "validate", "fit",      "repair",
+      "report",   "availability", "profile",  "campaign", "serve"};
   return kNames;
 }
 
@@ -124,7 +124,11 @@ TEST(CliContract, ExitCodeTable) {
       {"fit --system", 2, "parse error:"},      // option without a value
       {"fit --system notanint", 2, "parse error:"},
       {"repair --seed -3", 2, "parse error:"},  // uint64 cannot be negative
+      {"serve --max-events -1", 2, "parse error:"},
       // runtime failures -> 1
+      {"serve --ingest-port 70000 --max-events 1", 1, "validation error:"},
+      {"serve --host not.an.ip --max-events 1", 1, "validation error:"},
+      {"serve --trace " + missing + " --max-events 1", 1, "io error:"},
       {"fit --system 20 --trace " + missing, 1, "io error:"},
       {"validate --trace " + missing, 1, "io error:"},
       {"repair --trace " + missing, 1, "io error:"},

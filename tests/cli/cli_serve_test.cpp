@@ -1,0 +1,78 @@
+// Smoke test of `hpcfail serve` through the real binary: tail a trace
+// file, stop at --max-events, and verify the metrics dump carries the
+// serve.* counters the daemon promises.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::path(::testing::TempDir()) /
+          (name + "_" + std::to_string(::getpid())))
+      .string();
+}
+
+TEST(CliServe, TailsFileUntilMaxEventsAndDumpsMetrics) {
+  const std::string trace = temp_path("serve_smoke_trace") + ".csv";
+  const std::string metrics = temp_path("serve_smoke_metrics") + ".json";
+  const std::string out_path = temp_path("serve_smoke") + ".out";
+  {
+    std::ofstream out(trace);
+    out << "system,node,start,end,workload,cause,detail\n";
+    for (int i = 0; i < 60; ++i) {
+      const int hour = i % 24;
+      const int day = 1 + i / 24;
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "20,%d,2005-01-%02d %02d:00:00,2005-01-%02d %02d:30:00,"
+                    "compute,hardware,memory_dimm\n",
+                    i % 8, day, hour, day, hour);
+      out << line;
+    }
+    out << "one malformed line\n";
+  }
+
+  const std::string command = std::string(HPCFAIL_CLI_PATH) +
+                              " serve --tail " + trace +
+                              " --max-events 60 --metrics-out " + metrics +
+                              " > " + out_path + " 2>&1";
+  const int raw = std::system(command.c_str());
+  ASSERT_TRUE(WIFEXITED(raw));
+  const std::string output = read_file(out_path);
+  EXPECT_EQ(WEXITSTATUS(raw), 0) << output;
+
+  EXPECT_NE(output.find("ingest_port="), std::string::npos) << output;
+  EXPECT_NE(output.find("http_port="), std::string::npos) << output;
+  EXPECT_NE(output.find("ingested 60 events (1 rejected)"),
+            std::string::npos)
+      << output;
+
+  const std::string dump = read_file(metrics);
+  for (const char* needle :
+       {"serve.events_ingested", "serve.rejected_events", "ingest.epoch",
+        "serve.events_per_sec"}) {
+    EXPECT_NE(dump.find(needle), std::string::npos) << needle << "\n"
+                                                    << dump;
+  }
+
+  std::remove(trace.c_str());
+  std::remove(metrics.c_str());
+  std::remove(out_path.c_str());
+}
+
+}  // namespace

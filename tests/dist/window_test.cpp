@@ -1,0 +1,225 @@
+// Streaming-accumulator oracles: SuffStats::add/merge against the batch
+// compute() pass, SlidingSuffStats windows against brute-force rescans,
+// and fit_report_from_stats against the rescanning fit_report. Lives in
+// the calibration tier with the other differential oracles.
+#include "dist/window.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "dist/fit.hpp"
+#include "dist/suffstats.hpp"
+
+namespace hpcfail::dist {
+namespace {
+
+std::vector<double> lognormal_sample(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::lognormal_distribution<double> d(2.0, 1.2);
+  std::vector<double> xs(n);
+  for (double& x : xs) x = d(rng);
+  return xs;
+}
+
+TEST(SuffStatsStreaming, AddIsBitIdenticalToCompute) {
+  const std::vector<double> xs = lognormal_sample(500, 7);
+  const double floor = 0.5;
+  const SuffStats batch = SuffStats::compute(xs, floor);
+  SuffStats streamed;
+  streamed.floor_at = floor;
+  for (const double x : xs) streamed.add(x);
+  EXPECT_EQ(streamed.n, batch.n);
+  EXPECT_EQ(streamed.sum_raw, batch.sum_raw);
+  EXPECT_EQ(streamed.sum, batch.sum);
+  EXPECT_EQ(streamed.sum_sq, batch.sum_sq);
+  EXPECT_EQ(streamed.sum_log, batch.sum_log);
+  EXPECT_EQ(streamed.sum_log_sq, batch.sum_log_sq);
+  EXPECT_EQ(streamed.min, batch.min);
+  EXPECT_EQ(streamed.max, batch.max);
+}
+
+TEST(SuffStatsStreaming, MergeMatchesConcatenationToFloatNoise) {
+  const std::vector<double> xs = lognormal_sample(800, 13);
+  const SuffStats whole = SuffStats::compute(xs, 1e-9);
+  SuffStats left = SuffStats::compute(
+      std::vector<double>(xs.begin(), xs.begin() + 300), 1e-9);
+  const SuffStats right = SuffStats::compute(
+      std::vector<double>(xs.begin() + 300, xs.end()), 1e-9);
+  left.merge(right);
+  EXPECT_EQ(left.n, whole.n);
+  EXPECT_NEAR(left.sum, whole.sum, 1e-9 * std::abs(whole.sum));
+  EXPECT_NEAR(left.sum_log, whole.sum_log, 1e-9 * std::abs(whole.sum_log));
+  EXPECT_NEAR(left.sum_sq, whole.sum_sq, 1e-9 * std::abs(whole.sum_sq));
+  EXPECT_EQ(left.min, whole.min);
+  EXPECT_EQ(left.max, whole.max);
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9 * whole.mean());
+  EXPECT_NEAR(left.cv_squared(), whole.cv_squared(), 1e-6);
+}
+
+TEST(SuffStatsStreaming, MergeRejectsFloorMismatch) {
+  SuffStats a;
+  a.floor_at = 1.0;
+  a.add(2.0);
+  SuffStats b;
+  b.floor_at = 2.0;
+  b.add(3.0);
+  EXPECT_THROW(a.merge(b), InvalidArgument);
+  // Merging an empty accumulator is a no-op regardless of floor.
+  SuffStats empty;
+  empty.floor_at = 123.0;
+  EXPECT_NO_THROW(a.merge(empty));
+  EXPECT_EQ(a.n, 1u);
+}
+
+// One synthetic event stream shared by the sliding-window oracles.
+struct Event {
+  Seconds at;
+  double value;
+};
+
+std::vector<Event> event_stream(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<Seconds> gap(1, 7200);
+  std::lognormal_distribution<double> value(3.0, 1.5);
+  std::vector<Event> events;
+  Seconds at = to_epoch(2004, 1, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    at += gap(rng);
+    events.push_back({at, value(rng)});
+  }
+  return events;
+}
+
+/// Brute-force reference with the documented bucket semantics: the
+/// window covers every event whose *bucket* intersects [now - w, now].
+SuffStats brute_force_window(const std::vector<Event>& events, Seconds now,
+                             Seconds window, Seconds bucket,
+                             double floor_at) {
+  const auto bucket_index = [bucket](Seconds at) {
+    Seconds q = at / bucket;
+    if (at % bucket != 0 && at < 0) --q;
+    return q;
+  };
+  const Seconds lo = bucket_index(now - window);
+  const Seconds hi = bucket_index(now);
+  std::vector<double> xs;
+  for (const Event& e : events) {
+    const Seconds idx = bucket_index(e.at);
+    if (idx >= lo && idx <= hi) xs.push_back(e.value);
+  }
+  SuffStats out;
+  out.floor_at = floor_at;
+  if (!xs.empty()) out = SuffStats::compute(xs, floor_at);
+  return out;
+}
+
+TEST(SlidingSuffStats, WindowMatchesBruteForceRescan) {
+  const std::vector<Event> events = event_stream(2000, 17);
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = kSecondsPerHour;
+  opts.max_buckets = 100000;  // retain everything: pure window semantics
+  opts.floor_at = 1e-9;
+  SlidingSuffStats sliding(opts);
+  for (const Event& e : events) sliding.add(e.at, e.value);
+
+  const Seconds now = sliding.latest_at();
+  for (const Seconds window :
+       {Seconds{1}, kSecondsPerHour, 24 * kSecondsPerHour,
+        24 * 7 * kSecondsPerHour, 24 * 365 * kSecondsPerHour}) {
+    SCOPED_TRACE("window=" + std::to_string(window));
+    const SuffStats got = sliding.window_stats(now, window);
+    const SuffStats want = brute_force_window(events, now, window,
+                                              opts.bucket_seconds,
+                                              opts.floor_at);
+    EXPECT_EQ(got.n, want.n);
+    if (want.n == 0) continue;
+    EXPECT_NEAR(got.sum, want.sum, 1e-9 * std::abs(want.sum));
+    EXPECT_NEAR(got.sum_log, want.sum_log,
+                1e-9 * std::abs(want.sum_log) + 1e-12);
+    EXPECT_EQ(got.min, want.min);
+    EXPECT_EQ(got.max, want.max);
+  }
+  // The widest window covers the whole stream.
+  EXPECT_EQ(
+      sliding.window_stats(now, 24 * 365 * kSecondsPerHour).n,
+      events.size());
+}
+
+TEST(SlidingSuffStats, MidStreamWindowsMatchTotalUpToNow) {
+  // Windows queried while events keep arriving (the daemon's real mode).
+  const std::vector<Event> events = event_stream(1000, 29);
+  SlidingSuffStats sliding;
+  std::vector<Event> seen;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    sliding.add(events[i].at, events[i].value);
+    seen.push_back(events[i]);
+    if (i % 97 != 0) continue;
+    const Seconds now = sliding.latest_at();
+    const Seconds window = 24 * kSecondsPerHour;
+    const SuffStats got = sliding.window_stats(now, window);
+    const SuffStats want = brute_force_window(
+        seen, now, window, kSecondsPerHour, sliding.options().floor_at);
+    ASSERT_EQ(got.n, want.n) << "after event " << i;
+  }
+}
+
+TEST(SlidingSuffStats, EvictsOldBucketsAndCountsDrops) {
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = 60;
+  opts.max_buckets = 3;
+  SlidingSuffStats sliding(opts);
+  for (int i = 0; i < 10; ++i) {
+    sliding.add(static_cast<Seconds>(i) * 60, 1.0);
+  }
+  EXPECT_EQ(sliding.bucket_count(), 3u);
+  EXPECT_EQ(sliding.dropped(), 7u);
+  EXPECT_EQ(sliding.size(), 3u);
+  // A stale arrival older than the retained range is dropped, not added.
+  sliding.add(0, 1.0);
+  EXPECT_EQ(sliding.dropped(), 8u);
+  EXPECT_EQ(sliding.size(), 3u);
+}
+
+TEST(StreamingFits, MatchRescanningFitReport) {
+  const std::vector<double> xs = lognormal_sample(1500, 41);
+  const double floor = 1e-9;
+  const SuffStats stats = SuffStats::compute(xs, floor);
+
+  const FitReport streaming = fit_report_from_stats(stats);
+  const FitReport rescan = fit_report(xs, streamable_families(), floor);
+
+  ASSERT_EQ(streaming.size(), rescan.size());
+  EXPECT_EQ(streaming.sample_size, rescan.sample_size);
+  for (std::size_t i = 0; i < streaming.size(); ++i) {
+    EXPECT_EQ(streaming[i].family, rescan[i].family) << "rank " << i;
+    EXPECT_NEAR(streaming[i].nll, rescan[i].nll,
+                1e-6 * std::abs(rescan[i].nll))
+        << to_string(streaming[i].family);
+    EXPECT_NEAR(streaming[i].aic, rescan[i].aic,
+                1e-6 * std::abs(rescan[i].aic));
+    EXPECT_NEAR(streaming[i].model->mean(), rescan[i].model->mean(),
+                1e-6 * std::abs(rescan[i].model->mean()));
+  }
+}
+
+TEST(StreamingFits, DegenerateStatsThrowOrShrink) {
+  EXPECT_THROW(fit_report_from_stats(SuffStats{}), FitError);
+  // A constant sample: exponential still fits, the two-parameter
+  // families are degenerate and must be counted, not crash.
+  SuffStats constant;
+  constant.floor_at = 1e-9;
+  for (int i = 0; i < 10; ++i) constant.add(5.0);
+  const FitReport report = fit_report_from_stats(constant);
+  ASSERT_EQ(report.size(), 1u);
+  EXPECT_EQ(report.best().family, Family::exponential);
+  EXPECT_EQ(report.failed_families, 2u);
+}
+
+}  // namespace
+}  // namespace hpcfail::dist

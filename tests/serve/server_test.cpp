@@ -1,0 +1,371 @@
+// End-to-end tests of the streaming daemon over real sockets: ephemeral
+// ports, a raw line-protocol client, HTTP readers querying *during*
+// ingest, reject-and-count on malformed lines, and both shutdown paths.
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "serve/analytics.hpp"
+#include "trace/record.hpp"
+
+namespace hpcfail::serve {
+namespace {
+
+trace::FailureRecord rec(int system, int node, Seconds start,
+                         Seconds duration) {
+  trace::FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.cause = trace::RootCause::hardware;
+  r.detail = trace::DetailCause::memory_dimm;
+  return r;
+}
+
+std::string csv_line(const trace::FailureRecord& r) {
+  return std::to_string(r.system_id) + "," + std::to_string(r.node_id) +
+         "," + format_timestamp(r.start) + "," + format_timestamp(r.end) +
+         ",compute,hardware,memory_dimm\n";
+}
+
+const Seconds t0 = to_epoch(2004, 6, 1);
+
+// --- LiveAnalytics unit coverage -----------------------------------------
+
+TEST(LiveAnalytics, WindowedReportMatchesHandComputation) {
+  LiveAnalytics analytics;
+  // Three failures on one node, one hour apart, 30 minutes down each.
+  analytics.observe(rec(3, 1, t0, 1800));
+  analytics.observe(rec(3, 1, t0 + 3600, 1800));
+  analytics.observe(rec(3, 1, t0 + 7200, 1800));
+  EXPECT_EQ(analytics.events_observed(), 3u);
+  EXPECT_EQ(analytics.latest_at(), t0 + 7200);
+
+  const WindowReport report =
+      analytics.report(3, 24 * kSecondsPerHour);
+  EXPECT_EQ(report.events_total, 3u);
+  EXPECT_EQ(report.repair_minutes.n, 3u);
+  EXPECT_DOUBLE_EQ(report.repair_minutes.mean(), 30.0);
+  EXPECT_EQ(report.node_gaps_seconds.n, 2u);
+  EXPECT_DOUBLE_EQ(report.node_gaps_seconds.mean(), 3600.0);
+  EXPECT_EQ(report.system_gaps_seconds.n, 2u);
+  ASSERT_EQ(report.by_cause.size(), 1u);
+  EXPECT_EQ(report.by_cause[0].cause, trace::RootCause::hardware);
+  EXPECT_EQ(report.by_cause[0].repair_minutes.n, 3u);
+}
+
+TEST(LiveAnalytics, WindowExcludesOldEvents) {
+  LiveAnalytics analytics;
+  analytics.observe(rec(1, 0, t0, 600));
+  analytics.observe(rec(1, 0, t0 + 40 * kSecondsPerHour, 600));
+  // A 2-hour window anchored at the latest event excludes the first.
+  const WindowReport narrow = analytics.report(1, 2 * kSecondsPerHour);
+  EXPECT_EQ(narrow.repair_minutes.n, 1u);
+  const WindowReport wide = analytics.report(1, 100 * kSecondsPerHour);
+  EXPECT_EQ(wide.repair_minutes.n, 2u);
+}
+
+TEST(LiveAnalytics, UnknownSystemYieldsEmptyReport) {
+  LiveAnalytics analytics;
+  analytics.observe(rec(1, 0, t0, 600));
+  const WindowReport report = analytics.report(42, kSecondsPerHour);
+  EXPECT_EQ(report.events_total, 0u);
+  EXPECT_EQ(report.repair_minutes.n, 0u);
+  EXPECT_TRUE(report.repair_fits.empty());
+}
+
+TEST(LiveAnalytics, ReportJsonHasSchemaAndSections) {
+  LiveAnalytics analytics;
+  for (int i = 0; i < 40; ++i) {
+    analytics.observe(rec(2, i % 4, t0 + i * 900, 60 + i * 30));
+  }
+  const std::string json =
+      to_json(analytics.report(2, 24 * kSecondsPerHour));
+  for (const char* needle :
+       {"\"schema\":\"hpcfail.serve.report\"", "\"version\":1",
+        "\"system\":2", "\"repair_minutes\"", "\"node_gaps_seconds\"",
+        "\"system_gaps_seconds\"", "\"by_cause\"", "\"repair_fits\"",
+        "\"node_gap_fits\"", "\"mean\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n"
+                                                    << json;
+  }
+}
+
+// --- socket helpers -------------------------------------------------------
+
+int connect_to(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+void send_all(int fd, const std::string& text) {
+  std::size_t sent = 0;
+  while (sent < text.size()) {
+    const ssize_t n =
+        ::send(fd, text.data() + sent, text.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+HttpResponse http_get(int port, const std::string& target) {
+  const int fd = connect_to(port);
+  send_all(fd, "GET " + target + " HTTP/1.0\r\n\r\n");
+  std::string raw;
+  char buffer[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n <= 0) break;
+    raw.append(buffer, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  HttpResponse response;
+  const std::size_t space = raw.find(' ');
+  if (space != std::string::npos) {
+    response.status = std::stoi(raw.substr(space + 1, 3));
+  }
+  const std::size_t header_end = raw.find("\r\n\r\n");
+  if (header_end != std::string::npos) {
+    response.body = raw.substr(header_end + 4);
+  }
+  return response;
+}
+
+void wait_until_ingested(const Server& server, std::uint64_t count) {
+  for (int i = 0; i < 500 && server.events_ingested() < count; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_GE(server.events_ingested(), count);
+}
+
+// --- option validation ----------------------------------------------------
+
+TEST(Server, RejectsInvalidOptions) {
+  {
+    ServerOptions opts;
+    opts.ingest_port = 70000;
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+  {
+    ServerOptions opts;
+    opts.host = "not an address";
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+  {
+    ServerOptions opts;
+    opts.bucket_seconds = 0;
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+  {
+    ServerOptions opts;
+    opts.window_seconds = -5;
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+}
+
+// --- end-to-end -----------------------------------------------------------
+
+TEST(Server, IngestsStreamRejectsMalformedAndServesReaders) {
+  ServerOptions opts;
+  opts.epoch.min_rebuild_tail = 64;  // exercise several epochs
+  Server server(opts);
+  server.start();
+  ASSERT_GT(server.ingest_port(), 0);
+  ASSERT_GT(server.http_port(), 0);
+
+  EXPECT_EQ(http_get(server.http_port(), "/healthz").body, "ok\n");
+
+  const int client = connect_to(server.ingest_port());
+  std::string payload;
+  const std::size_t kEvents = 500;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    payload += csv_line(rec(7, static_cast<int>(i % 8),
+                            t0 + static_cast<Seconds>(i) * 120, 300));
+  }
+  payload += "this is not an event\n";
+  send_all(client, payload);
+  wait_until_ingested(server, kEvents);
+  for (int i = 0; i < 500 && server.events_rejected() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.events_rejected(), 1u);
+
+  // Readers are served while the connection is still open (no rebuild
+  // or drain-to-idle needed first).
+  const HttpResponse stats = http_get(server.http_port(), "/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"events_ingested\":500"), std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"events_rejected\":1"), std::string::npos);
+
+  const HttpResponse report =
+      http_get(server.http_port(), "/report?system=7&window_hours=48");
+  EXPECT_EQ(report.status, 200);
+  EXPECT_NE(report.body.find("\"schema\":\"hpcfail.serve.report\""),
+            std::string::npos);
+  EXPECT_NE(report.body.find("\"repair_fits\""), std::string::npos);
+
+  EXPECT_EQ(http_get(server.http_port(), "/report?system=999").status,
+            404);
+  EXPECT_EQ(http_get(server.http_port(), "/report?system=oops").status,
+            400);
+  EXPECT_EQ(http_get(server.http_port(), "/nope").status, 404);
+
+  const HttpResponse metrics = http_get(server.http_port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+
+  ::close(client);
+  server.stop();
+  server.wait();
+  // The final seal folds the tail into the published snapshot.
+  EXPECT_EQ(server.dataset().snapshot()->size(), kEvents);
+  EXPECT_GE(server.dataset().epoch(), 2u);
+}
+
+TEST(Server, ConcurrentReadersDuringSustainedIngest) {
+  ServerOptions opts;
+  opts.epoch.min_rebuild_tail = 128;
+  Server server(opts);
+  server.start();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> reads{0};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!done.load()) {
+        const HttpResponse r =
+            http_get(server.http_port(), "/report?system=5");
+        // 404 until the first event lands, 200 after; anything else
+        // (or a dropped connection) is a failure.
+        if (r.status != 200 && r.status != 404) failures.fetch_add(1);
+        reads.fetch_add(1);
+      }
+    });
+  }
+
+  const int client = connect_to(server.ingest_port());
+  const std::size_t kEvents = 2000;
+  std::string payload;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    payload += csv_line(rec(5, static_cast<int>(i % 16),
+                            t0 + static_cast<Seconds>(i) * 60, 120));
+  }
+  send_all(client, payload);
+  wait_until_ingested(server, kEvents);
+  ::close(client);
+
+  done.store(true);
+  for (std::thread& t : readers) t.join();
+  EXPECT_GT(reads.load(), 0);
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(http_get(server.http_port(), "/report?system=5").status, 200);
+
+  server.stop();
+  server.wait();
+}
+
+TEST(Server, MaxEventsStopsTheDaemon) {
+  ServerOptions opts;
+  opts.max_events = 10;
+  Server server(opts);
+  server.start();
+  const int client = connect_to(server.ingest_port());
+  std::string payload;
+  for (int i = 0; i < 25; ++i) {
+    payload += csv_line(rec(1, 0, t0 + i * 60, 30));
+  }
+  send_all(client, payload);
+  server.wait();  // returns because max_events tripped, not stop()
+  ::close(client);
+  EXPECT_GE(server.events_ingested(), 10u);
+  EXPECT_EQ(server.dataset().snapshot()->size(), server.events_ingested());
+}
+
+TEST(Server, ShutdownEndpointStopsTheDaemon) {
+  Server server(ServerOptions{});
+  server.start();
+  const HttpResponse r = http_get(server.http_port(), "/shutdown");
+  EXPECT_EQ(r.status, 200);
+  EXPECT_NE(r.body.find("shutting_down"), std::string::npos);
+  server.wait();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(Server, SeededServerServesReportsBeforeAnyIngest) {
+  std::vector<trace::FailureRecord> records;
+  for (int i = 0; i < 100; ++i) {
+    records.push_back(rec(4, i % 4, t0 + i * 3600, 600));
+  }
+  Server server(ServerOptions{}, trace::FailureDataset(std::move(records)));
+  server.start();
+  const HttpResponse report =
+      http_get(server.http_port(), "/report?system=4&window_hours=200");
+  EXPECT_EQ(report.status, 200);
+  EXPECT_NE(report.body.find("\"events_total\":100"), std::string::npos)
+      << report.body;
+  server.stop();
+  server.wait();
+  EXPECT_EQ(server.dataset().snapshot()->size(), 100u);
+}
+
+TEST(Server, TailsAnAppendedFile) {
+  const std::string path =
+      ::testing::TempDir() + "/serve_tail_" +
+      std::to_string(::getpid()) + ".csv";
+  std::remove(path.c_str());
+
+  ServerOptions opts;
+  opts.tail_path = path;
+  Server server(opts);
+  server.start();
+  {
+    std::string text = "system,node,start,end,workload,cause,detail\n";
+    for (int i = 0; i < 20; ++i) text += csv_line(rec(6, 0, t0 + i * 60, 30));
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+  }
+  wait_until_ingested(server, 20);
+  {
+    std::ofstream out(path, std::ios::app | std::ios::binary);
+    out << csv_line(rec(6, 1, t0 + 9000, 30));
+  }
+  wait_until_ingested(server, 21);
+  server.stop();
+  server.wait();
+  std::remove(path.c_str());
+  EXPECT_EQ(server.dataset().snapshot()->size(), 21u);
+}
+
+}  // namespace
+}  // namespace hpcfail::serve

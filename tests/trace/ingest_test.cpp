@@ -1,0 +1,264 @@
+#include "trace/ingest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <random>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "trace/dataset.hpp"
+#include "trace/index.hpp"
+#include "trace/source.hpp"
+
+namespace hpcfail::trace {
+namespace {
+
+FailureRecord rec(int system, int node, Seconds start, Seconds duration,
+                  RootCause cause = RootCause::hardware,
+                  DetailCause detail = DetailCause::memory_dimm) {
+  FailureRecord r;
+  r.system_id = system;
+  r.node_id = node;
+  r.start = start;
+  r.end = start + duration;
+  r.cause = cause;
+  r.detail = detail;
+  return r;
+}
+
+const Seconds t0 = to_epoch(2000, 1, 1);
+
+/// Random records with unique (start, system, node) sort keys, so the
+/// reference sort order is unambiguous and bit-identity is well-defined.
+std::vector<FailureRecord> random_records(std::size_t n,
+                                          std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> system(1, 4);
+  std::uniform_int_distribution<int> node(0, 7);
+  std::uniform_int_distribution<Seconds> jitter(1, 1000);
+  std::set<std::tuple<Seconds, int, int>> used;
+  std::vector<FailureRecord> out;
+  Seconds at = t0;
+  while (out.size() < n) {
+    at += jitter(rng);
+    const FailureRecord r = rec(system(rng), node(rng), at, 60);
+    if (used.emplace(r.start, r.system_id, r.node_id).second) {
+      out.push_back(r);
+    }
+  }
+  // Appends arrive roughly-but-not-exactly in time order; shuffle within
+  // small windows to exercise the merge's out-of-order handling.
+  std::uniform_int_distribution<std::size_t> swap_gap(1, 5);
+  for (std::size_t i = 0; i + 5 < out.size(); ++i) {
+    std::swap(out[i], out[i + swap_gap(rng)]);
+  }
+  return out;
+}
+
+void expect_bit_identical(const FailureDataset& got,
+                          const FailureDataset& want) {
+  ASSERT_EQ(got.size(), want.size());
+  const ColumnsView g = got.records();
+  const ColumnsView w = want.records();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(g.starts()[i], w.starts()[i]) << "row " << i;
+    ASSERT_EQ(g.ends()[i], w.ends()[i]) << "row " << i;
+    ASSERT_EQ(g.system_ids()[i], w.system_ids()[i]) << "row " << i;
+    ASSERT_EQ(g.node_ids()[i], w.node_ids()[i]) << "row " << i;
+    ASSERT_EQ(g.workloads()[i], w.workloads()[i]) << "row " << i;
+    ASSERT_EQ(g.causes()[i], w.causes()[i]) << "row " << i;
+    ASSERT_EQ(g.details()[i], w.details()[i]) << "row " << i;
+  }
+}
+
+TEST(LiveDataset, StartsEmptyWithValidSnapshot) {
+  LiveDataset live;
+  ASSERT_NE(live.snapshot(), nullptr);
+  EXPECT_EQ(live.snapshot()->size(), 0u);
+  EXPECT_EQ(live.epoch(), 0u);
+  live.seal();  // no-op on empty tail
+  EXPECT_EQ(live.epoch(), 0u);
+}
+
+TEST(LiveDataset, SnapshotExcludesTailUntilSeal) {
+  LiveDataset live;
+  live.append(rec(1, 0, t0, 60));
+  EXPECT_EQ(live.tail_size(), 1u);
+  EXPECT_EQ(live.snapshot()->size(), 0u);
+  live.seal();
+  EXPECT_EQ(live.tail_size(), 0u);
+  EXPECT_EQ(live.sealed_size(), 1u);
+  EXPECT_EQ(live.snapshot()->size(), 1u);
+  EXPECT_EQ(live.epoch(), 1u);
+}
+
+TEST(LiveDataset, RejectsInconsistentAppend) {
+  LiveDataset live;
+  FailureRecord bad = rec(1, 0, t0, 60);
+  bad.end = bad.start - 1;
+  EXPECT_THROW(live.append(bad), InvalidArgument);
+  FailureRecord mismatch = rec(1, 0, t0, 60);
+  mismatch.detail = DetailCause::scheduler;  // software detail, hw cause
+  EXPECT_THROW(live.append(mismatch), InvalidArgument);
+  EXPECT_EQ(live.size(), 0u);
+}
+
+TEST(LiveDataset, EpochPolicyTriggersGeometricSeals) {
+  LiveDataset::Options opts;
+  opts.min_rebuild_tail = 16;
+  opts.rebuild_fraction = 0.5;
+  LiveDataset live(opts);
+  const std::vector<FailureRecord> records = random_records(200, 11);
+  std::uint64_t seals_seen = 0;
+  for (const FailureRecord& r : records) {
+    live.append(r);
+    seals_seen = std::max<std::uint64_t>(seals_seen, live.epoch());
+    // The tail can never exceed the threshold in effect when it sealed.
+    EXPECT_LE(live.tail_size(),
+              std::max<std::size_t>(opts.min_rebuild_tail,
+                                    static_cast<std::size_t>(
+                                        opts.rebuild_fraction *
+                                        static_cast<double>(
+                                            live.sealed_size()))));
+  }
+  EXPECT_GE(seals_seen, 2u);   // policy actually fired
+  EXPECT_LE(seals_seen, 20u);  // and amortized: far fewer seals than appends
+}
+
+TEST(LiveDataset, IncrementalEqualsFromScratchAcrossThreadCounts) {
+  const std::vector<FailureRecord> records = random_records(3000, 23);
+  const FailureDataset reference{std::vector<FailureRecord>(records)};
+
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    set_parallelism(threads);
+    LiveDataset::Options opts;
+    opts.min_rebuild_tail = 64;  // force many epochs over 3000 appends
+    LiveDataset live(opts);
+    std::mt19937 rng(threads);
+    std::uniform_int_distribution<int> coin(0, 99);
+    for (const FailureRecord& r : records) {
+      live.append(r);
+      if (coin(rng) == 0) live.seal();  // random mid-stream seals
+    }
+    live.seal();
+    EXPECT_GT(live.epoch(), 4u);
+    expect_bit_identical(*live.snapshot(), reference);
+
+    // The incrementally-maintained index answers like the batch one.
+    const DatasetView all = live.snapshot()->index().all();
+    EXPECT_EQ(all.size(), reference.size());
+    EXPECT_EQ(live.snapshot()->index().system_ids(),
+              reference.index().system_ids());
+  }
+  set_parallelism(0);  // restore the default for other tests
+}
+
+TEST(LiveDataset, SeededFromExistingDataset) {
+  const std::vector<FailureRecord> records = random_records(300, 31);
+  std::vector<FailureRecord> head(records.begin(), records.begin() + 200);
+  LiveDataset live{FailureDataset(std::move(head))};
+  EXPECT_EQ(live.sealed_size(), 200u);
+  for (std::size_t i = 200; i < records.size(); ++i) {
+    live.append(records[i]);
+  }
+  live.seal();
+  expect_bit_identical(*live.snapshot(),
+                       FailureDataset{std::vector<FailureRecord>(records)});
+}
+
+TEST(LiveDataset, LivePostingListsMatchSealedDataset) {
+  const std::vector<FailureRecord> records = random_records(500, 47);
+  LiveDataset::Options opts;
+  opts.min_rebuild_tail = 64;
+  LiveDataset live(opts);
+  for (const FailureRecord& r : records) live.append(r);
+  // Deliberately do NOT seal: posting lists must already be exact over
+  // sealed + tail.
+  std::vector<FailureRecord> sorted(records);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FailureRecord& a, const FailureRecord& b) {
+              return a.start < b.start;
+            });
+  for (int system = 1; system <= 4; ++system) {
+    for (int node = 0; node <= 7; ++node) {
+      std::vector<Seconds> want;
+      for (const FailureRecord& r : sorted) {
+        if (r.system_id == system && r.node_id == node) {
+          want.push_back(r.start);
+        }
+      }
+      const std::vector<Seconds>* got = live.node_starts(system, node);
+      if (want.empty()) {
+        EXPECT_EQ(got, nullptr);
+        continue;
+      }
+      ASSERT_NE(got, nullptr);
+      EXPECT_EQ(*got, want);
+      const std::vector<double> gaps = live.node_interarrivals(system, node);
+      ASSERT_EQ(gaps.size(), want.size() - 1);
+      for (std::size_t i = 0; i + 1 < want.size(); ++i) {
+        EXPECT_EQ(gaps[i], static_cast<double>(want[i + 1] - want[i]));
+      }
+    }
+  }
+}
+
+TEST(LiveDataset, OldSnapshotsSurviveLaterSeals) {
+  LiveDataset live;
+  live.append(rec(1, 0, t0, 60));
+  live.seal();
+  const std::shared_ptr<const FailureDataset> old = live.snapshot();
+  live.append(rec(1, 0, t0 + 100, 60));
+  live.seal();
+  EXPECT_EQ(old->size(), 1u);  // immutable: unaffected by the new epoch
+  EXPECT_EQ(live.snapshot()->size(), 2u);
+  EXPECT_NE(old.get(), live.snapshot().get());
+}
+
+TEST(LiveDataset, DrainPullsFromSource) {
+  LineSource source;
+  source.feed(
+      "2,0,1996-06-07 08:48:45,1996-06-07 08:55:14,compute,human,"
+      "operator_error\n"
+      "2,1,1996-06-07 09:48:45,1996-06-07 09:55:14,compute,hardware,"
+      "memory_dimm\n");
+  LiveDataset live;
+  EXPECT_EQ(live.drain(source), 2u);
+  EXPECT_EQ(live.size(), 2u);
+  EXPECT_EQ(live.drain(source), 0u);  // idle source: nothing more
+}
+
+// Regression for the index.hpp lifetime contract: a FailureDataset with a
+// built index must stay usable after being moved (the index is dropped
+// under the mutex and lazily rebuilt over the new storage — stale views
+// into the moved-from buffer must never survive).
+TEST(LiveDataset, AppendThenMoveRebuildsIndexOverNewStorage) {
+  const std::vector<FailureRecord> records = random_records(400, 53);
+  FailureDataset ds{std::vector<FailureRecord>(records)};
+  const std::vector<int> systems_before = ds.index().system_ids();
+
+  FailureDataset moved(std::move(ds));  // move with a built index
+  const std::vector<int> systems_after = moved.index().system_ids();
+  EXPECT_EQ(systems_after, systems_before);
+  EXPECT_EQ(moved.index().all().size(), records.size());
+
+  // Same through the streaming path: seed (index built before publish),
+  // append, seal, and query the new epoch's index.
+  LiveDataset live(std::move(moved));
+  live.append(rec(9, 0, t0 - 100, 60));
+  live.seal();
+  const std::shared_ptr<const FailureDataset> snap = live.snapshot();
+  EXPECT_EQ(snap->index().all().size(), records.size() + 1);
+  const std::vector<int> systems_live = snap->index().system_ids();
+  EXPECT_NE(std::find(systems_live.begin(), systems_live.end(), 9),
+            systems_live.end());
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

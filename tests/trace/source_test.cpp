@@ -1,0 +1,226 @@
+#include "trace/source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "trace/io.hpp"
+
+namespace hpcfail::trace {
+namespace {
+
+const std::string kGoodLine =
+    "2,0,1996-06-07 08:48:45,1996-06-07 08:55:14,compute,human,"
+    "operator_error";
+
+std::string sample_csv() {
+  std::string text = std::string(kCsvHeader) + "\n";
+  text += kGoodLine + "\n";
+  text += "2,0,1996-06-07 14:18:50,1996-06-07 14:40:17,compute,hardware,"
+          "memory_dimm\n";
+  return text;
+}
+
+TEST(RecordFromLine, ParsesAndTrims) {
+  const FailureRecord r =
+      record_from_line(" 2 , 0 , 1996-06-07 08:48:45 , 1996-06-07 08:55:14 "
+                       ",compute,human,operator_error");
+  EXPECT_EQ(r.system_id, 2);
+  EXPECT_EQ(r.node_id, 0);
+  EXPECT_EQ(r.end - r.start, 389);
+  EXPECT_EQ(r.cause, RootCause::human);
+}
+
+TEST(RecordFromLine, RejectsWrongFieldCount) {
+  try {
+    record_from_line("1,2,3");
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("expected 7 fields, got 3"),
+              std::string::npos);
+  }
+  EXPECT_THROW(record_from_line(kGoodLine + ",extra"), ParseError);
+}
+
+TEST(RecordFromLine, RejectsInconsistentRecord) {
+  // end < start.
+  EXPECT_THROW(
+      record_from_line("2,0,1996-06-07 08:55:14,1996-06-07 08:48:45,"
+                       "compute,human,operator_error"),
+      ParseError);
+  // cause/detail mismatch.
+  EXPECT_THROW(
+      record_from_line("2,0,1996-06-07 08:48:45,1996-06-07 08:55:14,"
+                       "compute,human,memory_dimm"),
+      ParseError);
+}
+
+TEST(CsvSource, MatchesReadCsv) {
+  std::istringstream a(sample_csv());
+  std::istringstream b(sample_csv());
+  CsvSource source(a);
+  std::vector<FailureRecord> pulled;
+  FailureRecord r;
+  while (source.next(r) == SourceStatus::event) pulled.push_back(r);
+  EXPECT_EQ(source.next(r), SourceStatus::end);  // end is sticky
+  EXPECT_EQ(source.counters().accepted, 2u);
+
+  const FailureDataset ds = read_csv(b);
+  ASSERT_EQ(pulled.size(), ds.size());
+  std::size_t i = 0;
+  for (const FailureRecord& expected : ds.records()) {
+    EXPECT_EQ(pulled[i].start, expected.start);
+    EXPECT_EQ(pulled[i].system_id, expected.system_id);
+    ++i;
+  }
+}
+
+TEST(CsvSource, HeaderErrorsMatchReadCsvContract) {
+  {
+    std::istringstream in("");
+    try {
+      CsvSource source(in);
+      FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+      EXPECT_STREQ(e.what(), "empty trace file (missing header)");
+    }
+  }
+  {
+    std::istringstream in("wrong,header\n1,2\n");
+    try {
+      CsvSource source(in);
+      FAIL() << "should have thrown";
+    } catch (const ParseError& e) {
+      EXPECT_NE(std::string(e.what()).find("unexpected trace header"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(CsvSource, ThrowModeReportsLineNumber) {
+  std::istringstream in(std::string(kCsvHeader) + "\n" + kGoodLine +
+                        "\nnot,a,record\n");
+  CsvSource source(in);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  try {
+    source.next(r);
+    FAIL() << "should have thrown";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3:"), std::string::npos);
+  }
+}
+
+TEST(CsvSource, RejectModeCountsAndContinues) {
+  std::istringstream in(std::string(kCsvHeader) + "\nnot,a,record\n" +
+                        kGoodLine + "\n");
+  CsvSource source(in, CsvSource::OnError::reject);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);  // skipped the bad line
+  EXPECT_EQ(source.next(r), SourceStatus::end);
+  EXPECT_EQ(source.counters().accepted, 1u);
+  EXPECT_EQ(source.counters().rejected, 1u);
+  EXPECT_NE(source.counters().last_error.find("line 2:"), std::string::npos);
+}
+
+TEST(LineSource, ReassemblesChunkedFeeds) {
+  LineSource source;
+  const std::string two_lines = kGoodLine + "\n" + kGoodLine + "\n";
+  FailureRecord r;
+  // Feed one byte at a time: every split point must reassemble.
+  for (const char ch : two_lines) source.feed(std::string_view(&ch, 1));
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);  // stream still open
+  EXPECT_EQ(source.counters().accepted, 2u);
+}
+
+TEST(LineSource, SkipsBlankLinesAndEchoedHeader) {
+  LineSource source;
+  source.feed("\n  \n" + std::string(kCsvHeader) + "\n" + kGoodLine + "\n");
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);
+  EXPECT_EQ(source.counters().accepted, 1u);
+  EXPECT_EQ(source.counters().rejected, 0u);
+}
+
+TEST(LineSource, RejectsMalformedWithLineNumber) {
+  LineSource source;
+  source.feed("garbage line\n" + kGoodLine + "\n");
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.counters().rejected, 1u);
+  EXPECT_NE(source.counters().last_error.find("line 1:"), std::string::npos);
+}
+
+TEST(LineSource, HandlesCrlfAndFinalUnterminatedLine) {
+  LineSource source;
+  source.feed(kGoodLine + "\r\n" + kGoodLine);  // second line: no newline
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);  // partial line buffered
+  source.finish();
+  EXPECT_EQ(source.next(r), SourceStatus::event);  // flushed by finish()
+  EXPECT_EQ(source.next(r), SourceStatus::end);
+  EXPECT_EQ(source.counters().accepted, 2u);
+}
+
+class TailSourceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tail_source_test.csv";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void append_text(const std::string& text) {
+    std::ofstream out(path_, std::ios::app | std::ios::binary);
+    out << text;
+  }
+
+  std::string path_;
+};
+
+TEST_F(TailSourceTest, PicksUpAppendedLines) {
+  append_text(std::string(kCsvHeader) + "\n" + kGoodLine + "\n");
+  TailSource source(path_);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);  // caught up, never ends
+
+  append_text(kGoodLine + "\n");
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.counters().accepted, 2u);
+  EXPECT_GT(source.offset(), 0u);
+}
+
+TEST_F(TailSourceTest, MissingFileIsIdleNotError) {
+  TailSource source(path_);  // file does not exist yet
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::idle);
+  append_text(kGoodLine + "\n");
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+}
+
+TEST_F(TailSourceTest, TruncationRestartsFromTop) {
+  append_text(kGoodLine + "\n");
+  TailSource source(path_);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+
+  // Truncate + rewrite shorter: the tailer must reset its offset.
+  std::ofstream(path_, std::ios::trunc).close();
+  ASSERT_EQ(source.next(r), SourceStatus::idle);
+  append_text(kGoodLine + "\n");
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.counters().accepted, 2u);
+}
+
+}  // namespace
+}  // namespace hpcfail::trace

@@ -6,10 +6,13 @@ Usage: check_bench_floor.py BENCH_PR6.json
            [--min-fitting-speedup-vs-seed X --fitting-row per_node|pooled]
        check_bench_floor.py BENCH_PR7.json
            [--min-campaign-faults-per-sec N]
+       check_bench_floor.py BENCH_PR8.json
+           [--min-ingest-events-per-sec N]
 
 Dispatches on the JSON's "benchmark" field: "pr6_columnar_pipeline"
-(written by `bench_perf_dataset --pr6`) or "pr7_campaign" (written by
-`bench_perf_campaign`), and fails (exit 1) when a gated number falls
+(written by `bench_perf_dataset --pr6`), "pr7_campaign" (written by
+`bench_perf_campaign`), or "pr8_ingest" (written by
+`bench_perf_ingest`), and fails (exit 1) when a gated number falls
 below its floor. The generation gate applies to the wall-clock
 `records_per_sec` of the largest trace generated under the named
 profile — the 10M-record sweep row, NOT the paper-scale profile gauge,
@@ -38,6 +41,7 @@ def main():
     parser.add_argument("--fitting-row", default="pooled",
                         choices=["per_node", "pooled"])
     parser.add_argument("--min-campaign-faults-per-sec", type=float)
+    parser.add_argument("--min-ingest-events-per-sec", type=float)
     args = parser.parse_args()
 
     try:
@@ -51,6 +55,8 @@ def main():
         check_pr6(doc, args)
     elif benchmark == "pr7_campaign":
         check_pr7(doc, args)
+    elif benchmark == "pr8_ingest":
+        check_pr8(doc, args)
     else:
         fail(f"unexpected benchmark {benchmark!r}")
 
@@ -58,9 +64,13 @@ def main():
 
 
 def check_pr6(doc, args):
-    if args.min_campaign_faults_per_sec is not None:
-        fail("--min-campaign-faults-per-sec does not apply to "
-             "pr6_columnar_pipeline")
+    for flag, value in (
+            ("--min-campaign-faults-per-sec",
+             args.min_campaign_faults_per_sec),
+            ("--min-ingest-events-per-sec",
+             args.min_ingest_events_per_sec)):
+        if value is not None:
+            fail(f"{flag} does not apply to pr6_columnar_pipeline")
 
     if args.min_generation_records_per_sec is not None:
         rows = [g for g in doc.get("generation", [])
@@ -97,7 +107,9 @@ def check_pr7(doc, args):
             ("--min-generation-records-per-sec",
              args.min_generation_records_per_sec),
             ("--min-fitting-speedup-vs-seed",
-             args.min_fitting_speedup_vs_seed)):
+             args.min_fitting_speedup_vs_seed),
+            ("--min-ingest-events-per-sec",
+             args.min_ingest_events_per_sec)):
         if value is not None:
             fail(f"{flag} does not apply to pr7_campaign")
 
@@ -116,6 +128,36 @@ def check_pr7(doc, args):
         print(f"campaign single-core: {rate:,.0f} faults/sec >= "
               f"floor {floor:,.0f} ({cell.get('faults')} faults over "
               f"{cell.get('runs')} runs)")
+
+
+def check_pr8(doc, args):
+    for flag, value in (
+            ("--min-generation-records-per-sec",
+             args.min_generation_records_per_sec),
+            ("--min-fitting-speedup-vs-seed",
+             args.min_fitting_speedup_vs_seed),
+            ("--min-campaign-faults-per-sec",
+             args.min_campaign_faults_per_sec)):
+        if value is not None:
+            fail(f"{flag} does not apply to pr8_ingest")
+
+    # Unconditional: the incrementally-maintained dataset must be
+    # column-for-column identical to a from-scratch build.
+    if not doc.get("identical", False):
+        fail("ingest benchmark reported an incremental-vs-scratch mismatch")
+
+    if args.min_ingest_events_per_sec is not None:
+        cell = doc.get("single_core")
+        if not isinstance(cell, dict):
+            fail("no single_core measurement")
+        rate = cell.get("events_per_sec", 0.0)
+        floor = args.min_ingest_events_per_sec
+        if rate < floor:
+            fail(f"ingest single-core: {rate:,.0f} events/sec "
+                 f"< floor {floor:,.0f}")
+        print(f"ingest single-core: {rate:,.0f} events/sec >= "
+              f"floor {floor:,.0f} ({cell.get('events')} events, "
+              f"{cell.get('epochs')} epochs)")
 
 
 if __name__ == "__main__":

@@ -20,6 +20,7 @@
 // error:", "fit error:", "io error:", "invalid argument:", and
 // "error:" for everything else.
 #include <charconv>
+#include <csignal>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -672,6 +673,59 @@ int cmd_campaign(const Args& args) {
   return 0;
 }
 
+serve::Server* g_serve_instance = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  // Server::stop() is async-signal-safe (one self-pipe write).
+  if (g_serve_instance != nullptr) g_serve_instance->stop();
+}
+
+int cmd_serve(const Args& args) {
+  serve::ServerOptions opts;
+  opts.host = args.get_string("host");
+  opts.ingest_port = args.get_int("ingest-port");
+  opts.http_port = args.get_int("http-port");
+  opts.window_seconds =
+      static_cast<Seconds>(args.get_int("window-hours")) * kSecondsPerHour;
+  opts.bucket_seconds = static_cast<Seconds>(args.get_u64("bucket-seconds"));
+  opts.max_buckets = static_cast<std::size_t>(args.get_u64("max-buckets"));
+  opts.max_events = args.get_u64("max-events");
+  if (args.given("tail")) opts.tail_path = args.get_string("tail");
+
+  std::unique_ptr<serve::Server> server;
+  if (args.given("trace")) {
+    trace::FailureDataset seed =
+        trace::read_csv_file(args.get_string("trace"));
+    std::cout << "seeded with " << seed.size() << " records from "
+              << args.get_string("trace") << "\n";
+    server = std::make_unique<serve::Server>(opts, std::move(seed));
+  } else {
+    server = std::make_unique<serve::Server>(opts);
+  }
+  server->start();
+  g_serve_instance = server.get();
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+
+  // key=value lines so scripts can scrape the resolved ephemeral ports.
+  std::cout << "ingest_port=" << server->ingest_port() << "\n"
+            << "http_port=" << server->http_port() << "\n"
+            << "serving on " << opts.host << " (line protocol -> ingest, "
+            << "GET /report /stats /metrics /healthz /shutdown -> http)"
+            << std::endl;
+
+  server->wait();
+  g_serve_instance = nullptr;
+  std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
+
+  std::cout << "ingested " << server->events_ingested() << " events ("
+            << server->events_rejected() << " rejected), index epoch "
+            << server->dataset().epoch() << ", " << server->dataset().size()
+            << " records\n";
+  return 0;
+}
+
 // ---------------------------------------------------------------------------
 // The subcommand table
 
@@ -765,6 +819,31 @@ const std::vector<Subcommand>& subcommands() {
             "simulating"},
        },
        &cmd_campaign},
+      {"serve", "streaming ingest daemon with live windowed analytics",
+       {
+           {"host", ArgType::string, "127.0.0.1", false,
+            "address both listeners bind to"},
+           {"ingest-port", ArgType::integer, "0", false,
+            "TCP line-protocol ingest port (0 = ephemeral, printed as "
+            "ingest_port=N)"},
+           {"http-port", ArgType::integer, "0", false,
+            "HTTP report/metrics port (0 = ephemeral, printed as "
+            "http_port=N)"},
+           {"window-hours", ArgType::integer, "24", false,
+            "default /report window"},
+           {"bucket-seconds", ArgType::uint64, "3600", false,
+            "analytics bucket width"},
+           {"max-buckets", ArgType::uint64, "336", false,
+            "retained buckets per analytics cell"},
+           {"tail", ArgType::string, "", false,
+            "also follow an appended trace file"},
+           {"trace", ArgType::string, "", false,
+            "seed dataset CSV loaded before serving"},
+           {"max-events", ArgType::uint64, "0", false,
+            "stop after N accepted events (0 = run until SIGINT or "
+            "/shutdown)"},
+       },
+       &cmd_serve},
   };
   return kTable;
 }

@@ -22,8 +22,9 @@ std::int64_t SlidingSuffStats::bucket_index(Seconds at) const noexcept {
 
 void SlidingSuffStats::add(Seconds at, double value) {
   const std::int64_t idx = bucket_index(at);
-  if (!buckets_.empty() && idx < buckets_.front().index) {
-    ++dropped_;  // older than everything retained
+  if (idx < floor_index_ ||
+      (!buckets_.empty() && idx < buckets_.front().index)) {
+    ++dropped_;  // older than everything retained (or already evicted)
     return;
   }
   if (at > latest_at_ || size_ == 0) latest_at_ = at;
@@ -55,8 +56,24 @@ void SlidingSuffStats::add(Seconds at, double value) {
   while (buckets_.size() > options_.max_buckets) {
     dropped_ += buckets_.front().stats.n;
     size_ -= buckets_.front().stats.n;
+    floor_index_ = buckets_.front().index + 1;
     buckets_.pop_front();
   }
+}
+
+SuffStats SlidingSuffStats::evict_before(Seconds horizon) {
+  SuffStats evicted;
+  evicted.floor_at = options_.floor_at;
+  const std::int64_t idx = bucket_index(horizon);
+  if (idx > floor_index_) floor_index_ = idx;
+  while (!buckets_.empty() && buckets_.front().index < idx) {
+    const Bucket& front = buckets_.front();
+    evicted.merge(front.stats);
+    dropped_ += front.stats.n;
+    size_ -= front.stats.n;
+    buckets_.pop_front();
+  }
+  return evicted;
 }
 
 SuffStats SlidingSuffStats::window_stats(Seconds now, Seconds window) const {

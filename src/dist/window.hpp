@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <limits>
 
 #include "common/time.hpp"
 #include "dist/suffstats.hpp"
@@ -51,6 +52,16 @@ class SlidingSuffStats {
   /// Merged statistics over every retained bucket.
   SuffStats total_stats() const;
 
+  /// Evicts every bucket whose quantum lies entirely before `horizon`
+  /// (bucket index < horizon's index) and returns their merged
+  /// statistics; the evicted observations count into dropped(). The
+  /// horizon is remembered as a floor: a late arrival landing on an
+  /// evicted bucket's index — even when no buckets remain — is dropped
+  /// and counted, never resurrected. This is the retention/compaction
+  /// hook: the caller folds the returned stats into its compacted
+  /// aggregate so no observation is lost, only de-windowed.
+  SuffStats evict_before(Seconds horizon);
+
   /// Observations lost to eviction or too-old arrival.
   std::uint64_t dropped() const noexcept { return dropped_; }
 
@@ -75,6 +86,8 @@ class SlidingSuffStats {
 
   Options options_;
   std::deque<Bucket> buckets_;  ///< ascending index, sparse
+  /// Smallest bucket index still accepted; everything below was evicted.
+  std::int64_t floor_index_ = std::numeric_limits<std::int64_t>::min();
   std::uint64_t dropped_ = 0;
   std::uint64_t size_ = 0;
   Seconds latest_at_ = 0;

@@ -73,6 +73,16 @@ void LiveAnalytics::observe(const trace::FailureRecord& r) {
   }
 }
 
+void LiveAnalytics::compact_before(Seconds horizon) {
+  for (auto& [key, c] : cells_) {
+    compacted_ += c.repair_minutes.evict_before(horizon).n;
+    compacted_ += c.node_gaps.evict_before(horizon).n;
+  }
+  for (auto& [id, sys] : systems_) {
+    compacted_ += sys.system_gaps.evict_before(horizon).n;
+  }
+}
+
 WindowReport LiveAnalytics::report(int system_id, Seconds window) const {
   WindowReport out;
   out.system_id = system_id;

@@ -73,6 +73,19 @@ class LiveAnalytics {
   /// that to 404).
   WindowReport report(int system_id, Seconds window) const;
 
+  /// Evicts every bucket entirely before `horizon` from all cells — the
+  /// analytics side of dataset retention, so windows and the sealed
+  /// dataset agree on what history exists. Evicted observations are
+  /// counted (compacted_observations()) and their bucket indices become
+  /// a floor: late arrivals below it are dropped, never resurrected
+  /// (see dist::SlidingSuffStats::evict_before).
+  void compact_before(Seconds horizon);
+
+  /// Observations de-windowed by compact_before across all cells.
+  std::uint64_t compacted_observations() const noexcept {
+    return compacted_;
+  }
+
   /// Distinct systems observed, ascending.
   std::vector<int> system_ids() const;
 
@@ -105,6 +118,7 @@ class LiveAnalytics {
   std::map<int, SystemState> systems_;
   Seconds latest_at_ = 0;
   std::uint64_t events_ = 0;
+  std::uint64_t compacted_ = 0;
 };
 
 /// Renders a WindowReport as the /report JSON document.

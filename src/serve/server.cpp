@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <utility>
 
 #include "common/error.hpp"
@@ -24,6 +25,7 @@ namespace {
 constexpr int kPollMillis = 100;
 constexpr std::size_t kChunkBytes = 64 * 1024;
 constexpr std::size_t kObserveBatch = 256;
+constexpr std::size_t kMaxIngestThreads = 64;
 
 [[noreturn]] void throw_errno(const std::string& what) {
   throw IoError(what + ": " + std::strerror(errno));
@@ -97,7 +99,8 @@ std::string query_param(const std::string& target, const std::string& key) {
   return {};
 }
 
-/// Validates user-supplied options before any member construction.
+/// Validates user-supplied options before any member construction, and
+/// mirrors the ingest shard count into the LiveDataset partition count.
 ServerOptions validated(ServerOptions options) {
   const auto valid_port = [](int p) { return p >= 0 && p <= 65535; };
   if (!valid_port(options.ingest_port) || !valid_port(options.http_port)) {
@@ -112,10 +115,18 @@ ServerOptions validated(ServerOptions options) {
   if (options.max_buckets == 0) {
     throw ValidationError("max buckets must be positive");
   }
+  if (options.ingest_threads == 0 ||
+      options.ingest_threads > kMaxIngestThreads) {
+    throw ValidationError("ingest threads must be in [1, 64]");
+  }
+  if (options.http_request_deadline_ms <= 0) {
+    throw ValidationError("http request deadline must be positive");
+  }
   in_addr probe{};
   if (::inet_pton(AF_INET, options.host.c_str(), &probe) != 1) {
     throw ValidationError("invalid host address '" + options.host + "'");
   }
+  options.epoch.shards = options.ingest_threads;
   return options;
 }
 
@@ -126,12 +137,47 @@ LiveAnalytics::Options analytics_options(const ServerOptions& options) {
   return aopts;
 }
 
+timeval to_timeval(std::chrono::milliseconds ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms.count() % 1000) * 1000);
+  return tv;
+}
+
 }  // namespace
+
+std::size_t send_fully(int fd, std::string_view data) noexcept {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;  // signal load must not truncate
+    break;  // peer gone (EPIPE/ECONNRESET) or SO_SNDTIMEO expired (EAGAIN)
+  }
+  return sent;
+}
 
 struct Server::Connection {
   int fd = -1;
   trace::LineSource source;
   std::uint64_t rejected_seen = 0;  ///< counter watermark already reported
+};
+
+/// One ingest shard: the connections owned by one ingest thread, the
+/// hand-off queue the acceptor (shard 0's thread) fills, and the
+/// shard's ingest accounting for /stats.
+struct Server::IngestShard {
+  std::size_t index = 0;
+  int notify_fds[2] = {-1, -1};  ///< wakes the shard when pending_ fills
+  std::mutex pending_mutex;
+  std::vector<int> pending;  ///< accepted fds not yet adopted
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> connections{0};
 };
 
 Server::Server(ServerOptions options)
@@ -158,6 +204,10 @@ Server::~Server() {
   close_if_open(stop_pipe_[1]);
   close_if_open(ingest_fd_);
   close_if_open(http_fd_);
+  for (const auto& shard : shards_) {
+    close_if_open(shard->notify_fds[0]);
+    close_if_open(shard->notify_fds[1]);
+  }
 }
 
 void Server::start() {
@@ -174,6 +224,18 @@ void Server::start() {
   http_fd_ = listen_on(host, options_.http_port, "http");
   bound_http_port_ = bound_port_of(http_fd_);
 
+  shards_.clear();
+  for (std::size_t s = 0; s < options_.ingest_threads; ++s) {
+    auto shard = std::make_unique<IngestShard>();
+    shard->index = s;
+    if (::pipe(shard->notify_fds) < 0) {
+      throw_errno("cannot create shard notify pipe");
+    }
+    set_nonblocking(shard->notify_fds[0]);
+    set_nonblocking(shard->notify_fds[1]);
+    shards_.push_back(std::move(shard));
+  }
+
   if (obs::enabled()) {
     // Register the serve metrics eagerly so /metrics shows the full
     // schema (zeros included) from the first scrape.
@@ -183,17 +245,28 @@ void Server::start() {
     reg.counter("serve.bytes_ingested");
     reg.counter("serve.connections");
     reg.counter("serve.http_requests");
+    reg.counter("serve.http_request_timeouts");
+    reg.counter("serve.http_truncated_responses");
+    reg.counter("ingest.compacted_events");
     reg.gauge("serve.events_per_sec");
+    reg.gauge("serve.ingest_threads")
+        .set(static_cast<double>(options_.ingest_threads));
     reg.gauge("serve.index_epoch");
     reg.gauge("serve.epoch_lag_records");
     reg.gauge("serve.window_staleness_seconds");
   }
 
   rate_last_time_ = std::chrono::steady_clock::now();
-  last_event_time_ = rate_last_time_;
+  last_event_ns_.store(rate_last_time_.time_since_epoch().count(),
+                       std::memory_order_release);
   running_.store(true, std::memory_order_release);
   stop_requested_.store(false, std::memory_order_release);
-  ingest_thread_ = std::thread([this] { ingest_loop(); });
+  live_ingest_threads_.store(shards_.size(), std::memory_order_release);
+  ingest_threads_.clear();
+  for (const auto& shard : shards_) {
+    IngestShard* s = shard.get();
+    ingest_threads_.emplace_back([this, s] { ingest_loop(*s); });
+  }
   http_thread_ = std::thread([this] { http_loop(); });
 }
 
@@ -202,18 +275,20 @@ void Server::stop() noexcept {
   if (stop_pipe_[1] >= 0) {
     const char byte = 1;
     // Async-signal-safe; short writes/EAGAIN are fine (any byte wakes
-    // both loops, and they also poll stop_requested_ on a timeout).
+    // every loop, and they also poll stop_requested_ on a timeout).
     [[maybe_unused]] const auto n = ::write(stop_pipe_[1], &byte, 1);
   }
 }
 
 void Server::wait() {
-  if (ingest_thread_.joinable()) ingest_thread_.join();
+  for (std::thread& t : ingest_threads_) {
+    if (t.joinable()) t.join();
+  }
   if (http_thread_.joinable()) http_thread_.join();
   running_.store(false, std::memory_order_release);
 }
 
-void Server::drain_source(trace::Source& source) {
+void Server::drain_source(IngestShard& shard, trace::Source& source) {
   // live_ appends run lock-free for readers (the seal publishes behind
   // its own pointer swap), so only the analytics cells need the mutex —
   // taken per small batch, never across a seal.
@@ -228,32 +303,37 @@ void Server::drain_source(trace::Source& source) {
     batch.clear();
   };
   while (source.next(r) == trace::SourceStatus::event) {
-    live_.append(r);
+    live_.append(shard.index, r);
     batch.push_back(r);
     ++accepted;
     if (batch.size() >= kObserveBatch) flush();
   }
   flush();
   if (accepted > 0) {
+    shard.accepted.fetch_add(accepted, std::memory_order_acq_rel);
     events_ingested_.fetch_add(accepted, std::memory_order_acq_rel);
-    last_event_time_ = std::chrono::steady_clock::now();
+    last_event_ns_.store(
+        std::chrono::steady_clock::now().time_since_epoch().count(),
+        std::memory_order_release);
     if (obs::enabled()) {
       obs::registry().counter("serve.events_ingested").add(accepted);
     }
   }
 }
 
-void Server::ingest_chunk(Connection& conn, std::string_view bytes) {
+void Server::ingest_chunk(IngestShard& shard, Connection& conn,
+                          std::string_view bytes) {
   conn.source.feed(bytes);
   bytes_ingested_.fetch_add(bytes.size(), std::memory_order_acq_rel);
   if (obs::enabled()) {
     obs::registry().counter("serve.bytes_ingested").add(bytes.size());
   }
-  drain_source(conn.source);
+  drain_source(shard, conn.source);
   const std::uint64_t rejected = conn.source.counters().rejected;
   if (rejected > conn.rejected_seen) {
     const std::uint64_t delta = rejected - conn.rejected_seen;
     conn.rejected_seen = rejected;
+    shard.rejected.fetch_add(delta, std::memory_order_acq_rel);
     events_rejected_.fetch_add(delta, std::memory_order_acq_rel);
     if (obs::enabled()) {
       obs::registry().counter("serve.rejected_events").add(delta);
@@ -272,21 +352,59 @@ void Server::update_gauges() {
   rate_last_events_ = total;
   rate_last_time_ = now;
   if (obs::enabled()) {
+    const auto last_event = std::chrono::steady_clock::time_point(
+        std::chrono::steady_clock::duration(
+            last_event_ns_.load(std::memory_order_acquire)));
     obs::Registry& reg = obs::registry();
     reg.gauge("serve.events_per_sec").set(rate);
     reg.gauge("serve.index_epoch").set(static_cast<double>(live_.epoch()));
     reg.gauge("serve.epoch_lag_records")
         .set(static_cast<double>(live_.tail_size()));
     reg.gauge("serve.window_staleness_seconds")
-        .set(std::chrono::duration<double>(now - last_event_time_).count());
+        .set(std::chrono::duration<double>(now - last_event).count());
   }
 }
 
-void Server::ingest_loop() {
+void Server::compact_analytics_to_horizon() {
+  // Trims the sliding analytics windows to the dataset's retention
+  // horizon so the two surfaces agree on what history exists. Runs on
+  // shard 0's thread only.
+  if (live_.compacted_events() == 0) return;
+  const Seconds horizon = live_.retention_horizon();
+  if (horizon == analytics_horizon_) return;
+  std::lock_guard<std::mutex> lock(analytics_mutex_);
+  analytics_.compact_before(horizon);
+  analytics_horizon_ = horizon;
+}
+
+void Server::accept_ingest_connections() {
+  while (true) {
+    const int client = ::accept(ingest_fd_, nullptr, nullptr);
+    if (client < 0) break;  // EAGAIN: accepted everything pending
+    set_nonblocking(client);
+    IngestShard& target = *shards_[next_shard_rr_ % shards_.size()];
+    ++next_shard_rr_;
+    {
+      std::lock_guard<std::mutex> lock(target.pending_mutex);
+      target.pending.push_back(client);
+    }
+    const char byte = 1;
+    [[maybe_unused]] const auto n =
+        ::write(target.notify_fds[1], &byte, 1);
+    target.connections.fetch_add(1, std::memory_order_acq_rel);
+    connections_.fetch_add(1, std::memory_order_acq_rel);
+    if (obs::enabled()) {
+      obs::registry().counter("serve.connections").add(1);
+    }
+  }
+}
+
+void Server::ingest_loop(IngestShard& shard) {
   std::vector<std::unique_ptr<Connection>> conns;
   std::unique_ptr<trace::TailSource> tail;
   std::uint64_t tail_rejected_seen = 0;
-  if (!options_.tail_path.empty()) {
+  const bool acceptor = shard.index == 0;
+  if (acceptor && !options_.tail_path.empty()) {
     tail = std::make_unique<trace::TailSource>(options_.tail_path);
   }
 
@@ -294,68 +412,65 @@ void Server::ingest_loop() {
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
     fds.push_back({stop_pipe_[0], POLLIN, 0});
-    fds.push_back({ingest_fd_, POLLIN, 0});
+    fds.push_back({shard.notify_fds[0], POLLIN, 0});
+    if (acceptor) fds.push_back({ingest_fd_, POLLIN, 0});
+    const std::size_t conn_base = fds.size();
     for (const auto& conn : conns) fds.push_back({conn->fd, POLLIN, 0});
 
     const int ready = ::poll(fds.data(), fds.size(), kPollMillis);
     if (ready < 0 && errno != EINTR) break;
     if (stop_requested_.load(std::memory_order_acquire)) break;
 
-    if (ready > 0 && (fds[1].revents & POLLIN) != 0) {
-      while (true) {
-        const int client = ::accept(ingest_fd_, nullptr, nullptr);
-        if (client < 0) break;  // EAGAIN: accepted everything pending
-        set_nonblocking(client);
-        auto conn = std::make_unique<Connection>();
-        conn->fd = client;
-        conns.push_back(std::move(conn));
-        connections_.fetch_add(1, std::memory_order_acq_rel);
-        if (obs::enabled()) {
-          obs::registry().counter("serve.connections").add(1);
-        }
-      }
-    }
-
+    // One chunk per connection per round; fds[i] pairs with
+    // conns[i - conn_base] because conns is not mutated until below.
     char buffer[kChunkBytes];
-    for (std::size_t i = 0; i < conns.size();) {
+    const std::size_t polled = conns.size();
+    for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *conns[i];
-      const auto& pfd =
-          std::find_if(fds.begin() + 2, fds.end(),
-                       [&](const pollfd& f) { return f.fd == conn.fd; });
-      bool closed = false;
-      if (pfd != fds.end() && (pfd->revents & (POLLIN | POLLHUP)) != 0) {
-        const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
-        if (n > 0) {
-          ingest_chunk(conn, std::string_view(buffer,
-                                              static_cast<std::size_t>(n)));
-        } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
-          conn.source.finish();
-          ingest_chunk(conn, std::string_view());
-          ::close(conn.fd);
-          closed = true;
-        }
-      }
-      if (closed) {
-        conns.erase(conns.begin() + static_cast<std::ptrdiff_t>(i));
-      } else {
-        ++i;
+      const pollfd& pfd = fds[conn_base + i];
+      if ((pfd.revents & (POLLIN | POLLHUP)) == 0) continue;
+      const ssize_t n = ::recv(conn.fd, buffer, sizeof(buffer), 0);
+      if (n > 0) {
+        ingest_chunk(shard, conn,
+                     std::string_view(buffer, static_cast<std::size_t>(n)));
+      } else if (n == 0 || (n < 0 && errno != EAGAIN && errno != EINTR)) {
+        conn.source.finish();
+        ingest_chunk(shard, conn, std::string_view());
+        ::close(conn.fd);
+        conn.fd = -1;
       }
     }
+    std::erase_if(conns, [](const std::unique_ptr<Connection>& c) {
+      return c->fd < 0;
+    });
 
-    if (tail) {
-      drain_source(*tail);
-      const std::uint64_t rejected = tail->counters().rejected;
-      if (rejected > tail_rejected_seen) {
-        const std::uint64_t delta = rejected - tail_rejected_seen;
-        tail_rejected_seen = rejected;
-        events_rejected_.fetch_add(delta, std::memory_order_acq_rel);
-        if (obs::enabled()) {
-          obs::registry().counter("serve.rejected_events").add(delta);
-        }
+    // Adopt connections the acceptor handed to this shard, then (shard
+    // 0) accept new ones — strictly after the recv pass so the fds/
+    // conns pairing above stays valid.
+    if ((fds[1].revents & POLLIN) != 0) {
+      char drain[256];
+      while (::read(shard.notify_fds[0], drain, sizeof(drain)) > 0) {
       }
     }
-
-    update_gauges();
+    adopt_pending(shard, conns);
+    if (acceptor) {
+      if ((fds[2].revents & POLLIN) != 0) accept_ingest_connections();
+      if (tail) {
+        drain_source(shard, *tail);
+        const std::uint64_t rejected = tail->counters().rejected;
+        if (rejected > tail_rejected_seen) {
+          const std::uint64_t delta = rejected - tail_rejected_seen;
+          tail_rejected_seen = rejected;
+          shard.rejected.fetch_add(delta, std::memory_order_acq_rel);
+          events_rejected_.fetch_add(delta, std::memory_order_acq_rel);
+          if (obs::enabled()) {
+            obs::registry().counter("serve.rejected_events").add(delta);
+          }
+        }
+      }
+      update_gauges();
+      compact_analytics_to_horizon();
+    }
 
     if (options_.max_events > 0 &&
         events_ingested_.load(std::memory_order_acquire) >=
@@ -365,16 +480,36 @@ void Server::ingest_loop() {
     }
   }
 
-  for (const auto& conn : conns) ::close(conn->fd);
+  for (const auto& conn : conns) {
+    if (conn->fd >= 0) ::close(conn->fd);
+  }
   conns.clear();
-  // Final seal so post-run snapshots (CLI metrics dump, tests) see every
-  // accepted event in the indexed dataset.
-  live_.seal();
-  if (obs::enabled()) {
-    obs::registry().gauge("serve.index_epoch")
-        .set(static_cast<double>(live_.epoch()));
-    obs::registry().gauge("serve.epoch_lag_records")
-        .set(static_cast<double>(live_.tail_size()));
+  // The last ingest thread out runs the final seal so post-run
+  // snapshots (CLI metrics dump, tests) see every accepted event in
+  // the indexed dataset, across all shards.
+  if (live_ingest_threads_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    live_.seal();
+    compact_analytics_to_horizon();
+    if (obs::enabled()) {
+      obs::registry().gauge("serve.index_epoch")
+          .set(static_cast<double>(live_.epoch()));
+      obs::registry().gauge("serve.epoch_lag_records")
+          .set(static_cast<double>(live_.tail_size()));
+    }
+  }
+}
+
+void Server::adopt_pending(IngestShard& shard,
+                           std::vector<std::unique_ptr<Connection>>& conns) {
+  std::vector<int> adopted;
+  {
+    std::lock_guard<std::mutex> lock(shard.pending_mutex);
+    adopted.swap(shard.pending);
+  }
+  for (const int fd : adopted) {
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    conns.push_back(std::move(conn));
   }
 }
 
@@ -387,10 +522,32 @@ std::string Server::stats_json() const {
   out += ",\"connections\":" +
          std::to_string(connections_.load(std::memory_order_acquire));
   out += ",\"http_requests\":" + std::to_string(http_requests());
+  out += ",\"http_request_timeouts\":" +
+         std::to_string(http_request_timeouts());
+  out += ",\"http_truncated_responses\":" +
+         std::to_string(http_truncated_responses());
   out += ",\"epoch\":" + std::to_string(live_.epoch());
   out += ",\"sealed_records\":" + std::to_string(live_.sealed_size());
   out += ",\"tail_records\":" + std::to_string(live_.tail_size());
-  out += ",\"systems\":[";
+  out += ",\"ingest_threads\":" + std::to_string(options_.ingest_threads);
+  out += ",\"compacted_events\":" + std::to_string(live_.compacted_events());
+  out += ",\"retention_horizon\":" +
+         std::to_string(live_.compacted_events() > 0
+                            ? live_.retention_horizon()
+                            : 0);
+  out += ",\"shards\":[";
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const IngestShard& shard = *shards_[s];
+    if (s != 0) out += ',';
+    out += "{\"accepted\":" +
+           std::to_string(shard.accepted.load(std::memory_order_acquire));
+    out += ",\"rejected\":" +
+           std::to_string(shard.rejected.load(std::memory_order_acquire));
+    out += ",\"connections\":" +
+           std::to_string(shard.connections.load(std::memory_order_acquire));
+    out += "}";
+  }
+  out += "],\"systems\":[";
   {
     std::lock_guard<std::mutex> lock(analytics_mutex_);
     const std::vector<int> ids = analytics_.system_ids();
@@ -453,6 +610,8 @@ std::string Server::handle_request(const std::string& target, int& status) {
 }
 
 void Server::http_loop() {
+  const auto request_budget =
+      std::chrono::milliseconds(options_.http_request_deadline_ms);
   std::vector<pollfd> fds;
   while (!stop_requested_.load(std::memory_order_acquire)) {
     fds.clear();
@@ -466,19 +625,37 @@ void Server::http_loop() {
     while (true) {
       const int client = ::accept(http_fd_, nullptr, nullptr);
       if (client < 0) break;
-      // Small blocking read with a timeout: requests are one GET line
-      // and responses are small, so per-request handling stays in the
-      // microsecond range and concurrent readers just queue briefly.
-      timeval tv{};
-      tv.tv_sec = 2;
-      ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+      // Small blocking reads under an *overall* per-request deadline:
+      // SO_RCVTIMEO alone bounds each recv, not the request, so a
+      // client trickling one byte per timeout would otherwise hold the
+      // sole HTTP thread forever (slow-loris) and starve /healthz.
+      const auto deadline = std::chrono::steady_clock::now() + request_budget;
       std::string request;
       char buffer[4096];
+      bool timed_out = false;
       while (request.find("\r\n") == std::string::npos &&
              request.size() < 16 * 1024) {
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) {
+          timed_out = true;
+          break;
+        }
+        const timeval tv = to_timeval(remaining);
+        ::setsockopt(client, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
         const ssize_t n = ::recv(client, buffer, sizeof(buffer), 0);
-        if (n <= 0) break;
-        request.append(buffer, static_cast<std::size_t>(n));
+        if (n > 0) {
+          request.append(buffer, static_cast<std::size_t>(n));
+          continue;
+        }
+        if (n < 0 &&
+            (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+          // Interrupted, or the per-recv slice of the deadline expired:
+          // loop back so the overall deadline check decides.
+          continue;
+        }
+        break;  // closed or a real error
       }
 
       std::string body;
@@ -486,8 +663,17 @@ void Server::http_loop() {
       int status = 200;
       const std::size_t line_end = request.find("\r\n");
       if (line_end == std::string::npos) {
-        status = 400;
-        body = "{\"error\":\"malformed request\"}";
+        if (timed_out) {
+          status = 408;
+          body = "{\"error\":\"request deadline exceeded\"}";
+          http_timeouts_.fetch_add(1, std::memory_order_acq_rel);
+          if (obs::enabled()) {
+            obs::registry().counter("serve.http_request_timeouts").add(1);
+          }
+        } else {
+          status = 400;
+          body = "{\"error\":\"malformed request\"}";
+        }
       } else {
         const std::vector<std::string> parts =
             split(request.substr(0, line_end), ' ');
@@ -507,18 +693,24 @@ void Server::http_loop() {
                            : status == 400 ? "Bad Request"
                            : status == 404 ? "Not Found"
                            : status == 405 ? "Method Not Allowed"
+                           : status == 408 ? "Request Timeout"
                                            : "Error";
       std::string response = "HTTP/1.0 " + std::to_string(status) + " " +
                              reason + "\r\nContent-Type: " + content_type +
                              "\r\nContent-Length: " +
                              std::to_string(body.size()) +
                              "\r\nConnection: close\r\n\r\n" + body;
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t n = ::send(client, response.data() + sent,
-                                 response.size() - sent, MSG_NOSIGNAL);
-        if (n <= 0) break;
-        sent += static_cast<std::size_t>(n);
+      // Bound the write side too, then retry interrupted sends so a
+      // burst of signals cannot silently truncate /metrics or /report.
+      const timeval send_tv = to_timeval(request_budget);
+      ::setsockopt(client, SOL_SOCKET, SO_SNDTIMEO, &send_tv,
+                   sizeof(send_tv));
+      const std::size_t sent = send_fully(client, response);
+      if (sent < response.size()) {
+        http_truncated_.fetch_add(1, std::memory_order_acq_rel);
+        if (obs::enabled()) {
+          obs::registry().counter("serve.http_truncated_responses").add(1);
+        }
       }
       ::close(client);
       http_requests_.fetch_add(1, std::memory_order_acq_rel);

@@ -1,15 +1,23 @@
 // The `hpcfail serve` daemon: streaming ingest + live query serving.
 //
-// Two threads, two listening sockets:
+// N ingest threads + one HTTP thread, two listening sockets:
 //
-//   * the ingest thread accepts TCP connections speaking the line
-//     protocol (one CSV row per line, see trace/source.hpp), feeds each
-//     connection through its own trace::LineSource into the shared
-//     trace::LiveDataset (incremental index, see trace/ingest.hpp) and
-//     serve::LiveAnalytics (windowed moment cells), and optionally tails
-//     an appended file (trace::TailSource). Malformed lines are rejected
-//     and counted (serve.rejected_events) — one bad producer cannot take
-//     the daemon down.
+//   * each ingest thread owns one shard: a partition of the TCP
+//     connections speaking the line protocol (one CSV row per line, see
+//     trace/source.hpp), fed through per-connection trace::LineSources
+//     into that shard's tail of the shared trace::LiveDataset
+//     (incremental index, see trace/ingest.hpp) and the shared
+//     serve::LiveAnalytics (windowed moment cells, short mutex per
+//     small batch). Shard 0 additionally owns the accept loop — new
+//     connections are handed round-robin to the shards over per-shard
+//     notify pipes — plus the optional appended-file tail
+//     (trace::TailSource) and the once-per-second gauge refresh.
+//     Malformed lines are rejected and counted (serve.rejected_events,
+//     and per shard in /stats) — one bad producer cannot take the
+//     daemon down. Seal-time merges run on whichever ingest thread
+//     trips the rebuild threshold; the sealed snapshot is bit-identical
+//     to a from-scratch build at any --ingest-threads count (the
+//     LiveDataset determinism contract).
 //
 //   * the HTTP thread serves many concurrent readers a minimal HTTP/1.0
 //     GET surface: /healthz, /stats (ingest accounting JSON), /report?
@@ -17,14 +25,25 @@
 //     JSON), /metrics (the src/obs Prometheus exporter over the live
 //     registry) and /shutdown. Reports are computed from the analytics
 //     cells under a short mutex — never from a dataset rebuild, so
-//     readers do not block on ingest (the epoch merges run on the ingest
-//     thread, off the readers' path).
+//     readers do not block on ingest. Every request is bounded by an
+//     overall deadline (http_request_deadline_ms), not just a per-read
+//     timeout — a client trickling one byte per 1.9s cannot hold the
+//     thread and starve /healthz — and response writes retry
+//     interrupted sends (send_fully) so signal load cannot silently
+//     truncate /metrics or /report bodies.
 //
-// Backpressure: the ingest loop reads at most one chunk per connection
-// per poll round and appends synchronously, so a producer that outruns
-// the daemon is throttled by TCP flow control (the socket buffer fills
-// and the producer's write blocks) rather than by unbounded queueing —
-// memory stays bounded by the tail + one partial line per connection.
+// Retention: when the LiveDataset options enable a horizon
+// (retain_seconds / max_sealed_events), raw events older than the
+// horizon are compacted into per-(system, node, cause) SuffStats at
+// seal time; /stats reports compacted_events and retention_horizon,
+// and the analytics windows are trimmed to the same horizon.
+//
+// Backpressure: each ingest thread reads at most one chunk per
+// connection per poll round and appends synchronously, so a producer
+// that outruns the daemon is throttled by TCP flow control (the socket
+// buffer fills and the producer's write blocks) rather than by
+// unbounded queueing — memory stays bounded by the tails + one partial
+// line per connection (and by the retention policy when enabled).
 //
 // stop() is async-signal-safe (one write to a self-pipe), so the CLI
 // installs it directly as its SIGINT/SIGTERM handler.
@@ -37,9 +56,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -50,6 +71,12 @@
 
 namespace hpcfail::serve {
 
+/// Writes all of `data` to a connected socket, retrying sends
+/// interrupted by signals (EINTR). Returns the bytes actually written —
+/// short only when the peer is gone or a send timeout (SO_SNDTIMEO)
+/// expired. Exposed for the truncation regression tests.
+std::size_t send_fully(int fd, std::string_view data) noexcept;
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   int ingest_port = 0;  ///< 0 = ephemeral (bound port via ingest_port())
@@ -57,17 +84,23 @@ struct ServerOptions {
   Seconds window_seconds = 24 * kSecondsPerHour;  ///< default /report window
   Seconds bucket_seconds = kSecondsPerHour;
   std::size_t max_buckets = 24 * 14;
-  trace::LiveDataset::Options epoch;  ///< seal policy
+  /// Ingest shard count. Mirrored into epoch.shards (the LiveDataset
+  /// partition count) by the Server constructor.
+  std::size_t ingest_threads = 1;
+  trace::LiveDataset::Options epoch;  ///< seal + retention policy
   std::string tail_path;              ///< optional appended-file to follow
   /// Stop automatically after this many accepted events (0 = run until
   /// stop()/shutdown). Lets smoke tests bound a run without a race.
   std::uint64_t max_events = 0;
+  /// Overall wall-clock budget for reading one HTTP request, from
+  /// accept to a complete request line.
+  int http_request_deadline_ms = 2000;
 };
 
 class Server {
  public:
   /// Validates options; does not bind yet. Throws ValidationError on an
-  /// invalid port/window/bucket configuration.
+  /// invalid port/window/bucket/thread configuration.
   explicit Server(ServerOptions options);
   /// Same, with the dataset and analytics pre-seeded from `seed`.
   Server(ServerOptions options, trace::FailureDataset seed);
@@ -83,7 +116,7 @@ class Server {
   /// Requests shutdown; async-signal-safe (a single self-pipe write).
   void stop() noexcept;
 
-  /// Blocks until both threads have exited.
+  /// Blocks until all threads have exited.
   void wait();
 
   bool running() const noexcept {
@@ -103,19 +136,33 @@ class Server {
   std::uint64_t http_requests() const noexcept {
     return http_requests_.load(std::memory_order_acquire);
   }
+  /// HTTP requests dropped at the overall per-request deadline.
+  std::uint64_t http_request_timeouts() const noexcept {
+    return http_timeouts_.load(std::memory_order_acquire);
+  }
+  /// Responses cut short by a dead peer or send timeout.
+  std::uint64_t http_truncated_responses() const noexcept {
+    return http_truncated_.load(std::memory_order_acquire);
+  }
 
-  /// The live dataset. Snapshot/epoch accessors are safe while running;
-  /// everything else only after wait() returns.
+  /// The live dataset. Snapshot/epoch/size/compaction accessors are
+  /// safe while running; everything else only after wait() returns.
   const trace::LiveDataset& dataset() const noexcept { return live_; }
 
  private:
   struct Connection;
+  struct IngestShard;
 
-  void ingest_loop();
+  void ingest_loop(IngestShard& shard);
+  void accept_ingest_connections();
+  void adopt_pending(IngestShard& shard,
+                     std::vector<std::unique_ptr<Connection>>& conns);
   void http_loop();
-  void ingest_chunk(Connection& conn, std::string_view bytes);
-  void drain_source(trace::Source& source);
+  void ingest_chunk(IngestShard& shard, Connection& conn,
+                    std::string_view bytes);
+  void drain_source(IngestShard& shard, trace::Source& source);
   void update_gauges();
+  void compact_analytics_to_horizon();
   std::string handle_request(const std::string& target, int& status);
   std::string stats_json() const;
 
@@ -123,11 +170,13 @@ class Server {
   trace::LiveDataset live_;
   LiveAnalytics analytics_;
   /// Guards analytics_ and the rejected-line bookkeeping shared between
-  /// the ingest loop (writes) and /report, /stats (reads).
+  /// the ingest loops (writes) and /report, /stats (reads).
   mutable std::mutex analytics_mutex_;
 
-  std::thread ingest_thread_;
+  std::vector<std::unique_ptr<IngestShard>> shards_;
+  std::vector<std::thread> ingest_threads_;
   std::thread http_thread_;
+  std::atomic<std::size_t> live_ingest_threads_{0};
   std::atomic<bool> running_{false};
   std::atomic<bool> stop_requested_{false};
   int stop_pipe_[2] = {-1, -1};  ///< self-pipe; write side used by stop()
@@ -141,11 +190,15 @@ class Server {
   std::atomic<std::uint64_t> bytes_ingested_{0};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> http_requests_{0};
+  std::atomic<std::uint64_t> http_timeouts_{0};
+  std::atomic<std::uint64_t> http_truncated_{0};
 
-  /// events/sec gauge state (ingest thread only).
+  /// events/sec gauge + analytics-compaction state (shard 0 only).
   std::uint64_t rate_last_events_ = 0;
   std::chrono::steady_clock::time_point rate_last_time_;
-  std::chrono::steady_clock::time_point last_event_time_;
+  std::atomic<std::chrono::steady_clock::time_point::rep> last_event_ns_{0};
+  Seconds analytics_horizon_ = std::numeric_limits<Seconds>::min();
+  std::uint64_t next_shard_rr_ = 0;
 };
 
 }  // namespace hpcfail::serve

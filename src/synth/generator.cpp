@@ -18,10 +18,12 @@
 #include "obs/span.hpp"
 #include "stats/special.hpp"
 #include "trace/columns.hpp"
+#include "trace/merge.hpp"
 
 namespace hpcfail::synth {
 
 using trace::ColumnStore;
+using trace::MergeKeySpec;
 using trace::DetailCause;
 using trace::FailureRecord;
 using trace::NodeCategory;
@@ -429,55 +431,26 @@ SystemPlan build_plan(std::uint64_t seed, const SystemInfo& sys,
   return plan;
 }
 
-unsigned bits_for(std::uint64_t v) noexcept {
-  return static_cast<unsigned>(std::bit_width(v));
-}
-
-// Layout of the packed (start, system, node) merge key, fixed before
-// emission from the catalog's ranges. The key orders exactly like the
-// dataset's record comparator, so a stable integer sort of the keys is
-// the global merge; equal keys stay in emission order.
-struct KeySpec {
-  Seconds base = 0;
-  unsigned start_bits = 0;
-  unsigned sys_bits = 0;
-  unsigned node_bits = 0;
-  bool packable = false;
-
-  unsigned total_bits() const noexcept {
-    return start_bits + sys_bits + node_bits;
-  }
-
-  std::uint64_t pack(Seconds start, int system, int node) const noexcept {
-    return (static_cast<std::uint64_t>(start - base)
-            << (sys_bits + node_bits)) |
-           (static_cast<std::uint64_t>(system) << node_bits) |
-           static_cast<std::uint64_t>(node);
-  }
-};
-
-KeySpec make_key_spec(const std::vector<SystemPlan>& plans) {
-  KeySpec spec;
-  if (plans.empty()) return spec;
+// Key layout for the seal-time merge (trace/merge.hpp), fixed before
+// emission from the catalog's ranges — which may be wider than the data
+// actually emitted; pack() only needs to cover it. Computing keys during
+// emission fuses the key pass into the generation loop.
+MergeKeySpec make_key_spec(const std::vector<SystemPlan>& plans) {
+  if (plans.empty()) return MergeKeySpec{};
   Seconds lo = std::numeric_limits<Seconds>::max();
   Seconds hi = std::numeric_limits<Seconds>::min();
-  std::uint64_t max_sys = 0;
-  std::uint64_t max_node = 0;
+  std::int64_t max_sys = 0;
+  std::int64_t max_node = 0;
   for (const SystemPlan& p : plans) {
-    if (p.sys->id < 0 || p.sys->nodes <= 0) return spec;
+    if (p.sys->id < 0 || p.sys->nodes <= 0) return MergeKeySpec{};
     lo = std::min(lo, p.grid.start);
     hi = std::max(hi, p.grid.end());
-    max_sys = std::max(max_sys, static_cast<std::uint64_t>(p.sys->id));
+    max_sys = std::max(max_sys, static_cast<std::int64_t>(p.sys->id));
     max_node =
-        std::max(max_node, static_cast<std::uint64_t>(p.sys->nodes - 1));
+        std::max(max_node, static_cast<std::int64_t>(p.sys->nodes - 1));
   }
-  if (hi < lo) return spec;
-  spec.base = lo;
-  spec.start_bits = bits_for(static_cast<std::uint64_t>(hi - lo));
-  spec.sys_bits = bits_for(max_sys);
-  spec.node_bits = bits_for(max_node);
-  spec.packable = spec.total_bits() <= 64;
-  return spec;
+  if (hi < lo) return MergeKeySpec{};
+  return trace::make_merge_key_spec(lo, hi, max_sys, max_node);
 }
 
 // One shard's records in emission order, stored as columns, plus the
@@ -557,7 +530,7 @@ class EmitBuffer {
 // stream. Records land directly in the shard's columns; no AoS staging.
 ShardOut generate_node_range(const SystemPlan& plan, std::uint64_t seed,
                              int node_begin, int node_end,
-                             const KeySpec* keyspec) {
+                             const MergeKeySpec* keyspec) {
   const SystemScenario& scen = *plan.scen;
   const SystemInfo& sys = *plan.sys;
   const HardwareProfile& profile = *plan.profile;
@@ -665,228 +638,6 @@ ShardOut generate_node_range(const SystemPlan& plan, std::uint64_t seed,
   return shard;
 }
 
-// Comparison-sort fallback for catalogs whose (start, system, node) range
-// does not pack into 64 bits. stable_sort keeps equal keys in emission
-// order, the same tie order the radix path produces.
-ColumnStore merge_shards_by_comparison(std::vector<ShardOut>&& parts) {
-  std::size_t total = 0;
-  for (const ShardOut& p : parts) total += p.columns.size();
-  if (total == 0) return ColumnStore{};
-
-  struct Ref {
-    Seconds start;
-    int system;
-    int node;
-    std::uint32_t part;
-    std::size_t pos;
-  };
-  std::vector<Ref> refs;
-  refs.reserve(total);
-  for (std::uint32_t p = 0; p < parts.size(); ++p) {
-    const ColumnStore& c = parts[p].columns;
-    for (std::size_t i = 0; i < c.size(); ++i) {
-      refs.push_back({c.start[i], c.system_id[i], c.node_id[i], p, i});
-    }
-  }
-  std::stable_sort(refs.begin(), refs.end(),
-                   [](const Ref& a, const Ref& b) noexcept {
-                     if (a.start != b.start) return a.start < b.start;
-                     if (a.system != b.system) return a.system < b.system;
-                     return a.node < b.node;
-                   });
-
-  ColumnStore out;
-  out.resize(total);
-  for (std::size_t i = 0; i < total; ++i) {
-    const Ref& r = refs[i];
-    const ColumnStore& c = parts[r.part].columns;
-    out.system_id[i] = c.system_id[r.pos];
-    out.node_id[i] = c.node_id[r.pos];
-    out.start[i] = c.start[r.pos];
-    out.end[i] = c.end[r.pos];
-    out.workload[i] = c.workload[r.pos];
-    out.cause[i] = c.cause[r.pos];
-    out.detail[i] = c.detail[r.pos];
-  }
-  return out;
-}
-
-constexpr unsigned kRadixDigitBits = 16;
-
-// Merges the shards' emission-order columns into one globally
-// (start, system, node)-sorted store: a stable LSD radix sort of the
-// packed keys carrying a (shard, row) reference, then one gather pass
-// per output row. Stability leaves equal keys in emission order, so the
-// result is deterministic and independent of how nodes were sharded.
-ColumnStore merge_shards(std::vector<ShardOut>&& parts, const KeySpec& spec) {
-  std::size_t total = 0;
-  std::size_t max_rows = 0;
-  for (const ShardOut& p : parts) {
-    total += p.columns.size();
-    max_rows = std::max(max_rows, p.columns.size());
-  }
-  if (total == 0) return ColumnStore{};
-
-  const unsigned pos_bits =
-      max_rows > 1 ? bits_for(static_cast<std::uint64_t>(max_rows - 1)) : 0;
-  const unsigned part_bits =
-      parts.size() > 1 ? bits_for(parts.size() - 1) : 0;
-  if (!spec.packable || pos_bits + part_bits > 32 ||
-      total >= std::numeric_limits<std::uint32_t>::max()) {
-    return merge_shards_by_comparison(std::move(parts));
-  }
-
-  const unsigned key_bits = std::max(1u, spec.total_bits());
-  const unsigned passes = (key_bits + kRadixDigitBits - 1) / kRadixDigitBits;
-  constexpr std::size_t kBuckets = std::size_t{1} << kRadixDigitBits;
-  constexpr std::uint64_t kDigitMask = kBuckets - 1;
-
-  // Every pass's digit histogram in one read of the shard keys.
-  std::vector<std::uint32_t> hist(passes * kBuckets, 0);
-  for (const ShardOut& part : parts) {
-    HPCFAIL_ASSERT(part.keys.size() == part.columns.size());
-    for (const std::uint64_t k : part.keys) {
-      for (unsigned pass = 0; pass < passes; ++pass) {
-        ++hist[pass * kBuckets +
-               ((k >> (pass * kRadixDigitBits)) & kDigitMask)];
-      }
-    }
-  }
-
-  // A pass whose digit is constant across the input is an identity
-  // permutation and is skipped; the last live pass does not need to
-  // forward the keys (only the references survive it).
-  const auto digit_constant = [&](unsigned pass) {
-    const std::uint32_t* h = hist.data() + pass * kBuckets;
-    for (std::size_t d = 0; d < kBuckets; ++d) {
-      if (h[d] == 0) continue;
-      return static_cast<std::size_t>(h[d]) == total;
-    }
-    return true;
-  };
-  unsigned live_passes = 0;
-  unsigned last_live = 0;
-  for (unsigned pass = 0; pass < passes; ++pass) {
-    if (!digit_constant(pass)) {
-      ++live_passes;
-      last_live = pass;
-    }
-  }
-
-  std::vector<std::uint32_t> ref(total);
-  if (live_passes == 0) {
-    // Fully constant keys: emission order already is the global order.
-    std::size_t at = 0;
-    for (std::uint32_t p = 0; p < parts.size(); ++p) {
-      const auto tag = static_cast<std::uint32_t>(
-          static_cast<std::uint64_t>(p) << pos_bits);
-      const std::size_t n = parts[p].keys.size();
-      for (std::size_t i = 0; i < n; ++i) {
-        ref[at++] = tag | static_cast<std::uint32_t>(i);
-      }
-    }
-  } else {
-    std::vector<std::uint64_t> key(live_passes > 1 ? total : 0);
-    std::vector<std::uint64_t> key_tmp(live_passes > 2 ? total : 0);
-    std::vector<std::uint32_t> ref_tmp(live_passes > 1 ? total : 0);
-    bool scattered = false;
-    for (unsigned pass = 0; pass < passes; ++pass) {
-      if (digit_constant(pass)) continue;
-      std::uint32_t* h = hist.data() + pass * kBuckets;
-      std::uint32_t sum = 0;
-      for (std::size_t d = 0; d < kBuckets; ++d) {
-        const std::uint32_t c = h[d];
-        h[d] = sum;
-        sum += c;
-      }
-      const unsigned shift = pass * kRadixDigitBits;
-      const bool forward_keys = pass != last_live;
-      if (!scattered) {
-        // The first live pass streams straight out of the shards' key
-        // arrays, fusing the fill copy into the scatter.
-        std::uint64_t* kout = key.data();
-        std::uint32_t* rout = ref.data();
-        for (std::uint32_t p = 0; p < parts.size(); ++p) {
-          std::vector<std::uint64_t>& pk = parts[p].keys;
-          const auto tag = static_cast<std::uint32_t>(
-              static_cast<std::uint64_t>(p) << pos_bits);
-          const std::size_t n = pk.size();
-          for (std::size_t i = 0; i < n; ++i) {
-            const std::uint64_t k = pk[i];
-            const std::uint32_t dst =
-                h[(k >> shift) & kDigitMask]++;
-            if (forward_keys) kout[dst] = k;
-            rout[dst] = tag | static_cast<std::uint32_t>(i);
-          }
-          std::vector<std::uint64_t>().swap(pk);
-        }
-        scattered = true;
-      } else {
-        std::uint64_t* kout = key_tmp.data();
-        std::uint32_t* rout = ref_tmp.data();
-        const std::uint64_t* kin = key.data();
-        const std::uint32_t* rin = ref.data();
-        for (std::size_t i = 0; i < total; ++i) {
-          const std::uint64_t k = kin[i];
-          const std::uint32_t dst = h[(k >> shift) & kDigitMask]++;
-          if (forward_keys) kout[dst] = k;
-          rout[dst] = rin[i];
-        }
-        key.swap(key_tmp);
-        ref.swap(ref_tmp);
-      }
-    }
-  }
-  for (ShardOut& part : parts) {
-    std::vector<std::uint64_t>().swap(part.keys);
-  }
-
-  // Gather the rows in sorted order. Each source shard is read as ~one
-  // forward stream per node, so the random-looking reads stay cache
-  // resident.
-  ColumnStore out;
-  out.resize(total);
-  const std::size_t nparts = parts.size();
-  std::vector<const int*> sys_p(nparts);
-  std::vector<const int*> node_p(nparts);
-  std::vector<const Seconds*> start_p(nparts);
-  std::vector<const Seconds*> end_p(nparts);
-  std::vector<const Workload*> w_p(nparts);
-  std::vector<const RootCause*> cause_p(nparts);
-  std::vector<const DetailCause*> detail_p(nparts);
-  for (std::size_t p = 0; p < nparts; ++p) {
-    const ColumnStore& c = parts[p].columns;
-    sys_p[p] = c.system_id.data();
-    node_p[p] = c.node_id.data();
-    start_p[p] = c.start.data();
-    end_p[p] = c.end.data();
-    w_p[p] = c.workload.data();
-    cause_p[p] = c.cause.data();
-    detail_p[p] = c.detail.data();
-  }
-  // One column at a time: the destination stays a pure forward stream
-  // and the source working set is a single column's node streams, which
-  // fit in cache.
-  const auto pos_mask =
-      static_cast<std::uint32_t>((std::uint64_t{1} << pos_bits) - 1);
-  const auto gather = [&](auto* dst, const auto& srcs) {
-    const std::uint32_t* rp = ref.data();
-    for (std::size_t i = 0; i < total; ++i) {
-      const std::uint32_t r = rp[i];
-      dst[i] = srcs[static_cast<std::size_t>(
-          static_cast<std::uint64_t>(r) >> pos_bits)][r & pos_mask];
-    }
-  };
-  gather(out.system_id.data(), sys_p);
-  gather(out.node_id.data(), node_p);
-  gather(out.start.data(), start_p);
-  gather(out.end.data(), end_p);
-  gather(out.workload.data(), w_p);
-  gather(out.cause.data(), cause_p);
-  gather(out.detail.data(), detail_p);
-  return out;
-}
-
 // Shard size for splitting one system's nodes across workers. Small
 // enough that a 1024-node system yields many shards to balance, large
 // enough that per-shard overhead stays negligible.
@@ -915,7 +666,7 @@ void append_shards(const SystemPlan& plan, std::vector<NodeShard>& shards) {
 // timing is measured around the deterministic generation, never fed back
 // into it, so the output is bit-identical with obs on or off.
 std::vector<ShardOut> run_shards(const std::vector<NodeShard>& shards,
-                                 std::uint64_t seed, const KeySpec* keyspec) {
+                                 std::uint64_t seed, const MergeKeySpec* keyspec) {
   const bool observed = hpcfail::obs::enabled();
   auto parts = hpcfail::parallel_map(
       shards.size(), [&shards, seed, keyspec, observed](std::size_t k) {
@@ -1023,13 +774,18 @@ trace::FailureDataset TraceGenerator::generate() const {
   for (const SystemScenario& s : config_.systems) {
     plans.push_back(build_plan(config_.seed, catalog_.system(s.system_id), s));
   }
-  const KeySpec spec = make_key_spec(plans);
+  const MergeKeySpec spec = make_key_spec(plans);
   std::vector<NodeShard> shards;
   for (const SystemPlan& plan : plans) append_shards(plan, shards);
   auto parts =
       run_shards(shards, config_.seed, spec.packable ? &spec : nullptr);
-  trace::FailureDataset dataset =
-      trace::FailureDataset::from_columns(merge_shards(std::move(parts), spec));
+  std::vector<trace::MergeInput> inputs;
+  inputs.reserve(parts.size());
+  for (ShardOut& p : parts) {
+    inputs.push_back({&p.columns, std::move(p.keys)});
+  }
+  trace::FailureDataset dataset = trace::FailureDataset::from_columns(
+      trace::merge_sorted(std::move(inputs), spec));
   stage.stop();
   if (obs::enabled() && stage.wall_seconds() > 0.0) {
     obs::registry()

@@ -1,5 +1,7 @@
 #include "trace/columns.hpp"
 
+#include <algorithm>
+
 namespace hpcfail::trace {
 
 void ColumnStore::reserve(std::size_t n) {
@@ -20,6 +22,19 @@ void ColumnStore::resize(std::size_t n) {
   workload.resize(n);
   cause.resize(n);
   detail.resize(n);
+}
+
+void ColumnStore::drop_front(std::size_t n) {
+  n = std::min(n, size());
+  if (n == 0) return;
+  const auto cut = static_cast<std::ptrdiff_t>(n);
+  system_id.erase(system_id.begin(), system_id.begin() + cut);
+  node_id.erase(node_id.begin(), node_id.begin() + cut);
+  start.erase(start.begin(), start.begin() + cut);
+  end.erase(end.begin(), end.begin() + cut);
+  workload.erase(workload.begin(), workload.begin() + cut);
+  cause.erase(cause.begin(), cause.begin() + cut);
+  detail.erase(detail.begin(), detail.begin() + cut);
 }
 
 void ColumnStore::clear() noexcept {

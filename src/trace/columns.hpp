@@ -52,6 +52,10 @@ struct ColumnStore {
   void resize(std::size_t n);
   void clear() noexcept;
 
+  /// Erases the first n rows of every column (the retention/compaction
+  /// trim). Clamped to size().
+  void drop_front(std::size_t n);
+
   /// Appends one record as a row.
   void push_back(const FailureRecord& r);
 

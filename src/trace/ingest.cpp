@@ -2,34 +2,14 @@
 
 #include <algorithm>
 #include <chrono>
-#include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "trace/index.hpp"
+#include "trace/merge.hpp"
 
 namespace hpcfail::trace {
-
-namespace {
-
-/// The dataset's canonical (start, system, node) order over column rows.
-bool row_less(const ColumnStore& c, std::size_t a, std::size_t b) noexcept {
-  if (c.start[a] != c.start[b]) return c.start[a] < c.start[b];
-  if (c.system_id[a] != c.system_id[b]) return c.system_id[a] < c.system_id[b];
-  return c.node_id[a] < c.node_id[b];
-}
-
-/// Cross-store comparison: row a of `x` strictly before row b of `y`.
-bool row_less(const ColumnStore& x, std::size_t a, const ColumnStore& y,
-              std::size_t b) noexcept {
-  if (x.start[a] != y.start[b]) return x.start[a] < y.start[b];
-  if (x.system_id[a] != y.system_id[b]) {
-    return x.system_id[a] < y.system_id[b];
-  }
-  return x.node_id[a] < y.node_id[b];
-}
-
-}  // namespace
 
 LiveDataset::LiveDataset() : LiveDataset(Options{}) {}
 
@@ -41,6 +21,15 @@ LiveDataset::LiveDataset(Options options) : options_(options) {
                   "min_rebuild_tail must be positive");
   HPCFAIL_EXPECTS(options_.rebuild_fraction >= 0.0,
                   "rebuild_fraction must be non-negative");
+  HPCFAIL_EXPECTS(options_.shards > 0, "shards must be positive");
+  HPCFAIL_EXPECTS(options_.retain_seconds >= 0,
+                  "retain_seconds must be non-negative");
+  HPCFAIL_EXPECTS(options_.compaction_repair_floor > 0.0,
+                  "compaction_repair_floor must be positive");
+  shards_.reserve(options_.shards);
+  for (std::size_t s = 0; s < options_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
   sealed_ = std::make_shared<const FailureDataset>();
 }
 
@@ -58,10 +47,11 @@ LiveDataset::LiveDataset(FailureDataset seed, Options options)
 
 void LiveDataset::index_starts(const ColumnStore& columns) {
   // Columns are globally start-sorted, so appending per (system, node)
-  // keeps every posting list ascending.
+  // keeps every posting list ascending. The seed lands in shard 0's
+  // lists; queries merge across shards anyway.
   const std::size_t n = columns.size();
   for (std::size_t i = 0; i < n; ++i) {
-    live_starts_[{columns.system_id[i], columns.node_id[i]}].push_back(
+    shards_[0]->starts[{columns.system_id[i], columns.node_id[i]}].push_back(
         columns.start[i]);
   }
 }
@@ -72,22 +62,27 @@ std::size_t LiveDataset::seal_threshold() const noexcept {
   return std::max(options_.min_rebuild_tail, scaled);
 }
 
-void LiveDataset::append(const FailureRecord& r) {
+void LiveDataset::append(std::size_t shard, const FailureRecord& r) {
+  HPCFAIL_EXPECTS(shard < shards_.size(), "shard out of range");
   if (!r.is_consistent()) {
     throw InvalidArgument(
         "inconsistent failure record appended (end < start, bad ids, or "
         "cause/detail mismatch)");
   }
-  tail_.push_back(r);
-  tail_count_.store(tail_.size(), std::memory_order_release);
-
-  std::vector<Seconds>& starts = live_starts_[{r.system_id, r.node_id}];
-  if (starts.empty() || starts.back() <= r.start) {
-    starts.push_back(r.start);  // in-order arrival: the common case
-  } else {
-    starts.insert(std::upper_bound(starts.begin(), starts.end(), r.start),
-                  r.start);
+  Shard& s = *shards_[shard];
+  {
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.tail.push_back(r);
+    std::vector<Seconds>& starts = s.starts[{r.system_id, r.node_id}];
+    if (starts.empty() || starts.back() <= r.start) {
+      starts.push_back(r.start);  // in-order arrival: the common case
+    } else {
+      starts.insert(std::upper_bound(starts.begin(), starts.end(), r.start),
+                    r.start);
+    }
   }
+  const std::size_t tails =
+      tail_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
 
   if (obs::enabled()) {
     // Lazy handle, same scheme as DatasetIndex::count_view_hit().
@@ -99,51 +94,70 @@ void LiveDataset::append(const FailureRecord& r) {
     counter->add(1);
   }
 
-  if (tail_.size() >= seal_threshold()) seal();
+  if (tails >= seal_threshold()) maybe_seal();
 }
 
-std::size_t LiveDataset::drain(Source& source, std::size_t max_events) {
+std::size_t LiveDataset::drain(std::size_t shard, Source& source,
+                               std::size_t max_events) {
   std::size_t appended = 0;
   FailureRecord r;
   while (appended < max_events && source.next(r) == SourceStatus::event) {
-    append(r);
+    append(shard, r);
     ++appended;
   }
   return appended;
 }
 
+void LiveDataset::maybe_seal() {
+  // A seal already in flight will pick up late tails on the next
+  // trigger; skipping keeps the append path wait-free under rebuilds.
+  if (!seal_mutex_.try_lock()) return;
+  if (tail_count_.load(std::memory_order_acquire) >= seal_threshold()) {
+    do_seal();
+  }
+  seal_mutex_.unlock();
+}
+
 void LiveDataset::seal() {
-  if (tail_.empty()) return;
-  const auto t0 = std::chrono::steady_clock::now();
+  std::lock_guard<std::mutex> lock(seal_mutex_);
+  do_seal();
+}
 
-  // Stable sort of the tail (arrival order preserved on full-key ties)...
-  std::vector<std::size_t> order(tail_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::stable_sort(order.begin(), order.end(),
-                   [this](std::size_t a, std::size_t b) {
-                     return row_less(tail_, a, b);
-                   });
-
-  // ...then a two-way merge with the sealed columns, sealed first on
-  // ties. Together these equal one stable sort of sealed-then-tail, so
-  // repeated seals commute with a single batch build on the same data.
-  const std::shared_ptr<const FailureDataset> sealed_ptr = snapshot();
-  const ColumnStore& sealed = sealed_ptr->columns();
-  ColumnStore merged;
-  merged.reserve(sealed.size() + tail_.size());
-  std::size_t i = 0;
-  std::size_t j = 0;
-  while (i < sealed.size() && j < tail_.size()) {
-    if (row_less(tail_, order[j], sealed, i)) {
-      merged.push_row(tail_, order[j]);
-      ++j;
-    } else {
-      merged.push_row(sealed, i);
-      ++i;
+void LiveDataset::do_seal() {
+  // Swap every shard's tail out under its mutex; appends proceed into
+  // fresh tails while this thread merges.
+  std::vector<ColumnStore> tails(shards_.size());
+  std::size_t moved = 0;
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    std::lock_guard<std::mutex> lock(shards_[s]->mutex);
+    if (!shards_[s]->tail.empty()) {
+      tails[s] = std::exchange(shards_[s]->tail, ColumnStore{});
+      moved += tails[s].size();
     }
   }
-  for (; i < sealed.size(); ++i) merged.push_row(sealed, i);
-  for (; j < tail_.size(); ++j) merged.push_row(tail_, order[j]);
+  if (moved == 0) return;
+  tail_count_.fetch_sub(moved, std::memory_order_acq_rel);
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Stable radix merge of [sealed, tail 0, tail 1, ...]: equal keys
+  // stay in part order (sealed first), which equals one stable sort of
+  // the concatenation — so repeated seals commute with a single batch
+  // build on the same data, at any shard count.
+  const std::shared_ptr<const FailureDataset> sealed_ptr = snapshot();
+  std::vector<MergeInput> parts;
+  parts.reserve(1 + tails.size());
+  parts.push_back({&sealed_ptr->columns(), {}});
+  for (const ColumnStore& t : tails) {
+    if (!t.empty()) parts.push_back({&t, {}});
+  }
+  const MergeKeySpec spec = merge_key_spec_for(parts);
+  ColumnStore merged = merge_sorted(std::move(parts), spec);
+
+  const std::size_t cut = retention_cut(merged);
+  if (cut > 0) {
+    compact_prefix(merged, cut);
+    merged.drop_front(cut);
+  }
 
   // Revalidates in one fused pass and adopts (the merge output is
   // sorted, so no AoS round trip happens). The index is built on the
@@ -154,21 +168,98 @@ void LiveDataset::seal() {
   next->index();
 
   sealed_count_.store(next->size(), std::memory_order_release);
-  tail_.clear();
-  tail_count_.store(0, std::memory_order_release);
   publish(std::move(next));
   epoch_.fetch_add(1, std::memory_order_acq_rel);
 
   const auto elapsed = std::chrono::steady_clock::now() - t0;
-  last_rebuild_ms_ =
-      std::chrono::duration<double, std::milli>(elapsed).count();
+  last_rebuild_ms_.store(
+      std::chrono::duration<double, std::milli>(elapsed).count(),
+      std::memory_order_release);
   if (obs::enabled()) {
     obs::registry().gauge("ingest.epoch")
         .set(static_cast<double>(epoch_.load(std::memory_order_acquire)));
-    obs::registry().gauge("ingest.rebuild_ms").set(last_rebuild_ms_);
+    obs::registry().gauge("ingest.rebuild_ms").set(last_rebuild_ms());
     obs::registry().gauge("ingest.sealed_records")
         .set(static_cast<double>(sealed_size()));
   }
+}
+
+std::size_t LiveDataset::retention_cut(const ColumnStore& merged) const {
+  if (merged.size() == 0) return 0;
+  std::size_t cut = 0;
+  if (options_.retain_seconds > 0) {
+    const Seconds horizon = merged.start.back() - options_.retain_seconds;
+    cut = static_cast<std::size_t>(
+        std::lower_bound(merged.start.begin(), merged.start.end(), horizon) -
+        merged.start.begin());
+  }
+  if (options_.max_sealed_events > 0 &&
+      merged.size() > options_.max_sealed_events) {
+    // Round the count cut down to the previous start boundary so the
+    // dropped set is exactly {rows : start < boundary} — value-based,
+    // so compaction commutes with re-partitioning and late arrivals.
+    const std::size_t k = merged.size() - options_.max_sealed_events;
+    const std::size_t cut_count = static_cast<std::size_t>(
+        std::lower_bound(merged.start.begin(), merged.start.end(),
+                         merged.start[k]) -
+        merged.start.begin());
+    cut = std::max(cut, cut_count);
+  }
+  return cut;
+}
+
+void LiveDataset::compact_prefix(const ColumnStore& merged, std::size_t cut) {
+  {
+    std::lock_guard<std::mutex> lock(compaction_mutex_);
+    for (std::size_t i = 0; i < cut; ++i) {
+      dist::SuffStats& cell = compacted_[{merged.system_id[i],
+                                          merged.node_id[i],
+                                          merged.cause[i]}];
+      if (cell.n == 0) cell.floor_at = options_.compaction_repair_floor;
+      cell.add(static_cast<double>(merged.end[i] - merged.start[i]) / 60.0);
+    }
+  }
+  compacted_events_.fetch_add(cut, std::memory_order_acq_rel);
+  const Seconds horizon = merged.start[cut];  // first retained start
+  retention_horizon_.store(horizon, std::memory_order_release);
+
+  // Drop posting-list entries below the horizon. Dropped rows are
+  // exactly {start < horizon}, so each list loses a prefix.
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->starts.begin(); it != shard->starts.end();) {
+      std::vector<Seconds>& starts = it->second;
+      const auto keep =
+          std::lower_bound(starts.begin(), starts.end(), horizon);
+      if (keep == starts.end()) {
+        it = shard->starts.erase(it);
+        continue;
+      }
+      starts.erase(starts.begin(), keep);
+      ++it;
+    }
+  }
+
+  if (obs::enabled()) {
+    obs::Counter* counter =
+        compactions_counter_.load(std::memory_order_acquire);
+    if (counter == nullptr) {
+      counter = &obs::registry().counter("ingest.compacted_events");
+      compactions_counter_.store(counter, std::memory_order_release);
+    }
+    counter->add(cut);
+  }
+}
+
+std::vector<CompactionCell> LiveDataset::compaction_cells() const {
+  std::vector<CompactionCell> cells;
+  std::lock_guard<std::mutex> lock(compaction_mutex_);
+  cells.reserve(compacted_.size());
+  for (const auto& [key, stats] : compacted_) {
+    cells.push_back(
+        {std::get<0>(key), std::get<1>(key), std::get<2>(key), stats});
+  }
+  return cells;
 }
 
 std::shared_ptr<const FailureDataset> LiveDataset::snapshot() const {
@@ -181,20 +272,29 @@ void LiveDataset::publish(std::shared_ptr<const FailureDataset> next) {
   sealed_ = std::move(next);
 }
 
-const std::vector<Seconds>* LiveDataset::node_starts(
-    int system_id, int node_id) const noexcept {
-  const auto it = live_starts_.find({system_id, node_id});
-  return it == live_starts_.end() ? nullptr : &it->second;
+std::vector<Seconds> LiveDataset::node_starts(int system_id,
+                                              int node_id) const {
+  std::vector<Seconds> merged;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    const auto it = shard->starts.find({system_id, node_id});
+    if (it == shard->starts.end()) continue;
+    merged.insert(merged.end(), it->second.begin(), it->second.end());
+  }
+  // Each shard's list is ascending; the union is a k-way merge, and the
+  // merged values are independent of shard order.
+  std::sort(merged.begin(), merged.end());
+  return merged;
 }
 
 std::vector<double> LiveDataset::node_interarrivals(int system_id,
                                                     int node_id) const {
-  const std::vector<Seconds>* starts = node_starts(system_id, node_id);
+  const std::vector<Seconds> starts = node_starts(system_id, node_id);
   std::vector<double> gaps;
-  if (starts != nullptr && starts->size() >= 2) {
-    gaps.reserve(starts->size() - 1);
-    for (std::size_t i = 1; i < starts->size(); ++i) {
-      gaps.push_back(static_cast<double>((*starts)[i] - (*starts)[i - 1]));
+  if (starts.size() >= 2) {
+    gaps.reserve(starts.size() - 1);
+    for (std::size_t i = 1; i < starts.size(); ++i) {
+      gaps.push_back(static_cast<double>(starts[i] - starts[i - 1]));
     }
   }
   return gaps;

@@ -7,38 +7,58 @@
 //
 //   * the *sealed* prefix: an immutable FailureDataset (with its index
 //     already built) published to readers as a shared_ptr snapshot;
-//   * the *tail*: recent appends, kept columnar in arrival order, plus
-//     live per-(system, node) posting lists (each node's start times,
-//     ascending) that are updated in O(1) amortized per append and cover
-//     sealed + tail, so exact per-node interarrival queries never wait
-//     for a rebuild.
+//   * the *tails*: recent appends, kept columnar in arrival order in one
+//     tail per ingest shard, plus per-shard per-(system, node) posting
+//     lists (each node's start times, ascending) that are updated in
+//     O(1) amortized per append and cover sealed + tails, so exact
+//     per-node interarrival queries never wait for a rebuild.
 //
-// When the tail outgrows the rebuild policy (max(min_rebuild_tail,
-// rebuild_fraction x sealed size) — geometric growth, so the total merge
-// work over n appends is O(n log n) amortized, not O(n^2)), seal() stable-
-// sorts the tail and two-way merges it with the sealed columns (sealed
-// first on full-key ties, which equals one stable sort of the
-// concatenation), revalidates in one fused pass, builds the new index
-// *before* publishing, and swaps the snapshot pointer under a mutex held
-// only for the pointer swap. Readers therefore never block on a rebuild
-// and never observe a half-built index.
+// When the combined tails outgrow the rebuild policy
+// (max(min_rebuild_tail, rebuild_fraction x sealed size) — geometric
+// growth, so the total merge work over n appends is O(n log n)
+// amortized, not O(n^2)), a seal swaps every shard's tail out under its
+// shard mutex and runs the shared stable radix merge (trace/merge.hpp)
+// over [sealed, tail 0, tail 1, ...]. Stability keeps equal
+// (start, system, node) keys in part order — sealed first, then shard
+// order — which equals one stable sort of the concatenation, so the
+// sealed snapshot is bit-identical to a from-scratch build at any shard
+// count whenever records have unique keys (and deterministic for a
+// fixed partition otherwise). The new index is built *before* the
+// snapshot pointer swap, so readers never block and never observe a
+// half-built index.
 //
-// Threading contract: append()/drain()/seal()/node_interarrivals() are
-// single-writer (the ingest thread); snapshot()/epoch()/sealed_size()/
-// tail_size()/size() are safe from any thread concurrently with the
-// writer. Snapshots are immutable and remain valid after further appends
-// and seals (the previous epoch's dataset lives until the last reader
-// drops its shared_ptr).
+// Retention (Options::retain_seconds / max_sealed_events) bounds memory
+// on unbounded runs: at seal time the merged prefix older than the
+// horizon is folded into a per-(system, node, cause) dist::SuffStats
+// compaction ledger (repair minutes) and dropped from the raw store.
+// The cut always lands on a start-timestamp boundary, so the dropped
+// set is exactly {rows : start < horizon} and compaction commutes with
+// re-partitioning. Late arrivals older than the horizon are accepted
+// into a tail, then compacted at the next seal — they never resurrect
+// dropped raw rows, and posting lists cover only the retained horizon.
+//
+// Threading contract: append(shard, r)/drain(shard, ...) are
+// single-writer *per shard*; distinct shards may ingest concurrently.
+// seal() is safe from any thread (serialized internally) and runs
+// concurrently with appends — it holds each shard mutex only to swap
+// the tail out and to trim posting lists. snapshot()/epoch()/
+// sealed_size()/tail_size()/size()/compacted_events()/
+// compaction_cells()/node_starts()/node_interarrivals() are safe from
+// any thread. Snapshots are immutable and remain valid after further
+// appends and seals.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <tuple>
 #include <utility>
 #include <vector>
 
+#include "dist/suffstats.hpp"
 #include "trace/columns.hpp"
 #include "trace/dataset.hpp"
 #include "trace/source.hpp"
@@ -49,13 +69,34 @@ class Counter;
 
 namespace hpcfail::trace {
 
+/// One compaction-ledger cell: the sufficient statistics of the repair
+/// minutes of every raw event of one (system, node, cause) dropped past
+/// the retention horizon.
+struct CompactionCell {
+  int system_id = 0;
+  int node_id = 0;
+  RootCause cause = RootCause::unknown;
+  dist::SuffStats repair_minutes;
+};
+
 class LiveDataset {
  public:
-  /// Epoch rebuild policy. A seal is triggered when the tail reaches
-  /// max(min_rebuild_tail, rebuild_fraction * sealed records).
   struct Options {
+    /// Epoch rebuild policy: a seal is triggered when the combined
+    /// tails reach max(min_rebuild_tail, rebuild_fraction * sealed).
     std::size_t min_rebuild_tail = 8192;
     double rebuild_fraction = 0.5;
+    /// Ingest partitions. Each shard has its own tail and posting
+    /// lists and accepts appends concurrently with the other shards.
+    std::size_t shards = 1;
+    /// Raw events whose start is more than retain_seconds behind the
+    /// latest sealed start are compacted at seal time (0 = keep all).
+    Seconds retain_seconds = 0;
+    /// Sealed store is trimmed to at most this many raw events at seal
+    /// time, rounded down to a start-timestamp boundary (0 = no limit).
+    std::size_t max_sealed_events = 0;
+    /// Resolution floor for the compaction ledger's repair minutes.
+    double compaction_repair_floor = 1e-9;
   };
 
   LiveDataset();
@@ -66,22 +107,34 @@ class LiveDataset {
   LiveDataset(FailureDataset seed, Options options);
   explicit LiveDataset(FailureDataset seed);
 
-  /// Appends one record; may trigger a seal per the rebuild policy.
-  /// Throws InvalidArgument on an inconsistent record (same rule as
-  /// FailureDataset construction).
-  void append(const FailureRecord& r);
+  /// Appends one record to shard 0; may trigger a seal per the rebuild
+  /// policy. Throws InvalidArgument on an inconsistent record (same
+  /// rule as FailureDataset construction).
+  void append(const FailureRecord& r) { append(0, r); }
 
-  /// Pulls events from `source` until it reports idle/end or
-  /// `max_events` have been appended. Returns the number appended.
+  /// Appends one record to the given shard (single writer per shard).
+  void append(std::size_t shard, const FailureRecord& r);
+
+  /// Pulls events from `source` into shard 0 until it reports idle/end
+  /// or `max_events` have been appended. Returns the number appended.
   std::size_t drain(Source& source,
+                    std::size_t max_events = static_cast<std::size_t>(-1)) {
+    return drain(0, source, max_events);
+  }
+
+  /// Shard-targeted drain (single writer per shard).
+  std::size_t drain(std::size_t shard, Source& source,
                     std::size_t max_events = static_cast<std::size_t>(-1));
 
-  /// Forces an epoch rebuild now (no-op on an empty tail).
+  /// Forces an epoch rebuild now (no-op when every tail is empty).
+  /// Safe from any thread; blocks while another seal is in flight.
   void seal();
 
   /// The current sealed snapshot (tail records are *not* included; call
   /// seal() first for an up-to-the-last-append dataset). Never null.
   std::shared_ptr<const FailureDataset> snapshot() const;
+
+  std::size_t shards() const noexcept { return shards_.size(); }
 
   /// Number of seals performed (0 = nothing sealed yet).
   std::uint64_t epoch() const noexcept {
@@ -97,37 +150,85 @@ class LiveDataset {
   }
   std::size_t size() const noexcept { return sealed_size() + tail_size(); }
 
-  /// Wall-clock cost of the most recent seal, in milliseconds.
-  double last_rebuild_ms() const noexcept { return last_rebuild_ms_; }
+  /// Raw events compacted into the retention ledger and dropped from
+  /// the sealed store. sealed + tails + compacted == appended (plus the
+  /// seed), always.
+  std::uint64_t compacted_events() const noexcept {
+    return compacted_events_.load(std::memory_order_acquire);
+  }
 
-  /// Exact per-node interarrival gaps (seconds) over sealed + tail, from
-  /// the live posting lists — no rebuild required. Writer-thread only.
+  /// First retained start timestamp: every compacted event had
+  /// start < retention_horizon(). Meaningful only when
+  /// compacted_events() > 0.
+  Seconds retention_horizon() const noexcept {
+    return retention_horizon_.load(std::memory_order_acquire);
+  }
+
+  /// The compaction ledger, ordered by (system, node, cause). Each
+  /// cell's SuffStats::add sequence follows the global (start, system,
+  /// node) order of the dropped rows, so the ledger is deterministic
+  /// for a given record stream.
+  std::vector<CompactionCell> compaction_cells() const;
+
+  /// Wall-clock cost of the most recent seal, in milliseconds.
+  double last_rebuild_ms() const noexcept {
+    return last_rebuild_ms_.load(std::memory_order_acquire);
+  }
+
+  /// Exact per-node interarrival gaps (seconds) over sealed + tails,
+  /// from the live posting lists — no rebuild required. Under
+  /// retention, covers only events at/after the horizon.
   std::vector<double> node_interarrivals(int system_id, int node_id) const;
 
-  /// Start times of one node, ascending, over sealed + tail. Empty when
-  /// the node has no failures. Writer-thread only.
-  const std::vector<Seconds>* node_starts(int system_id,
-                                          int node_id) const noexcept;
+  /// Start times of one node, ascending, over sealed + tails (merged
+  /// across shards). Empty when the node has no failures.
+  std::vector<Seconds> node_starts(int system_id, int node_id) const;
 
  private:
+  /// Per-shard ingest state. The mutex guards tail + starts; the hot
+  /// append path takes it uncontended (a seal contends only to swap
+  /// the tail out or trim posting lists).
+  struct Shard {
+    mutable std::mutex mutex;
+    ColumnStore tail;
+    std::map<std::pair<int, int>, std::vector<Seconds>> starts;
+  };
+
   void publish(std::shared_ptr<const FailureDataset> next);
   void index_starts(const ColumnStore& columns);
   std::size_t seal_threshold() const noexcept;
+  void maybe_seal();
+  void do_seal();  ///< requires seal_mutex_ held
+  /// First retained row of the merged store under the retention policy
+  /// (always at a start-timestamp boundary; 0 = keep everything).
+  std::size_t retention_cut(const ColumnStore& merged) const;
+  /// Folds rows [0, cut) into the ledger, advances the horizon, and
+  /// trims every shard's posting lists below it.
+  void compact_prefix(const ColumnStore& merged, std::size_t cut);
 
   Options options_;
-  ColumnStore tail_;  ///< arrival order, not yet merged
-  std::map<std::pair<int, int>, std::vector<Seconds>> live_starts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex seal_mutex_;  ///< serializes seals; never held on append
 
   mutable std::mutex sealed_mutex_;  ///< guards sealed_ pointer swap only
   std::shared_ptr<const FailureDataset> sealed_;
 
+  mutable std::mutex compaction_mutex_;  ///< guards compacted_ ledger
+  std::map<std::tuple<int, int, RootCause>, dist::SuffStats> compacted_;
+
   std::atomic<std::uint64_t> epoch_{0};
   std::atomic<std::size_t> sealed_count_{0};
   std::atomic<std::size_t> tail_count_{0};
-  double last_rebuild_ms_ = 0.0;
-  /// Lazy obs handle (resolved on first append so enabling obs after
-  /// construction still counts); atomic mirrors DatasetIndex::view_hits_.
+  std::atomic<std::uint64_t> compacted_events_{0};
+  std::atomic<Seconds> retention_horizon_{
+      std::numeric_limits<Seconds>::min()};
+  std::atomic<double> last_rebuild_ms_{0.0};
+  /// Lazy obs handles (resolved on first use so enabling obs after
+  /// construction still counts); atomic mirrors
+  /// DatasetIndex::view_hits_.
   mutable std::atomic<obs::Counter*> appends_counter_{nullptr};
+  mutable std::atomic<obs::Counter*> compactions_counter_{nullptr};
 };
 
 }  // namespace hpcfail::trace

@@ -1,0 +1,286 @@
+#include "trace/merge.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hpcfail::trace {
+namespace {
+
+unsigned bits_for(std::uint64_t v) noexcept {
+  return static_cast<unsigned>(std::bit_width(v));
+}
+
+constexpr unsigned kRadixDigitBits = 16;
+
+}  // namespace
+
+MergeKeySpec make_merge_key_spec(Seconds min_start, Seconds max_start,
+                                 std::int64_t max_system,
+                                 std::int64_t max_node) noexcept {
+  MergeKeySpec spec;
+  if (max_start < min_start || max_system < 0 || max_node < 0) return spec;
+  spec.base = min_start;
+  spec.start_bits = bits_for(static_cast<std::uint64_t>(max_start - min_start));
+  spec.sys_bits = bits_for(static_cast<std::uint64_t>(max_system));
+  spec.node_bits = bits_for(static_cast<std::uint64_t>(max_node));
+  spec.packable = spec.total_bits() <= 64;
+  return spec;
+}
+
+MergeKeySpec merge_key_spec_for(
+    const std::vector<MergeInput>& parts) noexcept {
+  Seconds lo = std::numeric_limits<Seconds>::max();
+  Seconds hi = std::numeric_limits<Seconds>::min();
+  std::int64_t max_sys = 0;
+  std::int64_t max_node = 0;
+  bool any = false;
+  for (const MergeInput& p : parts) {
+    if (p.columns == nullptr) continue;
+    const ColumnStore& c = *p.columns;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      any = true;
+      lo = std::min(lo, c.start[i]);
+      hi = std::max(hi, c.start[i]);
+      if (c.system_id[i] < 0 || c.node_id[i] < 0) return MergeKeySpec{};
+      max_sys = std::max(max_sys, static_cast<std::int64_t>(c.system_id[i]));
+      max_node = std::max(max_node, static_cast<std::int64_t>(c.node_id[i]));
+    }
+  }
+  if (!any) return MergeKeySpec{};
+  return make_merge_key_spec(lo, hi, max_sys, max_node);
+}
+
+ColumnStore merge_sorted_by_comparison(const std::vector<MergeInput>& parts) {
+  std::size_t total = 0;
+  for (const MergeInput& p : parts) {
+    if (p.columns != nullptr) total += p.columns->size();
+  }
+  if (total == 0) return ColumnStore{};
+
+  struct Ref {
+    Seconds start;
+    int system;
+    int node;
+    std::uint32_t part;
+    std::size_t pos;
+  };
+  std::vector<Ref> refs;
+  refs.reserve(total);
+  for (std::uint32_t p = 0; p < parts.size(); ++p) {
+    if (parts[p].columns == nullptr) continue;
+    const ColumnStore& c = *parts[p].columns;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      refs.push_back({c.start[i], c.system_id[i], c.node_id[i], p, i});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(),
+                   [](const Ref& a, const Ref& b) noexcept {
+                     if (a.start != b.start) return a.start < b.start;
+                     if (a.system != b.system) return a.system < b.system;
+                     return a.node < b.node;
+                   });
+
+  ColumnStore out;
+  out.resize(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    const Ref& r = refs[i];
+    const ColumnStore& c = *parts[r.part].columns;
+    out.system_id[i] = c.system_id[r.pos];
+    out.node_id[i] = c.node_id[r.pos];
+    out.start[i] = c.start[r.pos];
+    out.end[i] = c.end[r.pos];
+    out.workload[i] = c.workload[r.pos];
+    out.cause[i] = c.cause[r.pos];
+    out.detail[i] = c.detail[r.pos];
+  }
+  return out;
+}
+
+// Stable LSD radix sort of the packed keys carrying a (part, row)
+// reference, then one gather pass per output column. Stability leaves
+// equal keys in (part, row) order, so the result is deterministic and
+// independent of how the rows were partitioned across parts.
+ColumnStore merge_sorted(std::vector<MergeInput>&& parts,
+                         const MergeKeySpec& spec) {
+  std::size_t total = 0;
+  std::size_t max_rows = 0;
+  for (const MergeInput& p : parts) {
+    if (p.columns == nullptr) continue;
+    total += p.columns->size();
+    max_rows = std::max(max_rows, p.columns->size());
+  }
+  if (total == 0) return ColumnStore{};
+
+  const unsigned pos_bits =
+      max_rows > 1 ? bits_for(static_cast<std::uint64_t>(max_rows - 1)) : 0;
+  const unsigned part_bits =
+      parts.size() > 1 ? bits_for(parts.size() - 1) : 0;
+  if (!spec.packable || pos_bits + part_bits > 32 ||
+      total >= std::numeric_limits<std::uint32_t>::max()) {
+    return merge_sorted_by_comparison(parts);
+  }
+
+  // Fill in packed keys for parts whose producer did not emit them.
+  for (MergeInput& p : parts) {
+    if (p.columns == nullptr || !p.keys.empty()) continue;
+    const ColumnStore& c = *p.columns;
+    p.keys.resize(c.size());
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      p.keys[i] = spec.pack(c.start[i], c.system_id[i], c.node_id[i]);
+    }
+  }
+
+  const unsigned key_bits = std::max(1u, spec.total_bits());
+  const unsigned passes = (key_bits + kRadixDigitBits - 1) / kRadixDigitBits;
+  constexpr std::size_t kBuckets = std::size_t{1} << kRadixDigitBits;
+  constexpr std::uint64_t kDigitMask = kBuckets - 1;
+
+  // Every pass's digit histogram in one read of the part keys.
+  std::vector<std::uint32_t> hist(passes * kBuckets, 0);
+  for (const MergeInput& part : parts) {
+    HPCFAIL_ASSERT(part.columns == nullptr ||
+                   part.keys.size() == part.columns->size());
+    for (const std::uint64_t k : part.keys) {
+      for (unsigned pass = 0; pass < passes; ++pass) {
+        ++hist[pass * kBuckets +
+               ((k >> (pass * kRadixDigitBits)) & kDigitMask)];
+      }
+    }
+  }
+
+  // A pass whose digit is constant across the input is an identity
+  // permutation and is skipped; the last live pass does not need to
+  // forward the keys (only the references survive it).
+  const auto digit_constant = [&](unsigned pass) {
+    const std::uint32_t* h = hist.data() + pass * kBuckets;
+    for (std::size_t d = 0; d < kBuckets; ++d) {
+      if (h[d] == 0) continue;
+      return static_cast<std::size_t>(h[d]) == total;
+    }
+    return true;
+  };
+  unsigned live_passes = 0;
+  unsigned last_live = 0;
+  for (unsigned pass = 0; pass < passes; ++pass) {
+    if (!digit_constant(pass)) {
+      ++live_passes;
+      last_live = pass;
+    }
+  }
+
+  std::vector<std::uint32_t> ref(total);
+  if (live_passes == 0) {
+    // Fully constant keys: input order already is the global order.
+    std::size_t at = 0;
+    for (std::uint32_t p = 0; p < parts.size(); ++p) {
+      const auto tag = static_cast<std::uint32_t>(
+          static_cast<std::uint64_t>(p) << pos_bits);
+      const std::size_t n = parts[p].keys.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        ref[at++] = tag | static_cast<std::uint32_t>(i);
+      }
+    }
+  } else {
+    std::vector<std::uint64_t> key(live_passes > 1 ? total : 0);
+    std::vector<std::uint64_t> key_tmp(live_passes > 2 ? total : 0);
+    std::vector<std::uint32_t> ref_tmp(live_passes > 1 ? total : 0);
+    bool scattered = false;
+    for (unsigned pass = 0; pass < passes; ++pass) {
+      if (digit_constant(pass)) continue;
+      std::uint32_t* h = hist.data() + pass * kBuckets;
+      std::uint32_t sum = 0;
+      for (std::size_t d = 0; d < kBuckets; ++d) {
+        const std::uint32_t c = h[d];
+        h[d] = sum;
+        sum += c;
+      }
+      const unsigned shift = pass * kRadixDigitBits;
+      const bool forward_keys = pass != last_live;
+      if (!scattered) {
+        // The first live pass streams straight out of the parts' key
+        // arrays, fusing the fill copy into the scatter.
+        std::uint64_t* kout = key.data();
+        std::uint32_t* rout = ref.data();
+        for (std::uint32_t p = 0; p < parts.size(); ++p) {
+          std::vector<std::uint64_t>& pk = parts[p].keys;
+          const auto tag = static_cast<std::uint32_t>(
+              static_cast<std::uint64_t>(p) << pos_bits);
+          const std::size_t n = pk.size();
+          for (std::size_t i = 0; i < n; ++i) {
+            const std::uint64_t k = pk[i];
+            const std::uint32_t dst = h[(k >> shift) & kDigitMask]++;
+            if (forward_keys) kout[dst] = k;
+            rout[dst] = tag | static_cast<std::uint32_t>(i);
+          }
+          std::vector<std::uint64_t>().swap(pk);
+        }
+        scattered = true;
+      } else {
+        std::uint64_t* kout = key_tmp.data();
+        std::uint32_t* rout = ref_tmp.data();
+        const std::uint64_t* kin = key.data();
+        const std::uint32_t* rin = ref.data();
+        for (std::size_t i = 0; i < total; ++i) {
+          const std::uint64_t k = kin[i];
+          const std::uint32_t dst = h[(k >> shift) & kDigitMask]++;
+          if (forward_keys) kout[dst] = k;
+          rout[dst] = rin[i];
+        }
+        key.swap(key_tmp);
+        ref.swap(ref_tmp);
+      }
+    }
+  }
+  for (MergeInput& part : parts) {
+    std::vector<std::uint64_t>().swap(part.keys);
+  }
+
+  // Gather the rows in sorted order, one column at a time: the
+  // destination stays a pure forward stream and the source working set
+  // is a single column's per-part streams, which fit in cache.
+  ColumnStore out;
+  out.resize(total);
+  const std::size_t nparts = parts.size();
+  std::vector<const int*> sys_p(nparts);
+  std::vector<const int*> node_p(nparts);
+  std::vector<const Seconds*> start_p(nparts);
+  std::vector<const Seconds*> end_p(nparts);
+  std::vector<const Workload*> w_p(nparts);
+  std::vector<const RootCause*> cause_p(nparts);
+  std::vector<const DetailCause*> detail_p(nparts);
+  static const ColumnStore kEmpty;
+  for (std::size_t p = 0; p < nparts; ++p) {
+    const ColumnStore& c =
+        parts[p].columns != nullptr ? *parts[p].columns : kEmpty;
+    sys_p[p] = c.system_id.data();
+    node_p[p] = c.node_id.data();
+    start_p[p] = c.start.data();
+    end_p[p] = c.end.data();
+    w_p[p] = c.workload.data();
+    cause_p[p] = c.cause.data();
+    detail_p[p] = c.detail.data();
+  }
+  const auto pos_mask =
+      static_cast<std::uint32_t>((std::uint64_t{1} << pos_bits) - 1);
+  const auto gather = [&](auto* dst, const auto& srcs) {
+    const std::uint32_t* rp = ref.data();
+    for (std::size_t i = 0; i < total; ++i) {
+      const std::uint32_t r = rp[i];
+      dst[i] = srcs[static_cast<std::size_t>(
+          static_cast<std::uint64_t>(r) >> pos_bits)][r & pos_mask];
+    }
+  };
+  gather(out.system_id.data(), sys_p);
+  gather(out.node_id.data(), node_p);
+  gather(out.start.data(), start_p);
+  gather(out.end.data(), end_p);
+  gather(out.workload.data(), w_p);
+  gather(out.cause.data(), cause_p);
+  gather(out.detail.data(), detail_p);
+  return out;
+}
+
+}  // namespace hpcfail::trace

@@ -1,5 +1,8 @@
 #include "trace/source.hpp"
 
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <array>
 #include <fstream>
 
@@ -157,14 +160,48 @@ TailSource::TailSource(std::string path, std::uint64_t start_offset)
     : path_(std::move(path)), offset_(start_offset) {}
 
 std::size_t TailSource::poll_file() {
+  constexpr std::size_t kSignatureBytes = 64;
   std::ifstream in(path_, std::ios::binary);
   if (!in) return 0;  // not created yet (or unreadable): stay idle
   in.seekg(0, std::ios::end);
   const auto size_pos = in.tellg();
   if (size_pos < 0) return 0;
   const auto size = static_cast<std::uint64_t>(size_pos);
-  if (size < offset_) offset_ = 0;  // truncated: restart from the top
+
+  // Rewrite check (see the class comment): shrink below the consumed
+  // offset, a different inode, or different leading bytes all mean the
+  // path no longer continues the stream we were tailing.
+  bool rewritten = size < offset_;
+  struct stat st{};
+  if (::stat(path_.c_str(), &st) == 0) {
+    if (inode_ != 0 && static_cast<std::uint64_t>(st.st_ino) != inode_) {
+      rewritten = true;
+    }
+    inode_ = static_cast<std::uint64_t>(st.st_ino);
+  }
+  std::string probe(
+      static_cast<std::size_t>(std::min<std::uint64_t>(size, kSignatureBytes)),
+      '\0');
+  if (!probe.empty()) {
+    in.seekg(0);
+    in.read(probe.data(), static_cast<std::streamsize>(probe.size()));
+    probe.resize(static_cast<std::size_t>(in.gcount()));
+  }
+  const std::size_t common = std::min(signature_.size(), probe.size());
+  if (common > 0 && probe.compare(0, common, signature_, 0, common) != 0) {
+    rewritten = true;
+  }
+  if (rewritten) {
+    offset_ = 0;
+    signature_ = probe;
+    lines_.reset();  // drop stale partial-line bytes from the old file
+    ++rewrites_;
+  } else if (probe.size() > signature_.size()) {
+    signature_ = probe;  // the file grew into the signature window
+  }
+
   if (size == offset_) return 0;
+  in.clear();  // the signature read may have hit EOF on short files
   in.seekg(static_cast<std::streamoff>(offset_));
   std::string chunk(static_cast<std::size_t>(size - offset_), '\0');
   in.read(chunk.data(), static_cast<std::streamsize>(chunk.size()));

@@ -111,6 +111,16 @@ class LineSource : public Source {
   /// `end`.
   void finish() noexcept { finished_ = true; }
 
+  /// Discards all buffered (unconsumed) bytes and clears the finished
+  /// flag — for owners that detect the underlying byte stream restarted
+  /// (e.g. a followed file was rewritten), so a stale partial line never
+  /// splices onto the new stream. Counters and lines_seen() persist.
+  void reset() noexcept {
+    buffer_.clear();
+    pos_ = 0;
+    finished_ = false;
+  }
+
   SourceStatus next(FailureRecord& out) override;
 
   /// Total '\n'-terminated lines consumed so far (blank/header included).
@@ -129,8 +139,18 @@ class LineSource : public Source {
 /// Each next() that finds the inner buffer empty re-opens the file, seeks
 /// past everything already consumed, and feeds any new bytes; `idle`
 /// means no new data (or the file does not exist yet). Never returns
-/// `end` — the caller decides when to stop polling. Truncation below the
-/// consumed offset restarts from the top of the file.
+/// `end` — the caller decides when to stop polling.
+///
+/// Rewrite detection: a size below the consumed offset alone misses the
+/// truncate-then-regrow race (logrotate's copytruncate plus a fast
+/// producer can push the new file past the old offset between polls, and
+/// a same-size rewrite never shrinks at all). Each poll therefore also
+/// compares the file's inode and its leading bytes against what was
+/// tailed before; any mismatch restarts cleanly from offset 0 and drops
+/// buffered partial-line bytes from the old file. A rewrite whose first
+/// bytes are identical to the old file's (up to the signature length) on
+/// the same inode is indistinguishable from an append and is read as
+/// one — the protocol's header line makes that benign for event traces.
 class TailSource : public Source {
  public:
   explicit TailSource(std::string path, std::uint64_t start_offset = 0);
@@ -144,6 +164,10 @@ class TailSource : public Source {
   /// Byte offset of the next read.
   std::uint64_t offset() const noexcept { return offset_; }
 
+  /// Times a rewrite (truncation or replacement) was detected and the
+  /// tail restarted from the top.
+  std::uint64_t rewrites_detected() const noexcept { return rewrites_; }
+
  private:
   /// Reads newly appended bytes into the line buffer. Returns the byte
   /// count fed (0 when nothing new).
@@ -151,6 +175,9 @@ class TailSource : public Source {
 
   std::string path_;
   std::uint64_t offset_ = 0;
+  std::uint64_t inode_ = 0;     ///< 0 until the file is first seen
+  std::string signature_;       ///< leading bytes of the tailed file
+  std::uint64_t rewrites_ = 0;
   LineSource lines_;
 };
 

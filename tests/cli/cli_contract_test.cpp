@@ -70,8 +70,8 @@ struct ContractRow {
 
 const std::vector<std::string>& all_subcommands() {
   static const std::vector<std::string> kNames = {
-      "generate", "catalog",      "validate", "fit",      "repair",
-      "report",   "availability", "profile",  "campaign", "serve"};
+      "generate", "catalog",      "validate", "fit",      "repair", "report",
+      "availability", "profile",  "campaign", "serve",    "replay"};
   return kNames;
 }
 
@@ -125,10 +125,18 @@ TEST(CliContract, ExitCodeTable) {
       {"fit --system notanint", 2, "parse error:"},
       {"repair --seed -3", 2, "parse error:"},  // uint64 cannot be negative
       {"serve --max-events -1", 2, "parse error:"},
+      {"replay", 2, "parse error:"},  // missing required --trace/--port
+      {"replay --trace " + missing, 2, "parse error:"},  // missing --port
+      // --speedup takes a real; rejected at parse time, before any io
+      {"replay --trace " + missing + " --port 1 --speedup fast", 2,
+       "parse error:"},
       // runtime failures -> 1
       {"serve --ingest-port 70000 --max-events 1", 1, "validation error:"},
       {"serve --host not.an.ip --max-events 1", 1, "validation error:"},
+      {"serve --ingest-threads 0 --max-events 1", 1, "validation error:"},
+      {"serve --ingest-threads 65 --max-events 1", 1, "validation error:"},
       {"serve --trace " + missing + " --max-events 1", 1, "io error:"},
+      {"replay --trace " + missing + " --port 80", 1, "io error:"},
       {"fit --system 20 --trace " + missing, 1, "io error:"},
       {"validate --trace " + missing, 1, "io error:"},
       {"repair --trace " + missing, 1, "io error:"},
@@ -184,6 +192,30 @@ TEST(CliContract, ValidateFlagsSuspectTraceWithExitTwo) {
   }
   const auto result = run_cli("validate --trace " + path);
   EXPECT_EQ(result.exit_code, 2) << result.err << result.out;
+  std::remove(path.c_str());
+}
+
+TEST(CliContract, ReplayValidatesOptionsAfterReadingTheTrace) {
+  // With a readable trace, bad replay options surface as validation
+  // errors (exit 1), distinct from the parse taxonomy.
+  const std::string path =
+      (std::filesystem::path(::testing::TempDir()) / "replay_opts.csv")
+          .string();
+  {
+    std::ofstream out(path);
+    out << "system,node,start,end,workload,cause,detail\n";
+    out << "20,3,2005-01-02 09:00:00,2005-01-02 10:00:00,compute,hardware,"
+           "memory_dimm\n";
+  }
+  for (const std::string bad :
+       {std::string("--port 70000"), std::string("--port 1 --speedup -2"),
+        std::string("--port 1 --connections 0"),
+        std::string("--port 1 --host not.an.ip")}) {
+    const auto result = run_cli("replay --trace " + path + " " + bad);
+    EXPECT_EQ(result.exit_code, 1) << bad << "\nstderr: " << result.err;
+    EXPECT_TRUE(starts_with(result.err, "validation error:"))
+        << bad << "\nstderr: " << result.err;
+  }
   std::remove(path.c_str());
 }
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <random>
 #include <string>
 #include <vector>
@@ -184,6 +185,134 @@ TEST(SlidingSuffStats, EvictsOldBucketsAndCountsDrops) {
   sliding.add(0, 1.0);
   EXPECT_EQ(sliding.dropped(), 8u);
   EXPECT_EQ(sliding.size(), 3u);
+}
+
+TEST(SlidingSuffStats, EvictBeforeMergesExactlyTheBucketsBelowTheHorizon) {
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = 60;
+  SlidingSuffStats sliding(opts);
+  for (int i = 0; i < 10; ++i) {
+    sliding.add(static_cast<Seconds>(i) * 60, static_cast<double>(i + 1));
+  }
+  ASSERT_EQ(sliding.size(), 10u);
+
+  // Horizon lands mid-bucket 4: buckets 0..3 go, bucket 4 onward stays.
+  const SuffStats evicted = sliding.evict_before(4 * 60 + 30);
+  EXPECT_EQ(evicted.n, 4u);
+  EXPECT_DOUBLE_EQ(evicted.sum_raw, 1.0 + 2.0 + 3.0 + 4.0);
+  EXPECT_EQ(sliding.size(), 6u);
+  EXPECT_EQ(sliding.bucket_count(), 6u);
+  EXPECT_EQ(sliding.dropped(), 4u);
+
+  // The remaining window still answers queries over the surviving buckets.
+  const SuffStats rest = sliding.total_stats();
+  EXPECT_EQ(rest.n, 6u);
+  EXPECT_DOUBLE_EQ(rest.sum_raw, 5.0 + 6.0 + 7.0 + 8.0 + 9.0 + 10.0);
+}
+
+TEST(SlidingSuffStats, EventOnTheEvictionBoundaryIsDroppedNotResurrected) {
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = 100;
+  SlidingSuffStats sliding(opts);
+  sliding.add(0, 1.0);
+  sliding.add(500, 1.0);
+  const SuffStats evicted = sliding.evict_before(500);  // bucket 0..4 go
+  EXPECT_EQ(evicted.n, 1u);
+  ASSERT_EQ(sliding.size(), 1u);
+
+  // A late arrival landing on an evicted bucket's index must be counted in
+  // dropped() and must never reopen that bucket.
+  const std::uint64_t dropped_before = sliding.dropped();
+  sliding.add(499, 7.0);  // bucket 4: strictly below the horizon bucket
+  EXPECT_EQ(sliding.dropped(), dropped_before + 1);
+  EXPECT_EQ(sliding.size(), 1u);
+  EXPECT_EQ(sliding.total_stats().n, 1u);
+
+  // Exactly at the horizon bucket is still live.
+  sliding.add(501, 2.0);
+  EXPECT_EQ(sliding.size(), 2u);
+}
+
+TEST(SlidingSuffStats, EvictionFloorSurvivesAnEmptiedWindow) {
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = 60;
+  SlidingSuffStats sliding(opts);
+  sliding.add(0, 1.0);
+  sliding.add(60, 1.0);
+  const SuffStats evicted = sliding.evict_before(10'000);  // evicts everything
+  EXPECT_EQ(evicted.n, 2u);
+  EXPECT_EQ(sliding.size(), 0u);
+  EXPECT_EQ(sliding.bucket_count(), 0u);
+
+  // With no buckets left there is no front-index guard: only the remembered
+  // floor can block resurrection of the evicted range.
+  sliding.add(120, 5.0);
+  EXPECT_EQ(sliding.size(), 0u);
+  EXPECT_EQ(sliding.dropped(), 3u);
+  sliding.add(10'020, 5.0);  // at/after the horizon bucket: accepted
+  EXPECT_EQ(sliding.size(), 1u);
+}
+
+TEST(SlidingSuffStats, EvictBeforeMatchesAnEventListModel) {
+  SlidingSuffStats::Options opts;
+  opts.bucket_seconds = kSecondsPerHour;
+  SlidingSuffStats sliding(opts);
+  const auto bucket_index = [&](Seconds at) { return at / opts.bucket_seconds; };
+
+  std::mt19937 rng(99);
+  std::vector<Event> events = event_stream(600, 23);
+  std::vector<Event> live;  // the model: events not yet evicted/dropped
+  std::uint64_t model_dropped = 0;
+  std::uint64_t model_evicted = 0;
+  std::int64_t model_floor = std::numeric_limits<std::int64_t>::min();
+  const auto front_index = [&] {
+    std::int64_t front = std::numeric_limits<std::int64_t>::max();
+    for (const Event& ev : live) front = std::min(front, bucket_index(ev.at));
+    return front;
+  };
+
+  std::uniform_int_distribution<int> action(0, 19);
+  std::uniform_int_distribution<std::size_t> pick(0, events.size() - 1);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Mostly in-order arrivals, occasionally a random (possibly stale) event,
+    // occasionally a compaction cut at a previously seen timestamp.
+    Event e = events[i];
+    const int roll = action(rng);
+    if (roll < 3) e = events[pick(rng)];
+    const std::int64_t idx = bucket_index(e.at);
+    sliding.add(e.at, e.value);
+    // The documented drop rule: below the eviction floor, or staler than
+    // every retained bucket.
+    if (idx < model_floor || (!live.empty() && idx < front_index())) {
+      ++model_dropped;
+    } else {
+      live.push_back(e);
+    }
+
+    if (roll == 19) {
+      const Seconds horizon = events[pick(rng)].at;
+      const SuffStats evicted = sliding.evict_before(horizon);
+      model_floor = std::max(model_floor, bucket_index(horizon));
+      std::vector<Event> survivors;
+      std::uint64_t cut = 0;
+      for (const Event& ev : live) {
+        if (bucket_index(ev.at) < bucket_index(horizon)) {
+          ++cut;
+        } else {
+          survivors.push_back(ev);
+        }
+      }
+      live.swap(survivors);
+      model_evicted += cut;
+      ASSERT_EQ(evicted.n, cut) << "evict at step " << i;
+    }
+    ASSERT_EQ(sliding.size(), live.size()) << "after step " << i;
+    ASSERT_EQ(sliding.dropped(), model_dropped + model_evicted)
+        << "after step " << i;
+    ASSERT_EQ(sliding.total_stats().n, live.size()) << "after step " << i;
+  }
+  EXPECT_GT(model_evicted, 0u);
+  EXPECT_GT(model_dropped, 0u);
 }
 
 TEST(StreamingFits, MatchRescanningFitReport) {

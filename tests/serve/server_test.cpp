@@ -5,6 +5,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <string>
@@ -21,6 +23,8 @@
 #include "common/error.hpp"
 #include "common/time.hpp"
 #include "serve/analytics.hpp"
+#include "serve/replay.hpp"
+#include "trace/dataset.hpp"
 #include "trace/record.hpp"
 
 namespace hpcfail::serve {
@@ -188,6 +192,16 @@ TEST(Server, RejectsInvalidOptions) {
   {
     ServerOptions opts;
     opts.window_seconds = -5;
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+  {
+    ServerOptions opts;
+    opts.ingest_threads = 0;
+    EXPECT_THROW(Server s(opts), ValidationError);
+  }
+  {
+    ServerOptions opts;
+    opts.http_request_deadline_ms = 0;
     EXPECT_THROW(Server s(opts), ValidationError);
   }
 }
@@ -365,6 +379,282 @@ TEST(Server, TailsAnAppendedFile) {
   server.wait();
   std::remove(path.c_str());
   EXPECT_EQ(server.dataset().snapshot()->size(), 21u);
+}
+
+// --- HTTP hardening (slow-loris + interrupted sends) ----------------------
+
+// Regression: the old loop bounded each recv (2s SO_RCVTIMEO) but not
+// the request, so a client trickling one byte per interval held the sole
+// HTTP thread forever and starved every other reader.
+TEST(Server, SlowLorisRequestIsBoundedByAnOverallDeadline) {
+  ServerOptions opts;
+  opts.http_request_deadline_ms = 250;
+  Server server(opts);
+  server.start();
+
+  const int slow = connect_to(server.http_port());
+  std::atomic<bool> trickling{true};
+  std::thread trickler([&] {
+    const char byte = 'G';  // never completes a request line
+    for (int i = 0; i < 30 && trickling.load(); ++i) {
+      if (::send(slow, &byte, 1, MSG_NOSIGNAL) <= 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  });
+
+  // A reader queued behind the slow request must be served once the
+  // deadline trips — not after the trickler gives up (3s).
+  const auto begin = std::chrono::steady_clock::now();
+  const HttpResponse health = http_get(server.http_port(), "/healthz");
+  const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - begin);
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+  EXPECT_LT(waited.count(), 1500) << "healthz starved by a slow-loris peer";
+  for (int i = 0; i < 200 && server.http_request_timeouts() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(server.http_request_timeouts(), 1u);
+
+  trickling.store(false);
+  trickler.join();
+  ::close(slow);
+  server.stop();
+  server.wait();
+}
+
+// Regression: the old response loop aborted on any send() <= 0, so an
+// EINTR under signal load silently truncated /metrics and /report.
+TEST(Server, SendFullyRetriesInterruptedSends) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  struct sigaction action {};
+  action.sa_handler = +[](int) {};  // interrupt blocking sends, do nothing
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // deliberately no SA_RESTART
+  struct sigaction previous {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  // Far larger than the socketpair buffer, so the sender blocks and the
+  // signals land mid-send.
+  const std::string payload(8 * 1024 * 1024, 'x');
+  std::atomic<std::size_t> sent{0};
+  std::thread sender(
+      [&] { sent.store(send_fully(fds[0], payload)); });
+
+  std::size_t received = 0;
+  char buffer[4096];
+  while (received < payload.size()) {
+    pthread_kill(sender.native_handle(), SIGUSR1);
+    const ssize_t n = ::recv(fds[1], buffer, sizeof(buffer), 0);
+    ASSERT_GT(n, 0);
+    received += static_cast<std::size_t>(n);
+  }
+  sender.join();
+  EXPECT_EQ(sent.load(), payload.size());
+  EXPECT_EQ(received, payload.size());
+
+  ::sigaction(SIGUSR1, &previous, nullptr);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(Server, SendFullyReturnsShortWhenThePeerIsGone) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ::close(fds[1]);
+  const std::string payload(1024 * 1024, 'y');
+  // Must not raise SIGPIPE (MSG_NOSIGNAL) and must report the shortfall.
+  EXPECT_LT(send_fully(fds[0], payload), payload.size());
+  ::close(fds[0]);
+}
+
+// --- sharded ingest end-to-end --------------------------------------------
+
+TEST(Server, ShardedIngestSealsIdenticalToBatch) {
+  ServerOptions opts;
+  opts.ingest_threads = 4;
+  opts.epoch.min_rebuild_tail = 256;  // several seals mid-stream
+  Server server(opts);
+  server.start();
+
+  std::vector<trace::FailureRecord> records;
+  const std::size_t kEvents = 2000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    records.push_back(rec(1 + static_cast<int>(i % 3),
+                          static_cast<int>(i % 8),
+                          t0 + static_cast<Seconds>(i) * 60, 300));
+  }
+
+  // Four producer connections, events sharded by (system, node) so each
+  // node's stream stays ordered within one connection.
+  std::vector<int> clients;
+  std::vector<std::string> payloads(4);
+  for (int c = 0; c < 4; ++c) clients.push_back(connect_to(server.ingest_port()));
+  for (const trace::FailureRecord& r : records) {
+    const std::size_t c = (static_cast<std::size_t>(r.system_id) * 8191u +
+                           static_cast<std::size_t>(r.node_id)) %
+                          4;
+    payloads[c] += csv_line(r);
+  }
+  for (int c = 0; c < 4; ++c) send_all(clients[c], payloads[c]);
+  wait_until_ingested(server, kEvents);
+
+  const HttpResponse stats = http_get(server.http_port(), "/stats");
+  EXPECT_EQ(stats.status, 200);
+  EXPECT_NE(stats.body.find("\"ingest_threads\":4"), std::string::npos)
+      << stats.body;
+  EXPECT_NE(stats.body.find("\"shards\":["), std::string::npos);
+
+  for (const int c : clients) ::close(c);
+  server.stop();
+  server.wait();
+
+  // The tentpole contract over real sockets: bit-identical to one batch
+  // build of the same records.
+  const trace::FailureDataset reference{std::move(records)};
+  const std::shared_ptr<const trace::FailureDataset> got =
+      server.dataset().snapshot();
+  ASSERT_EQ(got->size(), reference.size());
+  const trace::ColumnsView g = got->records();
+  const trace::ColumnsView w = reference.records();
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(g.starts()[i], w.starts()[i]) << "row " << i;
+    ASSERT_EQ(g.system_ids()[i], w.system_ids()[i]) << "row " << i;
+    ASSERT_EQ(g.node_ids()[i], w.node_ids()[i]) << "row " << i;
+    ASSERT_EQ(g.ends()[i], w.ends()[i]) << "row " << i;
+  }
+}
+
+TEST(Server, RetentionCompactsOldEventsDuringIngest) {
+  ServerOptions opts;
+  opts.epoch.min_rebuild_tail = 128;
+  opts.epoch.max_sealed_events = 300;
+  Server server(opts);
+  server.start();
+
+  const int client = connect_to(server.ingest_port());
+  std::string payload;
+  const std::size_t kEvents = 1000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    payload += csv_line(rec(9, static_cast<int>(i % 8),
+                            t0 + static_cast<Seconds>(i) * 60, 120));
+  }
+  send_all(client, payload);
+  wait_until_ingested(server, kEvents);
+
+  const HttpResponse stats = http_get(server.http_port(), "/stats");
+  EXPECT_NE(stats.body.find("\"compacted_events\":"), std::string::npos);
+  EXPECT_NE(stats.body.find("\"retention_horizon\":"), std::string::npos);
+
+  ::close(client);
+  server.stop();
+  server.wait();
+  // Every append is accounted for: raw (sealed + tail) + compacted.
+  EXPECT_GT(server.dataset().compacted_events(), 0u);
+  EXPECT_EQ(server.dataset().size() + server.dataset().compacted_events(),
+            kEvents);
+  EXPECT_LE(server.dataset().sealed_size(), 301u);  // cap + tie slack
+}
+
+// --- replay client ---------------------------------------------------------
+
+TEST(Replay, RejectsInvalidOptions) {
+  const trace::FailureDataset empty;
+  {
+    ReplayOptions opts;  // port 0
+    EXPECT_THROW(replay_dataset(empty, opts), ValidationError);
+  }
+  {
+    ReplayOptions opts;
+    opts.port = 9;
+    opts.connections = 0;
+    EXPECT_THROW(replay_dataset(empty, opts), ValidationError);
+  }
+  {
+    ReplayOptions opts;
+    opts.port = 9;
+    opts.speedup = -1.0;
+    EXPECT_THROW(replay_dataset(empty, opts), ValidationError);
+  }
+}
+
+TEST(Replay, FullSpeedReplayIngestsTheWholeTrace) {
+  std::vector<trace::FailureRecord> records;
+  for (int i = 0; i < 800; ++i) {
+    records.push_back(rec(2 + i % 2, i % 8, t0 + i * 60, 300));
+  }
+  const trace::FailureDataset dataset{std::move(records)};
+
+  ServerOptions sopts;
+  sopts.ingest_threads = 2;
+  Server server(sopts);
+  server.start();
+
+  ReplayOptions ropts;
+  ropts.port = server.ingest_port();
+  ropts.connections = 3;
+  const ReplayStats stats = replay_dataset(dataset, ropts);
+  EXPECT_EQ(stats.events_sent, 800u);
+  EXPECT_GT(stats.bytes_sent, 0u);
+  wait_until_ingested(server, 800);
+  server.stop();
+  server.wait();
+  EXPECT_EQ(server.events_rejected(), 0u);
+  EXPECT_EQ(server.dataset().snapshot()->size(), 800u);
+}
+
+TEST(Replay, ReplayedReportsMatchASeededServerByteForByte) {
+  std::vector<trace::FailureRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    records.push_back(rec(5, i % 6, t0 + i * 900, 60 + (i % 7) * 30));
+  }
+  const trace::FailureDataset replayed{std::vector<trace::FailureRecord>(records)};
+
+  Server live(ServerOptions{});
+  live.start();
+  ReplayOptions ropts;
+  ropts.port = live.ingest_port();
+  ropts.connections = 1;  // one connection: arrival order == trace order
+  replay_dataset(replayed, ropts);
+  wait_until_ingested(live, 300);
+
+  Server seeded(ServerOptions{},
+                trace::FailureDataset{std::vector<trace::FailureRecord>(records)});
+  seeded.start();
+
+  // Identical observation sequences must yield identical report bytes.
+  const std::string target = "/report?system=5&window_hours=80";
+  const HttpResponse from_live = http_get(live.http_port(), target);
+  const HttpResponse from_seed = http_get(seeded.http_port(), target);
+  EXPECT_EQ(from_live.status, 200);
+  EXPECT_EQ(from_live.body, from_seed.body);
+
+  live.stop();
+  seeded.stop();
+  live.wait();
+  seeded.wait();
+}
+
+TEST(Replay, SpeedupPacesTheWallClock) {
+  std::vector<trace::FailureRecord> records;
+  for (int i = 0; i <= 10; ++i) {
+    records.push_back(rec(1, i % 4, t0 + i, 60));  // 10s trace span
+  }
+  const trace::FailureDataset dataset{std::move(records)};
+
+  Server server(ServerOptions{});
+  server.start();
+  ReplayOptions ropts;
+  ropts.port = server.ingest_port();
+  ropts.speedup = 20.0;  // 10s of trace time -> ~0.5s wall
+  const ReplayStats stats = replay_dataset(dataset, ropts);
+  EXPECT_EQ(stats.events_sent, 11u);
+  EXPECT_EQ(stats.trace_span, 10);
+  EXPECT_GE(stats.wall_seconds, 0.45);
+  EXPECT_LT(stats.wall_seconds, 5.0);
+  server.stop();
+  server.wait();
 }
 
 }  // namespace

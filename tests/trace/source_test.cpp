@@ -220,6 +220,84 @@ TEST_F(TailSourceTest, TruncationRestartsFromTop) {
   append_text(kGoodLine + "\n");
   EXPECT_EQ(source.next(r), SourceStatus::event);
   EXPECT_EQ(source.counters().accepted, 2u);
+  EXPECT_GE(source.rewrites_detected(), 1u);
+}
+
+TEST_F(TailSourceTest, TruncateThenRegrowPastOldOffsetIsDetected) {
+  // Seed a file and consume everything, leaving offset_ at its end.
+  append_text(kGoodLine + "\n" + kGoodLine + "\n");
+  TailSource source(path_);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);
+  const std::uint64_t old_offset = source.offset();
+
+  // Rewrite the file with DIFFERENT leading content that is LARGER than the
+  // old offset. A size-only check reads this as an append and resumes mid-file;
+  // the leading-bytes signature must flag it as a rewrite instead.
+  std::string rewritten = std::string(kCsvHeader) + "\n";
+  for (int i = 0; i < 5; ++i) {
+    rewritten += "3,1,1996-06-08 02:00:0" + std::to_string(i) +
+                 ",1996-06-08 02:30:0" + std::to_string(i) +
+                 ",compute,hardware,memory_dimm\n";
+  }
+  ASSERT_GT(rewritten.size(), old_offset);
+  {
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out << rewritten;
+  }
+
+  std::vector<FailureRecord> replayed;
+  while (source.next(r) == SourceStatus::event) replayed.push_back(r);
+  EXPECT_EQ(source.rewrites_detected(), 1u);
+  // Every record of the rewritten file arrives — nothing is skipped and no
+  // half-line splice from the old read position is ever parsed.
+  ASSERT_EQ(replayed.size(), 5u);
+  for (const FailureRecord& rec : replayed) {
+    EXPECT_EQ(rec.system_id, 3);
+    EXPECT_EQ(rec.node_id, 1);
+    EXPECT_EQ(rec.cause, RootCause::hardware);
+  }
+  EXPECT_EQ(source.counters().rejected, 0u);
+  EXPECT_EQ(source.counters().accepted, 7u);
+}
+
+TEST_F(TailSourceTest, RewriteDiscardsBufferedPartialLine) {
+  // Leave a partial (unterminated) line buffered in the decoder.
+  append_text(kGoodLine + "\n2,0,1996-06-07 15:");
+  TailSource source(path_);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  EXPECT_EQ(source.next(r), SourceStatus::idle);  // partial line held back
+
+  // Rewrite-with-regrow: the buffered fragment must be dropped, not spliced
+  // onto the first line of the new file. Lead with the header so the leading
+  // bytes differ from the old file's first record.
+  std::string rewritten = std::string(kCsvHeader) + "\n";
+  for (int i = 0; i < 8; ++i) rewritten += kGoodLine + "\n";
+  {
+    std::ofstream out(path_, std::ios::trunc | std::ios::binary);
+    out << rewritten;
+  }
+  std::size_t events = 0;
+  while (source.next(r) == SourceStatus::event) ++events;
+  EXPECT_EQ(events, 8u);
+  EXPECT_EQ(source.rewrites_detected(), 1u);
+  EXPECT_EQ(source.counters().rejected, 0u);
+}
+
+TEST_F(TailSourceTest, PlainAppendIsNotFlaggedAsRewrite) {
+  append_text(std::string(kCsvHeader) + "\n" + kGoodLine + "\n");
+  TailSource source(path_);
+  FailureRecord r;
+  EXPECT_EQ(source.next(r), SourceStatus::event);
+  for (int i = 0; i < 4; ++i) {
+    append_text(kGoodLine + "\n");
+    EXPECT_EQ(source.next(r), SourceStatus::event);
+  }
+  EXPECT_EQ(source.rewrites_detected(), 0u);
+  EXPECT_EQ(source.counters().accepted, 5u);
 }
 
 }  // namespace

@@ -8,12 +8,17 @@ Usage: check_bench_floor.py BENCH_PR6.json
            [--min-campaign-faults-per-sec N]
        check_bench_floor.py BENCH_PR8.json
            [--min-ingest-events-per-sec N]
+       check_bench_floor.py BENCH_PR9.json
+           [--min-sharded-events-per-sec N]
 
 Dispatches on the JSON's "benchmark" field: "pr6_columnar_pipeline"
 (written by `bench_perf_dataset --pr6`), "pr7_campaign" (written by
-`bench_perf_campaign`), or "pr8_ingest" (written by
-`bench_perf_ingest`), and fails (exit 1) when a gated number falls
-below its floor. The generation gate applies to the wall-clock
+`bench_perf_campaign`), "pr8_ingest" (written by `bench_perf_ingest`),
+or "pr9_ingest" (written by `bench_perf_ingest --pr9`), and fails
+(exit 1) when a gated number falls below its floor. The sharded-ingest
+gate is an absolute events/sec floor on the multi-shard cell, NOT a
+speedup-over-1-shard ratio: CI runners may expose a single core (the
+JSON records "cores"), where shard parallelism cannot materialize. The generation gate applies to the wall-clock
 `records_per_sec` of the largest trace generated under the named
 profile — the 10M-record sweep row, NOT the paper-scale profile gauge,
 which is dominated by per-system planning cost. The campaign gate
@@ -42,6 +47,7 @@ def main():
                         choices=["per_node", "pooled"])
     parser.add_argument("--min-campaign-faults-per-sec", type=float)
     parser.add_argument("--min-ingest-events-per-sec", type=float)
+    parser.add_argument("--min-sharded-events-per-sec", type=float)
     args = parser.parse_args()
 
     try:
@@ -57,6 +63,8 @@ def main():
         check_pr7(doc, args)
     elif benchmark == "pr8_ingest":
         check_pr8(doc, args)
+    elif benchmark == "pr9_ingest":
+        check_pr9(doc, args)
     else:
         fail(f"unexpected benchmark {benchmark!r}")
 
@@ -68,7 +76,9 @@ def check_pr6(doc, args):
             ("--min-campaign-faults-per-sec",
              args.min_campaign_faults_per_sec),
             ("--min-ingest-events-per-sec",
-             args.min_ingest_events_per_sec)):
+             args.min_ingest_events_per_sec),
+            ("--min-sharded-events-per-sec",
+             args.min_sharded_events_per_sec)):
         if value is not None:
             fail(f"{flag} does not apply to pr6_columnar_pipeline")
 
@@ -109,7 +119,9 @@ def check_pr7(doc, args):
             ("--min-fitting-speedup-vs-seed",
              args.min_fitting_speedup_vs_seed),
             ("--min-ingest-events-per-sec",
-             args.min_ingest_events_per_sec)):
+             args.min_ingest_events_per_sec),
+            ("--min-sharded-events-per-sec",
+             args.min_sharded_events_per_sec)):
         if value is not None:
             fail(f"{flag} does not apply to pr7_campaign")
 
@@ -137,7 +149,9 @@ def check_pr8(doc, args):
             ("--min-fitting-speedup-vs-seed",
              args.min_fitting_speedup_vs_seed),
             ("--min-campaign-faults-per-sec",
-             args.min_campaign_faults_per_sec)):
+             args.min_campaign_faults_per_sec),
+            ("--min-sharded-events-per-sec",
+             args.min_sharded_events_per_sec)):
         if value is not None:
             fail(f"{flag} does not apply to pr8_ingest")
 
@@ -158,6 +172,54 @@ def check_pr8(doc, args):
         print(f"ingest single-core: {rate:,.0f} events/sec >= "
               f"floor {floor:,.0f} ({cell.get('events')} events, "
               f"{cell.get('epochs')} epochs)")
+
+
+def check_pr9(doc, args):
+    for flag, value in (
+            ("--min-generation-records-per-sec",
+             args.min_generation_records_per_sec),
+            ("--min-fitting-speedup-vs-seed",
+             args.min_fitting_speedup_vs_seed),
+            ("--min-campaign-faults-per-sec",
+             args.min_campaign_faults_per_sec),
+            ("--min-ingest-events-per-sec",
+             args.min_ingest_events_per_sec)):
+        if value is not None:
+            fail(f"{flag} does not apply to pr9_ingest")
+
+    # Unconditional: the sharded, incrementally-maintained datasets must
+    # be column-for-column identical to a from-scratch build, and the
+    # retention leg must stay bounded with every event accounted for in
+    # sealed + tail + compacted.
+    if not doc.get("identical", False):
+        fail("sharded ingest reported an incremental-vs-scratch mismatch")
+    retention = doc.get("retention")
+    if not isinstance(retention, dict):
+        fail("no retention leg in pr9_ingest")
+    if not retention.get("accounted", False):
+        fail("retention ledger does not account for every event "
+             f"(sealed={retention.get('sealed')} "
+             f"tail={retention.get('tail')} "
+             f"compacted={retention.get('compacted')} "
+             f"of {retention.get('events')})")
+    if not retention.get("bounded", False):
+        fail(f"retention peak {retention.get('peak_live_events'):,} live "
+             f"events exceeded the bound for cap "
+             f"{retention.get('max_sealed_events'):,}")
+
+    if args.min_sharded_events_per_sec is not None:
+        cell = doc.get("multi_shard")
+        if not isinstance(cell, dict):
+            fail("no multi_shard measurement")
+        rate = cell.get("events_per_sec", 0.0)
+        floor = args.min_sharded_events_per_sec
+        if rate < floor:
+            fail(f"sharded ingest ({cell.get('shards')} shards, "
+                 f"{doc.get('cores')} cores): {rate:,.0f} events/sec "
+                 f"< floor {floor:,.0f}")
+        print(f"sharded ingest ({cell.get('shards')} shards, "
+              f"{doc.get('cores')} cores): {rate:,.0f} events/sec >= "
+              f"floor {floor:,.0f} ({cell.get('events')} events)")
 
 
 if __name__ == "__main__":

@@ -42,13 +42,14 @@ using namespace hpcfail;
 // ---------------------------------------------------------------------------
 // Declarative option table
 
-enum class ArgType { string, integer, uint64, timestamp, flag };
+enum class ArgType { string, integer, uint64, real, timestamp, flag };
 
 const char* type_label(ArgType type) {
   switch (type) {
     case ArgType::string: return "STR";
     case ArgType::integer: return "N";
     case ArgType::uint64: return "N";
+    case ArgType::real: return "X";
     case ArgType::timestamp: return "YYYY-MM-DD";
     case ArgType::flag: return "";
   }
@@ -107,6 +108,14 @@ class Args {
       throw ParseError("option --" + name + " must be non-negative");
     }
     return static_cast<std::uint64_t>(v);
+  }
+  double get_double(const std::string& name) const {
+    try {
+      return parse_double(raw(name));
+    } catch (const ParseError&) {
+      throw ParseError("option --" + name + " expects a number, got '" +
+                       raw(name) + "'");
+    }
   }
   Seconds get_timestamp(const std::string& name) const {
     return parse_timestamp(raw(name));
@@ -690,6 +699,13 @@ int cmd_serve(const Args& args) {
   opts.bucket_seconds = static_cast<Seconds>(args.get_u64("bucket-seconds"));
   opts.max_buckets = static_cast<std::size_t>(args.get_u64("max-buckets"));
   opts.max_events = args.get_u64("max-events");
+  opts.ingest_threads = static_cast<std::size_t>(args.get_u64("ingest-threads"));
+  if (args.given("retain-hours")) {
+    opts.epoch.retain_seconds =
+        static_cast<Seconds>(args.get_u64("retain-hours")) * kSecondsPerHour;
+  }
+  opts.epoch.max_sealed_events =
+      static_cast<std::size_t>(args.get_u64("max-sealed-events"));
   if (args.given("tail")) opts.tail_path = args.get_string("tail");
 
   std::unique_ptr<serve::Server> server;
@@ -722,7 +738,45 @@ int cmd_serve(const Args& args) {
   std::cout << "ingested " << server->events_ingested() << " events ("
             << server->events_rejected() << " rejected), index epoch "
             << server->dataset().epoch() << ", " << server->dataset().size()
-            << " records\n";
+            << " records";
+  if (server->dataset().compacted_events() > 0) {
+    std::cout << ", " << server->dataset().compacted_events()
+              << " compacted";
+  }
+  std::cout << "\n";
+  return 0;
+}
+
+int cmd_replay(const Args& args) {
+  serve::ReplayOptions opts;
+  opts.host = args.get_string("host");
+  opts.port = args.get_int("port");
+  opts.speedup = args.get_double("speedup");
+  opts.connections = static_cast<std::size_t>(args.get_u64("connections"));
+  opts.limit = args.get_u64("limit");
+
+  const trace::FailureDataset dataset =
+      trace::read_csv_file(args.get_string("trace"));
+  std::cout << "replaying " << dataset.size() << " records to " << opts.host
+            << ":" << opts.port << " over " << opts.connections
+            << " connection(s)";
+  if (opts.speedup > 0.0) {
+    std::cout << " at " << format_double(opts.speedup, 6) << "x trace time";
+  } else {
+    std::cout << " at full speed";
+  }
+  std::cout << std::endl;
+
+  const serve::ReplayStats stats = serve::replay_dataset(dataset, opts);
+
+  // key=value lines so scripts (the CI replay-smoke job) can assert on
+  // exact totals.
+  std::cout << "sent=" << stats.events_sent << "\n"
+            << "bytes=" << stats.bytes_sent << "\n"
+            << "trace_span_seconds=" << stats.trace_span << "\n"
+            << "wall_seconds=" << format_double(stats.wall_seconds, 6) << "\n"
+            << "events_per_sec=" << format_double(stats.events_per_sec, 6)
+            << "\n";
   return 0;
 }
 
@@ -842,8 +896,30 @@ const std::vector<Subcommand>& subcommands() {
            {"max-events", ArgType::uint64, "0", false,
             "stop after N accepted events (0 = run until SIGINT or "
             "/shutdown)"},
+           {"ingest-threads", ArgType::uint64, "1", false,
+            "ingest shards/threads; sealed snapshots are bit-identical "
+            "at any count"},
+           {"retain-hours", ArgType::uint64, "", false,
+            "compact raw events older than N hours into per-cell "
+            "sufficient statistics at seal time"},
+           {"max-sealed-events", ArgType::uint64, "0", false,
+            "compact oldest events when the sealed snapshot exceeds N "
+            "(0 = unbounded)"},
        },
        &cmd_serve},
+      {"replay", "replay a trace into a daemon's TCP ingest at scaled time",
+       {
+           {"trace", ArgType::string, "", true, "trace CSV to replay"},
+           {"host", ArgType::string, "127.0.0.1", false, "daemon address"},
+           {"port", ArgType::integer, "", true, "daemon ingest port"},
+           {"speedup", ArgType::real, "0", false,
+            "trace-seconds per wall-second (0 = as fast as possible)"},
+           {"connections", ArgType::uint64, "1", false,
+            "parallel TCP connections, events sharded by (system, node)"},
+           {"limit", ArgType::uint64, "0", false,
+            "replay at most N events (0 = whole trace)"},
+       },
+       &cmd_replay},
   };
   return kTable;
 }

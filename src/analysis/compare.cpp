@@ -1,0 +1,116 @@
+#include "analysis/compare.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/time.hpp"
+#include "dist/lognormal.hpp"
+#include "dist/weibull.hpp"
+#include "trace/index.hpp"
+#include "trace/types.hpp"
+
+namespace hpcfail::analysis {
+
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+
+/// Pulls the fitted Weibull/LogNormal parameters out of a ranked report
+/// (the FitReport holds type-erased Distributions).
+void extract_parameters(CompareSite& site) {
+  site.weibull_shape = kNan;
+  site.weibull_scale = kNan;
+  for (const dist::FitResult& fit : site.gap_fits) {
+    if (const auto* w = dynamic_cast<const dist::Weibull*>(fit.model.get())) {
+      site.weibull_shape = w->shape();
+      site.weibull_scale = w->scale();
+      break;
+    }
+  }
+  site.repair_lognormal_mu = kNan;
+  site.repair_lognormal_sigma = kNan;
+  for (const dist::FitResult& fit : site.repair_fits) {
+    if (const auto* ln =
+            dynamic_cast<const dist::LogNormal*>(fit.model.get())) {
+      site.repair_lognormal_mu = ln->mu();
+      site.repair_lognormal_sigma = ln->sigma();
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+CompareSite summarize_site(const CompareInput& input) {
+  const trace::FailureDataset& ds = input.dataset;
+  if (ds.empty()) {
+    throw InvalidArgument("site '" + input.label +
+                          "' has no records to compare");
+  }
+  CompareSite site;
+  site.label = input.label;
+  site.records = ds.size();
+
+  // Rates: normalized by the observed node population and span. The
+  // foreign studies report per-processor rates against their own
+  // geometry, which the caller passes when known.
+  site.span_years = years_between(ds.first_start(), ds.last_end());
+  const double span = site.span_years > 0.0 ? site.span_years : kNan;
+  std::size_t nodes = 0;
+  std::vector<double> gaps;
+  for (const int system_id : ds.system_ids()) {
+    const trace::DatasetView view = ds.view().for_system(system_id);
+    for (const trace::NodeInterarrivalGroup& group :
+         view.node_interarrival_groups()) {
+      ++nodes;
+      gaps.insert(gaps.end(), group.gaps_seconds.begin(),
+                  group.gaps_seconds.end());
+    }
+  }
+  site.nodes = nodes;
+  site.failures_per_node_year =
+      static_cast<double>(site.records) / (static_cast<double>(nodes) * span);
+  site.failures_per_proc_year =
+      input.procs > 0.0
+          ? static_cast<double>(site.records) / (input.procs * span)
+          : kNan;
+
+  // Root-cause mix over every record (Fig 1 shape, per site).
+  const auto causes = ds.records().causes();
+  for (const trace::RootCause cause : causes) {
+    site.cause_fraction[trace::cause_index(cause)] += 1.0;
+  }
+  for (double& fraction : site.cause_fraction) {
+    fraction /= static_cast<double>(site.records);
+  }
+
+  // Repair battery (Table 2 shape): moments plus the ranked fits.
+  const std::vector<double> repair = ds.repair_times_minutes();
+  site.repair_minutes = stats::summarize(repair);
+  site.repair_fits = dist::fit_report(repair, dist::standard_families());
+
+  // Interarrival battery (Fig 6 view (i), pooled): per-node gaps across
+  // every system of the site, 1-second floor as everywhere else.
+  if (!gaps.empty()) {
+    site.gaps_seconds = stats::summarize(gaps);
+    site.gap_fits =
+        dist::fit_report(gaps, dist::standard_families(), /*floor_at=*/1.0);
+  }
+  extract_parameters(site);
+  return site;
+}
+
+CompareReport compare_sites(const std::vector<CompareInput>& inputs) {
+  if (inputs.empty()) {
+    throw InvalidArgument("compare needs at least one site");
+  }
+  CompareReport report;
+  report.sites.reserve(inputs.size());
+  for (const CompareInput& input : inputs) {
+    report.sites.push_back(summarize_site(input));
+  }
+  return report;
+}
+
+}  // namespace hpcfail::analysis

@@ -1,0 +1,69 @@
+// Cross-study comparison battery (ROADMAP item 4): runs the fit/analyzer
+// stack over N independent traces — native LANL-shaped, foreign-schema
+// files ingested through trace adapters, or synthetic SiteProfile
+// corpora — and summarizes each site with the statistics the source
+// papers publish: failure rates per node- and processor-year, the ranked
+// interarrival FitReport with the Weibull shape, repair moments with the
+// lognormal parameters, and the root-cause breakdown. `hpcfail compare`
+// renders the result side by side through report::render_compare_*.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/fit.hpp"
+#include "stats/descriptive.hpp"
+#include "trace/dataset.hpp"
+
+namespace hpcfail::analysis {
+
+/// One site's trace plus the normalization the study reports rates by.
+struct CompareInput {
+  std::string label;
+  trace::FailureDataset dataset;
+  /// Processor count, > 0 when known (site profiles know theirs; foreign
+  /// trace files usually do not). 0 leaves per-processor rates unset.
+  double procs = 0.0;
+};
+
+/// One site's battery results.
+struct CompareSite {
+  std::string label;
+  std::size_t records = 0;
+  std::size_t nodes = 0;        ///< distinct (system, node) pairs observed
+  double span_years = 0.0;      ///< first start .. last end
+  double failures_per_node_year = 0.0;
+  /// Per-processor-year rate; NaN when the processor count is unknown.
+  double failures_per_proc_year = 0.0;
+
+  /// Fraction of records per root cause, kAllRootCauses order.
+  std::array<double, 6> cause_fraction{};
+
+  stats::Summary repair_minutes;
+  dist::FitReport repair_fits;  ///< standard families over repair minutes
+  /// LogNormal mu/sigma of the repair fit; NaN when lognormal failed.
+  double repair_lognormal_mu = 0.0;
+  double repair_lognormal_sigma = 0.0;
+
+  stats::Summary gaps_seconds;  ///< pooled per-node interarrival gaps
+  dist::FitReport gap_fits;     ///< standard families, 1-second floor
+  /// Weibull shape/scale of the interarrival fit; NaN when it failed.
+  double weibull_shape = 0.0;
+  double weibull_scale = 0.0;
+};
+
+struct CompareReport {
+  std::vector<CompareSite> sites;
+};
+
+/// Runs the battery for one site. Throws InvalidArgument on an empty
+/// dataset (a site with no failures has no statistics to compare).
+CompareSite summarize_site(const CompareInput& input);
+
+/// Runs the battery per input, preserving order. Throws InvalidArgument
+/// when `inputs` is empty.
+CompareReport compare_sites(const std::vector<CompareInput>& inputs);
+
+}  // namespace hpcfail::analysis

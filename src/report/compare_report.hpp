@@ -1,0 +1,26 @@
+// Side-by-side rendering of the cross-study comparison battery
+// (analysis/compare.hpp): a metric-per-row, site-per-column text table
+// plus a machine-readable CSV with one row per site. Both forms are
+// golden-snapshotted (tests/golden/) and emitted by `hpcfail compare`.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "analysis/compare.hpp"
+
+namespace hpcfail::report {
+
+/// Renders the side-by-side text report (metrics as rows, sites as
+/// columns). Unknown per-processor rates render as "n/a".
+void render_compare(std::ostream& out, const analysis::CompareReport& report);
+
+/// Rendered string (for tests and --out capture).
+std::string render_compare_text(const analysis::CompareReport& report);
+
+/// Writes the CSV form: a header row then one row per site, same
+/// metrics as the text table.
+void write_compare_csv(std::ostream& out,
+                       const analysis::CompareReport& report);
+
+}  // namespace hpcfail::report

@@ -214,6 +214,18 @@ std::string to_json(const WindowReport& report) {
   append_fits(out, "repair_fits", report.repair_fits);
   out += ',';
   append_fits(out, "node_gap_fits", report.node_gap_fits);
+  out += ",\"compacted\":{\"events\":" +
+         std::to_string(report.compacted_events);
+  out += ",\"by_cause\":[";
+  for (std::size_t i = 0; i < report.compacted_by_cause.size(); ++i) {
+    if (i != 0) out += ',';
+    out += "{\"cause\":\"" +
+           trace::to_string(report.compacted_by_cause[i].cause) + "\",";
+    append_stats(out, "repair_minutes",
+                 report.compacted_by_cause[i].repair_minutes);
+    out += '}';
+  }
+  out += "]}";
   out += '}';
   return out;
 }

@@ -48,6 +48,12 @@ struct WindowReport {
   std::vector<CauseWindow> by_cause;   ///< ascending cause, non-empty only
   dist::FitReport repair_fits;         ///< empty when degenerate
   dist::FitReport node_gap_fits;       ///< empty when degenerate
+  /// Compacted-ledger view (dataset retention): this system's raw events
+  /// dropped past the retention horizon, surfaced as per-cause pooled
+  /// repair SuffStats so /report still accounts for pre-horizon history.
+  /// Zero/empty when retention never compacted anything for the system.
+  std::uint64_t compacted_events = 0;
+  std::vector<CauseWindow> compacted_by_cause;  ///< ascending cause
 };
 
 class LiveAnalytics {

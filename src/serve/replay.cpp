@@ -15,6 +15,7 @@
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "serve/server.hpp"
+#include "trace/adapters/adapter.hpp"
 #include "trace/types.hpp"
 
 namespace hpcfail::serve {
@@ -62,7 +63,13 @@ int connect_to(const std::string& host, int port) {
   return fd;
 }
 
-void append_line(std::string& out, const trace::FailureRecord& r) {
+void append_line(std::string& out, const trace::FailureRecord& r,
+                 const trace::Adapter* adapter) {
+  if (adapter != nullptr) {
+    out += adapter->format_line(r);
+    out += '\n';
+    return;
+  }
   out += std::to_string(r.system_id);
   out += ',';
   out += std::to_string(r.node_id);
@@ -140,7 +147,7 @@ ReplayStats replay_dataset(const trace::FailureDataset& dataset,
         (static_cast<std::size_t>(r.system_id) * 8191u +
          static_cast<std::size_t>(r.node_id)) %
         options.connections;
-    append_line(buffers[conn], r);
+    append_line(buffers[conn], r, options.adapter);
     ++stats.events_sent;
     if (buffers[conn].size() >= kFlushBytes) flush(conn);
   }

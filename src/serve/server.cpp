@@ -11,12 +11,14 @@
 #include <cerrno>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <utility>
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
+#include "trace/adapters/adapter.hpp"
 
 namespace hpcfail::serve {
 
@@ -162,6 +164,9 @@ std::size_t send_fully(int fd, std::string_view data) noexcept {
 }
 
 struct Server::Connection {
+  /// `adapter` selects the wire format the connection's LineSource
+  /// parses (null = native CSV rows); see ServerOptions::ingest_format.
+  explicit Connection(const trace::Adapter* adapter) : source(adapter) {}
   int fd = -1;
   trace::LineSource source;
   std::uint64_t rejected_seen = 0;  ///< counter watermark already reported
@@ -182,11 +187,17 @@ struct Server::IngestShard {
 
 Server::Server(ServerOptions options)
     : options_(validated(std::move(options))),
+      adapter_(options_.ingest_format.empty()
+                   ? nullptr
+                   : &trace::adapter_for(options_.ingest_format)),
       live_(options_.epoch),
       analytics_(analytics_options(options_)) {}
 
 Server::Server(ServerOptions options, trace::FailureDataset seed)
     : options_(validated(std::move(options))),
+      adapter_(options_.ingest_format.empty()
+                   ? nullptr
+                   : &trace::adapter_for(options_.ingest_format)),
       live_(std::move(seed), options_.epoch),
       analytics_(analytics_options(options_)) {
   // Replay the seed into the analytics cells; snapshot records are
@@ -405,7 +416,8 @@ void Server::ingest_loop(IngestShard& shard) {
   std::uint64_t tail_rejected_seen = 0;
   const bool acceptor = shard.index == 0;
   if (acceptor && !options_.tail_path.empty()) {
-    tail = std::make_unique<trace::TailSource>(options_.tail_path);
+    tail = std::make_unique<trace::TailSource>(options_.tail_path,
+                                               /*start_offset=*/0, adapter_);
   }
 
   std::vector<pollfd> fds;
@@ -507,7 +519,7 @@ void Server::adopt_pending(IngestShard& shard,
     adopted.swap(shard.pending);
   }
   for (const int fd : adopted) {
-    auto conn = std::make_unique<Connection>();
+    auto conn = std::make_unique<Connection>(adapter_);
     conn->fd = fd;
     conns.push_back(std::move(conn));
   }
@@ -530,6 +542,9 @@ std::string Server::stats_json() const {
   out += ",\"sealed_records\":" + std::to_string(live_.sealed_size());
   out += ",\"tail_records\":" + std::to_string(live_.tail_size());
   out += ",\"ingest_threads\":" + std::to_string(options_.ingest_threads);
+  out += ",\"ingest_format\":\"" +
+         (adapter_ ? std::string(adapter_->name()) : std::string("native")) +
+         '"';
   out += ",\"compacted_events\":" + std::to_string(live_.compacted_events());
   out += ",\"retention_horizon\":" +
          std::to_string(live_.compacted_events() > 0
@@ -599,7 +614,28 @@ std::string Server::handle_request(const std::string& target, int& status) {
         return "{\"error\":\"unknown system " + std::to_string(system_id) +
                "\"}";
       }
-      return to_json(analytics_.report(system_id, window));
+      WindowReport report = analytics_.report(system_id, window);
+      // Compacted-ledger section: events retention dropped past the
+      // horizon still show up as per-cause pooled repair SuffStats, so
+      // /report accounts for the full ingested history (satellite of
+      // the retention contract; compaction_cells() is safe while
+      // ingest runs).
+      std::map<trace::RootCause, dist::SuffStats> compacted;
+      for (const trace::CompactionCell& cell : live_.compaction_cells()) {
+        if (cell.system_id != system_id) continue;
+        report.compacted_events += cell.repair_minutes.n;
+        auto [it, fresh] = compacted.try_emplace(cell.cause);
+        if (fresh) {
+          it->second = cell.repair_minutes;
+        } else {
+          it->second.merge(cell.repair_minutes);
+        }
+      }
+      report.compacted_by_cause.reserve(compacted.size());
+      for (const auto& [cause, suff] : compacted) {
+        report.compacted_by_cause.push_back(CauseWindow{cause, suff});
+      }
+      return to_json(report);
     } catch (const ParseError& e) {
       status = 400;
       return "{\"error\":\"parse error: " + std::string(e.what()) + "\"}";

@@ -89,6 +89,11 @@ struct ServerOptions {
   std::size_t ingest_threads = 1;
   trace::LiveDataset::Options epoch;  ///< seal + retention policy
   std::string tail_path;              ///< optional appended-file to follow
+  /// Wire format for ingested lines: empty = the native CSV row format,
+  /// otherwise a registered adapter name (trace/adapters/adapter.hpp).
+  /// Applies to every ingest connection and the tailed file alike.
+  /// Unknown names throw ValidationError at construction.
+  std::string ingest_format;
   /// Stop automatically after this many accepted events (0 = run until
   /// stop()/shutdown). Lets smoke tests bound a run without a race.
   std::uint64_t max_events = 0;
@@ -167,6 +172,9 @@ class Server {
   std::string stats_json() const;
 
   ServerOptions options_;
+  /// Resolved from options_.ingest_format (null = native CSV); owned by
+  /// the static adapter registry, so the pointer outlives the server.
+  const trace::Adapter* adapter_ = nullptr;
   trace::LiveDataset live_;
   LiveAnalytics analytics_;
   /// Guards analytics_ and the rejected-line bookkeeping shared between

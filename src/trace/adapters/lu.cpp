@@ -1,0 +1,98 @@
+#include "trace/adapters/lu.hpp"
+
+#include <array>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "trace/adapters/token_map.hpp"
+#include "trace/types.hpp"
+
+namespace hpcfail::trace::adapters {
+
+namespace {
+
+// kAllRootCauses order.
+constexpr std::array<std::string_view, 6> kCauseTokens = {
+    "HW", "SW", "NET", "ENV", "HUM", "UNK"};
+
+// DetailCause declaration order.
+constexpr std::array<std::string_view, 16> kDetailTokens = {
+    "mem",    "cpu", "ic",     "psu", "disk",  "hw",
+    "os",     "pfs", "sched",  "sw",  "switch", "nic",
+    "outage", "ac",  "oper",   "unk"};
+
+// Workload declaration order (compute, graphics, frontend).
+constexpr std::array<std::string_view, 3> kWorkloadTokens = {"comp", "grfx",
+                                                             "fe"};
+
+/// Splits "c<system>n<node>" into its two ids.
+void parse_node_path(std::string_view path, FailureRecord& record) {
+  if (path.size() < 4 || path.front() != 'c') {
+    throw ParseError("bad node path '" + std::string(path) +
+                     "' (want c<system>n<node>)");
+  }
+  const std::size_t n = path.find('n', 1);
+  if (n == std::string_view::npos || n + 1 >= path.size()) {
+    throw ParseError("bad node path '" + std::string(path) +
+                     "' (want c<system>n<node>)");
+  }
+  record.system_id = static_cast<int>(parse_i64(path.substr(1, n - 1)));
+  record.node_id = static_cast<int>(parse_i64(path.substr(n + 1)));
+}
+
+}  // namespace
+
+std::string LuAdapter::format_line(const FailureRecord& record) const {
+  std::string line = std::to_string(record.start);
+  line += " c";
+  line += std::to_string(record.system_id);
+  line += 'n';
+  line += std::to_string(record.node_id);
+  line += " NODE_FAIL ";
+  line += std::to_string(record.end - record.start);
+  line += "s ";
+  line += token_for(kWorkloadTokens, static_cast<std::size_t>(record.workload));
+  line += ' ';
+  line += token_for(kCauseTokens, cause_index(record.cause));
+  line += '/';
+  line += token_for(kDetailTokens, static_cast<std::size_t>(record.detail));
+  return line;
+}
+
+FailureRecord LuAdapter::parse_line(std::string_view line) const {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string> fields = split(line, ' ');
+  if (fields.size() != 6) {
+    throw ParseError("expected 6 space-separated fields, got " +
+                     std::to_string(fields.size()));
+  }
+  if (fields[2] != "NODE_FAIL") {
+    throw ParseError("unsupported event type '" + fields[2] + "'");
+  }
+  if (fields[3].empty() || fields[3].back() != 's') {
+    throw ParseError("bad downtime '" + fields[3] + "' (want <seconds>s)");
+  }
+  FailureRecord record;
+  record.start = static_cast<Seconds>(parse_i64(fields[0]));
+  parse_node_path(fields[1], record);
+  const std::int64_t downtime = parse_i64(
+      std::string_view(fields[3]).substr(0, fields[3].size() - 1));
+  if (downtime < 0) throw ValidationError("negative downtime");
+  record.end = record.start + downtime;
+  record.workload = static_cast<Workload>(
+      index_of_token(kWorkloadTokens, fields[4], "workload"));
+  const std::size_t slash = fields[5].find('/');
+  if (slash == std::string::npos) {
+    throw ParseError("bad cause '" + fields[5] + "' (want <CAT>/<sub>)");
+  }
+  const std::string_view cause_field(fields[5]);
+  record.cause = kAllRootCauses[index_of_token(
+      kCauseTokens, cause_field.substr(0, slash), "cause")];
+  record.detail = static_cast<DetailCause>(index_of_token(
+      kDetailTokens, cause_field.substr(slash + 1), "detail cause"));
+  validate_adapted(record);
+  return record;
+}
+
+}  // namespace hpcfail::trace::adapters

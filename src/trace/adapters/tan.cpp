@@ -1,0 +1,118 @@
+#include "trace/adapters/tan.hpp"
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/strings.hpp"
+#include "common/time.hpp"
+#include "trace/adapters/token_map.hpp"
+#include "trace/types.hpp"
+
+namespace hpcfail::trace::adapters {
+
+namespace {
+
+// kAllRootCauses order. The release spells the unknown category
+// "Undetermined" at both levels.
+constexpr std::array<std::string_view, 6> kCauseTokens = {
+    "Hardware", "Software", "Network", "Environment", "Human",
+    "Undetermined"};
+
+// DetailCause declaration order.
+constexpr std::array<std::string_view, 16> kDetailTokens = {
+    "DIMM",         "CPU",        "Interconnect", "Power Supply",
+    "Disk",         "Other HW",   "OS",           "Parallel FS",
+    "Scheduler",    "Other SW",   "Switch",       "NIC",
+    "Power Outage", "AC Failure", "Operator",     "Undetermined"};
+
+// Workload declaration order.
+constexpr std::array<std::string_view, 3> kWorkloadTokens = {
+    "Compute", "Graphics", "Frontend"};
+
+/// Parses "MM/DD/YYYY HH:MM:SS". ParseError on any malformed or
+/// out-of-range field (calendar validation included).
+Seconds parse_us_timestamp(std::string_view text) {
+  const auto bad = [&]() -> ParseError {
+    return ParseError("bad timestamp '" + std::string(text) +
+                      "' (want MM/DD/YYYY HH:MM:SS)");
+  };
+  if (text.size() != 19 || text[2] != '/' || text[5] != '/' ||
+      text[10] != ' ' || text[13] != ':' || text[16] != ':') {
+    throw bad();
+  }
+  CivilDateTime cdt;
+  try {
+    cdt.month = static_cast<int>(parse_i64(text.substr(0, 2)));
+    cdt.day = static_cast<int>(parse_i64(text.substr(3, 2)));
+    cdt.year = static_cast<int>(parse_i64(text.substr(6, 4)));
+    cdt.hour = static_cast<int>(parse_i64(text.substr(11, 2)));
+    cdt.minute = static_cast<int>(parse_i64(text.substr(14, 2)));
+    cdt.second = static_cast<int>(parse_i64(text.substr(17, 2)));
+    return to_epoch(cdt);
+  } catch (const Error&) {
+    throw bad();
+  }
+}
+
+std::string format_us_timestamp(Seconds t) {
+  const CivilDateTime cdt = from_epoch(t);
+  char buffer[20];
+  std::snprintf(buffer, sizeof(buffer), "%02d/%02d/%04d %02d:%02d:%02d",
+                cdt.month, cdt.day, cdt.year, cdt.hour, cdt.minute,
+                cdt.second);
+  return buffer;
+}
+
+}  // namespace
+
+std::string TanAdapter::format_line(const FailureRecord& record) const {
+  std::string line = std::to_string(record.system_id);
+  line += '|';
+  line += std::to_string(record.node_id);
+  line += '|';
+  line += format_us_timestamp(record.start);
+  line += '|';
+  line += format_us_timestamp(record.end);
+  line += '|';
+  line += std::to_string(record.end - record.start);
+  line += '|';
+  line += token_for(kCauseTokens, cause_index(record.cause));
+  line += '|';
+  line += token_for(kDetailTokens, static_cast<std::size_t>(record.detail));
+  line += '|';
+  line += token_for(kWorkloadTokens, static_cast<std::size_t>(record.workload));
+  return line;
+}
+
+FailureRecord TanAdapter::parse_line(std::string_view line) const {
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  const std::vector<std::string> fields = split(line, '|');
+  if (fields.size() != 8) {
+    throw ParseError("expected 8 pipe-separated fields, got " +
+                     std::to_string(fields.size()));
+  }
+  FailureRecord record;
+  record.system_id = static_cast<int>(parse_i64(fields[0]));
+  record.node_id = static_cast<int>(parse_i64(fields[1]));
+  record.start = parse_us_timestamp(fields[2]);
+  record.end = parse_us_timestamp(fields[3]);
+  const std::int64_t duration = parse_i64(fields[4]);
+  if (duration != record.end - record.start) {
+    throw ValidationError(
+        "duration " + std::to_string(duration) +
+        "s disagrees with the down/up interval (" +
+        std::to_string(record.end - record.start) + "s)");
+  }
+  record.cause =
+      kAllRootCauses[index_of_token(kCauseTokens, fields[5], "category")];
+  record.detail = static_cast<DetailCause>(
+      index_of_token(kDetailTokens, fields[6], "subcategory"));
+  record.workload = static_cast<Workload>(
+      index_of_token(kWorkloadTokens, fields[7], "workload"));
+  validate_adapted(record);
+  return record;
+}
+
+}  // namespace hpcfail::trace::adapters

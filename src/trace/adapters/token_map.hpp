@@ -1,0 +1,38 @@
+// Internal helpers shared by the concrete adapters: bijective token
+// vocabularies over the record enums. Each adapter declares one
+// std::array of tokens per axis, ordered like the enum (kAllRootCauses
+// order for causes, declaration order for DetailCause and Workload), and
+// converts through these two functions so format/parse stay exact
+// inverses by construction.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace hpcfail::trace::adapters {
+
+/// Token for enum index `index`. The tables are adapter-authored and
+/// index is derived from a valid enum, so this never fails.
+inline std::string_view token_for(std::span<const std::string_view> table,
+                                  std::size_t index) noexcept {
+  return table[index];
+}
+
+/// Enum index of `token`, or ParseError naming the axis on a miss.
+/// Linear scan: the largest table has 16 entries.
+inline std::size_t index_of_token(std::span<const std::string_view> table,
+                                  std::string_view token,
+                                  std::string_view axis) {
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (table[i] == token) return i;
+  }
+  throw ParseError("unknown " + std::string(axis) + " token '" +
+                   std::string(token) + "'");
+}
+
+}  // namespace hpcfail::trace::adapters

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/strings.hpp"
+#include "trace/adapters/adapter.hpp"
 #include "trace/io.hpp"
 
 namespace hpcfail::trace {
@@ -114,12 +115,19 @@ void LineSource::feed(std::string_view bytes) { buffer_.append(bytes); }
 bool LineSource::parse_line(std::string_view line, FailureRecord& out) {
   ++lines_seen_;
   const std::string_view stripped = trim_view(line);
-  if (stripped.empty() || stripped == kCsvHeader) return false;
+  const std::string_view header =
+      adapter_ != nullptr ? adapter_->header() : std::string_view(kCsvHeader);
+  if (stripped.empty() || stripped == header) return false;
   try {
-    out = record_from_line(line);
+    // Adapters throw both ParseError (malformed) and ValidationError
+    // (semantically inconsistent); streaming ingest flattens the whole
+    // Error taxonomy into reject-and-count, so one bad line never takes
+    // the daemon down regardless of which type the decoder raises.
+    out = adapter_ != nullptr ? adapter_->parse_line(line)
+                              : record_from_line(line);
     ++counters_.accepted;
     return true;
-  } catch (const ParseError& e) {
+  } catch (const Error& e) {
     ++counters_.rejected;
     counters_.last_error =
         "line " + std::to_string(lines_seen_) + ": " + e.what();
@@ -156,8 +164,9 @@ SourceStatus LineSource::next(FailureRecord& out) {
   }
 }
 
-TailSource::TailSource(std::string path, std::uint64_t start_offset)
-    : path_(std::move(path)), offset_(start_offset) {}
+TailSource::TailSource(std::string path, std::uint64_t start_offset,
+                       const Adapter* adapter)
+    : path_(std::move(path)), offset_(start_offset), lines_(adapter) {}
 
 std::size_t TailSource::poll_file() {
   constexpr std::size_t kSignatureBytes = 64;

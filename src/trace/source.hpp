@@ -28,6 +28,8 @@
 
 namespace hpcfail::trace {
 
+class Adapter;  // trace/adapters/adapter.hpp
+
 /// Result of one Source::next() poll.
 enum class SourceStatus {
   event,  ///< `out` holds a valid record
@@ -104,6 +106,18 @@ class CsvSource : public Source {
 /// lines are always reject-and-count.
 class LineSource : public Source {
  public:
+  /// Native line protocol (one canonical CSV row per line).
+  LineSource() = default;
+
+  /// Lines are decoded by `adapter` (a foreign schema; see
+  /// trace/adapters/adapter.hpp) instead of the native protocol — the
+  /// `hpcfail serve --format <name>` ingest path. Blank lines and lines
+  /// equal to the adapter's header are skipped silently, and both
+  /// ParseError and ValidationError from the adapter reject-and-count.
+  /// The adapter must outlive the source; nullptr selects the native
+  /// protocol.
+  explicit LineSource(const Adapter* adapter) : adapter_(adapter) {}
+
   /// Appends raw bytes (need not align with line boundaries).
   void feed(std::string_view bytes);
 
@@ -129,6 +143,7 @@ class LineSource : public Source {
  private:
   bool parse_line(std::string_view line, FailureRecord& out);
 
+  const Adapter* adapter_ = nullptr;  ///< null = native line protocol
   std::string buffer_;
   std::size_t pos_ = 0;  ///< start of the first unconsumed byte
   std::uint64_t lines_seen_ = 0;
@@ -153,7 +168,10 @@ class LineSource : public Source {
 /// one — the protocol's header line makes that benign for event traces.
 class TailSource : public Source {
  public:
-  explicit TailSource(std::string path, std::uint64_t start_offset = 0);
+  /// `adapter` selects a foreign line format for the tailed file (null =
+  /// native protocol); it must outlive the source.
+  explicit TailSource(std::string path, std::uint64_t start_offset = 0,
+                      const Adapter* adapter = nullptr);
 
   SourceStatus next(FailureRecord& out) override;
 

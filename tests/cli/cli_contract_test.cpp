@@ -71,7 +71,8 @@ struct ContractRow {
 const std::vector<std::string>& all_subcommands() {
   static const std::vector<std::string> kNames = {
       "generate", "catalog",      "validate", "fit",      "repair", "report",
-      "availability", "profile",  "campaign", "serve",    "replay"};
+      "availability", "profile",  "campaign", "serve",    "replay",
+      "compare"};
   return kNames;
 }
 

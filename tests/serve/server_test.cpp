@@ -24,6 +24,7 @@
 #include "common/time.hpp"
 #include "serve/analytics.hpp"
 #include "serve/replay.hpp"
+#include "trace/adapters/adapter.hpp"
 #include "trace/dataset.hpp"
 #include "trace/record.hpp"
 
@@ -557,6 +558,66 @@ TEST(Server, RetentionCompactsOldEventsDuringIngest) {
   EXPECT_LE(server.dataset().sealed_size(), 301u);  // cap + tie slack
 }
 
+// Regression: before the compacted-ledger view, /report silently lost
+// every event retention had folded into SuffStats — a long-lived daemon
+// under-reported history with no hint anything was missing.
+TEST(Server, ReportAccountsForCompactedPreHorizonEvents) {
+  ServerOptions opts;
+  opts.epoch.min_rebuild_tail = 128;
+  opts.epoch.max_sealed_events = 300;  // force compaction mid-stream
+  Server server(opts);
+  server.start();
+
+  const int client = connect_to(server.ingest_port());
+  std::string payload;
+  const std::size_t kEvents = 1000;
+  for (std::size_t i = 0; i < kEvents; ++i) {
+    payload += csv_line(rec(9, static_cast<int>(i % 8),
+                            t0 + static_cast<Seconds>(i) * 60, 120));
+  }
+  send_all(client, payload);
+  wait_until_ingested(server, kEvents);
+  ::close(client);
+  for (int i = 0; i < 500 && server.dataset().compacted_events() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  // Compaction only advances on seals, and ingest has drained, so the
+  // ledger is stable from here on.
+  const std::uint64_t compacted = server.dataset().compacted_events();
+  ASSERT_GT(compacted, 0u);
+
+  const HttpResponse report =
+      http_get(server.http_port(), "/report?system=9&window_hours=48");
+  EXPECT_EQ(report.status, 200);
+  // The live window still sees every observation (analytics is not
+  // subject to retention)...
+  EXPECT_NE(report.body.find("\"events_total\":" +
+                             std::to_string(kEvents)),
+            std::string::npos)
+      << report.body;
+  // ...and the compacted section accounts for exactly the pre-horizon
+  // events the store folded away, with their per-cause repair stats.
+  const std::string needle =
+      "\"compacted\":{\"events\":" + std::to_string(compacted);
+  EXPECT_NE(report.body.find(needle), std::string::npos) << report.body;
+  const std::size_t section = report.body.find("\"compacted\":");
+  ASSERT_NE(section, std::string::npos);
+  EXPECT_NE(report.body.find("\"cause\":\"hardware\"", section),
+            std::string::npos)
+      << report.body;
+  EXPECT_NE(report.body.find("\"repair_minutes\"", section),
+            std::string::npos);
+
+  // Systems with no compaction cells report an empty ledger.
+  const HttpResponse other =
+      http_get(server.http_port(), "/report?system=9&window_hours=1");
+  EXPECT_NE(other.body.find(needle), std::string::npos)
+      << "ledger must not depend on the window";
+
+  server.stop();
+  server.wait();
+}
+
 // --- replay client ---------------------------------------------------------
 
 TEST(Replay, RejectsInvalidOptions) {
@@ -624,6 +685,53 @@ TEST(Replay, ReplayedReportsMatchASeededServerByteForByte) {
   seeded.start();
 
   // Identical observation sequences must yield identical report bytes.
+  const std::string target = "/report?system=5&window_hours=80";
+  const HttpResponse from_live = http_get(live.http_port(), target);
+  const HttpResponse from_seed = http_get(seeded.http_port(), target);
+  EXPECT_EQ(from_live.status, 200);
+  EXPECT_EQ(from_live.body, from_seed.body);
+
+  live.stop();
+  seeded.stop();
+  live.wait();
+  seeded.wait();
+}
+
+TEST(Replay, ForeignFormatReplayMatchesBatchLoadByteForByte) {
+  // Satellite: a foreign-format trace pushed through the adapter path end
+  // to end. Write a lu-format file, batch-load it back through the
+  // adapter, replay the loaded trace over the lu wire format into a
+  // `--format lu` daemon, and require the live /report to be
+  // byte-identical to a server seeded from the same batch load.
+  std::vector<trace::FailureRecord> records;
+  for (int i = 0; i < 300; ++i) {
+    records.push_back(rec(5, i % 6, t0 + i * 900, 60 + (i % 7) * 30));
+  }
+  const trace::Adapter& lu = trace::adapter_for("lu");
+  const std::string path = ::testing::TempDir() + "/replay_foreign_" +
+                           std::to_string(::getpid()) + ".lu";
+  trace::write_adapter_file(path, trace::FailureDataset{std::move(records)},
+                            lu);
+  const trace::FailureDataset loaded = trace::read_adapter_file(path, lu);
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.size(), 300u);
+
+  ServerOptions lopts;
+  lopts.ingest_format = "lu";
+  Server live(lopts);
+  live.start();
+  ReplayOptions ropts;
+  ropts.port = live.ingest_port();
+  ropts.connections = 1;  // one connection: arrival order == trace order
+  ropts.adapter = &lu;
+  const ReplayStats stats = replay_dataset(loaded, ropts);
+  EXPECT_EQ(stats.events_sent, 300u);
+  wait_until_ingested(live, 300);
+  EXPECT_EQ(live.events_rejected(), 0u);
+
+  Server seeded(ServerOptions{}, trace::FailureDataset(loaded));
+  seeded.start();
+
   const std::string target = "/report?system=5&window_hours=80";
   const HttpResponse from_live = http_get(live.http_port(), target);
   const HttpResponse from_seed = http_get(seeded.http_port(), target);

@@ -1,21 +1,25 @@
 #!/usr/bin/env python3
 """Gates committed benchmark artifacts against regression floors.
 
-Usage: check_bench_floor.py BENCH_PR6.json
+Usage: check_bench_floor.py BENCH_PR6.json --pr pr6
            [--min-generation-records-per-sec N --generation-profile P]
            [--min-fitting-speedup-vs-seed X --fitting-row per_node|pooled]
-       check_bench_floor.py BENCH_PR7.json
+       check_bench_floor.py BENCH_PR7.json --pr pr7
            [--min-campaign-faults-per-sec N]
-       check_bench_floor.py BENCH_PR8.json
+       check_bench_floor.py BENCH_PR8.json --pr pr8
            [--min-ingest-events-per-sec N]
-       check_bench_floor.py BENCH_PR9.json
+       check_bench_floor.py BENCH_PR9.json --pr pr9
            [--min-sharded-events-per-sec N]
 
-Dispatches on the JSON's "benchmark" field: "pr6_columnar_pipeline"
+`--pr` names the gate explicitly; an unknown key is a loud failure
+(exit 1 listing the known keys), and the named gate must match the
+JSON's "benchmark" field — a CI invocation pointed at the wrong
+artifact can no longer pass vacuously. When --pr is omitted the gate
+is inferred from the "benchmark" field: "pr6_columnar_pipeline"
 (written by `bench_perf_dataset --pr6`), "pr7_campaign" (written by
 `bench_perf_campaign`), "pr8_ingest" (written by `bench_perf_ingest`),
-or "pr9_ingest" (written by `bench_perf_ingest --pr9`), and fails
-(exit 1) when a gated number falls below its floor. The sharded-ingest
+or "pr9_ingest" (written by `bench_perf_ingest --pr9`). The check
+fails (exit 1) when a gated number falls below its floor. The sharded-ingest
 gate is an absolute events/sec floor on the multi-shard cell, NOT a
 speedup-over-1-shard ratio: CI runners may expose a single core (the
 JSON records "cores"), where shard parallelism cannot materialize. The generation gate applies to the wall-clock
@@ -37,9 +41,22 @@ def fail(message):
     sys.exit(1)
 
 
+# --pr key -> expected "benchmark" field. Keys are an explicit
+# allowlist: anything else fails loudly rather than matching nothing
+# and "passing".
+GATES = {
+    "pr6": "pr6_columnar_pipeline",
+    "pr7": "pr7_campaign",
+    "pr8": "pr8_ingest",
+    "pr9": "pr9_ingest",
+}
+
+
 def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("path")
+    parser.add_argument("--pr",
+                        help="gate to run: " + " | ".join(sorted(GATES)))
     parser.add_argument("--min-generation-records-per-sec", type=float)
     parser.add_argument("--generation-profile", default="stress")
     parser.add_argument("--min-fitting-speedup-vs-seed", type=float)
@@ -57,6 +74,13 @@ def main():
         fail(f"cannot parse {args.path}: {e}")
 
     benchmark = doc.get("benchmark")
+    if args.pr is not None:
+        if args.pr not in GATES:
+            fail(f"unknown --pr key {args.pr!r}; known keys: "
+                 + ", ".join(sorted(GATES)))
+        if benchmark != GATES[args.pr]:
+            fail(f"--pr {args.pr} expects benchmark {GATES[args.pr]!r} "
+                 f"but {args.path} holds {benchmark!r}")
     if benchmark == "pr6_columnar_pipeline":
         check_pr6(doc, args)
     elif benchmark == "pr7_campaign":

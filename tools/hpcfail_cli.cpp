@@ -707,6 +707,7 @@ int cmd_serve(const Args& args) {
   opts.epoch.max_sealed_events =
       static_cast<std::size_t>(args.get_u64("max-sealed-events"));
   if (args.given("tail")) opts.tail_path = args.get_string("tail");
+  if (args.given("format")) opts.ingest_format = args.get_string("format");
 
   std::unique_ptr<serve::Server> server;
   if (args.given("trace")) {
@@ -754,9 +755,16 @@ int cmd_replay(const Args& args) {
   opts.speedup = args.get_double("speedup");
   opts.connections = static_cast<std::size_t>(args.get_u64("connections"));
   opts.limit = args.get_u64("limit");
+  if (args.given("format")) {
+    opts.adapter = &trace::adapter_for(args.get_string("format"));
+  }
 
+  // --format selects both the file parser and the wire format, so a
+  // foreign trace replays into a daemon started with the same --format.
   const trace::FailureDataset dataset =
-      trace::read_csv_file(args.get_string("trace"));
+      opts.adapter != nullptr
+          ? trace::read_adapter_file(args.get_string("trace"), *opts.adapter)
+          : trace::read_csv_file(args.get_string("trace"));
   std::cout << "replaying " << dataset.size() << " records to " << opts.host
             << ":" << opts.port << " over " << opts.connections
             << " connection(s)";
@@ -777,6 +785,84 @@ int cmd_replay(const Args& args) {
             << "wall_seconds=" << format_double(stats.wall_seconds, 6) << "\n"
             << "events_per_sec=" << format_double(stats.events_per_sec, 6)
             << "\n";
+  return 0;
+}
+
+/// One `--trace` entry, `PATH` or `PATH:FORMAT` — the suffix is treated
+/// as a format only when it names a registered adapter, so plain paths
+/// containing ':' still load as native CSV.
+struct TraceEntry {
+  std::string path;
+  const trace::Adapter* adapter = nullptr;
+};
+
+TraceEntry parse_trace_entry(const std::string& entry) {
+  const std::size_t colon = entry.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = entry.substr(colon + 1);
+    for (const trace::Adapter* adapter : trace::all_adapters()) {
+      if (adapter->name() == suffix) {
+        return {entry.substr(0, colon), adapter};
+      }
+    }
+  }
+  return {entry, nullptr};
+}
+
+int cmd_compare(const Args& args) {
+  std::vector<analysis::CompareInput> inputs;
+  if (args.given("site")) {
+    for (const std::string& name : split(args.get_string("site"), ',')) {
+      const synth::SiteProfile& profile = synth::site_profile(name);
+      analysis::CompareInput input;
+      input.label = std::string(profile.name);
+      input.dataset = synth::generate_site_trace(
+          profile, args.get_u64("seed"), args.get_double("duration-scale"));
+      input.procs = static_cast<double>(profile.procs);
+      inputs.push_back(std::move(input));
+    }
+  }
+  if (args.given("trace")) {
+    for (const std::string& entry : split(args.get_string("trace"), ',')) {
+      const TraceEntry parsed = parse_trace_entry(entry);
+      analysis::CompareInput input;
+      input.label = parsed.path;
+      input.dataset =
+          parsed.adapter != nullptr
+              ? trace::read_adapter_file(parsed.path, *parsed.adapter)
+              : trace::read_csv_file(parsed.path);
+      inputs.push_back(std::move(input));
+    }
+  }
+  if (inputs.empty()) {
+    throw ValidationError(
+        "compare needs at least one --site or --trace entry");
+  }
+
+  const analysis::CompareReport report = analysis::compare_sites(inputs);
+  report::render_compare(std::cout, report);
+
+  const auto write_file = [](const std::string& path, auto&& emit) {
+    std::ofstream out(path);
+    if (!out) throw IoError("cannot open '" + path + "' for writing");
+    emit(out);
+    out.flush();
+    if (!out) throw IoError("write failed for '" + path + "'");
+  };
+  if (args.given("out")) {
+    write_file(args.get_string("out"), [&report](std::ostream& out) {
+      report::render_compare(out, report);
+    });
+    std::cerr << "comparison report written to " << args.get_string("out")
+              << "\n";
+  }
+  if (args.given("csv-out")) {
+    write_file(args.get_string("csv-out"), [&report](std::ostream& out) {
+      report::write_compare_csv(out, report);
+    });
+    std::cerr << "comparison CSV written to " << args.get_string("csv-out")
+              << "\n";
+  }
   return 0;
 }
 
@@ -905,6 +991,9 @@ const std::vector<Subcommand>& subcommands() {
            {"max-sealed-events", ArgType::uint64, "0", false,
             "compact oldest events when the sealed snapshot exceeds N "
             "(0 = unbounded)"},
+           {"format", ArgType::string, "", false,
+            "ingest wire format: lu | mistral | tan (default: native CSV "
+            "rows)"},
        },
        &cmd_serve},
       {"replay", "replay a trace into a daemon's TCP ingest at scaled time",
@@ -918,8 +1007,28 @@ const std::vector<Subcommand>& subcommands() {
             "parallel TCP connections, events sharded by (system, node)"},
            {"limit", ArgType::uint64, "0", false,
             "replay at most N events (0 = whole trace)"},
+           {"format", ArgType::string, "", false,
+            "trace file and wire format: lu | mistral | tan (default: "
+            "native CSV)"},
        },
        &cmd_replay},
+      {"compare", "side-by-side cross-study battery over several traces",
+       {
+           {"site", ArgType::string, "", false,
+            "comma-separated synthetic site profiles: lu | mistral | tan"},
+           {"trace", ArgType::string, "", false,
+            "comma-separated trace files, each PATH or PATH:FORMAT "
+            "(lu | mistral | tan; default native CSV)"},
+           {"seed", ArgType::uint64, "42", false,
+            "generator seed for --site traces"},
+           {"duration-scale", ArgType::real, "1", false,
+            "scale factor on each profile's observation window"},
+           {"out", ArgType::string, "", false,
+            "also write the text report to FILE"},
+           {"csv-out", ArgType::string, "", false,
+            "also write the per-site CSV to FILE"},
+       },
+       &cmd_compare},
   };
   return kTable;
 }
